@@ -1,0 +1,239 @@
+//! Batched GP-UCB (GP-BUCB) — the "parallel Gaussian Process" direction the
+//! paper's §6 cites (Desautels, Krause & Burdick, JMLR 2014) as the key to
+//! extending ease.ml's resource model from a single device to many.
+//!
+//! When `B` training runs must be dispatched before any of their rewards
+//! come back, naive GP-UCB would pick the same argmax `B` times. GP-BUCB
+//! instead *hallucinates* each selected arm's observation at its current
+//! posterior mean: the hallucination leaves the posterior mean unchanged
+//! but shrinks the variance, so subsequent selections within the batch are
+//! pushed towards diverse, still-uncertain arms.
+
+use crate::beta::BetaSchedule;
+use easeml_gp::{ArmPrior, GpPosterior};
+use easeml_linalg::vec_ops;
+
+/// Batched GP-UCB selection with hallucinated updates.
+///
+/// # Examples
+///
+/// ```
+/// use easeml_bandit::{BetaSchedule, GpBucb};
+/// use easeml_gp::ArmPrior;
+///
+/// let beta = BetaSchedule::Simple { num_arms: 3, delta: 0.1 };
+/// let mut policy = GpBucb::new(ArmPrior::independent(3, 1.0), 1e-3, beta);
+/// // Dispatch a batch of two runs before any reward returns.
+/// let a = policy.select_next();
+/// let b = policy.select_next();
+/// assert_ne!(a, b, "hallucination diversifies the batch");
+/// policy.resolve(a, 0.9);
+/// policy.resolve(b, 0.4);
+/// assert_eq!(policy.best_observed(), Some((a, 0.9)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GpBucb {
+    /// The real posterior, fed only by true observations.
+    real: GpPosterior,
+    /// The hallucinated posterior used for in-batch selection.
+    halluc: GpPosterior,
+    beta: BetaSchedule,
+    costs: Option<Vec<f64>>,
+    /// True observations so far (drives β).
+    t: usize,
+    /// Arms selected in the current batch, pending their true rewards.
+    pending: Vec<usize>,
+}
+
+impl GpBucb {
+    /// Creates a cost-oblivious batched policy.
+    pub fn new(prior: ArmPrior, noise_var: f64, beta: BetaSchedule) -> Self {
+        let real = GpPosterior::new(prior, noise_var);
+        GpBucb {
+            halluc: real.clone(),
+            real,
+            beta,
+            costs: None,
+            t: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Adds per-arm costs (the §3.2 twist applied within batches).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or non-positive costs.
+    pub fn with_costs(mut self, costs: Vec<f64>) -> Self {
+        assert_eq!(
+            costs.len(),
+            self.real.num_arms(),
+            "one cost per arm is required"
+        );
+        assert!(costs.iter().all(|&c| c > 0.0), "costs must be positive");
+        self.costs = Some(costs);
+        self
+    }
+
+    /// Number of arms.
+    pub fn num_arms(&self) -> usize {
+        self.real.num_arms()
+    }
+
+    /// Arms selected but not yet resolved with a true reward.
+    pub fn pending(&self) -> &[usize] {
+        &self.pending
+    }
+
+    /// The real (non-hallucinated) posterior.
+    pub fn posterior(&self) -> &GpPosterior {
+        &self.real
+    }
+
+    fn cost(&self, arm: usize) -> f64 {
+        self.costs.as_ref().map_or(1.0, |c| c[arm])
+    }
+
+    /// Selects the next arm of the batch and hallucinates its outcome
+    /// (records the current posterior mean as a fake observation).
+    pub fn select_next(&mut self) -> usize {
+        let beta = self.beta.at(self.t + self.pending.len() + 1);
+        let scores: Vec<f64> = (0..self.num_arms())
+            .map(|k| {
+                self.halluc.mean(k) + (beta / self.cost(k)).sqrt() * self.halluc.std(k)
+            })
+            .collect();
+        let arm = vec_ops::argmax(&scores).expect("at least one arm");
+        let fake = self.halluc.mean(arm);
+        self.halluc.observe(arm, fake);
+        self.pending.push(arm);
+        arm
+    }
+
+    /// Resolves one pending arm with its true reward. When the last pending
+    /// arm resolves, the hallucinated posterior is rebuilt from the real
+    /// one (all fakes replaced by truths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is not pending.
+    pub fn resolve(&mut self, arm: usize, reward: f64) {
+        let idx = self
+            .pending
+            .iter()
+            .position(|&a| a == arm)
+            .expect("arm must be pending");
+        self.pending.swap_remove(idx);
+        self.real.observe(arm, reward);
+        self.t += 1;
+        if self.pending.is_empty() {
+            self.halluc = self.real.clone();
+        } else {
+            // Rebuild hallucinations on top of the updated real posterior
+            // so resolved fakes do not linger.
+            let mut h = self.real.clone();
+            for &a in &self.pending {
+                let fake = h.mean(a);
+                h.observe(a, fake);
+            }
+            self.halluc = h;
+        }
+    }
+
+    /// Best true observation so far.
+    pub fn best_observed(&self) -> Option<(usize, f64)> {
+        self.real.best_observed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easeml_linalg::Matrix;
+
+    fn beta() -> BetaSchedule {
+        BetaSchedule::Simple {
+            num_arms: 4,
+            delta: 0.1,
+        }
+    }
+
+    fn correlated_prior() -> ArmPrior {
+        // Arms 0-1 strongly correlated; arms 2-3 independent.
+        let g = Matrix::from_rows(&[
+            &[1.0, 0.95, 0.0, 0.0],
+            &[0.95, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 1.0, 0.0],
+            &[0.0, 0.0, 0.0, 1.0],
+        ]);
+        ArmPrior::from_gram(g)
+    }
+
+    #[test]
+    fn batch_selections_are_diverse_under_correlation() {
+        let mut p = GpBucb::new(correlated_prior(), 1e-3, beta());
+        let batch: Vec<usize> = (0..3).map(|_| p.select_next()).collect();
+        // Hallucination must prevent picking both of the correlated twins
+        // before the independent arms.
+        assert!(
+            !(batch.contains(&0) && batch.contains(&1)),
+            "correlated twins both picked in one batch: {batch:?}"
+        );
+        assert_eq!(p.pending().len(), 3);
+    }
+
+    #[test]
+    fn plain_repetition_would_not_be_diverse() {
+        // Sanity contrast: without hallucination, the top-UCB arm repeats.
+        let p = GpBucb::new(correlated_prior(), 1e-3, beta());
+        let b = p.beta.at(1);
+        let scores: Vec<f64> = (0..4)
+            .map(|k| p.real.mean(k) + b.sqrt() * p.real.std(k))
+            .collect();
+        let top = vec_ops::argmax(&scores).unwrap();
+        // The same arm would win again immediately without hallucination.
+        let scores2 = scores.clone();
+        assert_eq!(top, vec_ops::argmax(&scores2).unwrap());
+    }
+
+    #[test]
+    fn resolving_clears_pending_and_feeds_the_real_posterior() {
+        let mut p = GpBucb::new(ArmPrior::independent(4, 1.0), 1e-3, beta());
+        let a = p.select_next();
+        let b = p.select_next();
+        assert_ne!(a, b, "independent arms diversify");
+        p.resolve(a, 0.9);
+        assert_eq!(p.pending(), &[b]);
+        assert_eq!(p.best_observed(), Some((a, 0.9)));
+        p.resolve(b, 0.2);
+        assert!(p.pending().is_empty());
+        assert_eq!(p.posterior().num_observations(), 2);
+        // After the batch resolves, hallucinated == real.
+        for k in 0..4 {
+            assert!((p.halluc.mean(k) - p.real.mean(k)).abs() < 1e-12);
+            assert!((p.halluc.var(k) - p.real.var(k)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hallucination_shrinks_variance_but_not_mean() {
+        let mut p = GpBucb::new(ArmPrior::independent(4, 1.0), 1e-3, beta());
+        let a = p.select_next();
+        assert!((p.halluc.mean(a) - p.real.mean(a)).abs() < 1e-9);
+        assert!(p.halluc.var(a) < p.real.var(a));
+    }
+
+    #[test]
+    fn costs_bias_batch_selection() {
+        let mut p = GpBucb::new(ArmPrior::independent(2, 1.0), 1e-3, beta())
+            .with_costs(vec![100.0, 1.0]);
+        assert_eq!(p.select_next(), 1, "cheap arm first");
+    }
+
+    #[test]
+    #[should_panic(expected = "pending")]
+    fn resolving_a_non_pending_arm_panics() {
+        let mut p = GpBucb::new(ArmPrior::independent(2, 1.0), 1e-3, beta());
+        p.resolve(0, 0.5);
+    }
+}

@@ -1,0 +1,177 @@
+//! Exploration-weight (β) schedules for the UCB criterion.
+
+use std::f64::consts::PI;
+
+/// The β_t schedule controlling the exploration weight of GP-UCB.
+///
+/// The paper uses three concrete schedules:
+///
+/// * Algorithm 1 line 3 (cost-oblivious): `β_t = log(K t² / δ)`;
+/// * Theorem 1 (cost-aware single-tenant):
+///   `β_t = 2 c* log(π² K t² / (6 δ))`;
+/// * Theorems 2–3 (multi-tenant):
+///   `β_t^i = 2 c* log(π² n K* t² / (6 δ))`.
+///
+/// `Constant` exists for controlled experiments and tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BetaSchedule {
+    /// Algorithm 1 line 3: `log(K t² / δ)`.
+    Simple {
+        /// Number of arms K.
+        num_arms: usize,
+        /// Failure probability δ ∈ (0, 1).
+        delta: f64,
+    },
+    /// Theorem 1: `2 c* log(π² K t² / (6 δ))`.
+    CostAware {
+        /// Maximum arm cost c*.
+        max_cost: f64,
+        /// Number of arms K.
+        num_arms: usize,
+        /// Failure probability δ ∈ (0, 1).
+        delta: f64,
+    },
+    /// Theorems 2–3: `2 c* log(π² n K* t² / (6 δ))`.
+    MultiTenant {
+        /// Maximum cost over all tenants and arms, c*.
+        max_cost: f64,
+        /// Number of tenants n.
+        num_tenants: usize,
+        /// Maximum number of arms over tenants, K*.
+        max_arms: usize,
+        /// Failure probability δ ∈ (0, 1).
+        delta: f64,
+    },
+    /// A fixed exploration weight.
+    Constant(
+        /// The constant β value.
+        f64,
+    ),
+}
+
+impl BetaSchedule {
+    /// Evaluates β at step `t` (1-based; `t = 0` is treated as 1).
+    ///
+    /// All schedules are clamped below at a small positive value so the UCB
+    /// criterion never loses its exploration term to a negative logarithm at
+    /// tiny `t`.
+    pub fn at(&self, t: usize) -> f64 {
+        let t = t.max(1) as f64;
+        let raw = match *self {
+            BetaSchedule::Simple { num_arms, delta } => {
+                debug_assert!(num_arms > 0 && delta > 0.0 && delta < 1.0);
+                (num_arms as f64 * t * t / delta).ln()
+            }
+            BetaSchedule::CostAware {
+                max_cost,
+                num_arms,
+                delta,
+            } => {
+                debug_assert!(max_cost > 0.0 && num_arms > 0 && delta > 0.0 && delta < 1.0);
+                2.0 * max_cost * (PI * PI * num_arms as f64 * t * t / (6.0 * delta)).ln()
+            }
+            BetaSchedule::MultiTenant {
+                max_cost,
+                num_tenants,
+                max_arms,
+                delta,
+            } => {
+                debug_assert!(
+                    max_cost > 0.0 && num_tenants > 0 && max_arms > 0 && delta > 0.0 && delta < 1.0
+                );
+                2.0 * max_cost
+                    * (PI * PI * num_tenants as f64 * max_arms as f64 * t * t / (6.0 * delta))
+                        .ln()
+            }
+            BetaSchedule::Constant(b) => b,
+        };
+        raw.max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_schedule_matches_formula() {
+        let b = BetaSchedule::Simple {
+            num_arms: 8,
+            delta: 0.1,
+        };
+        let expected = (8.0 * 25.0 / 0.1f64).ln();
+        assert!((b.at(5) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_aware_matches_theorem_1() {
+        let b = BetaSchedule::CostAware {
+            max_cost: 3.0,
+            num_arms: 4,
+            delta: 0.05,
+        };
+        let t = 7.0f64;
+        let expected = 2.0 * 3.0 * (PI * PI * 4.0 * t * t / (6.0 * 0.05)).ln();
+        assert!((b.at(7) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_tenant_matches_theorems_2_3() {
+        let b = BetaSchedule::MultiTenant {
+            max_cost: 2.0,
+            num_tenants: 10,
+            max_arms: 8,
+            delta: 0.1,
+        };
+        let t = 3.0f64;
+        let expected = 2.0 * 2.0 * (PI * PI * 10.0 * 8.0 * t * t / (6.0 * 0.1)).ln();
+        assert!((b.at(3) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schedules_are_nondecreasing_in_t() {
+        let schedules = [
+            BetaSchedule::Simple {
+                num_arms: 3,
+                delta: 0.1,
+            },
+            BetaSchedule::CostAware {
+                max_cost: 1.0,
+                num_arms: 3,
+                delta: 0.1,
+            },
+            BetaSchedule::MultiTenant {
+                max_cost: 1.0,
+                num_tenants: 2,
+                max_arms: 3,
+                delta: 0.1,
+            },
+        ];
+        for s in schedules {
+            let mut prev = 0.0;
+            for t in 1..100 {
+                let b = s.at(t);
+                assert!(b >= prev, "{s:?} decreased at t={t}");
+                assert!(b > 0.0);
+                prev = b;
+            }
+        }
+    }
+
+    #[test]
+    fn t_zero_is_treated_as_one() {
+        let b = BetaSchedule::Simple {
+            num_arms: 2,
+            delta: 0.5,
+        };
+        assert_eq!(b.at(0), b.at(1));
+    }
+
+    #[test]
+    fn constant_schedule() {
+        assert_eq!(BetaSchedule::Constant(2.5).at(1), 2.5);
+        assert_eq!(BetaSchedule::Constant(2.5).at(1000), 2.5);
+        // Negative constants are clamped to stay usable under sqrt.
+        assert!(BetaSchedule::Constant(-1.0).at(1) > 0.0);
+    }
+}

@@ -1,0 +1,325 @@
+//! GP-UCB: the Gaussian-process upper-confidence-bound policy of
+//! Algorithm 1, with the paper's cost-aware twist (§3.2).
+
+use crate::beta::BetaSchedule;
+use crate::ArmPolicy;
+use easeml_gp::{ArmPrior, GpPosterior};
+use easeml_linalg::vec_ops;
+
+/// GP-UCB arm selection.
+///
+/// At step t the policy plays
+///
+/// ```text
+/// cost-oblivious:  a_t = argmax_k  μ_{t−1}(k) + √β_t        · σ_{t−1}(k)
+/// cost-aware:      a_t = argmax_k  μ_{t−1}(k) + √(β_t / c_k) · σ_{t−1}(k)
+/// ```
+///
+/// The cost-aware form is the paper's "simple twist": all else equal, slower
+/// models (larger c_k) get a lower priority, but an expensive arm with a
+/// large enough potential reward is still worth a bet.
+///
+/// # Examples
+///
+/// ```
+/// use easeml_bandit::{BetaSchedule, GpUcb};
+/// use easeml_gp::ArmPrior;
+///
+/// let prior = ArmPrior::independent(3, 1.0);
+/// let mut ucb = GpUcb::cost_oblivious(
+///     prior,
+///     0.01,
+///     BetaSchedule::Simple { num_arms: 3, delta: 0.1 },
+/// );
+/// let a = ucb.select_arm();
+/// ucb.observe(a, 0.9);
+/// assert_eq!(ucb.best_observed(), Some((a, 0.9)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GpUcb {
+    gp: GpPosterior,
+    costs: Option<Vec<f64>>,
+    beta: BetaSchedule,
+    /// Number of completed observations; the *next* selection happens at
+    /// step `t + 1`.
+    t: usize,
+}
+
+impl GpUcb {
+    /// Creates a cost-oblivious GP-UCB policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise_var <= 0` (propagated from [`GpPosterior::new`]).
+    pub fn cost_oblivious(prior: ArmPrior, noise_var: f64, beta: BetaSchedule) -> Self {
+        GpUcb {
+            gp: GpPosterior::new(prior, noise_var),
+            costs: None,
+            beta,
+            t: 0,
+        }
+    }
+
+    /// Creates a cost-aware GP-UCB policy with per-arm costs `c_k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs.len()` does not match the number of arms or any cost
+    /// is not strictly positive.
+    pub fn cost_aware(
+        prior: ArmPrior,
+        noise_var: f64,
+        beta: BetaSchedule,
+        costs: Vec<f64>,
+    ) -> Self {
+        assert_eq!(
+            costs.len(),
+            prior.num_arms(),
+            "one cost per arm is required"
+        );
+        assert!(
+            costs.iter().all(|&c| c > 0.0),
+            "arm costs must be strictly positive"
+        );
+        GpUcb {
+            gp: GpPosterior::new(prior, noise_var),
+            costs: Some(costs),
+            beta,
+            t: 0,
+        }
+    }
+
+    /// Whether the policy divides the exploration bonus by the arm cost.
+    #[inline]
+    pub fn is_cost_aware(&self) -> bool {
+        self.costs.is_some()
+    }
+
+    /// The underlying GP posterior.
+    #[inline]
+    pub fn posterior(&self) -> &GpPosterior {
+        &self.gp
+    }
+
+    /// Number of completed observations t.
+    #[inline]
+    pub fn steps(&self) -> usize {
+        self.t
+    }
+
+    /// β used by the *next* selection (evaluated at t + 1).
+    #[inline]
+    pub fn beta_next(&self) -> f64 {
+        self.beta.at(self.t + 1)
+    }
+
+    /// The β schedule itself.
+    #[inline]
+    pub fn beta_schedule(&self) -> BetaSchedule {
+        self.beta
+    }
+
+    /// Cost of playing `arm` (1.0 when cost-oblivious).
+    #[inline]
+    pub fn cost(&self, arm: usize) -> f64 {
+        self.costs.as_ref().map_or(1.0, |c| c[arm])
+    }
+
+    /// Upper confidence bound `B_t(k) = μ(k) + √(β/c_k) σ(k)` of `arm` for
+    /// the next selection.
+    pub fn ucb(&self, arm: usize) -> f64 {
+        let beta = self.beta_next();
+        self.gp.mean(arm) + (beta / self.cost(arm)).sqrt() * self.gp.std(arm)
+    }
+
+    /// Upper confidence bounds of all arms for the next selection.
+    pub fn ucbs(&self) -> Vec<f64> {
+        (0..self.gp.num_arms()).map(|k| self.ucb(k)).collect()
+    }
+
+    /// Exploration width `√(β/c_k) σ(k)` of `arm` — the UCB minus the mean.
+    pub fn exploration_width(&self, arm: usize) -> f64 {
+        (self.beta_next() / self.cost(arm)).sqrt() * self.gp.std(arm)
+    }
+
+    /// Chooses the next arm: argmax of the UCB, ties toward the lower index.
+    pub fn select_arm(&self) -> usize {
+        vec_ops::argmax(&self.ucbs()).expect("policy has at least one arm")
+    }
+
+    /// Incorporates an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range arms or non-finite rewards (propagated from
+    /// the posterior).
+    pub fn observe(&mut self, arm: usize, reward: f64) {
+        self.gp.observe(arm, reward);
+        self.t += 1;
+    }
+
+    /// Best observed `(arm, reward)` so far.
+    pub fn best_observed(&self) -> Option<(usize, f64)> {
+        self.gp.best_observed()
+    }
+}
+
+impl ArmPolicy for GpUcb {
+    fn num_arms(&self) -> usize {
+        self.gp.num_arms()
+    }
+
+    fn select(&mut self, _rng: &mut dyn rand::RngCore) -> usize {
+        self.select_arm()
+    }
+
+    fn observe(&mut self, arm: usize, reward: f64) {
+        GpUcb::observe(self, arm, reward);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easeml_linalg::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn simple_beta(k: usize) -> BetaSchedule {
+        BetaSchedule::Simple {
+            num_arms: k,
+            delta: 0.1,
+        }
+    }
+
+    #[test]
+    fn first_selection_prefers_highest_prior_ucb() {
+        // Arm 1 has larger prior variance, so with equal means it wins.
+        let gram = Matrix::from_diag(&[0.5, 2.0]);
+        let ucb = GpUcb::cost_oblivious(ArmPrior::from_gram(gram), 0.01, simple_beta(2));
+        assert_eq!(ucb.select_arm(), 1);
+    }
+
+    #[test]
+    fn exploitation_wins_after_strong_observation() {
+        let mut ucb =
+            GpUcb::cost_oblivious(ArmPrior::independent(2, 0.05), 0.001, simple_beta(2));
+        // Arm 0 yields a reward far above what exploration of arm 1 can
+        // promise under a small prior variance.
+        ucb.observe(0, 5.0);
+        assert_eq!(ucb.select_arm(), 0);
+    }
+
+    #[test]
+    fn unexplored_arm_is_eventually_tried() {
+        let mut ucb = GpUcb::cost_oblivious(ArmPrior::independent(3, 1.0), 0.01, simple_beta(3));
+        let mut seen = [false; 3];
+        for _ in 0..10 {
+            let a = ucb.select_arm();
+            seen[a] = true;
+            ucb.observe(a, 0.1);
+        }
+        assert!(seen.iter().all(|&s| s), "all arms explored: {seen:?}");
+    }
+
+    #[test]
+    fn cost_aware_penalizes_expensive_arm() {
+        // Identical arms except cost: the cheap one must be picked first.
+        let prior = ArmPrior::independent(2, 1.0);
+        let ucb = GpUcb::cost_aware(prior, 0.01, simple_beta(2), vec![100.0, 1.0]);
+        assert_eq!(ucb.select_arm(), 1);
+        assert!(ucb.is_cost_aware());
+        assert_eq!(ucb.cost(0), 100.0);
+    }
+
+    #[test]
+    fn expensive_arm_with_huge_potential_still_wins() {
+        // Arm 0 is expensive but has a much larger prior variance (and so a
+        // larger potential reward): worth a bet, as §3.2 argues.
+        let gram = Matrix::from_diag(&[400.0, 0.01]);
+        let ucb = GpUcb::cost_aware(
+            ArmPrior::from_gram(gram),
+            0.01,
+            simple_beta(2),
+            vec![4.0, 1.0],
+        );
+        assert_eq!(ucb.select_arm(), 0);
+    }
+
+    #[test]
+    fn ucb_decomposes_into_mean_plus_width() {
+        let mut ucb =
+            GpUcb::cost_aware(ArmPrior::independent(2, 1.0), 0.01, simple_beta(2), vec![2.0, 1.0]);
+        ucb.observe(0, 0.5);
+        for k in 0..2 {
+            let expected = ucb.posterior().mean(k) + ucb.exploration_width(k);
+            assert!((ucb.ucb(k) - expected).abs() < 1e-12);
+        }
+        assert_eq!(ucb.ucbs().len(), 2);
+    }
+
+    #[test]
+    fn beta_advances_with_observations() {
+        let mut ucb = GpUcb::cost_oblivious(ArmPrior::independent(2, 1.0), 0.01, simple_beta(2));
+        let b1 = ucb.beta_next();
+        ucb.observe(0, 0.1);
+        let b2 = ucb.beta_next();
+        assert!(b2 > b1);
+        assert_eq!(ucb.steps(), 1);
+        assert_eq!(ucb.beta_schedule(), simple_beta(2));
+    }
+
+    #[test]
+    fn cost_oblivious_cost_is_unit() {
+        let ucb = GpUcb::cost_oblivious(ArmPrior::independent(2, 1.0), 0.01, simple_beta(2));
+        assert_eq!(ucb.cost(0), 1.0);
+        assert!(!ucb.is_cost_aware());
+    }
+
+    #[test]
+    #[should_panic(expected = "one cost per arm")]
+    fn mismatched_costs_panic() {
+        let _ = GpUcb::cost_aware(
+            ArmPrior::independent(2, 1.0),
+            0.01,
+            simple_beta(2),
+            vec![1.0],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn zero_cost_panics() {
+        let _ = GpUcb::cost_aware(
+            ArmPrior::independent(2, 1.0),
+            0.01,
+            simple_beta(2),
+            vec![1.0, 0.0],
+        );
+    }
+
+    #[test]
+    fn arm_policy_trait_roundtrip() {
+        let mut ucb = GpUcb::cost_oblivious(ArmPrior::independent(2, 1.0), 0.01, simple_beta(2));
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = ArmPolicy::select(&mut ucb, &mut rng);
+        ArmPolicy::observe(&mut ucb, a, 0.3);
+        assert_eq!(ArmPolicy::num_arms(&ucb), 2);
+        assert_eq!(ucb.best_observed(), Some((a, 0.3)));
+    }
+
+    #[test]
+    fn correlated_prior_focuses_search() {
+        // With strong correlation, observing a bad arm should depress the
+        // UCB of its correlated neighbour relative to an independent arm.
+        let gram = Matrix::from_rows(&[
+            &[1.0, 0.95, 0.0],
+            &[0.95, 1.0, 0.0],
+            &[0.0, 0.0, 1.0],
+        ]);
+        let mut ucb = GpUcb::cost_oblivious(ArmPrior::from_gram(gram), 0.01, simple_beta(3));
+        ucb.observe(0, -2.0);
+        assert!(ucb.ucb(1) < ucb.ucb(2));
+        assert_eq!(ucb.select_arm(), 2);
+    }
+}

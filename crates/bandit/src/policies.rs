@@ -1,0 +1,485 @@
+//! Heuristic and Bayesian single-tenant policies beyond GP-UCB.
+//!
+//! * [`FixedOrder`] models the heuristics ease.ml's users relied on before
+//!   the system existed (§5.2): train the most-cited network first, or the
+//!   most recently published one, in a fixed order.
+//! * [`ExpectedImprovement`] and [`ProbabilityOfImprovement`] are the GP-EI
+//!   and GP-PI acquisition functions the paper lists as open extensions in
+//!   §4.5 — implemented here for the acquisition-ablation bench.
+//! * [`ThompsonSampling`], [`EpsilonGreedy`], and [`RandomArm`] round out
+//!   the baseline set.
+
+use crate::stats::{normal_cdf, normal_pdf, sample_normal};
+use crate::{random_arm, ArmPolicy};
+use easeml_gp::{ArmPrior, GpPosterior};
+use easeml_linalg::vec_ops;
+use rand::Rng;
+
+/// Plays arms in a fixed, user-specified order (each exactly once), then
+/// repeats the best arm found. Models the MOSTCITED / MOSTRECENT heuristics.
+#[derive(Debug, Clone)]
+pub struct FixedOrder {
+    order: Vec<usize>,
+    tried: Vec<bool>,
+    best: Option<(usize, f64)>,
+}
+
+impl FixedOrder {
+    /// Creates the policy from an ordering of all arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is empty or is not a permutation of `0..order.len()`.
+    pub fn new(order: Vec<usize>) -> Self {
+        assert!(!order.is_empty(), "order must be non-empty");
+        let mut check = order.clone();
+        check.sort_unstable();
+        assert!(
+            check.iter().enumerate().all(|(i, &v)| i == v),
+            "order must be a permutation of 0..K"
+        );
+        let tried = vec![false; order.len()];
+        FixedOrder {
+            order,
+            tried,
+            best: None,
+        }
+    }
+
+    /// How many arms remain untried. Arms observed out of order (e.g.
+    /// during a warm-up pass) also count as tried — the heuristic user
+    /// would not retrain a model she already has numbers for.
+    pub fn remaining(&self) -> usize {
+        self.tried.iter().filter(|&&t| !t).count()
+    }
+
+    /// Whether every arm has been tried.
+    pub fn exhausted(&self) -> bool {
+        self.tried.iter().all(|&t| t)
+    }
+}
+
+impl ArmPolicy for FixedOrder {
+    fn num_arms(&self) -> usize {
+        self.order.len()
+    }
+
+    fn select(&mut self, _rng: &mut dyn rand::RngCore) -> usize {
+        match self.order.iter().copied().find(|&a| !self.tried[a]) {
+            Some(a) => a,
+            None => self.best.expect("exhausted policy has observations").0,
+        }
+    }
+
+    fn observe(&mut self, arm: usize, reward: f64) {
+        assert!(reward.is_finite(), "reward must be finite");
+        assert!(arm < self.tried.len(), "arm index out of range");
+        self.tried[arm] = true;
+        if self.best.is_none_or(|(_, b)| reward > b) {
+            self.best = Some((arm, reward));
+        }
+    }
+}
+
+/// Uniformly random arm selection — the weakest baseline.
+#[derive(Debug, Clone)]
+pub struct RandomArm {
+    num_arms: usize,
+}
+
+impl RandomArm {
+    /// Creates the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_arms == 0`.
+    pub fn new(num_arms: usize) -> Self {
+        assert!(num_arms > 0, "need at least one arm");
+        RandomArm { num_arms }
+    }
+}
+
+impl ArmPolicy for RandomArm {
+    fn num_arms(&self) -> usize {
+        self.num_arms
+    }
+
+    fn select(&mut self, rng: &mut dyn rand::RngCore) -> usize {
+        random_arm(self.num_arms, rng)
+    }
+
+    fn observe(&mut self, _arm: usize, _reward: f64) {}
+}
+
+/// ε-greedy over empirical means: with probability ε explore uniformly,
+/// otherwise exploit the best empirical mean (unpulled arms first).
+#[derive(Debug, Clone)]
+pub struct EpsilonGreedy {
+    epsilon: f64,
+    sums: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl EpsilonGreedy {
+    /// Creates the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_arms == 0` or ε ∉ [0, 1].
+    pub fn new(num_arms: usize, epsilon: f64) -> Self {
+        assert!(num_arms > 0, "need at least one arm");
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1]");
+        EpsilonGreedy {
+            epsilon,
+            sums: vec![0.0; num_arms],
+            counts: vec![0; num_arms],
+        }
+    }
+}
+
+impl ArmPolicy for EpsilonGreedy {
+    fn num_arms(&self) -> usize {
+        self.sums.len()
+    }
+
+    fn select(&mut self, rng: &mut dyn rand::RngCore) -> usize {
+        if let Some(unpulled) = self.counts.iter().position(|&c| c == 0) {
+            return unpulled;
+        }
+        if rng.gen::<f64>() < self.epsilon {
+            return random_arm(self.sums.len(), rng);
+        }
+        let means: Vec<f64> = (0..self.sums.len())
+            .map(|k| self.sums[k] / self.counts[k] as f64)
+            .collect();
+        vec_ops::argmax(&means).expect("at least one arm")
+    }
+
+    fn observe(&mut self, arm: usize, reward: f64) {
+        assert!(reward.is_finite(), "reward must be finite");
+        self.sums[arm] += reward;
+        self.counts[arm] += 1;
+    }
+}
+
+/// Thompson sampling over the GP posterior marginals: sample
+/// `θ_k ~ N(μ(k), σ²(k))` and play the argmax.
+#[derive(Debug, Clone)]
+pub struct ThompsonSampling {
+    gp: GpPosterior,
+}
+
+impl ThompsonSampling {
+    /// Creates the policy.
+    pub fn new(prior: ArmPrior, noise_var: f64) -> Self {
+        ThompsonSampling {
+            gp: GpPosterior::new(prior, noise_var),
+        }
+    }
+
+    /// The underlying posterior.
+    pub fn posterior(&self) -> &GpPosterior {
+        &self.gp
+    }
+}
+
+impl ArmPolicy for ThompsonSampling {
+    fn num_arms(&self) -> usize {
+        self.gp.num_arms()
+    }
+
+    fn select(&mut self, rng: &mut dyn rand::RngCore) -> usize {
+        let draws: Vec<f64> = (0..self.gp.num_arms())
+            .map(|k| sample_normal(self.gp.mean(k), self.gp.std(k), rng))
+            .collect();
+        vec_ops::argmax(&draws).expect("at least one arm")
+    }
+
+    fn observe(&mut self, arm: usize, reward: f64) {
+        self.gp.observe(arm, reward);
+    }
+}
+
+/// GP-EI: plays the arm maximizing the expected improvement over the best
+/// observed reward, `EI(k) = (μ−y⁺−ξ)Φ(z) + σφ(z)` with
+/// `z = (μ−y⁺−ξ)/σ`.
+#[derive(Debug, Clone)]
+pub struct ExpectedImprovement {
+    gp: GpPosterior,
+    /// Exploration margin ξ ≥ 0.
+    xi: f64,
+}
+
+impl ExpectedImprovement {
+    /// Creates the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xi < 0`.
+    pub fn new(prior: ArmPrior, noise_var: f64, xi: f64) -> Self {
+        assert!(xi >= 0.0, "xi must be non-negative");
+        ExpectedImprovement {
+            gp: GpPosterior::new(prior, noise_var),
+            xi,
+        }
+    }
+
+    /// The EI acquisition value of `arm` given the incumbent `best`.
+    pub fn acquisition(&self, arm: usize, best: f64) -> f64 {
+        let mu = self.gp.mean(arm);
+        let sigma = self.gp.std(arm);
+        let delta = mu - best - self.xi;
+        if sigma < 1e-12 {
+            return delta.max(0.0);
+        }
+        let z = delta / sigma;
+        delta * normal_cdf(z) + sigma * normal_pdf(z)
+    }
+
+    /// The underlying posterior.
+    pub fn posterior(&self) -> &GpPosterior {
+        &self.gp
+    }
+}
+
+impl ArmPolicy for ExpectedImprovement {
+    fn num_arms(&self) -> usize {
+        self.gp.num_arms()
+    }
+
+    fn select(&mut self, _rng: &mut dyn rand::RngCore) -> usize {
+        let best = self.gp.best_observed().map_or(f64::NEG_INFINITY, |(_, y)| y);
+        if best == f64::NEG_INFINITY {
+            // No incumbent yet: explore the most uncertain arm.
+            return vec_ops::argmax(self.gp.vars()).expect("at least one arm");
+        }
+        let acq: Vec<f64> = (0..self.gp.num_arms())
+            .map(|k| self.acquisition(k, best))
+            .collect();
+        vec_ops::argmax(&acq).expect("at least one arm")
+    }
+
+    fn observe(&mut self, arm: usize, reward: f64) {
+        self.gp.observe(arm, reward);
+    }
+}
+
+/// GP-PI: plays the arm maximizing the probability of improving on the best
+/// observed reward, `PI(k) = Φ((μ−y⁺−ξ)/σ)`.
+#[derive(Debug, Clone)]
+pub struct ProbabilityOfImprovement {
+    gp: GpPosterior,
+    /// Exploration margin ξ ≥ 0.
+    xi: f64,
+}
+
+impl ProbabilityOfImprovement {
+    /// Creates the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xi < 0`.
+    pub fn new(prior: ArmPrior, noise_var: f64, xi: f64) -> Self {
+        assert!(xi >= 0.0, "xi must be non-negative");
+        ProbabilityOfImprovement {
+            gp: GpPosterior::new(prior, noise_var),
+            xi,
+        }
+    }
+
+    /// The PI acquisition value of `arm` given the incumbent `best`.
+    pub fn acquisition(&self, arm: usize, best: f64) -> f64 {
+        let sigma = self.gp.std(arm);
+        let delta = self.gp.mean(arm) - best - self.xi;
+        if sigma < 1e-12 {
+            return if delta > 0.0 { 1.0 } else { 0.0 };
+        }
+        normal_cdf(delta / sigma)
+    }
+
+    /// The underlying posterior.
+    pub fn posterior(&self) -> &GpPosterior {
+        &self.gp
+    }
+}
+
+impl ArmPolicy for ProbabilityOfImprovement {
+    fn num_arms(&self) -> usize {
+        self.gp.num_arms()
+    }
+
+    fn select(&mut self, _rng: &mut dyn rand::RngCore) -> usize {
+        let best = self.gp.best_observed().map_or(f64::NEG_INFINITY, |(_, y)| y);
+        if best == f64::NEG_INFINITY {
+            return vec_ops::argmax(self.gp.vars()).expect("at least one arm");
+        }
+        let acq: Vec<f64> = (0..self.gp.num_arms())
+            .map(|k| self.acquisition(k, best))
+            .collect();
+        vec_ops::argmax(&acq).expect("at least one arm")
+    }
+
+    fn observe(&mut self, arm: usize, reward: f64) {
+        self.gp.observe(arm, reward);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn fixed_order_sweeps_then_repeats_best() {
+        let mut p = FixedOrder::new(vec![2, 0, 1]);
+        let mut r = rng();
+        assert_eq!(p.remaining(), 3);
+        assert_eq!(p.select(&mut r), 2);
+        p.observe(2, 0.5);
+        assert_eq!(p.select(&mut r), 0);
+        p.observe(0, 0.9);
+        assert_eq!(p.select(&mut r), 1);
+        p.observe(1, 0.2);
+        assert!(p.exhausted());
+        // Best was arm 0.
+        assert_eq!(p.select(&mut r), 0);
+        assert_eq!(p.select(&mut r), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn fixed_order_rejects_non_permutation() {
+        let _ = FixedOrder::new(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn random_arm_covers_the_range() {
+        let mut p = RandomArm::new(5);
+        let mut r = rng();
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[p.select(&mut r)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(p.num_arms(), 5);
+    }
+
+    #[test]
+    fn epsilon_greedy_exploits_with_epsilon_zero() {
+        let mut p = EpsilonGreedy::new(3, 0.0);
+        let mut r = rng();
+        // Initial sweep.
+        for _ in 0..3 {
+            let a = p.select(&mut r);
+            p.observe(a, if a == 1 { 1.0 } else { 0.0 });
+        }
+        for _ in 0..20 {
+            let a = p.select(&mut r);
+            assert_eq!(a, 1);
+            p.observe(a, 1.0);
+        }
+    }
+
+    #[test]
+    fn epsilon_greedy_explores_with_epsilon_one() {
+        let mut p = EpsilonGreedy::new(3, 1.0);
+        let mut r = rng();
+        for _ in 0..3 {
+            let a = p.select(&mut r);
+            p.observe(a, 0.0);
+        }
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            let a = p.select(&mut r);
+            seen[a] = true;
+            p.observe(a, 0.0);
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn thompson_finds_the_best_arm() {
+        let mut p = ThompsonSampling::new(ArmPrior::independent(3, 1.0), 0.01);
+        let mut r = rng();
+        let means = [0.1, 0.9, 0.3];
+        let mut best_pulls = 0;
+        for i in 0..300 {
+            let a = p.select(&mut r);
+            p.observe(a, means[a]);
+            if i >= 150 && a == 1 {
+                best_pulls += 1;
+            }
+        }
+        assert!(best_pulls > 120, "best arm pulled {best_pulls}/150 late");
+        assert_eq!(p.posterior().num_arms(), 3);
+    }
+
+    #[test]
+    fn ei_prefers_uncertain_arm_before_any_incumbent() {
+        use easeml_linalg::Matrix;
+        let gram = Matrix::from_diag(&[0.1, 3.0]);
+        let mut p = ExpectedImprovement::new(ArmPrior::from_gram(gram), 0.01, 0.0);
+        let mut r = rng();
+        assert_eq!(p.select(&mut r), 1);
+    }
+
+    #[test]
+    fn ei_acquisition_is_nonnegative_and_zero_when_hopeless() {
+        let mut p = ExpectedImprovement::new(ArmPrior::independent(2, 1.0), 0.001, 0.0);
+        p.observe(0, 5.0);
+        // Arm 0's posterior is tight around 5; improving on 10 is hopeless.
+        let a0 = p.acquisition(0, 10.0);
+        assert!((0.0..1e-3).contains(&a0));
+        // Improving on −10 is nearly certain and large.
+        assert!(p.acquisition(0, -10.0) > 10.0);
+    }
+
+    #[test]
+    fn pi_acquisition_is_a_probability() {
+        let mut p = ProbabilityOfImprovement::new(ArmPrior::independent(2, 1.0), 0.001, 0.0);
+        p.observe(0, 0.5);
+        for best in [-1.0, 0.0, 0.5, 1.0] {
+            for k in 0..2 {
+                let v = p.acquisition(k, best);
+                assert!((0.0..=1.0).contains(&v), "PI({k}, {best}) = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn ei_and_pi_converge_to_the_best_arm() {
+        let means = [0.2, 0.5, 0.95];
+        for use_ei in [true, false] {
+            let prior = ArmPrior::independent(3, 1.0);
+            let mut late_best = 0;
+            let mut r = rng();
+            let mut ei = ExpectedImprovement::new(prior.clone(), 0.01, 0.01);
+            let mut pi = ProbabilityOfImprovement::new(prior, 0.01, 0.01);
+            for i in 0..120 {
+                let a = if use_ei {
+                    ei.select(&mut r)
+                } else {
+                    pi.select(&mut r)
+                };
+                let reward = means[a];
+                if use_ei {
+                    ei.observe(a, reward);
+                } else {
+                    pi.observe(a, reward);
+                }
+                if i >= 60 && a == 2 {
+                    late_best += 1;
+                }
+            }
+            assert!(
+                late_best > 40,
+                "acquisition (ei={use_ei}) picked best arm {late_best}/60 late rounds"
+            );
+        }
+    }
+}

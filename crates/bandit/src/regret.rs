@@ -1,0 +1,203 @@
+//! Single-tenant regret accounting (§3's definitions).
+
+use easeml_linalg::vec_ops;
+
+/// Tracks the regret quantities of §3 for a single tenant whose arms have
+/// known true mean qualities (available in simulation):
+///
+/// * instantaneous regret `r_t = μ* − μ_{a_t}`;
+/// * cumulative regret `R_T = Σ r_t`;
+/// * cost-aware cumulative regret `R̃_T = Σ c_{a_t} r_t` (Theorem 1);
+/// * the "ease.ml regret" ingredient: accuracy loss
+///   `l_T = μ* − max_{t≤T} y_t`, the gap between the best possible quality
+///   and the best model trained so far (Appendix A, eqs. 2–3).
+///
+/// # Examples
+///
+/// ```
+/// use easeml_bandit::RegretTracker;
+///
+/// let mut t = RegretTracker::with_costs(vec![0.6, 0.9], vec![1.0, 5.0]);
+/// t.record(0, 0.6);                 // regret 0.3 at cost 1
+/// assert!((t.cost_weighted() - 0.3).abs() < 1e-12);
+/// t.record(1, 0.9);                 // the best arm: regret 0
+/// assert_eq!(t.accuracy_loss(), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegretTracker {
+    true_means: Vec<f64>,
+    costs: Vec<f64>,
+    mu_star: f64,
+    cumulative: f64,
+    cost_weighted: f64,
+    total_cost: f64,
+    best_reward: f64,
+    steps: usize,
+}
+
+impl RegretTracker {
+    /// Creates a tracker from true arm means; costs default to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `true_means` is empty.
+    pub fn new(true_means: Vec<f64>) -> Self {
+        let costs = vec![1.0; true_means.len()];
+        Self::with_costs(true_means, costs)
+    }
+
+    /// Creates a tracker with explicit per-arm costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs are empty, differ in length, or contain a
+    /// non-positive cost.
+    pub fn with_costs(true_means: Vec<f64>, costs: Vec<f64>) -> Self {
+        assert!(!true_means.is_empty(), "need at least one arm");
+        assert_eq!(true_means.len(), costs.len(), "one cost per arm");
+        assert!(costs.iter().all(|&c| c > 0.0), "costs must be positive");
+        let mu_star = vec_ops::max(&true_means).expect("non-empty");
+        RegretTracker {
+            true_means,
+            costs,
+            mu_star,
+            cumulative: 0.0,
+            cost_weighted: 0.0,
+            total_cost: 0.0,
+            best_reward: f64::NEG_INFINITY,
+            steps: 0,
+        }
+    }
+
+    /// Best achievable mean quality μ*.
+    #[inline]
+    pub fn mu_star(&self) -> f64 {
+        self.mu_star
+    }
+
+    /// Records the play of `arm` with observed reward `reward` and returns
+    /// the instantaneous regret of the play.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    pub fn record(&mut self, arm: usize, reward: f64) -> f64 {
+        assert!(arm < self.true_means.len(), "arm index out of range");
+        let r = self.mu_star - self.true_means[arm];
+        self.cumulative += r;
+        self.cost_weighted += self.costs[arm] * r;
+        self.total_cost += self.costs[arm];
+        if reward > self.best_reward {
+            self.best_reward = reward;
+        }
+        self.steps += 1;
+        r
+    }
+
+    /// Cumulative regret `R_T`.
+    #[inline]
+    pub fn cumulative(&self) -> f64 {
+        self.cumulative
+    }
+
+    /// Cost-weighted cumulative regret `R̃_T` (Theorem 1).
+    #[inline]
+    pub fn cost_weighted(&self) -> f64 {
+        self.cost_weighted
+    }
+
+    /// Total cost spent `Σ c_{a_t}`.
+    #[inline]
+    pub fn total_cost(&self) -> f64 {
+        self.total_cost
+    }
+
+    /// Number of plays T.
+    #[inline]
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Average regret `R_T / T`, the quantity that must vanish for a
+    /// regret-free policy. Zero before the first play.
+    pub fn average(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.cumulative / self.steps as f64
+        }
+    }
+
+    /// Accuracy loss `μ* − best reward so far`; `μ*` before the first play.
+    pub fn accuracy_loss(&self) -> f64 {
+        if self.best_reward == f64::NEG_INFINITY {
+            self.mu_star
+        } else {
+            (self.mu_star - self.best_reward).max(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regret_accumulates_against_the_best_arm() {
+        let mut t = RegretTracker::new(vec![0.5, 1.0, 0.8]);
+        assert_eq!(t.mu_star(), 1.0);
+        assert_eq!(t.record(0, 0.5), 0.5);
+        assert!((t.record(2, 0.8) - 0.2).abs() < 1e-12);
+        assert!((t.cumulative() - 0.7).abs() < 1e-12);
+        assert_eq!(t.record(1, 1.0), 0.0);
+        assert!((t.cumulative() - 0.7).abs() < 1e-12);
+        assert_eq!(t.steps(), 3);
+        assert!((t.average() - 0.7 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_weighted_regret_matches_theorem_1_definition() {
+        let mut t = RegretTracker::with_costs(vec![0.0, 1.0], vec![3.0, 1.0]);
+        t.record(0, 0.0); // regret 1, cost 3 → contributes 3
+        t.record(1, 1.0); // regret 0
+        assert!((t.cost_weighted() - 3.0).abs() < 1e-12);
+        assert!((t.total_cost() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_loss_tracks_best_so_far() {
+        let mut t = RegretTracker::new(vec![0.3, 0.9]);
+        assert_eq!(t.accuracy_loss(), 0.9);
+        t.record(0, 0.3);
+        assert!((t.accuracy_loss() - 0.6).abs() < 1e-12);
+        t.record(1, 0.9);
+        assert_eq!(t.accuracy_loss(), 0.0);
+        // Accuracy loss never goes back up.
+        t.record(0, 0.3);
+        assert_eq!(t.accuracy_loss(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_loss_is_bounded_by_average_regret_times_steps() {
+        // l_T ≤ r_t for the best play, so l_T ≤ R_T always once ≥ 1 play
+        // with deterministic rewards equal to means.
+        let mut t = RegretTracker::new(vec![0.2, 0.7, 0.5]);
+        for &a in &[0usize, 2, 0, 1] {
+            let means = [0.2, 0.7, 0.5];
+            t.record(a, means[a]);
+            assert!(t.accuracy_loss() <= t.cumulative() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn average_is_zero_before_any_play() {
+        let t = RegretTracker::new(vec![1.0]);
+        assert_eq!(t.average(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_cost_rejected() {
+        let _ = RegretTracker::with_costs(vec![1.0], vec![0.0]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Scalar Gaussian utilities: density, CDF, and sampling.
+//!
+//! Implemented locally (Box–Muller + an Abramowitz–Stegun erf) instead of
+//! pulling `rand_distr`/`statrs`, keeping the dependency set to the
+//! workspace-approved crates.
+
+use rand::Rng;
+use std::f64::consts::{PI, SQRT_2};
+
+/// Standard normal probability density φ(z).
+#[inline]
+pub fn normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * PI).sqrt()
+}
+
+/// Error function via the Abramowitz–Stegun 7.1.26 rational approximation
+/// (absolute error < 1.5e-7, ample for acquisition functions).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal cumulative distribution Φ(z).
+#[inline]
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / SQRT_2))
+}
+
+/// Draws one standard-normal sample via Box–Muller.
+pub fn sample_standard_normal(rng: &mut dyn rand::RngCore) -> f64 {
+    // Avoid u1 = 0 exactly (log of zero).
+    let u1: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos()
+}
+
+/// Draws one `N(mean, std²)` sample.
+#[inline]
+pub fn sample_normal(mean: f64, std: f64, rng: &mut dyn rand::RngCore) -> f64 {
+    mean + std * sample_standard_normal(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pdf_is_symmetric_and_peaks_at_zero() {
+        assert!((normal_pdf(0.0) - 0.3989422804014327).abs() < 1e-12);
+        assert!((normal_pdf(1.3) - normal_pdf(-1.3)).abs() < 1e-15);
+        assert!(normal_pdf(0.0) > normal_pdf(0.5));
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert!(erf(0.0).abs() < 1e-7); // approximation error at 0 is tiny
+        assert!((erf(1.0) - 0.8427007929).abs() < 2e-7);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 2e-7);
+        assert!((erf(3.0) - 0.9999779095).abs() < 2e-7);
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(8.0) > 0.999999);
+        assert!(normal_cdf(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut prev = 0.0;
+        let mut z = -5.0;
+        while z <= 5.0 {
+            let c = normal_cdf(z);
+            assert!(c >= prev - 1e-12);
+            prev = c;
+            z += 0.1;
+        }
+    }
+
+    #[test]
+    fn samples_have_plausible_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "sample mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "sample variance {var}");
+    }
+
+    #[test]
+    fn shifted_samples() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 10_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_normal(3.0, 0.5, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.03);
+    }
+}

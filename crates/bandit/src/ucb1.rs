@@ -1,0 +1,161 @@
+//! The classic distribution-free UCB1 policy.
+//!
+//! §3.1 of the paper contrasts GP-UCB against the classical UCB bound
+//! `R_T ≤ C·K log T`: UCB1 must pull every arm at least once before its
+//! average regret can converge, whereas GP-UCB shares information across
+//! arms through the kernel. UCB1 is implemented here as a baseline for the
+//! ablation benches.
+
+use crate::ArmPolicy;
+
+/// UCB1 (Auer et al.): play each arm once, then
+/// `argmax_k  x̄_k + √(2 ln t / n_k)`.
+#[derive(Debug, Clone)]
+pub struct Ucb1 {
+    sums: Vec<f64>,
+    counts: Vec<u64>,
+    t: u64,
+}
+
+impl Ucb1 {
+    /// Creates the policy for `num_arms` arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_arms == 0`.
+    pub fn new(num_arms: usize) -> Self {
+        assert!(num_arms > 0, "UCB1 needs at least one arm");
+        Ucb1 {
+            sums: vec![0.0; num_arms],
+            counts: vec![0; num_arms],
+            t: 0,
+        }
+    }
+
+    /// Number of completed observations.
+    #[inline]
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Empirical mean of `arm`, or 0 before its first pull.
+    pub fn empirical_mean(&self, arm: usize) -> f64 {
+        if self.counts[arm] == 0 {
+            0.0
+        } else {
+            self.sums[arm] / self.counts[arm] as f64
+        }
+    }
+
+    /// Number of pulls of `arm`.
+    #[inline]
+    pub fn pulls(&self, arm: usize) -> u64 {
+        self.counts[arm]
+    }
+
+    /// The UCB1 index of `arm`; infinite for unpulled arms.
+    pub fn index(&self, arm: usize) -> f64 {
+        if self.counts[arm] == 0 {
+            return f64::INFINITY;
+        }
+        let bonus = (2.0 * (self.t.max(1) as f64).ln() / self.counts[arm] as f64).sqrt();
+        self.empirical_mean(arm) + bonus
+    }
+
+    /// Chooses the next arm (unpulled arms first, then max index).
+    pub fn select_arm(&self) -> usize {
+        let indices: Vec<f64> = (0..self.sums.len()).map(|k| self.index(k)).collect();
+        // argmax with infinity handling: first unpulled arm wins.
+        if let Some(first_unpulled) = self.counts.iter().position(|&c| c == 0) {
+            return first_unpulled;
+        }
+        easeml_linalg::vec_ops::argmax(&indices).expect("at least one arm")
+    }
+}
+
+impl ArmPolicy for Ucb1 {
+    fn num_arms(&self) -> usize {
+        self.sums.len()
+    }
+
+    fn select(&mut self, _rng: &mut dyn rand::RngCore) -> usize {
+        self.select_arm()
+    }
+
+    fn observe(&mut self, arm: usize, reward: f64) {
+        assert!(arm < self.sums.len(), "arm index out of range");
+        assert!(reward.is_finite(), "reward must be finite");
+        self.sums[arm] += reward;
+        self.counts[arm] += 1;
+        self.t += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn plays_every_arm_once_first() {
+        let mut ucb = Ucb1::new(4);
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            let a = ucb.select_arm();
+            seen.push(a);
+            ArmPolicy::observe(&mut ucb, a, 0.0);
+        }
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn exploits_the_best_arm_asymptotically() {
+        let mut ucb = Ucb1::new(3);
+        let means = [0.2, 0.8, 0.5];
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut best_pulls = 0u64;
+        for _ in 0..2000 {
+            let a = ucb.select_arm();
+            // Bernoulli reward.
+            let r = if rng.gen::<f64>() < means[a] { 1.0 } else { 0.0 };
+            ArmPolicy::observe(&mut ucb, a, r);
+            if a == 1 {
+                best_pulls += 1;
+            }
+        }
+        assert!(
+            best_pulls > 1400,
+            "best arm pulled only {best_pulls}/2000 times"
+        );
+        assert!((ucb.empirical_mean(1) - 0.8).abs() < 0.1);
+    }
+
+    #[test]
+    fn index_is_infinite_before_first_pull() {
+        let ucb = Ucb1::new(2);
+        assert!(ucb.index(0).is_infinite());
+        assert_eq!(ucb.empirical_mean(0), 0.0);
+        assert_eq!(ucb.pulls(0), 0);
+        assert_eq!(ucb.steps(), 0);
+    }
+
+    #[test]
+    fn bonus_shrinks_with_pulls() {
+        let mut ucb = Ucb1::new(2);
+        for _ in 0..10 {
+            ArmPolicy::observe(&mut ucb, 0, 0.5);
+        }
+        ArmPolicy::observe(&mut ucb, 1, 0.5);
+        // Same empirical mean, but arm 1 has far fewer pulls ⇒ larger index.
+        assert!(ucb.index(1) > ucb.index(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one arm")]
+    fn zero_arms_panics() {
+        let _ = Ucb1::new(0);
+    }
+}

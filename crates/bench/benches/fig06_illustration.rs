@@ -1,0 +1,70 @@
+//! Figure 6(b): the qualitative difference between GREEDY and ROUNDROBIN.
+//!
+//! A workload with two user groups — half already near their optimum, half
+//! far from it — shows greedy putting its budget where the potential is,
+//! while round robin spends half its rounds on users who cannot improve.
+
+use easeml::prelude::*;
+use easeml_bench::{banner, seed};
+use easeml_data::Dataset;
+use easeml_gp::ArmPrior;
+use easeml_linalg::Matrix;
+use easeml_sched::PickRule;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Two-group workload: users 0–4 have nearly flat arms (little to gain),
+/// users 5–9 have one strong hidden arm (a lot to gain).
+fn two_group_dataset() -> Dataset {
+    let n = 10;
+    let k = 8;
+    let quality = Matrix::from_fn(n, k, |i, j| {
+        if i < 5 {
+            // Settled group: every model is ~0.88.
+            0.88 + 0.005 * ((i + j) % 3) as f64
+        } else {
+            // Open group: model (i mod k) is great, the rest mediocre.
+            if j == i % k {
+                0.95
+            } else {
+                0.55 + 0.01 * j as f64
+            }
+        }
+    });
+    Dataset::with_unit_costs("TWO-GROUP", quality)
+}
+
+fn main() {
+    banner("Figure 6(b)", "Illustration: GREEDY vs ROUNDROBIN accuracy loss");
+    let dataset = two_group_dataset();
+    let priors: Vec<ArmPrior> = (0..dataset.num_users())
+        .map(|_| ArmPrior::independent(dataset.num_models(), 0.04).with_mean(vec![0.7; 8]))
+        .collect();
+    let cfg = SimConfig {
+        budget: (dataset.num_users() * dataset.num_models()) as f64, // 100% of runs
+        cost_aware: false,
+        noise_var: 1e-4,
+        delta: 0.1,
+    };
+    let mut traces = Vec::new();
+    for kind in [
+        SchedulerKind::Greedy(PickRule::MaxUcbGap),
+        SchedulerKind::RoundRobin,
+    ] {
+        let mut rng = StdRng::seed_from_u64(seed());
+        traces.push((kind, simulate(&dataset, &priors, kind, &cfg, &mut rng)));
+    }
+    println!("{:>8} {:>14} {:>14}", "% runs", "greedy", "round-robin");
+    for pct in (0..=100).step_by(5) {
+        let f = pct as f64 / 100.0;
+        println!(
+            "{:>8} {:>14.4} {:>14.4}",
+            pct,
+            traces[0].1.loss_at(f * cfg.budget),
+            traces[1].1.loss_at(f * cfg.budget)
+        );
+    }
+    println!();
+    println!("expected shape: greedy's loss drops faster early because it");
+    println!("concentrates on the five users with remaining potential.");
+}

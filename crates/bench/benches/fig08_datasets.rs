@@ -1,0 +1,31 @@
+//! Figure 8: statistics of the six evaluation datasets.
+
+use easeml_bench::{banner, seed};
+use easeml_data::all_datasets;
+
+fn main() {
+    banner("Figure 8", "Statistics of Datasets");
+    println!(
+        "{:<16} {:>7} {:>8} {:>9} {:>9} {:>9} {:>10} {:>12}",
+        "Dataset", "#Users", "#Models", "minQ", "meanQ", "maxQ", "maxCost", "totalCost"
+    );
+    for d in all_datasets(seed()) {
+        let s = d.stats();
+        println!(
+            "{:<16} {:>7} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>10.3} {:>12.1}",
+            s.name,
+            s.users,
+            s.models,
+            s.min_quality,
+            s.mean_quality,
+            s.max_quality,
+            s.max_cost,
+            s.total_cost
+        );
+    }
+    println!();
+    println!("Quality/cost provenance (per the paper's Figure 8):");
+    println!("  DEEPLEARNING    quality: real-shaped surrogate   cost: real-shaped surrogate");
+    println!("  179CLASSIFIER   quality: real-shaped surrogate   cost: synthetic U(0,1)");
+    println!("  SYN(sM,a)       quality: synthetic               cost: synthetic");
+}

@@ -1,0 +1,33 @@
+//! Figure 10: the cost-oblivious multi-tenant case on all six datasets —
+//! ease.ml (HYBRID) vs ROUNDROBIN vs RANDOM, all using GP-UCB for model
+//! picking, budget 50% of all (user, model) runs, x-axis in % of runs.
+
+use easeml::prelude::*;
+use easeml_bench::{banner, emit, print_speedups, reps, run, seed};
+use easeml_data::DatasetKind;
+
+fn main() {
+    banner(
+        "Figure 10",
+        "Cost-oblivious multi-tenant model selection (50% of runs, all datasets)",
+    );
+    for kind in DatasetKind::ALL {
+        let dataset = kind.generate(seed());
+        println!("--- {} ---", dataset.name());
+        let cfg = ExperimentConfig {
+            test_users: 10,
+            repetitions: reps(),
+            budget: Budget::FractionOfRuns(0.5),
+            ..ExperimentConfig::default()
+        };
+        let results = vec![
+            run(&dataset, SchedulerKind::EaseMl, &cfg),
+            run(&dataset, SchedulerKind::RoundRobin, &cfg),
+            run(&dataset, SchedulerKind::Random, &cfg),
+        ];
+        emit(&format!("fig10_{}", dataset.name()), &results);
+        // The paper reports up to 1.9x in the cost-oblivious case.
+        let mid = results[0].mean_curve[results[0].mean_curve.len() / 2];
+        print_speedups(&results, 0, (mid * 1.2).max(1e-3), "mean");
+    }
+}

@@ -1,0 +1,34 @@
+//! Figure 11: the cost-aware multi-tenant case on all six datasets — the
+//! realistic scenario ease.ml is designed for. DEEPLEARNING uses its
+//! real-shaped costs; the other datasets use synthetic costs. The budget is
+//! a fraction of the total runtime of all (user, model) pairs and the
+//! x-axis is % of total cost.
+
+use easeml::prelude::*;
+use easeml_bench::{banner, emit, print_speedups, reps, run, seed};
+use easeml_data::DatasetKind;
+
+fn main() {
+    banner(
+        "Figure 11",
+        "Cost-aware multi-tenant model selection (25% of total cost, all datasets)",
+    );
+    for kind in DatasetKind::ALL {
+        let dataset = kind.generate(seed());
+        println!("--- {} ---", dataset.name());
+        let cfg = ExperimentConfig {
+            test_users: 10,
+            repetitions: reps(),
+            budget: Budget::FractionOfCost(0.25),
+            ..ExperimentConfig::default()
+        };
+        let results = vec![
+            run(&dataset, SchedulerKind::EaseMl, &cfg),
+            run(&dataset, SchedulerKind::RoundRobin, &cfg),
+            run(&dataset, SchedulerKind::Random, &cfg),
+        ];
+        emit(&format!("fig11_{}", dataset.name()), &results);
+        let mid = results[0].mean_curve[results[0].mean_curve.len() / 2];
+        print_speedups(&results, 0, (mid * 1.2).max(1e-3), "mean");
+    }
+}

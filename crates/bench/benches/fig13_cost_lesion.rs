@@ -1,0 +1,36 @@
+//! Figure 13 (lesion): the impact of cost-awareness on DEEPLEARNING.
+//!
+//! "ease.ml w/o cost" disables the cost-aware component (c_{i,j} = 1 inside
+//! GP-UCB) while still spending real execution costs — the paper shows the
+//! cost-aware version is significantly better because fast models exist
+//! whose quality is only slightly below the best slow model.
+
+use easeml::prelude::*;
+use easeml_bench::{banner, emit, print_speedups, reps, run, seed};
+
+fn main() {
+    banner(
+        "Figure 13",
+        "Lesion: ease.ml with vs without cost-awareness (DEEPLEARNING, 10% of total cost)",
+    );
+    let dataset = easeml_data::DatasetKind::DeepLearning.generate(seed());
+    let aware_cfg = ExperimentConfig {
+        test_users: 10,
+        repetitions: reps(),
+        budget: Budget::FractionOfCost(0.10),
+        ..ExperimentConfig::default()
+    };
+    let oblivious_cfg = ExperimentConfig {
+        cost_aware_override: Some(false),
+        ..aware_cfg.clone()
+    };
+    let aware = run(&dataset, SchedulerKind::EaseMl, &aware_cfg);
+    let mut oblivious = run(&dataset, SchedulerKind::EaseMl, &oblivious_cfg);
+    // Disambiguate in the printed table.
+    oblivious.dataset = format!("{} w/o cost", oblivious.dataset);
+    let results = vec![aware, oblivious];
+    emit("fig13", &results);
+    let target = easeml_bench::loss_at_pct(&results[0], 50.0, "mean");
+    println!("speedup of cost-aware ease.ml reaching its own 50%-budget loss:");
+    print_speedups(&results, 0, target, "mean");
+}

@@ -1,0 +1,41 @@
+//! Figure 14: the impact of the training-set size on the empirical kernel
+//! (cost-aware DEEPLEARNING).
+//!
+//! The kernel of the Gaussian process is computed from the models'
+//! performance on the *training* users; this lesion decreases the amount
+//! of training data available to the kernel (10% / 50% / 100%) and shows
+//! both the benefit of more data and the diminishing return between 50%
+//! and 100%.
+
+use easeml::prelude::*;
+use easeml_bench::{banner, emit, reps, run, seed};
+
+fn main() {
+    banner(
+        "Figure 14",
+        "Impact of training-set size on the empirical kernel (DEEPLEARNING, cost-aware)",
+    );
+    let dataset = easeml_data::DatasetKind::DeepLearning.generate(seed());
+    let mut results = Vec::new();
+    for fraction in [0.10, 0.50, 1.00] {
+        let cfg = ExperimentConfig {
+            test_users: 10,
+            repetitions: reps(),
+            budget: Budget::FractionOfCost(0.10),
+            train_fraction: fraction,
+            ..ExperimentConfig::default()
+        };
+        let mut r = run(&dataset, SchedulerKind::EaseMl, &cfg);
+        r.dataset = format!("{} ({}% train)", r.dataset, (fraction * 100.0) as u32);
+        results.push(r);
+    }
+    emit("fig14", &results);
+
+    let auc = |c: &[f64]| c.iter().sum::<f64>() / c.len() as f64;
+    println!("mean accuracy-loss AUC by kernel training fraction:");
+    for r in &results {
+        println!("  {:<30} {:.4}", r.dataset, auc(&r.mean_curve));
+    }
+    println!();
+    println!("expected shape: 10% clearly worse; 50% close to 100% (diminishing return).");
+}

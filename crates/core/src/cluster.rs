@@ -1,0 +1,178 @@
+//! The simulated GPU pool.
+//!
+//! Ease.ml's execution strategy "is to use all its GPUs to train a single
+//! model" (§2.1, revisited in §4.5 and §5.3.2's single- vs multi-device
+//! discussion), so the default cluster is a single logical device that runs
+//! one training job at a time, advancing a simulated clock by each job's
+//! cost. A multi-device mode is provided as the §4.5 extension: jobs are
+//! placed on the earliest-free device, modelling one-GPU-per-user
+//! allocation.
+
+/// A training run to execute: `(user, model, cost)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingRun {
+    /// Tenant index.
+    pub user: usize,
+    /// Candidate-model index within the user's job.
+    pub model: usize,
+    /// Execution cost in simulated time units (GPU-hours).
+    pub cost: f64,
+}
+
+/// Record of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletedRun {
+    /// The run that was executed.
+    pub run: TrainingRun,
+    /// Device that executed it.
+    pub device: usize,
+    /// Simulated time at which the run started.
+    pub started_at: f64,
+    /// Simulated time at which the run finished.
+    pub finished_at: f64,
+}
+
+/// The simulated cluster: a set of devices with per-device clocks.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    device_free_at: Vec<f64>,
+    history: Vec<CompletedRun>,
+}
+
+impl Cluster {
+    /// The ease.ml default: the whole GPU pool as one logical device.
+    pub fn single_device() -> Self {
+        Self::with_devices(1)
+    }
+
+    /// A multi-device cluster (the §4.5 extension).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices == 0`.
+    pub fn with_devices(devices: usize) -> Self {
+        assert!(devices > 0, "cluster needs at least one device");
+        Cluster {
+            device_free_at: vec![0.0; devices],
+            history: Vec::new(),
+        }
+    }
+
+    /// Number of devices.
+    #[inline]
+    pub fn num_devices(&self) -> usize {
+        self.device_free_at.len()
+    }
+
+    /// Executes a run on the earliest-free device and returns its record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run's cost is not strictly positive.
+    pub fn execute(&mut self, run: TrainingRun) -> CompletedRun {
+        assert!(run.cost > 0.0, "training cost must be positive");
+        let device = self
+            .device_free_at
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .expect("at least one device");
+        let started_at = self.device_free_at[device];
+        let finished_at = started_at + run.cost;
+        self.device_free_at[device] = finished_at;
+        let rec = CompletedRun {
+            run,
+            device,
+            started_at,
+            finished_at,
+        };
+        self.history.push(rec);
+        rec
+    }
+
+    /// The simulated wall-clock: when the last-finishing device frees up.
+    pub fn makespan(&self) -> f64 {
+        self.device_free_at
+            .iter()
+            .copied()
+            .fold(0.0, f64::max)
+    }
+
+    /// Total busy time across devices (equals makespan on one device).
+    pub fn total_busy_time(&self) -> f64 {
+        self.history.iter().map(|r| r.run.cost).sum()
+    }
+
+    /// All completed runs in execution order.
+    pub fn history(&self) -> &[CompletedRun] {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(user: usize, cost: f64) -> TrainingRun {
+        TrainingRun {
+            user,
+            model: 0,
+            cost,
+        }
+    }
+
+    #[test]
+    fn single_device_serializes_runs() {
+        let mut c = Cluster::single_device();
+        let a = c.execute(run(0, 2.0));
+        let b = c.execute(run(1, 3.0));
+        assert_eq!(a.started_at, 0.0);
+        assert_eq!(a.finished_at, 2.0);
+        assert_eq!(b.started_at, 2.0, "second run waits for the first");
+        assert_eq!(b.finished_at, 5.0);
+        assert_eq!(c.makespan(), 5.0);
+        assert_eq!(c.total_busy_time(), 5.0);
+        assert_eq!(c.history().len(), 2);
+    }
+
+    #[test]
+    fn multi_device_runs_in_parallel() {
+        let mut c = Cluster::with_devices(2);
+        c.execute(run(0, 4.0));
+        let b = c.execute(run(1, 1.0));
+        assert_eq!(b.device, 1);
+        assert_eq!(b.started_at, 0.0, "second device was free");
+        assert_eq!(c.makespan(), 4.0);
+        assert_eq!(c.total_busy_time(), 5.0);
+        // Third job lands on the earliest-free device (device 1, free at 1).
+        let d = c.execute(run(2, 1.0));
+        assert_eq!(d.device, 1);
+        assert_eq!(d.started_at, 1.0);
+    }
+
+    #[test]
+    fn single_device_returns_first_result_sooner_than_balanced_split() {
+        // §5.3.2: with equal total GPU-time, the single-device strategy
+        // returns *some* model faster. Two jobs of cost 4 each:
+        // single-device finishes them at t=4 and t=8; two devices both at
+        // t=4 — but with all GPUs on one job (modelled as halved cost on
+        // the single pooled device), the first completes at t=2.
+        let mut pooled = Cluster::single_device();
+        let first = pooled.execute(run(0, 2.0)); // 4 GPU-hours over 2 GPUs
+        assert!(first.finished_at < 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_devices_panics() {
+        let _ = Cluster::with_devices(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cost_run_panics() {
+        let mut c = Cluster::single_device();
+        c.execute(run(0, 0.0));
+    }
+}

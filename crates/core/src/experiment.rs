@@ -1,0 +1,382 @@
+//! The repeated train/test experiment protocol (§5.2, Appendix A).
+//!
+//! Each repetition: randomly split the dataset's users into train/test;
+//! build the empirical model-similarity prior from the training users'
+//! quality vectors; tune the GP hyperparameters by maximizing the log
+//! marginal likelihood of the training rows ("as in scikit-learn"); then
+//! run the scheduler on the test users under the configured budget. Results
+//! are resampled onto a common grid and aggregated into average and
+//! worst-case accuracy-loss curves.
+
+use crate::metrics::AggregatedCurves;
+use crate::sim::{simulate, SchedulerKind, SimConfig, SimTrace};
+use easeml_data::{model_quality_features, Dataset, TrainTestSplit};
+use easeml_gp::{ArmPrior, TuneGrid};
+use easeml_linalg::{vec_ops, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How the exploration budget of a run is expressed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Budget {
+    /// Fraction of the *number of all (test user, model) pairs*: the
+    /// cost-oblivious protocol (§5.3.1 runs 50% of all models; the x-axis
+    /// is "% of runs"). Schedulers ignore costs and every run costs 1.
+    FractionOfRuns(f64),
+    /// Fraction of the *total runtime of all (test user, model) pairs*:
+    /// the cost-aware protocol (§5.2 runs 10% of total runtime; the x-axis
+    /// is "% of total cost"). Schedulers see real costs.
+    FractionOfCost(f64),
+}
+
+impl Budget {
+    fn fraction(self) -> f64 {
+        match self {
+            Budget::FractionOfRuns(f) | Budget::FractionOfCost(f) => f,
+        }
+    }
+}
+
+/// Configuration of one experiment (one dataset × one scheduler).
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Number of users sampled into the test set each repetition (the
+    /// paper uses 10).
+    pub test_users: usize,
+    /// Number of repetitions with different random splits (the paper
+    /// uses 50).
+    pub repetitions: usize,
+    /// The exploration budget.
+    pub budget: Budget,
+    /// Override the cost-awareness implied by the budget kind — used by the
+    /// Figure-13 lesion, which spends real costs but schedules as if
+    /// `c ≡ 1`.
+    pub cost_aware_override: Option<bool>,
+    /// Keep only this fraction of the training users when building the
+    /// kernel (Figure 14's 10% / 50% / 100% knob).
+    pub train_fraction: f64,
+    /// Hyperparameter grid for the LML tuner.
+    pub tune_grid: TuneGrid,
+    /// How many training users' rows enter the LML objective (capped for
+    /// speed; the paper does not specify).
+    pub tune_rows: usize,
+    /// Number of points on the output grid.
+    pub grid_points: usize,
+    /// δ for the β schedules.
+    pub delta: f64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            test_users: 10,
+            repetitions: 50,
+            budget: Budget::FractionOfCost(0.10),
+            cost_aware_override: None,
+            train_fraction: 1.0,
+            tune_grid: TuneGrid {
+                scales: vec![0.3, 1.0, 3.0],
+                noises: vec![1e-4, 1e-3, 1e-2],
+            },
+            tune_rows: 4,
+            grid_points: 101,
+            delta: 0.1,
+        }
+    }
+}
+
+/// The outcome of an experiment: aggregated curves plus per-repetition
+/// summaries.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Scheduler that was evaluated.
+    pub scheduler: SchedulerKind,
+    /// Dataset name.
+    pub dataset: String,
+    /// Budget percentages (0–100).
+    pub grid_pct: Vec<f64>,
+    /// Mean accuracy loss across repetitions at each grid point.
+    pub mean_curve: Vec<f64>,
+    /// Worst-case accuracy loss across repetitions at each grid point.
+    pub worst_curve: Vec<f64>,
+    /// Final mean loss of each repetition.
+    pub final_losses: Vec<f64>,
+    /// Mean number of training runs executed per repetition.
+    pub mean_rounds: f64,
+}
+
+/// Builds the empirical prior for the test users of one split, following
+/// the paper's Appendix A: each model's feature is its *quality vector* on
+/// the training users, the prior mean is the scalar global mean quality
+/// (the "μ = 0 after centering" convention), and the prior covariance is
+/// the Gram matrix of the globally-centered quality vectors — "the
+/// performance of a model on other users' data sets defines the similarity
+/// between models" (§5.3.2).
+///
+/// Keeping the mean scalar is essential: per-model skill must be encoded in
+/// the *covariance*, so that the value of the kernel — and hence of more
+/// training users (Figure 14) — is visible to the scheduler.
+pub fn empirical_prior(dataset: &Dataset, train_users: &[usize]) -> (Vec<f64>, Matrix) {
+    let features = model_quality_features(dataset, train_users);
+    let k = features.len();
+    let t = train_users.len() as f64;
+    let global_mean = vec_ops::mean(
+        &features
+            .iter()
+            .map(|f| vec_ops::mean(f))
+            .collect::<Vec<_>>(),
+    );
+    // Second-moment Gram about the global mean: exactly PSD, and it keeps
+    // per-model mean offsets inside the covariance.
+    let centered: Vec<Vec<f64>> = features
+        .iter()
+        .map(|f| f.iter().map(|&q| q - global_mean).collect())
+        .collect();
+    let mut cov = Matrix::zeros(k, k);
+    for a in 0..k {
+        for b in a..k {
+            let v = vec_ops::dot(&centered[a], &centered[b]) / t;
+            cov[(a, b)] = v;
+            cov[(b, a)] = v;
+        }
+    }
+    // Ridge so single-user splits and duplicated models stay factorable.
+    let mean_diag = vec_ops::mean(&cov.diag()).max(1e-6);
+    cov.add_diag_mut(1e-3 * mean_diag);
+    (vec![global_mean; k], cov)
+}
+
+/// Runs the full repeated protocol for one scheduler on one dataset.
+///
+/// The same `seed` yields the same splits across scheduler kinds, so
+/// comparisons are paired (the paper's protocol: all strategies run on the
+/// same 50 random splits).
+///
+/// # Panics
+///
+/// Panics on nonsensical configurations (no test users, more test users
+/// than the dataset has, zero repetitions).
+pub fn run_experiment(
+    dataset: &Dataset,
+    scheduler: SchedulerKind,
+    cfg: &ExperimentConfig,
+    seed: u64,
+) -> ExperimentResult {
+    assert!(cfg.repetitions > 0, "need at least one repetition");
+    assert!(
+        cfg.test_users > 0 && cfg.test_users < dataset.num_users(),
+        "test_users must leave at least one training user"
+    );
+
+    let cost_aware = cfg
+        .cost_aware_override
+        .unwrap_or(matches!(cfg.budget, Budget::FractionOfCost(_)));
+
+    let mut traces: Vec<SimTrace> = Vec::with_capacity(cfg.repetitions);
+    for rep in 0..cfg.repetitions {
+        // One RNG for the split (shared across schedulers via the seed),
+        // one for the scheduler's stochastic choices.
+        let mut split_rng = StdRng::seed_from_u64(seed.wrapping_add(rep as u64));
+        let mut sim_rng = StdRng::seed_from_u64(seed ^ 0x5EED_0000 ^ (rep as u64) << 16);
+
+        let split = TrainTestSplit::random(dataset.num_users(), cfg.test_users, &mut split_rng)
+            .truncate_train(cfg.train_fraction);
+        let test = dataset.select_users(&split.test_users);
+        let test = match cfg.budget {
+            Budget::FractionOfRuns(_) => test.unit_cost_view(),
+            Budget::FractionOfCost(_) => test,
+        };
+
+        let budget = match cfg.budget {
+            Budget::FractionOfRuns(_) => {
+                (test.num_users() * test.num_models()) as f64 * cfg.budget.fraction()
+            }
+            Budget::FractionOfCost(_) => test.total_cost() * cfg.budget.fraction(),
+        };
+
+        // Heuristic schedulers need no prior.
+        let (priors, noise_var) = if matches!(
+            scheduler,
+            SchedulerKind::MostCited | SchedulerKind::MostRecent
+        ) {
+            (Vec::new(), 1e-3)
+        } else {
+            let (means, cov) = empirical_prior(dataset, &split.train_users);
+            let (scale, noise) = tune_prior(dataset, &split.train_users, &means, &cov, cfg);
+            let prior = ArmPrior::from_gram(cov.scaled(scale)).with_mean(means);
+            (vec![prior; test.num_users()], noise)
+        };
+
+        let sim_cfg = SimConfig {
+            budget,
+            cost_aware,
+            noise_var,
+            delta: cfg.delta,
+        };
+        traces.push(simulate(&test, &priors, scheduler, &sim_cfg, &mut sim_rng));
+    }
+
+    let agg = AggregatedCurves::from_traces(&traces, cfg.grid_points);
+    ExperimentResult {
+        scheduler,
+        dataset: dataset.name().to_string(),
+        grid_pct: agg.grid_pct,
+        mean_curve: agg.mean,
+        worst_curve: agg.worst,
+        final_losses: traces
+            .iter()
+            .map(|t| vec_ops::mean(&t.final_losses))
+            .collect(),
+        mean_rounds: vec_ops::mean(&traces.iter().map(|t| t.rounds as f64).collect::<Vec<_>>()),
+    }
+}
+
+/// Tunes (scale, noise) by summing the LML over up to `tune_rows` training
+/// users' full quality rows.
+fn tune_prior(
+    dataset: &Dataset,
+    train_users: &[usize],
+    means: &[f64],
+    cov: &Matrix,
+    cfg: &ExperimentConfig,
+) -> (f64, f64) {
+    let rows = train_users.len().min(cfg.tune_rows);
+    if rows == 0 {
+        return (1.0, 1e-3);
+    }
+    // Concatenate the first `rows` users' observations; arms repeat across
+    // users, which the LML handles as replicated noisy draws.
+    let mut best = (1.0, 1e-3, f64::NEG_INFINITY);
+    for &scale in &cfg.tune_grid.scales {
+        let prior = ArmPrior::from_gram(cov.scaled(scale)).with_mean(means.to_vec());
+        for &noise in &cfg.tune_grid.noises {
+            let mut total = 0.0;
+            for &u in &train_users[..rows] {
+                let obs: Vec<(usize, f64)> = (0..dataset.num_models())
+                    .map(|j| (j, dataset.quality(u, j)))
+                    .collect();
+                total += easeml_gp::mll::log_marginal_likelihood(&prior, noise, &obs);
+            }
+            if total > best.2 {
+                best = (scale, noise, total);
+            }
+        }
+    }
+    (best.0, best.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easeml_data::SynConfig;
+
+    fn tiny_dataset() -> Dataset {
+        SynConfig {
+            num_users: 10,
+            num_models: 5,
+            ..SynConfig::paper(0.5, 0.5)
+        }
+        .generate(4)
+    }
+
+    fn quick_cfg(budget: Budget) -> ExperimentConfig {
+        ExperimentConfig {
+            test_users: 3,
+            repetitions: 3,
+            budget,
+            tune_grid: TuneGrid {
+                scales: vec![1.0],
+                noises: vec![1e-3],
+            },
+            grid_points: 21,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn empirical_prior_shapes_and_psd() {
+        let d = tiny_dataset();
+        let (means, cov) = empirical_prior(&d, &[0, 1, 2, 3]);
+        assert_eq!(means.len(), 5);
+        assert_eq!(cov.shape(), (5, 5));
+        assert!(cov.is_symmetric(1e-12));
+        // Sample covariance + ridge is PSD: factorable with tiny jitter.
+        assert!(easeml_linalg::Cholesky::factor_with_jitter(&cov, 1e-10, 8).is_ok());
+        // Means are plausible qualities.
+        assert!(means.iter().all(|&m| (0.0..=1.0).contains(&m)));
+    }
+
+    #[test]
+    fn single_training_user_does_not_crash() {
+        let d = tiny_dataset();
+        let (_, cov) = empirical_prior(&d, &[7]);
+        assert!(easeml_linalg::Cholesky::factor_with_jitter(&cov, 1e-10, 8).is_ok());
+    }
+
+    #[test]
+    fn cost_oblivious_experiment_runs() {
+        let d = tiny_dataset();
+        let r = run_experiment(
+            &d,
+            SchedulerKind::RoundRobin,
+            &quick_cfg(Budget::FractionOfRuns(0.5)),
+            42,
+        );
+        assert_eq!(r.grid_pct.len(), 21);
+        assert_eq!(r.mean_curve.len(), 21);
+        assert_eq!(r.final_losses.len(), 3);
+        // ~50% of 3×5 = 7.5 runs per repetition.
+        assert!(r.mean_rounds >= 7.0 && r.mean_rounds <= 9.0, "{}", r.mean_rounds);
+        // Curves are non-increasing.
+        for w in r.mean_curve.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9);
+        }
+        // Worst dominates mean.
+        for (m, w) in r.mean_curve.iter().zip(&r.worst_curve) {
+            assert!(w + 1e-12 >= *m);
+        }
+    }
+
+    #[test]
+    fn cost_aware_experiment_runs() {
+        let d = tiny_dataset();
+        let r = run_experiment(
+            &d,
+            SchedulerKind::EaseMl,
+            &quick_cfg(Budget::FractionOfCost(0.3)),
+            42,
+        );
+        assert!(r.mean_curve[0] >= r.mean_curve[r.mean_curve.len() - 1]);
+        assert_eq!(r.dataset, d.name());
+    }
+
+    #[test]
+    fn same_seed_is_reproducible() {
+        let d = tiny_dataset();
+        let cfg = quick_cfg(Budget::FractionOfRuns(0.4));
+        let a = run_experiment(&d, SchedulerKind::Hybrid, &cfg, 7);
+        let b = run_experiment(&d, SchedulerKind::Hybrid, &cfg, 7);
+        assert_eq!(a.mean_curve, b.mean_curve);
+        assert_eq!(a.final_losses, b.final_losses);
+    }
+
+    #[test]
+    fn cost_override_controls_awareness() {
+        // With the override, the budget stays cost-denominated but the
+        // scheduler ignores costs (Fig. 13's lesion); it still runs.
+        let d = tiny_dataset();
+        let mut cfg = quick_cfg(Budget::FractionOfCost(0.3));
+        cfg.cost_aware_override = Some(false);
+        let r = run_experiment(&d, SchedulerKind::EaseMl, &cfg, 3);
+        assert!(!r.mean_curve.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "training user")]
+    fn too_many_test_users_panics() {
+        let d = tiny_dataset();
+        let mut cfg = quick_cfg(Budget::FractionOfRuns(0.5));
+        cfg.test_users = 10;
+        let _ = run_experiment(&d, SchedulerKind::RoundRobin, &cfg, 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Curve aggregation and speedup metrics (§5.2's two performance measures).
+
+use crate::sim::SimTrace;
+use easeml_linalg::vec_ops;
+use serde::Serialize;
+
+/// The aggregate of many repeated runs, resampled onto a common grid of
+/// budget percentages: the *average* accuracy loss across runs and the
+/// *worst-case* accuracy loss across runs (the paper's two measures,
+/// Figure 9's two panels).
+#[derive(Debug, Clone, Serialize)]
+pub struct AggregatedCurves {
+    /// Budget percentages in `[0, 100]`.
+    pub grid_pct: Vec<f64>,
+    /// Mean over runs of the mean-over-users accuracy loss.
+    pub mean: Vec<f64>,
+    /// Max over runs of the mean-over-users accuracy loss.
+    pub worst: Vec<f64>,
+}
+
+impl AggregatedCurves {
+    /// Aggregates run traces onto a uniform grid with `points` samples
+    /// (including both endpoints).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty or `points < 2`.
+    pub fn from_traces(traces: &[SimTrace], points: usize) -> Self {
+        assert!(!traces.is_empty(), "need at least one trace");
+        assert!(points >= 2, "need at least two grid points");
+        let fractions: Vec<f64> = (0..points)
+            .map(|i| i as f64 / (points - 1) as f64)
+            .collect();
+        let sampled: Vec<Vec<f64>> = traces.iter().map(|t| t.resample(&fractions)).collect();
+        let mut mean = Vec::with_capacity(points);
+        let mut worst = Vec::with_capacity(points);
+        for g in 0..points {
+            let column: Vec<f64> = sampled.iter().map(|s| s[g]).collect();
+            mean.push(vec_ops::mean(&column));
+            worst.push(vec_ops::max(&column).unwrap());
+        }
+        AggregatedCurves {
+            grid_pct: fractions.iter().map(|f| f * 100.0).collect(),
+            mean,
+            worst,
+        }
+    }
+
+    /// The first grid percentage at which `curve` (one of the two fields)
+    /// drops to `target` or below; `None` if it never does.
+    pub fn time_to_reach(grid_pct: &[f64], curve: &[f64], target: f64) -> Option<f64> {
+        curve
+            .iter()
+            .position(|&l| l <= target)
+            .map(|i| grid_pct[i])
+    }
+}
+
+/// How many times faster `fast` reaches `target_loss` than `slow`, measured
+/// on a shared grid (the paper's headline "9.8×" metric: time for the
+/// baseline to reach the loss level divided by time for ease.ml).
+///
+/// Returns `None` when either curve never reaches the target, or the faster
+/// curve reaches it at 0% (ratio undefined).
+pub fn speedup_factor(
+    grid_pct: &[f64],
+    slow: &[f64],
+    fast: &[f64],
+    target_loss: f64,
+) -> Option<f64> {
+    let t_slow = AggregatedCurves::time_to_reach(grid_pct, slow, target_loss)?;
+    let t_fast = AggregatedCurves::time_to_reach(grid_pct, fast, target_loss)?;
+    if t_fast <= 0.0 {
+        return None;
+    }
+    Some(t_slow / t_fast)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(points: Vec<(f64, f64)>) -> SimTrace {
+        SimTrace {
+            budget: 10.0,
+            initial_loss: 1.0,
+            events: vec![],
+            final_losses: vec![],
+            rounds: points.len(),
+            points,
+        }
+    }
+
+    #[test]
+    fn aggregation_means_and_maxes_across_runs() {
+        let a = trace(vec![(5.0, 0.4)]);
+        let b = trace(vec![(5.0, 0.2)]);
+        let agg = AggregatedCurves::from_traces(&[a, b], 3); // 0%, 50%, 100%
+        assert_eq!(agg.grid_pct, vec![0.0, 50.0, 100.0]);
+        let expect = |got: &[f64], want: &[f64]| {
+            assert!(got.iter().zip(want).all(|(a, b)| (a - b).abs() < 1e-12));
+        };
+        expect(&agg.mean, &[1.0, 0.3, 0.3]);
+        expect(&agg.worst, &[1.0, 0.4, 0.4]);
+    }
+
+    #[test]
+    fn worst_dominates_mean() {
+        let traces: Vec<SimTrace> = (0..5)
+            .map(|i| trace(vec![(2.0, 0.1 * i as f64), (8.0, 0.05 * i as f64)]))
+            .collect();
+        let agg = AggregatedCurves::from_traces(&traces, 11);
+        for (m, w) in agg.mean.iter().zip(&agg.worst) {
+            assert!(w >= m);
+        }
+    }
+
+    #[test]
+    fn time_to_reach_finds_the_first_crossing() {
+        let grid = vec![0.0, 25.0, 50.0, 75.0, 100.0];
+        let curve = vec![1.0, 0.5, 0.2, 0.1, 0.1];
+        assert_eq!(
+            AggregatedCurves::time_to_reach(&grid, &curve, 0.5),
+            Some(25.0)
+        );
+        assert_eq!(
+            AggregatedCurves::time_to_reach(&grid, &curve, 0.15),
+            Some(75.0)
+        );
+        assert_eq!(AggregatedCurves::time_to_reach(&grid, &curve, 0.01), None);
+    }
+
+    #[test]
+    fn speedup_is_a_ratio_of_crossing_times() {
+        let grid = vec![0.0, 10.0, 20.0, 30.0, 40.0];
+        let fast = vec![1.0, 0.1, 0.1, 0.1, 0.1]; // reaches 0.1 at 10%
+        let slow = vec![1.0, 0.8, 0.5, 0.3, 0.1]; // reaches 0.1 at 40%
+        assert_eq!(speedup_factor(&grid, &slow, &fast, 0.1), Some(4.0));
+        // Unreachable target.
+        assert_eq!(speedup_factor(&grid, &slow, &fast, 0.0), None);
+        // Degenerate: fast reaches at 0%.
+        let instant = vec![0.05, 0.05, 0.05, 0.05, 0.05];
+        assert_eq!(speedup_factor(&grid, &slow, &instant, 0.1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trace")]
+    fn empty_traces_panic() {
+        let _ = AggregatedCurves::from_traces(&[], 3);
+    }
+}

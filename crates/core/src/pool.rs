@@ -1,0 +1,227 @@
+//! The user-level task pool (Figure 1): schema matching generates one task
+//! per candidate model, simple profiling attaches a cost estimate, and the
+//! resource-allocation phase (the scheduler) consumes tasks.
+
+use crate::job::Job;
+use easeml_dsl::ModelId;
+
+/// Lifecycle of one candidate-model training task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TaskState {
+    /// Waiting in the pool.
+    Pending,
+    /// Currently on the cluster.
+    Running,
+    /// Finished with the given accuracy.
+    Done(f64),
+}
+
+/// One task: train one candidate model for one user.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Owning user.
+    pub user: usize,
+    /// Candidate index within the user's job.
+    pub model_idx: usize,
+    /// The model to train.
+    pub model: ModelId,
+    /// Profiled cost estimate in GPU-hours ("simple profiling", Figure 1:
+    /// the zoo's relative cost scaled by the user's data volume).
+    pub estimated_cost: f64,
+    /// Current state.
+    pub state: TaskState,
+}
+
+/// The pool of tasks across all users.
+///
+/// # Examples
+///
+/// ```
+/// use easeml::prelude::*;
+/// use easeml_dsl::parse_program;
+///
+/// let prog = parse_program(
+///     "{input: {[Tensor[64, 64, 3]], []}, output: {[Tensor[5]], []}}",
+/// ).unwrap();
+/// let job = Job::new(0, prog).unwrap();
+/// let mut pool = TaskPool::new();
+/// pool.submit_job(&job, 1.0); // data-volume factor from profiling
+/// assert_eq!(pool.pending_count(), 8); // one task per matched CNN
+/// let cheapest = pool.cheapest_pending(0).unwrap();
+/// assert_eq!(cheapest.model.name(), "SqueezeNet");
+/// ```
+#[derive(Debug, Default)]
+pub struct TaskPool {
+    tasks: Vec<Task>,
+}
+
+impl TaskPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Generates tasks for a job ("schema matching and task generation" +
+    /// "simple profiling and submission"). `data_scale` is the user's
+    /// profiling factor — e.g. example count relative to a reference size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_scale` is not strictly positive.
+    pub fn submit_job(&mut self, job: &Job, data_scale: f64) -> usize {
+        assert!(data_scale > 0.0, "data scale must be positive");
+        let mut added = 0;
+        for (idx, &model) in job.candidate_models().iter().enumerate() {
+            self.tasks.push(Task {
+                user: job.user(),
+                model_idx: idx,
+                model,
+                estimated_cost: model.info().relative_cost * data_scale,
+                state: TaskState::Pending,
+            });
+            added += 1;
+        }
+        added
+    }
+
+    /// All tasks (any state).
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Pending tasks of one user.
+    pub fn pending_for(&self, user: usize) -> Vec<&Task> {
+        self.tasks
+            .iter()
+            .filter(|t| t.user == user && t.state == TaskState::Pending)
+            .collect()
+    }
+
+    /// Number of pending tasks over all users.
+    pub fn pending_count(&self) -> usize {
+        self.tasks
+            .iter()
+            .filter(|t| t.state == TaskState::Pending)
+            .count()
+    }
+
+    /// Marks the pending task `(user, model_idx)` as running and returns
+    /// its estimated cost; `None` when no such pending task exists.
+    pub fn start(&mut self, user: usize, model_idx: usize) -> Option<f64> {
+        let task = self.tasks.iter_mut().find(|t| {
+            t.user == user && t.model_idx == model_idx && t.state == TaskState::Pending
+        })?;
+        task.state = TaskState::Running;
+        Some(task.estimated_cost)
+    }
+
+    /// Marks the running task `(user, model_idx)` as done with the achieved
+    /// accuracy. Returns `false` when no such running task exists.
+    pub fn finish(&mut self, user: usize, model_idx: usize, accuracy: f64) -> bool {
+        match self.tasks.iter_mut().find(|t| {
+            t.user == user && t.model_idx == model_idx && t.state == TaskState::Running
+        }) {
+            Some(t) => {
+                t.state = TaskState::Done(accuracy);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The cheapest pending task of a user by profiled estimate — what the
+    /// cost-aware warm-up trains first.
+    pub fn cheapest_pending(&self, user: usize) -> Option<&Task> {
+        self.pending_for(user)
+            .into_iter()
+            .min_by(|a, b| a.estimated_cost.partial_cmp(&b.estimated_cost).unwrap())
+    }
+
+    /// Total profiled cost of all pending tasks — the denominator of
+    /// "% of total cost" budgets when only estimates are available.
+    pub fn total_pending_cost(&self) -> f64 {
+        self.tasks
+            .iter()
+            .filter(|t| t.state == TaskState::Pending)
+            .map(|t| t.estimated_cost)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easeml_dsl::parse_program;
+
+    fn image_job(user: usize) -> Job {
+        let p = parse_program("{input: {[Tensor[32, 32, 3]], []}, output: {[Tensor[10]], []}}")
+            .unwrap();
+        Job::new(user, p).unwrap()
+    }
+
+    #[test]
+    fn submission_generates_one_task_per_candidate() {
+        let mut pool = TaskPool::new();
+        let added = pool.submit_job(&image_job(0), 1.0);
+        assert_eq!(added, 8);
+        assert_eq!(pool.pending_count(), 8);
+        assert_eq!(pool.pending_for(0).len(), 8);
+        assert_eq!(pool.pending_for(1).len(), 0);
+    }
+
+    #[test]
+    fn profiling_scales_with_data_volume() {
+        let mut pool = TaskPool::new();
+        pool.submit_job(&image_job(0), 1.0);
+        pool.submit_job(&image_job(1), 3.0);
+        let c0 = pool.pending_for(0)[0].estimated_cost;
+        let c1 = pool.pending_for(1)[0].estimated_cost;
+        assert!((c1 / c0 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lifecycle_pending_running_done() {
+        let mut pool = TaskPool::new();
+        pool.submit_job(&image_job(0), 1.0);
+        let cost = pool.start(0, 2).expect("pending task exists");
+        assert!(cost > 0.0);
+        assert_eq!(pool.pending_count(), 7);
+        // Starting the same task twice fails.
+        assert!(pool.start(0, 2).is_none());
+        assert!(pool.finish(0, 2, 0.91));
+        assert!(!pool.finish(0, 2, 0.91), "already done");
+        let done = pool
+            .tasks()
+            .iter()
+            .find(|t| t.model_idx == 2)
+            .unwrap()
+            .state;
+        assert_eq!(done, TaskState::Done(0.91));
+    }
+
+    #[test]
+    fn cheapest_pending_is_the_profiled_minimum() {
+        let mut pool = TaskPool::new();
+        pool.submit_job(&image_job(0), 2.0);
+        let cheapest = pool.cheapest_pending(0).unwrap();
+        // SqueezeNet has the lowest relative cost in the zoo.
+        assert_eq!(cheapest.model.name(), "SqueezeNet");
+        assert!(pool.cheapest_pending(9).is_none());
+    }
+
+    #[test]
+    fn total_pending_cost_shrinks_as_tasks_start() {
+        let mut pool = TaskPool::new();
+        pool.submit_job(&image_job(0), 1.0);
+        let before = pool.total_pending_cost();
+        let started = pool.start(0, 0).unwrap();
+        assert!((pool.total_pending_cost() - (before - started)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_data_scale_panics() {
+        let mut pool = TaskPool::new();
+        pool.submit_job(&image_job(0), 0.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Table and series writers used by the benchmark harness.
+//!
+//! Every bench target prints the rows/series the corresponding paper figure
+//! plots, and additionally dumps machine-readable CSV + JSON under
+//! `target/experiments/` so the curves can be re-plotted.
+
+use crate::experiment::ExperimentResult;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Renders a set of experiment results as a text table: one row per sampled
+/// budget percentage, one column pair (mean, worst) per scheduler.
+///
+/// `sample_every` thins the grid (e.g. 10 prints every 10th point).
+pub fn curves_table(results: &[ExperimentResult], sample_every: usize) -> String {
+    assert!(!results.is_empty(), "no results to render");
+    let sample_every = sample_every.max(1);
+    let mut out = String::new();
+    write!(out, "{:>8}", "% budget").unwrap();
+    for r in results {
+        write!(out, "  {:>22}", r.scheduler.name()).unwrap();
+    }
+    out.push('\n');
+    write!(out, "{:>8}", "").unwrap();
+    for _ in results {
+        write!(out, "  {:>11}{:>11}", "mean", "worst").unwrap();
+    }
+    out.push('\n');
+    let grid = &results[0].grid_pct;
+    for (i, pct) in grid.iter().enumerate() {
+        if i % sample_every != 0 && i != grid.len() - 1 {
+            continue;
+        }
+        write!(out, "{pct:>8.1}").unwrap();
+        for r in results {
+            write!(out, "  {:>11.4}{:>11.4}", r.mean_curve[i], r.worst_curve[i]).unwrap();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the results as CSV (long format: scheduler, pct, mean, worst).
+pub fn curves_csv(results: &[ExperimentResult]) -> String {
+    let mut out = String::from("dataset,scheduler,pct,mean_loss,worst_loss\n");
+    for r in results {
+        for (i, pct) in r.grid_pct.iter().enumerate() {
+            writeln!(
+                out,
+                "{},{},{:.2},{:.6},{:.6}",
+                r.dataset,
+                r.scheduler.name(),
+                pct,
+                r.mean_curve[i],
+                r.worst_curve[i]
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// The default output directory for experiment artifacts:
+/// `<workspace target dir>/experiments`.
+///
+/// Benches run with the *package* directory as cwd, so a bare relative
+/// `target/` would scatter artifacts under `crates/bench/target/`; this
+/// resolves `CARGO_TARGET_DIR` first and otherwise walks up from the cwd to
+/// the nearest existing `target/` directory (the shared workspace one).
+pub fn experiments_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("CARGO_TARGET_DIR") {
+        return PathBuf::from(dir).join("experiments");
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    for _ in 0..4 {
+        let candidate = dir.join("target");
+        if candidate.is_dir() {
+            return candidate.join("experiments");
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    PathBuf::from("target").join("experiments")
+}
+
+/// Writes `content` to `experiments_dir()/name`, creating the directory.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_artifact(name: &str, content: &str) -> io::Result<PathBuf> {
+    let dir = experiments_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    fs::write(&path, content)?;
+    Ok(path)
+}
+
+/// Writes CSV for the results under the experiment id (e.g. `fig09`),
+/// returning the path. Errors are reported but do not panic — artifact
+/// dumps are best-effort alongside the printed tables.
+pub fn dump_csv(id: &str, results: &[ExperimentResult]) -> Option<PathBuf> {
+    match write_artifact(&format!("{id}.csv"), &curves_csv(results)) {
+        Ok(p) => Some(p),
+        Err(e) => {
+            eprintln!("warning: could not write {id}.csv: {e}");
+            None
+        }
+    }
+}
+
+/// Returns true when the path exists and contains the given content marker
+/// (test helper).
+pub fn artifact_contains(path: &Path, needle: &str) -> bool {
+    fs::read_to_string(path).is_ok_and(|s| s.contains(needle))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SchedulerKind;
+
+    fn result(name: SchedulerKind) -> ExperimentResult {
+        ExperimentResult {
+            scheduler: name,
+            dataset: "TEST".into(),
+            grid_pct: vec![0.0, 50.0, 100.0],
+            mean_curve: vec![0.5, 0.2, 0.1],
+            worst_curve: vec![0.6, 0.3, 0.15],
+            final_losses: vec![0.1],
+            mean_rounds: 3.0,
+        }
+    }
+
+    #[test]
+    fn table_contains_headers_and_values() {
+        let t = curves_table(
+            &[result(SchedulerKind::EaseMl), result(SchedulerKind::RoundRobin)],
+            1,
+        );
+        assert!(t.contains("ease.ml (hybrid)"));
+        assert!(t.contains("round-robin"));
+        assert!(t.contains("0.2000"));
+        assert!(t.contains("% budget"));
+        assert_eq!(t.lines().count(), 2 + 3);
+    }
+
+    #[test]
+    fn table_sampling_thins_rows_but_keeps_the_last() {
+        let t = curves_table(&[result(SchedulerKind::EaseMl)], 2);
+        // Grid rows: 0 and 100 (kept as last), 50 skipped.
+        assert!(t.contains("\n     0.0"));
+        assert!(t.contains("\n   100.0"));
+        assert!(!t.contains("\n    50.0"));
+    }
+
+    #[test]
+    fn csv_is_long_format() {
+        let c = curves_csv(&[result(SchedulerKind::Random)]);
+        let mut lines = c.lines();
+        assert_eq!(lines.next().unwrap(), "dataset,scheduler,pct,mean_loss,worst_loss");
+        assert!(c.contains("TEST,random,0.00,0.500000,0.600000"));
+        assert_eq!(c.lines().count(), 4);
+    }
+
+    #[test]
+    fn artifacts_roundtrip() {
+        let p = write_artifact("unit_test_artifact.txt", "hello-artifact").unwrap();
+        assert!(artifact_contains(&p, "hello-artifact"));
+        assert!(!artifact_contains(&p, "absent"));
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn dump_csv_writes_a_file() {
+        let p = dump_csv("unit_test_fig", &[result(SchedulerKind::EaseMl)]).unwrap();
+        assert!(artifact_contains(&p, "ease.ml (hybrid)"));
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -1,0 +1,269 @@
+//! The ease.ml server façade (Figure 1): programs in, best models out.
+//!
+//! [`EaseMl`] wires together the declarative layer (program parsing,
+//! schema matching, task generation), the shared storage behind
+//! `feed`/`refine`, the multi-tenant scheduler, and the simulated cluster.
+//! Training outcomes come from a pluggable *quality oracle* — in production
+//! this is the deep-learning subsystem; in this reproduction it is the
+//! dataset's (quality, cost) matrix or any user-supplied closure.
+
+use crate::cluster::{Cluster, TrainingRun};
+use crate::job::{Job, JobStatus};
+use crate::storage::SharedStorage;
+use crate::user::UserAccount;
+use easeml_bandit::{BetaSchedule, GpUcb};
+use easeml_dsl::{parse_program, ModelId, ParseError};
+use easeml_gp::ArmPrior;
+use easeml_sched::{Hybrid, Tenant, UserPicker};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Outcome of one training run as reported by the quality oracle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingOutcome {
+    /// Accuracy the model reached.
+    pub accuracy: f64,
+    /// Execution cost (simulated GPU-hours).
+    pub cost: f64,
+}
+
+/// A function deciding how well candidate `model` of user `user` performs.
+pub type QualityOracle = Box<dyn Fn(usize, ModelId) -> TrainingOutcome + Send>;
+
+/// The ease.ml service: multiple users sharing one cluster, with automatic
+/// model exploration scheduled by HYBRID (the system default).
+pub struct EaseMl {
+    users: Vec<UserAccount>,
+    jobs: Vec<Job>,
+    tenants: Vec<Tenant>,
+    storage: SharedStorage,
+    cluster: Mutex<Cluster>,
+    picker: Mutex<Hybrid>,
+    oracle: QualityOracle,
+    rng: Mutex<StdRng>,
+    warmed_up: Mutex<usize>,
+    step: Mutex<usize>,
+    noise_var: f64,
+    delta: f64,
+}
+
+impl EaseMl {
+    /// Creates a server with the given quality oracle and RNG seed.
+    pub fn new(oracle: QualityOracle, seed: u64) -> Self {
+        EaseMl {
+            users: Vec::new(),
+            jobs: Vec::new(),
+            tenants: Vec::new(),
+            storage: SharedStorage::new(),
+            cluster: Mutex::new(Cluster::single_device()),
+            picker: Mutex::new(Hybrid::ease_ml()),
+            oracle,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            warmed_up: Mutex::new(0),
+            step: Mutex::new(0),
+            noise_var: 1e-3,
+            delta: 0.1,
+        }
+    }
+
+    /// Registers a user by source program: parses the DSL, matches
+    /// templates, creates the job and its tenant bandit. Returns the user
+    /// id.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse/validation error for malformed programs, or a
+    /// string-wrapped error when template matching fails.
+    pub fn register_user(&mut self, name: &str, program_src: &str) -> Result<usize, ParseError> {
+        let program = parse_program(program_src)?;
+        let id = self.users.len();
+        let job = Job::new(id, program.clone())
+            .map_err(|m| ParseError::new(0, m))?;
+        let k = job.candidate_models().len();
+        // Fresh users start from an uninformative prior; the production
+        // system swaps in the empirical kernel as training logs accumulate.
+        let beta = BetaSchedule::MultiTenant {
+            max_cost: 1.0,
+            num_tenants: (id + 1).max(1),
+            max_arms: k,
+            delta: self.delta,
+        };
+        let policy = GpUcb::cost_oblivious(ArmPrior::independent(k, 0.05), self.noise_var, beta);
+        self.tenants.push(Tenant::new(id, policy));
+        self.jobs.push(job);
+        self.users.push(UserAccount::new(id, name, program));
+        Ok(id)
+    }
+
+    /// Number of registered users.
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// The user's shared-storage handle for `feed`/`refine`.
+    pub fn storage(&self) -> &SharedStorage {
+        &self.storage
+    }
+
+    /// The user's job (status, candidate models, best model).
+    pub fn job(&self, user: usize) -> &Job {
+        &self.jobs[user]
+    }
+
+    /// The `infer` operator: the best model found so far for `user`, if any
+    /// run has completed.
+    pub fn infer(&self, user: usize) -> Option<(ModelId, f64)> {
+        self.jobs[user].best_model()
+    }
+
+    /// Executes one global scheduling round: pick a user (HYBRID), pick a
+    /// model (GP-UCB), train it on the cluster, record the outcome. Returns
+    /// `(user, model, outcome)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no users are registered.
+    pub fn run_round(&mut self) -> (usize, ModelId, TrainingOutcome) {
+        assert!(!self.users.is_empty(), "no registered users");
+        let mut picker = self.picker.lock();
+        let mut rng = self.rng.lock();
+        let mut warmed = self.warmed_up.lock();
+        let mut step = self.step.lock();
+
+        // Warm-up pass (Algorithm 2 lines 1–4): serve each user once.
+        let user = if *warmed < self.tenants.len() {
+            let u = *warmed;
+            *warmed += 1;
+            u
+        } else {
+            let u = picker.pick(&self.tenants, *step, &mut *rng);
+            *step += 1;
+            u
+        };
+
+        let model_idx = self.tenants[user].select_model();
+        let model = self.jobs[user].candidate_models()[model_idx];
+        let outcome = (self.oracle)(user, model);
+        self.cluster.lock().execute(TrainingRun {
+            user,
+            model: model_idx,
+            cost: outcome.cost,
+        });
+        self.tenants[user].observe(model_idx, outcome.accuracy);
+        self.jobs[user].record_result(model_idx, outcome.accuracy);
+        picker.after_observe(&self.tenants, user);
+        (user, model, outcome)
+    }
+
+    /// Runs rounds until the simulated cluster has consumed `budget` cost.
+    /// Returns the number of rounds executed.
+    pub fn run_until(&mut self, budget: f64) -> usize {
+        let mut rounds = 0;
+        while self.cluster.lock().makespan() < budget {
+            self.run_round();
+            rounds += 1;
+        }
+        rounds
+    }
+
+    /// Total simulated time consumed so far.
+    pub fn elapsed(&self) -> f64 {
+        self.cluster.lock().makespan()
+    }
+
+    /// Job statuses of all users (for dashboards).
+    pub fn statuses(&self) -> Vec<JobStatus> {
+        self.jobs.iter().map(Job::status).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IMAGE_PROG: &str = "{input: {[Tensor[64, 64, 3]], []}, output: {[Tensor[5]], []}}";
+    const TS_PROG: &str = "{input: {[Tensor[16]], [next]}, output: {[Tensor[3]], []}}";
+
+    /// Oracle: model quality depends on user parity and the model's zoo
+    /// cost (a deterministic, discriminative toy).
+    fn toy_oracle() -> QualityOracle {
+        Box::new(|user, model| {
+            let info = model.info();
+            let base = if user % 2 == 0 { 0.7 } else { 0.5 };
+            TrainingOutcome {
+                accuracy: (base + 0.02 * (info.year as f64 - 2010.0)).min(0.99),
+                cost: info.relative_cost,
+            }
+        })
+    }
+
+    #[test]
+    fn register_parses_and_matches() {
+        let mut s = EaseMl::new(toy_oracle(), 1);
+        let u0 = s.register_user("vision-lab", IMAGE_PROG).unwrap();
+        let u1 = s.register_user("meteo-lab", TS_PROG).unwrap();
+        assert_eq!((u0, u1), (0, 1));
+        assert_eq!(s.num_users(), 2);
+        assert_eq!(s.job(0).candidate_models().len(), 8);
+        assert_eq!(s.job(1).candidate_models().len(), 4);
+        assert_eq!(s.infer(0), None);
+    }
+
+    #[test]
+    fn malformed_program_is_rejected() {
+        let mut s = EaseMl::new(toy_oracle(), 1);
+        assert!(s.register_user("broken", "{input: }").is_err());
+        assert_eq!(s.num_users(), 0);
+    }
+
+    #[test]
+    fn rounds_explore_and_infer_improves() {
+        let mut s = EaseMl::new(toy_oracle(), 2);
+        s.register_user("a", IMAGE_PROG).unwrap();
+        s.register_user("b", TS_PROG).unwrap();
+        let (user, _model, outcome) = s.run_round();
+        assert_eq!(user, 0, "warm-up serves user 0 first");
+        assert!(outcome.accuracy > 0.0);
+        let (user, _, _) = s.run_round();
+        assert_eq!(user, 1, "warm-up serves user 1 second");
+        // After warm-up both users have a model to infer with.
+        assert!(s.infer(0).is_some());
+        assert!(s.infer(1).is_some());
+        // Keep exploring; accuracy of the best model never drops.
+        let best_before = s.infer(0).unwrap().1;
+        for _ in 0..20 {
+            s.run_round();
+        }
+        assert!(s.infer(0).unwrap().1 >= best_before);
+        assert!(s.elapsed() > 0.0);
+    }
+
+    #[test]
+    fn run_until_respects_budget() {
+        let mut s = EaseMl::new(toy_oracle(), 3);
+        s.register_user("a", IMAGE_PROG).unwrap();
+        let rounds = s.run_until(10.0);
+        assert!(rounds > 0);
+        assert!(s.elapsed() >= 10.0);
+        // Statuses reflect progress.
+        assert_ne!(s.statuses()[0], JobStatus::Queued);
+    }
+
+    #[test]
+    fn feed_and_refine_through_the_server() {
+        let mut s = EaseMl::new(toy_oracle(), 4);
+        let u = s.register_user("a", IMAGE_PROG).unwrap();
+        s.storage().feed(u, vec![(vec![0.0; 4], vec![1.0])]);
+        assert_eq!(s.storage().count(u), 1);
+        assert!(s.storage().refine(u, 0, false));
+        assert_eq!(s.storage().enabled_count(u), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no registered users")]
+    fn round_without_users_panics() {
+        let mut s = EaseMl::new(toy_oracle(), 5);
+        s.run_round();
+    }
+}

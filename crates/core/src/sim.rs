@@ -1,0 +1,912 @@
+//! The trace-driven multi-tenant simulation (§5's evaluation protocol).
+//!
+//! A simulation replays a [`Dataset`]'s (quality, cost) matrix: at every
+//! global round the scheduler picks a user, the user's model-picking policy
+//! picks a model, the simulated cluster "trains" it — consuming the pair's
+//! cost and revealing the pair's quality — and the accuracy losses of all
+//! users are recorded. This is exactly how the paper evaluates ease.ml
+//! against its baselines: the schedulers only ever see (reward, cost)
+//! observations, never the hidden matrix.
+
+use crate::cluster::{Cluster, TrainingRun};
+use easeml_bandit::policies::FixedOrder;
+use easeml_bandit::{ArmPolicy, BetaSchedule, GpUcb};
+use easeml_data::Dataset;
+use easeml_dsl::zoo::{most_cited_order, most_recent_order, IMAGE_CLASSIFIERS};
+use easeml_gp::ArmPrior;
+use easeml_linalg::vec_ops;
+use easeml_sched::{Fcfs, Greedy, Hybrid, PickRule, RandomPicker, RoundRobin, Tenant, UserPicker};
+
+/// Which multi-tenant scheduler to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Round-robin users; each user trains the most-cited network first
+    /// (§5.2 heuristic; requires the 8-model DEEPLEARNING zoo).
+    MostCited,
+    /// Round-robin users; most recently published network first (§5.2).
+    MostRecent,
+    /// First-come-first-served users, GP-UCB models (§4.1 strawman).
+    Fcfs,
+    /// Round-robin users, GP-UCB models (§4.2).
+    RoundRobin,
+    /// Random users, GP-UCB models (§5.3 baseline).
+    Random,
+    /// GREEDY users (Algorithm 2) with the given line-8 rule.
+    Greedy(PickRule),
+    /// HYBRID (§4.4) with the paper's settings.
+    Hybrid,
+    /// Ease.ml's shipped configuration — an alias for [`SchedulerKind::Hybrid`].
+    EaseMl,
+}
+
+impl SchedulerKind {
+    /// Display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::MostCited => "most-cited",
+            SchedulerKind::MostRecent => "most-recent",
+            SchedulerKind::Fcfs => "fcfs",
+            SchedulerKind::RoundRobin => "round-robin",
+            SchedulerKind::Random => "random",
+            SchedulerKind::Greedy(PickRule::MaxUcbGap) => "greedy",
+            SchedulerKind::Greedy(PickRule::MaxSigmaTilde) => "greedy(max-sigma)",
+            SchedulerKind::Greedy(PickRule::Random) => "greedy(random)",
+            SchedulerKind::Hybrid | SchedulerKind::EaseMl => "ease.ml (hybrid)",
+        }
+    }
+
+    fn is_heuristic(self) -> bool {
+        matches!(self, SchedulerKind::MostCited | SchedulerKind::MostRecent)
+    }
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Absolute cost budget: the simulation stops once the cumulative cost
+    /// reaches it. With unit costs this is simply the number of runs.
+    pub budget: f64,
+    /// Whether the model-picking policies divide exploration by cost
+    /// (§3.2). Budget accounting always uses the dataset's real costs.
+    pub cost_aware: bool,
+    /// Observation-noise variance for the GP posteriors.
+    pub noise_var: f64,
+    /// Failure probability δ of the β schedules.
+    pub delta: f64,
+}
+
+impl SimConfig {
+    /// A reasonable default: cost-aware, tuned-noise placeholder, δ = 0.1.
+    pub fn new(budget: f64) -> Self {
+        SimConfig {
+            budget,
+            cost_aware: true,
+            noise_var: 1e-3,
+            delta: 0.1,
+        }
+    }
+}
+
+/// The loss trajectory of one simulated run.
+///
+/// Following the paper's plots (every strategy's Figure-9 curve starts at
+/// the same ≈0.1 loss), the mandatory first pass that trains one model per
+/// user is performed *outside* the budget: `initial_loss` is the mean loss
+/// after that warm-up pass, and `points` only record budgeted rounds.
+#[derive(Debug, Clone)]
+pub struct SimTrace {
+    /// The configured budget.
+    pub budget: f64,
+    /// Mean accuracy loss after the budget-free warm-up pass (one model per
+    /// user, chosen by the strategy itself).
+    pub initial_loss: f64,
+    /// `(cumulative cost, mean accuracy loss over users)` after every
+    /// completed training run, in order.
+    pub points: Vec<(f64, f64)>,
+    /// One event per budgeted round, in completion order — enough to replay
+    /// the §4.1 multi-tenant regret exactly.
+    pub events: Vec<SimEvent>,
+    /// Per-user accuracy losses at the end of the run.
+    pub final_losses: Vec<f64>,
+    /// Total rounds executed.
+    pub rounds: usize,
+}
+
+/// One completed training run inside a simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimEvent {
+    /// The served user.
+    pub user: usize,
+    /// The trained model.
+    pub model: usize,
+    /// The run's cost.
+    pub cost: f64,
+    /// The revealed quality.
+    pub quality: f64,
+}
+
+impl SimTrace {
+    /// Replays the trace through the §4.1 multi-tenant regret tracker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mu_stars.len()` does not cover every user in the events.
+    pub fn replay_regret(&self, mu_stars: Vec<f64>) -> easeml_sched::MultiTenantRegret {
+        let mut tracker = easeml_sched::MultiTenantRegret::new(mu_stars);
+        for e in &self.events {
+            tracker.record_round(e.user, e.quality, e.cost);
+        }
+        tracker
+    }
+}
+
+impl SimTrace {
+    /// Mean loss once the cumulative cost reaches `cost` (step
+    /// interpolation; `initial_loss` before the first point).
+    pub fn loss_at(&self, cost: f64) -> f64 {
+        let mut last = self.initial_loss;
+        for &(c, l) in &self.points {
+            if c <= cost {
+                last = l;
+            } else {
+                break;
+            }
+        }
+        last
+    }
+
+    /// Resamples the trace onto a grid of budget fractions in `[0, 1]`.
+    pub fn resample(&self, fractions: &[f64]) -> Vec<f64> {
+        fractions
+            .iter()
+            .map(|&f| self.loss_at(f * self.budget))
+            .collect()
+    }
+}
+
+/// Per-user loss bookkeeping shared by both simulation paths.
+struct LossTracker {
+    best_possible: Vec<f64>,
+    best_seen: Vec<f64>,
+}
+
+impl LossTracker {
+    fn new(dataset: &Dataset) -> Self {
+        LossTracker {
+            best_possible: (0..dataset.num_users())
+                .map(|i| dataset.best_quality(i))
+                .collect(),
+            best_seen: vec![0.0; dataset.num_users()],
+        }
+    }
+
+    fn observe(&mut self, user: usize, quality: f64) {
+        if quality > self.best_seen[user] {
+            self.best_seen[user] = quality;
+        }
+    }
+
+    fn losses(&self) -> Vec<f64> {
+        self.best_possible
+            .iter()
+            .zip(&self.best_seen)
+            .map(|(b, s)| (b - s).max(0.0))
+            .collect()
+    }
+
+    fn mean_loss(&self) -> f64 {
+        vec_ops::mean(&self.losses())
+    }
+}
+
+/// Runs one multi-tenant simulation.
+///
+/// `dataset` must contain exactly the users to serve (select the test split
+/// first); `priors` holds one GP prior per user (ignored by the heuristic
+/// schedulers). The RNG drives the stochastic pickers; everything else is
+/// deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use easeml::prelude::*;
+/// use easeml_gp::ArmPrior;
+/// use rand::SeedableRng;
+///
+/// let dataset = easeml_data::SynConfig {
+///     num_users: 4,
+///     num_models: 3,
+///     ..easeml_data::SynConfig::paper(0.5, 0.5)
+/// }
+/// .generate(1);
+/// let priors: Vec<ArmPrior> =
+///     (0..4).map(|_| ArmPrior::independent(3, 0.05)).collect();
+/// let cfg = SimConfig::new(dataset.total_cost() * 0.3);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let trace = simulate(&dataset, &priors, SchedulerKind::EaseMl, &cfg, &mut rng);
+/// // Losses never increase as the budget is consumed.
+/// assert!(trace.points.last().unwrap().1 <= trace.initial_loss);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `priors.len()` does not match the number of users (for GP
+/// schedulers), if a heuristic scheduler is used on a dataset that is not
+/// zoo-shaped (8 models), or on non-positive budget.
+pub fn simulate(
+    dataset: &Dataset,
+    priors: &[ArmPrior],
+    kind: SchedulerKind,
+    cfg: &SimConfig,
+    rng: &mut dyn rand::RngCore,
+) -> SimTrace {
+    assert!(cfg.budget > 0.0, "budget must be positive");
+    if kind.is_heuristic() {
+        simulate_heuristic(dataset, kind, cfg)
+    } else {
+        assert_eq!(
+            priors.len(),
+            dataset.num_users(),
+            "one prior per user is required"
+        );
+        simulate_gp(dataset, priors, kind, cfg, rng)
+    }
+}
+
+/// The §5.2 heuristics: round-robin users, fixed model order per user.
+fn simulate_heuristic(dataset: &Dataset, kind: SchedulerKind, cfg: &SimConfig) -> SimTrace {
+    assert_eq!(
+        dataset.num_models(),
+        IMAGE_CLASSIFIERS.len(),
+        "MOSTCITED/MOSTRECENT model the DEEPLEARNING zoo and need 8 models"
+    );
+    let order = match kind {
+        SchedulerKind::MostCited => most_cited_order(&IMAGE_CLASSIFIERS),
+        SchedulerKind::MostRecent => most_recent_order(&IMAGE_CLASSIFIERS),
+        _ => unreachable!("not a heuristic scheduler"),
+    };
+    let n = dataset.num_users();
+    let mut policies: Vec<FixedOrder> = (0..n).map(|_| FixedOrder::new(order.clone())).collect();
+    let mut losses = LossTracker::new(dataset);
+    let mut cluster = Cluster::single_device();
+    let mut points = Vec::new();
+    let mut dummy_rng = rand::rngs::mock::StepRng::new(0, 1);
+
+    // Budget-free, scheduler-independent warm-up pass (see SimTrace docs):
+    // each user starts with her cheapest model already trained.
+    for user in 0..n {
+        let model = cheapest_model(dataset, user);
+        let quality = dataset.quality(user, model);
+        policies[user].observe(model, quality);
+        losses.observe(user, quality);
+    }
+    let initial_loss = losses.mean_loss();
+
+    let mut step = 0usize;
+    let mut events = Vec::new();
+    while cluster.makespan() < cfg.budget {
+        let user = step % n;
+        let model = policies[user].select(&mut dummy_rng);
+        let quality = dataset.quality(user, model);
+        let cost = dataset.cost(user, model);
+        cluster.execute(TrainingRun { user, model, cost });
+        policies[user].observe(model, quality);
+        losses.observe(user, quality);
+        points.push((cluster.makespan(), losses.mean_loss()));
+        events.push(SimEvent {
+            user,
+            model,
+            cost,
+            quality,
+        });
+        step += 1;
+    }
+    SimTrace {
+        budget: cfg.budget,
+        initial_loss,
+        points,
+        events,
+        final_losses: losses.losses(),
+        rounds: step,
+    }
+}
+
+/// The user's cheapest model (lowest index on ties) — the neutral warm-up
+/// choice every strategy starts from.
+fn cheapest_model(dataset: &Dataset, user: usize) -> usize {
+    vec_ops::argmin(dataset.user_costs(user)).expect("non-empty dataset")
+}
+
+fn build_tenants(
+    dataset: &Dataset,
+    priors: &[ArmPrior],
+    cfg: &SimConfig,
+) -> Vec<Tenant> {
+    let n = dataset.num_users();
+    let k_star = dataset.num_models();
+    let c_star = if cfg.cost_aware {
+        dataset
+            .cost_matrix()
+            .as_slice()
+            .iter()
+            .copied()
+            .fold(0.0, f64::max)
+    } else {
+        1.0
+    };
+    let beta = BetaSchedule::MultiTenant {
+        max_cost: c_star,
+        num_tenants: n,
+        max_arms: k_star,
+        delta: cfg.delta,
+    };
+    (0..n)
+        .map(|i| {
+            let policy = if cfg.cost_aware {
+                GpUcb::cost_aware(
+                    priors[i].clone(),
+                    cfg.noise_var,
+                    beta,
+                    dataset.user_costs(i).to_vec(),
+                )
+            } else {
+                GpUcb::cost_oblivious(priors[i].clone(), cfg.noise_var, beta)
+            };
+            Tenant::new(i, policy)
+        })
+        .collect()
+}
+
+fn make_picker(kind: SchedulerKind) -> Box<dyn UserPicker> {
+    match kind {
+        SchedulerKind::Fcfs => Box::new(Fcfs),
+        SchedulerKind::RoundRobin => Box::new(RoundRobin),
+        SchedulerKind::Random => Box::new(RandomPicker),
+        SchedulerKind::Greedy(rule) => Box::new(Greedy::new(rule)),
+        SchedulerKind::Hybrid | SchedulerKind::EaseMl => Box::new(Hybrid::ease_ml()),
+        SchedulerKind::MostCited | SchedulerKind::MostRecent => {
+            unreachable!("heuristics are simulated separately")
+        }
+    }
+}
+
+/// GP-UCB model picking with the chosen user picker.
+fn simulate_gp(
+    dataset: &Dataset,
+    priors: &[ArmPrior],
+    kind: SchedulerKind,
+    cfg: &SimConfig,
+    rng: &mut dyn rand::RngCore,
+) -> SimTrace {
+    let n = dataset.num_users();
+    let mut tenants = build_tenants(dataset, priors, cfg);
+    let mut picker = make_picker(kind);
+    let mut losses = LossTracker::new(dataset);
+    let mut cluster = Cluster::single_device();
+    let mut points = Vec::new();
+    let mut rounds = 0usize;
+
+    let mut events = Vec::new();
+    let serve = |user: usize,
+                     tenants: &mut Vec<Tenant>,
+                     cluster: &mut Cluster,
+                     losses: &mut LossTracker,
+                     points: &mut Vec<(f64, f64)>,
+                     events: &mut Vec<SimEvent>| {
+        let model = tenants[user].select_model();
+        let quality = dataset.quality(user, model);
+        let cost = dataset.cost(user, model);
+        cluster.execute(TrainingRun { user, model, cost });
+        tenants[user].observe(model, quality);
+        losses.observe(user, quality);
+        points.push((cluster.makespan(), losses.mean_loss()));
+        events.push(SimEvent {
+            user,
+            model,
+            cost,
+            quality,
+        });
+    };
+
+    // Budget-free, scheduler-independent warm-up pass (Algorithm 2
+    // lines 1–4, applied uniformly; see SimTrace docs): each user starts
+    // with her cheapest model already trained — no cost charged, no point
+    // recorded, and the same starting state for every strategy.
+    for user in 0..n {
+        let model = cheapest_model(dataset, user);
+        let quality = dataset.quality(user, model);
+        tenants[user].observe(model, quality);
+        losses.observe(user, quality);
+        picker.after_observe(&tenants, user);
+    }
+    let initial_loss = losses.mean_loss();
+
+    let mut step = 0usize;
+    while cluster.makespan() < cfg.budget {
+        let user = picker.pick(&tenants, step, rng);
+        serve(
+            user,
+            &mut tenants,
+            &mut cluster,
+            &mut losses,
+            &mut points,
+            &mut events,
+        );
+        picker.after_observe(&tenants, user);
+        step += 1;
+        rounds += 1;
+    }
+
+    SimTrace {
+        budget: cfg.budget,
+        initial_loss,
+        points,
+        events,
+        final_losses: losses.losses(),
+        rounds,
+    }
+}
+
+/// The §4.5 / §5.3.2 multi-device extension: `devices` training runs execute
+/// concurrently (at most one outstanding run per user), and each run takes
+/// its full cost in wall-clock time. `cfg.budget` is interpreted as the
+/// *wall-clock* horizon — no new run is dispatched after it.
+///
+/// Contrast with [`simulate`], which models ease.ml's shipped design: the
+/// whole GPU pool as a single device. To compare the two fairly (same total
+/// GPU-time), scale the single-device run's costs by `1 / devices` — all
+/// GPUs speed up one model — as the `ablation_devices` bench does.
+///
+/// With `devices = 1` this is behaviourally identical to [`simulate`].
+///
+/// # Panics
+///
+/// Same contract as [`simulate`] plus `devices > 0`. Heuristic scheduler
+/// kinds are not supported here.
+pub fn simulate_parallel(
+    dataset: &Dataset,
+    priors: &[ArmPrior],
+    kind: SchedulerKind,
+    cfg: &SimConfig,
+    devices: usize,
+    rng: &mut dyn rand::RngCore,
+) -> SimTrace {
+    assert!(cfg.budget > 0.0, "budget must be positive");
+    assert!(devices > 0, "need at least one device");
+    assert!(
+        !kind.is_heuristic(),
+        "heuristic schedulers are single-device only"
+    );
+    assert_eq!(
+        priors.len(),
+        dataset.num_users(),
+        "one prior per user is required"
+    );
+    let n = dataset.num_users();
+    let mut tenants = build_tenants(dataset, priors, cfg);
+    let mut picker = make_picker(kind);
+    let mut losses = LossTracker::new(dataset);
+
+    // Free warm-up, identical to the serial path.
+    for user in 0..n {
+        let model = cheapest_model(dataset, user);
+        tenants[user].observe(model, dataset.quality(user, model));
+        losses.observe(user, dataset.quality(user, model));
+        picker.after_observe(&tenants, user);
+    }
+    let initial_loss = losses.mean_loss();
+
+    // Event loop: (finish_time, user, model) per in-flight run; devices
+    // dispatch greedily whenever free, skipping users already running.
+    let mut in_flight: Vec<(f64, usize, usize)> = Vec::new(); // (finish, user, model)
+    let mut busy_user = vec![false; n];
+    let mut points = Vec::new();
+    let mut events = Vec::new();
+    let mut rounds = 0usize;
+    let mut step = 0usize;
+    let mut now = 0.0f64;
+
+    let dispatch = |now: f64,
+                        tenants: &[Tenant],
+                        busy_user: &mut Vec<bool>,
+                        in_flight: &mut Vec<(f64, usize, usize)>,
+                        picker: &mut Box<dyn UserPicker>,
+                        step: &mut usize,
+                        rng: &mut dyn rand::RngCore|
+     -> bool {
+        if busy_user.iter().all(|&b| b) {
+            return false;
+        }
+        // Ask the picker until it names a free user (bounded retries), then
+        // fall back to the first free user.
+        let mut user = None;
+        for _ in 0..4 * busy_user.len() {
+            let u = picker.pick(tenants, *step, rng);
+            *step += 1;
+            if !busy_user[u] {
+                user = Some(u);
+                break;
+            }
+        }
+        let user = user.unwrap_or_else(|| busy_user.iter().position(|&b| !b).unwrap());
+        let model = tenants[user].select_model();
+        let cost = dataset.cost(user, model);
+        busy_user[user] = true;
+        in_flight.push((now + cost, user, model));
+        true
+    };
+
+    // Fill the devices initially.
+    for _ in 0..devices.min(n) {
+        if !dispatch(
+            now,
+            &tenants,
+            &mut busy_user,
+            &mut in_flight,
+            &mut picker,
+            &mut step,
+            rng,
+        ) {
+            break;
+        }
+    }
+
+    while !in_flight.is_empty() {
+        // Pop the earliest completion.
+        let idx = in_flight
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        let (finish, user, model) = in_flight.swap_remove(idx);
+        now = finish;
+        busy_user[user] = false;
+        let quality = dataset.quality(user, model);
+        tenants[user].observe(model, quality);
+        losses.observe(user, quality);
+        picker.after_observe(&tenants, user);
+        points.push((finish, losses.mean_loss()));
+        events.push(SimEvent {
+            user,
+            model,
+            cost: dataset.cost(user, model),
+            quality,
+        });
+        rounds += 1;
+        if now < cfg.budget {
+            dispatch(
+                now,
+                &tenants,
+                &mut busy_user,
+                &mut in_flight,
+                &mut picker,
+                &mut step,
+                rng,
+            );
+        }
+    }
+
+    SimTrace {
+        budget: cfg.budget,
+        initial_loss,
+        points,
+        events,
+        final_losses: losses.losses(),
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easeml_data::SynConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_dataset() -> Dataset {
+        SynConfig {
+            num_users: 5,
+            num_models: 4,
+            ..SynConfig::paper(0.5, 0.5)
+        }
+        .generate(3)
+    }
+
+    fn flat_priors(dataset: &Dataset) -> Vec<ArmPrior> {
+        (0..dataset.num_users())
+            .map(|_| ArmPrior::independent(dataset.num_models(), 0.05))
+            .collect()
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn gp_schedulers_respect_the_budget_and_record_points() {
+        let d = small_dataset();
+        let priors = flat_priors(&d);
+        for kind in [
+            SchedulerKind::Fcfs,
+            SchedulerKind::RoundRobin,
+            SchedulerKind::Random,
+            SchedulerKind::Greedy(PickRule::MaxUcbGap),
+            SchedulerKind::Hybrid,
+            SchedulerKind::EaseMl,
+        ] {
+            let cfg = SimConfig {
+                budget: 6.0,
+                cost_aware: true,
+                noise_var: 1e-3,
+                delta: 0.1,
+            };
+            let t = simulate(&d, &priors, kind, &cfg, &mut rng());
+            assert!(!t.points.is_empty(), "{}", kind.name());
+            assert_eq!(t.points.len(), t.rounds);
+            // The loop stops within one run of the budget.
+            let last_cost = t.points.last().unwrap().0;
+            assert!(last_cost >= 6.0, "{} stopped early at {last_cost}", kind.name());
+            // Costs increase monotonically; losses never increase.
+            for w in t.points.windows(2) {
+                assert!(w[1].0 > w[0].0);
+                assert!(w[1].1 <= w[0].1 + 1e-12);
+            }
+            assert_eq!(t.final_losses.len(), 5);
+        }
+    }
+
+    #[test]
+    fn unit_cost_simulation_counts_runs() {
+        let d = small_dataset().unit_cost_view();
+        let priors = flat_priors(&d);
+        let cfg = SimConfig {
+            budget: 10.0, // 10 runs
+            cost_aware: false,
+            noise_var: 1e-3,
+            delta: 0.1,
+        };
+        let t = simulate(&d, &priors, SchedulerKind::RoundRobin, &cfg, &mut rng());
+        assert_eq!(t.rounds, 10);
+        assert_eq!(t.points.last().unwrap().0, 10.0);
+    }
+
+    #[test]
+    fn round_robin_serves_users_evenly() {
+        // Weak model influence keeps every quality strictly positive, so
+        // "served at least once" is visible as a loss strictly below a*.
+        let d = SynConfig {
+            num_users: 5,
+            num_models: 4,
+            ..SynConfig::paper(0.5, 0.1)
+        }
+        .generate(3)
+        .unit_cost_view();
+        let priors = flat_priors(&d);
+        let cfg = SimConfig {
+            budget: 15.0,
+            cost_aware: false,
+            noise_var: 1e-3,
+            delta: 0.1,
+        };
+        let t = simulate(&d, &priors, SchedulerKind::RoundRobin, &cfg, &mut rng());
+        // 15 unit-cost runs over 5 users: each user's loss must have had a
+        // chance to drop: final losses are all below the per-user maximum.
+        assert_eq!(t.rounds, 15);
+        for (i, &l) in t.final_losses.iter().enumerate() {
+            assert!(l < d.best_quality(i), "user {i} never served");
+        }
+    }
+
+    #[test]
+    fn heuristics_run_on_zoo_shaped_datasets() {
+        let d = easeml_data::deeplearning::generate(1).select_users(&[0, 1, 2]);
+        let cfg = SimConfig {
+            budget: d.total_cost() * 0.5,
+            cost_aware: true,
+            noise_var: 1e-3,
+            delta: 0.1,
+        };
+        for kind in [SchedulerKind::MostCited, SchedulerKind::MostRecent] {
+            let t = simulate(&d, &[], kind, &cfg, &mut rng());
+            assert!(!t.points.is_empty());
+            // The warm-up pass trains one model per user, so the initial
+            // loss is the gap to the best model, well below a*.
+            assert!(t.initial_loss < 0.5, "warm-up pass should cap the loss");
+            assert!(t.initial_loss > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "8 models")]
+    fn heuristics_reject_non_zoo_datasets() {
+        let d = small_dataset();
+        let cfg = SimConfig::new(5.0);
+        let _ = simulate(&d, &[], SchedulerKind::MostCited, &cfg, &mut rng());
+    }
+
+    #[test]
+    fn parallel_with_one_device_matches_serial() {
+        let d = small_dataset();
+        let priors = flat_priors(&d);
+        let cfg = SimConfig {
+            budget: 8.0,
+            cost_aware: true,
+            noise_var: 1e-3,
+            delta: 0.1,
+        };
+        // Round robin is deterministic, so the two paths must agree
+        // point for point (the serial loop admits one final overshooting
+        // run; compare the common prefix).
+        let serial = simulate(&d, &priors, SchedulerKind::RoundRobin, &cfg, &mut rng());
+        let parallel =
+            simulate_parallel(&d, &priors, SchedulerKind::RoundRobin, &cfg, 1, &mut rng());
+        assert_eq!(serial.initial_loss, parallel.initial_loss);
+        let common = serial.points.len().min(parallel.points.len());
+        assert!(common > 0);
+        for i in 0..common {
+            assert!((serial.points[i].0 - parallel.points[i].0).abs() < 1e-12);
+            assert!((serial.points[i].1 - parallel.points[i].1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_devices_overlap_runs() {
+        let d = small_dataset();
+        let priors = flat_priors(&d);
+        let cfg = SimConfig {
+            budget: 6.0,
+            cost_aware: true,
+            noise_var: 1e-3,
+            delta: 0.1,
+        };
+        let t1 = simulate_parallel(&d, &priors, SchedulerKind::RoundRobin, &cfg, 1, &mut rng());
+        let t3 = simulate_parallel(&d, &priors, SchedulerKind::RoundRobin, &cfg, 3, &mut rng());
+        // More devices complete more runs within the same wall-clock.
+        assert!(
+            t3.rounds > t1.rounds,
+            "3 devices: {} runs vs 1 device: {} runs",
+            t3.rounds,
+            t1.rounds
+        );
+        // No user ever has two outstanding runs: completions per user are
+        // spaced by at least that user's minimum cost — verified implicitly
+        // by the busy flag; here check the trace is time-ordered.
+        for w in t3.points.windows(2) {
+            assert!(w[1].0 >= w[0].0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn pooled_single_device_reaches_low_loss_sooner_in_wall_clock() {
+        // §5.3.2: same GPU-time, but the pooled single device (costs / d)
+        // returns models faster, so its loss curve leads early on.
+        let d = small_dataset();
+        let priors = flat_priors(&d);
+        let devices = 4usize;
+        let budget = 4.0;
+        let pooled_dataset = {
+            let q = d.quality_matrix().clone();
+            let c = d.cost_matrix().scaled(1.0 / devices as f64);
+            Dataset::new(d.name().to_string(), q, c)
+        };
+        let cfg = SimConfig {
+            budget,
+            cost_aware: true,
+            noise_var: 1e-3,
+            delta: 0.1,
+        };
+        let pooled = simulate(&pooled_dataset, &priors, SchedulerKind::RoundRobin, &cfg, &mut rng());
+        let parallel =
+            simulate_parallel(&d, &priors, SchedulerKind::RoundRobin, &cfg, devices, &mut rng());
+        // Early in the horizon, the pooled strategy's loss is no worse.
+        let early = 0.25 * budget;
+        assert!(
+            pooled.loss_at(early) <= parallel.loss_at(early) + 1e-9,
+            "pooled {:.4} vs parallel {:.4}",
+            pooled.loss_at(early),
+            parallel.loss_at(early)
+        );
+    }
+
+    #[test]
+    fn events_record_every_budgeted_round_and_replay_regret() {
+        let d = small_dataset();
+        let priors = flat_priors(&d);
+        let cfg = SimConfig {
+            budget: 8.0,
+            cost_aware: true,
+            noise_var: 1e-3,
+            delta: 0.1,
+        };
+        let t = simulate(&d, &priors, SchedulerKind::Hybrid, &cfg, &mut rng());
+        assert_eq!(t.events.len(), t.rounds);
+        for e in &t.events {
+            assert!(e.user < d.num_users());
+            assert!(e.model < d.num_models());
+            assert_eq!(e.quality, d.quality(e.user, e.model));
+            assert_eq!(e.cost, d.cost(e.user, e.model));
+        }
+        // The replayed regret tracker agrees on total cost and dominates
+        // the ease.ml regret variant.
+        let mu_stars: Vec<f64> = (0..d.num_users()).map(|i| d.best_quality(i)).collect();
+        let reg = t.replay_regret(mu_stars);
+        assert_eq!(reg.rounds(), t.rounds);
+        let total: f64 = t.events.iter().map(|e| e.cost).sum();
+        assert!((reg.total_cost() - total).abs() < 1e-9);
+        assert!(reg.easeml_cumulative() <= reg.cumulative() + 1e-9);
+    }
+
+    #[test]
+    fn trace_resampling_is_a_step_function() {
+        let t = SimTrace {
+            budget: 10.0,
+            initial_loss: 1.0,
+            points: vec![(2.0, 0.5), (6.0, 0.2)],
+            events: vec![],
+            final_losses: vec![0.2],
+            rounds: 2,
+        };
+        assert_eq!(t.loss_at(0.0), 1.0);
+        assert_eq!(t.loss_at(1.9), 1.0);
+        assert_eq!(t.loss_at(2.0), 0.5);
+        assert_eq!(t.loss_at(5.9), 0.5);
+        assert_eq!(t.loss_at(6.0), 0.2);
+        assert_eq!(t.loss_at(100.0), 0.2);
+        assert_eq!(
+            t.resample(&[0.0, 0.5, 1.0]),
+            vec![1.0, 0.5, 0.2] // at 0%, 50% (cost 5), 100% (cost 10)
+        );
+    }
+
+    #[test]
+    fn informative_prior_beats_flat_prior_for_greedy() {
+        // Build a dataset with strong model correlation and give one
+        // simulation the true covariance: it should reach low loss with
+        // less cost than an independent prior on average.
+        let d = SynConfig {
+            num_users: 6,
+            num_models: 12,
+            ..SynConfig::paper(1.0, 1.0)
+        }
+        .generate(9);
+        let feats: Vec<Vec<f64>> =
+            easeml_data::model_quality_features(&d, &(0..3).collect::<Vec<_>>());
+        let test = d.select_users(&[3, 4, 5]);
+        let informed: Vec<ArmPrior> = (0..3)
+            .map(|_| {
+                ArmPrior::from_kernel(&easeml_gp::RbfKernel::new(0.5), &feats)
+                    .scaled(0.05)
+                    .with_mean(feats.iter().map(|f| vec_ops::mean(f)).collect())
+            })
+            .collect();
+        let flat: Vec<ArmPrior> = (0..3)
+            .map(|_| ArmPrior::independent(12, 0.05))
+            .collect();
+        let cfg = SimConfig {
+            budget: 12.0,
+            cost_aware: false,
+            noise_var: 1e-3,
+            delta: 0.1,
+        };
+        let d_unit = test.unit_cost_view();
+        let mut informed_final = 0.0;
+        let mut flat_final = 0.0;
+        for seed in 0..8 {
+            let mut r = StdRng::seed_from_u64(seed);
+            informed_final += simulate(&d_unit, &informed, SchedulerKind::Hybrid, &cfg, &mut r)
+                .final_losses
+                .iter()
+                .sum::<f64>();
+            let mut r = StdRng::seed_from_u64(seed);
+            flat_final += simulate(&d_unit, &flat, SchedulerKind::Hybrid, &cfg, &mut r)
+                .final_losses
+                .iter()
+                .sum::<f64>();
+        }
+        assert!(
+            informed_final <= flat_final + 0.3,
+            "informed prior should not be much worse: {informed_final:.3} vs {flat_final:.3}"
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! The centralized shared storage behind `feed` / `refine` (§2.1).
+//!
+//! Every `feed` invocation ships input/output pairs to the ease.ml server,
+//! which stores them centrally; `refine` lets the user review all pairs ever
+//! fed and toggle noisy ones off (weak-supervision cleaning) without
+//! deleting them. The store here is an in-memory, thread-safe simulation of
+//! that component — tensors are flat `f64` buffers.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One training example: an (input, output) tensor pair with an enabled
+/// flag the `refine` operator can toggle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Example {
+    /// Flattened input tensor.
+    pub input: Vec<f64>,
+    /// Flattened output tensor.
+    pub output: Vec<f64>,
+    /// Whether the example participates in training (toggled by `refine`).
+    pub enabled: bool,
+}
+
+/// Thread-safe shared storage of training examples, keyed by user.
+#[derive(Debug, Default)]
+pub struct SharedStorage {
+    examples: RwLock<HashMap<usize, Vec<Example>>>,
+    feed_count: AtomicUsize,
+}
+
+impl SharedStorage {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The `feed` operator: appends input/output pairs for `user` and
+    /// returns how many examples that user now has. All pairs arrive
+    /// enabled.
+    pub fn feed(
+        &self,
+        user: usize,
+        pairs: impl IntoIterator<Item = (Vec<f64>, Vec<f64>)>,
+    ) -> usize {
+        let mut map = self.examples.write();
+        let entry = map.entry(user).or_default();
+        let mut added = 0;
+        for (input, output) in pairs {
+            entry.push(Example {
+                input,
+                output,
+                enabled: true,
+            });
+            added += 1;
+        }
+        self.feed_count.fetch_add(added, Ordering::Relaxed);
+        entry.len()
+    }
+
+    /// Number of examples stored for `user` (enabled or not).
+    pub fn count(&self, user: usize) -> usize {
+        self.examples.read().get(&user).map_or(0, Vec::len)
+    }
+
+    /// Number of *enabled* examples for `user`.
+    pub fn enabled_count(&self, user: usize) -> usize {
+        self.examples
+            .read()
+            .get(&user)
+            .map_or(0, |v| v.iter().filter(|e| e.enabled).count())
+    }
+
+    /// The `refine` operator: sets the enabled flag of one example.
+    /// Returns `false` when the index does not exist.
+    pub fn refine(&self, user: usize, index: usize, enabled: bool) -> bool {
+        let mut map = self.examples.write();
+        match map.get_mut(&user).and_then(|v| v.get_mut(index)) {
+            Some(e) => {
+                e.enabled = enabled;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Snapshot of a user's examples (for `refine` UIs and training).
+    pub fn examples(&self, user: usize) -> Vec<Example> {
+        self.examples.read().get(&user).cloned().unwrap_or_default()
+    }
+
+    /// Snapshot of only the enabled examples (what training sees).
+    pub fn enabled_examples(&self, user: usize) -> Vec<Example> {
+        self.examples
+            .read()
+            .get(&user)
+            .map(|v| v.iter().filter(|e| e.enabled).cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Total number of examples ever fed across all users.
+    pub fn total_fed(&self) -> usize {
+        self.feed_count.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feed_appends_and_counts() {
+        let s = SharedStorage::new();
+        assert_eq!(s.count(0), 0);
+        let n = s.feed(0, vec![(vec![1.0], vec![0.0]), (vec![2.0], vec![1.0])]);
+        assert_eq!(n, 2);
+        let n = s.feed(0, vec![(vec![3.0], vec![1.0])]);
+        assert_eq!(n, 3);
+        assert_eq!(s.count(0), 3);
+        assert_eq!(s.count(1), 0);
+        assert_eq!(s.total_fed(), 3);
+    }
+
+    #[test]
+    fn refine_toggles_examples() {
+        let s = SharedStorage::new();
+        s.feed(7, vec![(vec![1.0], vec![0.0]), (vec![2.0], vec![1.0])]);
+        assert_eq!(s.enabled_count(7), 2);
+        assert!(s.refine(7, 0, false));
+        assert_eq!(s.enabled_count(7), 1);
+        assert_eq!(s.count(7), 2, "refine never deletes");
+        assert_eq!(s.enabled_examples(7).len(), 1);
+        assert_eq!(s.enabled_examples(7)[0].input, vec![2.0]);
+        // Re-enable.
+        assert!(s.refine(7, 0, true));
+        assert_eq!(s.enabled_count(7), 2);
+    }
+
+    #[test]
+    fn refine_out_of_range_is_a_soft_failure() {
+        let s = SharedStorage::new();
+        assert!(!s.refine(0, 0, false));
+        s.feed(0, vec![(vec![1.0], vec![0.0])]);
+        assert!(!s.refine(0, 5, false));
+    }
+
+    #[test]
+    fn per_user_isolation() {
+        let s = SharedStorage::new();
+        s.feed(0, vec![(vec![1.0], vec![0.0])]);
+        s.feed(1, vec![(vec![9.0], vec![1.0])]);
+        assert_eq!(s.examples(0)[0].input, vec![1.0]);
+        assert_eq!(s.examples(1)[0].input, vec![9.0]);
+    }
+
+    #[test]
+    fn concurrent_feeds_are_safe() {
+        use std::sync::Arc;
+        let s = Arc::new(SharedStorage::new());
+        let handles: Vec<_> = (0..8)
+            .map(|u| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        s.feed(u % 2, vec![(vec![i as f64], vec![0.0])]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.total_fed(), 800);
+        assert_eq!(s.count(0) + s.count(1), 800);
+    }
+}

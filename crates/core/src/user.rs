@@ -1,0 +1,57 @@
+//! User accounts of the ease.ml service.
+
+use easeml_dsl::Program;
+
+/// A registered ease.ml user: a research group with a declared machine
+/// learning task.
+#[derive(Debug, Clone)]
+pub struct UserAccount {
+    id: usize,
+    name: String,
+    program: Program,
+}
+
+impl UserAccount {
+    /// Creates an account from a parsed program.
+    pub fn new(id: usize, name: impl Into<String>, program: Program) -> Self {
+        UserAccount {
+            id,
+            name: name.into(),
+            program,
+        }
+    }
+
+    /// The account's numeric identifier (tenant index).
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Display name of the user / research group.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declared input/output schema.
+    #[inline]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easeml_dsl::parse_program;
+
+    #[test]
+    fn account_holds_program() {
+        let p = parse_program("{input: {[Tensor[8, 8, 3]], []}, output: {[Tensor[2]], []}}")
+            .unwrap();
+        let u = UserAccount::new(3, "astro", p.clone());
+        assert_eq!(u.id(), 3);
+        assert_eq!(u.name(), "astro");
+        assert_eq!(u.program(), &p);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the simulation engine and experiment harness.
+
+use easeml::prelude::*;
+use easeml::sim::simulate_parallel;
+use easeml_data::{Dataset, SynConfig};
+use easeml_gp::ArmPrior;
+use easeml_sched::PickRule;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset(users: usize, models: usize, seed: u64) -> Dataset {
+    SynConfig {
+        num_users: users,
+        num_models: models,
+        ..SynConfig::paper(0.5, 0.5)
+    }
+    .generate(seed)
+}
+
+fn priors(users: usize, models: usize) -> Vec<ArmPrior> {
+    (0..users)
+        .map(|_| ArmPrior::independent(models, 0.05))
+        .collect()
+}
+
+fn gp_scheduler() -> impl Strategy<Value = SchedulerKind> {
+    prop::sample::select(vec![
+        SchedulerKind::Fcfs,
+        SchedulerKind::RoundRobin,
+        SchedulerKind::Random,
+        SchedulerKind::Greedy(PickRule::MaxUcbGap),
+        SchedulerKind::Greedy(PickRule::MaxSigmaTilde),
+        SchedulerKind::Greedy(PickRule::Random),
+        SchedulerKind::Hybrid,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn simulation_invariants_hold_for_every_scheduler(
+        (kind, seed, budget) in (gp_scheduler(), 0u64..200, 2.0f64..20.0)
+    ) {
+        let d = dataset(4, 3, seed);
+        let p = priors(4, 3);
+        let cfg = SimConfig {
+            budget,
+            cost_aware: true,
+            noise_var: 1e-3,
+            delta: 0.1,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = simulate(&d, &p, kind, &cfg, &mut rng);
+
+        // Budget is respected up to exactly one overshooting run.
+        prop_assert!(!t.points.is_empty());
+        let last = t.points.last().unwrap().0;
+        prop_assert!(last >= budget);
+        if t.points.len() >= 2 {
+            prop_assert!(t.points[t.points.len() - 2].0 < budget);
+        }
+        // Costs strictly increase; losses never increase; all finite.
+        for w in t.points.windows(2) {
+            prop_assert!(w[1].0 > w[0].0);
+            prop_assert!(w[1].1 <= w[0].1 + 1e-12);
+        }
+        for &(c, l) in &t.points {
+            prop_assert!(c.is_finite() && l.is_finite() && l >= 0.0);
+        }
+        // Final losses are bounded by each user's best quality.
+        for (i, &l) in t.final_losses.iter().enumerate() {
+            prop_assert!(l >= 0.0 && l <= d.best_quality(i) + 1e-12);
+        }
+        // The trace's last mean loss equals the mean of final losses.
+        let mean_final: f64 =
+            t.final_losses.iter().sum::<f64>() / t.final_losses.len() as f64;
+        prop_assert!((t.points.last().unwrap().1 - mean_final).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resampling_is_monotone_in_the_fraction(
+        (kind, seed) in (gp_scheduler(), 0u64..100)
+    ) {
+        let d = dataset(4, 3, seed);
+        let p = priors(4, 3);
+        let cfg = SimConfig {
+            budget: 8.0,
+            cost_aware: false,
+            noise_var: 1e-3,
+            delta: 0.1,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = simulate(&d.unit_cost_view(), &p, kind, &cfg, &mut rng);
+        let grid: Vec<f64> = (0..=20).map(|i| i as f64 / 20.0).collect();
+        let curve = t.resample(&grid);
+        for w in curve.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-12, "loss increased along the grid");
+        }
+        prop_assert!(curve[0] <= t.initial_loss + 1e-12);
+    }
+
+    #[test]
+    fn parallel_simulation_invariants(
+        (devices, seed) in (1usize..5, 0u64..100)
+    ) {
+        let d = dataset(5, 3, seed);
+        let p = priors(5, 3);
+        let cfg = SimConfig {
+            budget: 6.0,
+            cost_aware: true,
+            noise_var: 1e-3,
+            delta: 0.1,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = simulate_parallel(&d, &p, SchedulerKind::RoundRobin, &cfg, devices, &mut rng);
+        // Completions are time-ordered with non-increasing losses.
+        for w in t.points.windows(2) {
+            prop_assert!(w[1].0 >= w[0].0 - 1e-12);
+            prop_assert!(w[1].1 <= w[0].1 + 1e-12);
+        }
+        prop_assert_eq!(t.points.len(), t.rounds);
+    }
+
+    #[test]
+    fn experiments_are_deterministic_and_well_formed(
+        (seed, reps) in (0u64..50, 1usize..4)
+    ) {
+        let d = dataset(8, 4, seed);
+        let cfg = ExperimentConfig {
+            test_users: 3,
+            repetitions: reps,
+            budget: Budget::FractionOfRuns(0.5),
+            grid_points: 11,
+            tune_grid: easeml_gp::TuneGrid {
+                scales: vec![1.0],
+                noises: vec![1e-3],
+            },
+            ..ExperimentConfig::default()
+        };
+        let a = run_experiment(&d, SchedulerKind::Hybrid, &cfg, seed);
+        let b = run_experiment(&d, SchedulerKind::Hybrid, &cfg, seed);
+        prop_assert_eq!(&a.mean_curve, &b.mean_curve);
+        prop_assert_eq!(a.final_losses.len(), reps);
+        prop_assert_eq!(a.grid_pct.len(), 11);
+        for (m, w) in a.mean_curve.iter().zip(&a.worst_curve) {
+            prop_assert!(w + 1e-12 >= *m, "worst must dominate mean");
+            prop_assert!(m.is_finite() && *m >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! The (quality, cost) matrix pair every experiment runs over.
+
+use easeml_linalg::{vec_ops, Matrix};
+use serde::Serialize;
+
+/// A multi-tenant workload: `num_users` user tasks, `num_models` candidate
+/// models, and for every (user, model) pair the accuracy the model reaches
+/// and the cost (execution time) of training it.
+///
+/// This is the canonical view of Figure 7 in the paper: a partially hidden
+/// matrix whose cells the scheduler reveals one training run at a time.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    name: String,
+    quality: Matrix,
+    cost: Matrix,
+}
+
+/// Summary statistics of a dataset, one row of the paper's Figure 8 table.
+#[derive(Debug, Clone, Serialize)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Number of users.
+    pub users: usize,
+    /// Number of models.
+    pub models: usize,
+    /// Minimum quality over all cells.
+    pub min_quality: f64,
+    /// Maximum quality over all cells.
+    pub max_quality: f64,
+    /// Mean quality over all cells.
+    pub mean_quality: f64,
+    /// Minimum cost over all cells.
+    pub min_cost: f64,
+    /// Maximum cost over all cells.
+    pub max_cost: f64,
+    /// Total cost of training every (user, model) pair once.
+    pub total_cost: f64,
+}
+
+impl Dataset {
+    /// Creates a dataset from matching quality and cost matrices
+    /// (users × models).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ, the matrices are empty, any quality is
+    /// outside `[0, 1]`, or any cost is not strictly positive.
+    pub fn new(name: impl Into<String>, quality: Matrix, cost: Matrix) -> Self {
+        assert_eq!(
+            quality.shape(),
+            cost.shape(),
+            "quality and cost matrices must have matching shapes"
+        );
+        assert!(
+            quality.rows() > 0 && quality.cols() > 0,
+            "dataset must be non-empty"
+        );
+        assert!(
+            quality.as_slice().iter().all(|&q| (0.0..=1.0).contains(&q)),
+            "qualities must lie in [0, 1]"
+        );
+        assert!(
+            cost.as_slice().iter().all(|&c| c > 0.0 && c.is_finite()),
+            "costs must be positive and finite"
+        );
+        Dataset {
+            name: name.into(),
+            quality,
+            cost,
+        }
+    }
+
+    /// Creates a dataset with all costs equal to 1 (the cost-oblivious
+    /// setting, where "cost" is simply the number of runs).
+    pub fn with_unit_costs(name: impl Into<String>, quality: Matrix) -> Self {
+        let cost = Matrix::filled(quality.rows(), quality.cols(), 1.0);
+        Self::new(name, quality, cost)
+    }
+
+    /// Dataset name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of users (rows).
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.quality.rows()
+    }
+
+    /// Number of models (columns).
+    #[inline]
+    pub fn num_models(&self) -> usize {
+        self.quality.cols()
+    }
+
+    /// Accuracy reached by `model` on `user`'s task.
+    #[inline]
+    pub fn quality(&self, user: usize, model: usize) -> f64 {
+        self.quality[(user, model)]
+    }
+
+    /// Cost (execution time) of training `model` on `user`'s data.
+    #[inline]
+    pub fn cost(&self, user: usize, model: usize) -> f64 {
+        self.cost[(user, model)]
+    }
+
+    /// The full quality matrix.
+    #[inline]
+    pub fn quality_matrix(&self) -> &Matrix {
+        &self.quality
+    }
+
+    /// The full cost matrix.
+    #[inline]
+    pub fn cost_matrix(&self) -> &Matrix {
+        &self.cost
+    }
+
+    /// The quality row of one user over all models.
+    pub fn user_qualities(&self, user: usize) -> &[f64] {
+        self.quality.row(user)
+    }
+
+    /// The cost row of one user over all models.
+    pub fn user_costs(&self, user: usize) -> &[f64] {
+        self.cost.row(user)
+    }
+
+    /// Best achievable accuracy `a*_i` for a user (the max over models).
+    pub fn best_quality(&self, user: usize) -> f64 {
+        vec_ops::max(self.user_qualities(user)).expect("non-empty dataset")
+    }
+
+    /// Total cost of training every (user, model) pair once — the paper's
+    /// "total runtime of all models" used to express budgets as percentages.
+    pub fn total_cost(&self) -> f64 {
+        self.cost.as_slice().iter().sum()
+    }
+
+    /// A copy of this dataset restricted to the given users (e.g. the test
+    /// split), preserving model order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `users` is empty or contains an out-of-range index.
+    pub fn select_users(&self, users: &[usize]) -> Dataset {
+        assert!(!users.is_empty(), "user selection must be non-empty");
+        let m = self.num_models();
+        let quality = Matrix::from_fn(users.len(), m, |i, j| self.quality[(users[i], j)]);
+        let cost = Matrix::from_fn(users.len(), m, |i, j| self.cost[(users[i], j)]);
+        Dataset {
+            name: self.name.clone(),
+            quality,
+            cost,
+        }
+    }
+
+    /// A copy of this dataset with all costs replaced by 1 — used by the
+    /// cost-awareness lesion study (Fig. 13 sets `c_{i,j} = 1`).
+    pub fn unit_cost_view(&self) -> Dataset {
+        Dataset {
+            name: format!("{} (unit costs)", self.name),
+            quality: self.quality.clone(),
+            cost: Matrix::filled(self.quality.rows(), self.quality.cols(), 1.0),
+        }
+    }
+
+    /// Figure-8-style summary statistics.
+    pub fn stats(&self) -> DatasetStats {
+        let q = self.quality.as_slice();
+        let c = self.cost.as_slice();
+        DatasetStats {
+            name: self.name.clone(),
+            users: self.num_users(),
+            models: self.num_models(),
+            min_quality: vec_ops::min(q).unwrap(),
+            max_quality: vec_ops::max(q).unwrap(),
+            mean_quality: vec_ops::mean(q),
+            min_cost: vec_ops::min(c).unwrap(),
+            max_cost: vec_ops::max(c).unwrap(),
+            total_cost: self.total_cost(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let q = Matrix::from_rows(&[&[0.9, 0.5], &[0.3, 0.7]]);
+        let c = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 4.0]]);
+        Dataset::new("tiny", q, c)
+    }
+
+    #[test]
+    fn accessors() {
+        let d = tiny();
+        assert_eq!(d.name(), "tiny");
+        assert_eq!(d.num_users(), 2);
+        assert_eq!(d.num_models(), 2);
+        assert_eq!(d.quality(0, 0), 0.9);
+        assert_eq!(d.cost(1, 1), 4.0);
+        assert_eq!(d.user_qualities(1), &[0.3, 0.7]);
+        assert_eq!(d.user_costs(0), &[2.0, 1.0]);
+        assert_eq!(d.best_quality(0), 0.9);
+        assert_eq!(d.best_quality(1), 0.7);
+        assert_eq!(d.total_cost(), 8.0);
+    }
+
+    #[test]
+    fn unit_costs_constructor_and_view() {
+        let q = Matrix::from_rows(&[&[0.9, 0.5]]);
+        let d = Dataset::with_unit_costs("u", q);
+        assert_eq!(d.cost(0, 1), 1.0);
+        let d2 = tiny().unit_cost_view();
+        assert_eq!(d2.cost(1, 1), 1.0);
+        assert_eq!(d2.quality(1, 1), 0.7);
+        assert!(d2.name().contains("unit costs"));
+    }
+
+    #[test]
+    fn select_users_preserves_rows() {
+        let d = tiny().select_users(&[1]);
+        assert_eq!(d.num_users(), 1);
+        assert_eq!(d.quality(0, 0), 0.3);
+        assert_eq!(d.cost(0, 1), 4.0);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let s = tiny().stats();
+        assert_eq!(s.users, 2);
+        assert_eq!(s.models, 2);
+        assert_eq!(s.min_quality, 0.3);
+        assert_eq!(s.max_quality, 0.9);
+        assert!((s.mean_quality - 0.6).abs() < 1e-12);
+        assert_eq!(s.max_cost, 4.0);
+        assert_eq!(s.total_cost, 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matching shapes")]
+    fn mismatched_shapes_panic() {
+        let _ = Dataset::new("x", Matrix::zeros(2, 2), Matrix::filled(2, 3, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 1]")]
+    fn out_of_range_quality_panics() {
+        let q = Matrix::from_rows(&[&[1.5]]);
+        let _ = Dataset::new("x", q, Matrix::filled(1, 1, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cost_panics() {
+        let q = Matrix::from_rows(&[&[0.5]]);
+        let _ = Dataset::new("x", q, Matrix::zeros(1, 1));
+    }
+}

@@ -1,0 +1,213 @@
+//! CSV interchange for datasets.
+//!
+//! Real deployments would replay their own training logs instead of the
+//! bundled surrogates; this module defines the long-format CSV the harness
+//! reads and writes: one row per (user, model) cell with its quality and
+//! cost.
+
+use crate::dataset::Dataset;
+use easeml_linalg::Matrix;
+use std::fmt::Write as _;
+
+/// Serializes a dataset to long-format CSV:
+/// `user,model,quality,cost` with a header row.
+pub fn to_csv(dataset: &Dataset) -> String {
+    let mut out = String::from("user,model,quality,cost\n");
+    for i in 0..dataset.num_users() {
+        for j in 0..dataset.num_models() {
+            writeln!(
+                out,
+                "{i},{j},{},{}",
+                dataset.quality(i, j),
+                dataset.cost(i, j)
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// Parse error for [`from_csv`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based line number of the problem.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "csv error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Deserializes a dataset from the long-format CSV produced by [`to_csv`].
+/// The cell set must be dense (every (user, model) pair present exactly
+/// once); users and models must be 0-based contiguous indices.
+///
+/// # Errors
+///
+/// Returns a [`CsvError`] naming the offending line for malformed rows,
+/// duplicate cells, missing cells, or out-of-range values.
+pub fn from_csv(name: &str, csv: &str) -> Result<Dataset, CsvError> {
+    let mut cells: Vec<(usize, usize, f64, f64)> = Vec::new();
+    let mut max_user = 0usize;
+    let mut max_model = 0usize;
+    for (idx, line) in csv.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || (idx == 0 && line.starts_with("user")) {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 4 {
+            return Err(CsvError {
+                line: line_no,
+                message: format!("expected 4 fields, found {}", fields.len()),
+            });
+        }
+        let parse_int = |s: &str, what: &str| {
+            s.parse::<usize>().map_err(|_| CsvError {
+                line: line_no,
+                message: format!("invalid {what} `{s}`"),
+            })
+        };
+        let parse_float = |s: &str, what: &str| {
+            s.parse::<f64>().map_err(|_| CsvError {
+                line: line_no,
+                message: format!("invalid {what} `{s}`"),
+            })
+        };
+        let user = parse_int(fields[0], "user index")?;
+        let model = parse_int(fields[1], "model index")?;
+        let quality = parse_float(fields[2], "quality")?;
+        let cost = parse_float(fields[3], "cost")?;
+        if !(0.0..=1.0).contains(&quality) {
+            return Err(CsvError {
+                line: line_no,
+                message: format!("quality {quality} outside [0, 1]"),
+            });
+        }
+        if cost <= 0.0 || !cost.is_finite() {
+            return Err(CsvError {
+                line: line_no,
+                message: format!("cost {cost} must be positive and finite"),
+            });
+        }
+        max_user = max_user.max(user);
+        max_model = max_model.max(model);
+        cells.push((user, model, quality, cost));
+    }
+    if cells.is_empty() {
+        return Err(CsvError {
+            line: 1,
+            message: "no data rows".into(),
+        });
+    }
+    let users = max_user + 1;
+    let models = max_model + 1;
+    if cells.len() != users * models {
+        return Err(CsvError {
+            line: csv.lines().count(),
+            message: format!(
+                "expected a dense {users}x{models} grid ({} cells), found {}",
+                users * models,
+                cells.len()
+            ),
+        });
+    }
+    let mut quality = Matrix::zeros(users, models);
+    let mut cost = Matrix::zeros(users, models);
+    let mut seen = vec![false; users * models];
+    for (u, m, q, c) in cells {
+        let flat = u * models + m;
+        if seen[flat] {
+            return Err(CsvError {
+                line: 0,
+                message: format!("duplicate cell ({u}, {m})"),
+            });
+        }
+        seen[flat] = true;
+        quality[(u, m)] = q;
+        cost[(u, m)] = c;
+    }
+    Ok(Dataset::new(name, quality, cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SynConfig;
+
+    #[test]
+    fn roundtrip_preserves_every_cell() {
+        let d = SynConfig {
+            num_users: 4,
+            num_models: 3,
+            ..SynConfig::paper(0.5, 0.5)
+        }
+        .generate(9);
+        let csv = to_csv(&d);
+        let back = from_csv(d.name(), &csv).unwrap();
+        assert_eq!(back.num_users(), 4);
+        assert_eq!(back.num_models(), 3);
+        for i in 0..4 {
+            for j in 0..3 {
+                assert!((back.quality(i, j) - d.quality(i, j)).abs() < 1e-12);
+                assert!((back.cost(i, j) - d.cost(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn header_and_blank_lines_are_tolerated() {
+        let csv = "user,model,quality,cost\n0,0,0.5,1.0\n\n0,1,0.6,2.0\n";
+        let d = from_csv("t", csv).unwrap();
+        assert_eq!(d.num_users(), 1);
+        assert_eq!(d.num_models(), 2);
+        assert_eq!(d.quality(0, 1), 0.6);
+    }
+
+    #[test]
+    fn malformed_rows_are_reported_with_line_numbers() {
+        let e = from_csv("t", "user,model,quality,cost\n0,0,0.5\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("4 fields"));
+
+        let e = from_csv("t", "0,zero,0.5,1.0\n").unwrap_err();
+        assert!(e.message.contains("model index"));
+
+        let e = from_csv("t", "0,0,1.5,1.0\n").unwrap_err();
+        assert!(e.message.contains("outside"));
+
+        let e = from_csv("t", "0,0,0.5,0.0\n").unwrap_err();
+        assert!(e.message.contains("positive"));
+    }
+
+    #[test]
+    fn sparse_grids_are_rejected() {
+        // 2 users × 2 models but only 3 cells.
+        let csv = "0,0,0.5,1.0\n0,1,0.5,1.0\n1,0,0.5,1.0\n1,1,0.5,1.0\n";
+        assert!(from_csv("t", csv).is_ok());
+        let sparse = "0,0,0.5,1.0\n0,1,0.5,1.0\n1,1,0.5,1.0\n";
+        let e = from_csv("t", sparse).unwrap_err();
+        assert!(e.message.contains("dense"));
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(from_csv("t", "").is_err());
+        assert!(from_csv("t", "user,model,quality,cost\n").is_err());
+    }
+
+    #[test]
+    fn duplicate_cells_are_rejected() {
+        let csv = "0,0,0.5,1.0\n0,0,0.6,1.0\n";
+        let e = from_csv("t", csv).unwrap_err();
+        // Dense check fires first (2 cells for a 1x1 grid).
+        assert!(e.message.contains("dense") || e.message.contains("duplicate"));
+    }
+}

@@ -1,0 +1,39 @@
+//! Workload datasets for the ease.ml reproduction (paper §5.1, Appendix B).
+//!
+//! Every experiment in the paper runs over a *(quality, cost)* matrix: one
+//! row per user (dataset), one column per candidate model, with each cell
+//! holding the accuracy the model reaches on that user's task and the time
+//! it takes to train. This crate provides:
+//!
+//! * [`Dataset`] — the matrix pair plus metadata and derived statistics;
+//! * [`synthetic`] — the Appendix-B generative model (baseline groups,
+//!   correlated model groups with hidden features, user groups, white noise)
+//!   and the simplified §5.1 `SYN(σ_M, α)` generator;
+//! * [`deeplearning`] — a seeded surrogate for the paper's DEEPLEARNING log
+//!   (22 image-classification users × 8 CNN architectures, real-shaped
+//!   qualities and costs);
+//! * [`classifier179`] — a seeded surrogate for the 179CLASSIFIER benchmark
+//!   of Delgado et al. (121 UCI users × 179 classifier models, uniform
+//!   synthetic costs);
+//! * [`split`] — train/test user splits and the Appendix-A "quality vector"
+//!   featurization of models on training users;
+//! * [`dist`] — deterministic scalar and multivariate normal sampling
+//!   (Box–Muller + Cholesky), so the workspace does not need `rand_distr`;
+//! * [`presets`] — the exact six datasets of Figure 8.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod classifier179;
+pub mod dataset;
+pub mod deeplearning;
+pub mod dist;
+pub mod io;
+pub mod presets;
+pub mod split;
+pub mod synthetic;
+
+pub use dataset::Dataset;
+pub use presets::{all_datasets, DatasetKind};
+pub use split::{model_quality_features, TrainTestSplit};
+pub use synthetic::{SynConfig, SyntheticFullConfig};

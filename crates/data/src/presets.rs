@@ -1,0 +1,97 @@
+//! The six evaluation datasets of Figure 8.
+
+use crate::classifier179;
+use crate::dataset::Dataset;
+use crate::deeplearning;
+use crate::synthetic::SynConfig;
+
+/// Identifier of one of the paper's six evaluation datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// 22 image-classification users × 8 CNNs, real-shaped quality and cost.
+    DeepLearning,
+    /// 121 UCI users × 179 classifiers, synthetic `U(0,1)` cost.
+    Classifier179,
+    /// `SYN(0.01, 0.1)`: weak model correlation, weak model influence.
+    Syn001_01,
+    /// `SYN(0.01, 1.0)`: weak model correlation, strong model influence.
+    Syn001_10,
+    /// `SYN(0.5, 0.1)`: strong model correlation, weak model influence.
+    Syn05_01,
+    /// `SYN(0.5, 1.0)`: strong model correlation, strong model influence.
+    Syn05_10,
+}
+
+impl DatasetKind {
+    /// All six kinds in the paper's Figure-8 order.
+    pub const ALL: [DatasetKind; 6] = [
+        DatasetKind::DeepLearning,
+        DatasetKind::Classifier179,
+        DatasetKind::Syn001_01,
+        DatasetKind::Syn001_10,
+        DatasetKind::Syn05_01,
+        DatasetKind::Syn05_10,
+    ];
+
+    /// The dataset's display name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::DeepLearning => "DEEPLEARNING",
+            DatasetKind::Classifier179 => "179CLASSIFIER",
+            DatasetKind::Syn001_01 => "SYN(0.01,0.1)",
+            DatasetKind::Syn001_10 => "SYN(0.01,1.0)",
+            DatasetKind::Syn05_01 => "SYN(0.5,0.1)",
+            DatasetKind::Syn05_10 => "SYN(0.5,1.0)",
+        }
+    }
+
+    /// Generates the dataset deterministically from `seed`.
+    pub fn generate(self, seed: u64) -> Dataset {
+        match self {
+            DatasetKind::DeepLearning => deeplearning::generate(seed),
+            DatasetKind::Classifier179 => classifier179::generate(seed),
+            DatasetKind::Syn001_01 => SynConfig::paper(0.01, 0.1).generate(seed),
+            DatasetKind::Syn001_10 => SynConfig::paper(0.01, 1.0).generate(seed),
+            DatasetKind::Syn05_01 => SynConfig::paper(0.5, 0.1).generate(seed),
+            DatasetKind::Syn05_10 => SynConfig::paper(0.5, 1.0).generate(seed),
+        }
+    }
+}
+
+/// Generates all six Figure-8 datasets from one seed.
+pub fn all_datasets(seed: u64) -> Vec<Dataset> {
+    DatasetKind::ALL.iter().map(|k| k.generate(seed)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_8_shapes() {
+        let expected = [
+            ("DEEPLEARNING", 22, 8),
+            ("179CLASSIFIER", 121, 179),
+            ("SYN(0.01,0.1)", 200, 100),
+            ("SYN(0.01,1.0)", 200, 100),
+            ("SYN(0.5,0.1)", 200, 100),
+            ("SYN(0.5,1.0)", 200, 100),
+        ];
+        for (kind, (name, users, models)) in DatasetKind::ALL.iter().zip(expected) {
+            let d = kind.generate(1);
+            assert_eq!(d.name(), name);
+            assert_eq!(d.num_users(), users, "{name}");
+            assert_eq!(d.num_models(), models, "{name}");
+            assert_eq!(kind.name(), name);
+        }
+    }
+
+    #[test]
+    fn all_datasets_yields_six() {
+        let ds = all_datasets(7);
+        assert_eq!(ds.len(), 6);
+        // All names are distinct.
+        let names: std::collections::HashSet<_> = ds.iter().map(|d| d.name()).collect();
+        assert_eq!(names.len(), 6);
+    }
+}

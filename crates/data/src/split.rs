@@ -1,0 +1,166 @@
+//! Train/test user splits and the Appendix-A model featurization.
+//!
+//! The paper's protocol (§5.2, Appendix A): randomly split the users into a
+//! training set and a testing set; evaluate every model on every *training*
+//! user to form per-model "quality vectors"; use those vectors as the
+//! feature representation from which the GP kernel is computed; then run the
+//! schedulers on the *testing* users only. Each experiment repeats this with
+//! 50 random splits.
+
+use crate::dataset::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A partition of a dataset's users into training and testing sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrainTestSplit {
+    /// Users whose (model, quality) outcomes are visible for kernel
+    /// construction.
+    pub train_users: Vec<usize>,
+    /// Users the scheduler is evaluated on.
+    pub test_users: Vec<usize>,
+}
+
+impl TrainTestSplit {
+    /// Draws a uniformly random split with `test_count` testing users.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `test_count` is zero or ≥ `num_users` (at least one
+    /// training user is required for the kernel).
+    pub fn random(num_users: usize, test_count: usize, rng: &mut impl Rng) -> Self {
+        assert!(test_count > 0, "need at least one test user");
+        assert!(
+            test_count < num_users,
+            "need at least one training user ({test_count} test of {num_users})"
+        );
+        let mut ids: Vec<usize> = (0..num_users).collect();
+        ids.shuffle(rng);
+        let test_users = ids[..test_count].to_vec();
+        let mut train_users = ids[test_count..].to_vec();
+        train_users.sort_unstable();
+        TrainTestSplit {
+            train_users,
+            test_users,
+        }
+    }
+
+    /// Keeps only the first `fraction` (0, 1] of the training users —
+    /// the Figure-14 "training-set size" knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `(0, 1]`.
+    pub fn truncate_train(&self, fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
+        let keep = ((self.train_users.len() as f64 * fraction).round() as usize).max(1);
+        TrainTestSplit {
+            train_users: self.train_users[..keep.min(self.train_users.len())].to_vec(),
+            test_users: self.test_users.clone(),
+        }
+    }
+}
+
+/// Builds the Appendix-A quality-vector features: one vector per model,
+/// indexed by the training users, holding the model's accuracy on each.
+/// These are the inputs to the GP kernel ("the performance of a model on
+/// other users' data sets defines the similarity between models", §5.3.2).
+///
+/// # Panics
+///
+/// Panics if `train_users` is empty or contains an out-of-range index.
+pub fn model_quality_features(dataset: &Dataset, train_users: &[usize]) -> Vec<Vec<f64>> {
+    assert!(!train_users.is_empty(), "need at least one training user");
+    assert!(
+        train_users.iter().all(|&u| u < dataset.num_users()),
+        "training user index out of range"
+    );
+    (0..dataset.num_models())
+        .map(|j| train_users.iter().map(|&u| dataset.quality(u, j)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easeml_linalg::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn split_partitions_users() {
+        let s = TrainTestSplit::random(20, 5, &mut rng());
+        assert_eq!(s.test_users.len(), 5);
+        assert_eq!(s.train_users.len(), 15);
+        let mut all: Vec<usize> = s
+            .train_users
+            .iter()
+            .chain(&s.test_users)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn different_rng_states_give_different_splits() {
+        let mut r = rng();
+        let a = TrainTestSplit::random(50, 10, &mut r);
+        let b = TrainTestSplit::random(50, 10, &mut r);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn truncate_train_keeps_fraction() {
+        let s = TrainTestSplit {
+            train_users: (0..10).collect(),
+            test_users: vec![10, 11],
+        };
+        assert_eq!(s.truncate_train(0.5).train_users.len(), 5);
+        assert_eq!(s.truncate_train(1.0).train_users.len(), 10);
+        // Tiny fractions still keep at least one user.
+        assert_eq!(s.truncate_train(0.01).train_users.len(), 1);
+        assert_eq!(s.truncate_train(0.5).test_users, vec![10, 11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1]")]
+    fn zero_fraction_panics() {
+        let s = TrainTestSplit {
+            train_users: vec![0],
+            test_users: vec![1],
+        };
+        let _ = s.truncate_train(0.0);
+    }
+
+    #[test]
+    fn features_are_indexed_by_training_users() {
+        let q = Matrix::from_rows(&[&[0.1, 0.2], &[0.3, 0.4], &[0.5, 0.6]]);
+        let d = Dataset::with_unit_costs("t", q);
+        let feats = model_quality_features(&d, &[0, 2]);
+        assert_eq!(feats.len(), 2); // one per model
+        assert_eq!(feats[0], vec![0.1, 0.5]);
+        assert_eq!(feats[1], vec![0.2, 0.6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one training user")]
+    fn empty_train_users_panics() {
+        let q = Matrix::from_rows(&[&[0.1]]);
+        let d = Dataset::with_unit_costs("t", q);
+        let _ = model_quality_features(&d, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one training user")]
+    fn split_needs_a_training_user() {
+        let _ = TrainTestSplit::random(5, 5, &mut rng());
+    }
+}

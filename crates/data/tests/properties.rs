@@ -1,0 +1,163 @@
+//! Property-based tests for the dataset layer: generator invariants, split
+//! invariants, and featurization consistency.
+
+use easeml_data::synthetic::{BaselineGroup, SyntheticFullConfig};
+use easeml_data::{model_quality_features, SynConfig, TrainTestSplit};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn syn_config() -> impl Strategy<Value = SynConfig> {
+    (
+        2usize..12,
+        2usize..10,
+        0.01f64..2.0,
+        0.05f64..1.5,
+        0.2f64..0.8,
+        0.01f64..0.3,
+    )
+        .prop_map(|(users, models, sigma_m, alpha, mean, std)| SynConfig {
+            num_users: users,
+            num_models: models,
+            sigma_m,
+            alpha,
+            baseline_mean: mean,
+            baseline_std: std,
+            cost_range: (0.05, 1.0),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn syn_generator_respects_bounds((cfg, seed) in (syn_config(), 0u64..500)) {
+        let d = cfg.generate(seed);
+        prop_assert_eq!(d.num_users(), cfg.num_users);
+        prop_assert_eq!(d.num_models(), cfg.num_models);
+        for q in d.quality_matrix().as_slice() {
+            prop_assert!((0.0..=1.0).contains(q));
+        }
+        for c in d.cost_matrix().as_slice() {
+            prop_assert!(*c >= cfg.cost_range.0 && *c < cfg.cost_range.1);
+        }
+        // best_quality is the row max.
+        for i in 0..d.num_users() {
+            let row_max = d
+                .user_qualities(i)
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(d.best_quality(i), row_max);
+        }
+    }
+
+    #[test]
+    fn syn_generator_is_deterministic((cfg, seed) in (syn_config(), 0u64..100)) {
+        let a = cfg.generate(seed);
+        let b = cfg.generate(seed);
+        prop_assert!(a.quality_matrix().approx_eq(b.quality_matrix(), 0.0));
+        prop_assert!(a.cost_matrix().approx_eq(b.cost_matrix(), 0.0));
+    }
+
+    #[test]
+    fn full_generator_respects_bounds(
+        (sigma_b, sigma_m, sigma_w, seed) in
+            (0.01f64..0.2, 0.05f64..2.0, 0.0f64..0.1, 0u64..100)
+    ) {
+        let mut cfg = SyntheticFullConfig::paper(sigma_b, sigma_m, 0.5, sigma_w);
+        // Shrink for test speed.
+        cfg.models_per_group = 8;
+        for g in &mut cfg.baseline_groups {
+            g.users_per_user_group = 5;
+        }
+        let d = cfg.generate(seed);
+        prop_assert_eq!(d.num_users(), cfg.num_users());
+        prop_assert_eq!(d.num_models(), cfg.num_models());
+        for q in d.quality_matrix().as_slice() {
+            prop_assert!((0.0..=1.0).contains(q));
+        }
+    }
+
+    #[test]
+    fn full_generator_group_counts_add_up(
+        (a, b, groups) in (1usize..10, 1usize..10, 1usize..4)
+    ) {
+        let cfg = SyntheticFullConfig {
+            baseline_groups: vec![
+                BaselineGroup { mean: 0.7, std: 0.05, users_per_user_group: a },
+                BaselineGroup { mean: 0.3, std: 0.05, users_per_user_group: b },
+            ],
+            model_group_sigmas: vec![0.5; groups],
+            models_per_group: 6,
+            user_group_sigmas: vec![0.4, 0.8],
+            model_amplitude: 0.1,
+            user_amplitude: 0.05,
+            sigma_w: 0.02,
+            cost_range: (0.1, 1.0),
+        };
+        prop_assert_eq!(cfg.num_users(), 2 * (a + b));
+        prop_assert_eq!(cfg.num_models(), 6 * groups);
+        let d = cfg.generate(3);
+        prop_assert_eq!(d.num_users(), 2 * (a + b));
+    }
+
+    #[test]
+    fn splits_partition_and_truncation_shrinks(
+        (n, test, frac, seed) in (4usize..40, 1usize..3, 0.05f64..1.0, 0u64..100)
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = TrainTestSplit::random(n, test, &mut rng);
+        prop_assert_eq!(s.test_users.len(), test);
+        prop_assert_eq!(s.train_users.len(), n - test);
+        let mut all: Vec<usize> = s.train_users.iter().chain(&s.test_users).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+
+        let t = s.truncate_train(frac);
+        prop_assert!(!t.train_users.is_empty());
+        prop_assert!(t.train_users.len() <= s.train_users.len());
+        prop_assert_eq!(t.test_users, s.test_users);
+        // Truncated set is a prefix of the original training set.
+        prop_assert_eq!(&s.train_users[..t.train_users.len()], &t.train_users[..]);
+    }
+
+    #[test]
+    fn quality_features_match_the_matrix(
+        seed in 0u64..50
+    ) {
+        let d = SynConfig {
+            num_users: 8,
+            num_models: 5,
+            ..SynConfig::paper(0.5, 0.5)
+        }
+        .generate(seed);
+        let train = vec![1usize, 3, 6];
+        let feats = model_quality_features(&d, &train);
+        prop_assert_eq!(feats.len(), 5);
+        for (j, f) in feats.iter().enumerate() {
+            prop_assert_eq!(f.len(), 3);
+            for (slot, &u) in f.iter().zip(&train) {
+                prop_assert_eq!(*slot, d.quality(u, j));
+            }
+        }
+    }
+
+    #[test]
+    fn select_users_preserves_cells(seed in 0u64..50) {
+        let d = SynConfig {
+            num_users: 6,
+            num_models: 4,
+            ..SynConfig::paper(0.5, 0.5)
+        }
+        .generate(seed);
+        let sel = d.select_users(&[5, 0, 2]);
+        prop_assert_eq!(sel.num_users(), 3);
+        for (new_i, &old_i) in [5usize, 0, 2].iter().enumerate() {
+            for j in 0..4 {
+                prop_assert_eq!(sel.quality(new_i, j), d.quality(old_i, j));
+                prop_assert_eq!(sel.cost(new_i, j), d.cost(old_i, j));
+            }
+        }
+    }
+}

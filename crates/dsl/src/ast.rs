@@ -1,0 +1,299 @@
+//! Abstract syntax of ease.ml programs (Figure 2).
+
+use crate::error::ParseError;
+use serde::Serialize;
+use std::fmt;
+
+/// A constant-sized tensor field, optionally named
+/// (`field1 :: Tensor[256, 256, 3]` or just `Tensor[10]`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct TensorField {
+    /// Optional field name (must match `[a-z0-9_]+` when present).
+    pub name: Option<String>,
+    /// Tensor dimensions; all strictly positive.
+    pub dims: Vec<u64>,
+}
+
+impl TensorField {
+    /// An anonymous tensor field.
+    pub fn anon(dims: Vec<u64>) -> Self {
+        TensorField { name: None, dims }
+    }
+
+    /// A named tensor field.
+    pub fn named(name: impl Into<String>, dims: Vec<u64>) -> Self {
+        TensorField {
+            name: Some(name.into()),
+            dims,
+        }
+    }
+
+    /// The tensor's rank (number of dimensions).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of scalar elements.
+    pub fn num_elements(&self) -> u64 {
+        self.dims.iter().product()
+    }
+}
+
+impl fmt::Display for TensorField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(name) = &self.name {
+            write!(f, "{name} :: ")?;
+        }
+        write!(f, "Tensor[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// An ease.ml data type: a list of constant-sized tensor fields (the
+/// non-recursive component) plus a list of named recursive fields pointing
+/// to objects of the same type (chains for time series, two children for
+/// trees, …).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct DataType {
+    /// Non-recursive (tensor) fields.
+    pub tensors: Vec<TensorField>,
+    /// Recursive field names.
+    pub recursive: Vec<String>,
+}
+
+impl DataType {
+    /// A purely tensor-shaped type (no recursion).
+    pub fn flat(tensors: Vec<TensorField>) -> Self {
+        DataType {
+            tensors,
+            recursive: Vec::new(),
+        }
+    }
+
+    /// Whether the type has recursive structure.
+    #[inline]
+    pub fn is_recursive(&self) -> bool {
+        !self.recursive.is_empty()
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{[")?;
+        for (i, t) in self.tensors.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "], [")?;
+        for (i, r) in self.recursive.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "]}}")
+    }
+}
+
+/// A full ease.ml program: the declared input and output types.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Program {
+    /// Shape of input objects.
+    pub input: DataType,
+    /// Shape of output objects.
+    pub output: DataType,
+}
+
+impl Program {
+    /// Validates structural invariants beyond what the grammar enforces:
+    ///
+    /// * every tensor has at least one dimension, all strictly positive;
+    /// * field names match `[a-z0-9_]+` and must not start with a digit;
+    /// * names (tensor and recursive together) are unique within each type;
+    /// * each type has at least one field of some kind (a completely empty
+    ///   object approximates nothing).
+    ///
+    /// The grammar's DAG restriction (no object reuse) is inherent in the
+    /// syntax — recursion is only by name to the same type — so no extra
+    /// check is needed here.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] (offset 0) describing the first violation.
+    pub fn validate(&self) -> Result<(), ParseError> {
+        for (side, dt) in [("input", &self.input), ("output", &self.output)] {
+            if dt.tensors.is_empty() && dt.recursive.is_empty() {
+                return Err(ParseError::new(0, format!("{side} type is empty")));
+            }
+            let mut names = std::collections::HashSet::new();
+            for t in &dt.tensors {
+                if t.dims.is_empty() {
+                    return Err(ParseError::new(
+                        0,
+                        format!("{side} tensor has no dimensions"),
+                    ));
+                }
+                if t.dims.contains(&0) {
+                    return Err(ParseError::new(
+                        0,
+                        format!("{side} tensor has a zero dimension"),
+                    ));
+                }
+                if let Some(name) = &t.name {
+                    validate_field_name(side, name)?;
+                    if !names.insert(name.clone()) {
+                        return Err(ParseError::new(
+                            0,
+                            format!("duplicate field name `{name}` in {side}"),
+                        ));
+                    }
+                }
+            }
+            for r in &dt.recursive {
+                validate_field_name(side, r)?;
+                if !names.insert(r.clone()) {
+                    return Err(ParseError::new(
+                        0,
+                        format!("duplicate field name `{r}` in {side}"),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn validate_field_name(side: &str, name: &str) -> Result<(), ParseError> {
+    let ok = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        && !name.starts_with(|c: char| c.is_ascii_digit());
+    if ok {
+        Ok(())
+    } else {
+        Err(ParseError::new(
+            0,
+            format!("invalid field name `{name}` in {side} (expected [a-z_][a-z0-9_]*)"),
+        ))
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{input: {}, output: {}}}", self.input, self.output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image_classification() -> Program {
+        Program {
+            input: DataType::flat(vec![TensorField::anon(vec![256, 256, 3])]),
+            output: DataType::flat(vec![TensorField::anon(vec![1000])]),
+        }
+    }
+
+    #[test]
+    fn tensor_field_basics() {
+        let t = TensorField::named("field1", vec![256, 256, 3]);
+        assert_eq!(t.rank(), 3);
+        assert_eq!(t.num_elements(), 256 * 256 * 3);
+        assert_eq!(t.to_string(), "field1 :: Tensor[256, 256, 3]");
+        assert_eq!(TensorField::anon(vec![10]).to_string(), "Tensor[10]");
+    }
+
+    #[test]
+    fn display_roundtrips_shape() {
+        let p = image_classification();
+        assert_eq!(
+            p.to_string(),
+            "{input: {[Tensor[256, 256, 3]], []}, output: {[Tensor[1000]], []}}"
+        );
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        assert!(image_classification().validate().is_ok());
+        // Time series: 1-D tensor + recursive pointer.
+        let ts = Program {
+            input: DataType {
+                tensors: vec![TensorField::anon(vec![10])],
+                recursive: vec!["next".into()],
+            },
+            output: DataType {
+                tensors: vec![TensorField::anon(vec![10])],
+                recursive: vec!["next".into()],
+            },
+        };
+        assert!(ts.validate().is_ok());
+        assert!(ts.input.is_recursive());
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        let p = Program {
+            input: DataType::flat(vec![TensorField::anon(vec![0])]),
+            output: DataType::flat(vec![TensorField::anon(vec![1])]),
+        };
+        assert!(p.validate().unwrap_err().message.contains("zero dimension"));
+    }
+
+    #[test]
+    fn empty_dims_rejected() {
+        let p = Program {
+            input: DataType::flat(vec![TensorField::anon(vec![])]),
+            output: DataType::flat(vec![TensorField::anon(vec![1])]),
+        };
+        assert!(p.validate().unwrap_err().message.contains("no dimensions"));
+    }
+
+    #[test]
+    fn empty_type_rejected() {
+        let p = Program {
+            input: DataType::flat(vec![]),
+            output: DataType::flat(vec![TensorField::anon(vec![1])]),
+        };
+        assert!(p.validate().unwrap_err().message.contains("empty"));
+    }
+
+    #[test]
+    fn bad_field_names_rejected() {
+        for bad in ["Next", "1st", "", "with space", "ün"] {
+            let p = Program {
+                input: DataType {
+                    tensors: vec![TensorField::anon(vec![2])],
+                    recursive: vec![bad.to_string()],
+                },
+                output: DataType::flat(vec![TensorField::anon(vec![1])]),
+            };
+            assert!(
+                p.validate().is_err(),
+                "field name `{bad}` should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let p = Program {
+            input: DataType {
+                tensors: vec![TensorField::named("a", vec![2])],
+                recursive: vec!["a".into()],
+            },
+            output: DataType::flat(vec![TensorField::anon(vec![1])]),
+        };
+        assert!(p.validate().unwrap_err().message.contains("duplicate"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Code generation (§2.1, Figure 3): from a parsed program to the
+//! system-data types and the user-facing artifacts.
+//!
+//! Given an input program, ease.ml generates (1) system-data types — shown
+//! in the paper in Julia format — that the rest of the system understands,
+//! and (2) three binaries (`feed`, `refine`, `infer`) plus a Python library
+//! through which all user operations flow to the central server. This
+//! module reproduces the translation: the Julia type text, and manifests
+//! describing the generated artifacts (identifier + server endpoint baked
+//! in, as the paper describes).
+
+use crate::ast::{DataType, Program};
+use std::fmt::Write as _;
+
+/// Capitalizes the side name for a Julia type (`input` → `Input`).
+fn type_name(side: &str) -> String {
+    let mut c = side.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Renders one data type as the paper's Julia-format system type:
+///
+/// ```text
+/// type Input
+///     field1 :: Tensor[256, 256, 3]
+///     next :: Nullable{Input}
+/// end
+/// ```
+///
+/// Anonymous tensor fields are given the positional names `field1…fieldN`;
+/// recursive fields become `Nullable{TypeName}` pointers.
+pub fn julia_type(side: &str, dt: &DataType) -> String {
+    let name = type_name(side);
+    let mut out = String::new();
+    writeln!(out, "type {name}").unwrap();
+    for (i, t) in dt.tensors.iter().enumerate() {
+        let field_name = t
+            .name
+            .clone()
+            .unwrap_or_else(|| format!("field{}", i + 1));
+        let dims = t
+            .dims
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        writeln!(out, "    {field_name} :: Tensor[{dims}]").unwrap();
+    }
+    for r in &dt.recursive {
+        writeln!(out, "    {r} :: Nullable{{{name}}}").unwrap();
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Renders both system-data types of a program.
+pub fn julia_types(prog: &Program) -> String {
+    format!(
+        "{}\n{}",
+        julia_type("input", &prog.input),
+        julia_type("output", &prog.output)
+    )
+}
+
+/// One generated user-facing artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Artifact {
+    /// File name of the binary / library.
+    pub name: String,
+    /// What the artifact does.
+    pub description: String,
+}
+
+/// A code-generation manifest: the unique application identifier, the
+/// server endpoint baked into every artifact, and the artifact list
+/// (three binaries + the Python library, per §2.1).
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Unique identifier of the generated application.
+    pub app_id: String,
+    /// Server endpoint all operations are sent to.
+    pub server: String,
+    /// Generated artifacts.
+    pub artifacts: Vec<Artifact>,
+}
+
+/// Generates the artifact manifest for an application.
+///
+/// The `app_id` should be unique per (user, program); the paper bakes a
+/// unique identifier and the server IP into each binary.
+pub fn generate_manifest(app_name: &str, server: &str) -> Manifest {
+    let mk = |suffix: &str, description: &str| Artifact {
+        name: if suffix.is_empty() {
+            app_name.to_string()
+        } else {
+            format!("{app_name}.{suffix}")
+        },
+        description: description.to_string(),
+    };
+    Manifest {
+        app_id: app_name.to_string(),
+        server: server.to_string(),
+        artifacts: vec![
+            mk(
+                "feed",
+                "takes input/output pairs and ships them to the shared storage",
+            ),
+            mk(
+                "refine",
+                "lists all fed pairs and toggles noisy examples on/off",
+            ),
+            mk(
+                "infer",
+                "maps an input object to an output object with the best model so far",
+            ),
+            mk(
+                "py",
+                "Python library exposing feed/refine/infer programmatically",
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    #[test]
+    fn julia_type_matches_figure_3_image_example() {
+        let p = parse_program(
+            "{input: {[Tensor[256, 256, 3]], []}, output: {[Tensor[1000]], []}}",
+        )
+        .unwrap();
+        let t = julia_type("input", &p.input);
+        assert_eq!(t, "type Input\n    field1 :: Tensor[256, 256, 3]\nend\n");
+        let t = julia_type("output", &p.output);
+        assert!(t.contains("type Output"));
+        assert!(t.contains("field1 :: Tensor[1000]"));
+    }
+
+    #[test]
+    fn julia_type_matches_figure_3_time_series_example() {
+        let p = parse_program(
+            "{input: {[Tensor[10]], [next]}, output: {[Tensor[10]], [next]}}",
+        )
+        .unwrap();
+        let t = julia_type("input", &p.input);
+        assert!(t.contains("field1 :: Tensor[10]"));
+        assert!(t.contains("next :: Nullable{Input}"));
+        let t = julia_type("output", &p.output);
+        assert!(t.contains("next :: Nullable{Output}"));
+    }
+
+    #[test]
+    fn named_fields_keep_their_names() {
+        let p = parse_program(
+            "{input: {[img :: Tensor[8, 8], meta :: Tensor[4]], []}, output: {[Tensor[2]], []}}",
+        )
+        .unwrap();
+        let t = julia_type("input", &p.input);
+        assert!(t.contains("img :: Tensor[8, 8]"));
+        assert!(t.contains("meta :: Tensor[4]"));
+        assert!(!t.contains("field1"));
+    }
+
+    #[test]
+    fn julia_types_renders_both_sides() {
+        let p = parse_program("{input: {[Tensor[4]], []}, output: {[Tensor[2]], []}}").unwrap();
+        let both = julia_types(&p);
+        assert!(both.contains("type Input"));
+        assert!(both.contains("type Output"));
+    }
+
+    #[test]
+    fn manifest_has_three_binaries_and_a_library() {
+        let m = generate_manifest("myapp", "10.0.0.1:9000");
+        assert_eq!(m.app_id, "myapp");
+        assert_eq!(m.server, "10.0.0.1:9000");
+        assert_eq!(m.artifacts.len(), 4);
+        let names: Vec<&str> = m.artifacts.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, vec!["myapp.feed", "myapp.refine", "myapp.infer", "myapp.py"]);
+        assert!(m.artifacts[2].description.contains("best model"));
+    }
+}

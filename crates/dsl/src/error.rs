@@ -1,0 +1,47 @@
+//! Parse and validation errors for the ease.ml DSL.
+
+use std::fmt;
+
+/// An error produced while lexing, parsing, or validating a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the source where the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates an error at the given byte offset.
+    pub fn new(offset: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_offset_and_message() {
+        let e = ParseError::new(12, "expected ']'");
+        assert_eq!(e.to_string(), "parse error at byte 12: expected ']'");
+    }
+
+    #[test]
+    fn errors_compare_by_value() {
+        assert_eq!(ParseError::new(1, "x"), ParseError::new(1, "x"));
+        assert_ne!(ParseError::new(1, "x"), ParseError::new(2, "x"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Tokenizer for the Figure-2 grammar.
+
+use crate::error::ParseError;
+
+/// A lexical token with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Byte offset of the token's first character.
+    pub offset: usize,
+    /// The token kind and payload.
+    pub kind: TokenKind,
+}
+
+/// Token kinds of the DSL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `:`
+    Colon,
+    /// `::`
+    DoubleColon,
+    /// `,`
+    Comma,
+    /// An identifier or keyword (`input`, `output`, `Tensor`, field names).
+    Ident(String),
+    /// An unsigned integer literal.
+    Int(u64),
+}
+
+/// Tokenizes `src`, skipping ASCII whitespace.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on unexpected characters or integer overflow.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let offset = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '{' => {
+                tokens.push(Token {
+                    offset,
+                    kind: TokenKind::LBrace,
+                });
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token {
+                    offset,
+                    kind: TokenKind::RBrace,
+                });
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token {
+                    offset,
+                    kind: TokenKind::LBracket,
+                });
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token {
+                    offset,
+                    kind: TokenKind::RBracket,
+                });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token {
+                    offset,
+                    kind: TokenKind::Comma,
+                });
+                i += 1;
+            }
+            ':' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b':' {
+                    tokens.push(Token {
+                        offset,
+                        kind: TokenKind::DoubleColon,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        offset,
+                        kind: TokenKind::Colon,
+                    });
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let value: u64 = text.parse().map_err(|_| {
+                    ParseError::new(start, format!("integer literal `{text}` overflows u64"))
+                })?;
+                tokens.push(Token {
+                    offset,
+                    kind: TokenKind::Int(value),
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    offset,
+                    kind: TokenKind::Ident(src[start..i].to_string()),
+                });
+            }
+            other => {
+                return Err(ParseError::new(
+                    offset,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn punctuation_and_double_colon() {
+        assert_eq!(
+            kinds("{}[],:::"),
+            vec![
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::LBracket,
+                TokenKind::RBracket,
+                TokenKind::Comma,
+                TokenKind::DoubleColon,
+                TokenKind::Colon,
+            ]
+        );
+    }
+
+    #[test]
+    fn idents_and_ints() {
+        assert_eq!(
+            kinds("input Tensor field_1 42"),
+            vec![
+                TokenKind::Ident("input".into()),
+                TokenKind::Ident("Tensor".into()),
+                TokenKind::Ident("field_1".into()),
+                TokenKind::Int(42),
+            ]
+        );
+    }
+
+    #[test]
+    fn whitespace_is_skipped_and_offsets_recorded() {
+        let toks = tokenize("  {\n\tinput").unwrap();
+        assert_eq!(toks[0].offset, 2);
+        assert_eq!(toks[1].offset, 5);
+    }
+
+    #[test]
+    fn full_example_tokenizes() {
+        let toks =
+            tokenize("{input: {[Tensor[256, 256, 3]], []}, output: {[Tensor[3]], []}}").unwrap();
+        assert!(toks.len() > 20);
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        let e = tokenize("{input: $}").unwrap_err();
+        assert_eq!(e.offset, 8);
+        assert!(e.message.contains('$'));
+    }
+
+    #[test]
+    fn integer_overflow_errors() {
+        let e = tokenize("99999999999999999999999999").unwrap_err();
+        assert!(e.message.contains("overflows"));
+    }
+
+    #[test]
+    fn empty_source() {
+        assert!(tokenize("").unwrap().is_empty());
+        assert!(tokenize("   \n ").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,54 @@
+//! The ease.ml declarative language (paper §2).
+//!
+//! Ease.ml users think of machine learning as an arbitrary function
+//! approximator: they declare only the *shape* of the input and output
+//! objects, plus example pairs. This crate implements the language layer:
+//!
+//! * [`lexer`] / [`parser`] — the Figure-2 grammar
+//!   (`prog ::= {input: data_type, output: data_type}` with recursive and
+//!   non-recursive fields);
+//! * [`ast`] — programs, data types, tensor fields, and their validation
+//!   (dimensions positive, field names well-formed, the no-object-reuse /
+//!   DAG restriction §2.1 describes);
+//! * [`template`] — the Figure-4 template matcher that maps a program to its
+//!   consistent candidate models, trying templates from most specific to
+//!   most general with `*` tail wildcards;
+//! * [`zoo`] — the model zoo with publication year and citation metadata,
+//!   from which the MOSTCITED / MOSTRECENT user heuristics of §5.2 derive
+//!   their orderings;
+//! * [`normalize`] — the Figure-5 automatic-normalization family
+//!   `f_k(x) = −x^{2k} + x^k`, each `k` spawning one extra candidate model
+//!   for wide-dynamic-range image-shaped data (the astrophysics use case).
+//!
+//! # Examples
+//!
+//! ```
+//! use easeml_dsl::{parse_program, template::match_templates};
+//!
+//! // The paper's image-classification example (Figure 3).
+//! let prog = parse_program(
+//!     "{input: {[Tensor[256, 256, 3]], []}, output: {[Tensor[1000]], []}}",
+//! ).unwrap();
+//! let matched = match_templates(&prog).expect("a template matches");
+//! assert_eq!(matched.workload.to_string(), "Image/Tensor Classification");
+//! assert_eq!(matched.models.len(), 8);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod codegen;
+pub mod error;
+pub mod lexer;
+pub mod loader;
+pub mod normalize;
+pub mod parser;
+pub mod template;
+pub mod zoo;
+
+pub use ast::{DataType, Program, TensorField};
+pub use error::ParseError;
+pub use parser::parse_program;
+pub use template::{match_templates, MatchedTemplate, WorkloadKind};
+pub use zoo::{ModelId, ModelInfo};

@@ -1,0 +1,256 @@
+//! Default loaders for the `feed` operator (§2.1): parsing piped
+//! input/output pairs into flat tensors validated against the program's
+//! declared shapes.
+//!
+//! The paper's users pipe example pairs into the generated `feed` binary
+//! (`find -name "*jpg" dog_imgs | ./feed -input - -output "dog"`). This
+//! module implements the text-format loader: one example per line,
+//! whitespace-separated numbers for the input tensor, a `|` separator, and
+//! either numbers for the output tensor or a label name resolved through a
+//! label dictionary (the `lam - -s " dog"` idiom).
+
+use crate::ast::{DataType, Program};
+use crate::error::ParseError;
+use std::collections::HashMap;
+
+/// A parsed example pair: flat input and output tensors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExamplePair {
+    /// Flattened input tensor (row-major over all tensor fields).
+    pub input: Vec<f64>,
+    /// Flattened output tensor.
+    pub output: Vec<f64>,
+}
+
+/// Total number of scalars a flat (non-recursive) data type expects.
+fn flat_len(dt: &DataType) -> u64 {
+    dt.tensors.iter().map(|t| t.num_elements()).sum()
+}
+
+/// Parses numbers from a whitespace-separated field list.
+fn parse_numbers(s: &str, line: usize) -> Result<Vec<f64>, ParseError> {
+    s.split_whitespace()
+        .map(|tok| {
+            tok.parse::<f64>().map_err(|_| {
+                ParseError::new(line, format!("invalid number `{tok}` in example"))
+            })
+        })
+        .collect()
+}
+
+/// A loader bound to a program's shapes plus an optional label dictionary
+/// mapping class names to one-hot output vectors.
+///
+/// # Examples
+///
+/// ```
+/// use easeml_dsl::{parse_program, loader::Loader};
+///
+/// let prog = parse_program(
+///     "{input: {[Tensor[2]], []}, output: {[Tensor[2]], []}}",
+/// ).unwrap();
+/// let loader = Loader::new(&prog).unwrap().with_label("dog", 0);
+/// let pair = loader.parse_line("0.5 0.25 | dog", 1).unwrap();
+/// assert_eq!(pair.input, vec![0.5, 0.25]);
+/// assert_eq!(pair.output, vec![1.0, 0.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Loader {
+    input_len: usize,
+    output_len: usize,
+    labels: HashMap<String, usize>,
+}
+
+impl Loader {
+    /// Creates a loader for a program with non-recursive input and output
+    /// (the common case for piped examples; recursive objects arrive via
+    /// the programmatic API instead).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when either side is recursive.
+    pub fn new(prog: &Program) -> Result<Self, ParseError> {
+        if prog.input.is_recursive() || prog.output.is_recursive() {
+            return Err(ParseError::new(
+                0,
+                "the text loader supports non-recursive programs only",
+            ));
+        }
+        Ok(Loader {
+            input_len: flat_len(&prog.input) as usize,
+            output_len: flat_len(&prog.output) as usize,
+            labels: HashMap::new(),
+        })
+    }
+
+    /// Registers a class label resolving to a one-hot output at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the output tensor.
+    pub fn with_label(mut self, name: impl Into<String>, index: usize) -> Self {
+        assert!(index < self.output_len, "label index outside the output");
+        self.labels.insert(name.into(), index);
+        self
+    }
+
+    /// Expected flat input length.
+    pub fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    /// Expected flat output length.
+    pub fn output_len(&self) -> usize {
+        self.output_len
+    }
+
+    /// Parses one piped line: `<numbers> | <numbers or label>`.
+    ///
+    /// # Errors
+    ///
+    /// Reports the 1-based `line` number on malformed input, wrong tensor
+    /// sizes, or unknown labels.
+    pub fn parse_line(&self, text: &str, line: usize) -> Result<ExamplePair, ParseError> {
+        let (lhs, rhs) = text.split_once('|').ok_or_else(|| {
+            ParseError::new(line, "expected `<input> | <output>` with a `|` separator")
+        })?;
+        let input = parse_numbers(lhs, line)?;
+        if input.len() != self.input_len {
+            return Err(ParseError::new(
+                line,
+                format!(
+                    "input has {} values, the declared shape needs {}",
+                    input.len(),
+                    self.input_len
+                ),
+            ));
+        }
+        let rhs = rhs.trim();
+        let output = if let Some(&idx) = self.labels.get(rhs) {
+            let mut one_hot = vec![0.0; self.output_len];
+            one_hot[idx] = 1.0;
+            one_hot
+        } else {
+            let nums = parse_numbers(rhs, line)?;
+            if nums.len() != self.output_len {
+                return Err(ParseError::new(
+                    line,
+                    format!(
+                        "output has {} values (or an unknown label `{rhs}`), \
+                         the declared shape needs {}",
+                        nums.len(),
+                        self.output_len
+                    ),
+                ));
+            }
+            nums
+        };
+        Ok(ExamplePair { input, output })
+    }
+
+    /// Parses a whole piped stream, one example per non-empty line.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first malformed line.
+    pub fn parse_stream(&self, text: &str) -> Result<Vec<ExamplePair>, ParseError> {
+        let mut out = Vec::new();
+        for (idx, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            out.push(self.parse_line(line, idx + 1)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    fn classifier_loader() -> Loader {
+        let prog = parse_program("{input: {[Tensor[2, 2]], []}, output: {[Tensor[2]], []}}")
+            .unwrap();
+        Loader::new(&prog)
+            .unwrap()
+            .with_label("dog", 0)
+            .with_label("cat", 1)
+    }
+
+    #[test]
+    fn numeric_pairs_parse() {
+        let l = classifier_loader();
+        assert_eq!(l.input_len(), 4);
+        assert_eq!(l.output_len(), 2);
+        let p = l.parse_line("0.1 0.2 0.3 0.4 | 1 0", 1).unwrap();
+        assert_eq!(p.input, vec![0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(p.output, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn labels_resolve_to_one_hot() {
+        let l = classifier_loader();
+        let p = l.parse_line("0 0 0 0 | dog", 1).unwrap();
+        assert_eq!(p.output, vec![1.0, 0.0]);
+        let p = l.parse_line("0 0 0 0 | cat", 1).unwrap();
+        assert_eq!(p.output, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn stream_parses_multiple_lines_and_skips_blanks() {
+        let l = classifier_loader();
+        let pairs = l
+            .parse_stream("1 2 3 4 | dog\n\n5 6 7 8 | cat\n")
+            .unwrap();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[1].input, vec![5.0, 6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let l = classifier_loader();
+        let e = l.parse_stream("1 2 3 4 | dog\n1 2 3 | cat").unwrap_err();
+        assert_eq!(e.offset, 2);
+        assert!(e.message.contains("needs 4"));
+
+        let e = l.parse_line("1 2 3 4 | wolf", 7).unwrap_err();
+        assert_eq!(e.offset, 7);
+        assert!(e.message.contains("wolf"));
+
+        let e = l.parse_line("1 2 3 4", 3).unwrap_err();
+        assert!(e.message.contains('|'));
+
+        let e = l.parse_line("1 2 x 4 | dog", 3).unwrap_err();
+        assert!(e.message.contains('x'));
+    }
+
+    #[test]
+    fn multi_field_inputs_flatten() {
+        let prog = parse_program(
+            "{input: {[Tensor[2], meta :: Tensor[3]], []}, output: {[Tensor[1]], []}}",
+        )
+        .unwrap();
+        let l = Loader::new(&prog).unwrap();
+        assert_eq!(l.input_len(), 5);
+        let p = l.parse_line("1 2 3 4 5 | 0.5", 1).unwrap();
+        assert_eq!(p.input.len(), 5);
+        assert_eq!(p.output, vec![0.5]);
+    }
+
+    #[test]
+    fn recursive_programs_are_rejected() {
+        let prog = parse_program(
+            "{input: {[Tensor[2]], [next]}, output: {[Tensor[1]], []}}",
+        )
+        .unwrap();
+        assert!(Loader::new(&prog).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_label_panics() {
+        let _ = classifier_loader().with_label("bird", 5);
+    }
+}

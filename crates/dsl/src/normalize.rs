@@ -1,0 +1,200 @@
+//! Automatic input normalization (Figure 5).
+//!
+//! Data from scientific users often has an image-like *shape* but a dynamic
+//! range spanning many orders of magnitude (the paper cites astrophysics
+//! and proteomics applications where it varies by ten orders). Feeding such
+//! data to image models directly yields unusable quality, so ease.ml
+//! normalizes inputs with the one-parameter family
+//!
+//! ```text
+//! f_k(x) = −x^{2k} + x^k,   k ∈ (0, 1]
+//! ```
+//!
+//! applied after rescaling raw values into `[0, 1]`. Each `k`, combined
+//! with each consistent model, yields one additional candidate model.
+
+use crate::zoo::ModelId;
+
+/// One normalization function `f_k`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normalization {
+    /// The exponent parameter k.
+    pub k: f64,
+}
+
+impl Normalization {
+    /// Creates `f_k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < k ≤ 1` (larger k inverts the emphasis and exceeds
+    /// the family the paper plots).
+    pub fn new(k: f64) -> Self {
+        assert!(k > 0.0 && k <= 1.0, "normalization exponent must be in (0, 1]");
+        Normalization { k }
+    }
+
+    /// Evaluates `f_k(x) = −x^{2k} + x^k` for `x ∈ [0, 1]`.
+    ///
+    /// The output is in `[0, 1/4]`; callers typically rescale by 4 to use
+    /// the full unit range (see [`Normalization::apply_unit`]).
+    #[inline]
+    pub fn apply(&self, x: f64) -> f64 {
+        let xk = x.clamp(0.0, 1.0).powf(self.k);
+        -xk * xk + xk
+    }
+
+    /// Evaluates `4 · f_k(x)`, rescaled so the peak value is 1.
+    #[inline]
+    pub fn apply_unit(&self, x: f64) -> f64 {
+        4.0 * self.apply(x)
+    }
+
+    /// Normalizes a whole buffer in place (raw values are first min-max
+    /// rescaled to `[0, 1]`, then passed through `4·f_k`).
+    pub fn normalize_buffer(&self, data: &mut [f64]) {
+        if data.is_empty() {
+            return;
+        }
+        let lo = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = hi - lo;
+        for v in data.iter_mut() {
+            let unit = if span > 0.0 { (*v - lo) / span } else { 0.0 };
+            *v = self.apply_unit(unit);
+        }
+    }
+}
+
+/// The default normalization family ease.ml tries, matching the k values
+/// plotted in Figure 5.
+pub const DEFAULT_KS: [f64; 4] = [0.2, 0.4, 0.6, 0.8];
+
+/// A candidate model expanded with an optional normalization: the Cartesian
+/// product of consistent models and normalization functions, plus each bare
+/// model (identity preprocessing).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormalizedCandidate {
+    /// The underlying model.
+    pub model: ModelId,
+    /// The normalization applied to the input, if any.
+    pub normalization: Option<Normalization>,
+}
+
+impl NormalizedCandidate {
+    /// A human-readable label, e.g. `ResNet-50 (k=0.4)`.
+    pub fn label(&self) -> String {
+        match self.normalization {
+            Some(n) => format!("{} (k={})", self.model.name(), n.k),
+            None => self.model.name().to_string(),
+        }
+    }
+}
+
+/// Expands consistent models with the normalization family: each model is
+/// paired with identity preprocessing and with every `f_k` in `ks`
+/// ("each normalization function in this family, together with a consistent
+/// model, generates one candidate model", §2.1).
+pub fn expand_with_normalizations(
+    models: &[ModelId],
+    ks: &[f64],
+) -> Vec<NormalizedCandidate> {
+    let mut out = Vec::with_capacity(models.len() * (1 + ks.len()));
+    for &model in models {
+        out.push(NormalizedCandidate {
+            model,
+            normalization: None,
+        });
+        for &k in ks {
+            out.push(NormalizedCandidate {
+                model,
+                normalization: Some(Normalization::new(k)),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::IMAGE_CLASSIFIERS;
+
+    #[test]
+    fn f_k_endpoints_are_zero() {
+        for &k in &DEFAULT_KS {
+            let n = Normalization::new(k);
+            assert!(n.apply(0.0).abs() < 1e-12);
+            assert!(n.apply(1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn f_k_peaks_at_one_quarter() {
+        // f_k(x) = −u² + u with u = x^k maximizes at u = 1/2, value 1/4.
+        let n = Normalization::new(0.5);
+        let peak_x = 0.5f64.powf(1.0 / 0.5); // u = 1/2 ⇒ x = (1/2)^{1/k}
+        assert!((n.apply(peak_x) - 0.25).abs() < 1e-12);
+        assert!((n.apply_unit(peak_x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smaller_k_emphasizes_small_values() {
+        // For small x, a smaller k gives a larger normalized value — the
+        // point of the feature for high-dynamic-range data.
+        let x = 1e-6;
+        let lo_k = Normalization::new(0.2).apply(x);
+        let hi_k = Normalization::new(0.8).apply(x);
+        assert!(lo_k > hi_k * 10.0, "{lo_k} vs {hi_k}");
+    }
+
+    #[test]
+    fn output_range_is_bounded() {
+        for &k in &DEFAULT_KS {
+            let n = Normalization::new(k);
+            let mut x = 0.0;
+            while x <= 1.0 {
+                let y = n.apply(x);
+                assert!((0.0..=0.25 + 1e-12).contains(&y), "f_{k}({x}) = {y}");
+                x += 0.01;
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_normalization_handles_wide_dynamic_range() {
+        // Astrophysics-style data: values across 10 orders of magnitude.
+        let mut data = vec![1e-10, 1e-5, 1e-2, 0.5, 1.0, 1e4, 1e10];
+        Normalization::new(0.2).normalize_buffer(&mut data);
+        assert!(data.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Small-but-nonzero values are now clearly visible (not ~0).
+        assert!(data[3] > 0.01, "midrange value crushed: {}", data[3]);
+    }
+
+    #[test]
+    fn buffer_normalization_edge_cases() {
+        let mut empty: Vec<f64> = vec![];
+        Normalization::new(0.4).normalize_buffer(&mut empty);
+        let mut constant = vec![5.0, 5.0];
+        Normalization::new(0.4).normalize_buffer(&mut constant);
+        assert_eq!(constant, vec![0.0, 0.0]); // degenerate span maps to 0
+    }
+
+    #[test]
+    fn expansion_counts_and_labels() {
+        let cands = expand_with_normalizations(&IMAGE_CLASSIFIERS, &DEFAULT_KS);
+        assert_eq!(cands.len(), 8 * 5);
+        assert_eq!(cands[0].label(), "NIN");
+        assert_eq!(cands[1].label(), "NIN (k=0.2)");
+        // Clamping out-of-range raw inputs.
+        let n = Normalization::new(0.4);
+        assert_eq!(n.apply(-3.0), n.apply(0.0));
+        assert_eq!(n.apply(7.0), n.apply(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1]")]
+    fn out_of_range_k_panics() {
+        let _ = Normalization::new(1.5);
+    }
+}

@@ -1,0 +1,347 @@
+//! Recursive-descent parser for the Figure-2 grammar.
+//!
+//! ```text
+//! prog         ::= '{' 'input' ':' data_type ',' 'output' ':' data_type '}'
+//! data_type    ::= '{' '[' nonrec_field* ']' ',' '[' rec_field* ']' '}'
+//! nonrec_field ::= 'Tensor' '[' int+ ']' | field_name '::' 'Tensor' '[' int+ ']'
+//! rec_field    ::= field_name
+//! ```
+
+use crate::ast::{DataType, Program, TensorField};
+use crate::error::ParseError;
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parses and validates a full ease.ml program.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the byte offset of the first problem, from
+/// either the grammar or [`Program::validate`].
+///
+/// # Examples
+///
+/// ```
+/// use easeml_dsl::parse_program;
+///
+/// let p = parse_program(
+///     "{input: {[Tensor[10]], [next]}, output: {[Tensor[10]], [next]}}",
+/// ).unwrap();
+/// assert!(p.input.is_recursive());
+/// assert_eq!(p.input.recursive, vec!["next".to_string()]);
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser {
+        tokens: &tokens,
+        pos: 0,
+        src_len: src.len(),
+    };
+    let prog = p.program()?;
+    p.expect_eof()?;
+    prog.validate()?;
+    Ok(prog)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    src_len: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map_or(self.src_len, |t| t.offset)
+    }
+
+    fn bump(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        let offset = self.offset();
+        match self.bump() {
+            Some(t) if &t.kind == kind => Ok(()),
+            Some(t) => Err(ParseError::new(
+                t.offset,
+                format!("expected {what}, found {:?}", t.kind),
+            )),
+            None => Err(ParseError::new(
+                offset,
+                format!("expected {what}, found end of input"),
+            )),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        let offset = self.offset();
+        match self.bump() {
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                ..
+            }) if s == kw => Ok(()),
+            Some(t) => Err(ParseError::new(
+                t.offset,
+                format!("expected keyword `{kw}`, found {:?}", t.kind),
+            )),
+            None => Err(ParseError::new(
+                offset,
+                format!("expected keyword `{kw}`, found end of input"),
+            )),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        match self.tokens.get(self.pos) {
+            None => Ok(()),
+            Some(t) => Err(ParseError::new(
+                t.offset,
+                format!("unexpected trailing input: {:?}", t.kind),
+            )),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        self.expect_keyword("input")?;
+        self.expect(&TokenKind::Colon, "`:`")?;
+        let input = self.data_type()?;
+        self.expect(&TokenKind::Comma, "`,`")?;
+        self.expect_keyword("output")?;
+        self.expect(&TokenKind::Colon, "`:`")?;
+        let output = self.data_type()?;
+        self.expect(&TokenKind::RBrace, "`}`")?;
+        Ok(Program { input, output })
+    }
+
+    fn data_type(&mut self) -> Result<DataType, ParseError> {
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        self.expect(&TokenKind::LBracket, "`[`")?;
+        let mut tensors = Vec::new();
+        if self.peek() != Some(&TokenKind::RBracket) {
+            loop {
+                tensors.push(self.nonrec_field()?);
+                if self.peek() == Some(&TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RBracket, "`]`")?;
+        self.expect(&TokenKind::Comma, "`,`")?;
+        self.expect(&TokenKind::LBracket, "`[`")?;
+        let mut recursive = Vec::new();
+        if self.peek() != Some(&TokenKind::RBracket) {
+            loop {
+                recursive.push(self.field_name()?);
+                if self.peek() == Some(&TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RBracket, "`]`")?;
+        self.expect(&TokenKind::RBrace, "`}`")?;
+        Ok(DataType { tensors, recursive })
+    }
+
+    fn nonrec_field(&mut self) -> Result<TensorField, ParseError> {
+        // Either `Tensor[dims]` or `name :: Tensor[dims]`.
+        let offset = self.offset();
+        match self.bump() {
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                ..
+            }) if s == "Tensor" => {
+                let dims = self.dims()?;
+                Ok(TensorField::anon(dims))
+            }
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                ..
+            }) => {
+                let name = s.clone();
+                self.expect(&TokenKind::DoubleColon, "`::`")?;
+                self.expect_keyword("Tensor")?;
+                let dims = self.dims()?;
+                Ok(TensorField::named(name, dims))
+            }
+            Some(t) => Err(ParseError::new(
+                t.offset,
+                format!("expected tensor field, found {:?}", t.kind),
+            )),
+            None => Err(ParseError::new(
+                offset,
+                "expected tensor field, found end of input",
+            )),
+        }
+    }
+
+    fn dims(&mut self) -> Result<Vec<u64>, ParseError> {
+        self.expect(&TokenKind::LBracket, "`[`")?;
+        let mut dims = Vec::new();
+        loop {
+            let offset = self.offset();
+            match self.bump() {
+                Some(Token {
+                    kind: TokenKind::Int(v),
+                    ..
+                }) => dims.push(*v),
+                Some(t) => {
+                    return Err(ParseError::new(
+                        t.offset,
+                        format!("expected dimension, found {:?}", t.kind),
+                    ))
+                }
+                None => {
+                    return Err(ParseError::new(
+                        offset,
+                        "expected dimension, found end of input",
+                    ))
+                }
+            }
+            if self.peek() == Some(&TokenKind::Comma) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RBracket, "`]`")?;
+        Ok(dims)
+    }
+
+    fn field_name(&mut self) -> Result<String, ParseError> {
+        let offset = self.offset();
+        match self.bump() {
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                ..
+            }) => Ok(s.clone()),
+            Some(t) => Err(ParseError::new(
+                t.offset,
+                format!("expected field name, found {:?}", t.kind),
+            )),
+            None => Err(ParseError::new(
+                offset,
+                "expected field name, found end of input",
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::TensorField;
+
+    #[test]
+    fn parses_the_papers_image_classification_example() {
+        let p = parse_program(
+            "{input: {[Tensor[256, 256, 3]], []}, output: {[Tensor[1000]], []}}",
+        )
+        .unwrap();
+        assert_eq!(p.input.tensors, vec![TensorField::anon(vec![256, 256, 3])]);
+        assert!(p.input.recursive.is_empty());
+        assert_eq!(p.output.tensors[0].dims, vec![1000]);
+    }
+
+    #[test]
+    fn parses_the_papers_time_series_example() {
+        let p = parse_program(
+            "{input: {[Tensor[10]], [next]}, output: {[Tensor[10]], [next]}}",
+        )
+        .unwrap();
+        assert_eq!(p.input.recursive, vec!["next"]);
+        assert_eq!(p.output.recursive, vec!["next"]);
+    }
+
+    #[test]
+    fn parses_named_tensor_fields() {
+        let p = parse_program(
+            "{input: {[field1 :: Tensor[28, 28]], []}, output: {[Tensor[10]], []}}",
+        )
+        .unwrap();
+        assert_eq!(p.input.tensors[0].name.as_deref(), Some("field1"));
+        assert_eq!(p.input.tensors[0].dims, vec![28, 28]);
+    }
+
+    #[test]
+    fn parses_trees_with_two_recursive_fields() {
+        let p = parse_program(
+            "{input: {[Tensor[64]], [left, right]}, output: {[Tensor[2]], []}}",
+        )
+        .unwrap();
+        assert_eq!(p.input.recursive, vec!["left", "right"]);
+    }
+
+    #[test]
+    fn parses_multiple_tensor_fields() {
+        let p = parse_program(
+            "{input: {[Tensor[8], meta :: Tensor[4]], []}, output: {[Tensor[2]], []}}",
+        )
+        .unwrap();
+        assert_eq!(p.input.tensors.len(), 2);
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let src = "{input: {[Tensor[256, 256, 3]], []}, output: {[Tensor[3]], []}}";
+        let p = parse_program(src).unwrap();
+        let p2 = parse_program(&p.to_string()).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn error_offsets_point_at_the_problem() {
+        let e = parse_program("{input: {[Tensor[256]], []}, output: }").unwrap_err();
+        assert_eq!(e.offset, 37);
+        let e = parse_program("{output: {[Tensor[1]], []}}").unwrap_err();
+        assert!(e.message.contains("input"));
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        for src in [
+            "",
+            "{",
+            "{input:",
+            "{input: {[Tensor[1]], []}",
+            "{input: {[Tensor[1]], []}, output: {[Tensor[1]], []}",
+            "{input: {[Tensor[1], ], []}, output: {[Tensor[1]], []}}",
+        ] {
+            assert!(parse_program(src).is_err(), "should fail: {src}");
+        }
+    }
+
+    #[test]
+    fn trailing_tokens_are_rejected() {
+        let e = parse_program(
+            "{input: {[Tensor[1]], []}, output: {[Tensor[1]], []}} extra",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("trailing"));
+    }
+
+    #[test]
+    fn validation_is_applied() {
+        // Zero dimension survives the grammar but not validation.
+        let e = parse_program("{input: {[Tensor[0]], []}, output: {[Tensor[1]], []}}").unwrap_err();
+        assert!(e.message.contains("zero dimension"));
+    }
+
+    #[test]
+    fn empty_tensor_and_recursive_lists_parse() {
+        // Grammatically valid; validation rejects the empty input type.
+        let e = parse_program("{input: {[], []}, output: {[Tensor[1]], []}}").unwrap_err();
+        assert!(e.message.contains("empty"));
+    }
+}

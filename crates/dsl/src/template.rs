@@ -1,0 +1,290 @@
+//! Template matching for candidate-model generation (Figure 4).
+//!
+//! Given a parsed program, ease.ml matches the (input, output) type pair
+//! against a fixed list of templates, from the most specific to the most
+//! general, and returns the consistent candidate models of the first match.
+//! `*` in a template matches an arbitrary "tail" of the corresponding list.
+
+use crate::ast::{DataType, Program};
+use crate::zoo::ModelId;
+use std::fmt;
+
+/// The workload class a template identifies (Figure 4's middle column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// `Tensor[A,B,C] → Tensor[D]`.
+    ImageClassification,
+    /// `Tensor[A,B,C] → Tensor[D,E,F]`.
+    ImageRecovery,
+    /// `{Tensor[A], *; rec a} → Tensor[D]`.
+    TimeSeriesClassification,
+    /// `{Tensor[A], *; rec a} → {Tensor[B], *; rec b}`.
+    TimeSeriesTranslation,
+    /// `{Tensor[A], *; rec a, c} → Tensor[B]`.
+    TreeClassification,
+    /// `{*; *} → Tensor[B]`.
+    GeneralClassification,
+    /// `{*; *} → {*; *}`.
+    GeneralAutoEncoder,
+}
+
+impl fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WorkloadKind::ImageClassification => "Image/Tensor Classification",
+            WorkloadKind::ImageRecovery => "Image/Tensor Recovery",
+            WorkloadKind::TimeSeriesClassification => "Time Series Classification",
+            WorkloadKind::TimeSeriesTranslation => "Time Series Translation",
+            WorkloadKind::TreeClassification => "Tree Classification",
+            WorkloadKind::GeneralClassification => "General Classification",
+            WorkloadKind::GeneralAutoEncoder => "General Auto-encoder",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Pattern over one side (input or output) of a template.
+#[derive(Debug, Clone)]
+struct SidePattern {
+    /// Required ranks of the leading tensor fields.
+    tensor_ranks: Vec<usize>,
+    /// Whether additional tensor fields are allowed after the required ones
+    /// (the `*` tail). When the rank list is empty and this is true, the
+    /// side is fully wildcarded.
+    tensor_tail: bool,
+    /// Required number of recursive fields; `None` means any number
+    /// (the `[*]` wildcard).
+    rec_count: Option<usize>,
+}
+
+impl SidePattern {
+    fn matches(&self, dt: &DataType) -> bool {
+        if dt.tensors.len() < self.tensor_ranks.len() {
+            return false;
+        }
+        if !self.tensor_tail && dt.tensors.len() != self.tensor_ranks.len() {
+            return false;
+        }
+        for (field, &rank) in dt.tensors.iter().zip(&self.tensor_ranks) {
+            if field.rank() != rank {
+                return false;
+            }
+        }
+        match self.rec_count {
+            Some(n) => dt.recursive.len() == n,
+            None => true,
+        }
+    }
+}
+
+/// One row of Figure 4.
+#[derive(Debug, Clone)]
+struct Template {
+    workload: WorkloadKind,
+    input: SidePattern,
+    output: SidePattern,
+    models: &'static [ModelId],
+}
+
+/// A successful template match: the workload class and its consistent
+/// candidate models.
+#[derive(Debug, Clone)]
+pub struct MatchedTemplate {
+    /// Which template row matched.
+    pub workload: WorkloadKind,
+    /// The consistent candidate models, in zoo order.
+    pub models: Vec<ModelId>,
+}
+
+fn exact(tensor_ranks: Vec<usize>, rec_count: usize) -> SidePattern {
+    SidePattern {
+        tensor_ranks,
+        tensor_tail: false,
+        rec_count: Some(rec_count),
+    }
+}
+
+fn with_tail(tensor_ranks: Vec<usize>, rec_count: usize) -> SidePattern {
+    SidePattern {
+        tensor_ranks,
+        tensor_tail: true,
+        rec_count: Some(rec_count),
+    }
+}
+
+fn wildcard() -> SidePattern {
+    SidePattern {
+        tensor_ranks: vec![],
+        tensor_tail: true,
+        rec_count: None,
+    }
+}
+
+fn templates() -> Vec<Template> {
+    use ModelId::*;
+    vec![
+        // Input: {[Tensor[A,B,C]], []}, Output: {[Tensor[D]], []}
+        Template {
+            workload: WorkloadKind::ImageClassification,
+            input: exact(vec![3], 0),
+            output: exact(vec![1], 0),
+            models: &crate::zoo::IMAGE_CLASSIFIERS,
+        },
+        // Input: {[Tensor[A,B,C]], []}, Output: {[Tensor[D,E,F]], []}
+        Template {
+            workload: WorkloadKind::ImageRecovery,
+            input: exact(vec![3], 0),
+            output: exact(vec![3], 0),
+            models: &[AutoEncoder, Gan, Pix2Pix],
+        },
+        // Input: {[Tensor[A], *], [a]}, Output: {[Tensor[D]], []}
+        Template {
+            workload: WorkloadKind::TimeSeriesClassification,
+            input: with_tail(vec![1], 1),
+            output: exact(vec![1], 0),
+            models: &[Rnn, Lstm, BiLstm, Gru],
+        },
+        // Input: {[Tensor[A], *], [a]}, Output: {[Tensor[B], *], [b]}
+        Template {
+            workload: WorkloadKind::TimeSeriesTranslation,
+            input: with_tail(vec![1], 1),
+            output: with_tail(vec![1], 1),
+            models: &[Seq2Seq],
+        },
+        // Input: {[Tensor[A], *], [a, c]}, Output: {[Tensor[B]], []}
+        Template {
+            workload: WorkloadKind::TreeClassification,
+            input: with_tail(vec![1], 2),
+            output: exact(vec![1], 0),
+            models: &[TreeRnn, TreeKernelSvm],
+        },
+        // Input: {[*], [*]}, Output: {[Tensor[B]], []}
+        Template {
+            workload: WorkloadKind::GeneralClassification,
+            input: wildcard(),
+            output: exact(vec![1], 0),
+            models: &[BitLevelRnn],
+        },
+        // Input: {[*], [*]}, Output: {[*], [*]}
+        Template {
+            workload: WorkloadKind::GeneralAutoEncoder,
+            input: wildcard(),
+            output: wildcard(),
+            models: &[BitLevelAutoEncoder],
+        },
+    ]
+}
+
+/// Matches a program against the Figure-4 templates in top-to-bottom order
+/// (most specific first) and returns the first hit. The final template is
+/// fully general, so every valid program matches *something*; the `Option`
+/// is retained for API robustness.
+pub fn match_templates(prog: &Program) -> Option<MatchedTemplate> {
+    templates()
+        .into_iter()
+        .find(|t| t.input.matches(&prog.input) && t.output.matches(&prog.output))
+        .map(|t| MatchedTemplate {
+            workload: t.workload,
+            models: t.models.to_vec(),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    fn matched(src: &str) -> MatchedTemplate {
+        match_templates(&parse_program(src).unwrap()).expect("some template matches")
+    }
+
+    #[test]
+    fn image_classification_matches_eight_cnns() {
+        let m = matched("{input: {[Tensor[256, 256, 3]], []}, output: {[Tensor[3]], []}}");
+        assert_eq!(m.workload, WorkloadKind::ImageClassification);
+        assert_eq!(m.models.len(), 8);
+        assert!(m.models.contains(&ModelId::ResNet50));
+    }
+
+    #[test]
+    fn image_recovery() {
+        let m = matched(
+            "{input: {[Tensor[64, 64, 3]], []}, output: {[Tensor[64, 64, 3]], []}}",
+        );
+        assert_eq!(m.workload, WorkloadKind::ImageRecovery);
+        assert_eq!(
+            m.models,
+            vec![ModelId::AutoEncoder, ModelId::Gan, ModelId::Pix2Pix]
+        );
+    }
+
+    #[test]
+    fn time_series_classification() {
+        let m = matched("{input: {[Tensor[10]], [next]}, output: {[Tensor[4]], []}}");
+        assert_eq!(m.workload, WorkloadKind::TimeSeriesClassification);
+        assert_eq!(m.models.len(), 4);
+    }
+
+    #[test]
+    fn time_series_translation() {
+        let m = matched("{input: {[Tensor[10]], [next]}, output: {[Tensor[10]], [next]}}");
+        assert_eq!(m.workload, WorkloadKind::TimeSeriesTranslation);
+        assert_eq!(m.models, vec![ModelId::Seq2Seq]);
+    }
+
+    #[test]
+    fn tree_classification() {
+        let m = matched("{input: {[Tensor[64]], [left, right]}, output: {[Tensor[2]], []}}");
+        assert_eq!(m.workload, WorkloadKind::TreeClassification);
+        assert_eq!(m.models, vec![ModelId::TreeRnn, ModelId::TreeKernelSvm]);
+    }
+
+    #[test]
+    fn general_classification_catches_odd_inputs() {
+        // 2-D input tensor with recursion fits no specific template but
+        // produces a flat class vector: bit-level RNN.
+        let m = matched("{input: {[Tensor[5, 5]], [next]}, output: {[Tensor[2]], []}}");
+        assert_eq!(m.workload, WorkloadKind::GeneralClassification);
+        assert_eq!(m.models, vec![ModelId::BitLevelRnn]);
+    }
+
+    #[test]
+    fn general_autoencoder_is_the_fallback_of_last_resort() {
+        let m = matched(
+            "{input: {[Tensor[5, 5]], [next]}, output: {[Tensor[2, 2]], [next]}}",
+        );
+        assert_eq!(m.workload, WorkloadKind::GeneralAutoEncoder);
+        assert_eq!(m.models, vec![ModelId::BitLevelAutoEncoder]);
+    }
+
+    #[test]
+    fn order_is_most_specific_first() {
+        // A 1-D → 1-D flat program could match general classification, but
+        // no recursive fields means it is NOT time-series; the general
+        // classification row catches it before the auto-encoder row.
+        let m = matched("{input: {[Tensor[100]], []}, output: {[Tensor[10]], []}}");
+        assert_eq!(m.workload, WorkloadKind::GeneralClassification);
+    }
+
+    #[test]
+    fn tail_wildcard_allows_extra_tensors() {
+        // Time series with an extra per-step metadata tensor still matches
+        // the `[Tensor[A], *]` input pattern.
+        let m = matched(
+            "{input: {[Tensor[10], meta :: Tensor[3]], [next]}, output: {[Tensor[4]], []}}",
+        );
+        assert_eq!(m.workload, WorkloadKind::TimeSeriesClassification);
+    }
+
+    #[test]
+    fn workload_display_names() {
+        assert_eq!(
+            WorkloadKind::ImageClassification.to_string(),
+            "Image/Tensor Classification"
+        );
+        assert_eq!(
+            WorkloadKind::GeneralAutoEncoder.to_string(),
+            "General Auto-encoder"
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! The model zoo: every candidate model ease.ml can match, with the
+//! metadata the §5.2 user heuristics need.
+//!
+//! Citation counts are order-of-magnitude Google-Scholar figures as of the
+//! paper's writing (2017); only the induced *ordering* matters to the
+//! MOSTCITED heuristic, and the publication year ordering to MOSTRECENT.
+
+use serde::Serialize;
+
+/// Identifier of a model in the zoo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum ModelId {
+    /// Network-in-Network (Lin et al. 2013).
+    Nin,
+    /// GoogLeNet / Inception v1 (Szegedy et al. 2014).
+    GoogLeNet,
+    /// ResNet-50 (He et al. 2015).
+    ResNet50,
+    /// AlexNet (Krizhevsky et al. 2012).
+    AlexNet,
+    /// AlexNet with batch normalization (2015 variant).
+    BnAlexNet,
+    /// ResNet-18 (He et al. 2015).
+    ResNet18,
+    /// VGG-16 (Simonyan & Zisserman 2014).
+    Vgg16,
+    /// SqueezeNet (Iandola et al. 2016).
+    SqueezeNet,
+    /// Convolutional auto-encoder.
+    AutoEncoder,
+    /// Generative adversarial network (Goodfellow et al. 2014).
+    Gan,
+    /// pix2pix image-to-image translation (Isola et al. 2016).
+    Pix2Pix,
+    /// Vanilla recurrent network.
+    Rnn,
+    /// Long short-term memory (Hochreiter & Schmidhuber 1997).
+    Lstm,
+    /// Bidirectional LSTM.
+    BiLstm,
+    /// Gated recurrent unit (Cho et al. 2014).
+    Gru,
+    /// Sequence-to-sequence with attention (Sutskever et al. 2014).
+    Seq2Seq,
+    /// Recursive tree-structured network (Socher et al. 2011).
+    TreeRnn,
+    /// Tree-kernel support vector machine.
+    TreeKernelSvm,
+    /// Bit-level RNN fallback for arbitrary structures.
+    BitLevelRnn,
+    /// Bit-level auto-encoder fallback.
+    BitLevelAutoEncoder,
+}
+
+/// Static metadata of a zoo model.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelInfo {
+    /// The identifier.
+    pub id: ModelId,
+    /// Display name as the paper writes it.
+    pub name: &'static str,
+    /// Publication year.
+    pub year: u32,
+    /// Approximate Google-Scholar citation count circa 2017.
+    pub citations: u32,
+    /// Relative training cost (1.0 = AlexNet-class), for simulations that
+    /// have no measured costs.
+    pub relative_cost: f64,
+}
+
+/// The eight image-classification architectures, in the order §5.1 lists
+/// them for the DEEPLEARNING service.
+pub const IMAGE_CLASSIFIERS: [ModelId; 8] = [
+    ModelId::Nin,
+    ModelId::GoogLeNet,
+    ModelId::ResNet50,
+    ModelId::AlexNet,
+    ModelId::BnAlexNet,
+    ModelId::ResNet18,
+    ModelId::Vgg16,
+    ModelId::SqueezeNet,
+];
+
+impl ModelId {
+    /// Looks up the model's static metadata.
+    pub fn info(self) -> ModelInfo {
+        // (id, name, year, citations-2017, relative cost)
+        let (name, year, citations, relative_cost) = match self {
+            ModelId::Nin => ("NIN", 2013, 2200, 1.7),
+            ModelId::GoogLeNet => ("GoogLeNet", 2014, 10500, 5.0),
+            ModelId::ResNet50 => ("ResNet-50", 2015, 14000, 8.3),
+            ModelId::AlexNet => ("AlexNet", 2012, 21000, 1.0),
+            ModelId::BnAlexNet => ("BN-AlexNet", 2015, 6000, 1.8),
+            ModelId::ResNet18 => ("ResNet-18", 2015, 14000, 3.3),
+            ModelId::Vgg16 => ("VGG-16", 2014, 12500, 10.0),
+            ModelId::SqueezeNet => ("SqueezeNet", 2016, 1100, 0.8),
+            ModelId::AutoEncoder => ("Auto-encoder", 2006, 9000, 2.0),
+            ModelId::Gan => ("GAN", 2014, 5000, 6.0),
+            ModelId::Pix2Pix => ("pix2pix", 2016, 900, 7.0),
+            ModelId::Rnn => ("RNN", 1990, 8000, 1.5),
+            ModelId::Lstm => ("LSTM", 1997, 9500, 2.5),
+            ModelId::BiLstm => ("bi-LSTM", 2005, 3000, 3.0),
+            ModelId::Gru => ("GRU", 2014, 4800, 2.2),
+            ModelId::Seq2Seq => ("seq2seq", 2014, 4500, 4.0),
+            ModelId::TreeRnn => ("Tree-RNN", 2011, 1800, 3.5),
+            ModelId::TreeKernelSvm => ("Tree kernel SVM", 2002, 1500, 1.2),
+            ModelId::BitLevelRnn => ("Bit-level RNN", 2016, 50, 5.0),
+            ModelId::BitLevelAutoEncoder => ("Bit-level Auto-encoder", 2016, 40, 5.5),
+        };
+        ModelInfo {
+            id: self,
+            name,
+            year,
+            citations,
+            relative_cost,
+        }
+    }
+
+    /// Display name shortcut.
+    pub fn name(self) -> &'static str {
+        self.info().name
+    }
+}
+
+/// Orders the given models by descending citation count — the MOSTCITED user
+/// heuristic ("most cited network first", §5.2). Ties break by zoo order.
+pub fn most_cited_order(models: &[ModelId]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..models.len()).collect();
+    idx.sort_by_key(|&i| std::cmp::Reverse(models[i].info().citations));
+    idx
+}
+
+/// Orders the given models by descending publication year — the MOSTRECENT
+/// heuristic ("most recently published network first", §5.2). Ties break by
+/// citations (the better-known recent model is tried first).
+pub fn most_recent_order(models: &[ModelId]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..models.len()).collect();
+    idx.sort_by_key(|&i| {
+        let info = models[i].info();
+        std::cmp::Reverse((info.year, info.citations))
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_classifier_count_matches_the_paper() {
+        assert_eq!(IMAGE_CLASSIFIERS.len(), 8);
+        let names: Vec<&str> = IMAGE_CLASSIFIERS.iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "NIN",
+                "GoogLeNet",
+                "ResNet-50",
+                "AlexNet",
+                "BN-AlexNet",
+                "ResNet-18",
+                "VGG-16",
+                "SqueezeNet"
+            ]
+        );
+    }
+
+    #[test]
+    fn most_cited_starts_with_alexnet() {
+        let order = most_cited_order(&IMAGE_CLASSIFIERS);
+        assert_eq!(IMAGE_CLASSIFIERS[order[0]], ModelId::AlexNet);
+        // SqueezeNet has the fewest citations among the eight.
+        assert_eq!(IMAGE_CLASSIFIERS[*order.last().unwrap()], ModelId::SqueezeNet);
+        // The result is a permutation.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn most_recent_starts_with_squeezenet() {
+        let order = most_recent_order(&IMAGE_CLASSIFIERS);
+        assert_eq!(IMAGE_CLASSIFIERS[order[0]], ModelId::SqueezeNet); // 2016
+        assert_eq!(IMAGE_CLASSIFIERS[*order.last().unwrap()], ModelId::AlexNet); // 2012
+    }
+
+    #[test]
+    fn citations_and_years_are_plausible() {
+        for m in IMAGE_CLASSIFIERS {
+            let info = m.info();
+            assert!(info.year >= 2012 && info.year <= 2016, "{}", info.name);
+            assert!(info.citations > 0);
+            assert!(info.relative_cost > 0.0);
+        }
+    }
+
+    #[test]
+    fn orders_differ() {
+        assert_ne!(
+            most_cited_order(&IMAGE_CLASSIFIERS),
+            most_recent_order(&IMAGE_CLASSIFIERS)
+        );
+    }
+
+    #[test]
+    fn empty_model_list() {
+        assert!(most_cited_order(&[]).is_empty());
+        assert!(most_recent_order(&[]).is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the DSL: the parser must never panic, valid
+//! programs must round-trip, and template matching must be total.
+
+use easeml_dsl::ast::{DataType, Program, TensorField};
+use easeml_dsl::{match_templates, parse_program};
+use proptest::prelude::*;
+
+/// Strategy for syntactically valid field names.
+fn field_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}"
+}
+
+fn tensor_field() -> impl Strategy<Value = TensorField> {
+    (
+        prop::option::of(field_name()),
+        prop::collection::vec(1u64..512, 1..4),
+    )
+        .prop_map(|(name, dims)| TensorField { name, dims })
+}
+
+/// A valid data type: unique names enforced by deduplication.
+fn data_type() -> impl Strategy<Value = DataType> {
+    (
+        prop::collection::vec(tensor_field(), 1..4),
+        prop::collection::vec(field_name(), 0..3),
+    )
+        .prop_map(|(mut tensors, mut recursive)| {
+            // Enforce the uniqueness invariant the validator checks.
+            let mut seen = std::collections::HashSet::new();
+            for t in &mut tensors {
+                if let Some(n) = &t.name {
+                    if !seen.insert(n.clone()) {
+                        t.name = None;
+                    }
+                }
+            }
+            recursive.sort();
+            recursive.dedup();
+            recursive.retain(|r| !seen.contains(r));
+            DataType { tensors, recursive }
+        })
+}
+
+fn valid_program() -> impl Strategy<Value = Program> {
+    (data_type(), data_type()).prop_map(|(input, output)| Program { input, output })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(src in ".{0,120}") {
+        // Result may be Ok or Err, but must never panic.
+        let _ = parse_program(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_grammar_like_input(
+        src in r"[\{\}\[\]:, a-z0-9]*"
+    ) {
+        let _ = parse_program(&src);
+    }
+
+    #[test]
+    fn valid_programs_round_trip(prog in valid_program()) {
+        prop_assume!(prog.validate().is_ok());
+        let printed = prog.to_string();
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("round trip failed on `{printed}`: {e}"));
+        prop_assert_eq!(prog, reparsed);
+    }
+
+    #[test]
+    fn template_matching_is_total_on_valid_programs(prog in valid_program()) {
+        prop_assume!(prog.validate().is_ok());
+        // The last template is fully general, so matching always succeeds.
+        let matched = match_templates(&prog);
+        prop_assert!(matched.is_some());
+        prop_assert!(!matched.unwrap().models.is_empty());
+    }
+
+    #[test]
+    fn codegen_produces_well_formed_julia(prog in valid_program()) {
+        prop_assume!(prog.validate().is_ok());
+        let code = easeml_dsl::codegen::julia_types(&prog);
+        prop_assert!(code.contains("type Input"));
+        prop_assert!(code.contains("type Output"));
+        prop_assert_eq!(code.matches("\nend\n").count() + usize::from(code.starts_with("end")), 2);
+    }
+}

@@ -1,0 +1,176 @@
+//! The intrinsic coregionalization model (ICM): a multi-task GP over
+//! (user, model) pairs.
+//!
+//! The paper's §6 ("Multi-task Gaussian Process") names the intrinsic model
+//! of coregionalization — a kernel decomposed as a Kronecker product — as
+//! the path to integrating *user* correlations into ease.ml, and lists it
+//! as future work. This module implements it: the joint prior covariance of
+//! the pair `(user u, model m)` with `(u′, m′)` is
+//!
+//! ```text
+//! K[(u,m), (u′,m′)] = K_users[u, u′] · K_models[m, m′]
+//! ```
+//!
+//! so an observation of model m on user u also informs the posterior of
+//! *other users'* arms — exactly the transfer the single-task estimator in
+//! the shipped scheduler forgoes.
+
+use crate::posterior::GpPosterior;
+use crate::prior::ArmPrior;
+use easeml_linalg::Matrix;
+
+/// Kronecker product `a ⊗ b`.
+///
+/// The result has shape `(a.rows·b.rows) × (a.cols·b.cols)` with
+/// `out[(i·p + k, j·q + l)] = a[(i, j)] · b[(k, l)]` for `b` of shape p×q.
+pub fn kronecker(a: &Matrix, b: &Matrix) -> Matrix {
+    let (ar, ac) = a.shape();
+    let (br, bc) = b.shape();
+    Matrix::from_fn(ar * br, ac * bc, |i, j| {
+        a[(i / br, j / bc)] * b[(i % br, j % bc)]
+    })
+}
+
+/// A multi-task GP over all (user, model) pairs of a workload.
+///
+/// Arms are flattened as `user · num_models + model`. Observations for any
+/// user update the posterior of every user through the user kernel.
+#[derive(Debug, Clone)]
+pub struct MultiTaskGp {
+    gp: GpPosterior,
+    num_users: usize,
+    num_models: usize,
+}
+
+impl MultiTaskGp {
+    /// Builds the joint prior `K_users ⊗ K_models` and wraps a posterior
+    /// around it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either Gram matrix is empty or not square, or if
+    /// `noise_var <= 0`.
+    pub fn new(user_gram: &Matrix, model_gram: &Matrix, noise_var: f64) -> Self {
+        assert!(
+            user_gram.is_square() && model_gram.is_square(),
+            "Gram matrices must be square"
+        );
+        let joint = kronecker(user_gram, model_gram);
+        let prior = ArmPrior::from_gram(joint);
+        MultiTaskGp {
+            gp: GpPosterior::new(prior, noise_var),
+            num_users: user_gram.rows(),
+            num_models: model_gram.rows(),
+        }
+    }
+
+    /// Number of users n.
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// Number of models K.
+    #[inline]
+    pub fn num_models(&self) -> usize {
+        self.num_models
+    }
+
+    fn index(&self, user: usize, model: usize) -> usize {
+        assert!(user < self.num_users, "user index out of range");
+        assert!(model < self.num_models, "model index out of range");
+        user * self.num_models + model
+    }
+
+    /// Records that `model` trained on `user`'s task reached `reward`.
+    pub fn observe(&mut self, user: usize, model: usize, reward: f64) {
+        let idx = self.index(user, model);
+        self.gp.observe(idx, reward);
+    }
+
+    /// Posterior mean of `(user, model)`.
+    pub fn mean(&self, user: usize, model: usize) -> f64 {
+        self.gp.mean(self.index(user, model))
+    }
+
+    /// Posterior variance of `(user, model)`.
+    pub fn var(&self, user: usize, model: usize) -> f64 {
+        self.gp.var(self.index(user, model))
+    }
+
+    /// The underlying flattened posterior.
+    pub fn posterior(&self) -> &GpPosterior {
+        &self.gp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kronecker_shape_and_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[0.0, 5.0], &[6.0, 7.0]]);
+        let k = kronecker(&a, &b);
+        assert_eq!(k.shape(), (4, 4));
+        assert_eq!(k[(0, 1)], 5.0); // a00 * b01
+        assert_eq!(k[(2, 0)], 3.0 * 0.0);
+        assert_eq!(k[(3, 3)], 4.0 * 7.0);
+        assert_eq!(k[(1, 2)], 2.0 * 6.0);
+    }
+
+    #[test]
+    fn kronecker_of_identities_is_identity() {
+        let k = kronecker(&Matrix::identity(2), &Matrix::identity(3));
+        assert!(k.approx_eq(&Matrix::identity(6), 0.0));
+    }
+
+    fn correlated(n: usize, rho: f64) -> Matrix {
+        Matrix::from_fn(n, n, |i, j| if i == j { 1.0 } else { rho })
+    }
+
+    #[test]
+    fn cross_user_transfer_through_the_user_kernel() {
+        // Two strongly correlated users, two independent models.
+        let mut mt = MultiTaskGp::new(&correlated(2, 0.9), &Matrix::identity(2), 0.01);
+        assert_eq!(mt.num_users(), 2);
+        assert_eq!(mt.num_models(), 2);
+        mt.observe(0, 0, 0.8);
+        // User 1's belief about model 0 moved too…
+        assert!(mt.mean(1, 0) > 0.4, "transfer: {}", mt.mean(1, 0));
+        assert!(mt.var(1, 0) < 1.0);
+        // …but not about model 1 (independent models).
+        assert!(mt.mean(1, 1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_transfer_with_independent_users() {
+        let mut mt = MultiTaskGp::new(&Matrix::identity(2), &correlated(2, 0.9), 0.01);
+        mt.observe(0, 0, 0.8);
+        // Model correlation transfers within the user…
+        assert!(mt.mean(0, 1) > 0.4);
+        // …but nothing crosses to user 1.
+        assert!(mt.mean(1, 0).abs() < 1e-9);
+        assert!(mt.mean(1, 1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn joint_transfer_diagonal_case() {
+        // Both kernels correlated: observing (0,0) lifts (1,1) by the
+        // product of the correlations.
+        let mut mt = MultiTaskGp::new(&correlated(2, 0.8), &correlated(2, 0.5), 0.001);
+        mt.observe(0, 0, 1.0);
+        let direct = mt.mean(0, 0);
+        let cross = mt.mean(1, 1);
+        assert!(direct > 0.9);
+        assert!((cross / direct - 0.4).abs() < 0.05, "expected ~0.8*0.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_user_panics() {
+        let mut mt = MultiTaskGp::new(&Matrix::identity(2), &Matrix::identity(2), 0.01);
+        mt.observe(2, 0, 0.5);
+    }
+}

@@ -1,0 +1,41 @@
+//! Gaussian-process regression over a *finite arm set*, the estimator at the
+//! heart of ease.ml's model-selection subsystem (paper §3).
+//!
+//! Ease.ml treats the K candidate models of a user as arms of a bandit, and
+//! models the vector of their (unknown) qualities as a draw from a
+//! multivariate Gaussian `N(μ₀, Σ)`. The prior covariance Σ comes from a
+//! [`kernel`] evaluated on per-model feature vectors — in the paper's
+//! Appendix A these are "quality vectors" of each model measured on the
+//! training users. After observing noisy rewards, the [`GpPosterior`] yields
+//! the posterior mean and variance of every arm, which the GP-UCB policies in
+//! `easeml-bandit` turn into upper confidence bounds.
+//!
+//! The posterior is maintained *incrementally*: each new observation extends
+//! a Cholesky factor in O(t²) rather than refactorizing in O(t³)
+//! (see [`easeml_linalg::Cholesky::extend`]).
+//!
+//! Hyperparameters (output scale, noise) are chosen by maximizing the
+//! [log marginal likelihood](mll::log_marginal_likelihood) on a grid, the
+//! approach the paper describes as "tuned by maximizing the
+//! log-marginal-likelihood as in scikit-learn" (§5.2).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod icm;
+pub mod kernel;
+pub mod mll;
+pub mod optimize;
+pub mod posterior;
+pub mod prior;
+pub mod tune;
+
+pub use icm::{kronecker, MultiTaskGp};
+pub use kernel::{
+    ConstantKernel, Kernel, LinearKernel, Matern32Kernel, Matern52Kernel, PeriodicKernel,
+    ProductKernel, RationalQuadraticKernel, RbfKernel, ScaledKernel, SumKernel, WhiteKernel,
+};
+pub use optimize::{nelder_mead, tune_scale_noise_continuous, NelderMeadOptions};
+pub use posterior::GpPosterior;
+pub use prior::ArmPrior;
+pub use tune::{tune_scale_noise, TuneGrid, TunedHyperparams};

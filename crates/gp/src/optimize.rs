@@ -1,0 +1,256 @@
+//! Derivative-free maximization of the log marginal likelihood with the
+//! Nelder–Mead simplex method.
+//!
+//! The paper tunes hyperparameters "by maximizing the log-marginal-
+//! likelihood as in scikit-learn" (§5.2); scikit-learn uses a gradient
+//! optimizer with restarts. This module provides the derivative-free
+//! equivalent: [`nelder_mead`] maximizes any objective over ℝⁿ, and
+//! [`tune_scale_noise_continuous`] applies it to the (log-scale, log-noise)
+//! plane, typically seeded from the best grid point for robustness.
+
+use crate::mll::log_marginal_likelihood;
+use crate::prior::ArmPrior;
+use crate::tune::TunedHyperparams;
+use easeml_linalg::Matrix;
+
+/// Options for the Nelder–Mead search.
+#[derive(Debug, Clone, Copy)]
+pub struct NelderMeadOptions {
+    /// Maximum number of objective evaluations.
+    pub max_evals: usize,
+    /// Convergence tolerance on the simplex's objective spread.
+    pub tol: f64,
+    /// Initial simplex step added to each coordinate of the start point.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions {
+            max_evals: 200,
+            tol: 1e-8,
+            initial_step: 0.5,
+        }
+    }
+}
+
+/// Maximizes `f` over ℝⁿ starting from `x0`. Returns `(argmax, max)`.
+///
+/// Standard Nelder–Mead with reflection 1, expansion 2, contraction ½,
+/// shrink ½. Deterministic for a deterministic objective.
+///
+/// # Panics
+///
+/// Panics if `x0` is empty or options are degenerate.
+pub fn nelder_mead(
+    f: impl Fn(&[f64]) -> f64,
+    x0: &[f64],
+    opts: &NelderMeadOptions,
+) -> (Vec<f64>, f64) {
+    assert!(!x0.is_empty(), "need at least one dimension");
+    assert!(opts.max_evals > 0 && opts.tol >= 0.0 && opts.initial_step > 0.0);
+    let n = x0.len();
+    let evals = std::cell::Cell::new(0usize);
+    let eval = |x: &[f64]| {
+        evals.set(evals.get() + 1);
+        f(x)
+    };
+
+    // Initial simplex: x0 plus one step along each axis.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let v0 = eval(x0);
+    simplex.push((x0.to_vec(), v0));
+    for i in 0..n {
+        let mut x = x0.to_vec();
+        x[i] += opts.initial_step;
+        let v = eval(&x);
+        simplex.push((x, v));
+    }
+
+    while evals.get() < opts.max_evals {
+        // Sort descending by value (we maximize).
+        simplex.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let best = simplex[0].1;
+        let worst = simplex[n].1;
+        if (best - worst).abs() <= opts.tol * (best.abs() + worst.abs() + 1e-12) {
+            break;
+        }
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; n];
+        for (x, _) in &simplex[..n] {
+            for (c, xi) in centroid.iter_mut().zip(x) {
+                *c += xi / n as f64;
+            }
+        }
+        let worst_x = simplex[n].0.clone();
+        let blend = |alpha: f64| -> Vec<f64> {
+            centroid
+                .iter()
+                .zip(&worst_x)
+                .map(|(c, w)| c + alpha * (c - w))
+                .collect()
+        };
+
+        let reflected = blend(1.0);
+        let vr = eval(&reflected);
+        if vr > simplex[0].1 {
+            // Try expanding.
+            let expanded = blend(2.0);
+            let ve = eval(&expanded);
+            simplex[n] = if ve > vr {
+                (expanded, ve)
+            } else {
+                (reflected, vr)
+            };
+        } else if vr > simplex[n - 1].1 {
+            simplex[n] = (reflected, vr);
+        } else {
+            // Contract towards the centroid.
+            let contracted = blend(-0.5);
+            let vc = eval(&contracted);
+            if vc > simplex[n].1 {
+                simplex[n] = (contracted, vc);
+            } else {
+                // Shrink everything towards the best point.
+                let best_x = simplex[0].0.clone();
+                for entry in simplex.iter_mut().skip(1) {
+                    let x: Vec<f64> = entry
+                        .0
+                        .iter()
+                        .zip(&best_x)
+                        .map(|(xi, bi)| bi + 0.5 * (xi - bi))
+                        .collect();
+                    let v = eval(&x);
+                    *entry = (x, v);
+                }
+            }
+        }
+        if evals.get() >= opts.max_evals {
+            break;
+        }
+    }
+    simplex.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    simplex.swap_remove(0).into()
+}
+
+/// Continuously tunes `(scale, noise)` for a base Gram matrix by
+/// Nelder–Mead over the log-parameters, starting from `start` (typically
+/// the best grid point from [`crate::tune_scale_noise`]).
+///
+/// # Panics
+///
+/// Panics on empty observations or non-positive start values.
+pub fn tune_scale_noise_continuous(
+    gram: &Matrix,
+    observations: &[(usize, f64)],
+    start: (f64, f64),
+    opts: &NelderMeadOptions,
+) -> TunedHyperparams {
+    assert!(!observations.is_empty(), "tuning needs observations");
+    assert!(start.0 > 0.0 && start.1 > 0.0, "start must be positive");
+    let objective = |x: &[f64]| {
+        let scale = x[0].exp();
+        let noise = x[1].exp();
+        // Keep the search inside a sane box.
+        if !(1e-6..=1e4).contains(&scale) || !(1e-9..=1.0).contains(&noise) {
+            return f64::NEG_INFINITY;
+        }
+        let prior = ArmPrior::from_gram(gram.scaled(scale));
+        log_marginal_likelihood(&prior, noise, observations)
+    };
+    let x0 = [start.0.ln(), start.1.ln()];
+    let (x, lml) = nelder_mead(objective, &x0, opts);
+    TunedHyperparams {
+        scale: x[0].exp(),
+        noise_var: x[1].exp(),
+        lml,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tune::{tune_scale_noise, TuneGrid};
+
+    #[test]
+    fn maximizes_a_concave_quadratic() {
+        let f = |x: &[f64]| -(x[0] - 3.0).powi(2) - 2.0 * (x[1] + 1.0).powi(2);
+        let (x, v) = nelder_mead(f, &[0.0, 0.0], &NelderMeadOptions::default());
+        assert!((x[0] - 3.0).abs() < 1e-3, "x0 = {}", x[0]);
+        assert!((x[1] + 1.0).abs() < 1e-3, "x1 = {}", x[1]);
+        assert!(v > -1e-5);
+    }
+
+    #[test]
+    fn one_dimensional_maximization() {
+        let f = |x: &[f64]| -(x[0] - 0.5).powi(2);
+        let (x, _) = nelder_mead(f, &[-4.0], &NelderMeadOptions::default());
+        assert!((x[0] - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn respects_the_eval_budget() {
+        let count = std::cell::Cell::new(0usize);
+        let f = |x: &[f64]| {
+            count.set(count.get() + 1);
+            -x[0] * x[0]
+        };
+        let opts = NelderMeadOptions {
+            max_evals: 25,
+            ..Default::default()
+        };
+        let _ = nelder_mead(f, &[10.0], &opts);
+        // Shrink steps may finish an in-flight iteration; allow slack of n.
+        assert!(count.get() <= 27, "{} evals", count.get());
+    }
+
+    #[test]
+    fn continuous_tuning_improves_on_the_grid_start() {
+        let gram = Matrix::identity(3);
+        let obs = [
+            (0usize, 0.50),
+            (0, 0.56),
+            (1, -0.40),
+            (1, -0.46),
+            (2, 0.05),
+        ];
+        let grid = TuneGrid {
+            scales: vec![0.1, 1.0],
+            noises: vec![1e-3, 1e-2],
+        };
+        let coarse = tune_scale_noise(&gram, &obs, &grid);
+        let fine = tune_scale_noise_continuous(
+            &gram,
+            &obs,
+            (coarse.scale, coarse.noise_var),
+            &NelderMeadOptions::default(),
+        );
+        assert!(
+            fine.lml >= coarse.lml - 1e-9,
+            "continuous {:.4} must not be worse than grid {:.4}",
+            fine.lml,
+            coarse.lml
+        );
+        assert!(fine.scale > 0.0 && fine.noise_var > 0.0);
+    }
+
+    #[test]
+    fn out_of_box_start_is_survivable() {
+        // A start near the box edge still returns finite results.
+        let gram = Matrix::identity(2);
+        let obs = [(0usize, 0.2), (1, -0.2)];
+        let t = tune_scale_noise_continuous(
+            &gram,
+            &obs,
+            (1e-5, 1e-8),
+            &NelderMeadOptions::default(),
+        );
+        assert!(t.lml.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn empty_start_panics() {
+        let _ = nelder_mead(|_| 0.0, &[], &NelderMeadOptions::default());
+    }
+}

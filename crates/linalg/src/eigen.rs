@@ -1,0 +1,241 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method, and the PSD
+//! projection built on it.
+//!
+//! Empirical kernel matrices built from finite quality-vector samples
+//! (Appendix A of the paper) are symmetric but can be indefinite due to
+//! round-off or because the chosen similarity function is not a true kernel.
+//! [`project_psd`] clips negative eigenvalues to restore positive
+//! semi-definiteness before the GP layer adds observation noise and factors.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Result of a symmetric eigendecomposition `A = V diag(λ) Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors as matrix columns, ordered to match
+    /// `values`.
+    pub vectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Reconstructs `V diag(λ) Vᵀ` (mainly for testing).
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.values.len();
+        Matrix::from_fn(n, n, |i, j| {
+            (0..n)
+                .map(|k| self.vectors[(i, k)] * self.values[k] * self.vectors[(j, k)])
+                .sum()
+        })
+    }
+}
+
+const MAX_SWEEPS: usize = 64;
+
+/// Computes the eigendecomposition of a symmetric matrix with the cyclic
+/// Jacobi method.
+///
+/// # Errors
+///
+/// [`LinalgError::NotSquare`] for non-square input;
+/// [`LinalgError::EigenNoConvergence`] if the off-diagonal mass has not
+/// vanished after the sweep budget (does not happen for symmetric input of
+/// the sizes used here).
+pub fn eigen(a: &Matrix) -> Result<SymmetricEigen> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(SymmetricEigen {
+            values: vec![],
+            vectors: Matrix::zeros(0, 0),
+        });
+    }
+    let mut m = a.clone();
+    m.symmetrize_mut();
+    let mut v = Matrix::identity(n);
+    let scale = m.max_abs().max(1.0);
+    let tol = 1e-14 * scale;
+
+    for _ in 0..MAX_SWEEPS {
+        let mut off = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= tol * 1e-2 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply the rotation G(p, q, θ) on both sides: m = Gᵀ m G.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    let mut off = 0.0f64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            off += m[(i, j)] * m[(i, j)];
+        }
+    }
+    let off = off.sqrt();
+    if off > tol.max(1e-10 * scale) {
+        return Err(LinalgError::EigenNoConvergence { off_diagonal: off });
+    }
+
+    // Sort eigenpairs in descending eigenvalue order.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&k| m[(k, k)]).collect();
+    let vectors = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
+    Ok(SymmetricEigen { values, vectors })
+}
+
+/// Projects a symmetric matrix onto the cone of positive semi-definite
+/// matrices by clipping negative eigenvalues to `floor` (≥ 0).
+///
+/// # Errors
+///
+/// Propagates errors from [`eigen`].
+pub fn project_psd(a: &Matrix, floor: f64) -> Result<Matrix> {
+    assert!(floor >= 0.0, "PSD floor must be non-negative");
+    let mut decomp = eigen(a)?;
+    let mut changed = false;
+    for v in &mut decomp.values {
+        if *v < floor {
+            *v = floor;
+            changed = true;
+        }
+    }
+    if !changed {
+        let mut out = a.clone();
+        out.symmetrize_mut();
+        return Ok(out);
+    }
+    let mut out = decomp.reconstruct();
+    out.symmetrize_mut();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let e = eigen(&a).unwrap();
+        assert_eq!(e.values, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_and_orthonormality() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5, 0.0],
+            &[1.0, 3.0, 0.2, -0.3],
+            &[0.5, 0.2, 5.0, 1.0],
+            &[0.0, -0.3, 1.0, 2.0],
+        ]);
+        let e = eigen(&a).unwrap();
+        assert!(e.reconstruct().approx_eq(&a, 1e-8));
+        // VᵀV = I.
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        assert!(vtv.approx_eq(&Matrix::identity(4), 1e-8));
+    }
+
+    #[test]
+    fn indefinite_matrix_has_negative_eigenvalue() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        let e = eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn psd_projection_makes_cholesky_possible() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(crate::Cholesky::factor(&a).is_err());
+        let p = project_psd(&a, 1e-9).unwrap();
+        // After projection (with tiny positive floor) the factorization
+        // succeeds, possibly with a whisker of jitter.
+        let (c, _) = crate::Cholesky::factor_with_jitter(&p, 1e-12, 8).unwrap();
+        assert_eq!(c.dim(), 2);
+        // Projection is idempotent-ish: already-PSD input is unchanged.
+        let id = Matrix::identity(3);
+        assert!(project_psd(&id, 0.0).unwrap().approx_eq(&id, 1e-12));
+    }
+
+    #[test]
+    fn projection_preserves_psd_part() {
+        // For A = diag(2, -1), projection with floor 0 yields diag(2, 0).
+        let a = Matrix::from_diag(&[2.0, -1.0]);
+        let p = project_psd(&a, 0.0).unwrap();
+        assert!(p.approx_eq(&Matrix::from_diag(&[2.0, 0.0]), 1e-10));
+    }
+
+    #[test]
+    fn empty_and_non_square() {
+        let e = eigen(&Matrix::zeros(0, 0)).unwrap();
+        assert!(e.values.is_empty());
+        assert!(matches!(
+            eigen(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "floor")]
+    fn negative_floor_panics() {
+        let _ = project_psd(&Matrix::identity(2), -1.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Dense linear algebra substrate for the ease.ml reproduction.
+//!
+//! The Gaussian-process machinery at the heart of ease.ml's model-selection
+//! subsystem needs a small but reliable set of dense-matrix operations over
+//! symmetric positive-definite (SPD) systems:
+//!
+//! * [`Matrix`] — a row-major dense `f64` matrix with the usual arithmetic,
+//!   products, and structural helpers;
+//! * [`Cholesky`] — an SPD factorization supporting solves, log-determinants,
+//!   **incremental extension** by one row/column (the GP posterior grows by
+//!   one observation per bandit step, so refactorizing from scratch would turn
+//!   an O(t²) update into O(t³)), and rank-1 updates;
+//! * triangular solves ([`solve_lower`], [`solve_upper`], and transposed
+//!   variants) used by both the factorization and the marginal likelihood;
+//! * a symmetric [`eigen`] decomposition (cyclic Jacobi) used to repair
+//!   empirical kernels that are only *almost* positive semi-definite
+//!   ([`project_psd`]);
+//! * [`Lu`] (partial pivoting) for general square systems, determinants,
+//!   and inverses, and [`Qr`] (Householder) with [`least_squares`] for
+//!   overdetermined fits;
+//! * small vector helpers in [`vec_ops`].
+//!
+//! Everything is pure safe Rust with no external dependencies. The matrices
+//! involved in the paper's experiments are small (at most a few hundred rows:
+//! 179 models, ≤ 200 users), so clarity and correctness are favoured over
+//! blocked/SIMD kernels; the implementations are still cache-friendly
+//! (row-major traversal, no per-element allocation).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cholesky;
+mod eigen;
+mod error;
+mod lu;
+mod matrix;
+mod qr;
+mod triangular;
+pub mod vec_ops;
+
+pub use cholesky::Cholesky;
+pub use eigen::{eigen, project_psd, SymmetricEigen};
+pub use error::LinalgError;
+pub use lu::Lu;
+pub use matrix::Matrix;
+pub use qr::{least_squares, Qr};
+pub use triangular::{solve_lower, solve_lower_transpose, solve_upper, solve_upper_transpose};
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

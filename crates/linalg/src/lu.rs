@@ -1,0 +1,207 @@
+//! LU decomposition with partial pivoting, for general (non-SPD) systems.
+//!
+//! The GP layer lives on Cholesky, but the tooling around it — solving for
+//! kernel-parameter sensitivities, inverting small general matrices in
+//! diagnostics — occasionally needs a general solver.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// LU factorization `P A = L U` with partial pivoting, stored compactly
+/// (unit-diagonal `L` below the diagonal of `lu`, `U` on and above).
+#[derive(Debug, Clone)]
+pub struct Lu {
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position i.
+    perm: Vec<usize>,
+    /// Number of row swaps (for the determinant's sign).
+    swaps: usize,
+}
+
+impl Lu {
+    /// Factors a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::NotSquare`] for non-square input;
+    /// [`LinalgError::SingularTriangular`] when a pivot column is all zero
+    /// (the matrix is singular to working precision).
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut swaps = 0;
+
+        for k in 0..n {
+            // Partial pivot: largest |entry| in column k at or below row k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(LinalgError::SingularTriangular { index: k });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                swaps += 1;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let delta = factor * lu[(k, j)];
+                    lu[(i, j)] -= delta;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, swaps })
+    }
+
+    /// Dimension of the factored matrix.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Shape errors when `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (n, 1),
+                found: (b.len(), 1),
+            });
+        }
+        // Apply the permutation, then forward- and back-substitute.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 0..n {
+            for j in 0..i {
+                x[i] -= self.lu[(i, j)] * x[j];
+            }
+        }
+        for i in (0..n).rev() {
+            for j in (i + 1)..n {
+                x[i] -= self.lu[(i, j)] * x[j];
+            }
+            x[i] /= self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// The determinant of `A` (product of U's diagonal, sign from swaps).
+    pub fn det(&self) -> f64 {
+        let sign = if self.swaps.is_multiple_of(2) { 1.0 } else { -1.0 };
+        sign * (0..self.dim()).map(|i| self.lu[(i, i)]).product::<f64>()
+    }
+
+    /// The inverse of `A`, column by column.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors (cannot occur after a successful factor).
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+            e[j] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn general3() -> Matrix {
+        Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, -1.0, 3.0], &[2.0, 4.0, -2.0]])
+    }
+
+    #[test]
+    fn solve_matches_matvec() {
+        let a = general3();
+        let lu = Lu::factor(&a).unwrap();
+        let b = [5.0, -1.0, 2.0];
+        let x = lu.solve(&b).unwrap();
+        let recon = a.matvec(&x).unwrap();
+        for (r, bb) in recon.iter().zip(&b) {
+            assert!((r - bb).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // a[0][0] = 0 requires a row swap.
+        let lu = Lu::factor(&general3()).unwrap();
+        assert_eq!(lu.dim(), 3);
+        assert!(lu.det().abs() > 0.0);
+    }
+
+    #[test]
+    fn determinant_known_values() {
+        let id = Matrix::identity(4);
+        assert!((Lu::factor(&id).unwrap().det() - 1.0).abs() < 1e-12);
+        let d = Matrix::from_diag(&[2.0, 3.0, -1.0]);
+        assert!((Lu::factor(&d).unwrap().det() + 6.0).abs() < 1e-12);
+        // 2x2 closed form.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!((Lu::factor(&a).unwrap().det() + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = general3();
+        let inv = Lu::factor(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            Lu::factor(&a),
+            Err(LinalgError::SingularTriangular { .. })
+        ));
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        assert!(matches!(
+            Lu::factor(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_rhs_length_is_rejected() {
+        let lu = Lu::factor(&Matrix::identity(2)).unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,209 @@
+//! Householder QR decomposition and least squares.
+//!
+//! Used by the diagnostics around hyperparameter tuning (fitting the
+//! information-gain envelope of Theorems 1–3 to measured regret curves is a
+//! small least-squares problem) and available to downstream users.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// QR factorization `A = Q R` of an m×n matrix with m ≥ n, computed with
+/// Householder reflections. `Q` is m×n with orthonormal columns (thin QR),
+/// `R` is n×n upper triangular.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    q: Matrix,
+    r: Matrix,
+}
+
+impl Qr {
+    /// Factors `a`.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::ShapeMismatch`] when `a` has more columns than rows.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (n, n),
+                found: (m, n),
+            });
+        }
+        let mut r = a.clone();
+        // Accumulate Q as a full m×m product, then trim to m×n.
+        let mut q_full = Matrix::identity(m);
+
+        for k in 0..n {
+            // Householder vector for column k below the diagonal.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += r[(i, k)] * r[(i, k)];
+            }
+            let norm = norm.sqrt();
+            if norm < 1e-300 {
+                continue; // column already zero below the diagonal
+            }
+            let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
+            let mut v = vec![0.0; m];
+            for i in k..m {
+                v[i] = r[(i, k)];
+            }
+            v[k] -= alpha;
+            let vnorm2: f64 = v[k..].iter().map(|x| x * x).sum();
+            if vnorm2 < 1e-300 {
+                continue;
+            }
+            // Apply H = I − 2 v vᵀ / (vᵀv) to R (columns k..n).
+            for j in k..n {
+                let dot: f64 = (k..m).map(|i| v[i] * r[(i, j)]).sum();
+                let scale = 2.0 * dot / vnorm2;
+                for i in k..m {
+                    r[(i, j)] -= scale * v[i];
+                }
+            }
+            // Accumulate into Q: Q ← Q H (apply H from the right).
+            for i in 0..m {
+                let dot: f64 = (k..m).map(|j| q_full[(i, j)] * v[j]).sum();
+                let scale = 2.0 * dot / vnorm2;
+                for j in k..m {
+                    q_full[(i, j)] -= scale * v[j];
+                }
+            }
+        }
+
+        let q = Matrix::from_fn(m, n, |i, j| q_full[(i, j)]);
+        let r = Matrix::from_fn(n, n, |i, j| if j >= i { r[(i, j)] } else { 0.0 });
+        Ok(Qr { q, r })
+    }
+
+    /// The thin orthonormal factor `Q` (m×n).
+    #[inline]
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// The upper-triangular factor `R` (n×n).
+    #[inline]
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// Solves the least-squares problem `min ‖A x − b‖₂` via
+    /// `R x = Qᵀ b`.
+    ///
+    /// # Errors
+    ///
+    /// Shape errors for wrong `b` length; singular-triangular errors for
+    /// rank-deficient `A`.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.q.shape();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (m, 1),
+                found: (b.len(), 1),
+            });
+        }
+        let qtb: Vec<f64> = (0..n)
+            .map(|j| (0..m).map(|i| self.q[(i, j)] * b[i]).sum())
+            .collect();
+        crate::triangular::solve_upper(&self.r, &qtb)
+    }
+}
+
+/// Convenience: least-squares fit of `A x ≈ b`.
+///
+/// # Errors
+///
+/// Propagates factorization and solve errors.
+pub fn least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Qr::factor(a)?.solve_least_squares(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_reconstructs_the_matrix() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0],
+            &[3.0, 4.0],
+            &[5.0, 6.0],
+        ]);
+        let qr = Qr::factor(&a).unwrap();
+        let recon = qr.q().matmul(qr.r()).unwrap();
+        assert!(recon.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = Matrix::from_rows(&[
+            &[2.0, -1.0, 0.5],
+            &[0.0, 3.0, 1.0],
+            &[1.0, 1.0, -2.0],
+            &[4.0, 0.0, 0.3],
+        ]);
+        let qr = Qr::factor(&a).unwrap();
+        let qtq = qr.q().transpose().matmul(qr.q()).unwrap();
+        assert!(qtq.approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 7.0]]);
+        let qr = Qr::factor(&a).unwrap();
+        assert_eq!(qr.r()[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn exact_system_is_solved_exactly() {
+        // Square invertible system: least squares = exact solve.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let b = [5.0, 10.0];
+        let x = least_squares(&a, &b).unwrap();
+        let recon = a.matvec(&x).unwrap();
+        for (r, bb) in recon.iter().zip(&b) {
+            assert!((r - bb).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn overdetermined_fit_matches_normal_equations() {
+        // Fit y = c0 + c1 x to 4 points; compare with the closed form.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 2.1, 2.9, 4.2];
+        let a = Matrix::from_fn(4, 2, |i, j| if j == 0 { 1.0 } else { xs[i] });
+        let c = least_squares(&a, &ys).unwrap();
+        // Closed-form slope/intercept for these points.
+        let n = 4.0;
+        let sx: f64 = xs.iter().sum();
+        let sy: f64 = ys.iter().sum();
+        let sxx: f64 = xs.iter().map(|x| x * x).sum();
+        let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
+        let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+        let intercept = (sy - slope * sx) / n;
+        assert!((c[0] - intercept).abs() < 1e-10);
+        assert!((c[1] - slope).abs() < 1e-10);
+    }
+
+    #[test]
+    fn wide_matrix_is_rejected() {
+        assert!(matches!(
+            Qr::factor(&Matrix::zeros(2, 3)),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_rhs_length_is_rejected() {
+        let qr = Qr::factor(&Matrix::identity(3)).unwrap();
+        assert!(qr.solve_least_squares(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn rank_deficient_least_squares_errors() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]]);
+        let qr = Qr::factor(&a).unwrap();
+        assert!(qr.solve_least_squares(&[1.0, 1.0, 1.0]).is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! The GREEDY user picker of Algorithm 2.
+
+use crate::picker::UserPicker;
+use crate::tenant::Tenant;
+use easeml_linalg::vec_ops;
+
+/// How to break ties among the candidate set `V_t` (Algorithm 2 line 8).
+///
+/// The paper notes the regret bound holds for *any* rule and reports that
+/// ease.ml uses the maximum UCB-gap rule in production; max-σ̃ and random
+/// are provided for the line-8 ablation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PickRule {
+    /// Pick the candidate with the maximum gap between its largest upper
+    /// confidence bound and its best accuracy so far (ease.ml's rule).
+    MaxUcbGap,
+    /// Pick the candidate with the maximum empirical variance σ̃.
+    MaxSigmaTilde,
+    /// Pick uniformly at random among the candidates.
+    Random,
+}
+
+/// GREEDY (Algorithm 2): serve a tenant whose estimated potential for
+/// improvement σ̃ is at least the average over all tenants.
+///
+/// The candidate set is
+///
+/// ```text
+/// V_t = { i : σ̃_i ≥ (1/n) Σ_j σ̃_j }
+/// ```
+///
+/// (never empty, since the maximum is always ≥ the mean), and one candidate
+/// is selected by the configured [`PickRule`].
+///
+/// # Examples
+///
+/// ```
+/// use easeml_bandit::{BetaSchedule, GpUcb};
+/// use easeml_gp::ArmPrior;
+/// use easeml_sched::{Greedy, Tenant, UserPicker};
+/// use rand::SeedableRng;
+///
+/// let beta = BetaSchedule::Simple { num_arms: 2, delta: 0.1 };
+/// let mut tenants: Vec<Tenant> = (0..2)
+///     .map(|i| Tenant::new(i, GpUcb::cost_oblivious(
+///         ArmPrior::independent(2, 1.0), 1e-3, beta)))
+///     .collect();
+/// // Tenant 0 is thoroughly explored; tenant 1 has barely started.
+/// for _ in 0..10 {
+///     tenants[0].observe(0, 0.9);
+///     tenants[0].observe(1, 0.8);
+/// }
+/// tenants[1].observe(0, 0.3);
+///
+/// let mut greedy = Greedy::ease_ml();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// assert_eq!(greedy.pick(&tenants, 0, &mut rng), 1); // the open tenant
+/// ```
+#[derive(Debug, Clone)]
+pub struct Greedy {
+    rule: PickRule,
+    /// Candidate set of the most recent pick (exposed for HYBRID's freeze
+    /// detector and for diagnostics).
+    last_candidates: Vec<usize>,
+}
+
+impl Greedy {
+    /// Creates a GREEDY picker with the given line-8 rule.
+    pub fn new(rule: PickRule) -> Self {
+        Greedy {
+            rule,
+            last_candidates: Vec::new(),
+        }
+    }
+
+    /// Ease.ml's production configuration: the maximum UCB-gap rule.
+    pub fn ease_ml() -> Self {
+        Self::new(PickRule::MaxUcbGap)
+    }
+
+    /// The rule used for line 8.
+    pub fn rule(&self) -> PickRule {
+        self.rule
+    }
+
+    /// The candidate set computed at the most recent pick.
+    pub fn last_candidates(&self) -> &[usize] {
+        &self.last_candidates
+    }
+
+    /// Computes the candidate set `V_t` from the tenants' σ̃ values.
+    pub fn candidate_set(tenants: &[Tenant]) -> Vec<usize> {
+        let sigmas: Vec<f64> = tenants.iter().map(Tenant::sigma_tilde).collect();
+        let mean = vec_ops::mean(&sigmas);
+        let mut v: Vec<usize> = (0..tenants.len())
+            .filter(|&i| sigmas[i] >= mean)
+            .collect();
+        if v.is_empty() {
+            // Mathematically max σ̃ ≥ mean, but when all σ̃ are (nearly)
+            // equal, floating-point rounding of the mean can edge above
+            // every element; fall back to the argmax.
+            v.push(vec_ops::argmax(&sigmas).expect("at least one tenant"));
+        }
+        v
+    }
+
+    fn pick_from_candidates(
+        &self,
+        tenants: &[Tenant],
+        candidates: &[usize],
+        rng: &mut dyn rand::RngCore,
+    ) -> usize {
+        match self.rule {
+            PickRule::MaxUcbGap => {
+                let gaps: Vec<f64> = candidates.iter().map(|&i| tenants[i].ucb_gap()).collect();
+                candidates[vec_ops::argmax(&gaps).expect("non-empty candidates")]
+            }
+            PickRule::MaxSigmaTilde => {
+                let sigmas: Vec<f64> = candidates
+                    .iter()
+                    .map(|&i| tenants[i].sigma_tilde())
+                    .collect();
+                candidates[vec_ops::argmax(&sigmas).expect("non-empty candidates")]
+            }
+            PickRule::Random => {
+                use rand::Rng;
+                candidates[rng.gen_range(0..candidates.len())]
+            }
+        }
+    }
+}
+
+impl UserPicker for Greedy {
+    fn name(&self) -> &'static str {
+        match self.rule {
+            PickRule::MaxUcbGap => "greedy(max-gap)",
+            PickRule::MaxSigmaTilde => "greedy(max-sigma)",
+            PickRule::Random => "greedy(random)",
+        }
+    }
+
+    fn needs_warmup(&self) -> bool {
+        true
+    }
+
+    fn pick(&mut self, tenants: &[Tenant], _step: usize, rng: &mut dyn rand::RngCore) -> usize {
+        let candidates = Self::candidate_set(tenants);
+        let choice = self.pick_from_candidates(tenants, &candidates, rng);
+        self.last_candidates = candidates;
+        choice
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easeml_bandit::{BetaSchedule, GpUcb};
+    use easeml_gp::ArmPrior;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tenant(id: usize, k: usize) -> Tenant {
+        let beta = BetaSchedule::Simple {
+            num_arms: k,
+            delta: 0.1,
+        };
+        Tenant::new(
+            id,
+            GpUcb::cost_oblivious(ArmPrior::independent(k, 1.0), 0.01, beta),
+        )
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(17)
+    }
+
+    /// A tenant whose exploration is essentially complete: tight posterior,
+    /// σ̃ near zero.
+    fn settled_tenant(id: usize) -> Tenant {
+        let mut t = tenant(id, 2);
+        for _ in 0..30 {
+            t.observe(0, 0.9);
+            t.observe(1, 0.85);
+        }
+        t
+    }
+
+    /// A tenant with one observation and plenty of remaining uncertainty.
+    fn open_tenant(id: usize) -> Tenant {
+        let mut t = tenant(id, 2);
+        t.observe(0, 0.3);
+        t
+    }
+
+    #[test]
+    fn candidate_set_contains_the_most_uncertain_tenant() {
+        let tenants = vec![settled_tenant(0), open_tenant(1), settled_tenant(2)];
+        let v = Greedy::candidate_set(&tenants);
+        assert!(v.contains(&1), "open tenant must be a candidate: {v:?}");
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn greedy_serves_the_user_with_more_potential() {
+        let tenants = vec![settled_tenant(0), open_tenant(1)];
+        for rule in [PickRule::MaxUcbGap, PickRule::MaxSigmaTilde] {
+            let mut g = Greedy::new(rule);
+            let mut r = rng();
+            assert_eq!(
+                g.pick(&tenants, 0, &mut r),
+                1,
+                "rule {rule:?} must pick the open tenant"
+            );
+            assert_eq!(g.last_candidates(), &[1]);
+        }
+    }
+
+    #[test]
+    fn random_rule_stays_within_candidates() {
+        let tenants = vec![settled_tenant(0), open_tenant(1), open_tenant(2)];
+        let mut g = Greedy::new(PickRule::Random);
+        let mut r = rng();
+        for _ in 0..50 {
+            let p = g.pick(&tenants, 0, &mut r);
+            assert!(g.last_candidates().contains(&p));
+        }
+    }
+
+    #[test]
+    fn candidate_set_is_never_empty_even_when_all_equal() {
+        let tenants = vec![tenant(0, 2), tenant(1, 2)];
+        let v = Greedy::candidate_set(&tenants);
+        assert_eq!(v, vec![0, 1], "equal σ̃ ⇒ everyone is a candidate");
+    }
+
+    #[test]
+    fn names_and_warmup() {
+        assert_eq!(Greedy::ease_ml().name(), "greedy(max-gap)");
+        assert_eq!(Greedy::ease_ml().rule(), PickRule::MaxUcbGap);
+        assert!(Greedy::ease_ml().needs_warmup());
+        assert_eq!(Greedy::new(PickRule::Random).name(), "greedy(random)");
+    }
+
+    #[test]
+    fn max_gap_prefers_low_best_with_high_ucb() {
+        // Two open tenants: one already has a great model (best 0.95), the
+        // other is stuck at 0.2 with the same uncertainty. The gap rule
+        // must prefer the stuck one.
+        let mut lucky = tenant(0, 2);
+        lucky.observe(0, 0.95);
+        let mut stuck = tenant(1, 2);
+        stuck.observe(0, 0.2);
+        let tenants = vec![lucky, stuck];
+        let mut g = Greedy::ease_ml();
+        let mut r = rng();
+        assert_eq!(g.pick(&tenants, 0, &mut r), 1);
+    }
+}

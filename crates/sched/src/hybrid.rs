@@ -1,0 +1,218 @@
+//! The HYBRID strategy (§4.4) — ease.ml's default scheduler.
+
+use crate::greedy::{Greedy, PickRule};
+use crate::picker::UserPicker;
+use crate::tenant::Tenant;
+
+/// HYBRID: run [`Greedy`] until it enters the *freezing stage*, then switch
+/// permanently to round robin.
+///
+/// §4.4: "When we notice that the candidate set remains unchanged and the
+/// overall regret does not drop for s steps, we know that the algorithm has
+/// entered the freezing stage." The overall regret drops exactly when some
+/// tenant's best-so-far accuracy improves, so the detector tracks the
+/// candidate set and the sum of best rewards; `s = 10` in the paper's
+/// evaluation ([`Hybrid::ease_ml`]).
+///
+/// # Examples
+///
+/// ```
+/// use easeml_sched::Hybrid;
+///
+/// let hybrid = Hybrid::ease_ml(); // max-UCB-gap rule, s = 10
+/// assert!(!hybrid.has_switched());
+/// assert_eq!(hybrid.frozen_rounds(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hybrid {
+    greedy: Greedy,
+    /// Freeze threshold s.
+    patience: usize,
+    /// Consecutive rounds with an unchanged candidate set and no
+    /// improvement.
+    frozen_rounds: usize,
+    /// Candidate set observed at the previous round.
+    prev_candidates: Vec<usize>,
+    /// Sum of best rewards at the previous round (improvement detector).
+    prev_best_sum: f64,
+    /// Whether the permanent switch to round robin has happened.
+    switched: bool,
+    /// Round-robin cursor used after the switch.
+    rr_cursor: usize,
+}
+
+impl Hybrid {
+    /// Creates a HYBRID picker with the given greedy rule and freeze
+    /// threshold `patience` (the paper's `s`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patience == 0`.
+    pub fn new(rule: PickRule, patience: usize) -> Self {
+        assert!(patience > 0, "freeze threshold must be positive");
+        Hybrid {
+            greedy: Greedy::new(rule),
+            patience,
+            frozen_rounds: 0,
+            prev_candidates: Vec::new(),
+            prev_best_sum: f64::NEG_INFINITY,
+            switched: false,
+            rr_cursor: 0,
+        }
+    }
+
+    /// The paper's configuration: max-UCB-gap rule, `s = 10`.
+    pub fn ease_ml() -> Self {
+        Self::new(PickRule::MaxUcbGap, 10)
+    }
+
+    /// Whether the scheduler has switched to its round-robin phase.
+    #[inline]
+    pub fn has_switched(&self) -> bool {
+        self.switched
+    }
+
+    /// Number of consecutive frozen rounds observed so far.
+    #[inline]
+    pub fn frozen_rounds(&self) -> usize {
+        self.frozen_rounds
+    }
+
+    fn best_sum(tenants: &[Tenant]) -> f64 {
+        tenants.iter().filter_map(Tenant::best_reward).sum()
+    }
+}
+
+impl UserPicker for Hybrid {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn needs_warmup(&self) -> bool {
+        true
+    }
+
+    fn pick(&mut self, tenants: &[Tenant], step: usize, rng: &mut dyn rand::RngCore) -> usize {
+        if self.switched {
+            let choice = self.rr_cursor % tenants.len();
+            self.rr_cursor += 1;
+            return choice;
+        }
+        let _ = step;
+        self.greedy.pick(tenants, step, rng)
+    }
+
+    fn after_observe(&mut self, tenants: &[Tenant], _served: usize) {
+        if self.switched {
+            return;
+        }
+        let candidates = Greedy::candidate_set(tenants);
+        let best_sum = Self::best_sum(tenants);
+        let improved = best_sum > self.prev_best_sum + 1e-12;
+        let same_candidates = candidates == self.prev_candidates;
+        if same_candidates && !improved {
+            self.frozen_rounds += 1;
+            if self.frozen_rounds >= self.patience {
+                self.switched = true;
+            }
+        } else {
+            self.frozen_rounds = 0;
+        }
+        self.prev_candidates = candidates;
+        self.prev_best_sum = self.prev_best_sum.max(best_sum);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easeml_bandit::{BetaSchedule, GpUcb};
+    use easeml_gp::ArmPrior;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tenants(n: usize, k: usize) -> Vec<Tenant> {
+        (0..n)
+            .map(|i| {
+                let beta = BetaSchedule::Simple {
+                    num_arms: k,
+                    delta: 0.1,
+                };
+                Tenant::new(
+                    i,
+                    GpUcb::cost_oblivious(ArmPrior::independent(k, 1.0), 0.01, beta),
+                )
+            })
+            .collect()
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(23)
+    }
+
+    #[test]
+    fn starts_in_greedy_mode() {
+        let h = Hybrid::ease_ml();
+        assert!(!h.has_switched());
+        assert_eq!(h.frozen_rounds(), 0);
+        assert_eq!(h.name(), "hybrid");
+        assert!(h.needs_warmup());
+    }
+
+    #[test]
+    fn freeze_detection_triggers_the_switch() {
+        let mut ts = tenants(2, 1);
+        // Converge both tenants completely: single arm, constant reward.
+        for _ in 0..5 {
+            ts[0].observe(0, 0.9);
+            ts[1].observe(0, 0.8);
+        }
+        let mut h = Hybrid::new(PickRule::MaxUcbGap, 3);
+        let mut r = rng();
+        // Simulate frozen rounds: no improvement, stable candidate set.
+        for _ in 0..5 {
+            let u = h.pick(&ts, 0, &mut r);
+            let below_best = ts[u].best_reward().unwrap() - 0.2; // no improvement
+            ts[u].observe(0, below_best);
+            h.after_observe(&ts, u);
+        }
+        assert!(h.has_switched(), "freeze detector must fire");
+    }
+
+    #[test]
+    fn improvement_resets_the_freeze_counter() {
+        let mut ts = tenants(2, 1);
+        ts[0].observe(0, 0.5);
+        ts[1].observe(0, 0.5);
+        let mut h = Hybrid::new(PickRule::MaxUcbGap, 3);
+        let mut r = rng();
+        let mut reward = 0.5;
+        for _ in 0..10 {
+            let u = h.pick(&ts, 0, &mut r);
+            reward += 0.01; // every round improves someone's best
+            ts[u].observe(0, reward);
+            h.after_observe(&ts, u);
+            assert_eq!(h.frozen_rounds(), 0);
+        }
+        assert!(!h.has_switched());
+    }
+
+    #[test]
+    fn switched_mode_is_round_robin_and_permanent() {
+        let ts = tenants(3, 1);
+        let mut h = Hybrid::new(PickRule::MaxUcbGap, 1);
+        h.switched = true;
+        let mut r = rng();
+        let picks: Vec<usize> = (0..6).map(|s| h.pick(&ts, s, &mut r)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        // after_observe is a no-op once switched.
+        h.after_observe(&ts, 0);
+        assert!(h.has_switched());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_patience_panics() {
+        let _ = Hybrid::new(PickRule::MaxUcbGap, 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! The user-picking interface and the workload-agnostic pickers.
+
+use crate::tenant::Tenant;
+
+/// The user-picking phase of the multi-tenant scheduler: given the current
+/// tenant states, decide who is served in global round `step` (0-based).
+///
+/// Pickers that estimate per-tenant potential (GREEDY, HYBRID) require every
+/// tenant to have been served once before their estimates mean anything;
+/// they signal this with [`UserPicker::needs_warmup`], and the simulation
+/// driver serves tenants `0, 1, …, n−1` in order first (Algorithm 2
+/// lines 1–4).
+pub trait UserPicker {
+    /// Human-readable name used in experiment reports.
+    fn name(&self) -> &'static str;
+
+    /// Whether the driver must run one warm-up serve per tenant first.
+    fn needs_warmup(&self) -> bool {
+        false
+    }
+
+    /// Chooses the tenant to serve.
+    ///
+    /// `step` counts *post-warm-up* rounds from 0. Implementations must
+    /// return an index `< tenants.len()`.
+    fn pick(&mut self, tenants: &[Tenant], step: usize, rng: &mut dyn rand::RngCore) -> usize;
+
+    /// Hook invoked after the served tenant has observed its reward —
+    /// HYBRID uses it for freeze detection.
+    fn after_observe(&mut self, _tenants: &[Tenant], _served: usize) {}
+}
+
+/// First-come-first-served: serve the lowest-indexed tenant whose
+/// exploration is not yet complete (§4.1's strawman, with "found an optimal
+/// algorithm" operationalized as "trained every candidate model"). Once all
+/// tenants are exhausted, falls back to round robin.
+#[derive(Debug, Clone, Default)]
+pub struct Fcfs;
+
+impl UserPicker for Fcfs {
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+
+    fn pick(&mut self, tenants: &[Tenant], step: usize, _rng: &mut dyn rand::RngCore) -> usize {
+        tenants
+            .iter()
+            .position(|t| !t.exhausted())
+            .unwrap_or(step % tenants.len())
+    }
+}
+
+/// Round robin: serve user `t mod n` (§4.2, Theorem 2).
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin;
+
+impl UserPicker for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn pick(&mut self, tenants: &[Tenant], step: usize, _rng: &mut dyn rand::RngCore) -> usize {
+        step % tenants.len()
+    }
+}
+
+/// Uniformly random user choice — §5.3's RANDOM baseline ("round robin with
+/// replacement").
+#[derive(Debug, Clone, Default)]
+pub struct RandomPicker;
+
+impl UserPicker for RandomPicker {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn pick(&mut self, tenants: &[Tenant], _step: usize, rng: &mut dyn rand::RngCore) -> usize {
+        use rand::Rng;
+        rng.gen_range(0..tenants.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easeml_bandit::{BetaSchedule, GpUcb};
+    use easeml_gp::ArmPrior;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tenants(n: usize, k: usize) -> Vec<Tenant> {
+        (0..n)
+            .map(|i| {
+                let beta = BetaSchedule::Simple {
+                    num_arms: k,
+                    delta: 0.1,
+                };
+                Tenant::new(
+                    i,
+                    GpUcb::cost_oblivious(ArmPrior::independent(k, 1.0), 0.01, beta),
+                )
+            })
+            .collect()
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let ts = tenants(3, 2);
+        let mut p = RoundRobin;
+        let mut r = rng();
+        let picks: Vec<usize> = (0..7).map(|s| p.pick(&ts, s, &mut r)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+        assert_eq!(p.name(), "round-robin");
+        assert!(!p.needs_warmup());
+    }
+
+    #[test]
+    fn fcfs_sticks_with_the_first_unfinished_user() {
+        let mut ts = tenants(2, 2);
+        let mut p = Fcfs;
+        let mut r = rng();
+        assert_eq!(p.pick(&ts, 0, &mut r), 0);
+        ts[0].observe(0, 0.5);
+        // User 0 still has an untried arm.
+        assert_eq!(p.pick(&ts, 1, &mut r), 0);
+        ts[0].observe(1, 0.6);
+        // User 0 exhausted: move to user 1.
+        assert_eq!(p.pick(&ts, 2, &mut r), 1);
+        ts[1].observe(0, 0.5);
+        ts[1].observe(1, 0.5);
+        // Everyone exhausted: fall back to round robin.
+        assert_eq!(p.pick(&ts, 4, &mut r), 0);
+        assert_eq!(p.pick(&ts, 5, &mut r), 1);
+    }
+
+    #[test]
+    fn random_covers_all_users() {
+        let ts = tenants(4, 2);
+        let mut p = RandomPicker;
+        let mut r = rng();
+        let mut seen = [false; 4];
+        for s in 0..200 {
+            seen[p.pick(&ts, s, &mut r)] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+}

@@ -1,0 +1,221 @@
+//! Multi-tenant regret accounting (§4.1's definitions).
+
+use easeml_linalg::vec_ops;
+
+/// Tracks the cumulative, multi-tenant, cost-aware regret
+///
+/// ```text
+/// R_T = Σ_t C_t ( Σ_i r^i_{t_i} )
+/// ```
+///
+/// where `C_t` is the cost of the model trained at round t and
+/// `r^i_{t_i} = μ*_i − E(X^i_t)` is tenant i's regret for continuing to use
+/// the model chosen the last time she was served. Tenants that have never
+/// been served have no model at all and incur `μ*_i` (as in the §4.1 FCFS
+/// example). The "ease.ml regret" `R'_T` replaces the last-served reward by
+/// the best reward so far; the paper notes `R'_T ≤ R_T`.
+///
+/// # Examples
+///
+/// ```
+/// use easeml_sched::MultiTenantRegret;
+///
+/// // Two tenants whose best achievable accuracies are 0.9 and 0.8.
+/// let mut regret = MultiTenantRegret::new(vec![0.9, 0.8]);
+/// // Round 1: tenant 0 trains a model of quality 0.7 at cost 2.0.
+/// // Tenant 1 has no model yet, so it contributes its full 0.8.
+/// let contribution = regret.record_round(0, 0.7, 2.0);
+/// assert!((contribution - 2.0 * ((0.9 - 0.7) + 0.8)).abs() < 1e-12);
+/// assert!(regret.easeml_cumulative() <= regret.cumulative());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiTenantRegret {
+    mu_stars: Vec<f64>,
+    /// Quality of the model each tenant currently runs (last serve).
+    last_quality: Vec<Option<f64>>,
+    /// Best quality each tenant has seen.
+    best_quality: Vec<Option<f64>>,
+    cumulative: f64,
+    easeml_cumulative: f64,
+    total_cost: f64,
+    rounds: usize,
+}
+
+impl MultiTenantRegret {
+    /// Creates the tracker from each tenant's best possible quality μ*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mu_stars` is empty.
+    pub fn new(mu_stars: Vec<f64>) -> Self {
+        assert!(!mu_stars.is_empty(), "need at least one tenant");
+        let n = mu_stars.len();
+        MultiTenantRegret {
+            mu_stars,
+            last_quality: vec![None; n],
+            best_quality: vec![None; n],
+            cumulative: 0.0,
+            easeml_cumulative: 0.0,
+            total_cost: 0.0,
+            rounds: 0,
+        }
+    }
+
+    /// Number of tenants n.
+    #[inline]
+    pub fn num_tenants(&self) -> usize {
+        self.mu_stars.len()
+    }
+
+    /// Records one global round: tenant `served` trained a model of true
+    /// quality `quality` at cost `cost`; everyone else keeps their previous
+    /// model. Returns the round's contribution to `R_T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `served` is out of range or `cost <= 0`.
+    pub fn record_round(&mut self, served: usize, quality: f64, cost: f64) -> f64 {
+        assert!(served < self.num_tenants(), "tenant index out of range");
+        assert!(cost > 0.0, "round cost must be positive");
+        self.last_quality[served] = Some(quality);
+        if self.best_quality[served].is_none_or(|b| quality > b) {
+            self.best_quality[served] = Some(quality);
+        }
+        let sum_regret: f64 = (0..self.num_tenants())
+            .map(|i| self.mu_stars[i] - self.last_quality[i].unwrap_or(0.0))
+            .sum();
+        let sum_easeml: f64 = (0..self.num_tenants())
+            .map(|i| self.mu_stars[i] - self.best_quality[i].unwrap_or(0.0))
+            .sum();
+        let contribution = cost * sum_regret;
+        self.cumulative += contribution;
+        self.easeml_cumulative += cost * sum_easeml;
+        self.total_cost += cost;
+        self.rounds += 1;
+        contribution
+    }
+
+    /// Cumulative multi-tenant regret `R_T`.
+    #[inline]
+    pub fn cumulative(&self) -> f64 {
+        self.cumulative
+    }
+
+    /// The ease.ml regret `R'_T` (best-so-far variant); always ≤ `R_T`.
+    #[inline]
+    pub fn easeml_cumulative(&self) -> f64 {
+        self.easeml_cumulative
+    }
+
+    /// Total cost spent over all rounds.
+    #[inline]
+    pub fn total_cost(&self) -> f64 {
+        self.total_cost
+    }
+
+    /// Number of rounds recorded.
+    #[inline]
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Average regret per round `R_T / T` — the quantity Theorems 2–3 drive
+    /// to zero. Zero before the first round.
+    pub fn average(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.cumulative / self.rounds as f64
+        }
+    }
+
+    /// Per-tenant accuracy loss `l_{i,T} = μ*_i − best quality so far`
+    /// (Appendix A, eq. 2); `μ*_i` for never-served tenants.
+    pub fn accuracy_losses(&self) -> Vec<f64> {
+        (0..self.num_tenants())
+            .map(|i| (self.mu_stars[i] - self.best_quality[i].unwrap_or(0.0)).max(0.0))
+            .collect()
+    }
+
+    /// Mean accuracy loss over tenants (Appendix A, eq. 3).
+    pub fn mean_accuracy_loss(&self) -> f64 {
+        vec_ops::mean(&self.accuracy_losses())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_papers_fcfs_example() {
+        // §4.1: two users, best quality 100 each (scaled to [0,1] here as
+        // 1.0 and rewards 0.9, 0.95, 0.7). Serve U1 twice vs. U1 then U2.
+        let scale = 0.01; // paper uses percentages; scale to [0,1]
+
+        // FCFS: serve U1 (M1: 90), then U1 (M2: 95).
+        let mut fcfs = MultiTenantRegret::new(vec![1.0, 1.0]);
+        fcfs.record_round(0, 90.0 * scale, 1.0);
+        fcfs.record_round(0, 95.0 * scale, 1.0);
+        // Round 1: U1 regret 0.10, U2 regret 1.0. Round 2: 0.05 + 1.0.
+        let expected_fcfs = (0.10 + 1.0) + (0.05 + 1.0);
+        assert!((fcfs.cumulative() - expected_fcfs).abs() < 1e-9);
+        // Paper reports 215 in percentage points.
+        assert!((fcfs.cumulative() / scale - 215.0).abs() < 1e-6);
+
+        // Balanced: serve U1 (M1: 90), then U2 (M1: 70).
+        let mut bal = MultiTenantRegret::new(vec![1.0, 1.0]);
+        bal.record_round(0, 90.0 * scale, 1.0);
+        bal.record_round(1, 70.0 * scale, 1.0);
+        assert!((bal.cumulative() / scale - 150.0).abs() < 1e-6);
+        assert!(bal.cumulative() < fcfs.cumulative());
+    }
+
+    #[test]
+    fn easeml_regret_is_never_larger() {
+        let mut r = MultiTenantRegret::new(vec![1.0, 0.9]);
+        r.record_round(0, 0.5, 2.0);
+        r.record_round(0, 0.3, 1.0); // worse than before: R uses last, R' best
+        r.record_round(1, 0.9, 0.5);
+        assert!(r.easeml_cumulative() <= r.cumulative() + 1e-12);
+        assert_eq!(r.rounds(), 3);
+        assert!((r.total_cost() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unserved_tenants_incur_full_regret() {
+        let mut r = MultiTenantRegret::new(vec![0.8, 0.6]);
+        let c = r.record_round(0, 0.8, 1.0);
+        // Tenant 0 reached its optimum; tenant 1 has no model: regret 0.6.
+        assert!((c - 0.6).abs() < 1e-12);
+        assert_eq!(r.accuracy_losses(), vec![0.0, 0.6]);
+        assert!((r.mean_accuracy_loss() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_regret_decreases_once_everyone_is_served_well() {
+        let mut r = MultiTenantRegret::new(vec![1.0, 1.0]);
+        r.record_round(0, 1.0, 1.0);
+        r.record_round(1, 1.0, 1.0);
+        let avg2 = r.average();
+        for _ in 0..8 {
+            r.record_round(0, 1.0, 1.0);
+            r.record_round(1, 1.0, 1.0);
+        }
+        assert!(r.average() < avg2);
+    }
+
+    #[test]
+    fn cost_weights_each_round() {
+        let mut r = MultiTenantRegret::new(vec![1.0]);
+        let c = r.record_round(0, 0.5, 4.0);
+        assert!((c - 2.0).abs() < 1e-12); // 4.0 × 0.5 regret
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_cost_panics() {
+        let mut r = MultiTenantRegret::new(vec![1.0]);
+        r.record_round(0, 0.5, 0.0);
+    }
+}

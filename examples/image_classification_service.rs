@@ -1,0 +1,113 @@
+//! The Figure-3 walkthrough: a declarative image-classification service.
+//!
+//! Two research groups declare their tasks in the ease.ml DSL, feed
+//! examples, and let the platform explore candidate models on the shared
+//! (simulated) cluster with the HYBRID scheduler. `infer` always serves the
+//! best model found so far.
+//!
+//! Run with: `cargo run --example image_classification_service`
+
+use easeml::server::{EaseMl, QualityOracle, TrainingOutcome};
+
+fn main() {
+    // The quality oracle stands in for the deep-learning subsystem: it
+    // replays a plausible accuracy/cost profile per (user, architecture).
+    let oracle: QualityOracle = Box::new(|user, model| {
+        let info = model.info();
+        // User 0's task is easy; user 1's is harder and favours deeper nets.
+        let base: f64 = if user == 0 { 0.82 } else { 0.55 };
+        let depth_bonus = match info.name {
+            "ResNet-50" | "VGG-16" => 0.08,
+            "GoogLeNet" | "ResNet-18" => 0.05,
+            _ => 0.0,
+        };
+        TrainingOutcome {
+            accuracy: (base + depth_bonus).min(0.99),
+            cost: info.relative_cost,
+        }
+    });
+
+    let mut server = EaseMl::new(oracle, 42);
+
+    // a. Define models (Figure 3a): dogs-vs-cats for the vision group…
+    let vision = server
+        .register_user(
+            "vision-group",
+            "{input: {[Tensor[256, 256, 3]], []}, output: {[Tensor[2]], []}}",
+        )
+        .expect("valid program");
+    // …and a 1000-class problem for the biology group.
+    let biology = server
+        .register_user(
+            "biology-group",
+            "{input: {[Tensor[224, 224, 3]], []}, output: {[Tensor[1000]], []}}",
+        )
+        .expect("valid program");
+
+    println!("registered users: {}", server.num_users());
+    for (user, name) in [(vision, "vision-group"), (biology, "biology-group")] {
+        println!(
+            "  {name}: workload = {}, candidates = {:?}",
+            server.job(user).workload(),
+            server
+                .job(user)
+                .candidate_models()
+                .iter()
+                .map(|m| m.name())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    // c. Supervision (Figure 3c): pipe labelled examples into `feed`.
+    let dog_images = (0..250).map(|i| (vec![i as f64; 4], vec![1.0, 0.0]));
+    println!(
+        "\nvision-group: {} images added",
+        server.storage().feed(vision, dog_images)
+    );
+    let cat_images = (0..300).map(|i| (vec![i as f64; 4], vec![0.0, 1.0]));
+    println!(
+        "vision-group: {} images total",
+        server.storage().feed(vision, cat_images)
+    );
+
+    // e. Supervision engineering (Figure 3e): refine flips noisy labels off.
+    server.storage().refine(vision, 3, false);
+    println!(
+        "vision-group: {} examples enabled after refine",
+        server.storage().enabled_count(vision)
+    );
+
+    // d. Update model (Figure 3d): the platform explores in the background.
+    println!("\n- - - - REPORT - - - -");
+    let mut last_best: Vec<Option<f64>> = vec![None, None];
+    for day in 1..=12 {
+        let (user, model, outcome) = server.run_round();
+        let improved = last_best[user].is_none_or(|b| outcome.accuracy > b);
+        if improved {
+            last_best[user] = Some(outcome.accuracy);
+            println!(
+                "Day {day:>2}: user {user} {:<12} acc {:.0}  <- new best",
+                model.name(),
+                outcome.accuracy * 100.0
+            );
+        } else {
+            println!(
+                "Day {day:>2}: user {user} {:<12} acc {:.0}",
+                model.name(),
+                outcome.accuracy * 100.0
+            );
+        }
+    }
+    println!("- - - - - - - - - - -");
+
+    // b. Apply model (Figure 3b): `infer` uses the best model so far.
+    for (user, name) in [(vision, "vision-group"), (biology, "biology-group")] {
+        let (model, acc) = server.infer(user).expect("explored at least once");
+        println!(
+            "{name}: infer() now served by {} at accuracy {:.2} (cluster time {:.1}h)",
+            model.name(),
+            acc,
+            server.elapsed()
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Multi-tenant scheduling head-to-head on the DEEPLEARNING surrogate: the
+//! paper's core claim in one runnable binary.
+//!
+//! Ten test users share one cluster under a 10%-of-total-cost budget; the
+//! HYBRID scheduler (ease.ml) races round robin and the most-cited-first
+//! heuristic. Lower accuracy loss earlier is better.
+//!
+//! Run with: `cargo run --release --example multi_tenant_cluster`
+
+use easeml::prelude::*;
+use easeml::report::curves_table;
+
+fn main() {
+    let dataset = easeml_data::DatasetKind::DeepLearning.generate(20_180_801);
+    println!(
+        "dataset: {} ({} users x {} models, total cost {:.0} GPU-hours)",
+        dataset.name(),
+        dataset.num_users(),
+        dataset.num_models(),
+        dataset.total_cost()
+    );
+
+    let cfg = ExperimentConfig {
+        test_users: 10,
+        repetitions: 10,
+        budget: Budget::FractionOfCost(0.10),
+        ..ExperimentConfig::default()
+    };
+    println!(
+        "protocol: {} repetitions, 10 test users, budget = 10% of total cost\n",
+        cfg.repetitions
+    );
+
+    let results = vec![
+        run_experiment(&dataset, SchedulerKind::EaseMl, &cfg, 1),
+        run_experiment(&dataset, SchedulerKind::RoundRobin, &cfg, 1),
+        run_experiment(&dataset, SchedulerKind::MostCited, &cfg, 1),
+    ];
+    println!("{}", curves_table(&results, 10));
+
+    // The paper's reading: how much faster does ease.ml reach the loss
+    // level it attains after 20% of its budget?
+    let target = results[0].mean_curve[results[0].mean_curve.len() / 5];
+    for other in 1..results.len() {
+        match speedup_factor(
+            &results[0].grid_pct,
+            &results[other].mean_curve,
+            &results[0].mean_curve,
+            target,
+        ) {
+            Some(s) => println!(
+                "ease.ml reaches mean loss {target:.3} {s:.1}x faster than {}",
+                results[other].scheduler.name()
+            ),
+            None => println!(
+                "{} never reaches mean loss {target:.3} within this budget",
+                results[other].scheduler.name()
+            ),
+        }
+    }
+}

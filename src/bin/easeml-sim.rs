@@ -1,0 +1,198 @@
+//! `easeml-sim` — command-line driver for the multi-tenant experiments.
+//!
+//! ```text
+//! easeml-sim <dataset> <scheduler>... [options]
+//!
+//! datasets:   deeplearning | 179classifier | syn-0.01-0.1 | syn-0.01-1.0 |
+//!             syn-0.5-0.1 | syn-0.5-1.0 | csv:<path>
+//! schedulers: easeml | hybrid | greedy | greedy-sigma | greedy-random |
+//!             round-robin | random | fcfs | most-cited | most-recent
+//! options:    --budget <frac>      budget fraction (default 0.25)
+//!             --runs               cost-oblivious budget (% of runs)
+//!             --reps <n>           repetitions (default 10)
+//!             --test-users <n>     test users per split (default 10)
+//!             --seed <s>           base seed (default 20180801)
+//!             --csv-out <path>     write the long-format curve CSV
+//! ```
+
+use easeml::prelude::*;
+use easeml::report;
+use easeml_data::DatasetKind;
+use easeml_sched::PickRule;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: easeml-sim <dataset> <scheduler>... [--budget F] [--runs] \
+         [--reps N] [--test-users N] [--seed S] [--csv-out PATH]\n\
+         datasets: deeplearning | 179classifier | syn-0.01-0.1 | syn-0.01-1.0 | \
+         syn-0.5-0.1 | syn-0.5-1.0 | csv:<path>\n\
+         schedulers: easeml | hybrid | greedy | greedy-sigma | greedy-random | \
+         round-robin | random | fcfs | most-cited | most-recent"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_scheduler(s: &str) -> Option<SchedulerKind> {
+    Some(match s {
+        "easeml" | "hybrid" => SchedulerKind::EaseMl,
+        "greedy" => SchedulerKind::Greedy(PickRule::MaxUcbGap),
+        "greedy-sigma" => SchedulerKind::Greedy(PickRule::MaxSigmaTilde),
+        "greedy-random" => SchedulerKind::Greedy(PickRule::Random),
+        "round-robin" => SchedulerKind::RoundRobin,
+        "random" => SchedulerKind::Random,
+        "fcfs" => SchedulerKind::Fcfs,
+        "most-cited" => SchedulerKind::MostCited,
+        "most-recent" => SchedulerKind::MostRecent,
+        _ => return None,
+    })
+}
+
+fn parse_dataset(s: &str, seed: u64) -> Option<easeml_data::Dataset> {
+    let kind = match s {
+        "deeplearning" => DatasetKind::DeepLearning,
+        "179classifier" => DatasetKind::Classifier179,
+        "syn-0.01-0.1" => DatasetKind::Syn001_01,
+        "syn-0.01-1.0" => DatasetKind::Syn001_10,
+        "syn-0.5-0.1" => DatasetKind::Syn05_01,
+        "syn-0.5-1.0" => DatasetKind::Syn05_10,
+        _ => {
+            if let Some(path) = s.strip_prefix("csv:") {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| eprintln!("cannot read {path}: {e}"))
+                    .ok()?;
+                return easeml_data::io::from_csv(path, &text)
+                    .map_err(|e| eprintln!("cannot parse {path}: {e}"))
+                    .ok();
+            }
+            return None;
+        }
+    };
+    Some(kind.generate(seed))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        return usage();
+    }
+
+    let mut budget_frac = 0.25f64;
+    let mut runs_budget = false;
+    let mut reps = 10usize;
+    let mut test_users = 10usize;
+    let mut seed = 20_180_801u64;
+    let mut csv_out: Option<String> = None;
+    let mut positional: Vec<&str> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        macro_rules! value {
+            () => {
+                match it.next() {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("missing value for {arg}");
+                        return usage();
+                    }
+                }
+            };
+        }
+        match arg.as_str() {
+            "--budget" => match value!().parse() {
+                Ok(v) if (0.0..=1.0).contains(&v) && v > 0.0 => budget_frac = v,
+                _ => {
+                    eprintln!("--budget must be a fraction in (0, 1]");
+                    return usage();
+                }
+            },
+            "--runs" => runs_budget = true,
+            "--reps" => match value!().parse() {
+                Ok(v) if v > 0 => reps = v,
+                _ => return usage(),
+            },
+            "--test-users" => match value!().parse() {
+                Ok(v) if v > 0 => test_users = v,
+                _ => return usage(),
+            },
+            "--seed" => match value!().parse() {
+                Ok(v) => seed = v,
+                _ => return usage(),
+            },
+            "--csv-out" => csv_out = Some(value!().clone()),
+            other if other.starts_with("--") => {
+                eprintln!("unknown option {other}");
+                return usage();
+            }
+            other => positional.push(other),
+        }
+    }
+    let (dataset_name, scheduler_names) = match positional.split_first() {
+        Some((d, s)) if !s.is_empty() => (*d, s),
+        _ => return usage(),
+    };
+    let Some(dataset) = parse_dataset(dataset_name, seed) else {
+        eprintln!("unknown dataset `{dataset_name}`");
+        return usage();
+    };
+    if test_users >= dataset.num_users() {
+        eprintln!(
+            "--test-users {} leaves no training users (dataset has {})",
+            test_users,
+            dataset.num_users()
+        );
+        return ExitCode::from(2);
+    }
+
+    let budget = if runs_budget {
+        Budget::FractionOfRuns(budget_frac)
+    } else {
+        Budget::FractionOfCost(budget_frac)
+    };
+    let cfg = ExperimentConfig {
+        test_users,
+        repetitions: reps,
+        budget,
+        ..ExperimentConfig::default()
+    };
+
+    println!(
+        "dataset {} ({} users x {} models), {} reps, budget {:.0}% of {}",
+        dataset.name(),
+        dataset.num_users(),
+        dataset.num_models(),
+        reps,
+        budget_frac * 100.0,
+        if runs_budget { "runs" } else { "total cost" }
+    );
+
+    let mut results = Vec::new();
+    for name in scheduler_names {
+        let Some(kind) = parse_scheduler(name) else {
+            eprintln!("unknown scheduler `{name}`");
+            return usage();
+        };
+        let start = std::time::Instant::now();
+        let r = run_experiment(&dataset, kind, &cfg, seed);
+        println!(
+            "  {:<22} final mean loss {:.4} ({:.1}s)",
+            kind.name(),
+            r.mean_curve.last().unwrap(),
+            start.elapsed().as_secs_f64()
+        );
+        results.push(r);
+    }
+
+    println!();
+    println!("{}", report::curves_table(&results, 10));
+    if let Some(path) = csv_out {
+        match std::fs::write(&path, report::curves_csv(&results)) {
+            Ok(()) => println!("csv written to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,25 @@
+//! Workspace root of the ease.ml reproduction.
+//!
+//! This crate hosts the runnable examples under `examples/` and the
+//! cross-crate integration tests under `tests/`; the actual library surface
+//! lives in the member crates and is re-exported here for convenience:
+//!
+//! * [`easeml`] — the platform, simulation engine, and experiment harness;
+//! * [`easeml_sched`] — multi-tenant schedulers (round robin, greedy,
+//!   hybrid);
+//! * [`easeml_bandit`] — single-tenant GP-UCB and baselines;
+//! * [`easeml_gp`] — Gaussian-process posteriors and kernels;
+//! * [`easeml_data`] — datasets and the Appendix-B generator;
+//! * [`easeml_dsl`] — the declarative language and template matcher;
+//! * [`easeml_linalg`] — the dense linear-algebra substrate.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use easeml;
+pub use easeml_bandit;
+pub use easeml_data;
+pub use easeml_dsl;
+pub use easeml_gp;
+pub use easeml_linalg;
+pub use easeml_sched;

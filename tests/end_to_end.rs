@@ -1,0 +1,233 @@
+//! Cross-crate integration tests: the full pipeline from DSL source to
+//! multi-tenant scheduling results.
+
+use easeml::prelude::*;
+use easeml::server::{QualityOracle, TrainingOutcome};
+use easeml_data::{DatasetKind, SynConfig};
+use easeml_sched::PickRule;
+
+/// DSL source → template matching → scheduling → infer, end to end.
+#[test]
+fn declarative_service_end_to_end() {
+    // Oracle replays a fixed quality profile per (user, model-year) — a
+    // stand-in for the deep-learning subsystem.
+    let oracle: QualityOracle = Box::new(|user, model| {
+        let info = model.info();
+        TrainingOutcome {
+            accuracy: (0.55 + 0.01 * (user as f64) + 0.015 * (info.year as f64 - 2010.0))
+                .min(0.98),
+            cost: info.relative_cost,
+        }
+    });
+    let mut server = EaseMl::new(oracle, 42);
+    let vision = server
+        .register_user(
+            "vision",
+            "{input: {[Tensor[224, 224, 3]], []}, output: {[Tensor[10]], []}}",
+        )
+        .unwrap();
+    let meteo = server
+        .register_user(
+            "meteo",
+            "{input: {[Tensor[24]], [next]}, output: {[Tensor[4]], []}}",
+        )
+        .unwrap();
+
+    // Feed some data through the declarative operators.
+    server.storage().feed(vision, vec![(vec![0.1; 8], vec![1.0])]);
+    server.storage().feed(meteo, vec![(vec![0.2; 4], vec![0.0])]);
+    assert_eq!(server.storage().total_fed(), 2);
+
+    let rounds = server.run_until(30.0);
+    assert!(rounds >= 4);
+
+    // Both users can infer, and the vision user's candidates come from the
+    // image-classification template.
+    let (model, acc) = server.infer(vision).unwrap();
+    assert!(acc > 0.5);
+    assert!(easeml_dsl::zoo::IMAGE_CLASSIFIERS.contains(&model));
+    assert!(server.infer(meteo).is_some());
+}
+
+/// The headline claim of the paper, qualitatively: on a workload with
+/// meaningful structure, ease.ml's scheduler reaches a low average loss
+/// with less budget than the workload-agnostic baselines.
+#[test]
+fn easeml_beats_round_robin_and_random_on_synthetic_data() {
+    let dataset = SynConfig {
+        num_users: 30,
+        num_models: 20,
+        ..SynConfig::paper(0.5, 1.0)
+    }
+    .generate(11);
+    let cfg = ExperimentConfig {
+        test_users: 6,
+        repetitions: 8,
+        budget: Budget::FractionOfRuns(0.5),
+        grid_points: 41,
+        ..ExperimentConfig::default()
+    };
+    let easeml = run_experiment(&dataset, SchedulerKind::EaseMl, &cfg, 77);
+    let rr = run_experiment(&dataset, SchedulerKind::RoundRobin, &cfg, 77);
+    let rnd = run_experiment(&dataset, SchedulerKind::Random, &cfg, 77);
+
+    // Compare the area under the mean-loss curve (lower = faster progress).
+    let auc = |c: &[f64]| c.iter().sum::<f64>();
+    let a_easeml = auc(&easeml.mean_curve);
+    let a_rr = auc(&rr.mean_curve);
+    let a_rnd = auc(&rnd.mean_curve);
+    assert!(
+        a_easeml <= a_rr * 1.05,
+        "ease.ml {a_easeml:.3} should not trail round-robin {a_rr:.3}"
+    );
+    assert!(
+        a_easeml <= a_rnd * 1.05,
+        "ease.ml {a_easeml:.3} should not trail random {a_rnd:.3}"
+    );
+}
+
+/// FCFS is the paper's strawman: its early worst-case behaviour is bad
+/// because late users starve.
+#[test]
+fn fcfs_starves_late_users() {
+    let dataset = SynConfig {
+        num_users: 12,
+        num_models: 8,
+        ..SynConfig::paper(0.5, 0.5)
+    }
+    .generate(5);
+    let cfg = ExperimentConfig {
+        test_users: 4,
+        repetitions: 5,
+        budget: Budget::FractionOfRuns(0.4),
+        grid_points: 21,
+        ..ExperimentConfig::default()
+    };
+    let fcfs = run_experiment(&dataset, SchedulerKind::Fcfs, &cfg, 9);
+    let rr = run_experiment(&dataset, SchedulerKind::RoundRobin, &cfg, 9);
+    // Early in the budget (20%), round robin has served everyone once
+    // while FCFS is still grinding user 0's arms: mean loss must be lower
+    // for round robin.
+    let idx = 4; // 20% of the 21-point grid
+    assert!(
+        rr.mean_curve[idx] < fcfs.mean_curve[idx] + 1e-9,
+        "rr {:.4} vs fcfs {:.4}",
+        rr.mean_curve[idx],
+        fcfs.mean_curve[idx]
+    );
+}
+
+/// All scheduler kinds execute on all Figure-8 dataset kinds (smoke).
+#[test]
+fn every_scheduler_runs_on_every_dataset_kind() {
+    for kind in [DatasetKind::DeepLearning, DatasetKind::Syn05_01] {
+        let dataset = kind.generate(3);
+        let cfg = ExperimentConfig {
+            test_users: 3,
+            repetitions: 2,
+            budget: Budget::FractionOfCost(0.15),
+            grid_points: 11,
+            ..ExperimentConfig::default()
+        };
+        let mut schedulers = vec![
+            SchedulerKind::Fcfs,
+            SchedulerKind::RoundRobin,
+            SchedulerKind::Random,
+            SchedulerKind::Greedy(PickRule::MaxUcbGap),
+            SchedulerKind::Greedy(PickRule::MaxSigmaTilde),
+            SchedulerKind::Greedy(PickRule::Random),
+            SchedulerKind::Hybrid,
+            SchedulerKind::EaseMl,
+        ];
+        if kind == DatasetKind::DeepLearning {
+            schedulers.push(SchedulerKind::MostCited);
+            schedulers.push(SchedulerKind::MostRecent);
+        }
+        for s in schedulers {
+            let r = run_experiment(&dataset, s, &cfg, 1);
+            assert_eq!(r.mean_curve.len(), 11, "{} on {:?}", s.name(), kind);
+            assert!(
+                r.mean_curve.iter().all(|l| l.is_finite() && *l >= 0.0),
+                "{} on {:?}",
+                s.name(),
+                kind
+            );
+        }
+    }
+}
+
+/// The empirical kernel transfers information: with many training users the
+/// prior is informative, and ease.ml's loss after a fixed budget is no
+/// worse than with a starved kernel (Figure 14's direction).
+#[test]
+fn training_set_size_helps_or_at_least_does_not_hurt() {
+    let dataset = SynConfig {
+        num_users: 40,
+        num_models: 16,
+        ..SynConfig::paper(1.0, 1.0)
+    }
+    .generate(21);
+    let base = ExperimentConfig {
+        test_users: 6,
+        repetitions: 6,
+        budget: Budget::FractionOfCost(0.25),
+        grid_points: 21,
+        ..ExperimentConfig::default()
+    };
+    let full = run_experiment(&dataset, SchedulerKind::EaseMl, &base, 13);
+    let starved = {
+        let cfg = ExperimentConfig {
+            train_fraction: 0.08,
+            ..base
+        };
+        run_experiment(&dataset, SchedulerKind::EaseMl, &cfg, 13)
+    };
+    let auc = |c: &[f64]| c.iter().sum::<f64>();
+    assert!(
+        auc(&full.mean_curve) <= auc(&starved.mean_curve) * 1.10,
+        "full kernel {:.3} should not trail starved kernel {:.3}",
+        auc(&full.mean_curve),
+        auc(&starved.mean_curve)
+    );
+}
+
+/// Multi-tenant regret of the simulated schedulers is regret-free in
+/// trend: average regret falls as the budget grows.
+#[test]
+fn average_regret_shrinks_with_budget() {
+    use easeml_sched::MultiTenantRegret;
+    let dataset = SynConfig {
+        num_users: 8,
+        num_models: 6,
+        ..SynConfig::paper(0.5, 0.5)
+    }
+    .generate(2)
+    .unit_cost_view();
+    let priors: Vec<easeml_gp::ArmPrior> = (0..8)
+        .map(|_| easeml_gp::ArmPrior::independent(6, 0.05))
+        .collect();
+    let mut short_avg = 0.0;
+    let mut long_avg = 0.0;
+    for (budget, out) in [(8.0, &mut short_avg), (48.0, &mut long_avg)] {
+        let cfg = SimConfig {
+            budget,
+            cost_aware: false,
+            noise_var: 1e-3,
+            delta: 0.1,
+        };
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+        let trace = simulate(&dataset, &priors, SchedulerKind::Hybrid, &cfg, &mut rng);
+        // Reconstruct the multi-tenant regret from the trace's loss points:
+        // use the mean loss as a proxy for Σ r_i / n.
+        let reg = MultiTenantRegret::new((0..8).map(|i| dataset.best_quality(i)).collect());
+        // Replay: we lack per-round user ids in the trace, so drive regret
+        // from mean losses directly (mean loss ≤ mean regret).
+        let final_mean_loss = trace.points.last().unwrap().1;
+        *out = final_mean_loss;
+        let _ = reg; // regret API exercised in its own unit tests
+    }
+    assert!(
+        long_avg <= short_avg + 1e-9,
+        "more budget must not increase final loss: {short_avg:.4} -> {long_avg:.4}"
+    );
+}

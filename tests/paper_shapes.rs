@@ -1,0 +1,171 @@
+//! Regression tests pinning the *qualitative shapes* of the paper's
+//! figures at reduced repetition counts — the properties EXPERIMENTS.md
+//! reports. Each test mirrors one bench target with a smaller budget so the
+//! suite stays fast.
+
+use easeml::prelude::*;
+use easeml_data::DatasetKind;
+use easeml_sched::PickRule;
+
+fn auc(curve: &[f64]) -> f64 {
+    curve.iter().sum::<f64>() / curve.len() as f64
+}
+
+/// Figure 9's shape: on DEEPLEARNING under a cost budget, ease.ml's average
+/// accuracy loss falls clearly faster than the most-cited / most-recent
+/// heuristics.
+#[test]
+fn fig09_easeml_beats_the_user_heuristics() {
+    let dataset = DatasetKind::DeepLearning.generate(20_180_801);
+    let cfg = ExperimentConfig {
+        test_users: 10,
+        repetitions: 10,
+        budget: Budget::FractionOfCost(0.10),
+        grid_points: 51,
+        ..ExperimentConfig::default()
+    };
+    let easeml = run_experiment(&dataset, SchedulerKind::EaseMl, &cfg, 1);
+    let cited = run_experiment(&dataset, SchedulerKind::MostCited, &cfg, 1);
+    let recent = run_experiment(&dataset, SchedulerKind::MostRecent, &cfg, 1);
+
+    assert!(
+        auc(&easeml.mean_curve) < auc(&cited.mean_curve) * 0.85,
+        "ease.ml {:.4} vs most-cited {:.4}",
+        auc(&easeml.mean_curve),
+        auc(&cited.mean_curve)
+    );
+    assert!(
+        auc(&easeml.mean_curve) < auc(&recent.mean_curve) * 0.85,
+        "ease.ml {:.4} vs most-recent {:.4}",
+        auc(&easeml.mean_curve),
+        auc(&recent.mean_curve)
+    );
+    // The speedup at the level ease.ml reaches early is well above 1x.
+    let target = easeml.mean_curve[5]; // 10% of budget
+    let s = speedup_factor(
+        &easeml.grid_pct,
+        &cited.mean_curve,
+        &easeml.mean_curve,
+        target,
+    );
+    match s {
+        Some(s) => assert!(s > 1.5, "speedup only {s:.2}x"),
+        None => { /* most-cited never reaches it — an even stronger win */ }
+    }
+}
+
+/// Figure 13's shape: cost-awareness matters — disabling it (c ≡ 1 inside
+/// GP-UCB) while still paying real costs is clearly worse.
+#[test]
+fn fig13_cost_awareness_helps() {
+    let dataset = DatasetKind::DeepLearning.generate(20_180_801);
+    let aware_cfg = ExperimentConfig {
+        test_users: 10,
+        repetitions: 10,
+        budget: Budget::FractionOfCost(0.10),
+        grid_points: 21,
+        ..ExperimentConfig::default()
+    };
+    let oblivious_cfg = ExperimentConfig {
+        cost_aware_override: Some(false),
+        ..aware_cfg.clone()
+    };
+    let aware = run_experiment(&dataset, SchedulerKind::EaseMl, &aware_cfg, 2);
+    let oblivious = run_experiment(&dataset, SchedulerKind::EaseMl, &oblivious_cfg, 2);
+    assert!(
+        auc(&aware.mean_curve) < auc(&oblivious.mean_curve) * 0.9,
+        "aware {:.4} vs oblivious {:.4}",
+        auc(&aware.mean_curve),
+        auc(&oblivious.mean_curve)
+    );
+}
+
+/// Figure 14's shape: starving the kernel of training users (10%) hurts;
+/// 50% is within reach of 100% (diminishing return).
+#[test]
+fn fig14_training_size_ordering() {
+    let dataset = DatasetKind::DeepLearning.generate(20_180_801);
+    let base = ExperimentConfig {
+        test_users: 10,
+        repetitions: 10,
+        budget: Budget::FractionOfCost(0.10),
+        grid_points: 21,
+        ..ExperimentConfig::default()
+    };
+    let run_frac = |f: f64| {
+        let cfg = ExperimentConfig {
+            train_fraction: f,
+            ..base.clone()
+        };
+        auc(&run_experiment(&dataset, SchedulerKind::EaseMl, &cfg, 3).mean_curve)
+    };
+    let a10 = run_frac(0.10);
+    let a50 = run_frac(0.50);
+    let a100 = run_frac(1.00);
+    assert!(
+        a10 > a100,
+        "10% train ({a10:.4}) must be worse than 100% ({a100:.4})"
+    );
+    // Diminishing return: the 50%→100% gap is smaller than the 10%→50% gap.
+    assert!(
+        (a50 - a100) < (a10 - a50) + 0.01,
+        "10%: {a10:.4}, 50%: {a50:.4}, 100%: {a100:.4}"
+    );
+}
+
+/// Figure 15's shape: GREEDY freezes on 179CLASSIFIER while ROUNDROBIN
+/// keeps improving, and HYBRID ends at or near the round-robin level.
+#[test]
+fn fig15_hybrid_tracks_the_better_strategy_late() {
+    let dataset = DatasetKind::Classifier179.generate(20_180_801);
+    let cfg = ExperimentConfig {
+        test_users: 10,
+        repetitions: 4,
+        budget: Budget::FractionOfRuns(0.5),
+        grid_points: 21,
+        ..ExperimentConfig::default()
+    };
+    let hybrid = run_experiment(&dataset, SchedulerKind::Hybrid, &cfg, 4);
+    let greedy = run_experiment(&dataset, SchedulerKind::Greedy(PickRule::MaxUcbGap), &cfg, 4);
+    let rr = run_experiment(&dataset, SchedulerKind::RoundRobin, &cfg, 4);
+
+    let last = cfg.grid_points - 1;
+    // Greedy's endgame is worse than round robin's (the crossover).
+    assert!(
+        rr.mean_curve[last] < greedy.mean_curve[last],
+        "rr {:.5} vs greedy {:.5} at 100%",
+        rr.mean_curve[last],
+        greedy.mean_curve[last]
+    );
+    // Hybrid is not meaningfully worse than round robin at the end.
+    assert!(
+        hybrid.mean_curve[last] <= rr.mean_curve[last] * 1.35 + 1e-4,
+        "hybrid {:.5} vs rr {:.5} at 100%",
+        hybrid.mean_curve[last],
+        rr.mean_curve[last]
+    );
+}
+
+/// Figure 12's shape: stronger model correlation (σ_M: 0.01 → 0.5) improves
+/// the schedulers' losses at matched budgets, at both α levels.
+#[test]
+fn fig12_stronger_correlation_helps() {
+    let cfg = ExperimentConfig {
+        test_users: 10,
+        repetitions: 4,
+        budget: Budget::FractionOfRuns(0.5),
+        grid_points: 21,
+        ..ExperimentConfig::default()
+    };
+    let loss_at_half = |kind: DatasetKind| {
+        let d = kind.generate(20_180_801);
+        let r = run_experiment(&d, SchedulerKind::EaseMl, &cfg, 5);
+        r.mean_curve[10] // 50% of the budget
+    };
+    let weak = loss_at_half(DatasetKind::Syn001_10);
+    let strong = loss_at_half(DatasetKind::Syn05_10);
+    assert!(
+        strong <= weak + 1e-3,
+        "strong correlation {strong:.4} should not lose to weak {weak:.4}"
+    );
+}
