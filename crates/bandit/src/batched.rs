@@ -99,9 +99,7 @@ impl GpBucb {
     pub fn select_next(&mut self) -> usize {
         let beta = self.beta.at(self.t + self.pending.len() + 1);
         let scores: Vec<f64> = (0..self.num_arms())
-            .map(|k| {
-                self.halluc.mean(k) + (beta / self.cost(k)).sqrt() * self.halluc.std(k)
-            })
+            .map(|k| self.halluc.mean(k) + (beta / self.cost(k)).sqrt() * self.halluc.std(k))
             .collect();
         let arm = vec_ops::argmax(&scores).expect("at least one arm");
         let fake = self.halluc.mean(arm);
@@ -225,8 +223,8 @@ mod tests {
 
     #[test]
     fn costs_bias_batch_selection() {
-        let mut p = GpBucb::new(ArmPrior::independent(2, 1.0), 1e-3, beta())
-            .with_costs(vec![100.0, 1.0]);
+        let mut p =
+            GpBucb::new(ArmPrior::independent(2, 1.0), 1e-3, beta()).with_costs(vec![100.0, 1.0]);
         assert_eq!(p.select_next(), 1, "cheap arm first");
     }
 

@@ -80,8 +80,7 @@ impl BetaSchedule {
                     max_cost > 0.0 && num_tenants > 0 && max_arms > 0 && delta > 0.0 && delta < 1.0
                 );
                 2.0 * max_cost
-                    * (PI * PI * num_tenants as f64 * max_arms as f64 * t * t / (6.0 * delta))
-                        .ln()
+                    * (PI * PI * num_tenants as f64 * max_arms as f64 * t * t / (6.0 * delta)).ln()
             }
             BetaSchedule::Constant(b) => b,
         };

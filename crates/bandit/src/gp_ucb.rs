@@ -5,6 +5,7 @@ use crate::beta::BetaSchedule;
 use crate::ArmPolicy;
 use easeml_gp::{ArmPrior, GpPosterior};
 use easeml_linalg::vec_ops;
+use easeml_obs::{Component, Event, RecorderHandle};
 
 /// GP-UCB arm selection.
 ///
@@ -43,6 +44,12 @@ pub struct GpUcb {
     /// Number of completed observations; the *next* selection happens at
     /// step `t + 1`.
     t: usize,
+    /// Disabled by default; [`GpUcb::with_recorder`] attaches a sink that
+    /// receives an `ArmChosen` per selection and a `PosteriorUpdated` per
+    /// observation.
+    recorder: RecorderHandle,
+    /// User id stamped on emitted events (0 until a recorder is attached).
+    owner: usize,
 }
 
 impl GpUcb {
@@ -57,6 +64,8 @@ impl GpUcb {
             costs: None,
             beta,
             t: 0,
+            recorder: RecorderHandle::noop(),
+            owner: 0,
         }
     }
 
@@ -86,7 +95,23 @@ impl GpUcb {
             costs: Some(costs),
             beta,
             t: 0,
+            recorder: RecorderHandle::noop(),
+            owner: 0,
         }
+    }
+
+    /// Attaches a recorder; `owner` is the user id stamped on the emitted
+    /// events. Builder-style counterpart of [`GpUcb::set_recorder`].
+    pub fn with_recorder(mut self, recorder: RecorderHandle, owner: usize) -> Self {
+        self.set_recorder(recorder, owner);
+        self
+    }
+
+    /// Attaches (or, with a noop handle, detaches) a recorder; `owner` is
+    /// the user id stamped on the emitted events.
+    pub fn set_recorder(&mut self, recorder: RecorderHandle, owner: usize) {
+        self.recorder = recorder;
+        self.owner = owner;
     }
 
     /// Whether the policy divides the exploration bonus by the arm cost.
@@ -144,7 +169,16 @@ impl GpUcb {
 
     /// Chooses the next arm: argmax of the UCB, ties toward the lower index.
     pub fn select_arm(&self) -> usize {
-        vec_ops::argmax(&self.ucbs()).expect("policy has at least one arm")
+        let _timing = self.recorder.time(Component::ArmSelect);
+        let arm = vec_ops::argmax(&self.ucbs()).expect("policy has at least one arm");
+        self.recorder.emit(|| Event::ArmChosen {
+            user: self.owner,
+            arm,
+            ucb: self.ucb(arm),
+            beta: self.beta_next(),
+            cost: self.cost(arm),
+        });
+        arm
     }
 
     /// Incorporates an observation.
@@ -156,6 +190,11 @@ impl GpUcb {
     pub fn observe(&mut self, arm: usize, reward: f64) {
         self.gp.observe(arm, reward);
         self.t += 1;
+        self.recorder.emit(|| Event::PosteriorUpdated {
+            arm,
+            reward,
+            num_obs: self.t,
+        });
     }
 
     /// Best observed `(arm, reward)` so far.
@@ -202,8 +241,7 @@ mod tests {
 
     #[test]
     fn exploitation_wins_after_strong_observation() {
-        let mut ucb =
-            GpUcb::cost_oblivious(ArmPrior::independent(2, 0.05), 0.001, simple_beta(2));
+        let mut ucb = GpUcb::cost_oblivious(ArmPrior::independent(2, 0.05), 0.001, simple_beta(2));
         // Arm 0 yields a reward far above what exploration of arm 1 can
         // promise under a small prior variance.
         ucb.observe(0, 5.0);
@@ -248,8 +286,12 @@ mod tests {
 
     #[test]
     fn ucb_decomposes_into_mean_plus_width() {
-        let mut ucb =
-            GpUcb::cost_aware(ArmPrior::independent(2, 1.0), 0.01, simple_beta(2), vec![2.0, 1.0]);
+        let mut ucb = GpUcb::cost_aware(
+            ArmPrior::independent(2, 1.0),
+            0.01,
+            simple_beta(2),
+            vec![2.0, 1.0],
+        );
         ucb.observe(0, 0.5);
         for k in 0..2 {
             let expected = ucb.posterior().mean(k) + ucb.exploration_width(k);
@@ -309,14 +351,28 @@ mod tests {
     }
 
     #[test]
+    fn recorder_sees_arm_choices_and_posterior_updates() {
+        use easeml_obs::InMemoryRecorder;
+        use std::sync::Arc;
+        let rec = Arc::new(InMemoryRecorder::new());
+        let mut ucb = GpUcb::cost_oblivious(ArmPrior::independent(2, 1.0), 0.01, simple_beta(2))
+            .with_recorder(RecorderHandle::new(rec.clone()), 7);
+        let a = ucb.select_arm();
+        ucb.observe(a, 0.4);
+        let events = rec.events();
+        assert!(matches!(events[0], Event::ArmChosen { user: 7, .. }));
+        assert!(matches!(
+            events[1],
+            Event::PosteriorUpdated { num_obs: 1, .. }
+        ));
+        assert_eq!(rec.timing(Component::ArmSelect).count(), 1);
+    }
+
+    #[test]
     fn correlated_prior_focuses_search() {
         // With strong correlation, observing a bad arm should depress the
         // UCB of its correlated neighbour relative to an independent arm.
-        let gram = Matrix::from_rows(&[
-            &[1.0, 0.95, 0.0],
-            &[0.95, 1.0, 0.0],
-            &[0.0, 0.0, 1.0],
-        ]);
+        let gram = Matrix::from_rows(&[&[1.0, 0.95, 0.0], &[0.95, 1.0, 0.0], &[0.0, 0.0, 1.0]]);
         let mut ucb = GpUcb::cost_oblivious(ArmPrior::from_gram(gram), 0.01, simple_beta(3));
         ucb.observe(0, -2.0);
         assert!(ucb.ucb(1) < ucb.ucb(2));

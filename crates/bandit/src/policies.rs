@@ -248,7 +248,10 @@ impl ArmPolicy for ExpectedImprovement {
     }
 
     fn select(&mut self, _rng: &mut dyn rand::RngCore) -> usize {
-        let best = self.gp.best_observed().map_or(f64::NEG_INFINITY, |(_, y)| y);
+        let best = self
+            .gp
+            .best_observed()
+            .map_or(f64::NEG_INFINITY, |(_, y)| y);
         if best == f64::NEG_INFINITY {
             // No incumbent yet: explore the most uncertain arm.
             return vec_ops::argmax(self.gp.vars()).expect("at least one arm");
@@ -309,7 +312,10 @@ impl ArmPolicy for ProbabilityOfImprovement {
     }
 
     fn select(&mut self, _rng: &mut dyn rand::RngCore) -> usize {
-        let best = self.gp.best_observed().map_or(f64::NEG_INFINITY, |(_, y)| y);
+        let best = self
+            .gp
+            .best_observed()
+            .map_or(f64::NEG_INFINITY, |(_, y)| y);
         if best == f64::NEG_INFINITY {
             return vec_ops::argmax(self.gp.vars()).expect("at least one arm");
         }

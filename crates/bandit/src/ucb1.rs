@@ -120,7 +120,11 @@ mod tests {
         for _ in 0..2000 {
             let a = ucb.select_arm();
             // Bernoulli reward.
-            let r = if rng.gen::<f64>() < means[a] { 1.0 } else { 0.0 };
+            let r = if rng.gen::<f64>() < means[a] {
+                1.0
+            } else {
+                0.0
+            };
             ArmPolicy::observe(&mut ucb, a, r);
             if a == 1 {
                 best_pulls += 1;

@@ -10,8 +10,8 @@
 
 use easeml::experiment::empirical_prior;
 use easeml_bandit::{
-    ArmPolicy, BetaSchedule, EpsilonGreedy, ExpectedImprovement, GpUcb,
-    ProbabilityOfImprovement, RandomArm, ThompsonSampling, Ucb1,
+    ArmPolicy, BetaSchedule, EpsilonGreedy, ExpectedImprovement, GpUcb, ProbabilityOfImprovement,
+    RandomArm, ThompsonSampling, Ucb1,
 };
 use easeml_bench::{banner, reps, seed};
 use easeml_data::SynConfig;
@@ -36,7 +36,13 @@ fn main() {
     let repetitions = reps().min(30);
 
     let names = [
-        "gp-ucb", "gp-ei", "gp-pi", "thompson", "ucb1", "eps-greedy", "random",
+        "gp-ucb",
+        "gp-ei",
+        "gp-pi",
+        "thompson",
+        "ucb1",
+        "eps-greedy",
+        "random",
     ];
     let mut final_losses = vec![Vec::new(); names.len()];
 

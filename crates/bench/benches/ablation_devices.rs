@@ -32,11 +32,8 @@ fn main() {
 
     for rep in 0..repetitions {
         let mut split_rng = StdRng::seed_from_u64(seed() + rep as u64);
-        let split = easeml_data::TrainTestSplit::random(
-            dataset.num_users(),
-            test_users,
-            &mut split_rng,
-        );
+        let split =
+            easeml_data::TrainTestSplit::random(dataset.num_users(), test_users, &mut split_rng);
         let test = dataset.select_users(&split.test_users);
         let budget = test.total_cost() * 0.10 / devices as f64; // wall-clock
         let priors: Vec<ArmPrior> = (0..test_users)
@@ -55,10 +52,22 @@ fn main() {
             test.cost_matrix().scaled(1.0 / devices as f64),
         );
         let mut rng = StdRng::seed_from_u64(seed() ^ rep as u64);
-        let pooled = simulate(&pooled_dataset, &priors, SchedulerKind::EaseMl, &cfg, &mut rng);
+        let pooled = simulate(
+            &pooled_dataset,
+            &priors,
+            SchedulerKind::EaseMl,
+            &cfg,
+            &mut rng,
+        );
         let mut rng = StdRng::seed_from_u64(seed() ^ rep as u64);
-        let parallel =
-            simulate_parallel(&test, &priors, SchedulerKind::EaseMl, &cfg, devices, &mut rng);
+        let parallel = simulate_parallel(
+            &test,
+            &priors,
+            SchedulerKind::EaseMl,
+            &cfg,
+            devices,
+            &mut rng,
+        );
         pooled_curves.push(pooled.resample(&grid));
         parallel_curves.push(parallel.resample(&grid));
     }

@@ -22,7 +22,11 @@ fn main() {
     };
     let results = vec![
         run(&dataset, SchedulerKind::Greedy(PickRule::MaxUcbGap), &cfg),
-        run(&dataset, SchedulerKind::Greedy(PickRule::MaxSigmaTilde), &cfg),
+        run(
+            &dataset,
+            SchedulerKind::Greedy(PickRule::MaxSigmaTilde),
+            &cfg,
+        ),
         run(&dataset, SchedulerKind::Greedy(PickRule::Random), &cfg),
     ];
     emit("ablation_user_rule", &results);

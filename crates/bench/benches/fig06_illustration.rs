@@ -35,7 +35,10 @@ fn two_group_dataset() -> Dataset {
 }
 
 fn main() {
-    banner("Figure 6(b)", "Illustration: GREEDY vs ROUNDROBIN accuracy loss");
+    banner(
+        "Figure 6(b)",
+        "Illustration: GREEDY vs ROUNDROBIN accuracy loss",
+    );
     let dataset = two_group_dataset();
     let priors: Vec<ArmPrior> = (0..dataset.num_users())
         .map(|_| ArmPrior::independent(dataset.num_models(), 0.04).with_mean(vec![0.7; 8]))

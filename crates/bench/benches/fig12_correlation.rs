@@ -20,8 +20,14 @@ fn main() {
     let grid = [
         (DatasetKind::Syn001_10, "weak corr, strong influence"),
         (DatasetKind::Syn05_10, "strong corr, strong influence"),
-        (DatasetKind::Syn001_01, "weak corr, weak influence (noisier)"),
-        (DatasetKind::Syn05_01, "strong corr, weak influence (noisier)"),
+        (
+            DatasetKind::Syn001_01,
+            "weak corr, weak influence (noisier)",
+        ),
+        (
+            DatasetKind::Syn05_01,
+            "strong corr, weak influence (noisier)",
+        ),
     ];
     let mut summary = Vec::new();
     for (kind, desc) in grid {

@@ -1,0 +1,105 @@
+//! Guards the "zero-cost when disabled" claim of `easeml-obs`.
+//!
+//! Three variants of the same full HYBRID simulation (10 users x 20 models,
+//! 50% budget, fixed seed):
+//!
+//! * `sim/noop_recorder_overhead` — plain [`simulate`], i.e. the default
+//!   disabled handle. Compare against `sched/greedy_full_run_10x20_50pct`
+//!   from `fig00_micro` for the pre-instrumentation baseline shape;
+//! * `sim/noop_handle_plumbed` — [`simulate_with_recorder`] with an
+//!   explicit noop handle, checking the plumbing itself costs nothing;
+//! * `sim/inmemory_recorder` — a fresh [`InMemoryRecorder`] per iteration,
+//!   the worst-case fully-recording path.
+//!
+//! The first two must be statistically indistinguishable; the third bounds
+//! the price of turning recording on. After the timings, one instrumented
+//! run dumps a machine-readable perf snapshot (JSONL trace + per-component
+//! quantiles) under `target/experiments/`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use easeml::prelude::*;
+use easeml_data::{Dataset, SynConfig};
+use easeml_gp::ArmPrior;
+use easeml_obs::{InMemoryRecorder, RecorderHandle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn workload() -> (Dataset, Vec<ArmPrior>, SimConfig) {
+    let dataset = SynConfig {
+        num_users: 10,
+        num_models: 20,
+        ..SynConfig::paper(0.5, 1.0)
+    }
+    .generate(1)
+    .unit_cost_view();
+    let priors: Vec<ArmPrior> = (0..10).map(|_| ArmPrior::independent(20, 0.05)).collect();
+    let cfg = SimConfig {
+        budget: 100.0,
+        cost_aware: false,
+        noise_var: 1e-3,
+        delta: 0.1,
+    };
+    (dataset, priors, cfg)
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let (dataset, priors, cfg) = workload();
+
+    c.bench_function("sim/noop_recorder_overhead", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            simulate(
+                black_box(&dataset),
+                black_box(&priors),
+                SchedulerKind::EaseMl,
+                &cfg,
+                &mut rng,
+            )
+        })
+    });
+
+    c.bench_function("sim/noop_handle_plumbed", |b| {
+        let handle = RecorderHandle::noop();
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            simulate_with_recorder(
+                black_box(&dataset),
+                black_box(&priors),
+                SchedulerKind::EaseMl,
+                &cfg,
+                &mut rng,
+                &handle,
+            )
+        })
+    });
+
+    c.bench_function("sim/inmemory_recorder", |b| {
+        b.iter(|| {
+            let rec = Arc::new(InMemoryRecorder::new());
+            let handle = RecorderHandle::new(rec.clone());
+            let mut rng = StdRng::seed_from_u64(7);
+            let trace = simulate_with_recorder(
+                black_box(&dataset),
+                black_box(&priors),
+                SchedulerKind::EaseMl,
+                &cfg,
+                &mut rng,
+                &handle,
+            );
+            black_box(rec.num_events());
+            trace
+        })
+    });
+}
+
+fn perf_snapshot(_c: &mut Criterion) {
+    match easeml_bench::obs_snapshot("obs_snapshot") {
+        Some(p) => println!("perf snapshot: {}", p.display()),
+        None => println!("perf snapshot: skipped (filesystem unavailable)"),
+    }
+}
+
+criterion_group!(benches, bench_overhead, perf_snapshot);
+criterion_main!(benches);

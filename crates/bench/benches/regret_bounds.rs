@@ -78,7 +78,10 @@ fn main() {
                 .ln();
         let bound =
             (n_users as f64).powf(1.5) * (beta * t * (t / n_users as f64).ln().max(0.1)).sqrt();
-        println!("  T = {t:>4.0}: {bound:>12.1}  (bound/T = {:.3})", bound / t);
+        println!(
+            "  T = {t:>4.0}: {bound:>12.1}  (bound/T = {:.3})",
+            bound / t
+        );
     }
     println!();
     let decreasing = hybrid_avgs.windows(2).all(|w| w[1] <= w[0] + 0.05);

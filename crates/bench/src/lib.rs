@@ -77,12 +77,7 @@ pub fn emit(id: &str, results: &[ExperimentResult]) {
 /// level `target`, the paper's headline metric. When a competitor never
 /// reaches the target within the budget, a lower bound (`>= 100 / t_fast`)
 /// is printed instead — the paper's "up to N×" reading.
-pub fn print_speedups(
-    results: &[ExperimentResult],
-    fast_idx: usize,
-    target: f64,
-    metric: &str,
-) {
+pub fn print_speedups(results: &[ExperimentResult], fast_idx: usize, target: f64, metric: &str) {
     let fast = &results[fast_idx];
     let pick = |r: &ExperimentResult| -> Vec<f64> {
         match metric {
@@ -106,7 +101,10 @@ pub fn print_speedups(
             Some(s) => println!("{label}: {s:.1}x"),
             None => match t_fast {
                 Some(t) if t > 0.0 => {
-                    println!("{label}: >= {:.1}x (competitor never reaches it)", 100.0 / t)
+                    println!(
+                        "{label}: >= {:.1}x (competitor never reaches it)",
+                        100.0 / t
+                    )
                 }
                 _ => println!("{label}: n/a (target not reached)"),
             },
@@ -127,6 +125,88 @@ pub fn loss_at_pct(result: &ExperimentResult, pct: f64, metric: &str) -> f64 {
         .position(|&g| g >= pct)
         .unwrap_or(curve.len() - 1);
     curve[idx]
+}
+
+/// Runs one fully instrumented HYBRID simulation (recorder attached to the
+/// scheduler and every tenant, plus the process-global timer registry that
+/// covers Cholesky and posterior refreshes) and writes a machine-readable
+/// performance snapshot under `target/experiments/`:
+///
+/// * `<id>.trace.jsonl` — the full structured-event stream;
+/// * `<id>.perf.json` — per-component latency quantiles plus event totals.
+///
+/// Returns the perf-json path, or `None` when the filesystem is
+/// unavailable.
+pub fn obs_snapshot(id: &str) -> Option<std::path::PathBuf> {
+    use easeml_gp::ArmPrior;
+    use easeml_obs::{set_global_recorder, Component, InMemoryRecorder, Recorder, RecorderHandle};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::fmt::Write as _;
+    use std::sync::Arc;
+
+    let dataset = easeml_data::SynConfig {
+        num_users: 10,
+        num_models: 20,
+        ..easeml_data::SynConfig::paper(0.5, 1.0)
+    }
+    .generate(seed());
+    let unit = dataset.unit_cost_view();
+    let priors: Vec<ArmPrior> = (0..10).map(|_| ArmPrior::independent(20, 0.05)).collect();
+    let cfg = SimConfig {
+        budget: 100.0,
+        cost_aware: false,
+        noise_var: 1e-3,
+        delta: 0.1,
+    };
+
+    let rec = Arc::new(InMemoryRecorder::new());
+    let handle = RecorderHandle::new(rec.clone());
+    let previous = set_global_recorder(Some(rec.clone() as Arc<dyn Recorder>));
+    let mut rng = StdRng::seed_from_u64(seed());
+    let trace = simulate_with_recorder(
+        &unit,
+        &priors,
+        SchedulerKind::EaseMl,
+        &cfg,
+        &mut rng,
+        &handle,
+    );
+    set_global_recorder(previous);
+
+    report::write_artifact(&format!("{id}.trace.jsonl"), &rec.to_jsonl()).ok()?;
+
+    let mut json = String::from("{\n  \"components\": [\n");
+    for (i, &comp) in Component::ALL.iter().enumerate() {
+        let h = rec.timing(comp);
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"count\": {}, \"p50_ns\": {:.0}, \"p95_ns\": {:.0}, \"max_ns\": {}}}{}",
+            comp.name(),
+            h.count(),
+            h.quantile_ns(0.5),
+            h.quantile_ns(0.95),
+            h.max_ns(),
+            if i + 1 < Component::ALL.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n  \"events\": [\n");
+    let counts = rec.event_counts();
+    let n = counts.len();
+    for (i, (name, c)) in counts.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{name}\", \"count\": {c}}}{}",
+            if i + 1 < n { "," } else { "" }
+        );
+    }
+    let _ = writeln!(
+        json,
+        "  ],\n  \"rounds\": {},\n  \"makespan\": {:.6}\n}}",
+        trace.rounds,
+        rec.gauge("sim/makespan").unwrap_or(0.0)
+    );
+    report::write_artifact(&format!("{id}.perf.json"), &json).ok()
 }
 
 #[cfg(test)]

@@ -37,6 +37,7 @@ pub struct CompletedRun {
 pub struct Cluster {
     device_free_at: Vec<f64>,
     history: Vec<CompletedRun>,
+    recorder: easeml_obs::RecorderHandle,
 }
 
 impl Cluster {
@@ -55,7 +56,14 @@ impl Cluster {
         Cluster {
             device_free_at: vec![0.0; devices],
             history: Vec::new(),
+            recorder: easeml_obs::RecorderHandle::noop(),
         }
+    }
+
+    /// Attaches an observability sink: each executed run bumps the
+    /// `cluster/runs` counter and refreshes the `cluster/makespan` gauge.
+    pub fn set_recorder(&mut self, recorder: easeml_obs::RecorderHandle) {
+        self.recorder = recorder;
     }
 
     /// Number of devices.
@@ -88,15 +96,14 @@ impl Cluster {
             finished_at,
         };
         self.history.push(rec);
+        self.recorder.count("cluster/runs", 1);
+        self.recorder.gauge("cluster/makespan", self.makespan());
         rec
     }
 
     /// The simulated wall-clock: when the last-finishing device frees up.
     pub fn makespan(&self) -> f64 {
-        self.device_free_at
-            .iter()
-            .copied()
-            .fold(0.0, f64::max)
+        self.device_free_at.iter().copied().fold(0.0, f64::max)
     }
 
     /// Total busy time across devices (equals makespan on one device).

@@ -326,7 +326,11 @@ mod tests {
         assert_eq!(r.mean_curve.len(), 21);
         assert_eq!(r.final_losses.len(), 3);
         // ~50% of 3×5 = 7.5 runs per repetition.
-        assert!(r.mean_rounds >= 7.0 && r.mean_rounds <= 9.0, "{}", r.mean_rounds);
+        assert!(
+            r.mean_rounds >= 7.0 && r.mean_rounds <= 9.0,
+            "{}",
+            r.mean_rounds
+        );
         // Curves are non-increasing.
         for w in r.mean_curve.windows(2) {
             assert!(w[1] <= w[0] + 1e-9);

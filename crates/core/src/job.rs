@@ -102,8 +102,7 @@ impl Job {
     /// The best model so far: what `infer` serves (§2.1's "view of the best
     /// available model").
     pub fn best_model(&self) -> Option<(ModelId, f64)> {
-        self.best
-            .map(|(idx, acc)| (self.matched.models[idx], acc))
+        self.best.map(|(idx, acc)| (self.matched.models[idx], acc))
     }
 }
 

@@ -70,7 +70,10 @@ pub mod prelude {
     pub use crate::metrics::{speedup_factor, AggregatedCurves};
     pub use crate::pool::{Task, TaskPool, TaskState};
     pub use crate::server::EaseMl;
-    pub use crate::sim::{simulate, SchedulerKind, SimConfig, SimEvent, SimTrace};
+    pub use crate::sim::{
+        simulate, simulate_parallel, simulate_parallel_with_recorder, simulate_with_recorder,
+        SchedulerKind, SimConfig, SimEvent, SimTrace,
+    };
     pub use crate::storage::{Example, SharedStorage};
     pub use crate::user::UserAccount;
 }

@@ -49,10 +49,7 @@ impl AggregatedCurves {
     /// The first grid percentage at which `curve` (one of the two fields)
     /// drops to `target` or below; `None` if it never does.
     pub fn time_to_reach(grid_pct: &[f64], curve: &[f64], target: f64) -> Option<f64> {
-        curve
-            .iter()
-            .position(|&l| l <= target)
-            .map(|i| grid_pct[i])
+        curve.iter().position(|&l| l <= target).map(|i| grid_pct[i])
     }
 }
 
@@ -144,8 +141,64 @@ mod tests {
     }
 
     #[test]
+    fn single_point_trace_holds_initial_loss_until_the_observation() {
+        // One observation at 50% of the budget: the curve sits at the
+        // initial loss before it and at the observed loss from it onward;
+        // the grid point landing exactly on the observation cost is
+        // inclusive (`c <= cost`).
+        let t = trace(vec![(5.0, 0.25)]);
+        let agg = AggregatedCurves::from_traces(&[t], 3); // 0%, 50%, 100%
+        assert_eq!(agg.mean, vec![1.0, 0.25, 0.25]);
+        // A single run's worst-case equals its mean.
+        assert_eq!(agg.worst, agg.mean);
+    }
+
+    #[test]
+    fn non_monotone_cost_columns_stop_at_the_first_exceeding_point() {
+        // Completions can be recorded out of cost order (parallel traces);
+        // `loss_at` scans in recording order and stops at the first point
+        // beyond the probe cost, so a cheap point recorded after an
+        // expensive one is shadowed until the probe passes the expensive
+        // point too.
+        let t = trace(vec![(2.0, 0.8), (6.0, 0.3), (4.0, 0.5)]);
+        assert_eq!(t.loss_at(1.0), 1.0); // before any point: initial loss
+        assert_eq!(t.loss_at(2.0), 0.8); // exact boundary is inclusive
+        assert_eq!(t.loss_at(5.0), 0.8); // (4.0, 0.5) shadowed by (6.0, _)
+        assert_eq!(t.loss_at(10.0), 0.5); // all within budget: last wins
+    }
+
+    #[test]
+    fn time_to_reach_at_exact_grid_boundaries() {
+        let grid = vec![0.0, 50.0, 100.0];
+        let curve = vec![1.0, 0.5, 0.2];
+        // Target equal to the starting loss: reached immediately at 0%.
+        assert_eq!(
+            AggregatedCurves::time_to_reach(&grid, &curve, 1.0),
+            Some(0.0)
+        );
+        // Exact equality at an interior grid point counts as reached.
+        assert_eq!(
+            AggregatedCurves::time_to_reach(&grid, &curve, 0.5),
+            Some(50.0)
+        );
+        // Reached only at the very last grid point.
+        assert_eq!(
+            AggregatedCurves::time_to_reach(&grid, &curve, 0.2),
+            Some(100.0)
+        );
+        // Just below the final value: never reached.
+        assert_eq!(AggregatedCurves::time_to_reach(&grid, &curve, 0.199), None);
+    }
+
+    #[test]
     #[should_panic(expected = "at least one trace")]
     fn empty_traces_panic() {
         let _ = AggregatedCurves::from_traces(&[], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "two grid points")]
+    fn single_grid_point_panics() {
+        let _ = AggregatedCurves::from_traces(&[trace(vec![(1.0, 0.5)])], 1);
     }
 }

@@ -118,9 +118,11 @@ impl TaskPool {
     /// Marks the running task `(user, model_idx)` as done with the achieved
     /// accuracy. Returns `false` when no such running task exists.
     pub fn finish(&mut self, user: usize, model_idx: usize, accuracy: f64) -> bool {
-        match self.tasks.iter_mut().find(|t| {
-            t.user == user && t.model_idx == model_idx && t.state == TaskState::Running
-        }) {
+        match self
+            .tasks
+            .iter_mut()
+            .find(|t| t.user == user && t.model_idx == model_idx && t.state == TaskState::Running)
+        {
             Some(t) => {
                 t.state = TaskState::Done(accuracy);
                 true

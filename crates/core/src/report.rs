@@ -138,10 +138,13 @@ mod tests {
     #[test]
     fn table_contains_headers_and_values() {
         let t = curves_table(
-            &[result(SchedulerKind::EaseMl), result(SchedulerKind::RoundRobin)],
+            &[
+                result(SchedulerKind::EaseMl),
+                result(SchedulerKind::RoundRobin),
+            ],
             1,
         );
-        assert!(t.contains("ease.ml (hybrid)"));
+        assert!(t.contains("hybrid"));
         assert!(t.contains("round-robin"));
         assert!(t.contains("0.2000"));
         assert!(t.contains("% budget"));
@@ -161,7 +164,10 @@ mod tests {
     fn csv_is_long_format() {
         let c = curves_csv(&[result(SchedulerKind::Random)]);
         let mut lines = c.lines();
-        assert_eq!(lines.next().unwrap(), "dataset,scheduler,pct,mean_loss,worst_loss");
+        assert_eq!(
+            lines.next().unwrap(),
+            "dataset,scheduler,pct,mean_loss,worst_loss"
+        );
         assert!(c.contains("TEST,random,0.00,0.500000,0.600000"));
         assert_eq!(c.lines().count(), 4);
     }
@@ -177,7 +183,7 @@ mod tests {
     #[test]
     fn dump_csv_writes_a_file() {
         let p = dump_csv("unit_test_fig", &[result(SchedulerKind::EaseMl)]).unwrap();
-        assert!(artifact_contains(&p, "ease.ml (hybrid)"));
+        assert!(artifact_contains(&p, "hybrid"));
         let _ = std::fs::remove_file(p);
     }
 }

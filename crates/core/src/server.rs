@@ -14,6 +14,7 @@ use crate::user::UserAccount;
 use easeml_bandit::{BetaSchedule, GpUcb};
 use easeml_dsl::{parse_program, ModelId, ParseError};
 use easeml_gp::ArmPrior;
+use easeml_obs::{Component, Event, RecorderHandle};
 use easeml_sched::{Hybrid, Tenant, UserPicker};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -46,6 +47,7 @@ pub struct EaseMl {
     step: Mutex<usize>,
     noise_var: f64,
     delta: f64,
+    recorder: RecorderHandle,
 }
 
 impl EaseMl {
@@ -64,6 +66,21 @@ impl EaseMl {
             step: Mutex::new(0),
             noise_var: 1e-3,
             delta: 0.1,
+            recorder: RecorderHandle::noop(),
+        }
+    }
+
+    /// Attaches an observability sink: the HYBRID picker, every tenant's
+    /// GP-UCB policy (existing and future), and the round driver emit
+    /// structured events through `recorder`. The default server runs with a
+    /// disabled handle and stays allocation-free.
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder.clone();
+        self.picker.lock().set_recorder(recorder.clone());
+        self.cluster.lock().set_recorder(recorder.clone());
+        for tenant in &mut self.tenants {
+            let id = tenant.id();
+            tenant.policy_mut().set_recorder(recorder.clone(), id);
         }
     }
 
@@ -78,8 +95,7 @@ impl EaseMl {
     pub fn register_user(&mut self, name: &str, program_src: &str) -> Result<usize, ParseError> {
         let program = parse_program(program_src)?;
         let id = self.users.len();
-        let job = Job::new(id, program.clone())
-            .map_err(|m| ParseError::new(0, m))?;
+        let job = Job::new(id, program.clone()).map_err(|m| ParseError::new(0, m))?;
         let k = job.candidate_models().len();
         // Fresh users start from an uninformative prior; the production
         // system swaps in the empirical kernel as training logs accumulate.
@@ -89,7 +105,8 @@ impl EaseMl {
             max_arms: k,
             delta: self.delta,
         };
-        let policy = GpUcb::cost_oblivious(ArmPrior::independent(k, 0.05), self.noise_var, beta);
+        let policy = GpUcb::cost_oblivious(ArmPrior::independent(k, 0.05), self.noise_var, beta)
+            .with_recorder(self.recorder.clone(), id);
         self.tenants.push(Tenant::new(id, policy));
         self.jobs.push(job);
         self.users.push(UserAccount::new(id, name, program));
@@ -126,6 +143,7 @@ impl EaseMl {
     /// Panics if no users are registered.
     pub fn run_round(&mut self) -> (usize, ModelId, TrainingOutcome) {
         assert!(!self.users.is_empty(), "no registered users");
+        let _round = self.recorder.time(Component::SimRound);
         let mut picker = self.picker.lock();
         let mut rng = self.rng.lock();
         let mut warmed = self.warmed_up.lock();
@@ -137,6 +155,7 @@ impl EaseMl {
             *warmed += 1;
             u
         } else {
+            let _pick = self.recorder.time(Component::SchedulerPick);
             let u = picker.pick(&self.tenants, *step, &mut *rng);
             *step += 1;
             u
@@ -153,6 +172,13 @@ impl EaseMl {
         self.tenants[user].observe(model_idx, outcome.accuracy);
         self.jobs[user].record_result(model_idx, outcome.accuracy);
         picker.after_observe(&self.tenants, user);
+        self.recorder.emit(|| Event::TrainingCompleted {
+            user,
+            model: model_idx,
+            cost: outcome.cost,
+            quality: outcome.accuracy,
+        });
+        self.recorder.count("server/rounds", 1);
         (user, model, outcome)
     }
 
@@ -248,6 +274,36 @@ mod tests {
         assert!(s.elapsed() >= 10.0);
         // Statuses reflect progress.
         assert_ne!(s.statuses()[0], JobStatus::Queued);
+    }
+
+    #[test]
+    fn recorder_observes_server_rounds() {
+        use easeml_obs::InMemoryRecorder;
+        use std::sync::Arc;
+        let mut s = EaseMl::new(toy_oracle(), 6);
+        s.register_user("a", IMAGE_PROG).unwrap();
+        let rec = Arc::new(InMemoryRecorder::new());
+        s.set_recorder(RecorderHandle::new(rec.clone()));
+        s.register_user("b", TS_PROG).unwrap(); // after attach: still wired
+        for _ in 0..12 {
+            s.run_round();
+        }
+        assert_eq!(rec.counter("server/rounds"), 12);
+        // The cluster executed one run per round and tracks its clock.
+        assert_eq!(rec.counter("cluster/runs"), 12);
+        assert_eq!(rec.gauge("cluster/makespan"), Some(s.elapsed()));
+        let counts = rec.event_counts();
+        assert_eq!(counts.get("TrainingCompleted"), Some(&12));
+        // Both tenants' policies report their pulls, including the one
+        // registered after the recorder was attached.
+        assert_eq!(counts.get("ArmChosen"), Some(&12));
+        assert_eq!(counts.get("PosteriorUpdated"), Some(&12));
+        let users: std::collections::BTreeSet<usize> =
+            rec.events().iter().filter_map(|e| e.user()).collect();
+        assert!(users.contains(&0) && users.contains(&1));
+        // Post-warm-up rounds go through HYBRID, which logs its decision.
+        assert!(counts.get("SchedulerDecision").copied().unwrap_or(0) >= 10);
+        assert_eq!(rec.timing(Component::SimRound).count(), 12);
     }
 
     #[test]

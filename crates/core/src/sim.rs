@@ -15,6 +15,7 @@ use easeml_data::Dataset;
 use easeml_dsl::zoo::{most_cited_order, most_recent_order, IMAGE_CLASSIFIERS};
 use easeml_gp::ArmPrior;
 use easeml_linalg::vec_ops;
+use easeml_obs::{Component, Event, RecorderHandle};
 use easeml_sched::{Fcfs, Greedy, Hybrid, PickRule, RandomPicker, RoundRobin, Tenant, UserPicker};
 
 /// Which multi-tenant scheduler to simulate.
@@ -40,7 +41,10 @@ pub enum SchedulerKind {
 }
 
 impl SchedulerKind {
-    /// Display name used in reports.
+    /// Canonical strategy name, used consistently by reports, recorded
+    /// `SchedulerDecision` events, and the figure regeneration harness.
+    /// GP-backed kinds match [`UserPicker::name`] of the picker they run,
+    /// so a trace joins against a report row by string equality.
     pub fn name(self) -> &'static str {
         match self {
             SchedulerKind::MostCited => "most-cited",
@@ -48,10 +52,10 @@ impl SchedulerKind {
             SchedulerKind::Fcfs => "fcfs",
             SchedulerKind::RoundRobin => "round-robin",
             SchedulerKind::Random => "random",
-            SchedulerKind::Greedy(PickRule::MaxUcbGap) => "greedy",
+            SchedulerKind::Greedy(PickRule::MaxUcbGap) => "greedy(max-gap)",
             SchedulerKind::Greedy(PickRule::MaxSigmaTilde) => "greedy(max-sigma)",
             SchedulerKind::Greedy(PickRule::Random) => "greedy(random)",
-            SchedulerKind::Hybrid | SchedulerKind::EaseMl => "ease.ml (hybrid)",
+            SchedulerKind::Hybrid | SchedulerKind::EaseMl => "hybrid",
         }
     }
 
@@ -240,21 +244,47 @@ pub fn simulate(
     cfg: &SimConfig,
     rng: &mut dyn rand::RngCore,
 ) -> SimTrace {
+    simulate_with_recorder(dataset, priors, kind, cfg, rng, &RecorderHandle::noop())
+}
+
+/// [`simulate`] with an observability sink attached: the picker, every
+/// tenant's GP-UCB policy, and the driver itself emit structured events
+/// through `recorder`. The recorded `TrainingCompleted` events mirror the
+/// returned [`SimTrace::events`] one-to-one, in order, so a JSONL trace
+/// replays the run exactly. Passing [`RecorderHandle::noop`] (what
+/// [`simulate`] does) keeps the hot path allocation-free.
+///
+/// # Panics
+///
+/// Same contract as [`simulate`].
+pub fn simulate_with_recorder(
+    dataset: &Dataset,
+    priors: &[ArmPrior],
+    kind: SchedulerKind,
+    cfg: &SimConfig,
+    rng: &mut dyn rand::RngCore,
+    recorder: &RecorderHandle,
+) -> SimTrace {
     assert!(cfg.budget > 0.0, "budget must be positive");
     if kind.is_heuristic() {
-        simulate_heuristic(dataset, kind, cfg)
+        simulate_heuristic(dataset, kind, cfg, recorder)
     } else {
         assert_eq!(
             priors.len(),
             dataset.num_users(),
             "one prior per user is required"
         );
-        simulate_gp(dataset, priors, kind, cfg, rng)
+        simulate_gp(dataset, priors, kind, cfg, rng, recorder)
     }
 }
 
 /// The §5.2 heuristics: round-robin users, fixed model order per user.
-fn simulate_heuristic(dataset: &Dataset, kind: SchedulerKind, cfg: &SimConfig) -> SimTrace {
+fn simulate_heuristic(
+    dataset: &Dataset,
+    kind: SchedulerKind,
+    cfg: &SimConfig,
+    recorder: &RecorderHandle,
+) -> SimTrace {
     assert_eq!(
         dataset.num_models(),
         IMAGE_CLASSIFIERS.len(),
@@ -285,7 +315,14 @@ fn simulate_heuristic(dataset: &Dataset, kind: SchedulerKind, cfg: &SimConfig) -
     let mut step = 0usize;
     let mut events = Vec::new();
     while cluster.makespan() < cfg.budget {
+        let _round = recorder.time(Component::SimRound);
         let user = step % n;
+        recorder.emit(|| Event::SchedulerDecision {
+            round: step as u64,
+            user,
+            rule: kind.name().to_string(),
+            scores: Vec::new(),
+        });
         let model = policies[user].select(&mut dummy_rng);
         let quality = dataset.quality(user, model);
         let cost = dataset.cost(user, model);
@@ -299,8 +336,17 @@ fn simulate_heuristic(dataset: &Dataset, kind: SchedulerKind, cfg: &SimConfig) -
             cost,
             quality,
         });
+        recorder.emit(|| Event::TrainingCompleted {
+            user,
+            model,
+            cost,
+            quality,
+        });
+        recorder.count("sim/rounds", 1);
         step += 1;
     }
+    recorder.gauge("sim/makespan", cluster.makespan());
+    recorder.gauge("sim/mean-loss", losses.mean_loss());
     SimTrace {
         budget: cfg.budget,
         initial_loss,
@@ -321,6 +367,7 @@ fn build_tenants(
     dataset: &Dataset,
     priors: &[ArmPrior],
     cfg: &SimConfig,
+    recorder: &RecorderHandle,
 ) -> Vec<Tenant> {
     let n = dataset.num_users();
     let k_star = dataset.num_models();
@@ -352,22 +399,24 @@ fn build_tenants(
             } else {
                 GpUcb::cost_oblivious(priors[i].clone(), cfg.noise_var, beta)
             };
-            Tenant::new(i, policy)
+            Tenant::new(i, policy.with_recorder(recorder.clone(), i))
         })
         .collect()
 }
 
-fn make_picker(kind: SchedulerKind) -> Box<dyn UserPicker> {
-    match kind {
-        SchedulerKind::Fcfs => Box::new(Fcfs),
-        SchedulerKind::RoundRobin => Box::new(RoundRobin),
-        SchedulerKind::Random => Box::new(RandomPicker),
+fn make_picker(kind: SchedulerKind, recorder: &RecorderHandle) -> Box<dyn UserPicker> {
+    let mut picker: Box<dyn UserPicker> = match kind {
+        SchedulerKind::Fcfs => Box::new(Fcfs::default()),
+        SchedulerKind::RoundRobin => Box::new(RoundRobin::default()),
+        SchedulerKind::Random => Box::new(RandomPicker::default()),
         SchedulerKind::Greedy(rule) => Box::new(Greedy::new(rule)),
         SchedulerKind::Hybrid | SchedulerKind::EaseMl => Box::new(Hybrid::ease_ml()),
         SchedulerKind::MostCited | SchedulerKind::MostRecent => {
             unreachable!("heuristics are simulated separately")
         }
-    }
+    };
+    picker.set_recorder(recorder.clone());
+    picker
 }
 
 /// GP-UCB model picking with the chosen user picker.
@@ -377,10 +426,11 @@ fn simulate_gp(
     kind: SchedulerKind,
     cfg: &SimConfig,
     rng: &mut dyn rand::RngCore,
+    recorder: &RecorderHandle,
 ) -> SimTrace {
     let n = dataset.num_users();
-    let mut tenants = build_tenants(dataset, priors, cfg);
-    let mut picker = make_picker(kind);
+    let mut tenants = build_tenants(dataset, priors, cfg, recorder);
+    let mut picker = make_picker(kind, recorder);
     let mut losses = LossTracker::new(dataset);
     let mut cluster = Cluster::single_device();
     let mut points = Vec::new();
@@ -388,11 +438,11 @@ fn simulate_gp(
 
     let mut events = Vec::new();
     let serve = |user: usize,
-                     tenants: &mut Vec<Tenant>,
-                     cluster: &mut Cluster,
-                     losses: &mut LossTracker,
-                     points: &mut Vec<(f64, f64)>,
-                     events: &mut Vec<SimEvent>| {
+                 tenants: &mut Vec<Tenant>,
+                 cluster: &mut Cluster,
+                 losses: &mut LossTracker,
+                 points: &mut Vec<(f64, f64)>,
+                 events: &mut Vec<SimEvent>| {
         let model = tenants[user].select_model();
         let quality = dataset.quality(user, model);
         let cost = dataset.cost(user, model);
@@ -406,6 +456,13 @@ fn simulate_gp(
             cost,
             quality,
         });
+        recorder.emit(|| Event::TrainingCompleted {
+            user,
+            model,
+            cost,
+            quality,
+        });
+        recorder.count("sim/rounds", 1);
     };
 
     // Budget-free, scheduler-independent warm-up pass (Algorithm 2
@@ -423,7 +480,11 @@ fn simulate_gp(
 
     let mut step = 0usize;
     while cluster.makespan() < cfg.budget {
-        let user = picker.pick(&tenants, step, rng);
+        let _round = recorder.time(Component::SimRound);
+        let user = {
+            let _pick = recorder.time(Component::SchedulerPick);
+            picker.pick(&tenants, step, rng)
+        };
         serve(
             user,
             &mut tenants,
@@ -436,6 +497,8 @@ fn simulate_gp(
         step += 1;
         rounds += 1;
     }
+    recorder.gauge("sim/makespan", cluster.makespan());
+    recorder.gauge("sim/mean-loss", losses.mean_loss());
 
     SimTrace {
         budget: cfg.budget,
@@ -471,6 +534,34 @@ pub fn simulate_parallel(
     devices: usize,
     rng: &mut dyn rand::RngCore,
 ) -> SimTrace {
+    simulate_parallel_with_recorder(
+        dataset,
+        priors,
+        kind,
+        cfg,
+        devices,
+        rng,
+        &RecorderHandle::noop(),
+    )
+}
+
+/// [`simulate_parallel`] with an observability sink attached — the
+/// multi-device counterpart of [`simulate_with_recorder`]. Events are
+/// recorded at *completion* time, so the `TrainingCompleted` stream mirrors
+/// [`SimTrace::events`] in completion order.
+///
+/// # Panics
+///
+/// Same contract as [`simulate_parallel`].
+pub fn simulate_parallel_with_recorder(
+    dataset: &Dataset,
+    priors: &[ArmPrior],
+    kind: SchedulerKind,
+    cfg: &SimConfig,
+    devices: usize,
+    rng: &mut dyn rand::RngCore,
+    recorder: &RecorderHandle,
+) -> SimTrace {
     assert!(cfg.budget > 0.0, "budget must be positive");
     assert!(devices > 0, "need at least one device");
     assert!(
@@ -483,8 +574,8 @@ pub fn simulate_parallel(
         "one prior per user is required"
     );
     let n = dataset.num_users();
-    let mut tenants = build_tenants(dataset, priors, cfg);
-    let mut picker = make_picker(kind);
+    let mut tenants = build_tenants(dataset, priors, cfg, recorder);
+    let mut picker = make_picker(kind, recorder);
     let mut losses = LossTracker::new(dataset);
 
     // Free warm-up, identical to the serial path.
@@ -507,12 +598,12 @@ pub fn simulate_parallel(
     let mut now = 0.0f64;
 
     let dispatch = |now: f64,
-                        tenants: &[Tenant],
-                        busy_user: &mut Vec<bool>,
-                        in_flight: &mut Vec<(f64, usize, usize)>,
-                        picker: &mut Box<dyn UserPicker>,
-                        step: &mut usize,
-                        rng: &mut dyn rand::RngCore|
+                    tenants: &[Tenant],
+                    busy_user: &mut Vec<bool>,
+                    in_flight: &mut Vec<(f64, usize, usize)>,
+                    picker: &mut Box<dyn UserPicker>,
+                    step: &mut usize,
+                    rng: &mut dyn rand::RngCore|
      -> bool {
         if busy_user.iter().all(|&b| b) {
             return false;
@@ -520,6 +611,7 @@ pub fn simulate_parallel(
         // Ask the picker until it names a free user (bounded retries), then
         // fall back to the first free user.
         let mut user = None;
+        let _pick = recorder.time(Component::SchedulerPick);
         for _ in 0..4 * busy_user.len() {
             let u = picker.pick(tenants, *step, rng);
             *step += 1;
@@ -528,6 +620,7 @@ pub fn simulate_parallel(
                 break;
             }
         }
+        drop(_pick);
         let user = user.unwrap_or_else(|| busy_user.iter().position(|&b| !b).unwrap());
         let model = tenants[user].select_model();
         let cost = dataset.cost(user, model);
@@ -567,12 +660,20 @@ pub fn simulate_parallel(
         losses.observe(user, quality);
         picker.after_observe(&tenants, user);
         points.push((finish, losses.mean_loss()));
+        let cost = dataset.cost(user, model);
         events.push(SimEvent {
             user,
             model,
-            cost: dataset.cost(user, model),
+            cost,
             quality,
         });
+        recorder.emit(|| Event::TrainingCompleted {
+            user,
+            model,
+            cost,
+            quality,
+        });
+        recorder.count("sim/rounds", 1);
         rounds += 1;
         if now < cfg.budget {
             dispatch(
@@ -586,6 +687,8 @@ pub fn simulate_parallel(
             );
         }
     }
+    recorder.gauge("sim/makespan", now);
+    recorder.gauge("sim/mean-loss", losses.mean_loss());
 
     SimTrace {
         budget: cfg.budget,
@@ -646,7 +749,11 @@ mod tests {
             assert_eq!(t.points.len(), t.rounds);
             // The loop stops within one run of the budget.
             let last_cost = t.points.last().unwrap().0;
-            assert!(last_cost >= 6.0, "{} stopped early at {last_cost}", kind.name());
+            assert!(
+                last_cost >= 6.0,
+                "{} stopped early at {last_cost}",
+                kind.name()
+            );
             // Costs increase monotonically; losses never increase.
             for w in t.points.windows(2) {
                 assert!(w[1].0 > w[0].0);
@@ -654,6 +761,133 @@ mod tests {
             }
             assert_eq!(t.final_losses.len(), 5);
         }
+    }
+
+    #[test]
+    fn recorder_trace_replays_sim_events_exactly() {
+        use easeml_obs::InMemoryRecorder;
+        use std::sync::Arc;
+        let d = small_dataset();
+        let priors = flat_priors(&d);
+        let cfg = SimConfig::new(12.0);
+        let rec = Arc::new(InMemoryRecorder::new());
+        let handle = RecorderHandle::new(rec.clone());
+        let trace = simulate_with_recorder(
+            &d,
+            &priors,
+            SchedulerKind::EaseMl,
+            &cfg,
+            &mut rng(),
+            &handle,
+        );
+
+        // Recording must not perturb the run: same seed, same trace.
+        let plain = simulate(&d, &priors, SchedulerKind::EaseMl, &cfg, &mut rng());
+        assert_eq!(trace.events, plain.events);
+        assert_eq!(trace.points, plain.points);
+
+        // The TrainingCompleted stream mirrors SimTrace::events one-to-one.
+        let completed: Vec<SimEvent> = rec
+            .events()
+            .iter()
+            .filter_map(|e| match *e {
+                Event::TrainingCompleted {
+                    user,
+                    model,
+                    cost,
+                    quality,
+                } => Some(SimEvent {
+                    user,
+                    model,
+                    cost,
+                    quality,
+                }),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(completed, trace.events);
+
+        // Every decision carries the canonical strategy name, one per
+        // budgeted round, and the bandit layer reported its arm pulls.
+        let counts = rec.event_counts();
+        assert_eq!(
+            counts.get("SchedulerDecision"),
+            Some(&trace.rounds),
+            "one decision per budgeted round"
+        );
+        assert!(rec.events().iter().all(|e| match e {
+            Event::SchedulerDecision { rule, .. } => rule == SchedulerKind::EaseMl.name(),
+            _ => true,
+        }));
+        assert!(counts.get("ArmChosen").copied().unwrap_or(0) >= trace.rounds);
+        assert_eq!(rec.counter("sim/rounds"), trace.rounds as u64);
+        assert_eq!(
+            rec.gauge("sim/mean-loss"),
+            Some(vec_ops::mean(&trace.final_losses))
+        );
+
+        // And the JSONL export round-trips the whole trace.
+        let parsed: Vec<Event> = rec
+            .to_jsonl()
+            .lines()
+            .map(|l| Event::from_json(l).unwrap())
+            .collect();
+        assert_eq!(parsed, rec.events());
+    }
+
+    #[test]
+    fn parallel_recorder_mirrors_completion_order() {
+        use easeml_obs::InMemoryRecorder;
+        use std::sync::Arc;
+        let d = small_dataset();
+        let priors = flat_priors(&d);
+        let cfg = SimConfig::new(8.0);
+        let rec = Arc::new(InMemoryRecorder::new());
+        let handle = RecorderHandle::new(rec.clone());
+        let trace = simulate_parallel_with_recorder(
+            &d,
+            &priors,
+            SchedulerKind::RoundRobin,
+            &cfg,
+            3,
+            &mut rng(),
+            &handle,
+        );
+        let completed: Vec<SimEvent> = rec
+            .events()
+            .iter()
+            .filter_map(|e| match *e {
+                Event::TrainingCompleted {
+                    user,
+                    model,
+                    cost,
+                    quality,
+                } => Some(SimEvent {
+                    user,
+                    model,
+                    cost,
+                    quality,
+                }),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(completed, trace.events);
+    }
+
+    #[test]
+    fn heuristic_recorder_mirrors_events() {
+        use easeml_obs::InMemoryRecorder;
+        use std::sync::Arc;
+        let d = easeml_data::deeplearning::generate(1).select_users(&[0, 1, 2]);
+        let cfg = SimConfig::new(d.total_cost() * 0.25);
+        let rec = Arc::new(InMemoryRecorder::new());
+        let handle = RecorderHandle::new(rec.clone());
+        let trace =
+            simulate_with_recorder(&d, &[], SchedulerKind::MostCited, &cfg, &mut rng(), &handle);
+        let counts = rec.event_counts();
+        assert_eq!(counts.get("TrainingCompleted"), Some(&trace.rounds));
+        assert_eq!(counts.get("SchedulerDecision"), Some(&trace.rounds));
+        assert_eq!(rec.timing(Component::SimRound).count(), trace.rounds as u64);
     }
 
     #[test]
@@ -796,9 +1030,21 @@ mod tests {
             noise_var: 1e-3,
             delta: 0.1,
         };
-        let pooled = simulate(&pooled_dataset, &priors, SchedulerKind::RoundRobin, &cfg, &mut rng());
-        let parallel =
-            simulate_parallel(&d, &priors, SchedulerKind::RoundRobin, &cfg, devices, &mut rng());
+        let pooled = simulate(
+            &pooled_dataset,
+            &priors,
+            SchedulerKind::RoundRobin,
+            &cfg,
+            &mut rng(),
+        );
+        let parallel = simulate_parallel(
+            &d,
+            &priors,
+            SchedulerKind::RoundRobin,
+            &cfg,
+            devices,
+            &mut rng(),
+        );
         // Early in the horizon, the pooled strategy's loss is no worse.
         let early = 0.25 * budget;
         assert!(
@@ -880,9 +1126,7 @@ mod tests {
                     .with_mean(feats.iter().map(|f| vec_ops::mean(f)).collect())
             })
             .collect();
-        let flat: Vec<ArmPrior> = (0..3)
-            .map(|_| ArmPrior::independent(12, 0.05))
-            .collect();
+        let flat: Vec<ArmPrior> = (0..3).map(|_| ArmPrior::independent(12, 0.05)).collect();
         let cfg = SimConfig {
             budget: 12.0,
             cost_aware: false,

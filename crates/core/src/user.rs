@@ -47,8 +47,8 @@ mod tests {
 
     #[test]
     fn account_holds_program() {
-        let p = parse_program("{input: {[Tensor[8, 8, 3]], []}, output: {[Tensor[2]], []}}")
-            .unwrap();
+        let p =
+            parse_program("{input: {[Tensor[8, 8, 3]], []}, output: {[Tensor[2]], []}}").unwrap();
         let u = UserAccount::new(3, "astro", p.clone());
         assert_eq!(u.id(), 3);
         assert_eq!(u.name(), "astro");

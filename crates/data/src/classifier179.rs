@@ -150,12 +150,7 @@ mod tests {
                     let sa = vec_ops::std_dev(&ca);
                     let sb = vec_ops::std_dev(&cb);
                     if sa > 0.0 && sb > 0.0 {
-                        let cov = ca
-                            .iter()
-                            .zip(&cb)
-                            .map(|(x, y)| x * y)
-                            .sum::<f64>()
-                            / n as f64;
+                        let cov = ca.iter().zip(&cb).map(|(x, y)| x * y).sum::<f64>() / n as f64;
                         acc += (cov / (sa * sb)).abs();
                         cnt += 1;
                     }

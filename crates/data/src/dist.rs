@@ -149,7 +149,9 @@ mod tests {
     #[test]
     fn log_uniform_spans_decades() {
         let mut r = rng(7);
-        let xs: Vec<f64> = (0..5000).map(|_| log_uniform(0.01, 100.0, &mut r)).collect();
+        let xs: Vec<f64> = (0..5000)
+            .map(|_| log_uniform(0.01, 100.0, &mut r))
+            .collect();
         assert!(xs.iter().all(|&x| (0.01..=100.0).contains(&x)));
         // Roughly half the mass below the geometric mean (1.0).
         let below = xs.iter().filter(|&&x| x < 1.0).count();

@@ -99,12 +99,7 @@ mod tests {
         let s = TrainTestSplit::random(20, 5, &mut rng());
         assert_eq!(s.test_users.len(), 5);
         assert_eq!(s.train_users.len(), 15);
-        let mut all: Vec<usize> = s
-            .train_users
-            .iter()
-            .chain(&s.test_users)
-            .copied()
-            .collect();
+        let mut all: Vec<usize> = s.train_users.iter().chain(&s.test_users).copied().collect();
         all.sort_unstable();
         assert_eq!(all, (0..20).collect::<Vec<_>>());
     }

@@ -37,10 +37,7 @@ pub fn julia_type(side: &str, dt: &DataType) -> String {
     let mut out = String::new();
     writeln!(out, "type {name}").unwrap();
     for (i, t) in dt.tensors.iter().enumerate() {
-        let field_name = t
-            .name
-            .clone()
-            .unwrap_or_else(|| format!("field{}", i + 1));
+        let field_name = t.name.clone().unwrap_or_else(|| format!("field{}", i + 1));
         let dims = t
             .dims
             .iter()
@@ -131,10 +128,8 @@ mod tests {
 
     #[test]
     fn julia_type_matches_figure_3_image_example() {
-        let p = parse_program(
-            "{input: {[Tensor[256, 256, 3]], []}, output: {[Tensor[1000]], []}}",
-        )
-        .unwrap();
+        let p = parse_program("{input: {[Tensor[256, 256, 3]], []}, output: {[Tensor[1000]], []}}")
+            .unwrap();
         let t = julia_type("input", &p.input);
         assert_eq!(t, "type Input\n    field1 :: Tensor[256, 256, 3]\nend\n");
         let t = julia_type("output", &p.output);
@@ -144,10 +139,8 @@ mod tests {
 
     #[test]
     fn julia_type_matches_figure_3_time_series_example() {
-        let p = parse_program(
-            "{input: {[Tensor[10]], [next]}, output: {[Tensor[10]], [next]}}",
-        )
-        .unwrap();
+        let p = parse_program("{input: {[Tensor[10]], [next]}, output: {[Tensor[10]], [next]}}")
+            .unwrap();
         let t = julia_type("input", &p.input);
         assert!(t.contains("field1 :: Tensor[10]"));
         assert!(t.contains("next :: Nullable{Input}"));
@@ -182,7 +175,10 @@ mod tests {
         assert_eq!(m.server, "10.0.0.1:9000");
         assert_eq!(m.artifacts.len(), 4);
         let names: Vec<&str> = m.artifacts.iter().map(|a| a.name.as_str()).collect();
-        assert_eq!(names, vec!["myapp.feed", "myapp.refine", "myapp.infer", "myapp.py"]);
+        assert_eq!(
+            names,
+            vec!["myapp.feed", "myapp.refine", "myapp.infer", "myapp.py"]
+        );
         assert!(m.artifacts[2].description.contains("best model"));
     }
 }

@@ -31,9 +31,8 @@ fn flat_len(dt: &DataType) -> u64 {
 fn parse_numbers(s: &str, line: usize) -> Result<Vec<f64>, ParseError> {
     s.split_whitespace()
         .map(|tok| {
-            tok.parse::<f64>().map_err(|_| {
-                ParseError::new(line, format!("invalid number `{tok}` in example"))
-            })
+            tok.parse::<f64>()
+                .map_err(|_| ParseError::new(line, format!("invalid number `{tok}` in example")))
         })
         .collect()
 }
@@ -171,8 +170,8 @@ mod tests {
     use crate::parse_program;
 
     fn classifier_loader() -> Loader {
-        let prog = parse_program("{input: {[Tensor[2, 2]], []}, output: {[Tensor[2]], []}}")
-            .unwrap();
+        let prog =
+            parse_program("{input: {[Tensor[2, 2]], []}, output: {[Tensor[2]], []}}").unwrap();
         Loader::new(&prog)
             .unwrap()
             .with_label("dog", 0)
@@ -201,9 +200,7 @@ mod tests {
     #[test]
     fn stream_parses_multiple_lines_and_skips_blanks() {
         let l = classifier_loader();
-        let pairs = l
-            .parse_stream("1 2 3 4 | dog\n\n5 6 7 8 | cat\n")
-            .unwrap();
+        let pairs = l.parse_stream("1 2 3 4 | dog\n\n5 6 7 8 | cat\n").unwrap();
         assert_eq!(pairs.len(), 2);
         assert_eq!(pairs[1].input, vec![5.0, 6.0, 7.0, 8.0]);
     }
@@ -241,10 +238,8 @@ mod tests {
 
     #[test]
     fn recursive_programs_are_rejected() {
-        let prog = parse_program(
-            "{input: {[Tensor[2]], [next]}, output: {[Tensor[1]], []}}",
-        )
-        .unwrap();
+        let prog =
+            parse_program("{input: {[Tensor[2]], [next]}, output: {[Tensor[1]], []}}").unwrap();
         assert!(Loader::new(&prog).is_err());
     }
 

@@ -30,7 +30,10 @@ impl Normalization {
     /// Panics unless `0 < k ≤ 1` (larger k inverts the emphasis and exceeds
     /// the family the paper plots).
     pub fn new(k: f64) -> Self {
-        assert!(k > 0.0 && k <= 1.0, "normalization exponent must be in (0, 1]");
+        assert!(
+            k > 0.0 && k <= 1.0,
+            "normalization exponent must be in (0, 1]"
+        );
         Normalization { k }
     }
 
@@ -95,10 +98,7 @@ impl NormalizedCandidate {
 /// paired with identity preprocessing and with every `f_k` in `ks`
 /// ("each normalization function in this family, together with a consistent
 /// model, generates one candidate model", §2.1).
-pub fn expand_with_normalizations(
-    models: &[ModelId],
-    ks: &[f64],
-) -> Vec<NormalizedCandidate> {
+pub fn expand_with_normalizations(models: &[ModelId], ks: &[f64]) -> Vec<NormalizedCandidate> {
     let mut out = Vec::with_capacity(models.len() * (1 + ks.len()));
     for &model in models {
         out.push(NormalizedCandidate {

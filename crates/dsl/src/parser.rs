@@ -54,9 +54,7 @@ impl Parser<'_> {
     }
 
     fn offset(&self) -> usize {
-        self.tokens
-            .get(self.pos)
-            .map_or(self.src_len, |t| t.offset)
+        self.tokens.get(self.pos).map_or(self.src_len, |t| t.offset)
     }
 
     fn bump(&mut self) -> Option<&Token> {
@@ -245,10 +243,8 @@ mod tests {
 
     #[test]
     fn parses_the_papers_image_classification_example() {
-        let p = parse_program(
-            "{input: {[Tensor[256, 256, 3]], []}, output: {[Tensor[1000]], []}}",
-        )
-        .unwrap();
+        let p = parse_program("{input: {[Tensor[256, 256, 3]], []}, output: {[Tensor[1000]], []}}")
+            .unwrap();
         assert_eq!(p.input.tensors, vec![TensorField::anon(vec![256, 256, 3])]);
         assert!(p.input.recursive.is_empty());
         assert_eq!(p.output.tensors[0].dims, vec![1000]);
@@ -256,30 +252,25 @@ mod tests {
 
     #[test]
     fn parses_the_papers_time_series_example() {
-        let p = parse_program(
-            "{input: {[Tensor[10]], [next]}, output: {[Tensor[10]], [next]}}",
-        )
-        .unwrap();
+        let p = parse_program("{input: {[Tensor[10]], [next]}, output: {[Tensor[10]], [next]}}")
+            .unwrap();
         assert_eq!(p.input.recursive, vec!["next"]);
         assert_eq!(p.output.recursive, vec!["next"]);
     }
 
     #[test]
     fn parses_named_tensor_fields() {
-        let p = parse_program(
-            "{input: {[field1 :: Tensor[28, 28]], []}, output: {[Tensor[10]], []}}",
-        )
-        .unwrap();
+        let p =
+            parse_program("{input: {[field1 :: Tensor[28, 28]], []}, output: {[Tensor[10]], []}}")
+                .unwrap();
         assert_eq!(p.input.tensors[0].name.as_deref(), Some("field1"));
         assert_eq!(p.input.tensors[0].dims, vec![28, 28]);
     }
 
     #[test]
     fn parses_trees_with_two_recursive_fields() {
-        let p = parse_program(
-            "{input: {[Tensor[64]], [left, right]}, output: {[Tensor[2]], []}}",
-        )
-        .unwrap();
+        let p = parse_program("{input: {[Tensor[64]], [left, right]}, output: {[Tensor[2]], []}}")
+            .unwrap();
         assert_eq!(p.input.recursive, vec!["left", "right"]);
     }
 
@@ -324,10 +315,8 @@ mod tests {
 
     #[test]
     fn trailing_tokens_are_rejected() {
-        let e = parse_program(
-            "{input: {[Tensor[1]], []}, output: {[Tensor[1]], []}} extra",
-        )
-        .unwrap_err();
+        let e = parse_program("{input: {[Tensor[1]], []}, output: {[Tensor[1]], []}} extra")
+            .unwrap_err();
         assert!(e.message.contains("trailing"));
     }
 

@@ -208,9 +208,7 @@ mod tests {
 
     #[test]
     fn image_recovery() {
-        let m = matched(
-            "{input: {[Tensor[64, 64, 3]], []}, output: {[Tensor[64, 64, 3]], []}}",
-        );
+        let m = matched("{input: {[Tensor[64, 64, 3]], []}, output: {[Tensor[64, 64, 3]], []}}");
         assert_eq!(m.workload, WorkloadKind::ImageRecovery);
         assert_eq!(
             m.models,
@@ -250,9 +248,7 @@ mod tests {
 
     #[test]
     fn general_autoencoder_is_the_fallback_of_last_resort() {
-        let m = matched(
-            "{input: {[Tensor[5, 5]], [next]}, output: {[Tensor[2, 2]], [next]}}",
-        );
+        let m = matched("{input: {[Tensor[5, 5]], [next]}, output: {[Tensor[2, 2]], [next]}}");
         assert_eq!(m.workload, WorkloadKind::GeneralAutoEncoder);
         assert_eq!(m.models, vec![ModelId::BitLevelAutoEncoder]);
     }

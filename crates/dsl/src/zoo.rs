@@ -170,7 +170,10 @@ mod tests {
         let order = most_cited_order(&IMAGE_CLASSIFIERS);
         assert_eq!(IMAGE_CLASSIFIERS[order[0]], ModelId::AlexNet);
         // SqueezeNet has the fewest citations among the eight.
-        assert_eq!(IMAGE_CLASSIFIERS[*order.last().unwrap()], ModelId::SqueezeNet);
+        assert_eq!(
+            IMAGE_CLASSIFIERS[*order.last().unwrap()],
+            ModelId::SqueezeNet
+        );
         // The result is a permutation.
         let mut sorted = order.clone();
         sorted.sort_unstable();
@@ -181,7 +184,8 @@ mod tests {
     fn most_recent_starts_with_squeezenet() {
         let order = most_recent_order(&IMAGE_CLASSIFIERS);
         assert_eq!(IMAGE_CLASSIFIERS[order[0]], ModelId::SqueezeNet); // 2016
-        assert_eq!(IMAGE_CLASSIFIERS[*order.last().unwrap()], ModelId::AlexNet); // 2012
+        assert_eq!(IMAGE_CLASSIFIERS[*order.last().unwrap()], ModelId::AlexNet);
+        // 2012
     }
 
     #[test]

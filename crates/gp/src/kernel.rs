@@ -232,8 +232,7 @@ impl RationalQuadraticKernel {
 impl Kernel for RationalQuadraticKernel {
     fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
         let d2 = vec_ops::dist2_sq(x, y);
-        (1.0 + d2 / (2.0 * self.alpha * self.length_scale * self.length_scale))
-            .powf(-self.alpha)
+        (1.0 + d2 / (2.0 * self.alpha * self.length_scale * self.length_scale)).powf(-self.alpha)
     }
 }
 

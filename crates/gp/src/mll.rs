@@ -40,8 +40,8 @@ pub fn log_marginal_likelihood(
         prior.cov()[(observations[i].0, observations[j].0)]
     });
     k.add_diag_mut(noise_var);
-    let (chol, _) = Cholesky::factor_with_jitter(&k, 1e-10, 12)
-        .expect("noisy Gram matrix must be factorable");
+    let (chol, _) =
+        Cholesky::factor_with_jitter(&k, 1e-10, 12).expect("noisy Gram matrix must be factorable");
 
     let centered: Vec<f64> = observations
         .iter()
@@ -72,10 +72,7 @@ pub fn mean_log_marginal_likelihood(
 pub fn center_rewards(observations: &[(usize, f64)]) -> (Vec<(usize, f64)>, f64) {
     let ys: Vec<f64> = observations.iter().map(|&(_, y)| y).collect();
     let m = vec_ops::mean(&ys);
-    (
-        observations.iter().map(|&(a, y)| (a, y - m)).collect(),
-        m,
-    )
+    (observations.iter().map(|&(a, y)| (a, y - m)).collect(), m)
 }
 
 #[cfg(test)]

@@ -130,7 +130,7 @@ pub fn nelder_mead(
         }
     }
     simplex.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    simplex.swap_remove(0).into()
+    simplex.swap_remove(0)
 }
 
 /// Continuously tunes `(scale, noise)` for a base Gram matrix by
@@ -207,13 +207,7 @@ mod tests {
     #[test]
     fn continuous_tuning_improves_on_the_grid_start() {
         let gram = Matrix::identity(3);
-        let obs = [
-            (0usize, 0.50),
-            (0, 0.56),
-            (1, -0.40),
-            (1, -0.46),
-            (2, 0.05),
-        ];
+        let obs = [(0usize, 0.50), (0, 0.56), (1, -0.40), (1, -0.46), (2, 0.05)];
         let grid = TuneGrid {
             scales: vec![0.1, 1.0],
             noises: vec![1e-3, 1e-2],
@@ -239,12 +233,8 @@ mod tests {
         // A start near the box edge still returns finite results.
         let gram = Matrix::identity(2);
         let obs = [(0usize, 0.2), (1, -0.2)];
-        let t = tune_scale_noise_continuous(
-            &gram,
-            &obs,
-            (1e-5, 1e-8),
-            &NelderMeadOptions::default(),
-        );
+        let t =
+            tune_scale_noise_continuous(&gram, &obs, (1e-5, 1e-8), &NelderMeadOptions::default());
         assert!(t.lml.is_finite());
     }
 

@@ -83,7 +83,10 @@ impl GpPosterior {
 
     /// The `(arm, reward)` observation history, oldest first.
     pub fn observations(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
-        self.obs_arms.iter().copied().zip(self.obs_y.iter().copied())
+        self.obs_arms
+            .iter()
+            .copied()
+            .zip(self.obs_y.iter().copied())
     }
 
     /// Observation noise variance σ².
@@ -187,7 +190,10 @@ impl GpPosterior {
     ///
     /// Panics if either arm index is out of range.
     pub fn posterior_cov(&self, k1: usize, k2: usize) -> f64 {
-        assert!(k1 < self.num_arms() && k2 < self.num_arms(), "arm index out of range");
+        assert!(
+            k1 < self.num_arms() && k2 < self.num_arms(),
+            "arm index out of range"
+        );
         if self.obs_arms.is_empty() {
             return self.prior.cov()[(k1, k2)];
         }
@@ -247,6 +253,7 @@ impl GpPosterior {
 
     /// Recomputes the cached posterior means and variances of all arms.
     fn refresh(&mut self) {
+        let _timing = easeml_obs::global_timer(easeml_obs::Component::PosteriorRefresh);
         let k_arms = self.num_arms();
         let mut cross = vec![0.0; self.obs_arms.len()];
         for k in 0..k_arms {
@@ -329,11 +336,7 @@ mod tests {
     #[test]
     fn incremental_matches_batch_reconstruction() {
         // Verify the cached posterior against a from-scratch computation.
-        let gram = Matrix::from_rows(&[
-            &[1.0, 0.6, 0.2],
-            &[0.6, 1.0, 0.4],
-            &[0.2, 0.4, 1.0],
-        ]);
+        let gram = Matrix::from_rows(&[&[1.0, 0.6, 0.2], &[0.6, 1.0, 0.4], &[0.2, 0.4, 1.0]]);
         let prior = ArmPrior::from_gram(gram.clone());
         let noise = 0.05;
         let mut gp = GpPosterior::new(prior.clone(), noise);

@@ -39,6 +39,7 @@ impl Cholesky {
     /// Returns [`LinalgError::NotSquare`] for non-square input and
     /// [`LinalgError::NotPositiveDefinite`] when a pivot is non-positive.
     pub fn factor(a: &Matrix) -> Result<Self> {
+        let _timing = easeml_obs::global_timer(easeml_obs::Component::CholeskyFactor);
         if !a.is_square() {
             return Err(LinalgError::NotSquare {
                 rows: a.rows(),
@@ -143,6 +144,7 @@ impl Cholesky {
     ///
     /// Shape errors when `b.len() != dim()`.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let _timing = easeml_obs::global_timer(easeml_obs::Component::CholeskySolve);
         let y = solve_lower(&self.l, b)?;
         solve_lower_transpose(&self.l, &y)
     }
@@ -199,6 +201,7 @@ impl Cholesky {
     /// [`LinalgError::NotPositiveDefinite`] when the extended matrix is not
     /// positive definite (`d ≤ ‖r‖²`).
     pub fn extend(&mut self, c: &[f64], d: f64) -> Result<()> {
+        let _timing = easeml_obs::global_timer(easeml_obs::Component::CholeskyExtend);
         let n = self.dim();
         if c.len() != n {
             return Err(LinalgError::ShapeMismatch {

@@ -110,7 +110,11 @@ impl Lu {
 
     /// The determinant of `A` (product of U's diagonal, sign from swaps).
     pub fn det(&self) -> f64 {
-        let sign = if self.swaps.is_multiple_of(2) { 1.0 } else { -1.0 };
+        let sign = if self.swaps.is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
         sign * (0..self.dim()).map(|i| self.lu[(i, i)]).product::<f64>()
     }
 

@@ -460,10 +460,7 @@ mod tests {
 
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
         let c = a.matmul(&b).unwrap();
-        assert_eq!(
-            c,
-            Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]])
-        );
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
     }
 
     #[test]

@@ -125,11 +125,7 @@ mod tests {
 
     #[test]
     fn qr_reconstructs_the_matrix() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
         let qr = Qr::factor(&a).unwrap();
         let recon = qr.q().matmul(qr.r()).unwrap();
         assert!(recon.approx_eq(&a, 1e-10));

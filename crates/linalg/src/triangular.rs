@@ -198,7 +198,10 @@ mod tests {
         let id = Matrix::identity(4);
         let b = [1.0, 2.0, 3.0, 4.0];
         for f in [
-            solve_lower, solve_upper, solve_lower_transpose, solve_upper_transpose,
+            solve_lower,
+            solve_upper,
+            solve_lower_transpose,
+            solve_upper_transpose,
         ] {
             assert_eq!(f(&id, &b).unwrap(), b.to_vec());
         }

@@ -1,0 +1,263 @@
+//! The structured event vocabulary of the instrumentation layer.
+
+use crate::json::{self, Json};
+use serde::Serialize;
+
+/// A structured observation emitted by an instrumented component.
+///
+/// Events capture the *decisions* of the system — who was scheduled, which
+/// arm a tenant pulled, when the hybrid scheduler fell back to round robin —
+/// rather than raw log lines, so traces can be joined, replayed, and
+/// asserted on. Every variant serializes to one self-describing JSON object
+/// (`{"VariantName": {fields...}}`) and parses back via [`Event::from_json`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum Event {
+    /// The user-picking phase chose a tenant to serve this round.
+    SchedulerDecision {
+        /// Global scheduling round (0-based).
+        round: u64,
+        /// Index of the tenant chosen to be served.
+        user: usize,
+        /// Canonical name of the picking strategy (e.g. `"greedy(max-gap)"`,
+        /// `"hybrid"`, `"round-robin"`); matches
+        /// `UserPicker::name` / `SchedulerKind::name`.
+        rule: String,
+        /// Per-tenant scores the decision was based on, indexed by tenant.
+        /// Empty for strategies that do not score (FCFS, round robin).
+        scores: Vec<f64>,
+    },
+    /// The model-picking phase chose an arm for the served tenant.
+    ArmChosen {
+        /// Index of the tenant whose policy ran.
+        user: usize,
+        /// Index of the chosen arm (model).
+        arm: usize,
+        /// The winning arm's upper confidence bound.
+        ucb: f64,
+        /// The βₜ₊₁ exploration coefficient used for the bound.
+        beta: f64,
+        /// The cost the bound was scaled by (1 when cost-oblivious).
+        cost: f64,
+    },
+    /// The hybrid scheduler permanently switched from greedy to round robin.
+    HybridFallback {
+        /// Human-readable account of what triggered the switch.
+        reason: String,
+    },
+    /// A training run finished on the cluster.
+    TrainingCompleted {
+        /// Index of the tenant the run belonged to.
+        user: usize,
+        /// Index of the trained model.
+        model: usize,
+        /// Cost charged for the run (GPU-hours in the simulations).
+        cost: f64,
+        /// Observed quality (accuracy) of the trained model.
+        quality: f64,
+    },
+    /// A tenant's GP posterior absorbed a new observation.
+    PosteriorUpdated {
+        /// Index of the observed arm.
+        arm: usize,
+        /// The reward the posterior was updated with.
+        reward: f64,
+        /// Total observations in the posterior after the update.
+        num_obs: usize,
+    },
+}
+
+impl Event {
+    /// The variant name, as it appears as the JSON object key.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::SchedulerDecision { .. } => "SchedulerDecision",
+            Event::ArmChosen { .. } => "ArmChosen",
+            Event::HybridFallback { .. } => "HybridFallback",
+            Event::TrainingCompleted { .. } => "TrainingCompleted",
+            Event::PosteriorUpdated { .. } => "PosteriorUpdated",
+        }
+    }
+
+    /// The tenant the event concerns, when it concerns one.
+    pub fn user(&self) -> Option<usize> {
+        match self {
+            Event::SchedulerDecision { user, .. }
+            | Event::ArmChosen { user, .. }
+            | Event::TrainingCompleted { user, .. } => Some(*user),
+            Event::HybridFallback { .. } | Event::PosteriorUpdated { .. } => None,
+        }
+    }
+
+    /// Serializes the event as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        json::to_string(self)
+    }
+
+    /// Parses an event back from the JSON produced by [`Event::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntactic or structural problem:
+    /// malformed JSON, an unknown variant, or a missing/mistyped field.
+    pub fn from_json(line: &str) -> Result<Event, String> {
+        let value = json::parse(line)?;
+        let Json::Object(entries) = value else {
+            return Err(format!("expected a JSON object, got {value:?}"));
+        };
+        let [(variant, Json::Object(fields))] = entries.as_slice() else {
+            return Err("expected exactly one {variant: {fields}} entry".into());
+        };
+        match variant.as_str() {
+            "SchedulerDecision" => Ok(Event::SchedulerDecision {
+                round: get_u64(fields, "round")?,
+                user: get_usize(fields, "user")?,
+                rule: get_str(fields, "rule")?,
+                scores: get_f64_array(fields, "scores")?,
+            }),
+            "ArmChosen" => Ok(Event::ArmChosen {
+                user: get_usize(fields, "user")?,
+                arm: get_usize(fields, "arm")?,
+                ucb: get_f64(fields, "ucb")?,
+                beta: get_f64(fields, "beta")?,
+                cost: get_f64(fields, "cost")?,
+            }),
+            "HybridFallback" => Ok(Event::HybridFallback {
+                reason: get_str(fields, "reason")?,
+            }),
+            "TrainingCompleted" => Ok(Event::TrainingCompleted {
+                user: get_usize(fields, "user")?,
+                model: get_usize(fields, "model")?,
+                cost: get_f64(fields, "cost")?,
+                quality: get_f64(fields, "quality")?,
+            }),
+            "PosteriorUpdated" => Ok(Event::PosteriorUpdated {
+                arm: get_usize(fields, "arm")?,
+                reward: get_f64(fields, "reward")?,
+                num_obs: get_usize(fields, "num_obs")?,
+            }),
+            other => Err(format!("unknown event variant {other:?}")),
+        }
+    }
+}
+
+fn get<'a>(fields: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn get_f64(fields: &[(String, Json)], key: &str) -> Result<f64, String> {
+    match get(fields, key)? {
+        Json::Number(n) => Ok(*n),
+        // Non-finite floats serialize as null; map them back to NaN.
+        Json::Null => Ok(f64::NAN),
+        other => Err(format!("field {key:?}: expected a number, got {other:?}")),
+    }
+}
+
+fn get_u64(fields: &[(String, Json)], key: &str) -> Result<u64, String> {
+    let n = get_f64(fields, key)?;
+    if n.fract() == 0.0 && (0.0..9.0e15).contains(&n) {
+        Ok(n as u64)
+    } else {
+        Err(format!("field {key:?}: {n} is not an unsigned integer"))
+    }
+}
+
+fn get_usize(fields: &[(String, Json)], key: &str) -> Result<usize, String> {
+    Ok(get_u64(fields, key)? as usize)
+}
+
+fn get_str(fields: &[(String, Json)], key: &str) -> Result<String, String> {
+    match get(fields, key)? {
+        Json::String(s) => Ok(s.clone()),
+        other => Err(format!("field {key:?}: expected a string, got {other:?}")),
+    }
+}
+
+fn get_f64_array(fields: &[(String, Json)], key: &str) -> Result<Vec<f64>, String> {
+    match get(fields, key)? {
+        Json::Array(items) => items
+            .iter()
+            .map(|item| match item {
+                Json::Number(n) => Ok(*n),
+                Json::Null => Ok(f64::NAN),
+                other => Err(format!("field {key:?}: non-number element {other:?}")),
+            })
+            .collect(),
+        other => Err(format!("field {key:?}: expected an array, got {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Event> {
+        vec![
+            Event::SchedulerDecision {
+                round: 42,
+                user: 3,
+                rule: "greedy(max-gap)".into(),
+                scores: vec![0.1, 0.25, -0.5, 1.75e-3],
+            },
+            Event::ArmChosen {
+                user: 3,
+                arm: 7,
+                ucb: 0.912,
+                beta: 2.77,
+                cost: 1.0,
+            },
+            Event::HybridFallback {
+                reason: "no \"improvement\" for 10 rounds\nfrozen set {1, 2}".into(),
+            },
+            Event::TrainingCompleted {
+                user: 0,
+                model: 19,
+                cost: 12.5,
+                quality: 0.843,
+            },
+            Event::PosteriorUpdated {
+                arm: 19,
+                reward: 0.843,
+                num_obs: 11,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_round_trips_every_variant() {
+        for event in samples() {
+            let line = event.to_json();
+            let back = Event::from_json(&line).unwrap();
+            assert_eq!(back, event, "round-trip failed for {line}");
+        }
+    }
+
+    #[test]
+    fn json_shape_is_one_object_per_event() {
+        let line = samples()[0].to_json();
+        assert!(line.starts_with("{\"SchedulerDecision\":{"), "{line}");
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(Event::from_json("not json").is_err());
+        assert!(Event::from_json("{\"Nope\":{}}").is_err());
+        assert!(Event::from_json("{\"ArmChosen\":{\"user\":1}}").is_err());
+        assert!(Event::from_json("[1,2]").is_err());
+    }
+
+    #[test]
+    fn user_accessor_matches_variants() {
+        let events = samples();
+        assert_eq!(events[0].user(), Some(3));
+        assert_eq!(events[1].user(), Some(3));
+        assert_eq!(events[2].user(), None);
+        assert_eq!(events[3].user(), Some(0));
+        assert_eq!(events[4].user(), None);
+    }
+}

@@ -1,0 +1,51 @@
+//! Zero-cost observability for the ease.ml reproduction.
+//!
+//! Every interesting decision the system makes — which tenant the scheduler
+//! served, which arm a tenant's GP-UCB pulled, when the hybrid scheduler
+//! froze and fell back to round robin, what a training run returned — can
+//! be captured as a structured [`Event`]. Alongside events, the layer
+//! carries named counters, gauges, and fixed-bucket latency [`Histogram`]s
+//! fed by scoped wall-clock timers around the hot paths (Cholesky
+//! factor/solve, posterior refresh, per-round pick).
+//!
+//! The design goal is *zero cost when off*:
+//!
+//! * instrumented components hold a [`RecorderHandle`]; the default handle
+//!   is disabled and every operation on it is a single branch — event
+//!   construction sits behind a closure that never runs, so the disabled
+//!   path does not allocate or format;
+//! * deep library code (the linalg kernels) uses the process-global
+//!   recorder via [`global_timer`], whose disabled fast path is one relaxed
+//!   atomic load;
+//! * the `sim/noop_recorder_overhead` benchmark in `easeml-bench` guards
+//!   the claim by timing a full simulation with and without the plumbing.
+//!
+//! When observability *is* wanted, attach an [`InMemoryRecorder`]:
+//!
+//! ```
+//! use easeml_obs::{Event, InMemoryRecorder, Recorder, RecorderHandle};
+//! use std::sync::Arc;
+//!
+//! let recorder = Arc::new(InMemoryRecorder::new());
+//! let handle = RecorderHandle::new(recorder.clone());
+//!
+//! // Components emit through the handle...
+//! handle.emit(|| Event::TrainingCompleted { user: 0, model: 3, cost: 1.0, quality: 0.91 });
+//!
+//! // ...and the recorder exports a JSONL trace or a summary table.
+//! let trace = recorder.to_jsonl();
+//! assert_eq!(Event::from_json(trace.lines().next().unwrap()).unwrap(),
+//!            recorder.events()[0]);
+//! println!("{}", recorder.summary());
+//! ```
+
+mod event;
+pub mod json;
+mod memory;
+mod recorder;
+mod timer;
+
+pub use event::Event;
+pub use memory::{Histogram, InMemoryRecorder, UserStats};
+pub use recorder::{Component, NoopRecorder, Recorder, RecorderHandle};
+pub use timer::{global_handle, global_timer, set_global_recorder, GlobalTimer, ScopedTimer};

@@ -1,0 +1,487 @@
+//! The thread-safe in-memory recorder, its latency histograms, and the
+//! exporters (JSONL trace, human-readable summary).
+
+use crate::event::Event;
+use crate::recorder::{Component, Recorder};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Number of power-of-two latency buckets: bucket `i` covers
+/// `[2^i, 2^(i+1))` nanoseconds, with the last bucket open-ended. Bucket 39
+/// starts at ~9.2 minutes, far beyond any timed scope here.
+const NUM_BUCKETS: usize = 40;
+
+/// A fixed-bucket latency histogram over nanosecond samples.
+///
+/// Buckets are powers of two, so recording is a `leading_zeros` and an
+/// increment — no allocation, no floating point. Quantiles are estimated
+/// from bucket boundaries (exact min/max are tracked separately), which is
+/// plenty for the p50/p95 columns of the summary table.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: [u64; NUM_BUCKETS],
+    count: u64,
+    sum_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; NUM_BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    fn bucket_index(nanos: u64) -> usize {
+        // floor(log2(n)) for n ≥ 1; zero-duration samples land in bucket 0.
+        (63 - nanos.max(1).leading_zeros() as usize).min(NUM_BUCKETS - 1)
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, nanos: u64) {
+        self.counts[Self::bucket_index(nanos)] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(nanos);
+        self.min_ns = self.min_ns.min(nanos);
+        self.max_ns = self.max_ns.max(nanos);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// Mean sample in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample, when any were recorded.
+    pub fn min_ns(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min_ns)
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) in nanoseconds from the
+    /// bucket boundaries, clamped to the exact observed min/max.
+    pub fn quantile_ns(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                // Upper edge of bucket i, clamped to what was really seen.
+                let upper = if i + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    1u64 << (i + 1)
+                };
+                return (upper.min(self.max_ns).max(self.min_ns)) as f64;
+            }
+        }
+        self.max_ns as f64
+    }
+
+    /// The raw bucket counts (bucket `i` covers `[2^i, 2^(i+1))` ns).
+    pub fn buckets(&self) -> &[u64; NUM_BUCKETS] {
+        &self.counts
+    }
+}
+
+/// Per-tenant tallies computed from `TrainingCompleted` events.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UserStats {
+    /// Number of training runs served to this tenant.
+    pub served: u64,
+    /// Total cost charged across those runs.
+    pub total_cost: f64,
+    /// Best quality any of the tenant's runs reached.
+    pub best_quality: f64,
+    /// Quality of the tenant's most recent run.
+    pub final_quality: f64,
+}
+
+impl UserStats {
+    /// How far the last run sat below the tenant's best (the trace-local
+    /// analogue of instantaneous regret).
+    pub fn regret(&self) -> f64 {
+        self.best_quality - self.final_quality
+    }
+}
+
+/// A thread-safe [`Recorder`] that keeps everything in memory and can
+/// export a JSONL trace or a human-readable summary.
+///
+/// Interior mutability is mutex-per-table (`parking_lot`), so concurrent
+/// recording from the parallel simulator only contends when two threads hit
+/// the same table at the same instant.
+#[derive(Debug, Default)]
+pub struct InMemoryRecorder {
+    events: Mutex<Vec<Event>>,
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    gauges: Mutex<BTreeMap<&'static str, f64>>,
+    timings: Mutex<Vec<Histogram>>,
+}
+
+impl InMemoryRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        InMemoryRecorder {
+            events: Mutex::new(Vec::new()),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            timings: Mutex::new(vec![Histogram::new(); Component::COUNT]),
+        }
+    }
+
+    /// Snapshot of all recorded events, in recording order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    /// Number of recorded events.
+    pub fn num_events(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Event counts keyed by variant name.
+    pub fn event_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut out = BTreeMap::new();
+        for event in self.events.lock().iter() {
+            *out.entry(event.name()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.lock().get(name).copied().unwrap_or(0)
+    }
+
+    /// Latest value of a gauge, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.lock().get(name).copied()
+    }
+
+    /// Snapshot of the latency histogram for `component`.
+    pub fn timing(&self, component: Component) -> Histogram {
+        self.timings.lock()[component.index()].clone()
+    }
+
+    /// Per-tenant served/cost/quality tallies from `TrainingCompleted`
+    /// events, keyed by tenant index.
+    pub fn per_user_stats(&self) -> BTreeMap<usize, UserStats> {
+        let mut out: BTreeMap<usize, UserStats> = BTreeMap::new();
+        for event in self.events.lock().iter() {
+            if let Event::TrainingCompleted {
+                user,
+                cost,
+                quality,
+                ..
+            } = event
+            {
+                let stats = out.entry(*user).or_default();
+                stats.served += 1;
+                stats.total_cost += cost;
+                stats.best_quality = stats.best_quality.max(*quality);
+                stats.final_quality = *quality;
+            }
+        }
+        out
+    }
+
+    /// Exports every event as JSON Lines (one compact object per line,
+    /// trailing newline included; empty string when no events).
+    pub fn to_jsonl(&self) -> String {
+        let events = self.events.lock();
+        let mut out = String::new();
+        for event in events.iter() {
+            out.push_str(&event.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the human-readable summary: per-component latency table,
+    /// event counts, counters/gauges, and per-tenant tallies.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== easeml-obs summary ==\n");
+
+        let timings = self.timings.lock().clone();
+        if timings.iter().any(|h| h.count() > 0) {
+            out.push_str("\ntimings:\n");
+            let _ = writeln!(
+                out,
+                "  {:<22} {:>8} {:>10} {:>10} {:>10}",
+                "component", "count", "p50", "p95", "max"
+            );
+            for component in Component::ALL {
+                let h = &timings[component.index()];
+                if h.count() == 0 {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "  {:<22} {:>8} {:>10} {:>10} {:>10}",
+                    component.name(),
+                    h.count(),
+                    format_ns(h.quantile_ns(0.50)),
+                    format_ns(h.quantile_ns(0.95)),
+                    format_ns(h.max_ns() as f64),
+                );
+            }
+        }
+
+        let event_counts = self.event_counts();
+        if !event_counts.is_empty() {
+            out.push_str("\nevents:\n");
+            for (name, count) in &event_counts {
+                let _ = writeln!(out, "  {name:<22} {count:>8}");
+            }
+        }
+
+        let counters = self.counters.lock().clone();
+        let gauges = self.gauges.lock().clone();
+        if !counters.is_empty() || !gauges.is_empty() {
+            out.push_str("\ncounters / gauges:\n");
+            for (name, value) in &counters {
+                let _ = writeln!(out, "  {name:<22} {value:>8}");
+            }
+            for (name, value) in &gauges {
+                let _ = writeln!(out, "  {name:<22} {value:>8.4}");
+            }
+        }
+
+        let per_user = self.per_user_stats();
+        if !per_user.is_empty() {
+            out.push_str("\nper-user (from TrainingCompleted):\n");
+            let _ = writeln!(
+                out,
+                "  {:>4} {:>7} {:>12} {:>9} {:>9} {:>8}",
+                "user", "served", "total-cost", "best-q", "final-q", "regret"
+            );
+            for (user, stats) in &per_user {
+                let _ = writeln!(
+                    out,
+                    "  {:>4} {:>7} {:>12.3} {:>9.4} {:>9.4} {:>8.4}",
+                    user,
+                    stats.served,
+                    stats.total_cost,
+                    stats.best_quality,
+                    stats.final_quality,
+                    stats.regret(),
+                );
+            }
+        }
+
+        out
+    }
+}
+
+impl Recorder for InMemoryRecorder {
+    fn record(&self, event: Event) {
+        self.events.lock().push(event);
+    }
+
+    fn add_counter(&self, name: &'static str, delta: u64) {
+        *self.counters.lock().entry(name).or_insert(0) += delta;
+    }
+
+    fn set_gauge(&self, name: &'static str, value: f64) {
+        self.gauges.lock().insert(name, value);
+    }
+
+    fn record_timing(&self, component: Component, nanos: u64) {
+        self.timings.lock()[component.index()].record(nanos);
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.1}µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.1}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // Powers of two land in the bucket they open, n-1 one lower.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 1);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(1023), 9);
+        assert_eq!(Histogram::bucket_index(1024), 10);
+        assert_eq!(Histogram::bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_stats_track_samples() {
+        let mut h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min_ns(), None);
+        assert_eq!(h.quantile_ns(0.5), 0.0);
+        for ns in [100u64, 200, 300, 400, 10_000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min_ns(), Some(100));
+        assert_eq!(h.max_ns(), 10_000);
+        assert_eq!(h.sum_ns(), 11_000);
+        assert!((h.mean_ns() - 2200.0).abs() < 1e-9);
+        // p50 of {100,200,300,400,10000}: rank 3 → the 256..512 bucket.
+        let p50 = h.quantile_ns(0.5);
+        assert!((100.0..=512.0).contains(&p50), "p50 = {p50}");
+        // p95+ must reach the outlier's bucket but not exceed the true max.
+        let p99 = h.quantile_ns(0.99);
+        assert!((4096.0..=10_000.0).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 7);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+        for pair in qs.windows(2) {
+            assert!(h.quantile_ns(pair[0]) <= h.quantile_ns(pair[1]));
+        }
+        assert!(h.quantile_ns(1.0) <= h.max_ns() as f64);
+        assert!(h.quantile_ns(0.0) >= h.min_ns().unwrap() as f64);
+    }
+
+    #[test]
+    fn per_user_stats_tally_training_events() {
+        let r = InMemoryRecorder::new();
+        for (user, cost, quality) in [(0, 1.0, 0.5), (1, 2.0, 0.9), (0, 3.0, 0.4)] {
+            r.record(Event::TrainingCompleted {
+                user,
+                model: 0,
+                cost,
+                quality,
+            });
+        }
+        let stats = r.per_user_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[&0].served, 2);
+        assert!((stats[&0].total_cost - 4.0).abs() < 1e-12);
+        assert!((stats[&0].best_quality - 0.5).abs() < 1e-12);
+        assert!((stats[&0].final_quality - 0.4).abs() < 1e-12);
+        assert!((stats[&0].regret() - 0.1).abs() < 1e-12);
+        assert_eq!(stats[&1].served, 1);
+    }
+
+    #[test]
+    fn summary_mentions_all_sections() {
+        let r = InMemoryRecorder::new();
+        r.record(Event::TrainingCompleted {
+            user: 2,
+            model: 1,
+            cost: 1.5,
+            quality: 0.7,
+        });
+        r.add_counter("rounds", 3);
+        r.set_gauge("budget-left", 0.25);
+        r.record_timing(Component::SchedulerPick, 1_234);
+        let s = r.summary();
+        assert!(s.contains("sched/pick"), "{s}");
+        assert!(s.contains("TrainingCompleted"), "{s}");
+        assert!(s.contains("rounds"), "{s}");
+        assert!(s.contains("budget-left"), "{s}");
+        assert!(s.contains("per-user"), "{s}");
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use crate::RecorderHandle;
+        use std::sync::Arc;
+        let rec = Arc::new(InMemoryRecorder::new());
+        let threads = 8usize;
+        let per_thread = 250usize;
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let h = RecorderHandle::new(rec.clone());
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let _timing = h.time(Component::SimRound);
+                        h.emit(|| Event::TrainingCompleted {
+                            user: t,
+                            model: i,
+                            cost: 1.0,
+                            quality: 0.5,
+                        });
+                        h.count("rounds", 1);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let total = threads * per_thread;
+        assert_eq!(rec.num_events(), total);
+        assert_eq!(rec.counter("rounds"), total as u64);
+        assert_eq!(rec.timing(Component::SimRound).count(), total as u64);
+        let stats = rec.per_user_stats();
+        assert_eq!(stats.len(), threads);
+        assert!(stats.values().all(|s| s.served == per_thread as u64));
+    }
+
+    #[test]
+    fn jsonl_is_one_line_per_event() {
+        let r = InMemoryRecorder::new();
+        assert_eq!(r.to_jsonl(), "");
+        r.record(Event::HybridFallback { reason: "a".into() });
+        r.record(Event::PosteriorUpdated {
+            arm: 1,
+            reward: 0.5,
+            num_obs: 2,
+        });
+        let jsonl = r.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        for line in jsonl.lines() {
+            Event::from_json(line).unwrap();
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Scoped wall-clock timers and the process-global recorder used by deep
+//! library code.
+//!
+//! Components that hold a [`RecorderHandle`](crate::RecorderHandle) time
+//! themselves with [`ScopedTimer`]. Library layers too deep to thread a
+//! handle through (the Cholesky kernels in `easeml-linalg`, the posterior
+//! refresh in `easeml-gp`) use the process-global recorder instead: its
+//! fast path is a single relaxed atomic load, so with no recorder installed
+//! the hot loops stay at their uninstrumented speed.
+
+use crate::recorder::{Component, Recorder, RecorderHandle};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Times one scope against a borrowed recorder; records on drop.
+///
+/// Created by [`RecorderHandle::time`](crate::RecorderHandle::time). An
+/// inert guard (from a disabled handle) never reads the clock.
+#[must_use = "the timer records when dropped; binding it to `_` drops immediately"]
+pub struct ScopedTimer<'a> {
+    active: Option<(&'a dyn Recorder, Component, Instant)>,
+}
+
+impl<'a> ScopedTimer<'a> {
+    pub(crate) fn new(recorder: Option<&'a dyn Recorder>, component: Component) -> Self {
+        ScopedTimer {
+            active: recorder.map(|r| (r, component, Instant::now())),
+        }
+    }
+}
+
+impl Drop for ScopedTimer<'_> {
+    fn drop(&mut self) {
+        if let Some((recorder, component, start)) = self.active.take() {
+            recorder.record_timing(component, start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// `true` iff a global recorder is installed. Checked with a relaxed load
+/// before touching the lock, so the disabled path costs one branch.
+static GLOBAL_ACTIVE: AtomicBool = AtomicBool::new(false);
+static GLOBAL: RwLock<Option<Arc<dyn Recorder>>> = RwLock::new(None);
+
+/// Installs (`Some`) or removes (`None`) the process-global recorder used
+/// by deep library code. Returns the previously installed recorder.
+///
+/// Typical use brackets a measured region:
+///
+/// ```
+/// # use std::sync::Arc;
+/// # use easeml_obs::{set_global_recorder, InMemoryRecorder};
+/// let recorder = Arc::new(InMemoryRecorder::new());
+/// let previous = set_global_recorder(Some(recorder.clone()));
+/// // ... run the instrumented workload ...
+/// set_global_recorder(previous);
+/// println!("{}", recorder.summary());
+/// ```
+pub fn set_global_recorder(recorder: Option<Arc<dyn Recorder>>) -> Option<Arc<dyn Recorder>> {
+    let mut slot = GLOBAL.write();
+    GLOBAL_ACTIVE.store(recorder.is_some(), Ordering::Release);
+    std::mem::replace(&mut *slot, recorder)
+}
+
+/// A [`RecorderHandle`] backed by the current global recorder (disabled
+/// when none is installed). The handle snapshots the recorder: installing
+/// a different one later does not redirect existing handles.
+pub fn global_handle() -> RecorderHandle {
+    if !GLOBAL_ACTIVE.load(Ordering::Acquire) {
+        return RecorderHandle::noop();
+    }
+    match GLOBAL.read().clone() {
+        Some(recorder) => RecorderHandle::new(recorder),
+        None => RecorderHandle::noop(),
+    }
+}
+
+/// Starts a timer against the global recorder; an inert guard when none is
+/// installed. This is the only entry point the deep library layers call.
+pub fn global_timer(component: Component) -> GlobalTimer {
+    if !GLOBAL_ACTIVE.load(Ordering::Relaxed) {
+        return GlobalTimer { active: None };
+    }
+    let recorder = GLOBAL.read().clone();
+    GlobalTimer {
+        active: recorder.map(|r| (r, component, Instant::now())),
+    }
+}
+
+/// Owned counterpart of [`ScopedTimer`] for the global recorder.
+#[must_use = "the timer records when dropped; binding it to `_` drops immediately"]
+pub struct GlobalTimer {
+    active: Option<(Arc<dyn Recorder>, Component, Instant)>,
+}
+
+impl Drop for GlobalTimer {
+    fn drop(&mut self) {
+        if let Some((recorder, component, start)) = self.active.take() {
+            recorder.record_timing(component, start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::InMemoryRecorder;
+
+    // The global recorder is process state shared by every test in this
+    // binary, so all tests touching it live in this one #[test] to avoid
+    // cross-test races under the default parallel runner.
+    #[test]
+    fn global_recorder_lifecycle() {
+        // Nothing installed: timers are inert.
+        drop(global_timer(Component::CholeskyFactor));
+        assert!(!global_handle().is_enabled());
+
+        let recorder = Arc::new(InMemoryRecorder::new());
+        let previous = set_global_recorder(Some(recorder.clone()));
+        drop(global_timer(Component::CholeskyFactor));
+        drop(global_timer(Component::CholeskyFactor));
+        assert!(global_handle().is_enabled());
+
+        // Restore, then verify both that the samples landed and that new
+        // timers are inert again.
+        let mine = set_global_recorder(previous);
+        assert!(mine.is_some());
+        assert_eq!(recorder.timing(Component::CholeskyFactor).count(), 2);
+        drop(global_timer(Component::CholeskyFactor));
+        assert_eq!(recorder.timing(Component::CholeskyFactor).count(), 2);
+    }
+
+    #[test]
+    fn scoped_timer_measures_nonzero_time() {
+        let recorder = InMemoryRecorder::new();
+        {
+            let _t = ScopedTimer::new(Some(&recorder), Component::SimRound);
+            std::hint::black_box((0..1000).sum::<u64>());
+        }
+        let h = recorder.timing(Component::SimRound);
+        assert_eq!(h.count(), 1);
+        assert!(h.max_ns() > 0);
+    }
+}

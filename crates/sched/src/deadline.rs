@@ -12,6 +12,7 @@
 
 use crate::picker::UserPicker;
 use crate::tenant::Tenant;
+use easeml_obs::{Event, RecorderHandle};
 
 /// A per-tenant deadline: serve the tenant at least `min_serves` times by
 /// global round `round`.
@@ -32,6 +33,7 @@ pub struct DeadlinePicker<P> {
     /// horizon must cover the remaining quota; a generous default is the
     /// number of tenants times the outstanding serves.
     horizon: usize,
+    recorder: RecorderHandle,
 }
 
 impl<P: UserPicker> DeadlinePicker<P> {
@@ -46,6 +48,7 @@ impl<P: UserPicker> DeadlinePicker<P> {
             inner,
             deadlines,
             horizon,
+            recorder: RecorderHandle::noop(),
         }
     }
 
@@ -58,9 +61,7 @@ impl<P: UserPicker> DeadlinePicker<P> {
     /// horizon and its quota is unmet.
     fn is_urgent(&self, tenants: &[Tenant], i: usize, step: usize) -> bool {
         match self.deadlines.get(i).copied().flatten() {
-            Some(d) => {
-                tenants[i].serves() < d.min_serves && step + self.horizon >= d.round
-            }
+            Some(d) => tenants[i].serves() < d.min_serves && step + self.horizon >= d.round,
             None => false,
         }
     }
@@ -90,6 +91,14 @@ impl<P: UserPicker> UserPicker for DeadlinePicker<P> {
 
     fn pick(&mut self, tenants: &[Tenant], step: usize, rng: &mut dyn rand::RngCore) -> usize {
         if let Some(urgent) = self.most_urgent(tenants, step) {
+            // A preemption is this round's decision; the inner picker did
+            // not run, so no second decision is emitted.
+            self.recorder.emit(|| Event::SchedulerDecision {
+                round: step as u64,
+                user: urgent,
+                rule: self.name().to_string(),
+                scores: Vec::new(),
+            });
             return urgent;
         }
         self.inner.pick(tenants, step, rng)
@@ -97,6 +106,11 @@ impl<P: UserPicker> UserPicker for DeadlinePicker<P> {
 
     fn after_observe(&mut self, tenants: &[Tenant], served: usize) {
         self.inner.after_observe(tenants, served);
+    }
+
+    fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder.clone();
+        self.inner.set_recorder(recorder);
     }
 }
 
@@ -131,7 +145,7 @@ mod tests {
     #[test]
     fn no_deadlines_delegates_to_inner() {
         let ts = tenants(3);
-        let mut p = DeadlinePicker::new(RoundRobin, vec![None, None, None], 5);
+        let mut p = DeadlinePicker::new(RoundRobin::default(), vec![None, None, None], 5);
         let mut r = rng();
         let picks: Vec<usize> = (0..6).map(|s| p.pick(&ts, s, &mut r)).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
@@ -152,7 +166,7 @@ mod tests {
                 min_serves: 2,
             }),
         ];
-        let mut p = DeadlinePicker::new(RoundRobin, deadlines, 3);
+        let mut p = DeadlinePicker::new(RoundRobin::default(), deadlines, 3);
         let mut r = rng();
         assert_eq!(p.pick(&ts, 0, &mut r), 0, "not yet urgent at step 0");
         assert_eq!(p.pick(&ts, 1, &mut r), 2, "urgent from step 1");
@@ -169,11 +183,11 @@ mod tests {
             }),
             None,
         ];
-        let mut p = DeadlinePicker::new(RoundRobin, deadlines, 10);
+        let mut p = DeadlinePicker::new(RoundRobin::default(), deadlines, 10);
         let mut r = rng();
         assert_eq!(p.pick(&ts, 0, &mut r), 0, "urgent");
         ts[0].observe(0, 0.5); // quota met
-        // Back to round robin (step 1 → tenant 1).
+                               // Back to round robin (step 1 → tenant 1).
         assert_eq!(p.pick(&ts, 1, &mut r), 1);
     }
 
@@ -191,7 +205,7 @@ mod tests {
             }),
             None,
         ];
-        let mut p = DeadlinePicker::new(RoundRobin, deadlines, 20);
+        let mut p = DeadlinePicker::new(RoundRobin::default(), deadlines, 20);
         let mut r = rng();
         assert_eq!(p.pick(&ts, 0, &mut r), 1, "round-3 deadline beats round-9");
         assert_eq!(p.most_urgent(&ts, 0), Some(1));
@@ -200,6 +214,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "horizon")]
     fn zero_horizon_panics() {
-        let _ = DeadlinePicker::new(RoundRobin, vec![], 0);
+        let _ = DeadlinePicker::new(RoundRobin::default(), vec![], 0);
     }
 }

@@ -3,6 +3,7 @@
 use crate::picker::UserPicker;
 use crate::tenant::Tenant;
 use easeml_linalg::vec_ops;
+use easeml_obs::{Event, RecorderHandle};
 
 /// How to break ties among the candidate set `V_t` (Algorithm 2 line 8).
 ///
@@ -62,6 +63,7 @@ pub struct Greedy {
     /// Candidate set of the most recent pick (exposed for HYBRID's freeze
     /// detector and for diagnostics).
     last_candidates: Vec<usize>,
+    recorder: RecorderHandle,
 }
 
 impl Greedy {
@@ -70,6 +72,7 @@ impl Greedy {
         Greedy {
             rule,
             last_candidates: Vec::new(),
+            recorder: RecorderHandle::noop(),
         }
     }
 
@@ -92,9 +95,7 @@ impl Greedy {
     pub fn candidate_set(tenants: &[Tenant]) -> Vec<usize> {
         let sigmas: Vec<f64> = tenants.iter().map(Tenant::sigma_tilde).collect();
         let mean = vec_ops::mean(&sigmas);
-        let mut v: Vec<usize> = (0..tenants.len())
-            .filter(|&i| sigmas[i] >= mean)
-            .collect();
+        let mut v: Vec<usize> = (0..tenants.len()).filter(|&i| sigmas[i] >= mean).collect();
         if v.is_empty() {
             // Mathematically max σ̃ ≥ mean, but when all σ̃ are (nearly)
             // equal, floating-point rounding of the mean can edge above
@@ -102,6 +103,17 @@ impl Greedy {
             v.push(vec_ops::argmax(&sigmas).expect("at least one tenant"));
         }
         v
+    }
+
+    /// The per-tenant score the configured rule ranks on — what a recorded
+    /// `SchedulerDecision` carries in its `scores` column.
+    pub(crate) fn decision_scores(&self, tenants: &[Tenant]) -> Vec<f64> {
+        match self.rule {
+            PickRule::MaxUcbGap => tenants.iter().map(Tenant::ucb_gap).collect(),
+            PickRule::MaxSigmaTilde | PickRule::Random => {
+                tenants.iter().map(Tenant::sigma_tilde).collect()
+            }
+        }
     }
 
     fn pick_from_candidates(
@@ -143,11 +155,21 @@ impl UserPicker for Greedy {
         true
     }
 
-    fn pick(&mut self, tenants: &[Tenant], _step: usize, rng: &mut dyn rand::RngCore) -> usize {
+    fn pick(&mut self, tenants: &[Tenant], step: usize, rng: &mut dyn rand::RngCore) -> usize {
         let candidates = Self::candidate_set(tenants);
         let choice = self.pick_from_candidates(tenants, &candidates, rng);
         self.last_candidates = candidates;
+        self.recorder.emit(|| Event::SchedulerDecision {
+            round: step as u64,
+            user: choice,
+            rule: self.name().to_string(),
+            scores: self.decision_scores(tenants),
+        });
         choice
+    }
+
+    fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
     }
 }
 

@@ -3,6 +3,7 @@
 use crate::greedy::{Greedy, PickRule};
 use crate::picker::UserPicker;
 use crate::tenant::Tenant;
+use easeml_obs::{Event, RecorderHandle};
 
 /// HYBRID: run [`Greedy`] until it enters the *freezing stage*, then switch
 /// permanently to round robin.
@@ -39,6 +40,7 @@ pub struct Hybrid {
     switched: bool,
     /// Round-robin cursor used after the switch.
     rr_cursor: usize,
+    recorder: RecorderHandle,
 }
 
 impl Hybrid {
@@ -58,6 +60,7 @@ impl Hybrid {
             prev_best_sum: f64::NEG_INFINITY,
             switched: false,
             rr_cursor: 0,
+            recorder: RecorderHandle::noop(),
         }
     }
 
@@ -93,13 +96,27 @@ impl UserPicker for Hybrid {
     }
 
     fn pick(&mut self, tenants: &[Tenant], step: usize, rng: &mut dyn rand::RngCore) -> usize {
-        if self.switched {
-            let choice = self.rr_cursor % tenants.len();
+        let choice = if self.switched {
+            let c = self.rr_cursor % tenants.len();
             self.rr_cursor += 1;
-            return choice;
-        }
-        let _ = step;
-        self.greedy.pick(tenants, step, rng)
+            c
+        } else {
+            // The inner greedy keeps its default (noop) recorder, so the
+            // only SchedulerDecision per round is the one below, labelled
+            // with the canonical "hybrid" rule name.
+            self.greedy.pick(tenants, step, rng)
+        };
+        self.recorder.emit(|| Event::SchedulerDecision {
+            round: step as u64,
+            user: choice,
+            rule: self.name().to_string(),
+            scores: if self.switched {
+                Vec::new()
+            } else {
+                self.greedy.decision_scores(tenants)
+            },
+        });
+        choice
     }
 
     fn after_observe(&mut self, tenants: &[Tenant], _served: usize) {
@@ -114,12 +131,23 @@ impl UserPicker for Hybrid {
             self.frozen_rounds += 1;
             if self.frozen_rounds >= self.patience {
                 self.switched = true;
+                self.recorder.emit(|| Event::HybridFallback {
+                    reason: format!(
+                        "candidate set {:?} unchanged and no regret improvement \
+                         for {} rounds (s = {}); switching to round robin",
+                        candidates, self.frozen_rounds, self.patience
+                    ),
+                });
             }
         } else {
             self.frozen_rounds = 0;
         }
         self.prev_candidates = candidates;
         self.prev_best_sum = self.prev_best_sum.max(best_sum);
+    }
+
+    fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
     }
 }
 
@@ -195,6 +223,42 @@ mod tests {
             assert_eq!(h.frozen_rounds(), 0);
         }
         assert!(!h.has_switched());
+    }
+
+    #[test]
+    fn fallback_event_marks_the_switch() {
+        use easeml_obs::{InMemoryRecorder, RecorderHandle};
+        use std::sync::Arc;
+        let mut ts = tenants(2, 1);
+        for _ in 0..5 {
+            ts[0].observe(0, 0.9);
+            ts[1].observe(0, 0.8);
+        }
+        let rec = Arc::new(InMemoryRecorder::new());
+        let mut h = Hybrid::new(PickRule::MaxUcbGap, 3);
+        h.set_recorder(RecorderHandle::new(rec.clone()));
+        let mut r = rng();
+        for step in 0..5 {
+            let u = h.pick(&ts, step, &mut r);
+            let below_best = ts[u].best_reward().unwrap() - 0.2;
+            ts[u].observe(0, below_best);
+            h.after_observe(&ts, u);
+        }
+        assert!(h.has_switched());
+        let fallbacks: Vec<_> = rec
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Event::HybridFallback { .. }))
+            .cloned()
+            .collect();
+        assert_eq!(fallbacks.len(), 1, "exactly one switch: {fallbacks:?}");
+        // Every pick produced a decision labelled with the canonical name.
+        let decisions = rec.event_counts();
+        assert_eq!(decisions.get("SchedulerDecision"), Some(&5));
+        assert!(rec.events().iter().all(|e| match e {
+            Event::SchedulerDecision { rule, .. } => rule == "hybrid",
+            _ => true,
+        }));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The user-picking interface and the workload-agnostic pickers.
 
 use crate::tenant::Tenant;
+use easeml_obs::{Event, RecorderHandle};
 
 /// The user-picking phase of the multi-tenant scheduler: given the current
 /// tenant states, decide who is served in global round `step` (0-based).
@@ -28,6 +29,11 @@ pub trait UserPicker {
     /// Hook invoked after the served tenant has observed its reward —
     /// HYBRID uses it for freeze detection.
     fn after_observe(&mut self, _tenants: &[Tenant], _served: usize) {}
+
+    /// Attaches a recorder through which the picker emits one
+    /// `SchedulerDecision` per pick (plus any strategy-specific events).
+    /// The default keeps the picker uninstrumented.
+    fn set_recorder(&mut self, _recorder: RecorderHandle) {}
 }
 
 /// First-come-first-served: serve the lowest-indexed tenant whose
@@ -35,7 +41,9 @@ pub trait UserPicker {
 /// algorithm" operationalized as "trained every candidate model"). Once all
 /// tenants are exhausted, falls back to round robin.
 #[derive(Debug, Clone, Default)]
-pub struct Fcfs;
+pub struct Fcfs {
+    recorder: RecorderHandle,
+}
 
 impl UserPicker for Fcfs {
     fn name(&self) -> &'static str {
@@ -43,16 +51,29 @@ impl UserPicker for Fcfs {
     }
 
     fn pick(&mut self, tenants: &[Tenant], step: usize, _rng: &mut dyn rand::RngCore) -> usize {
-        tenants
+        let user = tenants
             .iter()
             .position(|t| !t.exhausted())
-            .unwrap_or(step % tenants.len())
+            .unwrap_or(step % tenants.len());
+        self.recorder.emit(|| Event::SchedulerDecision {
+            round: step as u64,
+            user,
+            rule: self.name().to_string(),
+            scores: Vec::new(),
+        });
+        user
+    }
+
+    fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
     }
 }
 
 /// Round robin: serve user `t mod n` (§4.2, Theorem 2).
 #[derive(Debug, Clone, Default)]
-pub struct RoundRobin;
+pub struct RoundRobin {
+    recorder: RecorderHandle,
+}
 
 impl UserPicker for RoundRobin {
     fn name(&self) -> &'static str {
@@ -60,23 +81,47 @@ impl UserPicker for RoundRobin {
     }
 
     fn pick(&mut self, tenants: &[Tenant], step: usize, _rng: &mut dyn rand::RngCore) -> usize {
-        step % tenants.len()
+        let user = step % tenants.len();
+        self.recorder.emit(|| Event::SchedulerDecision {
+            round: step as u64,
+            user,
+            rule: self.name().to_string(),
+            scores: Vec::new(),
+        });
+        user
+    }
+
+    fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
     }
 }
 
 /// Uniformly random user choice — §5.3's RANDOM baseline ("round robin with
 /// replacement").
 #[derive(Debug, Clone, Default)]
-pub struct RandomPicker;
+pub struct RandomPicker {
+    recorder: RecorderHandle,
+}
 
 impl UserPicker for RandomPicker {
     fn name(&self) -> &'static str {
         "random"
     }
 
-    fn pick(&mut self, tenants: &[Tenant], _step: usize, rng: &mut dyn rand::RngCore) -> usize {
+    fn pick(&mut self, tenants: &[Tenant], step: usize, rng: &mut dyn rand::RngCore) -> usize {
         use rand::Rng;
-        rng.gen_range(0..tenants.len())
+        let user = rng.gen_range(0..tenants.len());
+        self.recorder.emit(|| Event::SchedulerDecision {
+            round: step as u64,
+            user,
+            rule: self.name().to_string(),
+            scores: Vec::new(),
+        });
+        user
+    }
+
+    fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
     }
 }
 
@@ -110,7 +155,7 @@ mod tests {
     #[test]
     fn round_robin_cycles() {
         let ts = tenants(3, 2);
-        let mut p = RoundRobin;
+        let mut p = RoundRobin::default();
         let mut r = rng();
         let picks: Vec<usize> = (0..7).map(|s| p.pick(&ts, s, &mut r)).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
@@ -121,7 +166,7 @@ mod tests {
     #[test]
     fn fcfs_sticks_with_the_first_unfinished_user() {
         let mut ts = tenants(2, 2);
-        let mut p = Fcfs;
+        let mut p = Fcfs::default();
         let mut r = rng();
         assert_eq!(p.pick(&ts, 0, &mut r), 0);
         ts[0].observe(0, 0.5);
@@ -138,9 +183,37 @@ mod tests {
     }
 
     #[test]
+    fn pickers_emit_one_decision_per_pick() {
+        use easeml_obs::InMemoryRecorder;
+        use std::sync::Arc;
+        let ts = tenants(3, 2);
+        let rec = Arc::new(InMemoryRecorder::new());
+        let mut p = RoundRobin::default();
+        p.set_recorder(RecorderHandle::new(rec.clone()));
+        let mut r = rng();
+        for s in 0..4 {
+            let user = p.pick(&ts, s, &mut r);
+            match &rec.events()[s] {
+                Event::SchedulerDecision {
+                    round,
+                    user: u,
+                    rule,
+                    scores,
+                } => {
+                    assert_eq!(*round, s as u64);
+                    assert_eq!(*u, user);
+                    assert_eq!(rule, "round-robin");
+                    assert!(scores.is_empty());
+                }
+                other => panic!("expected a SchedulerDecision, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn random_covers_all_users() {
         let ts = tenants(4, 2);
-        let mut p = RandomPicker;
+        let mut p = RandomPicker::default();
         let mut r = rng();
         let mut seen = [false; 4];
         for s in 0..200 {

@@ -63,6 +63,14 @@ impl Tenant {
         &self.policy
     }
 
+    /// Mutable access to the policy — for configuration such as
+    /// [`GpUcb::set_recorder`], not for feeding observations (use
+    /// [`Tenant::observe`], which also maintains the σ̃ recurrence).
+    #[inline]
+    pub fn policy_mut(&mut self) -> &mut GpUcb {
+        &mut self.policy
+    }
+
     /// Number of times this tenant has been served.
     #[inline]
     pub fn serves(&self) -> usize {

@@ -12,6 +12,7 @@
 use crate::picker::UserPicker;
 use crate::tenant::Tenant;
 use easeml_linalg::vec_ops;
+use easeml_obs::{Event, RecorderHandle};
 
 /// Deficit-based weighted fair user picking.
 ///
@@ -38,6 +39,7 @@ use easeml_linalg::vec_ops;
 pub struct WeightedFair {
     weights: Vec<f64>,
     credit: Vec<f64>,
+    recorder: RecorderHandle,
 }
 
 impl WeightedFair {
@@ -56,6 +58,7 @@ impl WeightedFair {
         WeightedFair {
             weights,
             credit: vec![0.0; n],
+            recorder: RecorderHandle::noop(),
         }
     }
 
@@ -75,7 +78,7 @@ impl UserPicker for WeightedFair {
         "weighted-fair"
     }
 
-    fn pick(&mut self, tenants: &[Tenant], _step: usize, _rng: &mut dyn rand::RngCore) -> usize {
+    fn pick(&mut self, tenants: &[Tenant], step: usize, _rng: &mut dyn rand::RngCore) -> usize {
         assert_eq!(
             tenants.len(),
             self.weights.len(),
@@ -88,8 +91,18 @@ impl UserPicker for WeightedFair {
             *c += w / total;
         }
         let choice = vec_ops::argmax(&self.credit).expect("at least one tenant");
+        self.recorder.emit(|| Event::SchedulerDecision {
+            round: step as u64,
+            user: choice,
+            rule: self.name().to_string(),
+            scores: self.credit.clone(),
+        });
         self.credit[choice] -= 1.0;
         choice
+    }
+
+    fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
     }
 }
 

@@ -3,8 +3,7 @@
 use easeml_bandit::{BetaSchedule, GpUcb};
 use easeml_gp::ArmPrior;
 use easeml_sched::{
-    Fcfs, Greedy, Hybrid, MultiTenantRegret, PickRule, RandomPicker, RoundRobin, Tenant,
-    UserPicker,
+    Fcfs, Greedy, Hybrid, MultiTenantRegret, PickRule, RandomPicker, RoundRobin, Tenant, UserPicker,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -22,10 +21,7 @@ fn tenant(id: usize, k: usize) -> Tenant {
 }
 
 /// A set of tenants with arbitrary observation histories applied.
-fn tenants_with_history(
-    n: usize,
-    k: usize,
-) -> impl Strategy<Value = Vec<Tenant>> {
+fn tenants_with_history(n: usize, k: usize) -> impl Strategy<Value = Vec<Tenant>> {
     prop::collection::vec((0..n, 0..k, 0.0f64..1.0), 0..24).prop_map(move |history| {
         let mut ts: Vec<Tenant> = (0..n).map(|i| tenant(i, k)).collect();
         for (user, arm, reward) in history {
@@ -45,9 +41,9 @@ proptest! {
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut pickers: Vec<Box<dyn UserPicker>> = vec![
-            Box::new(Fcfs),
-            Box::new(RoundRobin),
-            Box::new(RandomPicker),
+            Box::new(Fcfs::default()),
+            Box::new(RoundRobin::default()),
+            Box::new(RandomPicker::default()),
             Box::new(Greedy::new(PickRule::MaxUcbGap)),
             Box::new(Greedy::new(PickRule::MaxSigmaTilde)),
             Box::new(Greedy::new(PickRule::Random)),
@@ -82,7 +78,7 @@ proptest! {
         (n, rounds) in (2usize..6).prop_flat_map(|n| (Just(n), (n * 2)..(n * 10)))
     ) {
         let ts: Vec<Tenant> = (0..n).map(|i| tenant(i, 2)).collect();
-        let mut p = RoundRobin;
+        let mut p = RoundRobin::default();
         let mut rng = StdRng::seed_from_u64(1);
         let mut counts = vec![0usize; n];
         for s in 0..rounds {

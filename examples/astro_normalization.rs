@@ -14,10 +14,9 @@ use easeml_dsl::{match_templates, parse_program};
 fn main() {
     // The astrophysics group declares an image-recovery task (GAN-style
     // deconvolution, as in the paper's citation [30]).
-    let program = parse_program(
-        "{input: {[Tensor[128, 128, 3]], []}, output: {[Tensor[128, 128, 3]], []}}",
-    )
-    .expect("valid program");
+    let program =
+        parse_program("{input: {[Tensor[128, 128, 3]], []}, output: {[Tensor[128, 128, 3]], []}}")
+            .expect("valid program");
     let matched = match_templates(&program).expect("a template matches");
     println!("workload: {}", matched.workload);
     println!(

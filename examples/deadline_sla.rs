@@ -18,7 +18,7 @@ use rand::SeedableRng;
 fn main() {
     let names = ["astro", "meteo", "biology"];
     let k = 4; // candidate models per group
-    // Ground truth the scheduler cannot see.
+               // Ground truth the scheduler cannot see.
     let qualities = [
         [0.90, 0.70, 0.65, 0.60], // astro: huge potential, greedy loves it
         [0.55, 0.58, 0.60, 0.62], // meteo: small gains, greedy would starve it

@@ -12,7 +12,13 @@ use easeml_gp::{ArmPrior, Kernel, RbfKernel};
 fn main() {
     // Ground truth the policy cannot see: accuracy and cost per model.
     let names = [
-        "NIN", "GoogLeNet", "ResNet-50", "AlexNet", "BN-AlexNet", "ResNet-18", "VGG-16",
+        "NIN",
+        "GoogLeNet",
+        "ResNet-50",
+        "AlexNet",
+        "BN-AlexNet",
+        "ResNet-18",
+        "VGG-16",
         "SqueezeNet",
     ];
     let accuracy = [0.76, 0.83, 0.86, 0.72, 0.77, 0.82, 0.84, 0.73];

@@ -1,0 +1,68 @@
+//! Recording a simulation: HYBRID vs round robin with the observability
+//! layer attached.
+//!
+//! Runs the same synthetic workload under both schedulers with an
+//! [`easeml_obs::InMemoryRecorder`] plugged in, prints each recorder's
+//! human-readable summary (event totals, per-component latencies, per-user
+//! service stats), and dumps the first few lines of the HYBRID run's JSONL
+//! trace — the machine-readable stream a dashboard or notebook would
+//! consume.
+//!
+//! Run with: `cargo run --release --example trace_dump`
+
+use easeml::prelude::*;
+use easeml_gp::ArmPrior;
+use easeml_obs::{InMemoryRecorder, Recorder, RecorderHandle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn record_run(kind: SchedulerKind) -> (Arc<InMemoryRecorder>, SimTrace) {
+    let dataset = easeml_data::SynConfig {
+        num_users: 8,
+        num_models: 16,
+        ..easeml_data::SynConfig::paper(0.5, 1.0)
+    }
+    .generate(42)
+    .unit_cost_view();
+    let priors: Vec<ArmPrior> = (0..8).map(|_| ArmPrior::independent(16, 0.05)).collect();
+    let cfg = SimConfig {
+        budget: 64.0,
+        cost_aware: false,
+        noise_var: 1e-3,
+        delta: 0.1,
+    };
+
+    let rec = Arc::new(InMemoryRecorder::new());
+    let handle = RecorderHandle::new(rec.clone());
+    // The global hook additionally captures the library-internal timers
+    // (Cholesky, posterior refresh) that have no recorder parameter.
+    let previous = easeml_obs::set_global_recorder(Some(rec.clone() as Arc<dyn Recorder>));
+    let mut rng = StdRng::seed_from_u64(7);
+    let trace = simulate_with_recorder(&dataset, &priors, kind, &cfg, &mut rng, &handle);
+    easeml_obs::set_global_recorder(previous);
+    (rec, trace)
+}
+
+fn main() {
+    for kind in [SchedulerKind::EaseMl, SchedulerKind::RoundRobin] {
+        let (rec, trace) = record_run(kind);
+        println!("────────────────────────────────────────────────────────");
+        println!(
+            "scheduler {:<18} {} rounds, final mean loss {:.4}",
+            kind.name(),
+            trace.rounds,
+            easeml_linalg::vec_ops::mean(&trace.final_losses)
+        );
+        println!("────────────────────────────────────────────────────────");
+        println!("{}", rec.summary());
+
+        if kind == SchedulerKind::EaseMl {
+            println!("first 8 lines of the JSONL trace:");
+            for line in rec.to_jsonl().lines().take(8) {
+                println!("  {line}");
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally. Mirrors .github/workflows/ci.yml.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings denied)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "CI gate passed."

@@ -14,8 +14,7 @@ fn declarative_service_end_to_end() {
     let oracle: QualityOracle = Box::new(|user, model| {
         let info = model.info();
         TrainingOutcome {
-            accuracy: (0.55 + 0.01 * (user as f64) + 0.015 * (info.year as f64 - 2010.0))
-                .min(0.98),
+            accuracy: (0.55 + 0.01 * (user as f64) + 0.015 * (info.year as f64 - 2010.0)).min(0.98),
             cost: info.relative_cost,
         }
     });
@@ -34,8 +33,12 @@ fn declarative_service_end_to_end() {
         .unwrap();
 
     // Feed some data through the declarative operators.
-    server.storage().feed(vision, vec![(vec![0.1; 8], vec![1.0])]);
-    server.storage().feed(meteo, vec![(vec![0.2; 4], vec![0.0])]);
+    server
+        .storage()
+        .feed(vision, vec![(vec![0.1; 8], vec![1.0])]);
+    server
+        .storage()
+        .feed(meteo, vec![(vec![0.2; 4], vec![0.0])]);
     assert_eq!(server.storage().total_fed(), 2);
 
     let rounds = server.run_until(30.0);

@@ -126,7 +126,12 @@ fn fig15_hybrid_tracks_the_better_strategy_late() {
         ..ExperimentConfig::default()
     };
     let hybrid = run_experiment(&dataset, SchedulerKind::Hybrid, &cfg, 4);
-    let greedy = run_experiment(&dataset, SchedulerKind::Greedy(PickRule::MaxUcbGap), &cfg, 4);
+    let greedy = run_experiment(
+        &dataset,
+        SchedulerKind::Greedy(PickRule::MaxUcbGap),
+        &cfg,
+        4,
+    );
     let rr = run_experiment(&dataset, SchedulerKind::RoundRobin, &cfg, 4);
 
     let last = cfg.grid_points - 1;

@@ -1,0 +1,265 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Provides the `criterion_group!` / `criterion_main!` / `bench_function`
+//! surface this workspace uses, backed by a plain wall-clock loop instead
+//! of criterion's statistical machinery: each benchmark is warmed up,
+//! auto-calibrated to a sensible iteration count, then timed, and the
+//! mean/min per-iteration times are printed. Positional CLI arguments act
+//! as substring filters on benchmark names; `--bench`/`--test` harness
+//! flags from cargo are accepted and ignored.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped. Only the variants used in-tree exist,
+/// and the shim times one input per measurement regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup cost; inputs are created one at a time.
+    SmallInput,
+    /// Larger setup cost; treated the same as `SmallInput` here.
+    LargeInput,
+}
+
+/// Target wall-clock time for the measurement loop of one benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(300);
+/// Target wall-clock time for warm-up/calibration.
+const WARMUP_TARGET: Duration = Duration::from_millis(100);
+
+/// The benchmark registry/driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filters: Vec<String>,
+}
+
+impl Criterion {
+    /// Applies CLI arguments: positional arguments become name filters;
+    /// cargo's harness flags are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" | "--exact" | "--nocapture" | "--quiet" => {}
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time"
+                | "--sample-size" => {
+                    let _ = args.next(); // flag value, irrelevant here
+                }
+                other if other.starts_with('-') => {}
+                filter => self.filters.push(filter.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Runs `f` as a named benchmark unless it is filtered out.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if !self.filters.is_empty() && !self.filters.iter().any(|p| name.contains(p)) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            report: Report::default(),
+        };
+        f(&mut bencher);
+        let r = &bencher.report;
+        println!(
+            "{name:<44} {:>12}/iter  (min {:>12}, {} iters)",
+            format_ns(r.mean_ns),
+            format_ns(r.min_ns),
+            r.iters
+        );
+        self
+    }
+
+    /// Prints a trailing newline; kept for call-compatibility with
+    /// criterion's summary step in `criterion_main!`.
+    pub fn final_summary(&mut self) {
+        println!();
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Report {
+    mean_ns: f64,
+    min_ns: f64,
+    iters: u64,
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    report: Report,
+}
+
+impl Bencher {
+    /// Times `routine`, called back-to-back in a calibrated loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: find an iteration count that fills the warm-up target.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= WARMUP_TARGET || n >= 1 << 30 {
+                let per_iter = elapsed.as_nanos().max(1) as f64 / n as f64;
+                let total =
+                    ((MEASURE_TARGET.as_nanos() as f64 / per_iter) as u64).clamp(n, 1 << 32);
+                self.measure_iters(total, &mut routine);
+                return;
+            }
+            n = n.saturating_mul(4);
+        }
+    }
+
+    fn measure_iters<O, R: FnMut() -> O>(&mut self, total: u64, routine: &mut R) {
+        // Split the budget into batches so `min` reflects a best batch, not
+        // a single (possibly timer-resolution-limited) call.
+        let batches = 10u64;
+        let per_batch = (total / batches).max(1);
+        let mut sum_ns = 0f64;
+        let mut min_ns = f64::INFINITY;
+        let mut iters = 0u64;
+        for _ in 0..batches {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / per_batch as f64;
+            sum_ns += ns * per_batch as f64;
+            min_ns = min_ns.min(ns);
+            iters += per_batch;
+        }
+        self.report = Report {
+            mean_ns: sum_ns / iters as f64,
+            min_ns,
+            iters,
+        };
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibrate on timed sections only.
+        let mut n: u64 = 1;
+        let per_iter = loop {
+            let mut timed = Duration::ZERO;
+            for _ in 0..n {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                timed += start.elapsed();
+            }
+            if timed >= WARMUP_TARGET || n >= 1 << 24 {
+                break timed.as_nanos().max(1) as f64 / n as f64;
+            }
+            n = n.saturating_mul(4);
+        };
+        let total = ((MEASURE_TARGET.as_nanos() as f64 / per_iter) as u64).clamp(n, 1 << 28);
+        let mut sum_ns = 0f64;
+        let mut min_ns = f64::INFINITY;
+        for _ in 0..total {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let ns = start.elapsed().as_nanos() as f64;
+            sum_ns += ns;
+            min_ns = min_ns.min(ns);
+        }
+        self.report = Report {
+            mean_ns: sum_ns / total as f64,
+            min_ns,
+            iters: total,
+        };
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a single group function, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default();
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 8],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn filters_skip_non_matching() {
+        let mut c = Criterion {
+            filters: vec!["only_this".into()],
+        };
+        let mut ran = false;
+        c.bench_function("something_else", |b| {
+            ran = true;
+            b.iter(|| 1u8)
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert_eq!(format_ns(12.0), "12.0 ns");
+        assert_eq!(format_ns(12_000.0), "12.00 µs");
+        assert_eq!(format_ns(12_000_000.0), "12.00 ms");
+    }
+}

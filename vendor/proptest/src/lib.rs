@@ -1,0 +1,353 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Random-sampling property testing with the `proptest!` surface this
+//! workspace uses: range/`Just`/tuple strategies, `prop_map` /
+//! `prop_flat_map`, `prop::collection::vec`, `prop::option::of`,
+//! `prop::sample::select`, regex-string strategies, `prop_assert*!` and
+//! `prop_assume!`. Differences from upstream: cases are sampled from a
+//! deterministic per-test seed (derived from the test path, so runs are
+//! reproducible), and failing inputs are **not shrunk** — the panic reports
+//! the case number instead.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+mod regex;
+mod strategy;
+
+pub use strategy::{FlatMap, Just, Map, OptionStrategy, Select, Strategy, VecStrategy};
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` and is not counted.
+    Reject(String),
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Result type of one property-test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drives the accepted-case loop for one `proptest!` test.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Creates a runner with a seed derived deterministically from `name`.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        // FNV-1a over the test path: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRunner {
+            config,
+            name,
+            rng: TestRng::seed_from_u64(h),
+        }
+    }
+
+    /// Runs `case` until `config.cases` cases are accepted.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first failing case, or when rejections
+    /// (`prop_assume!`) exceed a generous multiple of the case budget.
+    pub fn run(&mut self, mut case: impl FnMut(&mut TestRng) -> TestCaseResult) {
+        let max_rejects = self.config.cases as u64 * 64 + 256;
+        let mut rejects = 0u64;
+        let mut accepted = 0u32;
+        while accepted < self.config.cases {
+            match case(&mut self.rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= max_rejects,
+                        "{}: too many prop_assume! rejections ({rejects}) — \
+                         strategy rarely satisfies the assumption",
+                        self.name
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "{}: property failed at accepted case #{accepted}: {msg}",
+                        self.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Namespaced strategy constructors, mirroring upstream's `prop::` paths.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+        /// A `Vec` whose length is drawn from `size` and whose elements are
+        /// drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy::new(element, size.into())
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use crate::strategy::{OptionStrategy, Strategy};
+
+        /// `None` about a quarter of the time, `Some(inner)` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy::new(inner)
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use crate::strategy::Select;
+
+        /// Uniformly selects one of the given values.
+        ///
+        /// # Panics
+        ///
+        /// Panics (on first use) if `values` is empty.
+        pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+            Select::new(values)
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Declares property tests. See the crate docs for supported shapes.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut runner = $crate::TestRunner::new(
+                    config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                runner.run(|__rng| {
+                    $(
+                        let $pat = {
+                            let __strategy = $strat;
+                            $crate::Strategy::generate(&__strategy, __rng)
+                        };
+                    )+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                    r
+                );
+            }
+        }
+    };
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l
+                );
+            }
+        }
+    };
+}
+
+/// Rejects the current case (not counted) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds((a, b, c) in (0usize..5, -1.0f64..1.0, 10u64..20)) {
+            prop_assert!(a < 5);
+            prop_assert!((-1.0..1.0).contains(&b));
+            prop_assert!((10..20).contains(&c));
+        }
+
+        #[test]
+        fn vec_respects_size_range(v in prop::collection::vec(0usize..3, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 3));
+        }
+
+        #[test]
+        fn flat_map_threads_values((n, v) in (1usize..5).prop_flat_map(|n| {
+            (Just(n), prop::collection::vec(0.0f64..1.0, n))
+        })) {
+            prop_assert_eq!(v.len(), n);
+        }
+
+        #[test]
+        fn map_transforms(x in (0usize..10).prop_map(|x| x * 2)) {
+            prop_assert_eq!(x % 2, 0);
+            prop_assert!(x < 20);
+        }
+
+        #[test]
+        fn regex_strings_match_shape(s in "[a-z][a-z0-9_]{0,8}") {
+            prop_assert!(!s.is_empty() && s.len() <= 9);
+            let mut chars = s.chars();
+            prop_assert!(chars.next().unwrap().is_ascii_lowercase());
+            prop_assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+
+        #[test]
+        fn select_picks_members(k in prop::sample::select(vec![2usize, 3, 5, 7])) {
+            prop_assert!([2, 3, 5, 7].contains(&k));
+        }
+
+        #[test]
+        fn option_of_produces_both(o in prop::option::of(0usize..10)) {
+            if let Some(x) = o {
+                prop_assert!(x < 10);
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0usize..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        use crate::Strategy;
+        let collect = || {
+            let mut runner = crate::TestRunner::new(ProptestConfig::with_cases(10), "det");
+            let mut seen = Vec::new();
+            runner.run(|rng| {
+                seen.push((0usize..1000).generate(rng));
+                Ok(())
+            });
+            seen
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_context() {
+        let mut runner = crate::TestRunner::new(ProptestConfig::with_cases(5), "fail");
+        runner.run(|_| Err(TestCaseError::fail("boom")));
+    }
+}

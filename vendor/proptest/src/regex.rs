@@ -1,0 +1,256 @@
+//! A tiny regex *generator*: turns a pattern into random matching strings.
+//!
+//! Supports the subset of regex syntax used as string strategies in this
+//! workspace: literal characters, `\`-escaped metacharacters, `.` (any
+//! printable ASCII), character classes `[...]` with ranges and escapes, and
+//! the quantifiers `{m}`, `{m,n}`, `*`, `+`, `?`. Unbounded quantifiers are
+//! capped at 8 repetitions. Unsupported syntax (alternation, groups,
+//! anchors) panics with the offending pattern so the test author notices.
+
+use crate::TestRng;
+use rand::Rng;
+
+/// One generatable unit of the pattern.
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A fixed character.
+    Literal(char),
+    /// Any printable ASCII character (what `.` means here).
+    Any,
+    /// One of an explicit set of characters (expanded from `[...]`).
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize, // inclusive
+}
+
+/// Generates a random string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let reps = if piece.min == piece.max {
+            piece.min
+        } else {
+            rng.gen_range(piece.min..piece.max + 1)
+        };
+        for _ in 0..reps {
+            out.push(sample_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        // Printable ASCII: 0x20 (space) through 0x7e (~).
+        Atom::Any => char::from(rng.gen_range(0x20u32..0x7f) as u8),
+        Atom::Class(chars) => chars[rng.gen_range(0..chars.len())],
+    }
+}
+
+/// Cap for `*` and `+`, mirroring proptest's small default string sizes.
+const UNBOUNDED_CAP: usize = 8;
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in regex {pattern:?}"));
+                i += 1;
+                Atom::Literal(unescape(c, pattern))
+            }
+            '[' => {
+                let (class, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                Atom::Class(class)
+            }
+            '(' | ')' | '|' | '^' | '$' | '*' | '+' | '?' => {
+                panic!(
+                    "unsupported regex syntax {:?} in pattern {pattern:?}",
+                    chars[i]
+                )
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max, next) = parse_quantifier(&chars, i, pattern);
+        i = next;
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn unescape(c: char, pattern: &str) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '{' | '}' | '[' | ']' | '(' | ')' | '.' | '*' | '+' | '?' | '|' | '^' | '$' | '\\'
+        | '-' | ',' | ':' | '/' | ' ' => c,
+        other => panic!("unsupported escape \\{other} in regex {pattern:?}"),
+    }
+}
+
+/// Parses the body of a `[...]` class, starting just past the `[`.
+/// Returns the expanded character set and the index past the closing `]`.
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let lo = if chars[i] == '\\' {
+            i += 1;
+            let c = *chars
+                .get(i)
+                .unwrap_or_else(|| panic!("dangling escape in class in regex {pattern:?}"));
+            i += 1;
+            unescape(c, pattern)
+        } else {
+            let c = chars[i];
+            i += 1;
+            c
+        };
+        // A `-` between two class members denotes a range; a leading or
+        // trailing `-` is a literal.
+        if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+            let hi = if chars[i + 1] == '\\' {
+                i += 2;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in class in regex {pattern:?}"));
+                i += 1;
+                unescape(c, pattern)
+            } else {
+                let c = chars[i + 1];
+                i += 2;
+                c
+            };
+            assert!(lo <= hi, "inverted range {lo}-{hi} in regex {pattern:?}");
+            for v in lo as u32..=hi as u32 {
+                set.push(char::from_u32(v).unwrap());
+            }
+        } else {
+            set.push(lo);
+        }
+    }
+    assert!(
+        i < chars.len(),
+        "unterminated character class in regex {pattern:?}"
+    );
+    assert!(
+        !set.is_empty(),
+        "empty character class in regex {pattern:?}"
+    );
+    (set, i + 1) // skip the `]`
+}
+
+/// Parses an optional quantifier at `i`. Returns (min, max, next index).
+fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('*') => (0, UNBOUNDED_CAP, i + 1),
+        Some('+') => (1, UNBOUNDED_CAP, i + 1),
+        Some('?') => (0, 1, i + 1),
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated {{...}} in regex {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                None => {
+                    let n = body
+                        .trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad repeat count in regex {pattern:?}"));
+                    (n, n)
+                }
+                Some((lo, hi)) => {
+                    let lo: usize = lo
+                        .trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad repeat bound in regex {pattern:?}"));
+                    let hi: usize = if hi.trim().is_empty() {
+                        lo.max(UNBOUNDED_CAP)
+                    } else {
+                        hi.trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad repeat bound in regex {pattern:?}"))
+                    };
+                    assert!(lo <= hi, "inverted repeat {{{body}}} in regex {pattern:?}");
+                    (lo, hi)
+                }
+            };
+            (min, max, close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn dot_quantified() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate_matching(".{0,120}", &mut r);
+            assert!(s.len() <= 120);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn escaped_class_star() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate_matching(r"[\{\}\[\]:, a-z0-9]*", &mut r);
+            assert!(s.len() <= UNBOUNDED_CAP);
+            assert!(s.chars().all(|c| {
+                "{}[]:, ".contains(c) || c.is_ascii_lowercase() || c.is_ascii_digit()
+            }));
+        }
+    }
+
+    #[test]
+    fn identifier_shape() {
+        let mut r = rng();
+        let mut seen_multi = false;
+        for _ in 0..100 {
+            let s = generate_matching("[a-z][a-z0-9_]{0,8}", &mut r);
+            assert!((1..=9).contains(&s.len()));
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            seen_multi |= s.len() > 1;
+        }
+        assert!(seen_multi);
+    }
+
+    #[test]
+    fn literals_and_exact_repeats() {
+        let mut r = rng();
+        assert_eq!(generate_matching("abc", &mut r), "abc");
+        assert_eq!(generate_matching("a{3}", &mut r), "aaa");
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! Provides the serialization half of serde's data model — the subset this
+//! workspace uses: [`Serialize`] over primitives, strings, options,
+//! sequences, maps, tuples, structs, and enum (unit / struct) variants,
+//! driven by a [`Serializer`] trait with the upstream method names so that
+//! both the vendored derive macro and hand-written impls read like ordinary
+//! serde code. Concrete serializers (e.g. the JSON-Lines writer) live in
+//! the crates that need them.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+pub mod ser;
+
+pub use ser::{Serialize, Serializer};

@@ -1,0 +1,231 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for the shapes this workspace
+//! actually derives: non-generic structs with named fields, and non-generic
+//! enums whose variants are unit or struct-like. The token stream is parsed
+//! by hand (`syn`/`quote` are unavailable offline); anything outside the
+//! supported shape produces a clear `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(code) => code.parse().expect("derive emitted invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+enum Shape {
+    Struct { fields: Vec<String> },
+    Enum { variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, field names for struct variants.
+    fields: Option<Vec<String>>,
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let (name, shape) = parse_item(input)?;
+    let body = match &shape {
+        Shape::Struct { fields } => {
+            let mut b = String::new();
+            b.push_str("use ::serde::ser::SerializeStruct as _;\n");
+            b.push_str(&format!(
+                "let mut st = serializer.serialize_struct({name:?}, {})?;\n",
+                fields.len()
+            ));
+            for f in fields {
+                b.push_str(&format!("st.serialize_field({f:?}, &self.{f})?;\n"));
+            }
+            b.push_str("st.end()");
+            b
+        }
+        Shape::Enum { variants } => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{vname} => serializer.serialize_unit_variant({name:?}, {idx}u32, {vname:?}),\n"
+                    )),
+                    Some(fields) => {
+                        let pat = fields.join(", ");
+                        let mut arm = format!("{name}::{vname} {{ {pat} }} => {{\n");
+                        arm.push_str("use ::serde::ser::SerializeStructVariant as _;\n");
+                        arm.push_str(&format!(
+                            "let mut sv = serializer.serialize_struct_variant({name:?}, {idx}u32, {vname:?}, {})?;\n",
+                            fields.len()
+                        ));
+                        for f in fields {
+                            arm.push_str(&format!("sv.serialize_field({f:?}, {f})?;\n"));
+                        }
+                        arm.push_str("sv.end()\n}\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    Ok(format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+           fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+             -> ::core::result::Result<S::Ok, S::Error> {{\n\
+             {body}\n\
+           }}\n\
+         }}"
+    ))
+}
+
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the vendored serde derive does not support generic types ({name})"
+            ));
+        }
+    }
+    // The next (and for our shapes, only remaining) group is the body.
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err(format!("unit struct {name} has nothing to serialize"))
+            }
+            Some(_) => continue, // e.g. a `where`-less trailing token
+            None => return Err(format!("missing body for {name}")),
+        }
+    };
+    match kind.as_str() {
+        "struct" => Ok((
+            name,
+            Shape::Struct {
+                fields: parse_named_fields(body)?,
+            },
+        )),
+        "enum" => Ok((
+            name,
+            Shape::Enum {
+                variants: parse_variants(body)?,
+            },
+        )),
+        other => Err(format!("cannot derive Serialize for `{other}` items")),
+    }
+}
+
+/// Skips leading `#[...]` attributes (incl. doc comments) and visibility.
+fn skip_attrs_and_vis(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a brace-group body on commas that sit outside nested `<...>`.
+fn split_top_level(body: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in body {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// `name: Type` pairs → field names (attributes and visibility skipped).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for item in split_top_level(body) {
+        let mut iter = item.into_iter().peekable();
+        skip_attrs_and_vis(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(i)) => fields.push(i.to_string()),
+            Some(other) => return Err(format!("unsupported field shape at {other:?}")),
+            None => continue,
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "only named fields are supported (expected `:`, found {other:?})"
+                ))
+            }
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for item in split_top_level(body) {
+        let mut iter = item.into_iter().peekable();
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            Some(other) => return Err(format!("unsupported variant shape at {other:?}")),
+            None => continue,
+        };
+        let fields = match iter.next() {
+            None => None,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Some(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "tuple variant {name} is not supported by the vendored serde derive; \
+                     use a struct variant"
+                ))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "explicit discriminant on {name} is not supported by the vendored serde derive"
+                ))
+            }
+            Some(other) => {
+                return Err(format!("unsupported token after variant {name}: {other:?}"))
+            }
+        };
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
