@@ -9,18 +9,21 @@
 //! * `sim/noop_handle_plumbed` — [`simulate_with_recorder`] with an
 //!   explicit noop handle, checking the plumbing itself costs nothing;
 //! * `sim/inmemory_recorder` — a fresh [`InMemoryRecorder`] per iteration,
-//!   the worst-case fully-recording path.
+//!   the worst-case fully-recording path;
+//! * `sim/tee_file_sink` — the live-telemetry stack: a [`TeeRecorder`]
+//!   fanning out to the in-memory recorder *and* a buffered
+//!   [`JsonlFileSink`], bounding the cost of streaming the trace to disk.
 //!
-//! The first two must be statistically indistinguishable; the third bounds
-//! the price of turning recording on. After the timings, one instrumented
-//! run dumps a machine-readable perf snapshot (JSONL trace + per-component
-//! quantiles) under `target/experiments/`.
+//! The first two must be statistically indistinguishable; the last two
+//! bound the price of turning recording on. After the timings, one
+//! instrumented run dumps a machine-readable perf snapshot (JSONL trace +
+//! per-component quantiles) under `target/experiments/`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use easeml::prelude::*;
 use easeml_data::{Dataset, SynConfig};
 use easeml_gp::ArmPrior;
-use easeml_obs::{InMemoryRecorder, RecorderHandle};
+use easeml_obs::{InMemoryRecorder, JsonlFileSink, RecorderHandle, StreamingSink, TeeRecorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -91,6 +94,32 @@ fn bench_overhead(c: &mut Criterion) {
             black_box(rec.num_events());
             trace
         })
+    });
+
+    c.bench_function("sim/tee_file_sink", |b| {
+        let path =
+            std::env::temp_dir().join(format!("easeml-obs-overhead-{}.jsonl", std::process::id()));
+        b.iter(|| {
+            let rec = Arc::new(InMemoryRecorder::new());
+            let sink = Arc::new(JsonlFileSink::create(&path).expect("temp trace file"));
+            let tee = Arc::new(
+                TeeRecorder::new(rec.clone()).with_sink(sink.clone() as Arc<dyn StreamingSink>),
+            );
+            let handle = RecorderHandle::new(tee.clone());
+            let mut rng = StdRng::seed_from_u64(7);
+            let trace = simulate_with_recorder(
+                black_box(&dataset),
+                black_box(&priors),
+                SchedulerKind::EaseMl,
+                &cfg,
+                &mut rng,
+                &handle,
+            );
+            tee.flush();
+            black_box(rec.num_events());
+            trace
+        });
+        let _ = std::fs::remove_file(&path);
     });
 }
 

@@ -14,6 +14,17 @@ pub enum JobStatus {
     Complete,
 }
 
+impl JobStatus {
+    /// Stable lowercase name, as exported in JSON status snapshots.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Exploring => "exploring",
+            JobStatus::Complete => "complete",
+        }
+    }
+}
+
 /// A user's task after schema matching: the parsed program, the matched
 /// workload template, and the candidate models the scheduler explores.
 #[derive(Debug, Clone)]
@@ -125,6 +136,13 @@ mod tests {
         assert_eq!(j.status(), JobStatus::Queued);
         assert_eq!(j.user(), 0);
         assert!(j.best_model().is_none());
+    }
+
+    #[test]
+    fn status_names_are_stable() {
+        assert_eq!(JobStatus::Queued.name(), "queued");
+        assert_eq!(JobStatus::Exploring.name(), "exploring");
+        assert_eq!(JobStatus::Complete.name(), "complete");
     }
 
     #[test]

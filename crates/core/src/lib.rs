@@ -69,7 +69,7 @@ pub mod prelude {
     pub use crate::job::{Job, JobStatus};
     pub use crate::metrics::{speedup_factor, AggregatedCurves};
     pub use crate::pool::{Task, TaskPool, TaskState};
-    pub use crate::server::EaseMl;
+    pub use crate::server::{EaseMl, StatusSnapshot, UserStatus};
     pub use crate::sim::{
         simulate, simulate_parallel, simulate_parallel_with_recorder, simulate_with_recorder,
         SchedulerKind, SimConfig, SimEvent, SimTrace,

@@ -19,6 +19,41 @@ use easeml_sched::{Hybrid, Tenant, UserPicker};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::Serialize;
+
+/// One user's entry in a [`StatusSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct UserStatus {
+    /// Tenant index.
+    pub user: usize,
+    /// Display name of the user / research group.
+    pub name: String,
+    /// Job lifecycle state (`"queued"` / `"exploring"` / `"complete"`).
+    pub status: String,
+    /// Training runs completed for this user.
+    pub served: usize,
+    /// Cost charged to this user so far.
+    pub cost: f64,
+    /// Name of the best model found so far, if any run completed.
+    pub best_model: Option<String>,
+    /// Accuracy of that best model.
+    pub best_accuracy: Option<f64>,
+}
+
+/// A point-in-time view of the whole service, built by
+/// [`EaseMl::status_snapshot`] and serialized by [`EaseMl::status_json`]
+/// for the `/status` telemetry endpoint.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StatusSnapshot {
+    /// Total simulated time (cost) the cluster has consumed.
+    pub elapsed_cost: f64,
+    /// Total training runs completed across all users.
+    pub completed_runs: usize,
+    /// Number of registered users.
+    pub num_users: usize,
+    /// Per-user status, in tenant-index order.
+    pub users: Vec<UserStatus>,
+}
 
 /// Outcome of one training run as reported by the quality oracle.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -202,6 +237,44 @@ impl EaseMl {
     pub fn statuses(&self) -> Vec<JobStatus> {
         self.jobs.iter().map(Job::status).collect()
     }
+
+    /// A point-in-time view of every user's job: status, served runs, cost
+    /// consumed, and current best model.
+    pub fn status_snapshot(&self) -> StatusSnapshot {
+        let cluster = self.cluster.lock();
+        let elapsed_cost = cluster.makespan();
+        let history = cluster.history();
+        let users = self
+            .users
+            .iter()
+            .zip(&self.jobs)
+            .map(|(account, job)| {
+                let best = job.best_model();
+                let runs = history.iter().filter(|r| r.run.user == account.id());
+                UserStatus {
+                    user: account.id(),
+                    name: account.name().to_string(),
+                    status: job.status().name().to_string(),
+                    served: runs.clone().count(),
+                    cost: runs.map(|r| r.run.cost).sum(),
+                    best_model: best.map(|(model, _)| model.name().to_string()),
+                    best_accuracy: best.map(|(_, accuracy)| accuracy),
+                }
+            })
+            .collect();
+        StatusSnapshot {
+            elapsed_cost,
+            completed_runs: history.len(),
+            num_users: self.users.len(),
+            users,
+        }
+    }
+
+    /// The status snapshot as compact JSON — what a telemetry hub serves
+    /// at `/status`.
+    pub fn status_json(&self) -> String {
+        easeml_obs::json::to_string(&self.status_snapshot())
+    }
 }
 
 #[cfg(test)]
@@ -304,6 +377,44 @@ mod tests {
         // Post-warm-up rounds go through HYBRID, which logs its decision.
         assert!(counts.get("SchedulerDecision").copied().unwrap_or(0) >= 10);
         assert_eq!(rec.timing(Component::SimRound).count(), 12);
+    }
+
+    #[test]
+    fn status_snapshot_tracks_progress_and_serializes() {
+        let mut s = EaseMl::new(toy_oracle(), 7);
+        s.register_user("vision-lab", IMAGE_PROG).unwrap();
+        s.register_user("meteo-lab", TS_PROG).unwrap();
+
+        let snap = s.status_snapshot();
+        assert_eq!(snap.num_users, 2);
+        assert_eq!(snap.completed_runs, 0);
+        assert_eq!(snap.elapsed_cost, 0.0);
+        assert_eq!(snap.users[0].status, "queued");
+        assert_eq!(snap.users[0].best_model, None);
+
+        for _ in 0..8 {
+            s.run_round();
+        }
+        let snap = s.status_snapshot();
+        assert_eq!(snap.completed_runs, 8);
+        assert!((snap.elapsed_cost - s.elapsed()).abs() < 1e-12);
+        assert_eq!(snap.users.len(), 2);
+        assert_eq!(snap.users[0].name, "vision-lab");
+        assert_eq!(snap.users[0].status, "exploring");
+        assert!(snap.users[0].best_model.is_some());
+        assert!(snap.users[0].best_accuracy.unwrap() > 0.0);
+        // Per-user served/cost reconcile with the global totals.
+        let served: usize = snap.users.iter().map(|u| u.served).sum();
+        assert_eq!(served, 8);
+        let cost: f64 = snap.users.iter().map(|u| u.cost).sum();
+        assert!((cost - snap.elapsed_cost).abs() < 1e-9);
+
+        // The JSON form carries the fields the /status endpoint promises.
+        let json = s.status_json();
+        assert!(json.starts_with("{\"elapsed_cost\":"), "{json}");
+        assert!(json.contains("\"users\":["), "{json}");
+        assert!(json.contains("\"name\":\"vision-lab\""), "{json}");
+        assert!(json.contains("\"status\":\"exploring\""), "{json}");
     }
 
     #[test]

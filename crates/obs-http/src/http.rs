@@ -1,0 +1,211 @@
+//! A deliberately small HTTP/1.1 subset: enough to parse `GET /path?query`
+//! request heads and write `Connection: close` responses. No keep-alive, no
+//! chunked encoding, no request bodies — every telemetry exchange is one
+//! short request, one full response, hang up.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on an accepted request head; anything longer is rejected
+/// before it can tie up memory.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// A parsed request line: method, path, and decoded query parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The HTTP method verbatim (`GET`, `POST`, ...).
+    pub method: String,
+    /// The path component, without the query string.
+    pub path: String,
+    /// `key=value` query parameters in order; keys without `=` get `""`.
+    pub query: Vec<(String, String)>,
+}
+
+impl Request {
+    /// The first value of query parameter `key`, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads a request head (through the blank line) from `stream` and parses
+/// its request line. Headers are read and discarded — routing needs none of
+/// them.
+///
+/// # Errors
+///
+/// Propagates I/O errors; malformed or oversized heads become
+/// `InvalidData`.
+pub fn read_request(stream: &mut impl Read) -> io::Result<Request> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    // One byte at a time is fine here: requests are ~100 bytes and the
+    // alternative (buffered reads) would need to hold back body bytes.
+    while !head.ends_with(b"\r\n\r\n") && !head.ends_with(b"\n\n") {
+        if head.len() >= MAX_HEAD_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request head too large",
+            ));
+        }
+        match stream.read(&mut byte)? {
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-request",
+                ))
+            }
+            _ => head.push(byte[0]),
+        }
+    }
+    let head = String::from_utf8(head)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 request head"))?;
+    let line = head.lines().next().unwrap_or_default();
+    parse_request_line(line)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed request line"))
+}
+
+/// Parses `"GET /path?a=1 HTTP/1.1"` into a [`Request`].
+pub fn parse_request_line(line: &str) -> Option<Request> {
+    let mut parts = line.split_ascii_whitespace();
+    let method = parts.next()?.to_string();
+    let target = parts.next()?;
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/") || parts.next().is_some() {
+        return None;
+    }
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    if !path.starts_with('/') {
+        return None;
+    }
+    let query = query_str
+        .split('&')
+        .filter(|s| !s.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect();
+    Some(Request {
+        method,
+        path: path.to_string(),
+        query,
+    })
+}
+
+/// An HTTP status line the telemetry endpoint can answer with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// 200
+    Ok,
+    /// 400
+    BadRequest,
+    /// 404
+    NotFound,
+    /// 405
+    MethodNotAllowed,
+}
+
+impl Status {
+    fn line(self) -> &'static str {
+        match self {
+            Status::Ok => "200 OK",
+            Status::BadRequest => "400 Bad Request",
+            Status::NotFound => "404 Not Found",
+            Status::MethodNotAllowed => "405 Method Not Allowed",
+        }
+    }
+}
+
+/// Writes one complete `Connection: close` response.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying stream.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: Status,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status.line(),
+        content_type,
+        body.len(),
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_parse() {
+        let r = parse_request_line("GET /metrics HTTP/1.1").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/metrics");
+        assert!(r.query.is_empty());
+
+        let r = parse_request_line("GET /trace?after=17&flag HTTP/1.0").unwrap();
+        assert_eq!(r.path, "/trace");
+        assert_eq!(r.query_param("after"), Some("17"));
+        assert_eq!(r.query_param("flag"), Some(""));
+        assert_eq!(r.query_param("missing"), None);
+    }
+
+    #[test]
+    fn malformed_request_lines_are_rejected() {
+        for bad in [
+            "",
+            "GET",
+            "GET /x",
+            "GET /x HTTP/1.1 extra",
+            "GET x HTTP/1.1",
+            "GET /x FTP/1.1",
+        ] {
+            assert!(parse_request_line(bad).is_none(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn read_request_consumes_the_full_head() {
+        let raw = b"GET /healthz HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n";
+        let mut cursor = io::Cursor::new(raw.to_vec());
+        let r = read_request(&mut cursor).unwrap();
+        assert_eq!(r.path, "/healthz");
+    }
+
+    #[test]
+    fn truncated_heads_error() {
+        let mut cursor = io::Cursor::new(b"GET /healthz HTTP/1.1\r\n".to_vec());
+        assert!(read_request(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn oversized_heads_error() {
+        let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
+        raw.resize(raw.len() + MAX_HEAD_BYTES + 10, b'a');
+        let mut cursor = io::Cursor::new(raw);
+        assert!(read_request(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn responses_have_content_length_and_close() {
+        let mut out = Vec::new();
+        write_response(&mut out, Status::Ok, "text/plain", "hello").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 5\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nhello"), "{text}");
+    }
+}

@@ -1,0 +1,372 @@
+//! Live telemetry endpoint for the ease.ml reproduction.
+//!
+//! `easeml-obs` captures what the multi-tenant scheduler is doing;
+//! this crate makes that visible *while it happens* over plain HTTP/1.1 —
+//! no external dependencies, just `std::net::TcpListener` and a thread per
+//! connection. Four routes:
+//!
+//! | Route            | Content                                             |
+//! |------------------|-----------------------------------------------------|
+//! | `GET /healthz`   | `ok` (liveness probe)                               |
+//! | `GET /metrics`   | Prometheus text format: event/counter/gauge values, |
+//! |                  | per-component latency histograms, per-tenant regret |
+//! | `GET /status`    | JSON scheduler snapshot pushed by the application   |
+//! | `GET /trace`     | JSONL event trace; `?after=<seq>` tails only events |
+//! |                  | with sequence number strictly greater than `seq`    |
+//!
+//! The application side is a [`TelemetryHub`]: it owns the
+//! [`InMemoryRecorder`] the scheduler writes through, optionally a
+//! [`TimeSeriesRecorder`] for per-tenant
+//! regret curves, and a status JSON slot the application refreshes whenever
+//! convenient. [`TelemetryServer::serve`] binds an address (port 0 picks a
+//! free port) and answers from the hub until dropped or
+//! [`TelemetryServer::shutdown`] is called.
+//!
+//! ```no_run
+//! use easeml_obs::InMemoryRecorder;
+//! use easeml_obs_http::{TelemetryHub, TelemetryServer};
+//! use std::sync::Arc;
+//!
+//! let recorder = Arc::new(InMemoryRecorder::new());
+//! let hub = Arc::new(TelemetryHub::new(recorder.clone()));
+//! let server = TelemetryServer::serve("127.0.0.1:0", hub).unwrap();
+//! println!("metrics at http://{}/metrics", server.local_addr());
+//! // ... run the simulation, recording through `recorder` ...
+//! drop(server); // unbinds and joins the accept loop
+//! ```
+
+mod http;
+mod render;
+
+use easeml_obs::{InMemoryRecorder, TimeSeriesRecorder};
+use parking_lot::Mutex;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+pub use http::{parse_request_line, read_request, write_response, Request, Status};
+pub use render::render_metrics;
+
+/// How long a connection may dribble its request in before being dropped.
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// The shared state the telemetry endpoint serves from.
+///
+/// The hub is passive: the scheduler records through the wrapped
+/// [`InMemoryRecorder`] (usually via a
+/// [`TeeRecorder`](easeml_obs::TeeRecorder) that also feeds a file sink),
+/// and each HTTP request renders whatever state exists at that instant.
+pub struct TelemetryHub {
+    recorder: Arc<InMemoryRecorder>,
+    series: Option<Arc<TimeSeriesRecorder>>,
+    status_json: Mutex<String>,
+}
+
+impl TelemetryHub {
+    /// A hub serving metrics and traces from `recorder`.
+    pub fn new(recorder: Arc<InMemoryRecorder>) -> Self {
+        TelemetryHub {
+            recorder,
+            series: None,
+            status_json: Mutex::new("{}".to_string()),
+        }
+    }
+
+    /// Attaches a time-series recorder; `/metrics` then also exposes the
+    /// per-tenant regret / cost / arm-pull families.
+    pub fn with_series(mut self, series: Arc<TimeSeriesRecorder>) -> Self {
+        self.series = Some(series);
+        self
+    }
+
+    /// The recorder this hub serves from.
+    pub fn recorder(&self) -> &Arc<InMemoryRecorder> {
+        &self.recorder
+    }
+
+    /// The attached time-series recorder, if any.
+    pub fn series(&self) -> Option<&Arc<TimeSeriesRecorder>> {
+        self.series.as_ref()
+    }
+
+    /// Replaces the JSON document served at `/status`. The application
+    /// pushes a fresh snapshot whenever convenient (e.g. once per round).
+    pub fn set_status_json(&self, json: String) {
+        *self.status_json.lock() = json;
+    }
+
+    /// Renders the `/metrics` payload.
+    pub fn render_metrics(&self) -> String {
+        let snapshot = self.series.as_ref().map(|s| s.snapshot());
+        render::render_metrics(&self.recorder, snapshot.as_ref())
+    }
+
+    /// The current `/status` payload.
+    pub fn status_json(&self) -> String {
+        self.status_json.lock().clone()
+    }
+
+    /// Renders the `/trace` payload: events with sequence number strictly
+    /// greater than `after`, as JSON Lines.
+    pub fn render_trace_since(&self, after: u64) -> String {
+        self.recorder.to_jsonl_since(after)
+    }
+
+    /// Routes one parsed request to its response. Exposed for tests and
+    /// for embedding the routing into another server.
+    pub fn respond(&self, request: &Request) -> (Status, &'static str, String) {
+        if request.method != "GET" {
+            return (
+                Status::MethodNotAllowed,
+                "text/plain; charset=utf-8",
+                "only GET is supported\n".to_string(),
+            );
+        }
+        match request.path.as_str() {
+            "/healthz" => (Status::Ok, "text/plain; charset=utf-8", "ok\n".to_string()),
+            "/metrics" => (
+                Status::Ok,
+                "text/plain; version=0.0.4; charset=utf-8",
+                self.render_metrics(),
+            ),
+            "/status" => (Status::Ok, "application/json", self.status_json()),
+            "/trace" => match request.query_param("after").unwrap_or("0").parse::<u64>() {
+                Ok(after) => (
+                    Status::Ok,
+                    "application/x-ndjson",
+                    self.render_trace_since(after),
+                ),
+                Err(_) => (
+                    Status::BadRequest,
+                    "text/plain; charset=utf-8",
+                    "after must be an unsigned integer\n".to_string(),
+                ),
+            },
+            _ => (
+                Status::NotFound,
+                "text/plain; charset=utf-8",
+                "unknown route; try /healthz, /metrics, /status, /trace\n".to_string(),
+            ),
+        }
+    }
+}
+
+/// A running telemetry endpoint: an accept loop on its own thread, one
+/// short-lived thread per connection.
+///
+/// Dropping the server shuts it down and joins the accept loop.
+pub struct TelemetryServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// answering from `hub`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error, e.g. when the port is taken.
+    pub fn serve(addr: impl ToSocketAddrs, hub: Arc<TelemetryHub>) -> io::Result<TelemetryServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = stop.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("easeml-telemetry".to_string())
+            .spawn(move || accept_loop(&listener, &accept_stop, &hub))?;
+        Ok(TelemetryServer {
+            local_addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address the server actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting connections and joins the accept loop. Idempotent;
+    /// also called on drop.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool, hub: &Arc<TelemetryHub>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let hub = hub.clone();
+        // Connection threads are detached: each serves one request with a
+        // read timeout and exits, so none outlives the server by long.
+        let _ = std::thread::Builder::new()
+            .name("easeml-telemetry-conn".to_string())
+            .spawn(move || handle_connection(stream, &hub));
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, hub: &TelemetryHub) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let (status, content_type, body) = match http::read_request(&mut stream) {
+        Ok(request) => hub.respond(&request),
+        Err(_) => (
+            Status::BadRequest,
+            "text/plain; charset=utf-8",
+            "malformed request\n".to_string(),
+        ),
+    };
+    let _ = http::write_response(&mut stream, status, content_type, &body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easeml_obs::{Event, Recorder};
+    use std::io::{Read, Write};
+
+    fn get(addr: SocketAddr, target: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let (head, body) = raw.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    fn sample_hub() -> Arc<TelemetryHub> {
+        let recorder = Arc::new(InMemoryRecorder::new());
+        for arm in 0..4usize {
+            recorder.record(Event::TrainingCompleted {
+                user: arm % 2,
+                model: arm,
+                cost: 1.0,
+                quality: 0.5 + 0.1 * arm as f64,
+            });
+        }
+        let series = Arc::new(TimeSeriesRecorder::new());
+        for event in recorder.events() {
+            series.fold(&event);
+        }
+        let hub = Arc::new(TelemetryHub::new(recorder).with_series(series));
+        hub.set_status_json("{\"elapsed_cost\":4.0}".to_string());
+        hub
+    }
+
+    #[test]
+    fn endpoints_answer_over_real_tcp() {
+        let hub = sample_hub();
+        let server = TelemetryServer::serve("127.0.0.1:0", hub).unwrap();
+        let addr = server.local_addr();
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "ok\n");
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+        assert!(body.contains("easeml_events_total 4"), "{body}");
+        assert!(body.contains("easeml_user_regret{user=\"0\"}"), "{body}");
+
+        let (head, body) = get(addr, "/status");
+        assert!(head.contains("application/json"), "{head}");
+        assert_eq!(body, "{\"elapsed_cost\":4.0}");
+
+        let (_, body) = get(addr, "/trace");
+        assert_eq!(body.lines().count(), 4);
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    }
+
+    #[test]
+    fn trace_after_returns_only_newer_events() {
+        let hub = sample_hub();
+        let server = TelemetryServer::serve("127.0.0.1:0", hub.clone()).unwrap();
+        let addr = server.local_addr();
+
+        let (_, body) = get(addr, "/trace?after=3");
+        assert_eq!(body.lines().count(), 1);
+        let event = Event::from_json(body.lines().next().unwrap()).unwrap();
+        assert!(matches!(event, Event::TrainingCompleted { model: 3, .. }));
+
+        let (_, body) = get(addr, "/trace?after=4");
+        assert_eq!(body, "");
+        // A cursor past the end stays empty rather than erroring.
+        let (head, body) = get(addr, "/trace?after=999");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "");
+
+        let (head, _) = get(addr, "/trace?after=-1");
+        assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+        let (head, _) = get(addr, "/trace?after=xyz");
+        assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+    }
+
+    #[test]
+    fn non_get_methods_are_rejected() {
+        let hub = sample_hub();
+        let server = TelemetryServer::serve("127.0.0.1:0", hub).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_unbinds() {
+        let hub = sample_hub();
+        let mut server = TelemetryServer::serve("127.0.0.1:0", hub).unwrap();
+        let addr = server.local_addr();
+        server.shutdown();
+        server.shutdown();
+        // The port is released: binding it again succeeds.
+        let listener = TcpListener::bind(addr);
+        assert!(listener.is_ok(), "{listener:?}");
+    }
+
+    #[test]
+    fn metrics_render_while_recording_concurrently() {
+        let recorder = Arc::new(InMemoryRecorder::new());
+        let hub = Arc::new(TelemetryHub::new(recorder.clone()));
+        let server = TelemetryServer::serve("127.0.0.1:0", hub).unwrap();
+        let addr = server.local_addr();
+        let writer = std::thread::spawn(move || {
+            for i in 0..200usize {
+                recorder.record(Event::PosteriorUpdated {
+                    arm: i % 8,
+                    reward: 0.5,
+                    num_obs: i + 1,
+                });
+            }
+        });
+        for _ in 0..5 {
+            let (head, body) = get(addr, "/metrics");
+            assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+            assert!(body.contains("easeml_events_total"), "{body}");
+        }
+        writer.join().unwrap();
+        let (_, body) = get(addr, "/trace?after=190");
+        assert_eq!(body.lines().count(), 10);
+    }
+}

@@ -1,0 +1,422 @@
+//! Rendering recorder state in the Prometheus text exposition format
+//! (version 0.0.4): `# HELP` / `# TYPE` headers, cumulative `le=` histogram
+//! buckets with a closing `+Inf`, and escaped label values.
+
+use easeml_obs::{Component, Histogram, InMemoryRecorder, TimeSeriesSnapshot};
+use std::fmt::Write as _;
+
+/// Renders the full `/metrics` payload from an in-memory recorder plus an
+/// optional time-series snapshot (per-tenant regret/cost/arm-pull series
+/// are only available when one is attached).
+pub fn render_metrics(recorder: &InMemoryRecorder, series: Option<&TimeSeriesSnapshot>) -> String {
+    let mut out = String::new();
+
+    write_header(
+        &mut out,
+        "easeml_events_total",
+        "counter",
+        "Total structured events recorded.",
+    );
+    let _ = writeln!(out, "easeml_events_total {}", recorder.num_events());
+
+    let by_type = recorder.event_counts();
+    if !by_type.is_empty() {
+        write_header(
+            &mut out,
+            "easeml_events_by_type_total",
+            "counter",
+            "Structured events recorded, by variant.",
+        );
+        for (name, count) in &by_type {
+            let _ = writeln!(
+                out,
+                "easeml_events_by_type_total{{type=\"{}\"}} {count}",
+                escape_label(name)
+            );
+        }
+    }
+
+    let counters = recorder.counters();
+    if !counters.is_empty() {
+        write_header(
+            &mut out,
+            "easeml_counter_total",
+            "counter",
+            "Named monotonic counters.",
+        );
+        for (name, value) in &counters {
+            let _ = writeln!(
+                out,
+                "easeml_counter_total{{name=\"{}\"}} {value}",
+                escape_label(name)
+            );
+        }
+    }
+
+    let gauges = recorder.gauges();
+    if !gauges.is_empty() {
+        write_header(&mut out, "easeml_gauge", "gauge", "Named gauges.");
+        for (name, value) in &gauges {
+            let _ = writeln!(
+                out,
+                "easeml_gauge{{name=\"{}\"}} {}",
+                escape_label(name),
+                fmt_f64(*value)
+            );
+        }
+    }
+
+    render_latency_histograms(&mut out, recorder);
+
+    if let Some(snap) = series {
+        render_series(&mut out, snap);
+    }
+
+    out
+}
+
+fn render_latency_histograms(out: &mut String, recorder: &InMemoryRecorder) {
+    let populated: Vec<(Component, Histogram)> = Component::ALL
+        .iter()
+        .map(|&c| (c, recorder.timing(c)))
+        .filter(|(_, h)| h.count() > 0)
+        .collect();
+    if populated.is_empty() {
+        return;
+    }
+    write_header(
+        out,
+        "easeml_component_latency_ns",
+        "histogram",
+        "Per-component wall-clock latency in nanoseconds.",
+    );
+    for (component, hist) in &populated {
+        let label = escape_label(component.name());
+        let mut cumulative = 0u64;
+        for (i, &count) in hist.buckets().iter().enumerate() {
+            cumulative += count;
+            // Trim the long tail of empty buckets past the observed max,
+            // but keep every populated edge so quantiles reconstruct.
+            if cumulative == 0 && count == 0 {
+                continue;
+            }
+            let Some(upper) = Histogram::bucket_upper_ns(i) else {
+                break; // the overflow bucket is covered by +Inf below
+            };
+            let _ = writeln!(
+                out,
+                "easeml_component_latency_ns_bucket{{component=\"{label}\",le=\"{upper}\"}} {cumulative}",
+            );
+            if cumulative == hist.count() {
+                break;
+            }
+        }
+        let _ = writeln!(
+            out,
+            "easeml_component_latency_ns_bucket{{component=\"{label}\",le=\"+Inf\"}} {}",
+            hist.count()
+        );
+        let _ = writeln!(
+            out,
+            "easeml_component_latency_ns_sum{{component=\"{label}\"}} {}",
+            hist.sum_ns()
+        );
+        let _ = writeln!(
+            out,
+            "easeml_component_latency_ns_count{{component=\"{label}\"}} {}",
+            hist.count()
+        );
+    }
+}
+
+fn render_series(out: &mut String, snap: &TimeSeriesSnapshot) {
+    write_header(
+        out,
+        "easeml_sim_clock",
+        "gauge",
+        "Simulated clock: cumulative cost across all completed runs.",
+    );
+    let _ = writeln!(out, "easeml_sim_clock {}", fmt_f64(snap.clock));
+
+    write_header(
+        out,
+        "easeml_rounds_total",
+        "counter",
+        "Completed training runs.",
+    );
+    let _ = writeln!(out, "easeml_rounds_total {}", snap.rounds);
+
+    write_header(
+        out,
+        "easeml_scheduler_decisions_total",
+        "counter",
+        "Scheduler user-picking decisions.",
+    );
+    let _ = writeln!(out, "easeml_scheduler_decisions_total {}", snap.decisions);
+
+    write_header(
+        out,
+        "easeml_fallback_active",
+        "gauge",
+        "1 once the hybrid scheduler has switched to round robin.",
+    );
+    let _ = writeln!(
+        out,
+        "easeml_fallback_active {}",
+        u8::from(snap.fallback_active)
+    );
+
+    write_header(
+        out,
+        "easeml_fallback_rate",
+        "gauge",
+        "Fraction of scheduler decisions taken in fallback mode.",
+    );
+    let _ = writeln!(
+        out,
+        "easeml_fallback_rate {}",
+        fmt_f64(snap.fallback_rate())
+    );
+
+    if snap.users.is_empty() {
+        return;
+    }
+
+    write_header(
+        out,
+        "easeml_user_regret",
+        "gauge",
+        "Per-tenant regret: target quality minus best quality reached.",
+    );
+    for (user, series) in &snap.users {
+        let _ = writeln!(
+            out,
+            "easeml_user_regret{{user=\"{user}\"}} {}",
+            fmt_f64(series.regret())
+        );
+    }
+
+    write_header(
+        out,
+        "easeml_user_best_quality",
+        "gauge",
+        "Per-tenant best model quality reached so far.",
+    );
+    for (user, series) in &snap.users {
+        let _ = writeln!(
+            out,
+            "easeml_user_best_quality{{user=\"{user}\"}} {}",
+            fmt_f64(series.best_quality)
+        );
+    }
+
+    write_header(
+        out,
+        "easeml_user_cost_total",
+        "counter",
+        "Per-tenant cumulative training cost.",
+    );
+    for (user, series) in &snap.users {
+        let _ = writeln!(
+            out,
+            "easeml_user_cost_total{{user=\"{user}\"}} {}",
+            fmt_f64(series.cumulative_cost)
+        );
+    }
+
+    write_header(
+        out,
+        "easeml_user_served_total",
+        "counter",
+        "Per-tenant completed training runs.",
+    );
+    for (user, series) in &snap.users {
+        let _ = writeln!(
+            out,
+            "easeml_user_served_total{{user=\"{user}\"}} {}",
+            series.served
+        );
+    }
+
+    write_header(
+        out,
+        "easeml_user_arm_pulls_total",
+        "counter",
+        "Per-tenant training runs per model (arm).",
+    );
+    for (user, series) in &snap.users {
+        for (arm, pulls) in &series.arm_pulls {
+            let _ = writeln!(
+                out,
+                "easeml_user_arm_pulls_total{{user=\"{user}\",arm=\"{arm}\"}} {pulls}"
+            );
+        }
+    }
+}
+
+fn write_header(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Escapes a Prometheus label value: backslash, double quote, newline.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Prometheus float formatting: finite values via Rust's shortest form,
+/// non-finite as `NaN` / `+Inf` / `-Inf`.
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easeml_obs::{Event, Recorder, TimeSeriesRecorder};
+
+    fn sample_recorder() -> InMemoryRecorder {
+        let r = InMemoryRecorder::new();
+        r.record(Event::TrainingCompleted {
+            user: 0,
+            model: 2,
+            cost: 1.5,
+            quality: 0.7,
+        });
+        r.add_counter("rounds", 3);
+        r.set_gauge("budget-left", 0.25);
+        r.record_timing(Component::SchedulerPick, 900);
+        r.record_timing(Component::SchedulerPick, 5_000);
+        r
+    }
+
+    #[test]
+    fn metrics_cover_events_counters_gauges() {
+        let text = render_metrics(&sample_recorder(), None);
+        assert!(text.contains("easeml_events_total 1"), "{text}");
+        assert!(
+            text.contains("easeml_events_by_type_total{type=\"TrainingCompleted\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("easeml_counter_total{name=\"rounds\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("easeml_gauge{name=\"budget-left\"} 0.25"),
+            "{text}"
+        );
+        // Every exposed metric family carries HELP/TYPE headers.
+        for family in [
+            "easeml_events_total",
+            "easeml_counter_total",
+            "easeml_gauge",
+            "easeml_component_latency_ns",
+        ] {
+            assert!(text.contains(&format!("# HELP {family} ")), "{family}");
+            assert!(text.contains(&format!("# TYPE {family} ")), "{family}");
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_close_with_inf() {
+        let text = render_metrics(&sample_recorder(), None);
+        // 900ns lands in [512,1024), 5000ns in [4096,8192): the le="1024"
+        // bucket holds 1 cumulative sample, le="8192" both.
+        assert!(
+            text.contains(
+                "easeml_component_latency_ns_bucket{component=\"sched/pick\",le=\"1024\"} 1"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "easeml_component_latency_ns_bucket{component=\"sched/pick\",le=\"8192\"} 2"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "easeml_component_latency_ns_bucket{component=\"sched/pick\",le=\"+Inf\"} 2"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("easeml_component_latency_ns_sum{component=\"sched/pick\"} 5900"),
+            "{text}"
+        );
+        assert!(
+            text.contains("easeml_component_latency_ns_count{component=\"sched/pick\"} 2"),
+            "{text}"
+        );
+        // Untimed components are omitted entirely.
+        assert!(!text.contains("cholesky/factor"), "{text}");
+    }
+
+    #[test]
+    fn series_metrics_expose_per_user_regret() {
+        let ts = TimeSeriesRecorder::new();
+        ts.set_target(0, 0.9);
+        ts.fold(&Event::TrainingCompleted {
+            user: 0,
+            model: 2,
+            cost: 1.0,
+            quality: 0.4, // 0.9 - 0.4 is exactly representable (0.5)
+        });
+        ts.fold(&Event::TrainingCompleted {
+            user: 1,
+            model: 0,
+            cost: 2.0,
+            quality: 0.75,
+        });
+        let text = render_metrics(&InMemoryRecorder::new(), Some(&ts.snapshot()));
+        assert!(
+            text.contains("easeml_user_regret{user=\"0\"} 0.5"),
+            "{text}"
+        );
+        assert!(
+            text.contains("easeml_user_regret{user=\"1\"} 0.25"),
+            "{text}"
+        );
+        assert!(
+            text.contains("easeml_user_cost_total{user=\"1\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("easeml_user_arm_pulls_total{user=\"0\",arm=\"2\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("easeml_sim_clock 3"), "{text}");
+        assert!(text.contains("easeml_fallback_active 0"), "{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label("plain/name"), "plain/name");
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn float_formatting_is_prometheus_compatible() {
+        assert_eq!(fmt_f64(0.25), "0.25");
+        assert_eq!(fmt_f64(3.0), "3");
+        assert_eq!(fmt_f64(f64::NAN), "NaN");
+        assert_eq!(fmt_f64(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_f64(f64::NEG_INFINITY), "-Inf");
+    }
+}

@@ -38,14 +38,33 @@
 //!            recorder.events()[0]);
 //! println!("{}", recorder.summary());
 //! ```
+//!
+//! For *live* telemetry — a run that must be observable while it executes —
+//! compose the export layer instead of the bare in-memory recorder:
+//!
+//! * [`TeeRecorder`] forwards every call to a primary recorder while
+//!   fanning the event stream out to [`StreamingSink`]s;
+//! * [`JsonlFileSink`] streams the trace to disk with size-based rotation,
+//!   so a long run never accumulates its trace unboundedly in memory;
+//! * [`TimeSeriesRecorder`] folds the stream into per-tenant regret curves
+//!   against the simulated clock (the paper's Fig. 8 trajectories, live);
+//! * [`InMemoryRecorder::events_since`] tails the trace incrementally —
+//!   the contract behind the `easeml-obs-http` crate's `/trace?after=`
+//!   endpoint.
 
 mod event;
 pub mod json;
 mod memory;
 mod recorder;
+mod sink;
 mod timer;
+mod timeseries;
 
 pub use event::Event;
 pub use memory::{Histogram, InMemoryRecorder, UserStats};
 pub use recorder::{Component, NoopRecorder, Recorder, RecorderHandle};
+pub use sink::{
+    JsonlFileSink, StreamingSink, TeeRecorder, DEFAULT_KEEP_ROTATED, DEFAULT_MAX_FILE_BYTES,
+};
 pub use timer::{global_handle, global_timer, set_global_recorder, GlobalTimer, ScopedTimer};
+pub use timeseries::{TimeSeriesRecorder, TimeSeriesSnapshot, UserSeries};

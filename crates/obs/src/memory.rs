@@ -88,8 +88,14 @@ impl Histogram {
         self.max_ns
     }
 
-    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) in nanoseconds from the
-    /// bucket boundaries, clamped to the exact observed min/max.
+    /// Estimates the `q`-quantile in nanoseconds from the bucket
+    /// boundaries, clamped to the exact observed min/max.
+    ///
+    /// Degenerate inputs are well-defined rather than garbage: an empty
+    /// histogram returns 0.0 for every `q`, `q` outside `[0, 1]` is clamped
+    /// to the nearest end (a NaN `q` behaves like 0.0), and samples in the
+    /// open-ended overflow bucket are reported as the observed maximum
+    /// instead of a fabricated power-of-two edge.
     pub fn quantile_ns(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -100,10 +106,11 @@ impl Histogram {
             cumulative += c;
             if cumulative >= rank {
                 // Upper edge of bucket i, clamped to what was really seen.
-                let upper = if i + 1 >= 64 {
-                    u64::MAX
-                } else {
-                    1u64 << (i + 1)
+                // The last bucket has no upper edge, so only the observed
+                // maximum bounds it.
+                let upper = match Self::bucket_upper_ns(i) {
+                    Some(edge) => edge,
+                    None => self.max_ns,
                 };
                 return (upper.min(self.max_ns).max(self.min_ns)) as f64;
             }
@@ -114,6 +121,13 @@ impl Histogram {
     /// The raw bucket counts (bucket `i` covers `[2^i, 2^(i+1))` ns).
     pub fn buckets(&self) -> &[u64; NUM_BUCKETS] {
         &self.counts
+    }
+
+    /// The exclusive upper edge of bucket `i` in nanoseconds, or `None` for
+    /// the final open-ended overflow bucket. Exporters (the Prometheus
+    /// endpoint) use this to label `le=` bucket boundaries.
+    pub fn bucket_upper_ns(i: usize) -> Option<u64> {
+        (i + 1 < NUM_BUCKETS).then(|| 1u64 << (i + 1))
     }
 }
 
@@ -164,8 +178,28 @@ impl InMemoryRecorder {
     }
 
     /// Snapshot of all recorded events, in recording order.
+    ///
+    /// This clones the full event vector; incremental consumers should use
+    /// [`InMemoryRecorder::events_since`] and only pay for the tail.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().clone()
+        self.events_since(0)
+    }
+
+    /// Snapshot of the events with sequence number strictly greater than
+    /// `after`. Events are numbered from 1 in recording order, so
+    /// `events_since(0)` is everything and `events_since(last_seq())` is
+    /// empty — the contract behind the `/trace?after=<seq>` endpoint and
+    /// any periodic exporter that must stay O(new events) on long runs.
+    pub fn events_since(&self, after: u64) -> Vec<Event> {
+        let events = self.events.lock();
+        let start = (after as usize).min(events.len());
+        events[start..].to_vec()
+    }
+
+    /// Sequence number of the most recently recorded event (1-based), or 0
+    /// when nothing has been recorded yet.
+    pub fn last_seq(&self) -> u64 {
+        self.events.lock().len() as u64
     }
 
     /// Number of recorded events.
@@ -190,6 +224,16 @@ impl InMemoryRecorder {
     /// Latest value of a gauge, if ever set.
     pub fn gauge(&self, name: &str) -> Option<f64> {
         self.gauges.lock().get(name).copied()
+    }
+
+    /// Snapshot of every counter, keyed by name.
+    pub fn counters(&self) -> BTreeMap<&'static str, u64> {
+        self.counters.lock().clone()
+    }
+
+    /// Snapshot of every gauge, keyed by name.
+    pub fn gauges(&self) -> BTreeMap<&'static str, f64> {
+        self.gauges.lock().clone()
     }
 
     /// Snapshot of the latency histogram for `component`.
@@ -222,9 +266,17 @@ impl InMemoryRecorder {
     /// Exports every event as JSON Lines (one compact object per line,
     /// trailing newline included; empty string when no events).
     pub fn to_jsonl(&self) -> String {
+        self.to_jsonl_since(0)
+    }
+
+    /// Exports the events with sequence number strictly greater than
+    /// `after` as JSON Lines — the incremental counterpart of
+    /// [`InMemoryRecorder::to_jsonl`], costing only the exported tail.
+    pub fn to_jsonl_since(&self, after: u64) -> String {
         let events = self.events.lock();
+        let start = (after as usize).min(events.len());
         let mut out = String::new();
-        for event in events.iter() {
+        for event in events[start..].iter() {
             out.push_str(&event.to_json());
             out.push('\n');
         }
@@ -375,6 +427,104 @@ mod tests {
         // p95+ must reach the outlier's bucket but not exceed the true max.
         let p99 = h.quantile_ns(0.99);
         assert!((4096.0..=10_000.0).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::new();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(h.quantile_ns(q), 0.0, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn single_sample_quantiles_collapse_to_the_sample() {
+        let mut h = Histogram::new();
+        h.record(300);
+        // Any quantile of a one-sample histogram is that sample: the bucket
+        // estimate is clamped to the observed min == max.
+        for q in [-0.5, 0.0, 0.25, 0.5, 0.99, 1.0, 7.0] {
+            assert_eq!(h.quantile_ns(q), 300.0, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_q_clamps_to_the_ends() {
+        let mut h = Histogram::new();
+        for ns in [100u64, 200, 400, 800, 1600] {
+            h.record(ns);
+        }
+        assert_eq!(h.quantile_ns(-3.0), h.quantile_ns(0.0));
+        assert_eq!(h.quantile_ns(42.0), h.quantile_ns(1.0));
+        assert!(h.quantile_ns(-3.0) >= h.min_ns().unwrap() as f64);
+        assert!(h.quantile_ns(42.0) <= h.max_ns() as f64);
+    }
+
+    #[test]
+    fn overflow_bucket_quantiles_report_the_observed_max() {
+        // Samples beyond the last bucket edge (2^40 ns ≈ 18 min) land in
+        // the open-ended overflow bucket; quantiles there must report the
+        // real maximum, not a fabricated power-of-two edge.
+        let mut h = Histogram::new();
+        let big = 1u64 << 45;
+        h.record(big);
+        assert_eq!(h.quantile_ns(0.5), big as f64);
+        assert_eq!(h.quantile_ns(1.0), big as f64);
+        // A second, larger overflow sample: every quantile stays within the
+        // truly observed range instead of a 2^40 bucket edge.
+        h.record(big + 8);
+        for q in [0.0, 0.5, 1.0] {
+            let v = h.quantile_ns(q);
+            assert!(
+                (big as f64..=(big + 8) as f64).contains(&v),
+                "q = {q}, v = {v}"
+            );
+        }
+        assert_eq!(Histogram::bucket_upper_ns(NUM_BUCKETS - 1), None);
+        assert_eq!(Histogram::bucket_upper_ns(0), Some(2));
+        assert_eq!(
+            Histogram::bucket_upper_ns(NUM_BUCKETS - 2),
+            Some(1u64 << (NUM_BUCKETS - 1))
+        );
+    }
+
+    #[test]
+    fn events_since_returns_only_the_tail() {
+        let r = InMemoryRecorder::new();
+        assert_eq!(r.last_seq(), 0);
+        assert!(r.events_since(0).is_empty());
+        for arm in 0..5 {
+            r.record(Event::PosteriorUpdated {
+                arm,
+                reward: 0.5,
+                num_obs: arm + 1,
+            });
+        }
+        assert_eq!(r.last_seq(), 5);
+        assert_eq!(r.events_since(0).len(), 5);
+        assert_eq!(r.events_since(0), r.events());
+        let tail = r.events_since(3);
+        assert_eq!(tail.len(), 2);
+        assert!(matches!(tail[0], Event::PosteriorUpdated { arm: 3, .. }));
+        assert!(r.events_since(5).is_empty());
+        // Past-the-end cursors (a client that over-counted) are harmless.
+        assert!(r.events_since(99).is_empty());
+        // The incremental JSONL export agrees with the full one.
+        assert_eq!(r.to_jsonl_since(0), r.to_jsonl());
+        assert_eq!(r.to_jsonl_since(3).lines().count(), 2);
+        assert_eq!(r.to_jsonl_since(99), "");
+    }
+
+    #[test]
+    fn counter_and_gauge_snapshots_list_everything() {
+        let r = InMemoryRecorder::new();
+        r.add_counter("a", 1);
+        r.add_counter("b", 2);
+        r.set_gauge("g", 3.5);
+        assert_eq!(r.counters().len(), 2);
+        assert_eq!(r.counters()["b"], 2);
+        assert_eq!(r.gauges().len(), 1);
+        assert_eq!(r.gauges()["g"], 3.5);
     }
 
     #[test]

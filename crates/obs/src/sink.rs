@@ -1,0 +1,464 @@
+//! Streaming sinks: moving telemetry out of process memory while the run
+//! is still executing.
+//!
+//! The in-memory recorder is ideal for tests and short simulations, but a
+//! long-running multi-tenant service cannot let its trace accumulate
+//! unboundedly. A [`StreamingSink`] receives each event as it is recorded —
+//! tagged with its 1-based sequence number — and is free to write it to
+//! disk, a socket, or a folding aggregate. [`JsonlFileSink`] is the shipped
+//! disk sink: buffered JSON-Lines writing with size-based rotation and
+//! flush-on-drop. [`TeeRecorder`] is the splitter that forwards every
+//! [`Recorder`] call to a primary recorder while fanning the event stream
+//! out to any number of sinks.
+
+use crate::event::Event;
+use crate::recorder::{Component, Recorder};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A destination for a live event stream.
+///
+/// Implementations must be thread-safe: the parallel simulator records from
+/// several threads, and the HTTP exporter reads while the run writes. A
+/// sink must never panic on I/O trouble — drop the line and keep counting
+/// instead, so telemetry failures cannot take down the scheduler.
+pub trait StreamingSink: Send + Sync {
+    /// Delivers one event. `seq` is the event's 1-based sequence number in
+    /// recording order (assigned by the [`TeeRecorder`]).
+    fn append(&self, seq: u64, event: &Event);
+
+    /// Pushes any buffered data towards its destination. Default: no-op.
+    fn flush(&self) {}
+}
+
+/// Default rotation threshold of [`JsonlFileSink`]: 8 MiB per file.
+pub const DEFAULT_MAX_FILE_BYTES: u64 = 8 * 1024 * 1024;
+
+/// Default number of rotated files [`JsonlFileSink`] keeps around.
+pub const DEFAULT_KEEP_ROTATED: usize = 3;
+
+struct FileSinkState {
+    writer: Option<BufWriter<File>>,
+    /// Bytes written to the *current* file (resets on rotation).
+    written: u64,
+    rotations: u64,
+    dropped: u64,
+}
+
+/// A buffered JSON-Lines file sink with size-based rotation.
+///
+/// Each event is written as `{"seq":N,"event":{...}}` on its own line, so a
+/// rotated segment remains self-describing (the sequence numbers survive
+/// the file boundaries). When the current file exceeds the configured
+/// threshold it is rotated shift-style: `trace.jsonl` → `trace.jsonl.1` →
+/// `trace.jsonl.2` → …, keeping at most the configured number of rotated
+/// segments and deleting the oldest. The buffer is flushed on drop, and
+/// I/O errors are absorbed into a dropped-line counter rather than
+/// propagated into the recording hot path.
+pub struct JsonlFileSink {
+    path: PathBuf,
+    max_bytes: u64,
+    keep_rotated: usize,
+    state: Mutex<FileSinkState>,
+}
+
+impl JsonlFileSink {
+    /// Creates (truncating) the sink file with default rotation settings
+    /// ([`DEFAULT_MAX_FILE_BYTES`], [`DEFAULT_KEEP_ROTATED`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        Ok(JsonlFileSink {
+            path,
+            max_bytes: DEFAULT_MAX_FILE_BYTES,
+            keep_rotated: DEFAULT_KEEP_ROTATED,
+            state: Mutex::new(FileSinkState {
+                writer: Some(BufWriter::new(file)),
+                written: 0,
+                rotations: 0,
+                dropped: 0,
+            }),
+        })
+    }
+
+    /// Sets the rotation policy: rotate once the current file exceeds
+    /// `max_bytes`, keeping at most `keep_rotated` rotated segments
+    /// (`<path>.1` is the most recent). `keep_rotated = 0` truncates in
+    /// place on rotation.
+    pub fn with_rotation(mut self, max_bytes: u64, keep_rotated: usize) -> Self {
+        self.max_bytes = max_bytes.max(1);
+        self.keep_rotated = keep_rotated;
+        self
+    }
+
+    /// The path of the current (unrotated) segment.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// How many times the file has been rotated.
+    pub fn rotations(&self) -> u64 {
+        self.state.lock().rotations
+    }
+
+    /// How many lines were dropped because of I/O errors.
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().dropped
+    }
+
+    fn rotated_path(&self, n: usize) -> PathBuf {
+        let mut os = self.path.as_os_str().to_os_string();
+        os.push(format!(".{n}"));
+        PathBuf::from(os)
+    }
+
+    /// Shift-rotates the segments and reopens a fresh current file. Any
+    /// step that fails falls back to truncating in place so the sink keeps
+    /// accepting events.
+    fn rotate(&self, state: &mut FileSinkState) {
+        if let Some(w) = state.writer.as_mut() {
+            let _ = w.flush();
+        }
+        state.writer = None;
+        if self.keep_rotated > 0 {
+            let _ = std::fs::remove_file(self.rotated_path(self.keep_rotated));
+            for n in (1..self.keep_rotated).rev() {
+                let _ = std::fs::rename(self.rotated_path(n), self.rotated_path(n + 1));
+            }
+            let _ = std::fs::rename(&self.path, self.rotated_path(1));
+        }
+        match OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&self.path)
+        {
+            Ok(file) => {
+                state.writer = Some(BufWriter::new(file));
+                state.written = 0;
+                state.rotations += 1;
+            }
+            Err(_) => {
+                // Leave the writer disabled; subsequent appends count as
+                // dropped until a future rotation succeeds.
+            }
+        }
+    }
+}
+
+impl StreamingSink for JsonlFileSink {
+    fn append(&self, seq: u64, event: &Event) {
+        let mut line = String::with_capacity(64);
+        line.push_str("{\"seq\":");
+        line.push_str(&seq.to_string());
+        line.push_str(",\"event\":");
+        line.push_str(&event.to_json());
+        line.push_str("}\n");
+
+        let mut state = self.state.lock();
+        if state.writer.is_none() {
+            // A previous rotation failed to reopen; retry before giving up
+            // on this line.
+            self.rotate(&mut state);
+        }
+        match state.writer.as_mut() {
+            Some(w) => {
+                if w.write_all(line.as_bytes()).is_ok() {
+                    state.written += line.len() as u64;
+                    if state.written >= self.max_bytes {
+                        self.rotate(&mut state);
+                    }
+                } else {
+                    state.dropped += 1;
+                }
+            }
+            None => state.dropped += 1,
+        }
+    }
+
+    fn flush(&self) {
+        if let Some(w) = self.state.lock().writer.as_mut() {
+            let _ = w.flush();
+        }
+    }
+}
+
+impl Drop for JsonlFileSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// A [`Recorder`] that forwards everything to a primary recorder while
+/// streaming the event sequence to any number of [`StreamingSink`]s.
+///
+/// The tee assigns each event its 1-based sequence number. When the
+/// primary is a fresh [`InMemoryRecorder`](crate::InMemoryRecorder), those
+/// numbers coincide with the recorder's own
+/// [`events_since`](crate::InMemoryRecorder::events_since) numbering, so an
+/// on-disk trace and the `/trace?after=` endpoint agree line for line.
+/// Counters, gauges, and timings go to the primary only — sinks see the
+/// structured event stream.
+pub struct TeeRecorder {
+    primary: Arc<dyn Recorder>,
+    sinks: Vec<Arc<dyn StreamingSink>>,
+    seq: AtomicU64,
+}
+
+impl TeeRecorder {
+    /// A tee over `primary` with no sinks attached yet.
+    pub fn new(primary: Arc<dyn Recorder>) -> Self {
+        TeeRecorder {
+            primary,
+            sinks: Vec::new(),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Attaches one more sink (builder-style).
+    pub fn with_sink(mut self, sink: Arc<dyn StreamingSink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Sequence number of the most recently recorded event (0 when none).
+    pub fn last_seq(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+
+    /// Flushes every attached sink.
+    pub fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+impl Recorder for TeeRecorder {
+    fn record(&self, event: Event) {
+        let seq = self.seq.fetch_add(1, Ordering::AcqRel) + 1;
+        for sink in &self.sinks {
+            sink.append(seq, &event);
+        }
+        self.primary.record(event);
+    }
+
+    fn add_counter(&self, name: &'static str, delta: u64) {
+        self.primary.add_counter(name, delta);
+    }
+
+    fn set_gauge(&self, name: &'static str, value: f64) {
+        self.primary.set_gauge(name, value);
+    }
+
+    fn record_timing(&self, component: Component, nanos: u64) {
+        self.primary.record_timing(component, nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::InMemoryRecorder;
+    use crate::recorder::RecorderHandle;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("easeml-obs-sink-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.jsonl", std::process::id()))
+    }
+
+    fn sample_event(i: usize) -> Event {
+        Event::TrainingCompleted {
+            user: i % 4,
+            model: i % 7,
+            cost: 1.25,
+            quality: 0.5 + (i % 10) as f64 * 0.01,
+        }
+    }
+
+    /// Splits a `{"seq":N,"event":{...}}` sink line into its parts.
+    fn parse_sink_line(line: &str) -> (u64, Event) {
+        let rest = line.strip_prefix("{\"seq\":").unwrap();
+        let comma = rest.find(',').unwrap();
+        let seq: u64 = rest[..comma].parse().unwrap();
+        let event_json = rest[comma..]
+            .strip_prefix(",\"event\":")
+            .unwrap()
+            .strip_suffix('}')
+            .unwrap();
+        (seq, Event::from_json(event_json).unwrap())
+    }
+
+    #[test]
+    fn file_sink_writes_seq_tagged_jsonl_and_flushes_on_drop() {
+        let path = tmp_path("basic");
+        {
+            let sink = JsonlFileSink::create(&path).unwrap();
+            for i in 0..10 {
+                sink.append(i as u64 + 1, &sample_event(i));
+            }
+            // No explicit flush: Drop must land everything on disk.
+        }
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 10);
+        for (i, line) in lines.iter().enumerate() {
+            let (seq, event) = parse_sink_line(line);
+            assert_eq!(seq, i as u64 + 1);
+            assert_eq!(event, sample_event(i));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_sink_rotates_past_the_size_limit() {
+        let path = tmp_path("rotate");
+        let sink = JsonlFileSink::create(&path).unwrap().with_rotation(512, 2);
+        let total = 200usize;
+        for i in 0..total {
+            sink.append(i as u64 + 1, &sample_event(i));
+        }
+        sink.flush();
+        assert!(sink.rotations() > 0, "512-byte limit must force rotation");
+        assert_eq!(sink.dropped(), 0);
+
+        // The current segment stayed under limit + one line of slack.
+        let current = std::fs::metadata(&path).unwrap().len();
+        assert!(current < 512 + 256, "current segment too big: {current}");
+
+        // At most `keep_rotated` rotated segments exist, `.1` the newest;
+        // together the surviving segments form a contiguous, ordered tail
+        // of the sequence numbers ending at `total`.
+        assert!(!sink.rotated_path(3).exists());
+        let mut all_lines = Vec::new();
+        for n in [2usize, 1] {
+            let p = sink.rotated_path(n);
+            if p.exists() {
+                all_lines.extend(
+                    std::fs::read_to_string(&p)
+                        .unwrap()
+                        .lines()
+                        .map(str::to_string)
+                        .collect::<Vec<_>>(),
+                );
+            }
+        }
+        all_lines.extend(
+            std::fs::read_to_string(&path)
+                .unwrap()
+                .lines()
+                .map(str::to_string)
+                .collect::<Vec<_>>(),
+        );
+        let seqs: Vec<u64> = all_lines.iter().map(|l| parse_sink_line(l).0).collect();
+        assert_eq!(*seqs.last().unwrap(), total as u64);
+        for w in seqs.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "gap in surviving trace tail");
+        }
+        // Old segments really were discarded (we wrote far more than the
+        // survivors hold).
+        assert!(seqs.len() < total);
+
+        for n in 1..=2 {
+            let _ = std::fs::remove_file(sink.rotated_path(n));
+        }
+        drop(sink);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn zero_keep_truncates_in_place() {
+        let path = tmp_path("truncate");
+        let sink = JsonlFileSink::create(&path).unwrap().with_rotation(256, 0);
+        for i in 0..100 {
+            sink.append(i as u64 + 1, &sample_event(i));
+        }
+        sink.flush();
+        assert!(sink.rotations() > 0);
+        assert!(!sink.rotated_path(1).exists());
+        assert!(std::fs::metadata(&path).unwrap().len() < 512);
+        drop(sink);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tee_fans_out_with_consistent_seq_numbers() {
+        let path = tmp_path("tee");
+        let primary = Arc::new(InMemoryRecorder::new());
+        let sink = Arc::new(JsonlFileSink::create(&path).unwrap());
+        let tee = Arc::new(
+            TeeRecorder::new(primary.clone()).with_sink(sink.clone() as Arc<dyn StreamingSink>),
+        );
+        let handle = RecorderHandle::new(tee.clone());
+        for i in 0..6 {
+            handle.emit(|| sample_event(i));
+        }
+        handle.count("rounds", 6);
+        handle.gauge("g", 1.0);
+        tee.record_timing(Component::SimRound, 42);
+        tee.flush();
+
+        // Primary got everything.
+        assert_eq!(primary.num_events(), 6);
+        assert_eq!(primary.counter("rounds"), 6);
+        assert_eq!(primary.gauge("g"), Some(1.0));
+        assert_eq!(primary.timing(Component::SimRound).count(), 1);
+        assert_eq!(tee.last_seq(), 6);
+
+        // The sink's seq numbers match the primary recorder's numbering:
+        // seq `i + 1` is exactly the first event of `events_since(i)`.
+        let content = std::fs::read_to_string(&path).unwrap();
+        let recorded = primary.events();
+        for (i, line) in content.lines().enumerate() {
+            let (seq, event) = parse_sink_line(line);
+            assert_eq!(seq, i as u64 + 1);
+            assert_eq!(event, recorded[i]);
+            assert_eq!(primary.events_since(i as u64)[0], event);
+        }
+        drop(sink);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn concurrent_tee_recording_preserves_every_seq_once() {
+        let path = tmp_path("concurrent");
+        let primary = Arc::new(InMemoryRecorder::new());
+        let sink = Arc::new(JsonlFileSink::create(&path).unwrap());
+        let tee = Arc::new(
+            TeeRecorder::new(primary.clone()).with_sink(sink.clone() as Arc<dyn StreamingSink>),
+        );
+        let threads = 4usize;
+        let per_thread = 100usize;
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let h = RecorderHandle::new(tee.clone());
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        h.emit(|| sample_event(t * per_thread + i));
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        tee.flush();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let mut seqs: Vec<u64> = content.lines().map(|l| parse_sink_line(l).0).collect();
+        seqs.sort_unstable();
+        let expect: Vec<u64> = (1..=(threads * per_thread) as u64).collect();
+        assert_eq!(seqs, expect, "every seq exactly once");
+        assert_eq!(primary.num_events(), threads * per_thread);
+        drop(sink);
+        let _ = std::fs::remove_file(&path);
+    }
+}

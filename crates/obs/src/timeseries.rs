@@ -1,0 +1,361 @@
+//! Folding the event stream into live per-tenant time series.
+//!
+//! Ease.ml's evaluation (Fig. 8–10) is all about *regret trajectories over
+//! simulated time*: how fast each tenant's accuracy gap closes as the
+//! shared cluster spends cost. [`TimeSeriesRecorder`] produces exactly
+//! those curves during a run, not after it: it folds
+//! `TrainingCompleted` / `SchedulerDecision` / `HybridFallback` events into
+//! per-user regret curves sampled against the simulated clock (cumulative
+//! cost), cumulative per-user cost, arm-pull counts, and the
+//! hybrid-fallback rate. It implements both [`Recorder`] (attach it
+//! directly) and [`StreamingSink`] (hang it off a
+//! [`TeeRecorder`](crate::TeeRecorder) next to a file sink), and its
+//! memory footprint is bounded by the sampling interval, not the run
+//! length.
+
+use crate::event::Event;
+use crate::recorder::{Component, Recorder};
+use crate::sink::StreamingSink;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// One tenant's live series, folded from `TrainingCompleted` events.
+#[derive(Debug, Clone)]
+pub struct UserSeries {
+    /// Number of training runs completed for this tenant.
+    pub served: u64,
+    /// Total cost charged to this tenant so far.
+    pub cumulative_cost: f64,
+    /// Best quality any of the tenant's runs reached.
+    pub best_quality: f64,
+    /// Quality of the tenant's most recent run.
+    pub last_quality: f64,
+    /// The quality target regret is measured against (the best achievable
+    /// quality μ* when known; defaults to 1.0, i.e. loss to perfect
+    /// accuracy).
+    pub target: f64,
+    /// Training runs per model index (arm-pull counts).
+    pub arm_pulls: BTreeMap<usize, u64>,
+    /// `(simulated clock, regret)` samples, oldest first. The final sample
+    /// always reflects the latest completed run.
+    pub regret_curve: Vec<(f64, f64)>,
+    /// Clock at which the last curve point was *appended* (in-place updates
+    /// of the final point do not move this), driving interval sampling.
+    sample_anchor: f64,
+}
+
+impl UserSeries {
+    fn new(target: f64) -> Self {
+        UserSeries {
+            served: 0,
+            cumulative_cost: 0.0,
+            best_quality: 0.0,
+            last_quality: 0.0,
+            target,
+            arm_pulls: BTreeMap::new(),
+            regret_curve: Vec::new(),
+            sample_anchor: 0.0,
+        }
+    }
+
+    /// Current regret: how far the tenant's best model still sits below
+    /// the target (never negative).
+    pub fn regret(&self) -> f64 {
+        (self.target - self.best_quality).max(0.0)
+    }
+}
+
+/// A point-in-time copy of everything the recorder has folded.
+#[derive(Debug, Clone)]
+pub struct TimeSeriesSnapshot {
+    /// The simulated clock: cumulative cost across all completed runs.
+    pub clock: f64,
+    /// Total completed training runs.
+    pub rounds: u64,
+    /// Total `SchedulerDecision` events seen.
+    pub decisions: u64,
+    /// Whether a `HybridFallback` has fired (the hybrid scheduler is in its
+    /// round-robin phase).
+    pub fallback_active: bool,
+    /// Scheduler decisions taken *after* the fallback fired.
+    pub fallback_decisions: u64,
+    /// Per-tenant series, keyed by tenant index.
+    pub users: BTreeMap<usize, UserSeries>,
+}
+
+impl TimeSeriesSnapshot {
+    /// Fraction of scheduler decisions taken in fallback (round-robin)
+    /// mode; 0.0 before any decision.
+    pub fn fallback_rate(&self) -> f64 {
+        if self.decisions == 0 {
+            0.0
+        } else {
+            self.fallback_decisions as f64 / self.decisions as f64
+        }
+    }
+
+    /// Mean regret across tenants (0.0 with no tenants yet) — the live
+    /// counterpart of the paper's mean-accuracy-loss curves.
+    pub fn mean_regret(&self) -> f64 {
+        if self.users.is_empty() {
+            0.0
+        } else {
+            self.users.values().map(UserSeries::regret).sum::<f64>() / self.users.len() as f64
+        }
+    }
+}
+
+struct TsState {
+    clock: f64,
+    rounds: u64,
+    decisions: u64,
+    fallback_active: bool,
+    fallback_decisions: u64,
+    users: BTreeMap<usize, UserSeries>,
+    targets: BTreeMap<usize, f64>,
+}
+
+/// A [`Recorder`] / [`StreamingSink`] that folds events into per-tenant
+/// regret time series against the simulated clock.
+///
+/// Attach it with [`crate::RecorderHandle::new`] for a standalone live
+/// view, or as a sink on a [`TeeRecorder`](crate::TeeRecorder) so one event
+/// stream feeds the in-memory trace, the disk, and the live curves at
+/// once. Counter/gauge/timing calls are ignored — this type only consumes
+/// the structured event stream.
+pub struct TimeSeriesRecorder {
+    sample_interval: f64,
+    state: Mutex<TsState>,
+}
+
+impl Default for TimeSeriesRecorder {
+    fn default() -> Self {
+        TimeSeriesRecorder::new()
+    }
+}
+
+impl TimeSeriesRecorder {
+    /// A recorder sampling every completion (interval 0).
+    pub fn new() -> Self {
+        TimeSeriesRecorder {
+            sample_interval: 0.0,
+            state: Mutex::new(TsState {
+                clock: 0.0,
+                rounds: 0,
+                decisions: 0,
+                fallback_active: false,
+                fallback_decisions: 0,
+                users: BTreeMap::new(),
+                targets: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Sets the sampling interval in simulated-clock units: a tenant's
+    /// curve appends a new point only after the clock advanced by at least
+    /// `interval` since the tenant's previous point; in between, the last
+    /// point is updated in place. This bounds curve memory by
+    /// `horizon / interval` regardless of how many runs complete.
+    pub fn with_sample_interval(mut self, interval: f64) -> Self {
+        self.sample_interval = interval.max(0.0);
+        self
+    }
+
+    /// Declares the best achievable quality μ* for `user`, making the
+    /// tenant's regret the paper's true accuracy loss instead of the
+    /// default loss-to-1.0. Applies retroactively to the current best.
+    pub fn set_target(&self, user: usize, target: f64) {
+        let mut state = self.state.lock();
+        state.targets.insert(user, target);
+        if let Some(series) = state.users.get_mut(&user) {
+            series.target = target;
+        }
+    }
+
+    /// Folds one event into the series. This is what both trait impls call.
+    pub fn fold(&self, event: &Event) {
+        match event {
+            Event::TrainingCompleted {
+                user,
+                model,
+                cost,
+                quality,
+            } => {
+                let interval = self.sample_interval;
+                let mut state = self.state.lock();
+                state.clock += cost;
+                state.rounds += 1;
+                let clock = state.clock;
+                let target = state.targets.get(user).copied().unwrap_or(1.0);
+                let series = state
+                    .users
+                    .entry(*user)
+                    .or_insert_with(|| UserSeries::new(target));
+                series.served += 1;
+                series.cumulative_cost += cost;
+                series.last_quality = *quality;
+                if *quality > series.best_quality {
+                    series.best_quality = *quality;
+                }
+                *series.arm_pulls.entry(*model).or_insert(0) += 1;
+                let regret = series.regret();
+                if series.regret_curve.is_empty() || clock - series.sample_anchor >= interval {
+                    series.regret_curve.push((clock, regret));
+                    series.sample_anchor = clock;
+                } else {
+                    // Within the sampling interval: update the final point
+                    // in place so the curve still ends at the latest state.
+                    *series.regret_curve.last_mut().unwrap() = (clock, regret);
+                }
+            }
+            Event::SchedulerDecision { .. } => {
+                let mut state = self.state.lock();
+                state.decisions += 1;
+                if state.fallback_active {
+                    state.fallback_decisions += 1;
+                }
+            }
+            Event::HybridFallback { .. } => {
+                self.state.lock().fallback_active = true;
+            }
+            Event::ArmChosen { .. } | Event::PosteriorUpdated { .. } => {}
+        }
+    }
+
+    /// A copy of the current folded state.
+    pub fn snapshot(&self) -> TimeSeriesSnapshot {
+        let state = self.state.lock();
+        TimeSeriesSnapshot {
+            clock: state.clock,
+            rounds: state.rounds,
+            decisions: state.decisions,
+            fallback_active: state.fallback_active,
+            fallback_decisions: state.fallback_decisions,
+            users: state.users.clone(),
+        }
+    }
+}
+
+impl Recorder for TimeSeriesRecorder {
+    fn record(&self, event: Event) {
+        self.fold(&event);
+    }
+
+    fn add_counter(&self, _name: &'static str, _delta: u64) {}
+    fn set_gauge(&self, _name: &'static str, _value: f64) {}
+    fn record_timing(&self, _component: Component, _nanos: u64) {}
+}
+
+impl StreamingSink for TimeSeriesRecorder {
+    fn append(&self, _seq: u64, event: &Event) {
+        self.fold(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn completed(user: usize, model: usize, cost: f64, quality: f64) -> Event {
+        Event::TrainingCompleted {
+            user,
+            model,
+            cost,
+            quality,
+        }
+    }
+
+    #[test]
+    fn folds_training_events_into_per_user_series() {
+        let ts = TimeSeriesRecorder::new();
+        ts.set_target(0, 0.9);
+        ts.fold(&completed(0, 2, 1.0, 0.5));
+        ts.fold(&completed(1, 0, 2.0, 0.8));
+        ts.fold(&completed(0, 2, 1.0, 0.7));
+        ts.fold(&completed(0, 3, 1.0, 0.6)); // worse run: best stays 0.7
+
+        let snap = ts.snapshot();
+        assert_eq!(snap.rounds, 4);
+        assert!((snap.clock - 5.0).abs() < 1e-12);
+        let u0 = &snap.users[&0];
+        assert_eq!(u0.served, 3);
+        assert!((u0.cumulative_cost - 3.0).abs() < 1e-12);
+        assert!((u0.best_quality - 0.7).abs() < 1e-12);
+        assert!((u0.last_quality - 0.6).abs() < 1e-12);
+        assert!((u0.regret() - 0.2).abs() < 1e-12, "target 0.9 - best 0.7");
+        assert_eq!(u0.arm_pulls[&2], 2);
+        assert_eq!(u0.arm_pulls[&3], 1);
+        // Default target (no μ* declared) is 1.0.
+        let u1 = &snap.users[&1];
+        assert!((u1.regret() - 0.2).abs() < 1e-12, "1.0 - 0.8");
+        // Curves advance on the *global* simulated clock.
+        assert_eq!(u0.regret_curve.len(), 3);
+        assert_eq!(u0.regret_curve[0].0, 1.0);
+        assert_eq!(u0.regret_curve[1].0, 4.0);
+        assert_eq!(u0.regret_curve[2].0, 5.0);
+        // Regret is non-increasing for a fixed target.
+        for w in u0.regret_curve.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampling_interval_bounds_curve_length_but_keeps_the_latest() {
+        let ts = TimeSeriesRecorder::new().with_sample_interval(10.0);
+        for i in 0..100 {
+            ts.fold(&completed(0, 0, 1.0, 0.001 * i as f64));
+        }
+        let snap = ts.snapshot();
+        let curve = &snap.users[&0].regret_curve;
+        // 100 cost units at one sample per ≥10 units: ~10 points, not 100.
+        assert!(curve.len() <= 11, "curve has {} points", curve.len());
+        // The last point reflects the very latest state.
+        let last = curve.last().unwrap();
+        assert_eq!(last.0, 100.0);
+        assert!((last.1 - (1.0 - 0.099)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fallback_rate_counts_decisions_after_the_switch() {
+        let ts = TimeSeriesRecorder::new();
+        let decision = Event::SchedulerDecision {
+            round: 0,
+            user: 0,
+            rule: "hybrid".into(),
+            scores: vec![],
+        };
+        for _ in 0..6 {
+            ts.fold(&decision);
+        }
+        assert_eq!(ts.snapshot().fallback_rate(), 0.0);
+        ts.fold(&Event::HybridFallback {
+            reason: "frozen".into(),
+        });
+        for _ in 0..2 {
+            ts.fold(&decision);
+        }
+        let snap = ts.snapshot();
+        assert!(snap.fallback_active);
+        assert_eq!(snap.decisions, 8);
+        assert_eq!(snap.fallback_decisions, 2);
+        assert!((snap.fallback_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_regret_averages_users() {
+        let ts = TimeSeriesRecorder::new();
+        assert_eq!(ts.snapshot().mean_regret(), 0.0);
+        ts.fold(&completed(0, 0, 1.0, 0.8)); // regret 0.2
+        ts.fold(&completed(1, 0, 1.0, 0.6)); // regret 0.4
+        assert!((ts.snapshot().mean_regret() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_target_applies_retroactively() {
+        let ts = TimeSeriesRecorder::new();
+        ts.fold(&completed(0, 0, 1.0, 0.75));
+        assert!((ts.snapshot().users[&0].regret() - 0.25).abs() < 1e-12);
+        ts.set_target(0, 0.8);
+        assert!((ts.snapshot().users[&0].regret() - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests of the event trace format: every `Event` variant
+//! must survive `to_json` → `from_json` exactly (including extreme floats),
+//! and malformed / truncated JSONL lines must be rejected, never
+//! misparsed.
+
+use easeml_obs::Event;
+use proptest::prelude::*;
+
+/// Floats that must round-trip bit-exactly through the trace format:
+/// zeros, subnormals, huge, tiny, negative, and awkward decimals.
+/// (NaN is excluded — it serializes to `null` by design and `NaN != NaN`.)
+fn extreme_f64() -> impl Strategy<Value = f64> {
+    prop::sample::select(vec![
+        0.0,
+        -0.0,
+        1.0,
+        -1.0,
+        0.1,
+        1.0 / 3.0,
+        1.75e-3,
+        1e308,
+        -1e308,
+        f64::MAX,
+        f64::MIN,
+        f64::MIN_POSITIVE,
+        5e-324, // smallest subnormal
+        123456789.123456,
+        0.843,
+        f64::EPSILON,
+    ])
+}
+
+/// Any float the events might plausibly carry: extremes plus a dense range.
+fn any_f64() -> impl Strategy<Value = f64> {
+    (0usize..2, extreme_f64(), -1.0e6f64..1.0e6)
+        .prop_map(|(which, extreme, dense)| if which == 0 { extreme } else { dense })
+}
+
+fn any_string() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "hybrid".to_string(),
+        "greedy(max-gap)".to_string(),
+        "round-robin".to_string(),
+        "no improvement for 10 rounds".to_string(),
+        "frozen set {1, 2}\nline two\t\"quoted\"".to_string(),
+        "unicode: héllo ∑ — “curly”".to_string(),
+        "control char: \u{1}".to_string(),
+        String::new(),
+    ])
+}
+
+/// Draws one event, covering all five variants. The shim's tuple strategies
+/// top out at 8 elements, so the value pool is a nested tuple and the first
+/// coordinate selects the variant.
+fn any_event() -> impl Strategy<Value = Event> {
+    (
+        (0usize..5, 0u64..1_000_000, 0usize..64, 0usize..256),
+        (any_f64(), any_f64(), any_f64()),
+        (
+            any_string(),
+            prop::collection::vec(any_f64(), 0..8),
+            0usize..100_000,
+        ),
+    )
+        .prop_map(
+            |((variant, round, user, arm), (f1, f2, f3), (text, scores, num_obs))| match variant {
+                0 => Event::SchedulerDecision {
+                    round,
+                    user,
+                    rule: text,
+                    scores,
+                },
+                1 => Event::ArmChosen {
+                    user,
+                    arm,
+                    ucb: f1,
+                    beta: f2,
+                    cost: f3,
+                },
+                2 => Event::HybridFallback { reason: text },
+                3 => Event::TrainingCompleted {
+                    user,
+                    model: arm,
+                    cost: f1,
+                    quality: f2,
+                },
+                _ => Event::PosteriorUpdated {
+                    arm,
+                    reward: f1,
+                    num_obs,
+                },
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_event_round_trips_exactly(event in any_event()) {
+        let line = event.to_json();
+        prop_assert!(!line.contains('\n'), "JSONL lines must be single-line: {line}");
+        let back = Event::from_json(&line)
+            .map_err(|e| TestCaseError::fail(format!("{e} for {line}")))?;
+        prop_assert_eq!(&back, &event);
+        // Float fields must round-trip bit-exactly, which PartialEq alone
+        // does not prove for -0.0 vs 0.0: re-serialize and compare the text.
+        prop_assert_eq!(back.to_json(), line);
+    }
+
+    #[test]
+    fn truncated_lines_are_rejected((event, keep) in (any_event(), 0.0f64..1.0)) {
+        let line = event.to_json();
+        // Any strict prefix is structurally incomplete: the outer object
+        // only closes at the final byte. Cut at a char boundary derived
+        // from `keep`.
+        let cut = (keep * line.len() as f64) as usize;
+        let cut = (0..=cut).rev().find(|&i| line.is_char_boundary(i)).unwrap();
+        let prefix = &line[..cut];
+        prop_assert!(
+            Event::from_json(prefix).is_err(),
+            "truncated line must not parse: {:?}",
+            prefix
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected(event in any_event()) {
+        let line = event.to_json();
+        for garbage in ["x", " {}", "{\"seq\":1}", "]"] {
+            let bad = format!("{line}{garbage}");
+            prop_assert!(Event::from_json(&bad).is_err(), "{}", bad);
+        }
+    }
+}
+
+#[test]
+fn malformed_lines_are_rejected() {
+    for bad in [
+        "",
+        "   ",
+        "not json",
+        "42",
+        "null",
+        "[]",
+        "{}",
+        "{\"TwoKeys\":{},\"Extra\":{}}",
+        "{\"UnknownVariant\":{}}",
+        "{\"TrainingCompleted\":{}}",
+        "{\"TrainingCompleted\":{\"user\":1,\"model\":2,\"cost\":1.0}}", // missing field
+        "{\"TrainingCompleted\":{\"user\":\"zero\",\"model\":2,\"cost\":1.0,\"quality\":0.5}}",
+        "{\"TrainingCompleted\":{\"user\":-1,\"model\":2,\"cost\":1.0,\"quality\":0.5}}",
+        "{\"TrainingCompleted\":{\"user\":1.5,\"model\":2,\"cost\":1.0,\"quality\":0.5}}",
+        "{\"SchedulerDecision\":{\"round\":1,\"user\":0,\"rule\":\"x\",\"scores\":[true]}}",
+        "{\"HybridFallback\":{\"reason\":null}}",
+        "{\"HybridFallback\":\"reason\"}",
+    ] {
+        assert!(Event::from_json(bad).is_err(), "{bad:?} must be rejected");
+    }
+}
+
+#[test]
+fn non_finite_floats_degrade_to_nan_not_errors() {
+    // Non-finite floats serialize as `null` (documented trace-format
+    // behavior) and come back as NaN — lossy, but never a parse error and
+    // never a wrong finite number.
+    let event = Event::ArmChosen {
+        user: 1,
+        arm: 2,
+        ucb: f64::INFINITY,
+        beta: f64::NEG_INFINITY,
+        cost: f64::NAN,
+    };
+    let line = event.to_json();
+    assert!(line.contains("null"), "{line}");
+    match Event::from_json(&line).unwrap() {
+        Event::ArmChosen {
+            ucb, beta, cost, ..
+        } => {
+            assert!(ucb.is_nan() && beta.is_nan() && cost.is_nan());
+        }
+        other => panic!("wrong variant: {other:?}"),
+    }
+}

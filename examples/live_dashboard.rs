@@ -1,0 +1,235 @@
+//! A HYBRID multi-tenant run that is observable *while it executes*.
+//!
+//! Wires the full live-telemetry stack around an [`EaseMl`] server:
+//!
+//! * a [`TeeRecorder`] fans every event out to an [`InMemoryRecorder`]
+//!   (backing `/trace`), a [`TimeSeriesRecorder`] (per-tenant regret
+//!   curves), and a rotating [`JsonlFileSink`] on disk;
+//! * a [`TelemetryServer`] serves `/healthz`, `/metrics` (Prometheus),
+//!   `/status` (JSON job snapshot), and `/trace?after=<seq>`;
+//! * while rounds execute, the example polls its *own* `/metrics` endpoint
+//!   over TCP — exactly what a Prometheus scraper would fetch — and renders
+//!   the per-tenant regret table in the terminal.
+//!
+//! Run with: `cargo run --release --example live_dashboard`
+//!
+//! Flags: `--rounds N` (default 60), `--port P` (default 0 = ephemeral),
+//! `--no-serve` (skip the HTTP endpoint; print from the in-process
+//! snapshot instead — used by the CI smoke test).
+
+use easeml::prelude::*;
+use easeml::server::{QualityOracle, TrainingOutcome};
+use easeml_dsl::ModelId;
+use easeml_obs::{
+    InMemoryRecorder, JsonlFileSink, RecorderHandle, StreamingSink, TeeRecorder, TimeSeriesRecorder,
+};
+use easeml_obs_http::{TelemetryHub, TelemetryServer};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+/// Four research groups sharing the cluster: two vision, two time-series.
+const TENANTS: &[(&str, &str)] = &[
+    (
+        "vision-lab",
+        "{input: {[Tensor[64, 64, 3]], []}, output: {[Tensor[5]], []}}",
+    ),
+    (
+        "meteo-lab",
+        "{input: {[Tensor[16]], [next]}, output: {[Tensor[3]], []}}",
+    ),
+    (
+        "astro-lab",
+        "{input: {[Tensor[32, 32, 3]], []}, output: {[Tensor[10]], []}}",
+    ),
+    (
+        "finance-lab",
+        "{input: {[Tensor[8]], [next]}, output: {[Tensor[2]], []}}",
+    ),
+];
+
+/// Deterministic toy oracle: per-user base quality plus a model-recency
+/// bonus, cost from the model zoo. Kept as a free function so the example
+/// can also compute each tenant's best achievable quality μ* (the regret
+/// target).
+fn oracle(user: usize, model: ModelId) -> TrainingOutcome {
+    let info = model.info();
+    let base = [0.70, 0.52, 0.61, 0.47][user % 4];
+    TrainingOutcome {
+        accuracy: (base + 0.02 * (info.year as f64 - 2010.0)).min(0.99),
+        cost: info.relative_cost,
+    }
+}
+
+struct Options {
+    rounds: usize,
+    serve: bool,
+    port: u16,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        rounds: 60,
+        serve: true,
+        port: 0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--rounds" => {
+                let value = args.next().expect("--rounds needs a value");
+                opts.rounds = value.parse().expect("--rounds must be an integer");
+            }
+            "--port" => {
+                let value = args.next().expect("--port needs a value");
+                opts.port = value.parse().expect("--port must be a port number");
+            }
+            "--no-serve" => opts.serve = false,
+            other => {
+                eprintln!("unknown argument {other:?}; flags: --rounds N --port P --no-serve");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// One blocking `GET` against the local endpoint; returns the body.
+fn fetch(addr: SocketAddr, target: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("telemetry endpoint vanished");
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: dash\r\n\r\n").expect("write request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    match raw.split_once("\r\n\r\n") {
+        Some((_, body)) => body.to_string(),
+        None => String::new(),
+    }
+}
+
+/// Pulls `easeml_user_regret{user="i"} v` samples out of a Prometheus
+/// payload — the same parse a dashboard panel would do.
+fn regret_from_metrics(metrics: &str) -> Vec<(usize, f64)> {
+    metrics
+        .lines()
+        .filter_map(|line| {
+            let rest = line.strip_prefix("easeml_user_regret{user=\"")?;
+            let (user, value) = rest.split_once("\"} ")?;
+            Some((user.parse().ok()?, value.parse().ok()?))
+        })
+        .collect()
+}
+
+fn print_table(round: usize, clock: f64, regrets: &[(usize, f64)], source: &str) {
+    println!("after round {round:>4}  (sim clock {clock:>8.2}, via {source})");
+    println!("  {:<12} {:>8}", "tenant", "regret");
+    for &(user, regret) in regrets {
+        let name = TENANTS.get(user).map_or("?", |(n, _)| *n);
+        let bar = "#".repeat((regret * 40.0).round() as usize);
+        println!("  {name:<12} {regret:>8.4}  {bar}");
+    }
+    let mean = regrets.iter().map(|(_, r)| r).sum::<f64>() / regrets.len().max(1) as f64;
+    println!("  {:<12} {mean:>8.4}\n", "mean");
+}
+
+fn main() {
+    let opts = parse_args();
+
+    // Recorder stack: one event stream feeds the in-memory trace, the
+    // per-tenant regret curves, and a rotating on-disk JSONL trace.
+    let primary = Arc::new(InMemoryRecorder::new());
+    let series = Arc::new(TimeSeriesRecorder::new().with_sample_interval(0.5));
+    let trace_path = std::env::temp_dir().join(format!(
+        "easeml-live-dashboard-{}.jsonl",
+        std::process::id()
+    ));
+    let file_sink =
+        Arc::new(JsonlFileSink::create(&trace_path).expect("create trace file in temp dir"));
+    let tee = Arc::new(
+        TeeRecorder::new(primary.clone())
+            .with_sink(series.clone() as Arc<dyn StreamingSink>)
+            .with_sink(file_sink.clone() as Arc<dyn StreamingSink>),
+    );
+
+    let quality: QualityOracle = Box::new(oracle);
+    let mut service = EaseMl::new(quality, 42);
+    service.set_recorder(RecorderHandle::new(tee.clone()));
+    for (name, program) in TENANTS {
+        service.register_user(name, program).expect("valid program");
+    }
+    // Regret against the true best achievable quality μ*, which the toy
+    // oracle lets us compute exactly.
+    for user in 0..service.num_users() {
+        let target = service
+            .job(user)
+            .candidate_models()
+            .iter()
+            .map(|&m| oracle(user, m).accuracy)
+            .fold(0.0f64, f64::max);
+        series.set_target(user, target);
+    }
+
+    let hub = Arc::new(TelemetryHub::new(primary.clone()).with_series(series.clone()));
+    hub.set_status_json(service.status_json());
+    let telemetry = if opts.serve {
+        let server = TelemetryServer::serve(("127.0.0.1", opts.port), hub.clone())
+            .expect("bind telemetry endpoint");
+        println!("live telemetry on http://{}", server.local_addr());
+        println!("  /healthz  /metrics  /status  /trace?after=<seq>\n");
+        Some(server)
+    } else {
+        None
+    };
+
+    let poll_every = (opts.rounds / 6).max(1);
+    for round in 1..=opts.rounds {
+        service.run_round();
+        hub.set_status_json(service.status_json());
+        if round % poll_every == 0 || round == opts.rounds {
+            match &telemetry {
+                Some(server) => {
+                    // Poll our own endpoint — the same bytes Prometheus
+                    // would scrape — and render the regret table from it.
+                    let metrics = fetch(server.local_addr(), "/metrics");
+                    let mut regrets = regret_from_metrics(&metrics);
+                    regrets.sort_unstable_by_key(|&(user, _)| user);
+                    print_table(round, service.elapsed(), &regrets, "/metrics");
+                }
+                None => {
+                    let snapshot = series.snapshot();
+                    let regrets: Vec<(usize, f64)> = snapshot
+                        .users
+                        .iter()
+                        .map(|(&user, s)| (user, s.regret()))
+                        .collect();
+                    print_table(round, snapshot.clock, &regrets, "snapshot");
+                }
+            }
+        }
+    }
+
+    tee.flush();
+    let snapshot = series.snapshot();
+    println!(
+        "done: {} rounds, sim clock {:.2}",
+        snapshot.rounds, snapshot.clock
+    );
+    println!(
+        "trace: {} events in memory, JSONL on disk at {} ({} rotations, {} dropped)",
+        primary.num_events(),
+        trace_path.display(),
+        file_sink.rotations(),
+        file_sink.dropped(),
+    );
+    if let Some(server) = &telemetry {
+        let trace_tail = fetch(
+            server.local_addr(),
+            &format!("/trace?after={}", primary.last_seq().saturating_sub(2)),
+        );
+        println!("last trace lines via /trace:");
+        for line in trace_tail.lines() {
+            println!("  {line}");
+        }
+    }
+    drop(telemetry);
+    let _ = std::fs::remove_file(&trace_path);
+}

@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# Compare two `easeml_bench::obs_snapshot` perf dumps and fail on
+# per-component latency regressions.
+#
+# Usage: scripts/bench_snapshot_diff.sh BASELINE.perf.json CANDIDATE.perf.json [THRESHOLD_PCT]
+#
+#   BASELINE / CANDIDATE  perf.json files written under target/experiments/
+#                         by `cargo bench -p easeml-bench --bench obs_overhead`
+#   THRESHOLD_PCT         max allowed p50/p95 increase, percent (default 25)
+#
+# Environment:
+#   MIN_BASELINE_NS  baseline quantiles below this are treated as noise
+#                    floor and skipped (default 500)
+#
+# Exit status: 0 if no component regressed, 1 if any p50 or p95 grew by
+# more than the threshold, 2 on usage/parse errors.
+#
+# Components absent from either file, or with a zero sample count in
+# either, are reported as "skipped" — a missing component is a schema
+# change, not a perf regression, and belongs in review.
+set -euo pipefail
+
+if [[ $# -lt 2 || $# -gt 3 ]]; then
+    echo "usage: $0 BASELINE.perf.json CANDIDATE.perf.json [THRESHOLD_PCT]" >&2
+    exit 2
+fi
+
+baseline=$1
+candidate=$2
+threshold=${3:-25}
+min_ns=${MIN_BASELINE_NS:-500}
+
+for f in "$baseline" "$candidate"; do
+    if [[ ! -r $f ]]; then
+        echo "error: cannot read $f" >&2
+        exit 2
+    fi
+done
+
+# Component lines look like
+#     {"name": "sched/pick", "count": 123, "p50_ns": 4567, "p95_ns": 8910, "max_ns": 11213},
+# and are the only lines carrying a "p50_ns" key (the "events" array
+# reuses the name/count shape but has no quantiles).
+awk -v threshold="$threshold" -v min_ns="$min_ns" '
+function extract(line, key,    rest) {
+    if (index(line, "\"" key "\":") == 0) return ""
+    rest = substr(line, index(line, "\"" key "\":") + length(key) + 3)
+    gsub(/^[ \t]+/, "", rest)
+    gsub(/[,}].*$/, "", rest)
+    gsub(/"/, "", rest)
+    return rest
+}
+FNR == 1 { file_idx++ }
+/"p50_ns"/ {
+    name = extract($0, "name")
+    if (name == "") next
+    if (file_idx == 1) {
+        base_count[name] = extract($0, "count")
+        base_p50[name] = extract($0, "p50_ns")
+        base_p95[name] = extract($0, "p95_ns")
+    } else {
+        cand_count[name] = extract($0, "count")
+        cand_p50[name] = extract($0, "p50_ns")
+        cand_p95[name] = extract($0, "p95_ns")
+        order[++n] = name
+    }
+}
+END {
+    if (n == 0) {
+        printf "error: no component lines with p50_ns found in the candidate file\n" > "/dev/stderr"
+        exit 2
+    }
+    printf "%-22s %12s %12s %8s   %s\n", "component", "quantile", "baseline", "now", "delta"
+    failed = 0
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        if (!(name in base_count)) {
+            printf "%-22s %12s  (skipped: not in baseline)\n", name, "-"
+            continue
+        }
+        if (base_count[name] + 0 == 0 || cand_count[name] + 0 == 0) {
+            printf "%-22s %12s  (skipped: zero samples)\n", name, "-"
+            continue
+        }
+        split("p50 p95", qs, " ")
+        for (q = 1; q <= 2; q++) {
+            quant = qs[q]
+            b = (quant == "p50") ? base_p50[name] + 0 : base_p95[name] + 0
+            c = (quant == "p50") ? cand_p50[name] + 0 : cand_p95[name] + 0
+            if (b < min_ns) {
+                printf "%-22s %12s %12d %8d   (skipped: baseline under %d ns noise floor)\n", \
+                    name, quant "_ns", b, c, min_ns
+                continue
+            }
+            delta = 100.0 * (c - b) / b
+            flag = ""
+            if (delta > threshold + 0) {
+                flag = "  REGRESSION (limit +" threshold "%)"
+                failed = 1
+            }
+            printf "%-22s %12s %12d %8d   %+7.1f%%%s\n", name, quant "_ns", b, c, delta, flag
+        }
+    }
+    if (failed) {
+        printf "\nFAIL: at least one component quantile regressed more than %s%%\n", threshold
+        exit 1
+    }
+    printf "\nOK: no component quantile regressed more than %s%%\n", threshold
+}
+' "$baseline" "$candidate"

@@ -14,4 +14,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+echo "==> cargo doc (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> live_dashboard smoke run"
+cargo run --quiet --example live_dashboard -- --rounds 5 --no-serve
+
 echo "CI gate passed."

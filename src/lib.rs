@@ -11,7 +11,11 @@
 //! * [`easeml_gp`] — Gaussian-process posteriors and kernels;
 //! * [`easeml_data`] — datasets and the Appendix-B generator;
 //! * [`easeml_dsl`] — the declarative language and template matcher;
-//! * [`easeml_linalg`] — the dense linear-algebra substrate.
+//! * [`easeml_linalg`] — the dense linear-algebra substrate;
+//! * [`easeml_obs`] — zero-cost observability (events, histograms, sinks,
+//!   regret time series);
+//! * [`easeml_obs_http`] — the live telemetry endpoint (`/metrics`,
+//!   `/status`, `/trace`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -22,4 +26,6 @@ pub use easeml_data;
 pub use easeml_dsl;
 pub use easeml_gp;
 pub use easeml_linalg;
+pub use easeml_obs;
+pub use easeml_obs_http;
 pub use easeml_sched;

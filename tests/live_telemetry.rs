@@ -1,0 +1,157 @@
+//! End-to-end live telemetry: an [`EaseMl`] server instrumented with the
+//! full tee stack (in-memory trace + regret time series + rotating file
+//! sink), exported over a real TCP [`TelemetryServer`], asserted through
+//! the same HTTP requests a Prometheus scraper or dashboard would make.
+
+use easeml::prelude::*;
+use easeml::server::{QualityOracle, TrainingOutcome};
+use easeml_obs::{
+    Event, InMemoryRecorder, JsonlFileSink, RecorderHandle, StreamingSink, TeeRecorder,
+    TimeSeriesRecorder,
+};
+use easeml_obs_http::{TelemetryHub, TelemetryServer};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+const IMAGE_PROG: &str = "{input: {[Tensor[64, 64, 3]], []}, output: {[Tensor[5]], []}}";
+const TS_PROG: &str = "{input: {[Tensor[16]], [next]}, output: {[Tensor[3]], []}}";
+
+fn toy_oracle() -> QualityOracle {
+    Box::new(|user, model| {
+        let info = model.info();
+        let base = if user % 2 == 0 { 0.7 } else { 0.5 };
+        TrainingOutcome {
+            accuracy: (base + 0.02 * (info.year as f64 - 2010.0)).min(0.99),
+            cost: info.relative_cost,
+        }
+    })
+}
+
+fn get(addr: SocketAddr, target: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").unwrap();
+    (head.to_string(), body.to_string())
+}
+
+#[test]
+fn scheduler_run_is_observable_over_http() {
+    // --- the instrumented service -----------------------------------
+    let primary = Arc::new(InMemoryRecorder::new());
+    let series = Arc::new(TimeSeriesRecorder::new());
+    let trace_path = std::env::temp_dir().join(format!(
+        "easeml-live-telemetry-test-{}.jsonl",
+        std::process::id()
+    ));
+    let file_sink = Arc::new(JsonlFileSink::create(&trace_path).unwrap());
+    let tee = Arc::new(
+        TeeRecorder::new(primary.clone())
+            .with_sink(series.clone() as Arc<dyn StreamingSink>)
+            .with_sink(file_sink.clone() as Arc<dyn StreamingSink>),
+    );
+
+    let mut service = EaseMl::new(toy_oracle(), 11);
+    service.set_recorder(RecorderHandle::new(tee.clone()));
+    service.register_user("vision-lab", IMAGE_PROG).unwrap();
+    service.register_user("meteo-lab", TS_PROG).unwrap();
+
+    let hub = Arc::new(TelemetryHub::new(primary.clone()).with_series(series.clone()));
+    let server = TelemetryServer::serve("127.0.0.1:0", hub.clone()).unwrap();
+    let addr = server.local_addr();
+
+    for _ in 0..20 {
+        service.run_round();
+    }
+    hub.set_status_json(service.status_json());
+    tee.flush();
+
+    // --- /healthz ----------------------------------------------------
+    let (head, body) = get(addr, "/healthz");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(body, "ok\n");
+
+    // --- /metrics: Prometheus text with regret and latency buckets ---
+    let (head, metrics) = get(addr, "/metrics");
+    assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+    assert!(
+        metrics.contains("easeml_user_regret{user=\"0\"}"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("easeml_user_regret{user=\"1\"}"),
+        "{metrics}"
+    );
+    // run_round times SimRound and (post-warm-up) SchedulerPick; both must
+    // surface as cumulative histogram series closing with +Inf.
+    for component in ["sim/round", "sched/pick"] {
+        assert!(
+            metrics.contains(&format!(
+                "easeml_component_latency_ns_bucket{{component=\"{component}\",le=\"+Inf\"}}"
+            )),
+            "missing +Inf bucket for {component}: {metrics}"
+        );
+        assert!(
+            metrics.contains(&format!(
+                "easeml_component_latency_ns_count{{component=\"{component}\"}}"
+            )),
+            "{metrics}"
+        );
+    }
+    // Cumulative le= buckets are non-decreasing for each component.
+    let mut last: Option<(String, u64)> = None;
+    for line in metrics.lines().filter(|l| {
+        l.starts_with("easeml_component_latency_ns_bucket") && !l.contains("le=\"+Inf\"")
+    }) {
+        let component = line.split("component=\"").nth(1).unwrap().split('"').next();
+        let value: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        let key = component.unwrap().to_string();
+        if let Some((prev_key, prev)) = &last {
+            if *prev_key == key {
+                assert!(value >= *prev, "buckets not cumulative: {line}");
+            }
+        }
+        last = Some((key, value));
+    }
+    assert!(metrics.contains("easeml_rounds_total 20"), "{metrics}");
+    assert!(
+        metrics.contains("easeml_counter_total{name=\"server/rounds\"} 20"),
+        "{metrics}"
+    );
+
+    // --- /status: the scheduler snapshot -----------------------------
+    let (head, status) = get(addr, "/status");
+    assert!(head.contains("application/json"), "{head}");
+    assert!(status.contains("\"name\":\"vision-lab\""), "{status}");
+    assert!(status.contains("\"status\":\"exploring\""), "{status}");
+    assert!(status.contains("\"best_model\":"), "{status}");
+    assert!(status.contains("\"elapsed_cost\":"), "{status}");
+
+    // --- /trace?after=N returns exactly the events past the cursor ---
+    let total = primary.last_seq();
+    let (_, full) = get(addr, "/trace");
+    assert_eq!(full.lines().count() as u64, total);
+    let after = total - 3;
+    let (_, tail) = get(addr, &format!("/trace?after={after}"));
+    assert_eq!(tail.lines().count(), 3);
+    let expected = primary.events_since(after);
+    for (line, expected) in tail.lines().zip(&expected) {
+        assert_eq!(&Event::from_json(line).unwrap(), expected);
+    }
+    let (_, empty) = get(addr, &format!("/trace?after={total}"));
+    assert_eq!(empty, "");
+
+    // --- the file sink holds the same seq-tagged stream --------------
+    let disk = std::fs::read_to_string(&trace_path).unwrap();
+    assert_eq!(disk.lines().count() as u64, total);
+    let first = disk.lines().next().unwrap();
+    assert!(first.starts_with("{\"seq\":1,\"event\":"), "{first}");
+
+    // --- the tee's numbering agrees with the in-memory recorder ------
+    assert_eq!(tee.last_seq(), primary.last_seq());
+
+    drop(server);
+    let _ = std::fs::remove_file(&trace_path);
+}
