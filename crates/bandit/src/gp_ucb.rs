@@ -168,7 +168,12 @@ impl GpUcb {
     }
 
     /// Chooses the next arm: argmax of the UCB, ties toward the lower index.
+    ///
+    /// Runs under a `pick_arm` span; the emitted [`Event::ArmChosen`] carries
+    /// the chosen arm's posterior mean and standard deviation so offline
+    /// tooling can score the GP's calibration against the realized quality.
     pub fn select_arm(&self) -> usize {
+        let _span = self.recorder.span("pick_arm");
         let _timing = self.recorder.time(Component::ArmSelect);
         let arm = vec_ops::argmax(&self.ucbs()).expect("policy has at least one arm");
         self.recorder.emit(|| Event::ArmChosen {
@@ -177,23 +182,33 @@ impl GpUcb {
             ucb: self.ucb(arm),
             beta: self.beta_next(),
             cost: self.cost(arm),
+            mean: self.gp.mean(arm),
+            sigma: self.gp.std(arm),
+            parent: easeml_obs::current_span(),
         });
         arm
     }
 
     /// Incorporates an observation.
     ///
+    /// Runs under a `posterior_update` span; the emitted
+    /// [`Event::PosteriorUpdated`] carries the refreshed factor's condition
+    /// estimate for numerical-health monitoring.
+    ///
     /// # Panics
     ///
     /// Panics on out-of-range arms or non-finite rewards (propagated from
     /// the posterior).
     pub fn observe(&mut self, arm: usize, reward: f64) {
+        let _span = self.recorder.span("posterior_update");
         self.gp.observe(arm, reward);
         self.t += 1;
         self.recorder.emit(|| Event::PosteriorUpdated {
             arm,
             reward,
             num_obs: self.t,
+            cond: self.gp.condition_estimate(),
+            parent: easeml_obs::current_span(),
         });
     }
 
@@ -360,11 +375,43 @@ mod tests {
         let a = ucb.select_arm();
         ucb.observe(a, 0.4);
         let events = rec.events();
-        assert!(matches!(events[0], Event::ArmChosen { user: 7, .. }));
-        assert!(matches!(
-            events[1],
-            Event::PosteriorUpdated { num_obs: 1, .. }
-        ));
+        // Each call wraps its event in a span: start, payload, end — twice.
+        assert_eq!(events.len(), 6, "{events:?}");
+        let (pick_span, arm_parent) = match (&events[0], &events[1]) {
+            (
+                Event::SpanStart { span, name, .. },
+                Event::ArmChosen {
+                    user: 7,
+                    mean,
+                    sigma,
+                    parent,
+                    ..
+                },
+            ) => {
+                assert_eq!(name, "pick_arm");
+                assert!(mean.is_finite() && *sigma >= 0.0);
+                (*span, *parent)
+            }
+            other => panic!("unexpected leading events {other:?}"),
+        };
+        assert_eq!(arm_parent, pick_span, "ArmChosen nests under pick_arm");
+        assert!(matches!(events[2], Event::SpanEnd { span, .. } if span == pick_span));
+        match (&events[3], &events[4]) {
+            (
+                Event::SpanStart { span, name, .. },
+                Event::PosteriorUpdated {
+                    num_obs: 1,
+                    cond,
+                    parent,
+                    ..
+                },
+            ) => {
+                assert_eq!(name, "posterior_update");
+                assert!(*cond >= 1.0);
+                assert_eq!(parent, span);
+            }
+            other => panic!("unexpected observe events {other:?}"),
+        }
         assert_eq!(rec.timing(Component::ArmSelect).count(), 1);
     }
 

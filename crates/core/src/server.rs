@@ -179,6 +179,7 @@ impl EaseMl {
     pub fn run_round(&mut self) -> (usize, ModelId, TrainingOutcome) {
         assert!(!self.users.is_empty(), "no registered users");
         let _round = self.recorder.time(Component::SimRound);
+        let _step_span = self.recorder.span("scheduler_step");
         let mut picker = self.picker.lock();
         let mut rng = self.rng.lock();
         let mut warmed = self.warmed_up.lock();
@@ -190,6 +191,7 @@ impl EaseMl {
             *warmed += 1;
             u
         } else {
+            let _pick_span = self.recorder.span("pick_user");
             let _pick = self.recorder.time(Component::SchedulerPick);
             let u = picker.pick(&self.tenants, *step, &mut *rng);
             *step += 1;
@@ -199,20 +201,24 @@ impl EaseMl {
         let model_idx = self.tenants[user].select_model();
         let model = self.jobs[user].candidate_models()[model_idx];
         let outcome = (self.oracle)(user, model);
-        self.cluster.lock().execute(TrainingRun {
-            user,
-            model: model_idx,
-            cost: outcome.cost,
-        });
+        {
+            let _train = self.recorder.span("train");
+            self.cluster.lock().execute(TrainingRun {
+                user,
+                model: model_idx,
+                cost: outcome.cost,
+            });
+            self.recorder.emit(|| Event::TrainingCompleted {
+                user,
+                model: model_idx,
+                cost: outcome.cost,
+                quality: outcome.accuracy,
+                parent: easeml_obs::current_span(),
+            });
+        }
         self.tenants[user].observe(model_idx, outcome.accuracy);
         self.jobs[user].record_result(model_idx, outcome.accuracy);
         picker.after_observe(&self.tenants, user);
-        self.recorder.emit(|| Event::TrainingCompleted {
-            user,
-            model: model_idx,
-            cost: outcome.cost,
-            quality: outcome.accuracy,
-        });
         self.recorder.count("server/rounds", 1);
         (user, model, outcome)
     }
@@ -377,6 +383,50 @@ mod tests {
         // Post-warm-up rounds go through HYBRID, which logs its decision.
         assert!(counts.get("SchedulerDecision").copied().unwrap_or(0) >= 10);
         assert_eq!(rec.timing(Component::SimRound).count(), 12);
+
+        // The causal span tree: every round is one scheduler_step root, and
+        // every other span recorded during the round nests (transitively)
+        // under one. Starts and ends pair off exactly.
+        let events = rec.events();
+        let mut parents = std::collections::HashMap::new();
+        let mut open = Vec::new();
+        let mut roots = 0usize;
+        for e in &events {
+            match e {
+                Event::SpanStart {
+                    span, parent, name, ..
+                } => {
+                    parents.insert(*span, (*parent, name.clone()));
+                    open.push(*span);
+                    if *parent == 0 {
+                        roots += 1;
+                        assert_eq!(name, "scheduler_step", "only step spans are roots");
+                    }
+                }
+                Event::SpanEnd { span, .. } => {
+                    assert_eq!(open.pop(), Some(*span), "spans close LIFO");
+                }
+                other => {
+                    // Causal events recorded mid-round point at an open span.
+                    if let Some(p) = open.last() {
+                        assert_eq!(other.parent(), *p, "{other:?}");
+                    }
+                }
+            }
+        }
+        assert!(open.is_empty(), "all spans closed");
+        assert_eq!(roots, 12, "one scheduler_step per round");
+        let names: std::collections::BTreeSet<&str> =
+            parents.values().map(|(_, name)| name.as_str()).collect();
+        for expected in [
+            "scheduler_step",
+            "pick_user",
+            "pick_arm",
+            "train",
+            "posterior_update",
+        ] {
+            assert!(names.contains(expected), "missing span {expected}");
+        }
     }
 
     #[test]

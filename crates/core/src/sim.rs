@@ -316,27 +316,37 @@ fn simulate_heuristic(
     let mut events = Vec::new();
     while cluster.makespan() < cfg.budget {
         let _round = recorder.time(Component::SimRound);
-        let user = step % n;
-        recorder.emit(|| Event::SchedulerDecision {
-            round: step as u64,
-            user,
-            rule: kind.name().to_string(),
-            scores: Vec::new(),
-        });
+        let _step_span = recorder.span("scheduler_step");
+        let user = {
+            let _pick = recorder.span("pick_user");
+            let user = step % n;
+            recorder.emit(|| Event::SchedulerDecision {
+                round: step as u64,
+                user,
+                rule: kind.name().to_string(),
+                scores: Vec::new(),
+                parent: easeml_obs::current_span(),
+            });
+            user
+        };
         let model = policies[user].select(&mut dummy_rng);
         let quality = dataset.quality(user, model);
         let cost = dataset.cost(user, model);
-        cluster.execute(TrainingRun { user, model, cost });
+        {
+            let _train = recorder.span("train");
+            cluster.execute(TrainingRun { user, model, cost });
+            recorder.emit(|| Event::TrainingCompleted {
+                user,
+                model,
+                cost,
+                quality,
+                parent: easeml_obs::current_span(),
+            });
+        }
         policies[user].observe(model, quality);
         losses.observe(user, quality);
         points.push((cluster.makespan(), losses.mean_loss()));
         events.push(SimEvent {
-            user,
-            model,
-            cost,
-            quality,
-        });
-        recorder.emit(|| Event::TrainingCompleted {
             user,
             model,
             cost,
@@ -446,17 +456,21 @@ fn simulate_gp(
         let model = tenants[user].select_model();
         let quality = dataset.quality(user, model);
         let cost = dataset.cost(user, model);
-        cluster.execute(TrainingRun { user, model, cost });
+        {
+            let _train = recorder.span("train");
+            cluster.execute(TrainingRun { user, model, cost });
+            recorder.emit(|| Event::TrainingCompleted {
+                user,
+                model,
+                cost,
+                quality,
+                parent: easeml_obs::current_span(),
+            });
+        }
         tenants[user].observe(model, quality);
         losses.observe(user, quality);
         points.push((cluster.makespan(), losses.mean_loss()));
         events.push(SimEvent {
-            user,
-            model,
-            cost,
-            quality,
-        });
-        recorder.emit(|| Event::TrainingCompleted {
             user,
             model,
             cost,
@@ -481,7 +495,9 @@ fn simulate_gp(
     let mut step = 0usize;
     while cluster.makespan() < cfg.budget {
         let _round = recorder.time(Component::SimRound);
+        let _step_span = recorder.span("scheduler_step");
         let user = {
+            let _pick_span = recorder.span("pick_user");
             let _pick = recorder.time(Component::SchedulerPick);
             picker.pick(&tenants, step, rng)
         };
@@ -611,6 +627,7 @@ pub fn simulate_parallel_with_recorder(
         // Ask the picker until it names a free user (bounded retries), then
         // fall back to the first free user.
         let mut user = None;
+        let _pick_span = recorder.span("pick_user");
         let _pick = recorder.time(Component::SchedulerPick);
         for _ in 0..4 * busy_user.len() {
             let u = picker.pick(tenants, *step, rng);
@@ -621,6 +638,7 @@ pub fn simulate_parallel_with_recorder(
             }
         }
         drop(_pick);
+        drop(_pick_span);
         let user = user.unwrap_or_else(|| busy_user.iter().position(|&b| !b).unwrap());
         let model = tenants[user].select_model();
         let cost = dataset.cost(user, model);
@@ -656,18 +674,24 @@ pub fn simulate_parallel_with_recorder(
         now = finish;
         busy_user[user] = false;
         let quality = dataset.quality(user, model);
-        tenants[user].observe(model, quality);
+        {
+            // Completion processing is one causal step: the posterior
+            // update and the completion record nest under it.
+            let _step_span = recorder.span("scheduler_step");
+            recorder.emit(|| Event::TrainingCompleted {
+                user,
+                model,
+                cost: dataset.cost(user, model),
+                quality,
+                parent: easeml_obs::current_span(),
+            });
+            tenants[user].observe(model, quality);
+        }
         losses.observe(user, quality);
         picker.after_observe(&tenants, user);
         points.push((finish, losses.mean_loss()));
         let cost = dataset.cost(user, model);
         events.push(SimEvent {
-            user,
-            model,
-            cost,
-            quality,
-        });
-        recorder.emit(|| Event::TrainingCompleted {
             user,
             model,
             cost,
@@ -796,6 +820,7 @@ mod tests {
                     model,
                     cost,
                     quality,
+                    ..
                 } => Some(SimEvent {
                     user,
                     model,
@@ -862,6 +887,7 @@ mod tests {
                     model,
                     cost,
                     quality,
+                    ..
                 } => Some(SimEvent {
                     user,
                     model,

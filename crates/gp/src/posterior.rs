@@ -131,6 +131,15 @@ impl GpPosterior {
         &self.vars
     }
 
+    /// Cheap condition-number estimate of the `Σ_t + σ²I` Cholesky factor
+    /// (see [`Cholesky::condition_estimate`]); 1 before any observation.
+    /// Exposed so telemetry can watch the posterior's numerical health as
+    /// the observation history grows.
+    #[inline]
+    pub fn condition_estimate(&self) -> f64 {
+        self.chol.condition_estimate()
+    }
+
     /// Best reward observed so far and the arm that produced it, or `None`
     /// before the first observation. This is the "best model so far" that
     /// ease.ml serves to the user (§3's ease.ml regret).
@@ -455,6 +464,22 @@ mod tests {
         assert!(j.is_symmetric(1e-12));
         assert!((j[(0, 0)] - gp.var(0)).abs() < 1e-10);
         assert!((j[(0, 1)] - gp.posterior_cov(0, 1)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn condition_estimate_starts_at_one_and_grows() {
+        let mut gp = GpPosterior::new(correlated_prior(0.95), 0.01);
+        assert_eq!(gp.condition_estimate(), 1.0);
+        gp.observe(0, 0.5);
+        let c1 = gp.condition_estimate();
+        assert!(c1 >= 1.0 && c1.is_finite());
+        // Repeatedly observing highly correlated arms with small noise
+        // makes the Gram matrix progressively ill-conditioned.
+        for _ in 0..8 {
+            gp.observe(0, 0.5);
+            gp.observe(1, 0.45);
+        }
+        assert!(gp.condition_estimate() > c1);
     }
 
     #[test]

@@ -106,11 +106,18 @@ impl Cholesky {
             pivot: 0,
             value: 0.0,
         };
-        for _ in 0..attempts {
+        for attempt in 1..=attempts {
             let mut aj = a.clone();
             aj.add_diag_mut(jitter);
             match Self::factor(&aj) {
-                Ok(c) => return Ok((c, jitter)),
+                Ok(c) => {
+                    easeml_obs::global_handle().emit(|| easeml_obs::Event::JitterRetry {
+                        attempts: attempt as u64,
+                        jitter,
+                        parent: easeml_obs::current_span(),
+                    });
+                    return Ok((c, jitter));
+                }
                 Err(e) => last_err = e,
             }
             jitter *= 10.0;
@@ -136,6 +143,30 @@ impl Cholesky {
     #[inline]
     pub fn l(&self) -> &Matrix {
         &self.l
+    }
+
+    /// Cheap 2-norm condition-number estimate of the factored matrix:
+    /// `(max Lᵢᵢ / min Lᵢᵢ)²`. The diagonal of `L` brackets the singular
+    /// values of `A = L Lᵀ`, so this underestimates the true κ₂ but tracks
+    /// its growth — enough to flag numerical degradation in telemetry
+    /// without an O(n³) SVD. Returns 1 for an empty factor.
+    pub fn condition_estimate(&self) -> f64 {
+        let n = self.l.rows();
+        if n == 0 {
+            return 1.0;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for i in 0..n {
+            let d = self.l[(i, i)];
+            min = min.min(d);
+            max = max.max(d);
+        }
+        if min <= 0.0 {
+            return f64::INFINITY;
+        }
+        let ratio = max / min;
+        ratio * ratio
     }
 
     /// Solves `A x = b` using the factor (`L Lᵀ x = b`).
@@ -312,6 +343,66 @@ mod tests {
         let mut a = b.matmul(&b.transpose()).unwrap();
         a.add_diag_mut(n as f64);
         a
+    }
+
+    #[test]
+    fn condition_estimate_tracks_diagonal_spread() {
+        assert_eq!(Cholesky::empty().condition_estimate(), 1.0);
+        let id = Cholesky::factor(&Matrix::identity(4)).unwrap();
+        assert!((id.condition_estimate() - 1.0).abs() < 1e-12);
+        // diag(100, 1): L = diag(10, 1), estimate (10/1)² = true κ₂ = 100.
+        let skewed = Cholesky::factor(&Matrix::from_diag(&[100.0, 1.0])).unwrap();
+        assert!((skewed.condition_estimate() - 100.0).abs() < 1e-9);
+        // The estimate never exceeds, and grows with, the true κ₂.
+        let a = spd(6, 3);
+        let c = Cholesky::factor(&a).unwrap();
+        assert!(c.condition_estimate() >= 1.0);
+    }
+
+    #[test]
+    fn numerical_health_events_reach_the_global_recorder() {
+        // The global recorder is process state; this single test covers
+        // both emission sites (jitter retry + PSD projection) to avoid
+        // racing another test for it under the parallel runner.
+        let recorder = std::sync::Arc::new(easeml_obs::InMemoryRecorder::new());
+        let previous = easeml_obs::set_global_recorder(Some(recorder.clone()));
+
+        // Indefinite matrix: plain factorization fails, jitter rescues it.
+        let ind = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        let psd = crate::project_psd(&ind, 0.0).unwrap();
+        let _ = Cholesky::factor_with_jitter(&psd, 1e-10, 12).unwrap();
+
+        easeml_obs::set_global_recorder(previous);
+        let events = recorder.events();
+        let jitter: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, easeml_obs::Event::JitterRetry { .. }))
+            .collect();
+        assert_eq!(jitter.len(), 1, "{events:?}");
+        match jitter[0] {
+            easeml_obs::Event::JitterRetry {
+                attempts, jitter, ..
+            } => {
+                assert!(*attempts >= 1);
+                assert!(*jitter > 0.0);
+            }
+            _ => unreachable!(),
+        }
+        let proj: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                easeml_obs::Event::PsdProjectionApplied {
+                    clipped,
+                    clipped_mass,
+                    ..
+                } => Some((*clipped, *clipped_mass)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(proj.len(), 1, "{events:?}");
+        let (clipped, mass) = proj[0];
+        assert_eq!(clipped, 1, "one eigenvalue (−1) clipped to 0");
+        assert!((mass - 1.0).abs() < 1e-9, "clipped mass ≈ 1, got {mass}");
     }
 
     #[test]

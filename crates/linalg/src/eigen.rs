@@ -141,18 +141,26 @@ pub fn eigen(a: &Matrix) -> Result<SymmetricEigen> {
 pub fn project_psd(a: &Matrix, floor: f64) -> Result<Matrix> {
     assert!(floor >= 0.0, "PSD floor must be non-negative");
     let mut decomp = eigen(a)?;
-    let mut changed = false;
+    let mut clipped = 0u64;
+    let mut clipped_mass = 0.0;
     for v in &mut decomp.values {
         if *v < floor {
+            clipped += 1;
+            clipped_mass += floor - *v;
             *v = floor;
-            changed = true;
         }
     }
-    if !changed {
+    if clipped == 0 {
         let mut out = a.clone();
         out.symmetrize_mut();
         return Ok(out);
     }
+    easeml_obs::global_handle().emit(|| easeml_obs::Event::PsdProjectionApplied {
+        floor,
+        clipped,
+        clipped_mass,
+        parent: easeml_obs::current_span(),
+    });
     let mut out = decomp.reconstruct();
     out.symmetrize_mut();
     Ok(out)

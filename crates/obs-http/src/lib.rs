@@ -12,7 +12,8 @@
 //! |                  | per-component latency histograms, per-tenant regret |
 //! | `GET /status`    | JSON scheduler snapshot pushed by the application   |
 //! | `GET /trace`     | JSONL event trace; `?after=<seq>` tails only events |
-//! |                  | with sequence number strictly greater than `seq`    |
+//! |                  | with sequence number strictly greater than `seq`;   |
+//! |                  | `?limit=<n>` caps the page at `n` events            |
 //!
 //! The application side is a [`TelemetryHub`]: it owns the
 //! [`InMemoryRecorder`] the scheduler writes through, optionally a
@@ -115,6 +116,12 @@ impl TelemetryHub {
         self.recorder.to_jsonl_since(after)
     }
 
+    /// Like [`TelemetryHub::render_trace_since`], but returns at most
+    /// `limit` events — the pagination contract behind `/trace?limit=`.
+    pub fn render_trace_page(&self, after: u64, limit: usize) -> String {
+        self.recorder.to_jsonl_since_capped(after, limit)
+    }
+
     /// Routes one parsed request to its response. Exposed for tests and
     /// for embedding the routing into another server.
     pub fn respond(&self, request: &Request) -> (Status, &'static str, String) {
@@ -133,18 +140,24 @@ impl TelemetryHub {
                 self.render_metrics(),
             ),
             "/status" => (Status::Ok, "application/json", self.status_json()),
-            "/trace" => match request.query_param("after").unwrap_or("0").parse::<u64>() {
-                Ok(after) => (
-                    Status::Ok,
-                    "application/x-ndjson",
-                    self.render_trace_since(after),
-                ),
-                Err(_) => (
-                    Status::BadRequest,
-                    "text/plain; charset=utf-8",
-                    "after must be an unsigned integer\n".to_string(),
-                ),
-            },
+            "/trace" => {
+                let after = request.query_param("after").unwrap_or("0").parse::<u64>();
+                let limit = request
+                    .query_param("limit")
+                    .map_or(Ok(usize::MAX), str::parse::<usize>);
+                match (after, limit) {
+                    (Ok(after), Ok(limit)) => (
+                        Status::Ok,
+                        "application/x-ndjson",
+                        self.render_trace_page(after, limit),
+                    ),
+                    _ => (
+                        Status::BadRequest,
+                        "text/plain; charset=utf-8",
+                        "after and limit must be unsigned integers\n".to_string(),
+                    ),
+                }
+            }
             _ => (
                 Status::NotFound,
                 "text/plain; charset=utf-8",
@@ -260,6 +273,7 @@ mod tests {
                 model: arm,
                 cost: 1.0,
                 quality: 0.5 + 0.1 * arm as f64,
+                parent: 0,
             });
         }
         let series = Arc::new(TimeSeriesRecorder::new());
@@ -323,6 +337,33 @@ mod tests {
     }
 
     #[test]
+    fn trace_limit_pages_through_the_stream() {
+        let hub = sample_hub();
+        let server = TelemetryServer::serve("127.0.0.1:0", hub).unwrap();
+        let addr = server.local_addr();
+
+        let (head, body) = get(addr, "/trace?limit=2");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body.lines().count(), 2);
+        // Next page: resume after the last seq of the previous one.
+        let (_, body) = get(addr, "/trace?after=2&limit=2");
+        assert_eq!(body.lines().count(), 2);
+        let event = Event::from_json(body.lines().next().unwrap()).unwrap();
+        assert!(matches!(event, Event::TrainingCompleted { model: 2, .. }));
+        // Past the end: empty page, not an error.
+        let (head, body) = get(addr, "/trace?after=4&limit=2");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "");
+        // limit=0 is a valid (empty) page; garbage is rejected.
+        let (_, body) = get(addr, "/trace?limit=0");
+        assert_eq!(body, "");
+        let (head, _) = get(addr, "/trace?limit=-2");
+        assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+        let (head, _) = get(addr, "/trace?limit=abc");
+        assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+    }
+
+    #[test]
     fn non_get_methods_are_rejected() {
         let hub = sample_hub();
         let server = TelemetryServer::serve("127.0.0.1:0", hub).unwrap();
@@ -357,6 +398,8 @@ mod tests {
                     arm: i % 8,
                     reward: 0.5,
                     num_obs: i + 1,
+                    cond: 1.0,
+                    parent: 0,
                 });
             }
         });

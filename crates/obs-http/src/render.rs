@@ -297,6 +297,7 @@ mod tests {
             model: 2,
             cost: 1.5,
             quality: 0.7,
+            parent: 0,
         });
         r.add_counter("rounds", 3);
         r.set_gauge("budget-left", 0.25);
@@ -377,12 +378,14 @@ mod tests {
             model: 2,
             cost: 1.0,
             quality: 0.4, // 0.9 - 0.4 is exactly representable (0.5)
+            parent: 0,
         });
         ts.fold(&Event::TrainingCompleted {
             user: 1,
             model: 0,
             cost: 2.0,
             quality: 0.75,
+            parent: 0,
         });
         let text = render_metrics(&InMemoryRecorder::new(), Some(&ts.snapshot()));
         assert!(

@@ -3,6 +3,14 @@
 use crate::json::{self, Json};
 use serde::Serialize;
 
+/// Version of the trace schema emitted by [`Event::to_json`].
+///
+/// Bumped whenever an event variant gains, loses, or retypes a field.
+/// [`Event::from_json`] stays backward compatible within a major paper-repro
+/// line by defaulting additive fields (`parent`, `mean`, `sigma`, `cond`)
+/// when they are absent, so version-1 traces still parse.
+pub const TRACE_SCHEMA_VERSION: u32 = 2;
+
 /// A structured observation emitted by an instrumented component.
 ///
 /// Events capture the *decisions* of the system — who was scheduled, which
@@ -10,6 +18,11 @@ use serde::Serialize;
 /// rather than raw log lines, so traces can be joined, replayed, and
 /// asserted on. Every variant serializes to one self-describing JSON object
 /// (`{"VariantName": {fields...}}`) and parses back via [`Event::from_json`].
+///
+/// Since schema version 2 every causal event carries a `parent` span id
+/// (`0` = not inside any span) linking it into the span tree recorded by
+/// [`SpanStart`](Event::SpanStart) / [`SpanEnd`](Event::SpanEnd), so offline
+/// tooling can reconstruct *why* an event happened, not just *that* it did.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub enum Event {
     /// The user-picking phase chose a tenant to serve this round.
@@ -25,6 +38,8 @@ pub enum Event {
         /// Per-tenant scores the decision was based on, indexed by tenant.
         /// Empty for strategies that do not score (FCFS, round robin).
         scores: Vec<f64>,
+        /// Id of the span this decision happened under (0 = none).
+        parent: u64,
     },
     /// The model-picking phase chose an arm for the served tenant.
     ArmChosen {
@@ -38,11 +53,21 @@ pub enum Event {
         beta: f64,
         /// The cost the bound was scaled by (1 when cost-oblivious).
         cost: f64,
+        /// Posterior mean of the chosen arm at decision time.
+        mean: f64,
+        /// Posterior standard deviation of the chosen arm at decision time.
+        /// Together with `mean` this lets offline tooling score the GP's
+        /// calibration against the realized quality.
+        sigma: f64,
+        /// Id of the span this choice happened under (0 = none).
+        parent: u64,
     },
     /// The hybrid scheduler permanently switched from greedy to round robin.
     HybridFallback {
         /// Human-readable account of what triggered the switch.
         reason: String,
+        /// Id of the span the fallback happened under (0 = none).
+        parent: u64,
     },
     /// A training run finished on the cluster.
     TrainingCompleted {
@@ -54,6 +79,8 @@ pub enum Event {
         cost: f64,
         /// Observed quality (accuracy) of the trained model.
         quality: f64,
+        /// Id of the span the run completed under (0 = none).
+        parent: u64,
     },
     /// A tenant's GP posterior absorbed a new observation.
     PosteriorUpdated {
@@ -63,6 +90,52 @@ pub enum Event {
         reward: f64,
         /// Total observations in the posterior after the update.
         num_obs: usize,
+        /// Cheap condition-number estimate of the posterior's Cholesky
+        /// factor after the update (`(max Lᵢᵢ / min Lᵢᵢ)²`; 1 when empty).
+        /// A growing value warns of numerical degradation before it bites.
+        cond: f64,
+        /// Id of the span the update happened under (0 = none).
+        parent: u64,
+    },
+    /// A named span opened: one node of the causal tree covering a stretch
+    /// of wall-clock work (e.g. `scheduler_step`, `pick_arm`, `train`).
+    SpanStart {
+        /// Unique id of this span within the process (1-based).
+        span: u64,
+        /// Id of the enclosing span (0 = a root span).
+        parent: u64,
+        /// Span name; one of the fixed hot-path stage names.
+        name: String,
+        /// Wall-clock nanoseconds since the process trace epoch.
+        ts_ns: u64,
+    },
+    /// The matching close of a [`SpanStart`](Event::SpanStart).
+    SpanEnd {
+        /// Id of the span being closed.
+        span: u64,
+        /// Wall-clock nanoseconds since the process trace epoch.
+        ts_ns: u64,
+    },
+    /// A Cholesky factorization only succeeded after adding diagonal jitter.
+    JitterRetry {
+        /// How many escalating jitter attempts ran (≥ 1).
+        attempts: u64,
+        /// The diagonal jitter that finally produced a valid factor.
+        jitter: f64,
+        /// Id of the span the retry happened under (0 = none).
+        parent: u64,
+    },
+    /// An empirical kernel matrix was projected onto the PSD cone.
+    PsdProjectionApplied {
+        /// The eigenvalue floor negative eigenvalues were clipped to.
+        floor: f64,
+        /// How many eigenvalues were clipped.
+        clipped: u64,
+        /// Total eigenvalue mass removed by clipping (sum of
+        /// `floor − λ` over clipped eigenvalues; ≥ 0).
+        clipped_mass: f64,
+        /// Id of the span the projection happened under (0 = none).
+        parent: u64,
     },
 }
 
@@ -75,6 +148,10 @@ impl Event {
             Event::HybridFallback { .. } => "HybridFallback",
             Event::TrainingCompleted { .. } => "TrainingCompleted",
             Event::PosteriorUpdated { .. } => "PosteriorUpdated",
+            Event::SpanStart { .. } => "SpanStart",
+            Event::SpanEnd { .. } => "SpanEnd",
+            Event::JitterRetry { .. } => "JitterRetry",
+            Event::PsdProjectionApplied { .. } => "PsdProjectionApplied",
         }
     }
 
@@ -84,7 +161,31 @@ impl Event {
             Event::SchedulerDecision { user, .. }
             | Event::ArmChosen { user, .. }
             | Event::TrainingCompleted { user, .. } => Some(*user),
-            Event::HybridFallback { .. } | Event::PosteriorUpdated { .. } => None,
+            Event::HybridFallback { .. }
+            | Event::PosteriorUpdated { .. }
+            | Event::SpanStart { .. }
+            | Event::SpanEnd { .. }
+            | Event::JitterRetry { .. }
+            | Event::PsdProjectionApplied { .. } => None,
+        }
+    }
+
+    /// The span this event is causally attached to (0 = none / root).
+    ///
+    /// For [`SpanStart`](Event::SpanStart) this is the *enclosing* span;
+    /// [`SpanEnd`](Event::SpanEnd) closes its own span and reports that id's
+    /// parent as unknown (0) — reconstruct it from the matching start.
+    pub fn parent(&self) -> u64 {
+        match self {
+            Event::SchedulerDecision { parent, .. }
+            | Event::ArmChosen { parent, .. }
+            | Event::HybridFallback { parent, .. }
+            | Event::TrainingCompleted { parent, .. }
+            | Event::PosteriorUpdated { parent, .. }
+            | Event::SpanStart { parent, .. }
+            | Event::JitterRetry { parent, .. }
+            | Event::PsdProjectionApplied { parent, .. } => *parent,
+            Event::SpanEnd { .. } => 0,
         }
     }
 
@@ -94,6 +195,9 @@ impl Event {
     }
 
     /// Parses an event back from the JSON produced by [`Event::to_json`].
+    ///
+    /// Fields added in schema version 2 (`parent`, `mean`, `sigma`, `cond`)
+    /// default to `0` / `NaN` when absent, so version-1 traces still load.
     ///
     /// # Errors
     ///
@@ -113,6 +217,7 @@ impl Event {
                 user: get_usize(fields, "user")?,
                 rule: get_str(fields, "rule")?,
                 scores: get_f64_array(fields, "scores")?,
+                parent: get_u64_or(fields, "parent", 0)?,
             }),
             "ArmChosen" => Ok(Event::ArmChosen {
                 user: get_usize(fields, "user")?,
@@ -120,20 +225,48 @@ impl Event {
                 ucb: get_f64(fields, "ucb")?,
                 beta: get_f64(fields, "beta")?,
                 cost: get_f64(fields, "cost")?,
+                mean: get_f64_or(fields, "mean", f64::NAN)?,
+                sigma: get_f64_or(fields, "sigma", f64::NAN)?,
+                parent: get_u64_or(fields, "parent", 0)?,
             }),
             "HybridFallback" => Ok(Event::HybridFallback {
                 reason: get_str(fields, "reason")?,
+                parent: get_u64_or(fields, "parent", 0)?,
             }),
             "TrainingCompleted" => Ok(Event::TrainingCompleted {
                 user: get_usize(fields, "user")?,
                 model: get_usize(fields, "model")?,
                 cost: get_f64(fields, "cost")?,
                 quality: get_f64(fields, "quality")?,
+                parent: get_u64_or(fields, "parent", 0)?,
             }),
             "PosteriorUpdated" => Ok(Event::PosteriorUpdated {
                 arm: get_usize(fields, "arm")?,
                 reward: get_f64(fields, "reward")?,
                 num_obs: get_usize(fields, "num_obs")?,
+                cond: get_f64_or(fields, "cond", f64::NAN)?,
+                parent: get_u64_or(fields, "parent", 0)?,
+            }),
+            "SpanStart" => Ok(Event::SpanStart {
+                span: get_u64(fields, "span")?,
+                parent: get_u64(fields, "parent")?,
+                name: get_str(fields, "name")?,
+                ts_ns: get_u64(fields, "ts_ns")?,
+            }),
+            "SpanEnd" => Ok(Event::SpanEnd {
+                span: get_u64(fields, "span")?,
+                ts_ns: get_u64(fields, "ts_ns")?,
+            }),
+            "JitterRetry" => Ok(Event::JitterRetry {
+                attempts: get_u64(fields, "attempts")?,
+                jitter: get_f64(fields, "jitter")?,
+                parent: get_u64_or(fields, "parent", 0)?,
+            }),
+            "PsdProjectionApplied" => Ok(Event::PsdProjectionApplied {
+                floor: get_f64(fields, "floor")?,
+                clipped: get_u64(fields, "clipped")?,
+                clipped_mass: get_f64(fields, "clipped_mass")?,
+                parent: get_u64_or(fields, "parent", 0)?,
             }),
             other => Err(format!("unknown event variant {other:?}")),
         }
@@ -157,12 +290,30 @@ fn get_f64(fields: &[(String, Json)], key: &str) -> Result<f64, String> {
     }
 }
 
+/// Like [`get_f64`] but with a default for fields added after schema v1.
+fn get_f64_or(fields: &[(String, Json)], key: &str, default: f64) -> Result<f64, String> {
+    if fields.iter().any(|(k, _)| k == key) {
+        get_f64(fields, key)
+    } else {
+        Ok(default)
+    }
+}
+
 fn get_u64(fields: &[(String, Json)], key: &str) -> Result<u64, String> {
     let n = get_f64(fields, key)?;
     if n.fract() == 0.0 && (0.0..9.0e15).contains(&n) {
         Ok(n as u64)
     } else {
         Err(format!("field {key:?}: {n} is not an unsigned integer"))
+    }
+}
+
+/// Like [`get_u64`] but with a default for fields added after schema v1.
+fn get_u64_or(fields: &[(String, Json)], key: &str, default: u64) -> Result<u64, String> {
+    if fields.iter().any(|(k, _)| k == key) {
+        get_u64(fields, key)
+    } else {
+        Ok(default)
     }
 }
 
@@ -202,6 +353,7 @@ mod tests {
                 user: 3,
                 rule: "greedy(max-gap)".into(),
                 scores: vec![0.1, 0.25, -0.5, 1.75e-3],
+                parent: 9,
             },
             Event::ArmChosen {
                 user: 3,
@@ -209,20 +361,48 @@ mod tests {
                 ucb: 0.912,
                 beta: 2.77,
                 cost: 1.0,
+                mean: 0.8,
+                sigma: 0.04,
+                parent: 10,
             },
             Event::HybridFallback {
                 reason: "no \"improvement\" for 10 rounds\nfrozen set {1, 2}".into(),
+                parent: 0,
             },
             Event::TrainingCompleted {
                 user: 0,
                 model: 19,
                 cost: 12.5,
                 quality: 0.843,
+                parent: 11,
             },
             Event::PosteriorUpdated {
                 arm: 19,
                 reward: 0.843,
                 num_obs: 11,
+                cond: 3.5,
+                parent: 12,
+            },
+            Event::SpanStart {
+                span: 9,
+                parent: 0,
+                name: "scheduler_step".into(),
+                ts_ns: 12_345,
+            },
+            Event::SpanEnd {
+                span: 9,
+                ts_ns: 99_999,
+            },
+            Event::JitterRetry {
+                attempts: 3,
+                jitter: 1e-8,
+                parent: 12,
+            },
+            Event::PsdProjectionApplied {
+                floor: 1e-9,
+                clipped: 2,
+                clipped_mass: 0.031,
+                parent: 0,
             },
         ]
     }
@@ -249,6 +429,46 @@ mod tests {
         assert!(Event::from_json("{\"Nope\":{}}").is_err());
         assert!(Event::from_json("{\"ArmChosen\":{\"user\":1}}").is_err());
         assert!(Event::from_json("[1,2]").is_err());
+        // Span events were introduced with their fields; they have no
+        // pre-v2 form to default from.
+        assert!(Event::from_json("{\"SpanStart\":{\"span\":1}}").is_err());
+    }
+
+    #[test]
+    fn schema_v1_lines_parse_with_defaults() {
+        // Exact serializations produced before the span/calibration fields
+        // existed: the additive fields must default instead of erroring.
+        let v1_decision = "{\"SchedulerDecision\":{\"round\":42,\"user\":3,\
+                           \"rule\":\"hybrid\",\"scores\":[0.5,0.25]}}";
+        match Event::from_json(v1_decision).unwrap() {
+            Event::SchedulerDecision { round, parent, .. } => {
+                assert_eq!(round, 42);
+                assert_eq!(parent, 0);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+        let v1_arm = "{\"ArmChosen\":{\"user\":1,\"arm\":2,\"ucb\":0.9,\
+                      \"beta\":2.0,\"cost\":1.0}}";
+        match Event::from_json(v1_arm).unwrap() {
+            Event::ArmChosen {
+                mean,
+                sigma,
+                parent,
+                ..
+            } => {
+                assert!(mean.is_nan() && sigma.is_nan());
+                assert_eq!(parent, 0);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+        let v1_post = "{\"PosteriorUpdated\":{\"arm\":4,\"reward\":0.7,\"num_obs\":9}}";
+        match Event::from_json(v1_post).unwrap() {
+            Event::PosteriorUpdated { cond, parent, .. } => {
+                assert!(cond.is_nan());
+                assert_eq!(parent, 0);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
     }
 
     #[test]
@@ -259,5 +479,13 @@ mod tests {
         assert_eq!(events[2].user(), None);
         assert_eq!(events[3].user(), Some(0));
         assert_eq!(events[4].user(), None);
+        assert!(events[5..].iter().all(|e| e.user().is_none()));
+    }
+
+    #[test]
+    fn parent_accessor_matches_variants() {
+        let events = samples();
+        let parents: Vec<u64> = events.iter().map(Event::parent).collect();
+        assert_eq!(parents, vec![9, 10, 0, 11, 12, 0, 0, 12, 0]);
     }
 }

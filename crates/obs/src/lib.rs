@@ -29,8 +29,16 @@
 //! let recorder = Arc::new(InMemoryRecorder::new());
 //! let handle = RecorderHandle::new(recorder.clone());
 //!
-//! // Components emit through the handle...
-//! handle.emit(|| Event::TrainingCompleted { user: 0, model: 3, cost: 1.0, quality: 0.91 });
+//! // Components emit through the handle, stamping the current causal span...
+//! let step = handle.span("scheduler_step");
+//! handle.emit(|| Event::TrainingCompleted {
+//!     user: 0,
+//!     model: 3,
+//!     cost: 1.0,
+//!     quality: 0.91,
+//!     parent: easeml_obs::current_span(),
+//! });
+//! drop(step);
 //!
 //! // ...and the recorder exports a JSONL trace or a summary table.
 //! let trace = recorder.to_jsonl();
@@ -57,14 +65,17 @@ pub mod json;
 mod memory;
 mod recorder;
 mod sink;
+mod span;
 mod timer;
 mod timeseries;
 
-pub use event::Event;
+pub use event::{Event, TRACE_SCHEMA_VERSION};
 pub use memory::{Histogram, InMemoryRecorder, UserStats};
 pub use recorder::{Component, NoopRecorder, Recorder, RecorderHandle};
 pub use sink::{
-    JsonlFileSink, StreamingSink, TeeRecorder, DEFAULT_KEEP_ROTATED, DEFAULT_MAX_FILE_BYTES,
+    schema_header_line, JsonlFileSink, StreamingSink, TeeRecorder, DEFAULT_KEEP_ROTATED,
+    DEFAULT_MAX_FILE_BYTES,
 };
+pub use span::{current_span, trace_ts_ns, SpanGuard};
 pub use timer::{global_handle, global_timer, set_global_recorder, GlobalTimer, ScopedTimer};
-pub use timeseries::{TimeSeriesRecorder, TimeSeriesSnapshot, UserSeries};
+pub use timeseries::{RegretDecomposition, TimeSeriesRecorder, TimeSeriesSnapshot, UserSeries};

@@ -160,10 +160,21 @@ impl UserStats {
 /// the same table at the same instant.
 #[derive(Debug, Default)]
 pub struct InMemoryRecorder {
-    events: Mutex<Vec<Event>>,
+    /// Recorded events with their explicit 1-based sequence numbers, in
+    /// ascending seq order. Storing the seq (instead of deriving it from
+    /// the index) lets [`InMemoryRecorder::events_since`] seek by binary
+    /// search and keeps cursors meaningful even if a future variant prunes
+    /// the head of the buffer.
+    events: Mutex<Vec<(u64, Event)>>,
     counters: Mutex<BTreeMap<&'static str, u64>>,
     gauges: Mutex<BTreeMap<&'static str, f64>>,
     timings: Mutex<Vec<Histogram>>,
+}
+
+/// Index of the first entry with seq strictly greater than `after`, found
+/// by binary search on the ascending seq column.
+fn seek(events: &[(u64, Event)], after: u64) -> usize {
+    events.partition_point(|(seq, _)| *seq <= after)
 }
 
 impl InMemoryRecorder {
@@ -190,16 +201,18 @@ impl InMemoryRecorder {
     /// `events_since(0)` is everything and `events_since(last_seq())` is
     /// empty — the contract behind the `/trace?after=<seq>` endpoint and
     /// any periodic exporter that must stay O(new events) on long runs.
+    /// The cursor position is found by binary search on the stored seq
+    /// column, not a linear scan.
     pub fn events_since(&self, after: u64) -> Vec<Event> {
         let events = self.events.lock();
-        let start = (after as usize).min(events.len());
-        events[start..].to_vec()
+        let start = seek(&events, after);
+        events[start..].iter().map(|(_, e)| e.clone()).collect()
     }
 
     /// Sequence number of the most recently recorded event (1-based), or 0
     /// when nothing has been recorded yet.
     pub fn last_seq(&self) -> u64 {
-        self.events.lock().len() as u64
+        self.events.lock().last().map_or(0, |(seq, _)| *seq)
     }
 
     /// Number of recorded events.
@@ -210,7 +223,7 @@ impl InMemoryRecorder {
     /// Event counts keyed by variant name.
     pub fn event_counts(&self) -> BTreeMap<&'static str, usize> {
         let mut out = BTreeMap::new();
-        for event in self.events.lock().iter() {
+        for (_, event) in self.events.lock().iter() {
             *out.entry(event.name()).or_insert(0) += 1;
         }
         out
@@ -245,7 +258,7 @@ impl InMemoryRecorder {
     /// events, keyed by tenant index.
     pub fn per_user_stats(&self) -> BTreeMap<usize, UserStats> {
         let mut out: BTreeMap<usize, UserStats> = BTreeMap::new();
-        for event in self.events.lock().iter() {
+        for (_, event) in self.events.lock().iter() {
             if let Event::TrainingCompleted {
                 user,
                 cost,
@@ -273,10 +286,19 @@ impl InMemoryRecorder {
     /// `after` as JSON Lines — the incremental counterpart of
     /// [`InMemoryRecorder::to_jsonl`], costing only the exported tail.
     pub fn to_jsonl_since(&self, after: u64) -> String {
+        self.to_jsonl_since_capped(after, usize::MAX)
+    }
+
+    /// Like [`InMemoryRecorder::to_jsonl_since`] but exporting at most
+    /// `limit` events past the cursor — the contract behind
+    /// `/trace?after=<seq>&limit=<n>`. Clients page forward by re-reading
+    /// with `after` advanced past the last line they consumed.
+    pub fn to_jsonl_since_capped(&self, after: u64, limit: usize) -> String {
         let events = self.events.lock();
-        let start = (after as usize).min(events.len());
+        let start = seek(&events, after);
+        let end = start.saturating_add(limit).min(events.len());
         let mut out = String::new();
-        for event in events[start..].iter() {
+        for (_, event) in events[start..end].iter() {
             out.push_str(&event.to_json());
             out.push('\n');
         }
@@ -362,7 +384,9 @@ impl InMemoryRecorder {
 
 impl Recorder for InMemoryRecorder {
     fn record(&self, event: Event) {
-        self.events.lock().push(event);
+        let mut events = self.events.lock();
+        let seq = events.last().map_or(0, |(seq, _)| *seq) + 1;
+        events.push((seq, event));
     }
 
     fn add_counter(&self, name: &'static str, delta: u64) {
@@ -498,6 +522,8 @@ mod tests {
                 arm,
                 reward: 0.5,
                 num_obs: arm + 1,
+                cond: 1.0,
+                parent: 0,
             });
         }
         assert_eq!(r.last_seq(), 5);
@@ -513,6 +539,58 @@ mod tests {
         assert_eq!(r.to_jsonl_since(0), r.to_jsonl());
         assert_eq!(r.to_jsonl_since(3).lines().count(), 2);
         assert_eq!(r.to_jsonl_since(99), "");
+    }
+
+    #[test]
+    fn capped_export_pages_through_the_stream() {
+        let r = InMemoryRecorder::new();
+        for arm in 0..10 {
+            r.record(Event::PosteriorUpdated {
+                arm,
+                reward: 0.5,
+                num_obs: arm + 1,
+                cond: 1.0,
+                parent: 0,
+            });
+        }
+        assert_eq!(r.to_jsonl_since_capped(0, 3).lines().count(), 3);
+        assert_eq!(r.to_jsonl_since_capped(8, 3).lines().count(), 2);
+        assert_eq!(r.to_jsonl_since_capped(0, 0), "");
+        assert_eq!(r.to_jsonl_since_capped(0, usize::MAX), r.to_jsonl());
+        // Paging with after + limit walks the stream without gaps.
+        let mut after = 0u64;
+        let mut pages = 0;
+        loop {
+            let page = r.to_jsonl_since_capped(after, 4);
+            if page.is_empty() {
+                break;
+            }
+            after += page.lines().count() as u64;
+            pages += 1;
+        }
+        assert_eq!(after, 10);
+        assert_eq!(pages, 3);
+    }
+
+    #[test]
+    fn seek_finds_the_cursor_by_binary_search() {
+        let events: Vec<(u64, Event)> = (1..=100)
+            .map(|seq| {
+                (
+                    seq,
+                    Event::HybridFallback {
+                        reason: String::new(),
+                        parent: 0,
+                    },
+                )
+            })
+            .collect();
+        assert_eq!(seek(&events, 0), 0);
+        assert_eq!(seek(&events, 1), 1);
+        assert_eq!(seek(&events, 57), 57);
+        assert_eq!(seek(&events, 100), 100);
+        assert_eq!(seek(&events, 1000), 100);
+        assert_eq!(seek(&[], 7), 0);
     }
 
     #[test]
@@ -550,6 +628,7 @@ mod tests {
                 model: 0,
                 cost,
                 quality,
+                parent: 0,
             });
         }
         let stats = r.per_user_stats();
@@ -570,6 +649,7 @@ mod tests {
             model: 1,
             cost: 1.5,
             quality: 0.7,
+            parent: 0,
         });
         r.add_counter("rounds", 3);
         r.set_gauge("budget-left", 0.25);
@@ -600,6 +680,7 @@ mod tests {
                             model: i,
                             cost: 1.0,
                             quality: 0.5,
+                            parent: 0,
                         });
                         h.count("rounds", 1);
                     }
@@ -622,11 +703,16 @@ mod tests {
     fn jsonl_is_one_line_per_event() {
         let r = InMemoryRecorder::new();
         assert_eq!(r.to_jsonl(), "");
-        r.record(Event::HybridFallback { reason: "a".into() });
+        r.record(Event::HybridFallback {
+            reason: "a".into(),
+            parent: 0,
+        });
         r.record(Event::PosteriorUpdated {
             arm: 1,
             reward: 0.5,
             num_obs: 2,
+            cond: 1.0,
+            parent: 0,
         });
         let jsonl = r.to_jsonl();
         assert_eq!(jsonl.lines().count(), 2);

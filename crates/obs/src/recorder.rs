@@ -155,6 +155,16 @@ impl RecorderHandle {
         ScopedTimer::new(self.inner.as_deref(), component)
     }
 
+    /// Opens a causal span named `name`: records [`Event::SpanStart`] now
+    /// and the matching [`Event::SpanEnd`] when the guard drops, and makes
+    /// the span the thread's [`current_span`](crate::current_span) for its
+    /// lifetime so events emitted inside it can stamp it as their `parent`.
+    /// Disabled handles return an inert guard — no allocation, no clock
+    /// read, no thread-local access.
+    pub fn span(&self, name: &'static str) -> crate::span::SpanGuard {
+        crate::span::SpanGuard::open(self.inner.as_ref(), name)
+    }
+
     /// The attached recorder, if any.
     pub fn recorder(&self) -> Option<&Arc<dyn Recorder>> {
         self.inner.as_ref()
@@ -203,6 +213,7 @@ mod tests {
         assert!(handle.is_enabled());
         handle.emit(|| Event::HybridFallback {
             reason: "test".into(),
+            parent: 0,
         });
         handle.count("rounds", 2);
         handle.count("rounds", 3);

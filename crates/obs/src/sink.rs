@@ -35,6 +35,18 @@ pub trait StreamingSink: Send + Sync {
     fn flush(&self) {}
 }
 
+/// The JSONL header line every [`JsonlFileSink`] segment starts with:
+/// `{"schema":"easeml-trace","version":N}` (no trailing newline).
+///
+/// Offline loaders use it to detect the schema version before parsing
+/// events; `N` is [`crate::TRACE_SCHEMA_VERSION`].
+pub fn schema_header_line() -> String {
+    format!(
+        "{{\"schema\":\"easeml-trace\",\"version\":{}}}",
+        crate::event::TRACE_SCHEMA_VERSION
+    )
+}
+
 /// Default rotation threshold of [`JsonlFileSink`]: 8 MiB per file.
 pub const DEFAULT_MAX_FILE_BYTES: u64 = 8 * 1024 * 1024;
 
@@ -76,13 +88,15 @@ impl JsonlFileSink {
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
         let path = path.as_ref().to_path_buf();
         let file = File::create(&path)?;
+        let mut writer = BufWriter::new(file);
+        let written = write_header(&mut writer);
         Ok(JsonlFileSink {
             path,
             max_bytes: DEFAULT_MAX_FILE_BYTES,
             keep_rotated: DEFAULT_KEEP_ROTATED,
             state: Mutex::new(FileSinkState {
-                writer: Some(BufWriter::new(file)),
-                written: 0,
+                writer: Some(writer),
+                written,
                 rotations: 0,
                 dropped: 0,
             }),
@@ -142,8 +156,9 @@ impl JsonlFileSink {
             .open(&self.path)
         {
             Ok(file) => {
-                state.writer = Some(BufWriter::new(file));
-                state.written = 0;
+                let mut writer = BufWriter::new(file);
+                state.written = write_header(&mut writer);
+                state.writer = Some(writer);
                 state.rotations += 1;
             }
             Err(_) => {
@@ -151,6 +166,18 @@ impl JsonlFileSink {
                 // dropped until a future rotation succeeds.
             }
         }
+    }
+}
+
+/// Writes the schema header line to a fresh segment, returning the bytes
+/// written (0 if the write failed — the segment then simply lacks its
+/// header, which loaders tolerate).
+fn write_header(writer: &mut BufWriter<File>) -> u64 {
+    let mut header = schema_header_line();
+    header.push('\n');
+    match writer.write_all(header.as_bytes()) {
+        Ok(()) => header.len() as u64,
+        Err(_) => 0,
     }
 }
 
@@ -282,7 +309,22 @@ mod tests {
             model: i % 7,
             cost: 1.25,
             quality: 0.5 + (i % 10) as f64 * 0.01,
+            parent: 0,
         }
+    }
+
+    fn is_header(line: &str) -> bool {
+        line.starts_with("{\"schema\":")
+    }
+
+    /// The event lines of a segment file, skipping schema headers.
+    fn event_lines(path: &Path) -> Vec<String> {
+        std::fs::read_to_string(path)
+            .unwrap()
+            .lines()
+            .filter(|l| !is_header(l))
+            .map(str::to_string)
+            .collect()
     }
 
     /// Splits a `{"seq":N,"event":{...}}` sink line into its parts.
@@ -310,8 +352,10 @@ mod tests {
         }
         let content = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = content.lines().collect();
-        assert_eq!(lines.len(), 10);
-        for (i, line) in lines.iter().enumerate() {
+        assert_eq!(lines.len(), 11);
+        // Every segment leads with the schema-version header line.
+        assert_eq!(lines[0], schema_header_line());
+        for (i, line) in lines[1..].iter().enumerate() {
             let (seq, event) = parse_sink_line(line);
             assert_eq!(seq, i as u64 + 1);
             assert_eq!(event, sample_event(i));
@@ -343,22 +387,15 @@ mod tests {
         for n in [2usize, 1] {
             let p = sink.rotated_path(n);
             if p.exists() {
-                all_lines.extend(
-                    std::fs::read_to_string(&p)
-                        .unwrap()
-                        .lines()
-                        .map(str::to_string)
-                        .collect::<Vec<_>>(),
-                );
+                // Rotated segments keep their own schema header.
+                let raw = std::fs::read_to_string(&p).unwrap();
+                assert_eq!(raw.lines().next().unwrap(), schema_header_line());
+                all_lines.extend(event_lines(&p));
             }
         }
-        all_lines.extend(
-            std::fs::read_to_string(&path)
-                .unwrap()
-                .lines()
-                .map(str::to_string)
-                .collect::<Vec<_>>(),
-        );
+        let raw = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(raw.lines().next().unwrap(), schema_header_line());
+        all_lines.extend(event_lines(&path));
         let seqs: Vec<u64> = all_lines.iter().map(|l| parse_sink_line(l).0).collect();
         assert_eq!(*seqs.last().unwrap(), total as u64);
         for w in seqs.windows(2) {
@@ -367,6 +404,45 @@ mod tests {
         // Old segments really were discarded (we wrote far more than the
         // survivors hold).
         assert!(seqs.len() < total);
+
+        for n in 1..=2 {
+            let _ = std::fs::remove_file(sink.rotated_path(n));
+        }
+        drop(sink);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn a_line_straddling_the_rotation_boundary_is_never_split() {
+        let path = tmp_path("straddle");
+        let header_len = schema_header_line().len() as u64 + 1;
+        let mut line = String::new();
+        line.push_str("{\"seq\":1,\"event\":");
+        line.push_str(&sample_event(0).to_json());
+        line.push_str("}\n");
+        // The threshold lands in the *middle* of the first event line: the
+        // sink must finish writing the whole line to the current segment
+        // and only then rotate — a line never spans two files.
+        let sink = JsonlFileSink::create(&path)
+            .unwrap()
+            .with_rotation(header_len + line.len() as u64 / 2, 2);
+        sink.append(1, &sample_event(0));
+        sink.append(2, &sample_event(1));
+        sink.flush();
+        assert_eq!(sink.rotations(), 2, "both lines crossed the threshold");
+        assert_eq!(sink.dropped(), 0);
+
+        // The straddling line lives complete in the rotated segments.
+        let older = event_lines(&sink.rotated_path(2));
+        let newer = event_lines(&sink.rotated_path(1));
+        assert_eq!(older.len(), 1, "{older:?}");
+        assert_eq!(newer.len(), 1, "{newer:?}");
+        let (seq1, event1) = parse_sink_line(&older[0]);
+        let (seq2, event2) = parse_sink_line(&newer[0]);
+        assert_eq!((seq1, event1), (1, sample_event(0)));
+        assert_eq!((seq2, event2), (2, sample_event(1)));
+        // The fresh current segment holds only its header.
+        assert!(event_lines(&path).is_empty());
 
         for n in 1..=2 {
             let _ = std::fs::remove_file(sink.rotated_path(n));
@@ -416,9 +492,8 @@ mod tests {
 
         // The sink's seq numbers match the primary recorder's numbering:
         // seq `i + 1` is exactly the first event of `events_since(i)`.
-        let content = std::fs::read_to_string(&path).unwrap();
         let recorded = primary.events();
-        for (i, line) in content.lines().enumerate() {
+        for (i, line) in event_lines(&path).iter().enumerate() {
             let (seq, event) = parse_sink_line(line);
             assert_eq!(seq, i as u64 + 1);
             assert_eq!(event, recorded[i]);
@@ -452,8 +527,10 @@ mod tests {
             w.join().unwrap();
         }
         tee.flush();
-        let content = std::fs::read_to_string(&path).unwrap();
-        let mut seqs: Vec<u64> = content.lines().map(|l| parse_sink_line(l).0).collect();
+        let mut seqs: Vec<u64> = event_lines(&path)
+            .iter()
+            .map(|l| parse_sink_line(l).0)
+            .collect();
         seqs.sort_unstable();
         let expect: Vec<u64> = (1..=(threads * per_thread) as u64).collect();
         assert_eq!(seqs, expect, "every seq exactly once");

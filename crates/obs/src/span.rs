@@ -1,0 +1,232 @@
+//! Causal span tracing: links the events of one scheduler step into a tree.
+//!
+//! A [`SpanGuard`] opened through [`RecorderHandle::span`] records a
+//! [`Event::SpanStart`] and, on drop, the matching [`Event::SpanEnd`].
+//! While the guard is alive its id is the thread's *current span*; nested
+//! guards stack, and every instrumentation point stamps
+//! [`current_span`] into its event's `parent` field (inside the `emit`
+//! closure, so the disabled path never touches thread-local state). One
+//! scheduler step therefore records as
+//!
+//! ```text
+//! scheduler_step
+//! ├── pick_user      → SchedulerDecision
+//! ├── pick_arm       → ArmChosen
+//! ├── train          → TrainingCompleted
+//! └── posterior_update → PosteriorUpdated
+//! ```
+//!
+//! Span ids are process-global (a relaxed atomic counter), parenting is
+//! per-thread (a `Cell<u64>`), and timestamps are nanoseconds from a lazy
+//! process epoch — all of which is only touched when a recorder is
+//! attached. A disabled handle returns an inert guard: no allocation, no
+//! atomics, no clock read, no thread-local access.
+
+use crate::event::Event;
+use crate::recorder::Recorder;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Allocator of process-unique span ids; 0 is reserved for "no span".
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// The innermost open span on this thread (0 = none).
+    static CURRENT_SPAN: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Nanoseconds since the process trace epoch (the first call to this
+/// function). Monotonic; shared by every span so durations and orderings
+/// within one trace are comparable.
+pub fn trace_ts_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// The id of the innermost span currently open on this thread, or 0.
+///
+/// Call this inside `emit` closures to stamp an event's `parent` field —
+/// the closure only runs when a recorder is attached, which keeps the
+/// disabled path free of thread-local reads.
+pub fn current_span() -> u64 {
+    CURRENT_SPAN.with(Cell::get)
+}
+
+/// An open span. Created by [`RecorderHandle::span`]; records
+/// [`Event::SpanEnd`] and restores the previous current span when dropped.
+///
+/// [`RecorderHandle::span`]: crate::RecorderHandle::span
+#[must_use = "a span covers the scope of its guard; dropping it immediately records an empty span"]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    recorder: Arc<dyn Recorder>,
+    span: u64,
+    prev: u64,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name` under `recorder`, or an inert guard when
+    /// no recorder is attached.
+    pub(crate) fn open(recorder: Option<&Arc<dyn Recorder>>, name: &'static str) -> SpanGuard {
+        let Some(recorder) = recorder else {
+            return SpanGuard { active: None };
+        };
+        let span = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
+        let prev = CURRENT_SPAN.with(|current| current.replace(span));
+        recorder.record(Event::SpanStart {
+            span,
+            parent: prev,
+            name: name.to_string(),
+            ts_ns: trace_ts_ns(),
+        });
+        SpanGuard {
+            active: Some(ActiveSpan {
+                recorder: recorder.clone(),
+                span,
+                prev,
+            }),
+        }
+    }
+
+    /// This span's id, or 0 for an inert guard.
+    pub fn id(&self) -> u64 {
+        self.active.as_ref().map_or(0, |a| a.span)
+    }
+
+    /// Whether the guard actually records (false on disabled handles).
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for ActiveSpan {
+    fn drop(&mut self) {
+        CURRENT_SPAN.with(|current| current.set(self.prev));
+        self.recorder.record(Event::SpanEnd {
+            span: self.span,
+            ts_ns: trace_ts_ns(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::InMemoryRecorder;
+    use crate::RecorderHandle;
+
+    #[test]
+    fn disabled_handle_opens_inert_guards() {
+        let handle = RecorderHandle::noop();
+        let before = current_span();
+        let guard = handle.span("scheduler_step");
+        assert!(!guard.is_recording());
+        assert_eq!(guard.id(), 0);
+        // An inert guard must not disturb the thread's span context.
+        assert_eq!(current_span(), before);
+        drop(guard);
+        assert_eq!(current_span(), before);
+    }
+
+    #[test]
+    fn nested_spans_form_a_tree_and_restore_parents() {
+        let recorder = Arc::new(InMemoryRecorder::new());
+        let handle = RecorderHandle::new(recorder.clone());
+
+        let outer = handle.span("scheduler_step");
+        let outer_id = outer.id();
+        assert!(outer.is_recording());
+        assert_eq!(current_span(), outer_id);
+        {
+            let inner = handle.span("pick_arm");
+            assert_eq!(current_span(), inner.id());
+            handle.emit(|| Event::HybridFallback {
+                reason: "inside".into(),
+                parent: current_span(),
+            });
+        }
+        // Inner closed: context back to the outer span.
+        assert_eq!(current_span(), outer_id);
+        drop(outer);
+        assert_eq!(current_span(), 0);
+
+        let events = recorder.events();
+        assert_eq!(events.len(), 5, "{events:?}");
+        let Event::SpanStart {
+            span: s_outer,
+            parent: 0,
+            ..
+        } = &events[0]
+        else {
+            panic!("expected root SpanStart, got {:?}", events[0]);
+        };
+        let Event::SpanStart {
+            span: s_inner,
+            parent: p_inner,
+            name,
+            ..
+        } = &events[1]
+        else {
+            panic!("expected nested SpanStart, got {:?}", events[1]);
+        };
+        assert_eq!(p_inner, s_outer);
+        assert_eq!(name, "pick_arm");
+        assert_eq!(events[2].parent(), *s_inner);
+        assert!(matches!(&events[3], Event::SpanEnd { span, .. } if span == s_inner));
+        assert!(matches!(&events[4], Event::SpanEnd { span, .. } if span == s_outer));
+    }
+
+    #[test]
+    fn span_timestamps_are_monotone() {
+        let recorder = Arc::new(InMemoryRecorder::new());
+        let handle = RecorderHandle::new(recorder.clone());
+        drop(handle.span("a"));
+        drop(handle.span("b"));
+        let stamps: Vec<u64> = recorder
+            .events()
+            .iter()
+            .map(|e| match e {
+                Event::SpanStart { ts_ns, .. } | Event::SpanEnd { ts_ns, .. } => *ts_ns,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        for pair in stamps.windows(2) {
+            assert!(pair[0] <= pair[1], "{stamps:?}");
+        }
+    }
+
+    #[test]
+    fn span_ids_are_unique_across_threads() {
+        let recorder = Arc::new(InMemoryRecorder::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let handle = RecorderHandle::new(recorder.clone());
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        drop(handle.span("worker"));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut ids: Vec<u64> = recorder
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::SpanStart { span, .. } => Some(*span),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids.len(), 200);
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 200, "span ids must be process-unique");
+    }
+}

@@ -19,6 +19,45 @@ use crate::sink::StreamingSink;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 
+/// Cost-weighted cumulative regret split into the two terms of the paper's
+/// Theorem 1 analysis.
+///
+/// Regret is integrated over the simulated clock: each completed run of
+/// cost `Δc` adds `regret · Δc` for every tenant that still had regret
+/// during that interval. The interval is attributed to the tenant's
+/// **arm-picking** term when the tenant itself was the one being served
+/// (any remaining regret is the GP-UCB arm picker's responsibility) and to
+/// its **user-picking** term when the scheduler served someone else (the
+/// regret persisted because the user picker made the tenant wait). By
+/// construction `arm_picking + user_picking` equals the undecomposed
+/// integral, which is accumulated separately in `total` as a consistency
+/// check (equal up to floating-point accumulation order).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RegretDecomposition {
+    /// Regret·cost accrued over intervals in which this tenant was served.
+    pub arm_picking: f64,
+    /// Regret·cost accrued over intervals in which another tenant was
+    /// served.
+    pub user_picking: f64,
+    /// The undecomposed integral `∫ regret dcost`, accumulated in one sum.
+    pub total: f64,
+}
+
+impl RegretDecomposition {
+    /// The decomposed sum `arm_picking + user_picking`; matches
+    /// [`RegretDecomposition::total`] within floating-point tolerance.
+    pub fn sum(&self) -> f64 {
+        self.arm_picking + self.user_picking
+    }
+
+    /// Accumulates another decomposition into this one.
+    pub fn accumulate(&mut self, other: &RegretDecomposition) {
+        self.arm_picking += other.arm_picking;
+        self.user_picking += other.user_picking;
+        self.total += other.total;
+    }
+}
+
 /// One tenant's live series, folded from `TrainingCompleted` events.
 #[derive(Debug, Clone)]
 pub struct UserSeries {
@@ -39,6 +78,8 @@ pub struct UserSeries {
     /// `(simulated clock, regret)` samples, oldest first. The final sample
     /// always reflects the latest completed run.
     pub regret_curve: Vec<(f64, f64)>,
+    /// Cost-weighted cumulative regret, split into the Theorem 1 terms.
+    pub cum_regret: RegretDecomposition,
     /// Clock at which the last curve point was *appended* (in-place updates
     /// of the final point do not move this), driving interval sampling.
     sample_anchor: f64,
@@ -54,6 +95,7 @@ impl UserSeries {
             target,
             arm_pulls: BTreeMap::new(),
             regret_curve: Vec::new(),
+            cum_regret: RegretDecomposition::default(),
             sample_anchor: 0.0,
         }
     }
@@ -102,6 +144,15 @@ impl TimeSeriesSnapshot {
         } else {
             self.users.values().map(UserSeries::regret).sum::<f64>() / self.users.len() as f64
         }
+    }
+
+    /// Aggregate cost-weighted regret decomposition across all tenants.
+    pub fn cum_regret(&self) -> RegretDecomposition {
+        let mut out = RegretDecomposition::default();
+        for series in self.users.values() {
+            out.accumulate(&series.cum_regret);
+        }
+        out
     }
 }
 
@@ -180,19 +231,49 @@ impl TimeSeriesRecorder {
                 model,
                 cost,
                 quality,
+                ..
             } => {
                 let interval = self.sample_interval;
+                // Sanitize the clock advance: a malformed trace (negative or
+                // non-finite cost) must not run time backwards — every curve
+                // stays monotone in the simulated clock.
+                let dt = if cost.is_finite() && *cost > 0.0 {
+                    *cost
+                } else {
+                    0.0
+                };
                 let mut state = self.state.lock();
-                state.clock += cost;
                 state.rounds += 1;
-                let clock = state.clock;
                 let target = state.targets.get(user).copied().unwrap_or(1.0);
-                let series = state
+                // Materialize the served tenant before accrual so its
+                // interval is attributed even on its very first run.
+                state
                     .users
                     .entry(*user)
                     .or_insert_with(|| UserSeries::new(target));
+                // Integrate every tenant's pre-completion regret over the
+                // interval this run occupied: the served tenant's share is
+                // arm-picking regret, everyone else's is user-picking
+                // regret (they waited), per the Theorem 1 decomposition.
+                if dt > 0.0 {
+                    for (&tenant, series) in state.users.iter_mut() {
+                        let regret = series.regret();
+                        if regret <= 0.0 {
+                            continue;
+                        }
+                        if tenant == *user {
+                            series.cum_regret.arm_picking += regret * dt;
+                        } else {
+                            series.cum_regret.user_picking += regret * dt;
+                        }
+                        series.cum_regret.total += regret * dt;
+                    }
+                }
+                state.clock += dt;
+                let clock = state.clock;
+                let series = state.users.get_mut(user).expect("materialized above");
                 series.served += 1;
-                series.cumulative_cost += cost;
+                series.cumulative_cost += dt;
                 series.last_quality = *quality;
                 if *quality > series.best_quality {
                     series.best_quality = *quality;
@@ -218,7 +299,12 @@ impl TimeSeriesRecorder {
             Event::HybridFallback { .. } => {
                 self.state.lock().fallback_active = true;
             }
-            Event::ArmChosen { .. } | Event::PosteriorUpdated { .. } => {}
+            Event::ArmChosen { .. }
+            | Event::PosteriorUpdated { .. }
+            | Event::SpanStart { .. }
+            | Event::SpanEnd { .. }
+            | Event::JitterRetry { .. }
+            | Event::PsdProjectionApplied { .. } => {}
         }
     }
 
@@ -262,6 +348,13 @@ mod tests {
             model,
             cost,
             quality,
+            parent: 0,
+        }
+    }
+
+    fn assert_curve_monotone(curve: &[(f64, f64)]) {
+        for w in curve.windows(2) {
+            assert!(w[1].0 >= w[0].0, "curve went back in time: {curve:?}");
         }
     }
 
@@ -323,6 +416,7 @@ mod tests {
             user: 0,
             rule: "hybrid".into(),
             scores: vec![],
+            parent: 0,
         };
         for _ in 0..6 {
             ts.fold(&decision);
@@ -330,6 +424,7 @@ mod tests {
         assert_eq!(ts.snapshot().fallback_rate(), 0.0);
         ts.fold(&Event::HybridFallback {
             reason: "frozen".into(),
+            parent: 0,
         });
         for _ in 0..2 {
             ts.fold(&decision);
@@ -357,5 +452,111 @@ mod tests {
         assert!((ts.snapshot().users[&0].regret() - 0.25).abs() < 1e-12);
         ts.set_target(0, 0.8);
         assert!((ts.snapshot().users[&0].regret() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regret_decomposition_splits_served_vs_waiting_intervals() {
+        let ts = TimeSeriesRecorder::new();
+        ts.set_target(0, 1.0);
+        ts.set_target(1, 1.0);
+        // Round 1: user 0 served, cost 2, reaches 0.5. Pre-completion
+        // regret of user 0 is 1.0 (best 0.0) → arm term 1.0·2. User 1 is
+        // unknown yet, so it accrues nothing.
+        ts.fold(&completed(0, 0, 2.0, 0.5));
+        // Round 2: user 1 served, cost 1, reaches 0.8. User 1's own
+        // pre-completion regret 1.0 → arm term 1.0·1; user 0 waited with
+        // regret 0.5 → user term 0.5·1.
+        ts.fold(&completed(1, 0, 1.0, 0.8));
+        // Round 3: user 0 served again, cost 4, reaches 0.9. User 0 arm
+        // term += 0.5·4; user 1 waited: user term 0.2·4.
+        ts.fold(&completed(0, 1, 4.0, 0.9));
+
+        let snap = ts.snapshot();
+        let u0 = &snap.users[&0].cum_regret;
+        let u1 = &snap.users[&1].cum_regret;
+        assert!((u0.arm_picking - (2.0 + 2.0)).abs() < 1e-12, "{u0:?}");
+        assert!((u0.user_picking - 0.5).abs() < 1e-12, "{u0:?}");
+        assert!((u1.arm_picking - 1.0).abs() < 1e-12, "{u1:?}");
+        assert!((u1.user_picking - 0.8).abs() < 1e-12, "{u1:?}");
+        // The two terms sum to the undecomposed integral, per user and in
+        // aggregate.
+        for d in [u0, u1, &snap.cum_regret()] {
+            assert!((d.sum() - d.total).abs() < 1e-9, "{d:?}");
+        }
+        assert!((snap.cum_regret().total - (2.0 + 1.5 + 2.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decomposition_stops_accruing_once_target_is_reached() {
+        let ts = TimeSeriesRecorder::new();
+        ts.set_target(0, 0.8);
+        ts.fold(&completed(0, 0, 1.0, 0.8)); // hits μ* immediately
+        ts.fold(&completed(1, 0, 5.0, 0.1)); // user 0 waits with zero regret
+        let snap = ts.snapshot();
+        let u0 = &snap.users[&0].cum_regret;
+        assert!((u0.arm_picking - 0.8).abs() < 1e-12, "first interval only");
+        assert_eq!(u0.user_picking, 0.0);
+    }
+
+    #[test]
+    fn duplicate_timestamps_keep_curves_monotone() {
+        // Zero-cost completions do not advance the simulated clock: the
+        // curve may hold duplicate timestamps but must never go backwards,
+        // and the last point must reflect the latest state.
+        let ts = TimeSeriesRecorder::new();
+        ts.fold(&completed(0, 0, 1.0, 0.3));
+        ts.fold(&completed(0, 1, 0.0, 0.5));
+        ts.fold(&completed(0, 2, 0.0, 0.7));
+        ts.fold(&completed(0, 3, 1.0, 0.9));
+        let snap = ts.snapshot();
+        assert!((snap.clock - 2.0).abs() < 1e-12);
+        let curve = &snap.users[&0].regret_curve;
+        assert_curve_monotone(curve);
+        let last = curve.last().unwrap();
+        assert_eq!(last.0, 2.0);
+        assert!((last.1 - 0.1).abs() < 1e-12);
+        // Zero-length intervals contribute nothing to the integral: only
+        // the two unit-cost rounds accrue (regret 1.0, then 1.0 − 0.7).
+        let d = &snap.users[&0].cum_regret;
+        assert!((d.total - (1.0 + 0.3)).abs() < 1e-12, "{d:?}");
+    }
+
+    #[test]
+    fn out_of_order_and_malformed_costs_never_run_time_backwards() {
+        // A replayed trace can hand the recorder garbage: negative or
+        // non-finite costs must be treated as zero-length intervals rather
+        // than rewinding the clock.
+        let ts = TimeSeriesRecorder::new().with_sample_interval(0.5);
+        ts.fold(&completed(0, 0, 2.0, 0.4));
+        ts.fold(&completed(0, 1, -3.0, 0.6));
+        ts.fold(&completed(0, 2, f64::NAN, 0.65));
+        ts.fold(&completed(0, 3, 1.0, 0.7));
+        let snap = ts.snapshot();
+        assert!((snap.clock - 3.0).abs() < 1e-12, "clock = {}", snap.clock);
+        let u0 = &snap.users[&0];
+        assert_curve_monotone(&u0.regret_curve);
+        assert!((u0.cumulative_cost - 3.0).abs() < 1e-12);
+        assert!(u0.cum_regret.total.is_finite());
+        assert!(u0.cum_regret.sum() >= 0.0);
+        // The best quality still tracked through the malformed events.
+        assert!((u0.best_quality - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interleaved_multi_user_folding_keeps_every_curve_monotone() {
+        // Simulates out-of-order arrival from concurrent completions: the
+        // per-event costs arrive in no particular order, yet every curve
+        // must advance monotonically on the shared clock.
+        let ts = TimeSeriesRecorder::new();
+        let costs = [3.0, 1.0, 0.0, 2.0, 1.0, 5.0, 0.5, 0.25];
+        for (i, &cost) in costs.iter().enumerate() {
+            ts.fold(&completed(i % 3, i % 4, cost, 0.1 * i as f64));
+        }
+        let snap = ts.snapshot();
+        for series in snap.users.values() {
+            assert_curve_monotone(&series.regret_curve);
+        }
+        let expected: f64 = costs.iter().sum();
+        assert!((snap.clock - expected).abs() < 1e-12);
     }
 }

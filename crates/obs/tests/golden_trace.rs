@@ -1,0 +1,119 @@
+//! Golden-file test pinning the on-disk trace schema.
+//!
+//! The checked-in `tests/golden/schema_v2.jsonl` is the authoritative
+//! serialization of one sample of every event variant. If a change to the
+//! event vocabulary alters any byte of the output, this test fails — which
+//! is the prompt to bump [`easeml_obs::TRACE_SCHEMA_VERSION`], extend
+//! `Event::from_json`'s backward-compat defaults, and regenerate the golden
+//! file by running the test with `UPDATE_GOLDEN=1`.
+
+use easeml_obs::{schema_header_line, Event, TRACE_SCHEMA_VERSION};
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("schema_v2.jsonl")
+}
+
+/// One sample of every variant, exercising the fields a real trace carries:
+/// span parents, calibration stats, numerical-health payloads.
+fn samples() -> Vec<Event> {
+    vec![
+        Event::SchedulerDecision {
+            round: 42,
+            user: 3,
+            rule: "greedy(max-gap)".into(),
+            scores: vec![0.1, 0.25, -0.5, 1.75e-3],
+            parent: 9,
+        },
+        Event::ArmChosen {
+            user: 3,
+            arm: 7,
+            ucb: 0.912,
+            beta: 2.77,
+            cost: 1.0,
+            mean: 0.8,
+            sigma: 0.04,
+            parent: 10,
+        },
+        Event::HybridFallback {
+            reason: "frozen set stable for 10 rounds".into(),
+            parent: 9,
+        },
+        Event::TrainingCompleted {
+            user: 3,
+            model: 7,
+            cost: 12.5,
+            quality: 0.843,
+            parent: 11,
+        },
+        Event::PosteriorUpdated {
+            arm: 7,
+            reward: 0.843,
+            num_obs: 11,
+            cond: 3.5,
+            parent: 12,
+        },
+        Event::SpanStart {
+            span: 9,
+            parent: 0,
+            name: "scheduler_step".into(),
+            ts_ns: 12_345,
+        },
+        Event::SpanEnd {
+            span: 9,
+            ts_ns: 99_999,
+        },
+        Event::JitterRetry {
+            attempts: 3,
+            jitter: 1e-8,
+            parent: 12,
+        },
+        Event::PsdProjectionApplied {
+            floor: 1e-9,
+            clipped: 2,
+            clipped_mass: 0.031,
+            parent: 0,
+        },
+    ]
+}
+
+fn render() -> String {
+    let mut out = String::new();
+    out.push_str(&schema_header_line());
+    out.push('\n');
+    for event in samples() {
+        out.push_str(&event.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn serialized_trace_matches_the_golden_file() {
+    let rendered = render();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path(), &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path())
+        .expect("golden file missing; regenerate with UPDATE_GOLDEN=1");
+    assert_eq!(
+        rendered, golden,
+        "trace serialization drifted from tests/golden/schema_v2.jsonl; \
+         if intentional, bump TRACE_SCHEMA_VERSION and regenerate with \
+         UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_file_parses_back_to_the_same_events() {
+    let golden = std::fs::read_to_string(golden_path()).unwrap();
+    let mut lines = golden.lines();
+    let header = lines.next().unwrap();
+    assert!(header.contains(&format!("\"version\":{TRACE_SCHEMA_VERSION}")));
+    let parsed: Vec<Event> = lines.map(|l| Event::from_json(l).unwrap()).collect();
+    assert_eq!(parsed, samples());
+}

@@ -49,26 +49,34 @@ fn any_string() -> impl Strategy<Value = String> {
     ])
 }
 
-/// Draws one event, covering all five variants. The shim's tuple strategies
+/// Draws one event, covering all nine variants. The shim's tuple strategies
 /// top out at 8 elements, so the value pool is a nested tuple and the first
-/// coordinate selects the variant.
+/// coordinate selects the variant. Span/parent ids stay below the trace
+/// format's 9e15 integer ceiling.
 fn any_event() -> impl Strategy<Value = Event> {
     (
-        (0usize..5, 0u64..1_000_000, 0usize..64, 0usize..256),
-        (any_f64(), any_f64(), any_f64()),
+        (0usize..9, 0u64..1_000_000, 0usize..64, 0usize..256),
+        (any_f64(), any_f64(), any_f64(), any_f64(), any_f64()),
         (
             any_string(),
             prop::collection::vec(any_f64(), 0..8),
             0usize..100_000,
+            0u64..1_000_000_000,
+            0u64..1_000_000_000,
         ),
     )
         .prop_map(
-            |((variant, round, user, arm), (f1, f2, f3), (text, scores, num_obs))| match variant {
+            |(
+                (variant, round, user, arm),
+                (f1, f2, f3, f4, f5),
+                (text, scores, num_obs, parent, span),
+            )| match variant {
                 0 => Event::SchedulerDecision {
                     round,
                     user,
                     rule: text,
                     scores,
+                    parent,
                 },
                 1 => Event::ArmChosen {
                     user,
@@ -76,18 +84,48 @@ fn any_event() -> impl Strategy<Value = Event> {
                     ucb: f1,
                     beta: f2,
                     cost: f3,
+                    mean: f4,
+                    sigma: f5,
+                    parent,
                 },
-                2 => Event::HybridFallback { reason: text },
+                2 => Event::HybridFallback {
+                    reason: text,
+                    parent,
+                },
                 3 => Event::TrainingCompleted {
                     user,
                     model: arm,
                     cost: f1,
                     quality: f2,
+                    parent,
                 },
-                _ => Event::PosteriorUpdated {
+                4 => Event::PosteriorUpdated {
                     arm,
                     reward: f1,
                     num_obs,
+                    cond: f2,
+                    parent,
+                },
+                5 => Event::SpanStart {
+                    span: span + 1,
+                    parent,
+                    name: text,
+                    ts_ns: round,
+                },
+                6 => Event::SpanEnd {
+                    span: span + 1,
+                    ts_ns: round,
+                },
+                7 => Event::JitterRetry {
+                    attempts: 1 + round % 16,
+                    jitter: f1,
+                    parent,
+                },
+                _ => Event::PsdProjectionApplied {
+                    floor: f1,
+                    clipped: round % 64,
+                    clipped_mass: f2,
+                    parent,
                 },
             },
         )
@@ -170,14 +208,23 @@ fn non_finite_floats_degrade_to_nan_not_errors() {
         ucb: f64::INFINITY,
         beta: f64::NEG_INFINITY,
         cost: f64::NAN,
+        mean: f64::NAN,
+        sigma: f64::INFINITY,
+        parent: 0,
     };
     let line = event.to_json();
     assert!(line.contains("null"), "{line}");
     match Event::from_json(&line).unwrap() {
         Event::ArmChosen {
-            ucb, beta, cost, ..
+            ucb,
+            beta,
+            cost,
+            mean,
+            sigma,
+            ..
         } => {
             assert!(ucb.is_nan() && beta.is_nan() && cost.is_nan());
+            assert!(mean.is_nan() && sigma.is_nan());
         }
         other => panic!("wrong variant: {other:?}"),
     }

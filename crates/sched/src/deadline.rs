@@ -98,6 +98,7 @@ impl<P: UserPicker> UserPicker for DeadlinePicker<P> {
                 user: urgent,
                 rule: self.name().to_string(),
                 scores: Vec::new(),
+                parent: easeml_obs::current_span(),
             });
             return urgent;
         }

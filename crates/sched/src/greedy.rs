@@ -164,6 +164,7 @@ impl UserPicker for Greedy {
             user: choice,
             rule: self.name().to_string(),
             scores: self.decision_scores(tenants),
+            parent: easeml_obs::current_span(),
         });
         choice
     }

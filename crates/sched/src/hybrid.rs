@@ -115,6 +115,7 @@ impl UserPicker for Hybrid {
             } else {
                 self.greedy.decision_scores(tenants)
             },
+            parent: easeml_obs::current_span(),
         });
         choice
     }
@@ -137,6 +138,7 @@ impl UserPicker for Hybrid {
                          for {} rounds (s = {}); switching to round robin",
                         candidates, self.frozen_rounds, self.patience
                     ),
+                    parent: easeml_obs::current_span(),
                 });
             }
         } else {

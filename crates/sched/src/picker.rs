@@ -60,6 +60,7 @@ impl UserPicker for Fcfs {
             user,
             rule: self.name().to_string(),
             scores: Vec::new(),
+            parent: easeml_obs::current_span(),
         });
         user
     }
@@ -87,6 +88,7 @@ impl UserPicker for RoundRobin {
             user,
             rule: self.name().to_string(),
             scores: Vec::new(),
+            parent: easeml_obs::current_span(),
         });
         user
     }
@@ -116,6 +118,7 @@ impl UserPicker for RandomPicker {
             user,
             rule: self.name().to_string(),
             scores: Vec::new(),
+            parent: easeml_obs::current_span(),
         });
         user
     }
@@ -199,6 +202,7 @@ mod tests {
                     user: u,
                     rule,
                     scores,
+                    ..
                 } => {
                     assert_eq!(*round, s as u64);
                     assert_eq!(*u, user);

@@ -96,6 +96,7 @@ impl UserPicker for WeightedFair {
             user: choice,
             rule: self.name().to_string(),
             scores: self.credit.clone(),
+            parent: easeml_obs::current_span(),
         });
         self.credit[choice] -= 1.0;
         choice

@@ -1,0 +1,820 @@
+//! Offline analytics over recorded ease.ml traces.
+//!
+//! The live side of the reproduction records structured [`Event`]s — through
+//! an in-memory recorder, a rotating [`JsonlFileSink`](easeml_obs::JsonlFileSink),
+//! or the `/trace` HTTP endpoint. This crate is the *offline* side: load
+//! such a JSONL trace and answer the questions the paper's evaluation asks
+//! after the fact:
+//!
+//! * [`regret_report`] — the cost-weighted cumulative regret of every
+//!   tenant, decomposed into the user-picking and arm-picking terms of
+//!   Theorem 1 (folded through the same
+//!   [`TimeSeriesRecorder`] the live dashboard uses, so the numbers agree
+//!   by construction);
+//! * [`calibration_report`] — how honest the GP posteriors were: each
+//!   `ArmChosen` carries the chosen arm's posterior mean/σ, which is paired
+//!   with the realized quality of the tenant's next `TrainingCompleted` to
+//!   score credible-interval coverage against nominal levels;
+//! * [`fallback_timeline`] — when (in simulated cost) each hybrid scheduler
+//!   fell back to round robin, and why;
+//! * [`health_report`] — the numerical-health event stream summarized:
+//!   jitter retries, PSD projections, and posterior condition growth;
+//! * [`chrome_trace`] — the causal span tree (`scheduler_step → pick_user →
+//!   pick_arm → train → posterior_update`) exported as Chrome trace-event
+//!   JSON, loadable in `chrome://tracing` / Perfetto.
+//!
+//! The `easeml-trace` binary wraps these as `report` and `chrome`
+//! subcommands.
+
+use easeml_obs::{Event, TimeSeriesRecorder};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSONL trace.
+#[derive(Debug, Clone, Default)]
+pub struct LoadedTrace {
+    /// The events, in recording order.
+    pub events: Vec<Event>,
+    /// Schema version declared by the trace's header line(s), if any.
+    pub schema_version: Option<u64>,
+    /// Lines that were neither headers, blank, nor parseable events.
+    pub skipped_lines: usize,
+}
+
+/// Strips the `{"seq":N,"event":{...}}` framing a
+/// [`JsonlFileSink`](easeml_obs::JsonlFileSink) / `/trace` endpoint adds,
+/// returning the inner event object.
+fn unwrap_seq_frame(line: &str) -> Option<&str> {
+    let rest = line.strip_prefix("{\"seq\":")?;
+    let idx = rest.find("\"event\":")?;
+    rest[idx + "\"event\":".len()..].strip_suffix('}')
+}
+
+/// Reads the `version` out of a `{"schema":"easeml-trace","version":N}`
+/// header line.
+fn parse_header(line: &str) -> Option<u64> {
+    if !line.starts_with("{\"schema\":") {
+        return None;
+    }
+    let idx = line.find("\"version\":")?;
+    let tail = &line[idx + "\"version\":".len()..];
+    let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Parses a JSONL trace from text. Accepts the three line shapes the
+/// system produces — schema header lines, `{"seq":N,"event":{...}}` frames
+/// (file sink, `/trace` endpoint), and bare event objects
+/// ([`InMemoryRecorder::to_jsonl`](easeml_obs::InMemoryRecorder::to_jsonl)) —
+/// and counts anything else in [`LoadedTrace::skipped_lines`] rather than
+/// failing, so a truncated tail (crash mid-write) does not lose the rest of
+/// the trace.
+pub fn parse_trace(text: &str) -> LoadedTrace {
+    let mut out = LoadedTrace::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(version) = parse_header(line) {
+            out.schema_version = Some(version);
+            continue;
+        }
+        let payload = unwrap_seq_frame(line).unwrap_or(line);
+        match Event::from_json(payload) {
+            Ok(event) => out.events.push(event),
+            Err(_) => out.skipped_lines += 1,
+        }
+    }
+    out
+}
+
+/// Loads and parses a trace file.
+///
+/// # Errors
+///
+/// Returns the I/O error message when the file cannot be read.
+pub fn load_trace(path: &std::path::Path) -> Result<LoadedTrace, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Ok(parse_trace(&text))
+}
+
+// ---------------------------------------------------------------------------
+// Regret decomposition (Theorem 1)
+// ---------------------------------------------------------------------------
+
+/// Per-user and aggregate cost-weighted regret, split into the Theorem 1
+/// user-picking and arm-picking terms.
+#[derive(Debug, Clone)]
+pub struct RegretReport {
+    /// Simulated clock at the end of the trace (total cost spent).
+    pub clock: f64,
+    /// Completed training runs.
+    pub rounds: u64,
+    /// Per-tenant decomposition, keyed by tenant index.
+    pub per_user: BTreeMap<usize, easeml_obs::RegretDecomposition>,
+    /// Sum over tenants.
+    pub aggregate: easeml_obs::RegretDecomposition,
+}
+
+impl RegretReport {
+    /// Whether every tenant's `arm + user` split matches its undecomposed
+    /// integral within `tol` — the Theorem 1 consistency check.
+    pub fn is_consistent(&self, tol: f64) -> bool {
+        self.per_user
+            .values()
+            .chain(std::iter::once(&self.aggregate))
+            .all(|d| (d.sum() - d.total).abs() <= tol * (1.0 + d.total.abs()))
+    }
+}
+
+/// Folds the trace through a [`TimeSeriesRecorder`] — the same fold the
+/// live dashboard runs — and extracts the regret decomposition.
+/// `targets` optionally maps tenants to their best achievable quality μ*
+/// (defaults to 1.0, i.e. regret is measured against perfect accuracy).
+pub fn regret_report(events: &[Event], targets: &BTreeMap<usize, f64>) -> RegretReport {
+    let ts = TimeSeriesRecorder::new();
+    for (&user, &target) in targets {
+        ts.set_target(user, target);
+    }
+    for event in events {
+        ts.fold(event);
+    }
+    let snap = ts.snapshot();
+    RegretReport {
+        clock: snap.clock,
+        rounds: snap.rounds,
+        aggregate: snap.cum_regret(),
+        per_user: snap
+            .users
+            .iter()
+            .map(|(&user, series)| (user, series.cum_regret))
+            .collect(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GP calibration
+// ---------------------------------------------------------------------------
+
+/// The nominal central credible-interval levels the calibration report
+/// scores, with the matching standard-normal quantiles.
+pub const CALIBRATION_LEVELS: [(f64, f64); 4] = [
+    (0.50, 0.6744897501960817),
+    (0.80, 1.2815515655446004),
+    (0.90, 1.6448536269514722),
+    (0.95, 1.959963984540054),
+];
+
+/// Calibration of the GP posteriors against realized training outcomes.
+///
+/// Each prediction is an `ArmChosen` event (posterior mean/σ of the chosen
+/// arm at decision time) paired with the quality of the same tenant's next
+/// `TrainingCompleted`. A well-calibrated posterior puts the realized
+/// quality inside its central p-credible interval about a fraction p of the
+/// time.
+#[derive(Debug, Clone, Default)]
+pub struct CalibrationReport {
+    /// Prediction/outcome pairs actually scored.
+    pub pairs: usize,
+    /// `ArmChosen` events without usable mean/σ (pre-v2 traces, σ = 0) or
+    /// without a following completion.
+    pub unscored: usize,
+    /// For each `(nominal, z)` in [`CALIBRATION_LEVELS`]: the empirical
+    /// fraction of outcomes inside the central interval `mean ± z·σ`.
+    pub coverage: Vec<(f64, f64)>,
+    /// Mean of `quality − mean` (signed bias of the posterior mean).
+    pub mean_residual: f64,
+    /// Root mean square of the standardized residuals `z = (q − μ)/σ`;
+    /// ≈ 1 for a calibrated posterior, ≫ 1 for overconfident ones.
+    pub rms_z: f64,
+}
+
+/// Pairs every `ArmChosen` with the same tenant's next `TrainingCompleted`
+/// and scores credible-interval coverage. Events of different tenants
+/// interleave freely; pairing is per-tenant FIFO.
+pub fn calibration_report(events: &[Event]) -> CalibrationReport {
+    let mut pending: BTreeMap<usize, Vec<(f64, f64)>> = BTreeMap::new();
+    let mut residuals: Vec<(f64, f64)> = Vec::new(); // (quality − mean, σ)
+    let mut unscored = 0usize;
+    for event in events {
+        match event {
+            Event::ArmChosen {
+                user, mean, sigma, ..
+            } => {
+                if mean.is_finite() && sigma.is_finite() && *sigma > 0.0 {
+                    pending.entry(*user).or_default().push((*mean, *sigma));
+                } else {
+                    unscored += 1;
+                }
+            }
+            Event::TrainingCompleted { user, quality, .. } => {
+                if let Some(queue) = pending.get_mut(user) {
+                    if !queue.is_empty() {
+                        let (mean, sigma) = queue.remove(0);
+                        residuals.push((quality - mean, sigma));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    unscored += pending.values().map(Vec::len).sum::<usize>();
+    if residuals.is_empty() {
+        return CalibrationReport {
+            unscored,
+            coverage: CALIBRATION_LEVELS.iter().map(|&(p, _)| (p, 0.0)).collect(),
+            ..CalibrationReport::default()
+        };
+    }
+    let n = residuals.len() as f64;
+    let coverage = CALIBRATION_LEVELS
+        .iter()
+        .map(|&(nominal, z)| {
+            let inside = residuals
+                .iter()
+                .filter(|(r, sigma)| r.abs() <= z * sigma)
+                .count();
+            (nominal, inside as f64 / n)
+        })
+        .collect();
+    let mean_residual = residuals.iter().map(|(r, _)| r).sum::<f64>() / n;
+    let rms_z = (residuals
+        .iter()
+        .map(|(r, s)| (r / s) * (r / s))
+        .sum::<f64>()
+        / n)
+        .sqrt();
+    CalibrationReport {
+        pairs: residuals.len(),
+        unscored,
+        coverage,
+        mean_residual,
+        rms_z,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid fallback timeline
+// ---------------------------------------------------------------------------
+
+/// One hybrid-scheduler fallback, located on the simulated clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FallbackPoint {
+    /// Cumulative cost at the moment the fallback fired.
+    pub clock: f64,
+    /// Completed rounds before the fallback.
+    pub rounds: u64,
+    /// The reason string the scheduler recorded.
+    pub reason: String,
+}
+
+/// Extracts every `HybridFallback` with its position on the cost clock.
+pub fn fallback_timeline(events: &[Event]) -> Vec<FallbackPoint> {
+    let mut clock = 0.0f64;
+    let mut rounds = 0u64;
+    let mut out = Vec::new();
+    for event in events {
+        match event {
+            Event::TrainingCompleted { cost, .. } => {
+                if cost.is_finite() && *cost > 0.0 {
+                    clock += cost;
+                }
+                rounds += 1;
+            }
+            Event::HybridFallback { reason, .. } => out.push(FallbackPoint {
+                clock,
+                rounds,
+                reason: reason.clone(),
+            }),
+            _ => {}
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Numerical health
+// ---------------------------------------------------------------------------
+
+/// Summary of the numerical-health event stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HealthReport {
+    /// Number of `JitterRetry` events (factorizations that needed jitter).
+    pub jitter_events: u64,
+    /// Total jitter attempts across those events.
+    pub jitter_attempts: u64,
+    /// Largest jitter that was ever needed.
+    pub max_jitter: f64,
+    /// Number of `PsdProjectionApplied` events.
+    pub psd_projections: u64,
+    /// Total eigenvalues clipped across all projections.
+    pub eigenvalues_clipped: u64,
+    /// Total eigenvalue mass removed.
+    pub clipped_mass: f64,
+    /// Largest posterior condition estimate seen on any `PosteriorUpdated`.
+    pub max_condition: f64,
+    /// Condition estimate of the last `PosteriorUpdated` in the trace.
+    pub final_condition: f64,
+    /// `PosteriorUpdated` events carrying a finite condition estimate.
+    pub condition_samples: u64,
+}
+
+/// Folds `JitterRetry` / `PsdProjectionApplied` / `PosteriorUpdated.cond`
+/// into a [`HealthReport`].
+pub fn health_report(events: &[Event]) -> HealthReport {
+    let mut out = HealthReport::default();
+    for event in events {
+        match event {
+            Event::JitterRetry {
+                attempts, jitter, ..
+            } => {
+                out.jitter_events += 1;
+                out.jitter_attempts += attempts;
+                if *jitter > out.max_jitter {
+                    out.max_jitter = *jitter;
+                }
+            }
+            Event::PsdProjectionApplied {
+                clipped,
+                clipped_mass,
+                ..
+            } => {
+                out.psd_projections += 1;
+                out.eigenvalues_clipped += clipped;
+                if clipped_mass.is_finite() {
+                    out.clipped_mass += clipped_mass;
+                }
+            }
+            Event::PosteriorUpdated { cond, .. } if cond.is_finite() => {
+                out.condition_samples += 1;
+                out.final_condition = *cond;
+                if *cond > out.max_condition {
+                    out.max_condition = *cond;
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export
+// ---------------------------------------------------------------------------
+
+/// Converts the span events into Chrome trace-event JSON (the format
+/// `chrome://tracing` and Perfetto load): one complete (`"ph":"X"`) event
+/// per `SpanStart`/`SpanEnd` pair, with the span id and its parent in
+/// `args` so the causal tree survives even without nesting-by-time.
+///
+/// Unclosed spans (a trace cut off mid-step) are emitted with zero
+/// duration at their start time rather than dropped.
+pub fn chrome_trace(events: &[Event]) -> String {
+    struct Open {
+        span: u64,
+        parent: u64,
+        name: String,
+        start_ns: u64,
+    }
+    let mut open: Vec<Open> = Vec::new();
+    let mut complete: Vec<(String, u64, u64, u64, u64)> = Vec::new(); // name, start, dur, span, parent
+    for event in events {
+        match event {
+            Event::SpanStart {
+                span,
+                parent,
+                name,
+                ts_ns,
+            } => open.push(Open {
+                span: *span,
+                parent: *parent,
+                name: name.clone(),
+                start_ns: *ts_ns,
+            }),
+            Event::SpanEnd { span, ts_ns } => {
+                if let Some(pos) = open.iter().rposition(|o| o.span == *span) {
+                    let o = open.remove(pos);
+                    let dur = ts_ns.saturating_sub(o.start_ns);
+                    complete.push((o.name, o.start_ns, dur, o.span, o.parent));
+                }
+            }
+            _ => {}
+        }
+    }
+    for o in open {
+        complete.push((o.name, o.start_ns, 0, o.span, o.parent));
+    }
+    complete.sort_by_key(|&(_, start, ..)| start);
+
+    let mut out = String::from("[");
+    for (i, (name, start_ns, dur_ns, span, parent)) in complete.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+             \"pid\":1,\"tid\":1,\"args\":{{\"span\":{span},\"parent\":{parent}}}}}",
+            easeml_obs::json::to_string(name.as_str()),
+            *start_ns as f64 / 1_000.0,
+            *dur_ns as f64 / 1_000.0,
+        );
+    }
+    out.push(']');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The human-readable report
+// ---------------------------------------------------------------------------
+
+/// Renders the full offline report — regret decomposition, calibration
+/// table, fallback timeline, numerical health — as plain text.
+pub fn render_report(trace: &LoadedTrace, targets: &BTreeMap<usize, f64>) -> String {
+    let regret = regret_report(&trace.events, targets);
+    let calibration = calibration_report(&trace.events);
+    let fallbacks = fallback_timeline(&trace.events);
+    let health = health_report(&trace.events);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "=== easeml-trace report ===");
+    let _ = writeln!(
+        out,
+        "events: {}  (schema v{}, {} unparseable line(s) skipped)",
+        trace.events.len(),
+        trace
+            .schema_version
+            .map_or("?".to_string(), |v| v.to_string()),
+        trace.skipped_lines,
+    );
+    let _ = writeln!(
+        out,
+        "rounds: {}  simulated cost: {:.4}",
+        regret.rounds, regret.clock
+    );
+
+    let _ = writeln!(out, "\n--- regret decomposition (Theorem 1) ---");
+    let _ = writeln!(
+        out,
+        "{:>6}  {:>14}  {:>14}  {:>14}  {:>9}",
+        "user", "arm-picking", "user-picking", "total", "split-err"
+    );
+    for (user, d) in &regret.per_user {
+        let _ = writeln!(
+            out,
+            "{user:>6}  {:>14.6}  {:>14.6}  {:>14.6}  {:>9.1e}",
+            d.arm_picking,
+            d.user_picking,
+            d.total,
+            (d.sum() - d.total).abs(),
+        );
+    }
+    let agg = &regret.aggregate;
+    let _ = writeln!(
+        out,
+        "{:>6}  {:>14.6}  {:>14.6}  {:>14.6}  {:>9.1e}",
+        "all",
+        agg.arm_picking,
+        agg.user_picking,
+        agg.total,
+        (agg.sum() - agg.total).abs(),
+    );
+    let _ = writeln!(
+        out,
+        "decomposition consistent: {}",
+        regret.is_consistent(1e-9)
+    );
+
+    let _ = writeln!(out, "\n--- GP calibration ---");
+    if calibration.pairs == 0 {
+        let _ = writeln!(
+            out,
+            "no scorable prediction/outcome pairs ({} unscored)",
+            calibration.unscored
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "pairs: {}  unscored: {}  mean residual: {:+.4}  rms z: {:.3}",
+            calibration.pairs, calibration.unscored, calibration.mean_residual, calibration.rms_z
+        );
+        let _ = writeln!(out, "{:>9}  {:>9}", "nominal", "observed");
+        for (nominal, observed) in &calibration.coverage {
+            let _ = writeln!(out, "{:>8.0}%  {:>8.1}%", nominal * 100.0, observed * 100.0);
+        }
+    }
+
+    let _ = writeln!(out, "\n--- hybrid fallbacks ---");
+    if fallbacks.is_empty() {
+        let _ = writeln!(out, "none");
+    } else {
+        for f in &fallbacks {
+            let _ = writeln!(
+                out,
+                "at cost {:.4} (round {}): {}",
+                f.clock, f.rounds, f.reason
+            );
+        }
+    }
+
+    let _ = writeln!(out, "\n--- numerical health ---");
+    let _ = writeln!(
+        out,
+        "jitter retries: {} event(s), {} attempt(s), max jitter {:.3e}",
+        health.jitter_events, health.jitter_attempts, health.max_jitter
+    );
+    let _ = writeln!(
+        out,
+        "psd projections: {} event(s), {} eigenvalue(s) clipped, mass {:.3e}",
+        health.psd_projections, health.eigenvalues_clipped, health.clipped_mass
+    );
+    if health.condition_samples > 0 {
+        let _ = writeln!(
+            out,
+            "posterior condition estimate: max {:.3e}, final {:.3e} ({} samples)",
+            health.max_condition, health.final_condition, health.condition_samples
+        );
+    } else {
+        let _ = writeln!(out, "posterior condition estimate: no samples");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn completed(user: usize, model: usize, cost: f64, quality: f64) -> Event {
+        Event::TrainingCompleted {
+            user,
+            model,
+            cost,
+            quality,
+            parent: 0,
+        }
+    }
+
+    fn chosen(user: usize, mean: f64, sigma: f64) -> Event {
+        Event::ArmChosen {
+            user,
+            arm: 0,
+            ucb: mean + 2.0 * sigma,
+            beta: 4.0,
+            cost: 1.0,
+            mean,
+            sigma,
+            parent: 0,
+        }
+    }
+
+    #[test]
+    fn parser_accepts_all_three_line_shapes() {
+        let text = concat!(
+            "{\"schema\":\"easeml-trace\",\"version\":2}\n",
+            "{\"seq\":1,\"event\":{\"TrainingCompleted\":{\"user\":0,\"model\":1,\
+             \"cost\":1.0,\"quality\":0.5,\"parent\":0}}}\n",
+            "{\"HybridFallback\":{\"reason\":\"frozen\",\"parent\":0}}\n",
+            "\n",
+            "garbage line\n",
+            "{\"seq\":2,\"event\":{\"SpanEnd\":{\"span\":3,\"ts_ns\":12}}}\n",
+        );
+        let trace = parse_trace(text);
+        assert_eq!(trace.schema_version, Some(2));
+        assert_eq!(trace.skipped_lines, 1);
+        assert_eq!(trace.events.len(), 3);
+        assert!(matches!(trace.events[0], Event::TrainingCompleted { .. }));
+        assert!(matches!(trace.events[1], Event::HybridFallback { .. }));
+        assert!(matches!(trace.events[2], Event::SpanEnd { span: 3, .. }));
+    }
+
+    #[test]
+    fn regret_report_matches_the_live_recorder_fold() {
+        let events = vec![
+            completed(0, 0, 2.0, 0.5),
+            completed(1, 0, 1.0, 0.8),
+            completed(0, 1, 4.0, 0.9),
+        ];
+        let report = regret_report(&events, &BTreeMap::new());
+        // Independently fold through the live recorder: totals must agree
+        // exactly — it is literally the same fold.
+        let ts = TimeSeriesRecorder::new();
+        for e in &events {
+            ts.fold(e);
+        }
+        let live = ts.snapshot().cum_regret();
+        assert_eq!(report.aggregate.total, live.total);
+        assert_eq!(report.aggregate.arm_picking, live.arm_picking);
+        assert!(report.is_consistent(1e-12));
+        assert_eq!(report.rounds, 3);
+        assert!((report.clock - 7.0).abs() < 1e-12);
+        assert_eq!(report.per_user.len(), 2);
+    }
+
+    #[test]
+    fn regret_report_honours_explicit_targets() {
+        let events = vec![completed(0, 0, 1.0, 0.8)];
+        let mut targets = BTreeMap::new();
+        targets.insert(0usize, 0.8);
+        let with_target = regret_report(&events, &targets);
+        // Pre-completion regret is 0.8 over 1 unit of cost, then zero.
+        assert!((with_target.per_user[&0].total - 0.8).abs() < 1e-12);
+        let without = regret_report(&events, &BTreeMap::new());
+        assert!((without.per_user[&0].total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_pairs_predictions_with_next_completion_per_user() {
+        // User 0: a perfectly calibrated prediction (outcome == mean) and
+        // one three-σ miss; user 1 interleaves and pairs independently.
+        let events = vec![
+            chosen(0, 0.5, 0.1),
+            chosen(1, 0.2, 0.1),
+            completed(1, 0, 1.0, 0.2), // pairs with user 1's prediction
+            completed(0, 0, 1.0, 0.5), // pairs with user 0's first
+            chosen(0, 0.5, 0.1),
+            completed(0, 1, 1.0, 0.95), // 4.5σ above the mean
+        ];
+        let report = calibration_report(&events);
+        assert_eq!(report.pairs, 3);
+        assert_eq!(report.unscored, 0);
+        // Two of three outcomes are inside every interval; the 4.5σ miss
+        // is outside all of them.
+        for (nominal, observed) in &report.coverage {
+            assert!(
+                (*observed - 2.0 / 3.0).abs() < 1e-12,
+                "{nominal}: {observed}"
+            );
+        }
+        assert!(report.rms_z > 1.0, "the miss inflates rms z");
+    }
+
+    #[test]
+    fn calibration_skips_v1_predictions_without_posterior_stats() {
+        let events = vec![
+            Event::ArmChosen {
+                user: 0,
+                arm: 0,
+                ucb: 1.0,
+                beta: 4.0,
+                cost: 1.0,
+                mean: f64::NAN,
+                sigma: f64::NAN,
+                parent: 0,
+            },
+            completed(0, 0, 1.0, 0.5),
+        ];
+        let report = calibration_report(&events);
+        assert_eq!(report.pairs, 0);
+        assert_eq!(report.unscored, 1);
+    }
+
+    #[test]
+    fn fallback_timeline_locates_fallbacks_on_the_cost_clock() {
+        let events = vec![
+            completed(0, 0, 2.0, 0.5),
+            completed(1, 0, 3.0, 0.6),
+            Event::HybridFallback {
+                reason: "frozen".into(),
+                parent: 0,
+            },
+            completed(0, 1, 1.0, 0.7),
+        ];
+        let timeline = fallback_timeline(&events);
+        assert_eq!(timeline.len(), 1);
+        assert!((timeline[0].clock - 5.0).abs() < 1e-12);
+        assert_eq!(timeline[0].rounds, 2);
+        assert_eq!(timeline[0].reason, "frozen");
+    }
+
+    #[test]
+    fn health_report_aggregates_numerical_events() {
+        let events = vec![
+            Event::JitterRetry {
+                attempts: 2,
+                jitter: 1e-8,
+                parent: 0,
+            },
+            Event::JitterRetry {
+                attempts: 3,
+                jitter: 1e-6,
+                parent: 0,
+            },
+            Event::PsdProjectionApplied {
+                floor: 0.0,
+                clipped: 2,
+                clipped_mass: 0.5,
+                parent: 0,
+            },
+            Event::PosteriorUpdated {
+                arm: 0,
+                reward: 0.5,
+                num_obs: 1,
+                cond: 10.0,
+                parent: 0,
+            },
+            Event::PosteriorUpdated {
+                arm: 0,
+                reward: 0.5,
+                num_obs: 2,
+                cond: 4.0,
+                parent: 0,
+            },
+        ];
+        let h = health_report(&events);
+        assert_eq!(h.jitter_events, 2);
+        assert_eq!(h.jitter_attempts, 5);
+        assert!((h.max_jitter - 1e-6).abs() < 1e-18);
+        assert_eq!(h.psd_projections, 1);
+        assert_eq!(h.eigenvalues_clipped, 2);
+        assert!((h.clipped_mass - 0.5).abs() < 1e-12);
+        assert_eq!(h.condition_samples, 2);
+        assert_eq!(h.max_condition, 10.0);
+        assert_eq!(h.final_condition, 4.0);
+    }
+
+    #[test]
+    fn chrome_trace_nests_and_pairs_spans() {
+        let events = vec![
+            Event::SpanStart {
+                span: 1,
+                parent: 0,
+                name: "scheduler_step".into(),
+                ts_ns: 1_000,
+            },
+            Event::SpanStart {
+                span: 2,
+                parent: 1,
+                name: "pick_arm".into(),
+                ts_ns: 2_000,
+            },
+            Event::SpanEnd {
+                span: 2,
+                ts_ns: 3_000,
+            },
+            Event::SpanEnd {
+                span: 1,
+                ts_ns: 5_000,
+            },
+            Event::SpanStart {
+                span: 3,
+                parent: 0,
+                name: "unclosed".into(),
+                ts_ns: 6_000,
+            },
+        ];
+        let json = chrome_trace(&events);
+        assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
+        assert!(
+            json.contains(
+                "{\"name\":\"scheduler_step\",\"ph\":\"X\",\"ts\":1.000,\"dur\":4.000,\
+                 \"pid\":1,\"tid\":1,\"args\":{\"span\":1,\"parent\":0}}"
+            ),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"name\":\"pick_arm\",\"ph\":\"X\",\"ts\":2.000,\"dur\":1.000"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"name\":\"unclosed\",\"ph\":\"X\",\"ts\":6.000,\"dur\":0.000"),
+            "{json}"
+        );
+        // Three complete events, comma-separated.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 3);
+    }
+
+    #[test]
+    fn report_renders_every_section() {
+        let events = vec![
+            chosen(0, 0.4, 0.2),
+            completed(0, 0, 1.0, 0.5),
+            Event::HybridFallback {
+                reason: "frozen".into(),
+                parent: 0,
+            },
+            Event::JitterRetry {
+                attempts: 1,
+                jitter: 1e-9,
+                parent: 0,
+            },
+        ];
+        let trace = LoadedTrace {
+            events,
+            schema_version: Some(2),
+            skipped_lines: 0,
+        };
+        let text = render_report(&trace, &BTreeMap::new());
+        for section in [
+            "regret decomposition (Theorem 1)",
+            "decomposition consistent: true",
+            "GP calibration",
+            "hybrid fallbacks",
+            "numerical health",
+            "jitter retries: 1 event(s)",
+        ] {
+            assert!(text.contains(section), "missing {section:?} in:\n{text}");
+        }
+    }
+}

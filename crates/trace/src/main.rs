@@ -1,0 +1,103 @@
+//! `easeml-trace` — offline analytics over recorded ease.ml traces.
+//!
+//! ```text
+//! easeml-trace report <trace.jsonl> [--target USER=QUALITY]...
+//! easeml-trace chrome <trace.jsonl>
+//! ```
+//!
+//! `report` prints the regret decomposition (Theorem 1), the GP
+//! calibration table, the hybrid-fallback timeline, and the
+//! numerical-health summary. `chrome` writes Chrome trace-event JSON to
+//! stdout — redirect to a file and load it in `chrome://tracing` or
+//! Perfetto to see the causal span tree.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: easeml-trace <report|chrome> <trace.jsonl> [--target USER=QUALITY]...";
+
+fn parse_targets(args: &[String]) -> Result<BTreeMap<usize, f64>, String> {
+    let mut targets = BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg != "--target" {
+            return Err(format!("unknown argument {arg:?}\n{USAGE}"));
+        }
+        let spec = it
+            .next()
+            .ok_or_else(|| format!("--target needs USER=QUALITY\n{USAGE}"))?;
+        let (user, quality) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--target {spec:?} is not USER=QUALITY"))?;
+        let user: usize = user
+            .parse()
+            .map_err(|_| format!("--target user {user:?} is not an integer"))?;
+        let quality: f64 = quality
+            .parse()
+            .map_err(|_| format!("--target quality {quality:?} is not a number"))?;
+        targets.insert(user, quality);
+    }
+    Ok(targets)
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, path, rest) = match args.as_slice() {
+        [command, path, rest @ ..] => (command.as_str(), Path::new(path), rest),
+        _ => return Err(USAGE.to_string()),
+    };
+    let trace = easeml_trace::load_trace(path)?;
+    match command {
+        "report" => {
+            let targets = parse_targets(rest)?;
+            print!("{}", easeml_trace::render_report(&trace, &targets));
+            Ok(())
+        }
+        "chrome" => {
+            if !rest.is_empty() {
+                return Err(format!("chrome takes no flags\n{USAGE}"));
+            }
+            println!("{}", easeml_trace::chrome_trace(&trace.events));
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("easeml-trace: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_targets;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn targets_parse_into_the_map() {
+        let t = parse_targets(&strings(&["--target", "0=0.9", "--target", "3=0.75"])).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!((t[&0] - 0.9).abs() < 1e-12);
+        assert!((t[&3] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn malformed_targets_are_rejected() {
+        assert!(parse_targets(&strings(&["--target"])).is_err());
+        assert!(parse_targets(&strings(&["--target", "nope"])).is_err());
+        assert!(parse_targets(&strings(&["--target", "x=0.9"])).is_err());
+        assert!(parse_targets(&strings(&["--target", "0=x"])).is_err());
+        assert!(parse_targets(&strings(&["--bogus"])).is_err());
+        assert!(parse_targets(&[]).unwrap().is_empty());
+    }
+}

@@ -15,7 +15,10 @@
 //!
 //! Flags: `--rounds N` (default 60), `--port P` (default 0 = ephemeral),
 //! `--no-serve` (skip the HTTP endpoint; print from the in-process
-//! snapshot instead — used by the CI smoke test).
+//! snapshot instead — used by the CI smoke test), `--trace-out PATH`
+//! (write the JSONL trace to PATH and keep it on exit, ready for
+//! `easeml-trace report PATH`; without it the trace goes to a temp file
+//! that is deleted when the example finishes).
 
 use easeml::prelude::*;
 use easeml::server::{QualityOracle, TrainingOutcome};
@@ -65,6 +68,7 @@ struct Options {
     rounds: usize,
     serve: bool,
     port: u16,
+    trace_out: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Options {
@@ -72,6 +76,7 @@ fn parse_args() -> Options {
         rounds: 60,
         serve: true,
         port: 0,
+        trace_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -85,8 +90,15 @@ fn parse_args() -> Options {
                 opts.port = value.parse().expect("--port must be a port number");
             }
             "--no-serve" => opts.serve = false,
+            "--trace-out" => {
+                let value = args.next().expect("--trace-out needs a path");
+                opts.trace_out = Some(value.into());
+            }
             other => {
-                eprintln!("unknown argument {other:?}; flags: --rounds N --port P --no-serve");
+                eprintln!(
+                    "unknown argument {other:?}; flags: --rounds N --port P --no-serve \
+                     --trace-out PATH"
+                );
                 std::process::exit(2);
             }
         }
@@ -138,10 +150,14 @@ fn main() {
     // per-tenant regret curves, and a rotating on-disk JSONL trace.
     let primary = Arc::new(InMemoryRecorder::new());
     let series = Arc::new(TimeSeriesRecorder::new().with_sample_interval(0.5));
-    let trace_path = std::env::temp_dir().join(format!(
-        "easeml-live-dashboard-{}.jsonl",
-        std::process::id()
-    ));
+    // An explicit --trace-out path is kept for offline analysis with
+    // `easeml-trace`; the default temp-dir trace is deleted on exit.
+    let trace_path = opts.trace_out.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!(
+            "easeml-live-dashboard-{}.jsonl",
+            std::process::id()
+        ))
+    });
     let file_sink =
         Arc::new(JsonlFileSink::create(&trace_path).expect("create trace file in temp dir"));
     let tee = Arc::new(
@@ -231,5 +247,12 @@ fn main() {
         }
     }
     drop(telemetry);
-    let _ = std::fs::remove_file(&trace_path);
+    if opts.trace_out.is_none() {
+        let _ = std::fs::remove_file(&trace_path);
+    } else {
+        println!(
+            "trace kept for offline analysis: easeml-trace report {}",
+            trace_path.display()
+        );
+    }
 }

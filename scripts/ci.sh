@@ -18,6 +18,21 @@ echo "==> cargo doc (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "==> live_dashboard smoke run"
-cargo run --quiet --example live_dashboard -- --rounds 5 --no-serve
+smoke_trace="$(mktemp -t easeml-ci-smoke-XXXXXX.jsonl)"
+trap 'rm -f "$smoke_trace"' EXIT
+cargo run --quiet --example live_dashboard -- \
+  --rounds 5 --no-serve --trace-out "$smoke_trace"
+
+echo "==> easeml-trace report on the smoke trace"
+report="$(cargo run --quiet -p easeml-trace -- report "$smoke_trace")"
+echo "$report"
+# The offline analyzer must reconstruct a non-empty, internally
+# consistent Theorem 1 regret decomposition from the recorded trace.
+echo "$report" | grep -q "regret decomposition (Theorem 1)"
+echo "$report" | grep -q "decomposition consistent: true"
+if echo "$report" | grep -q "rounds: 0 "; then
+  echo "error: smoke trace produced an empty regret decomposition" >&2
+  exit 1
+fi
 
 echo "CI gate passed."

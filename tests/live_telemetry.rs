@@ -7,7 +7,7 @@ use easeml::prelude::*;
 use easeml::server::{QualityOracle, TrainingOutcome};
 use easeml_obs::{
     Event, InMemoryRecorder, JsonlFileSink, RecorderHandle, StreamingSink, TeeRecorder,
-    TimeSeriesRecorder,
+    TimeSeriesRecorder, TRACE_SCHEMA_VERSION,
 };
 use easeml_obs_http::{TelemetryHub, TelemetryServer};
 use std::io::{Read, Write};
@@ -143,11 +143,24 @@ fn scheduler_run_is_observable_over_http() {
     let (_, empty) = get(addr, &format!("/trace?after={total}"));
     assert_eq!(empty, "");
 
-    // --- the file sink holds the same seq-tagged stream --------------
+    // --- the file sink holds the same seq-tagged stream, prefixed by
+    //     the schema-version header ------------------------------------
     let disk = std::fs::read_to_string(&trace_path).unwrap();
-    assert_eq!(disk.lines().count() as u64, total);
-    let first = disk.lines().next().unwrap();
+    assert_eq!(disk.lines().count() as u64, total + 1);
+    let mut disk_lines = disk.lines();
+    assert_eq!(disk_lines.next().unwrap(), easeml_obs::schema_header_line());
+    let first = disk_lines.next().unwrap();
     assert!(first.starts_with("{\"seq\":1,\"event\":"), "{first}");
+    // The on-disk trace round-trips through the offline analyzer with a
+    // non-empty Theorem 1 regret decomposition.
+    let parsed = easeml_trace::parse_trace(&disk);
+    assert_eq!(parsed.schema_version, Some(u64::from(TRACE_SCHEMA_VERSION)));
+    assert_eq!(parsed.skipped_lines, 0);
+    assert_eq!(parsed.events.len() as u64, total);
+    let regret = easeml_trace::regret_report(&parsed.events, &Default::default());
+    assert!(regret.rounds > 0 && regret.clock > 0.0);
+    assert!(regret.aggregate.total > 0.0, "{regret:?}");
+    assert!(regret.is_consistent(1e-9), "{regret:?}");
 
     // --- the tee's numbering agrees with the in-memory recorder ------
     assert_eq!(tee.last_seq(), primary.last_seq());
