@@ -50,6 +50,9 @@ pub struct GpUcb {
     recorder: RecorderHandle,
     /// User id stamped on emitted events (0 until a recorder is attached).
     owner: usize,
+    /// Quarantine mask: a `true` entry excludes the arm from the argmax
+    /// (e.g. after repeated training failures) until it is unmasked again.
+    masked: Vec<bool>,
 }
 
 impl GpUcb {
@@ -59,6 +62,7 @@ impl GpUcb {
     ///
     /// Panics if `noise_var <= 0` (propagated from [`GpPosterior::new`]).
     pub fn cost_oblivious(prior: ArmPrior, noise_var: f64, beta: BetaSchedule) -> Self {
+        let masked = vec![false; prior.num_arms()];
         GpUcb {
             gp: GpPosterior::new(prior, noise_var),
             costs: None,
@@ -66,6 +70,7 @@ impl GpUcb {
             t: 0,
             recorder: RecorderHandle::noop(),
             owner: 0,
+            masked,
         }
     }
 
@@ -90,6 +95,7 @@ impl GpUcb {
             costs.iter().all(|&c| c > 0.0),
             "arm costs must be strictly positive"
         );
+        let masked = vec![false; prior.num_arms()];
         GpUcb {
             gp: GpPosterior::new(prior, noise_var),
             costs: Some(costs),
@@ -97,6 +103,7 @@ impl GpUcb {
             t: 0,
             recorder: RecorderHandle::noop(),
             owner: 0,
+            masked,
         }
     }
 
@@ -167,7 +174,36 @@ impl GpUcb {
         (self.beta_next() / self.cost(arm)).sqrt() * self.gp.std(arm)
     }
 
-    /// Chooses the next arm: argmax of the UCB, ties toward the lower index.
+    /// Masks `arm` out of (or back into) [`GpUcb::select_arm`]'s argmax.
+    /// Masking is the quarantine mechanism: an arm that keeps failing can be
+    /// excluded without touching the posterior, then unmasked on probation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    pub fn set_arm_masked(&mut self, arm: usize, masked: bool) {
+        assert!(arm < self.masked.len(), "arm {arm} out of range");
+        self.masked[arm] = masked;
+    }
+
+    /// Whether `arm` is currently masked out of selection.
+    pub fn is_masked(&self, arm: usize) -> bool {
+        self.masked.get(arm).copied().unwrap_or(false)
+    }
+
+    /// Indices of currently masked arms, ascending.
+    pub fn masked_arms(&self) -> Vec<usize> {
+        self.masked
+            .iter()
+            .enumerate()
+            .filter_map(|(k, &m)| m.then_some(k))
+            .collect()
+    }
+
+    /// Chooses the next arm: argmax of the UCB over unmasked arms, ties
+    /// toward the lower index. If every arm is masked the mask is ignored —
+    /// the service must keep making progress, so quarantine degrades to a
+    /// no-op rather than deadlocking the tenant.
     ///
     /// Runs under a `pick_arm` span; the emitted [`Event::ArmChosen`] carries
     /// the chosen arm's posterior mean and standard deviation so offline
@@ -175,7 +211,15 @@ impl GpUcb {
     pub fn select_arm(&self) -> usize {
         let _span = self.recorder.span("pick_arm");
         let _timing = self.recorder.time(Component::ArmSelect);
-        let arm = vec_ops::argmax(&self.ucbs()).expect("policy has at least one arm");
+        let mut ucbs = self.ucbs();
+        if self.masked.iter().any(|&m| m) && !self.masked.iter().all(|&m| m) {
+            for (k, &m) in self.masked.iter().enumerate() {
+                if m {
+                    ucbs[k] = f64::NEG_INFINITY;
+                }
+            }
+        }
+        let arm = vec_ops::argmax(&ucbs).expect("policy has at least one arm");
         self.recorder.emit(|| Event::ArmChosen {
             user: self.owner,
             arm,
@@ -413,6 +457,40 @@ mod tests {
             other => panic!("unexpected observe events {other:?}"),
         }
         assert_eq!(rec.timing(Component::ArmSelect).count(), 1);
+    }
+
+    #[test]
+    fn masked_arm_is_skipped_until_unmasked() {
+        // Arm 0 dominates; masking it must divert selection to arm 1, and
+        // unmasking must restore the original argmax.
+        let mut ucb = GpUcb::cost_oblivious(ArmPrior::independent(2, 0.05), 0.001, simple_beta(2));
+        ucb.observe(0, 5.0);
+        assert_eq!(ucb.select_arm(), 0);
+        ucb.set_arm_masked(0, true);
+        assert!(ucb.is_masked(0));
+        assert_eq!(ucb.masked_arms(), vec![0]);
+        assert_eq!(ucb.select_arm(), 1);
+        ucb.set_arm_masked(0, false);
+        assert_eq!(ucb.select_arm(), 0);
+        assert!(ucb.masked_arms().is_empty());
+    }
+
+    #[test]
+    fn fully_masked_policy_ignores_the_mask() {
+        let mut ucb = GpUcb::cost_oblivious(ArmPrior::independent(2, 0.05), 0.001, simple_beta(2));
+        ucb.observe(0, 5.0);
+        ucb.set_arm_masked(0, true);
+        ucb.set_arm_masked(1, true);
+        // Quarantining everything must not deadlock: selection falls back
+        // to the unmasked argmax.
+        assert_eq!(ucb.select_arm(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn masking_out_of_range_arm_panics() {
+        let mut ucb = GpUcb::cost_oblivious(ArmPrior::independent(2, 1.0), 0.01, simple_beta(2));
+        ucb.set_arm_masked(5, true);
     }
 
     #[test]

@@ -44,6 +44,7 @@ fn main() {
             cost_aware: true,
             noise_var: 1e-3,
             delta: 0.1,
+            fault: None,
         };
         // Pooled: all GPUs on one model — costs divided by d, serial.
         let pooled_dataset = Dataset::new(

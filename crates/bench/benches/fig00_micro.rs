@@ -78,6 +78,7 @@ fn bench_scheduler_round(c: &mut Criterion) {
             cost_aware: false,
             noise_var: 1e-3,
             delta: 0.1,
+            fault: None,
         };
         let unit = dataset.unit_cost_view();
         b.iter(|| {

@@ -48,6 +48,7 @@ fn main() {
         cost_aware: false,
         noise_var: 1e-4,
         delta: 0.1,
+        fault: None,
     };
     let mut traces = Vec::new();
     for kind in [

@@ -43,6 +43,7 @@ fn workload() -> (Dataset, Vec<ArmPrior>, SimConfig) {
         cost_aware: false,
         noise_var: 1e-3,
         delta: 0.1,
+        fault: None,
     };
     (dataset, priors, cfg)
 }

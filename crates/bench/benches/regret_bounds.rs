@@ -49,6 +49,7 @@ fn main() {
                 cost_aware: false,
                 noise_var: 1e-3,
                 delta: 0.1,
+                fault: None,
             };
             let mut rng = StdRng::seed_from_u64(seed());
             let trace = simulate(&dataset, &priors, kind, &cfg, &mut rng);

@@ -158,6 +158,7 @@ pub fn obs_snapshot(id: &str) -> Option<std::path::PathBuf> {
         cost_aware: false,
         noise_var: 1e-3,
         delta: 0.1,
+        fault: None,
     };
 
     let rec = Arc::new(InMemoryRecorder::new());

@@ -17,6 +17,33 @@ pub struct TrainingRun {
     pub model: usize,
     /// Execution cost in simulated time units (GPU-hours).
     pub cost: f64,
+    /// Whether the run failed and is charged as a *censored* observation:
+    /// it occupies the device and bills the tenant, but produced no
+    /// quality observation.
+    pub censored: bool,
+}
+
+impl TrainingRun {
+    /// A normal (to-be-observed) run.
+    pub fn new(user: usize, model: usize, cost: f64) -> Self {
+        TrainingRun {
+            user,
+            model,
+            cost,
+            censored: false,
+        }
+    }
+
+    /// A censored run: a failed attempt whose consumed cost still occupies
+    /// the cluster and bills the tenant.
+    pub fn censored(user: usize, model: usize, cost: f64) -> Self {
+        TrainingRun {
+            user,
+            model,
+            cost,
+            censored: true,
+        }
+    }
 }
 
 /// Record of a completed run.
@@ -76,14 +103,21 @@ impl Cluster {
     ///
     /// # Panics
     ///
-    /// Panics if the run's cost is not strictly positive.
+    /// Panics if the run's cost is not strictly positive and finite: a NaN
+    /// cost would otherwise poison the device clocks (and the
+    /// `total_cmp`-based device selection would mask it), an infinite one
+    /// would wedge the device forever.
     pub fn execute(&mut self, run: TrainingRun) -> CompletedRun {
-        assert!(run.cost > 0.0, "training cost must be positive");
+        assert!(
+            run.cost.is_finite() && run.cost > 0.0,
+            "training cost must be positive and finite, got {}",
+            run.cost
+        );
         let device = self
             .device_free_at
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .expect("at least one device");
         let started_at = self.device_free_at[device];
@@ -115,6 +149,29 @@ impl Cluster {
     pub fn history(&self) -> &[CompletedRun] {
         &self.history
     }
+
+    /// Per-device free-at clocks (for checkpointing).
+    pub fn device_free_at(&self) -> &[f64] {
+        &self.device_free_at
+    }
+
+    /// Rebuilds a cluster from checkpointed state: per-device clocks plus
+    /// the execution history. The recorder is not part of the state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device_free_at` is empty.
+    pub fn from_state(device_free_at: Vec<f64>, history: Vec<CompletedRun>) -> Self {
+        assert!(
+            !device_free_at.is_empty(),
+            "cluster needs at least one device"
+        );
+        Cluster {
+            device_free_at,
+            history,
+            recorder: easeml_obs::RecorderHandle::noop(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -122,11 +179,7 @@ mod tests {
     use super::*;
 
     fn run(user: usize, cost: f64) -> TrainingRun {
-        TrainingRun {
-            user,
-            model: 0,
-            cost,
-        }
+        TrainingRun::new(user, 0, cost)
     }
 
     #[test]
@@ -181,5 +234,48 @@ mod tests {
     fn zero_cost_run_panics() {
         let mut c = Cluster::single_device();
         c.execute(run(0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn nan_cost_run_panics() {
+        // Regression: a NaN cost used to flow into the device clocks via
+        // the `partial_cmp().unwrap()` device-selection path and poison
+        // every later makespan; now it is rejected up front.
+        let mut c = Cluster::single_device();
+        c.execute(run(0, f64::NAN));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn infinite_cost_run_panics() {
+        let mut c = Cluster::single_device();
+        c.execute(run(0, f64::INFINITY));
+    }
+
+    #[test]
+    fn censored_runs_occupy_the_device_and_bill_the_tenant() {
+        let mut c = Cluster::single_device();
+        c.execute(run(0, 2.0));
+        let crash = c.execute(TrainingRun::censored(0, 1, 3.0));
+        assert!(crash.run.censored);
+        assert_eq!(crash.started_at, 2.0);
+        assert_eq!(c.makespan(), 5.0);
+        assert_eq!(c.total_busy_time(), 5.0);
+    }
+
+    #[test]
+    fn from_state_resumes_the_clocks_and_history() {
+        let mut c = Cluster::with_devices(2);
+        c.execute(run(0, 4.0));
+        c.execute(run(1, 1.0));
+        let resumed = {
+            let mut r = Cluster::from_state(c.device_free_at().to_vec(), c.history().to_vec());
+            r.execute(run(2, 1.0));
+            r
+        };
+        c.execute(run(2, 1.0));
+        assert_eq!(resumed.device_free_at(), c.device_free_at());
+        assert_eq!(resumed.history(), c.history());
     }
 }

@@ -212,6 +212,7 @@ pub fn run_experiment(
             cost_aware,
             noise_var,
             delta: cfg.delta,
+            fault: None,
         };
         traces.push(simulate(&test, &priors, scheduler, &sim_cfg, &mut sim_rng));
     }

@@ -51,12 +51,15 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod cluster;
 pub mod experiment;
+pub mod fault;
 pub mod job;
 pub mod metrics;
 pub mod pool;
 pub mod report;
+pub mod retry;
 pub mod server;
 pub mod sim;
 pub mod storage;
@@ -64,12 +67,18 @@ pub mod user;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
+    pub use crate::checkpoint::{CheckpointDoc, CHECKPOINT_VERSION};
     pub use crate::cluster::{Cluster, TrainingRun};
     pub use crate::experiment::{run_experiment, Budget, ExperimentConfig, ExperimentResult};
+    pub use crate::fault::{FaultConfig, FaultInjector, FaultRates, TrainingError};
     pub use crate::job::{Job, JobStatus};
     pub use crate::metrics::{speedup_factor, AggregatedCurves};
     pub use crate::pool::{Task, TaskPool, TaskState};
-    pub use crate::server::{EaseMl, StatusSnapshot, UserStatus};
+    pub use crate::retry::{RetryPolicy, RetryState};
+    pub use crate::server::{
+        EaseMl, QualityOracle, RoundError, RoundOutcome, RoundResult, StatusSnapshot,
+        TrainingOutcome, UserStatus,
+    };
     pub use crate::sim::{
         simulate, simulate_parallel, simulate_parallel_with_recorder, simulate_with_recorder,
         SchedulerKind, SimConfig, SimEvent, SimTrace,

@@ -7,15 +7,21 @@
 //! this is the deep-learning subsystem; in this reproduction it is the
 //! dataset's (quality, cost) matrix or any user-supplied closure.
 
-use crate::cluster::{Cluster, TrainingRun};
+use crate::checkpoint::{
+    decode_u64, encode_u64, CheckpointDoc, ClusterCheckpoint, FaultCheckpoint, PickerCheckpoint,
+    RetryPolicyCheckpoint, RunCheckpoint, TenantCheckpoint, UserCheckpoint, CHECKPOINT_VERSION,
+};
+use crate::cluster::{Cluster, CompletedRun, TrainingRun};
+use crate::fault::{FaultConfig, FaultInjector, FaultRates, TrainingError};
 use crate::job::{Job, JobStatus};
+use crate::retry::{RetryPolicy, RetryState};
 use crate::storage::SharedStorage;
 use crate::user::UserAccount;
 use easeml_bandit::{BetaSchedule, GpUcb};
 use easeml_dsl::{parse_program, ModelId, ParseError};
 use easeml_gp::ArmPrior;
 use easeml_obs::{Component, Event, RecorderHandle};
-use easeml_sched::{Hybrid, Tenant, UserPicker};
+use easeml_sched::{Hybrid, HybridState, PickRule, Tenant, UserPicker};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -32,12 +38,14 @@ pub struct UserStatus {
     pub status: String,
     /// Training runs completed for this user.
     pub served: usize,
-    /// Cost charged to this user so far.
+    /// Cost charged to this user so far (censored runs included).
     pub cost: f64,
     /// Name of the best model found so far, if any run completed.
     pub best_model: Option<String>,
     /// Accuracy of that best model.
     pub best_accuracy: Option<f64>,
+    /// Failed (censored) runs charged to this user.
+    pub failed: usize,
 }
 
 /// A point-in-time view of the whole service, built by
@@ -53,6 +61,8 @@ pub struct StatusSnapshot {
     pub num_users: usize,
     /// Per-user status, in tenant-index order.
     pub users: Vec<UserStatus>,
+    /// Total failed (censored) runs across all users.
+    pub failed_runs: usize,
 }
 
 /// Outcome of one training run as reported by the quality oracle.
@@ -64,13 +74,76 @@ pub struct TrainingOutcome {
     pub cost: f64,
 }
 
-/// A function deciding how well candidate `model` of user `user` performs.
-pub type QualityOracle = Box<dyn Fn(usize, ModelId) -> TrainingOutcome + Send>;
+/// A function deciding how well candidate `model` of user `user` performs —
+/// fallibly: a real trainer can crash, time out, or return junk, and the
+/// oracle reports that through [`TrainingError`].
+pub type QualityOracle =
+    Box<dyn FnMut(usize, ModelId) -> Result<TrainingOutcome, TrainingError> + Send>;
+
+/// Why [`EaseMl::try_run_round`] could not run a round at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundError {
+    /// No users are registered; there is nothing to schedule.
+    NoUsers,
+}
+
+impl std::fmt::Display for RoundError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoundError::NoUsers => write!(f, "no registered users"),
+        }
+    }
+}
+
+impl std::error::Error for RoundError {}
+
+/// How one scheduling round ended.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RoundResult {
+    /// A training run completed (possibly after censored retries).
+    Completed(TrainingOutcome),
+    /// Every attempt failed: the round is censored. The cluster clock and
+    /// the user's bill advanced by `cost_consumed`, but no observation
+    /// entered the posterior.
+    Censored {
+        /// The final attempt's error.
+        error: TrainingError,
+        /// Total cost charged across this round's failed attempts
+        /// (including backoff).
+        cost_consumed: f64,
+    },
+}
+
+/// What one call to [`EaseMl::try_run_round`] did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundOutcome {
+    /// The user served this round.
+    pub user: usize,
+    /// The last model attempted.
+    pub model: ModelId,
+    /// Training attempts made (1 when nothing failed).
+    pub attempts: u64,
+    /// Completed outcome or censored failure.
+    pub result: RoundResult,
+}
+
+impl RoundOutcome {
+    /// The completed outcome, if the round was not censored.
+    pub fn completed(&self) -> Option<TrainingOutcome> {
+        match self.result {
+            RoundResult::Completed(outcome) => Some(outcome),
+            RoundResult::Censored { .. } => None,
+        }
+    }
+}
 
 /// The ease.ml service: multiple users sharing one cluster, with automatic
 /// model exploration scheduled by HYBRID (the system default).
 pub struct EaseMl {
     users: Vec<UserAccount>,
+    /// Original program sources, aligned with `users` — what a checkpoint
+    /// stores so restore can re-register everyone identically.
+    programs: Vec<String>,
     jobs: Vec<Job>,
     tenants: Vec<Tenant>,
     storage: SharedStorage,
@@ -80,8 +153,14 @@ pub struct EaseMl {
     rng: Mutex<StdRng>,
     warmed_up: Mutex<usize>,
     step: Mutex<usize>,
+    /// Total rounds executed (warm-up and censored rounds included); the
+    /// clock quarantine probation is measured against.
+    rounds: Mutex<u64>,
     noise_var: f64,
     delta: f64,
+    fault: Option<FaultInjector>,
+    retry_policy: RetryPolicy,
+    retry_state: RetryState,
     recorder: RecorderHandle,
 }
 
@@ -90,6 +169,7 @@ impl EaseMl {
     pub fn new(oracle: QualityOracle, seed: u64) -> Self {
         EaseMl {
             users: Vec::new(),
+            programs: Vec::new(),
             jobs: Vec::new(),
             tenants: Vec::new(),
             storage: SharedStorage::new(),
@@ -99,10 +179,47 @@ impl EaseMl {
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             warmed_up: Mutex::new(0),
             step: Mutex::new(0),
+            rounds: Mutex::new(0),
             noise_var: 1e-3,
             delta: 0.1,
+            fault: None,
+            retry_policy: RetryPolicy::default(),
+            retry_state: RetryState::new(),
             recorder: RecorderHandle::noop(),
         }
+    }
+
+    /// Attaches (or with `None` removes) a deterministic fault injector:
+    /// every oracle success is passed through its fault model before the
+    /// scheduler sees it.
+    pub fn set_fault_injector(&mut self, injector: Option<FaultInjector>) {
+        self.fault = injector;
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.fault.as_ref()
+    }
+
+    /// Replaces the retry/quarantine policy (defaults to
+    /// [`RetryPolicy::default`]).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry_policy = policy;
+    }
+
+    /// The active retry/quarantine policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry_policy
+    }
+
+    /// Total rounds executed so far (censored rounds included).
+    pub fn rounds_executed(&self) -> u64 {
+        *self.rounds.lock()
+    }
+
+    /// Arms of `user` currently quarantined (masked out of GP-UCB).
+    pub fn quarantined_arms(&self, user: usize) -> Vec<usize> {
+        self.tenants[user].policy().masked_arms()
     }
 
     /// Attaches an observability sink: the HYBRID picker, every tenant's
@@ -145,6 +262,7 @@ impl EaseMl {
         self.tenants.push(Tenant::new(id, policy));
         self.jobs.push(job);
         self.users.push(UserAccount::new(id, name, program));
+        self.programs.push(program_src.to_string());
         Ok(id)
     }
 
@@ -173,17 +291,61 @@ impl EaseMl {
     /// model (GP-UCB), train it on the cluster, record the outcome. Returns
     /// `(user, model, outcome)`.
     ///
+    /// Thin wrapper over [`EaseMl::try_run_round`] that keeps running
+    /// rounds until one completes — a censored (all-attempts-failed) round
+    /// still advances the cluster clock, so faults slow this call down but
+    /// never corrupt it.
+    ///
     /// # Panics
     ///
     /// Panics if no users are registered.
     pub fn run_round(&mut self) -> (usize, ModelId, TrainingOutcome) {
-        assert!(!self.users.is_empty(), "no registered users");
+        loop {
+            match self.try_run_round() {
+                Ok(outcome) => {
+                    if let RoundResult::Completed(result) = outcome.result {
+                        return (outcome.user, outcome.model, result);
+                    }
+                    // Censored round: schedule again until a run completes.
+                }
+                Err(RoundError::NoUsers) => panic!("no registered users"),
+            }
+        }
+    }
+
+    /// Executes one scheduling round without panicking: pick a user, pick a
+    /// model, train — retrying failed attempts per the [`RetryPolicy`] and
+    /// censoring the round if every attempt fails.
+    ///
+    /// Failure semantics: each failed attempt's consumed cost (plus any
+    /// retry backoff) is charged to the cluster and the user as a
+    /// *censored* run — the clock advances, the bill grows, but nothing
+    /// enters the GP posterior, so the Theorem 1 regret accounting stays
+    /// consistent. Arms that keep failing are quarantined (masked out of
+    /// GP-UCB's argmax) and re-enter on probation after
+    /// `probation_rounds` global rounds.
+    ///
+    /// # Errors
+    ///
+    /// [`RoundError::NoUsers`] when no users are registered.
+    pub fn try_run_round(&mut self) -> Result<RoundOutcome, RoundError> {
+        if self.users.is_empty() {
+            return Err(RoundError::NoUsers);
+        }
         let _round = self.recorder.time(Component::SimRound);
         let _step_span = self.recorder.span("scheduler_step");
         let mut picker = self.picker.lock();
         let mut rng = self.rng.lock();
         let mut warmed = self.warmed_up.lock();
         let mut step = self.step.lock();
+        let mut rounds = self.rounds.lock();
+
+        // Probation: unmask arms whose quarantine has expired.
+        for (user, arm) in self.retry_state.due_releases(*rounds) {
+            if arm < self.tenants[user].policy().posterior().num_arms() {
+                self.tenants[user].policy_mut().set_arm_masked(arm, false);
+            }
+        }
 
         // Warm-up pass (Algorithm 2 lines 1–4): serve each user once.
         let user = if *warmed < self.tenants.len() {
@@ -198,29 +360,417 @@ impl EaseMl {
             u
         };
 
-        let model_idx = self.tenants[user].select_model();
-        let model = self.jobs[user].candidate_models()[model_idx];
-        let outcome = (self.oracle)(user, model);
-        {
-            let _train = self.recorder.span("train");
-            self.cluster.lock().execute(TrainingRun {
-                user,
-                model: model_idx,
-                cost: outcome.cost,
-            });
-            self.recorder.emit(|| Event::TrainingCompleted {
-                user,
-                model: model_idx,
-                cost: outcome.cost,
-                quality: outcome.accuracy,
-                parent: easeml_obs::current_span(),
-            });
+        let mut failures: u64 = 0;
+        let mut censored_cost = 0.0;
+        loop {
+            let attempt = failures + 1;
+            // Re-select each attempt: quarantine during this round's
+            // failures immediately steers retries to another arm.
+            let model_idx = self.tenants[user].select_model();
+            let model = self.jobs[user].candidate_models()[model_idx];
+            let raw = (self.oracle)(user, model);
+            // Inject faults into clean outcomes, then validate: a
+            // non-finite quality or non-positive cost is unusable whether
+            // injected or organic.
+            let injected = match raw {
+                Ok(outcome) => match self.fault.as_mut() {
+                    Some(injector) => injector.apply(user, model_idx, outcome),
+                    None => Ok(outcome),
+                },
+                Err(error) => Err(error),
+            };
+            let result = match injected {
+                Ok(outcome) => {
+                    if outcome.accuracy.is_finite()
+                        && outcome.cost.is_finite()
+                        && outcome.cost > 0.0
+                    {
+                        Ok(outcome)
+                    } else {
+                        let charge = if outcome.cost.is_finite() && outcome.cost > 0.0 {
+                            outcome.cost
+                        } else {
+                            0.0
+                        };
+                        Err((TrainingError::InvalidQuality, charge))
+                    }
+                }
+                Err(error) => Err((error, error.cost_consumed())),
+            };
+            match result {
+                Ok(outcome) => {
+                    {
+                        let _train = self.recorder.span("train");
+                        self.cluster.lock().execute(TrainingRun::new(
+                            user,
+                            model_idx,
+                            outcome.cost,
+                        ));
+                        self.recorder.emit(|| Event::TrainingCompleted {
+                            user,
+                            model: model_idx,
+                            cost: outcome.cost,
+                            quality: outcome.accuracy,
+                            parent: easeml_obs::current_span(),
+                        });
+                    }
+                    self.tenants[user].observe(model_idx, outcome.accuracy);
+                    self.jobs[user].record_result(model_idx, outcome.accuracy);
+                    self.retry_state.record_success(user, model_idx);
+                    picker.after_observe(&self.tenants, user);
+                    self.recorder.count("server/rounds", 1);
+                    *rounds += 1;
+                    return Ok(RoundOutcome {
+                        user,
+                        model,
+                        attempts: attempt,
+                        result: RoundResult::Completed(outcome),
+                    });
+                }
+                Err((error, charge)) => {
+                    failures += 1;
+                    let will_retry = self.retry_policy.allows_retry(failures);
+                    let backoff = if will_retry {
+                        self.retry_policy.backoff_for(failures)
+                    } else {
+                        0.0
+                    };
+                    let total = charge.max(0.0) + backoff;
+                    if total > 0.0 && total.is_finite() {
+                        let _train = self.recorder.span("train");
+                        self.cluster
+                            .lock()
+                            .execute(TrainingRun::censored(user, model_idx, total));
+                        censored_cost += total;
+                    }
+                    self.recorder.emit(|| Event::TrainingFailed {
+                        user,
+                        model: model_idx,
+                        cost: total,
+                        kind: error.kind().to_string(),
+                        attempt,
+                        parent: easeml_obs::current_span(),
+                    });
+                    self.recorder.count("server/failed-runs", 1);
+                    // Quarantine on repeated (cross-round) failures.
+                    let consecutive = self.retry_state.record_failure(user, model_idx);
+                    let threshold = self.retry_policy.quarantine_threshold;
+                    if threshold > 0
+                        && consecutive >= threshold
+                        && !self.tenants[user].policy().is_masked(model_idx)
+                    {
+                        self.tenants[user]
+                            .policy_mut()
+                            .set_arm_masked(model_idx, true);
+                        let probation = self.retry_policy.probation_rounds;
+                        self.retry_state
+                            .schedule_release(*rounds + probation, user, model_idx);
+                        self.recorder.emit(|| Event::ArmQuarantined {
+                            user,
+                            model: model_idx,
+                            failures: consecutive,
+                            probation_rounds: probation,
+                            parent: easeml_obs::current_span(),
+                        });
+                    }
+                    if will_retry {
+                        self.recorder.emit(|| Event::RetryScheduled {
+                            user,
+                            model: model_idx,
+                            attempt: attempt + 1,
+                            backoff_cost: backoff,
+                            parent: easeml_obs::current_span(),
+                        });
+                        continue;
+                    }
+                    self.recorder.count("server/rounds", 1);
+                    *rounds += 1;
+                    return Ok(RoundOutcome {
+                        user,
+                        model,
+                        attempts: attempt,
+                        result: RoundResult::Censored {
+                            error,
+                            cost_consumed: censored_cost,
+                        },
+                    });
+                }
+            }
         }
-        self.tenants[user].observe(model_idx, outcome.accuracy);
-        self.jobs[user].record_result(model_idx, outcome.accuracy);
-        picker.after_observe(&self.tenants, user);
-        self.recorder.count("server/rounds", 1);
-        (user, model, outcome)
+    }
+
+    /// Serializes the full server state to a JSON checkpoint document.
+    ///
+    /// The checkpoint carries the posterior *sufficient statistics* (each
+    /// tenant's observation sequence — replaying it through the same
+    /// numeric path rebuilds bit-identical GP state), the HYBRID freeze
+    /// detector, the cluster clocks and history, per-job bests (derived
+    /// from the replayed observations), the RNG stream position, and the
+    /// fault/retry bookkeeping. [`EaseMl::restore`] resumes from it with
+    /// the exact same remaining decision sequence as an uninterrupted run.
+    pub fn checkpoint(&self) -> String {
+        let rng_words = self.rng.lock().state();
+        let tenants = self
+            .tenants
+            .iter()
+            .map(|t| TenantCheckpoint {
+                observations: t.policy().posterior().observations().collect(),
+                masked: t.policy().masked_arms(),
+            })
+            .collect();
+        let users = self
+            .users
+            .iter()
+            .zip(&self.programs)
+            .map(|(account, program)| UserCheckpoint {
+                name: account.name().to_string(),
+                program: program.clone(),
+            })
+            .collect();
+        let picker = {
+            let state = self.picker.lock().export_state();
+            PickerCheckpoint {
+                rule: state.rule.name().to_string(),
+                patience: state.patience as u64,
+                frozen_rounds: state.frozen_rounds as u64,
+                prev_candidates: state.prev_candidates,
+                prev_best_sum: state.prev_best_sum,
+                switched: state.switched,
+                rr_cursor: state.rr_cursor as u64,
+            }
+        };
+        let cluster = {
+            let c = self.cluster.lock();
+            ClusterCheckpoint {
+                device_free_at: c.device_free_at().to_vec(),
+                history: c
+                    .history()
+                    .iter()
+                    .map(|r| RunCheckpoint {
+                        user: r.run.user,
+                        model: r.run.model,
+                        cost: r.run.cost,
+                        censored: r.run.censored,
+                        device: r.device,
+                        started_at: r.started_at,
+                        finished_at: r.finished_at,
+                    })
+                    .collect(),
+            }
+        };
+        let fault = self.fault.as_ref().map(|injector| {
+            let config = injector.config();
+            let flatten =
+                |rates: &FaultRates| [rates.crash, rates.timeout, rates.invalid, rates.straggler];
+            FaultCheckpoint {
+                seed: encode_u64(config.seed),
+                rates: flatten(&config.rates),
+                user_overrides: config
+                    .user_overrides
+                    .iter()
+                    .map(|(&k, r)| (k, flatten(r)))
+                    .collect(),
+                arm_overrides: config
+                    .arm_overrides
+                    .iter()
+                    .map(|(&k, r)| (k, flatten(r)))
+                    .collect(),
+                straggler_factor: config.straggler_factor,
+                crash_cost_fraction: config.crash_cost_fraction,
+                timeout_factor: config.timeout_factor,
+                attempts: injector
+                    .attempts()
+                    .iter()
+                    .map(|(&(user, arm), &n)| (user, arm, n))
+                    .collect(),
+            }
+        });
+        let rounds = *self.rounds.lock();
+        let doc = CheckpointDoc {
+            version: CHECKPOINT_VERSION,
+            rng_state: [
+                encode_u64(rng_words[0]),
+                encode_u64(rng_words[1]),
+                encode_u64(rng_words[2]),
+                encode_u64(rng_words[3]),
+            ],
+            noise_var: self.noise_var,
+            delta: self.delta,
+            step: *self.step.lock() as u64,
+            warmed_up: *self.warmed_up.lock() as u64,
+            rounds,
+            users,
+            tenants,
+            picker,
+            cluster,
+            retry_policy: RetryPolicyCheckpoint {
+                max_retries: self.retry_policy.max_retries,
+                backoff_cost: self.retry_policy.backoff_cost,
+                backoff_factor: self.retry_policy.backoff_factor,
+                quarantine_threshold: self.retry_policy.quarantine_threshold,
+                probation_rounds: self.retry_policy.probation_rounds,
+            },
+            retry_counters: self
+                .retry_state
+                .counters()
+                .iter()
+                .map(|(&(user, arm), &n)| (user, arm, n))
+                .collect(),
+            retry_releases: self.retry_state.releases().to_vec(),
+            fault,
+        };
+        let json = doc.to_json();
+        self.recorder.emit(|| Event::CheckpointWritten {
+            rounds,
+            users: self.users.len() as u64,
+            bytes: json.len() as u64,
+            parent: easeml_obs::current_span(),
+        });
+        json
+    }
+
+    /// Rebuilds a server from a checkpoint produced by
+    /// [`EaseMl::checkpoint`], resuming the experiment exactly: the GP
+    /// posteriors are replayed observation-by-observation (bit-identical
+    /// f64 state), the RNG continues its stream, and the fault injector's
+    /// attempt counters pick up where they left off — so the remaining
+    /// decision sequence matches an uninterrupted run.
+    ///
+    /// The recorder is not part of the checkpoint; attach one with
+    /// [`EaseMl::set_recorder`] after restoring.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed or inconsistent field.
+    pub fn restore(json: &str, oracle: QualityOracle) -> Result<Self, String> {
+        let doc = CheckpointDoc::from_json(json)?;
+        let mut server = EaseMl::new(oracle, 0);
+        server.noise_var = doc.noise_var;
+        server.delta = doc.delta;
+        // Re-register every user from its original program: id order makes
+        // the β-schedules identical to the original registration sequence.
+        for user in &doc.users {
+            server
+                .register_user(&user.name, &user.program)
+                .map_err(|e| format!("restoring user {:?}: {e}", user.name))?;
+        }
+        if doc.tenants.len() != server.tenants.len() {
+            return Err(format!(
+                "checkpoint holds {} tenant states for {} users",
+                doc.tenants.len(),
+                server.tenants.len()
+            ));
+        }
+        // Replay the observation sequences: same inputs through the same
+        // numeric path rebuild bit-identical posterior state and job bests.
+        for (idx, tenant_ckpt) in doc.tenants.iter().enumerate() {
+            let num_arms = server.tenants[idx].policy().posterior().num_arms();
+            for &(arm, reward) in &tenant_ckpt.observations {
+                if arm >= num_arms {
+                    return Err(format!("tenant {idx}: observation arm {arm} out of range"));
+                }
+                server.tenants[idx].observe(arm, reward);
+                server.jobs[idx].record_result(arm, reward);
+            }
+            for &arm in &tenant_ckpt.masked {
+                if arm >= num_arms {
+                    return Err(format!("tenant {idx}: masked arm {arm} out of range"));
+                }
+                server.tenants[idx].policy_mut().set_arm_masked(arm, true);
+            }
+        }
+        let rule = PickRule::from_name(&doc.picker.rule)
+            .ok_or_else(|| format!("unknown picker rule {:?}", doc.picker.rule))?;
+        if doc.picker.patience == 0 {
+            return Err("picker patience must be positive".into());
+        }
+        server.picker = Mutex::new(Hybrid::from_state(HybridState {
+            rule,
+            patience: doc.picker.patience as usize,
+            frozen_rounds: doc.picker.frozen_rounds as usize,
+            prev_candidates: doc.picker.prev_candidates.clone(),
+            prev_best_sum: doc.picker.prev_best_sum,
+            switched: doc.picker.switched,
+            rr_cursor: doc.picker.rr_cursor as usize,
+        }));
+        if doc.cluster.device_free_at.is_empty() {
+            return Err("cluster checkpoint has no devices".into());
+        }
+        let history = doc
+            .cluster
+            .history
+            .iter()
+            .map(|r| CompletedRun {
+                run: TrainingRun {
+                    user: r.user,
+                    model: r.model,
+                    cost: r.cost,
+                    censored: r.censored,
+                },
+                device: r.device,
+                started_at: r.started_at,
+                finished_at: r.finished_at,
+            })
+            .collect();
+        server.cluster = Mutex::new(Cluster::from_state(
+            doc.cluster.device_free_at.clone(),
+            history,
+        ));
+        let mut rng_words = [0u64; 4];
+        for (i, word) in doc.rng_state.iter().enumerate() {
+            rng_words[i] = decode_u64(word)?;
+        }
+        server.rng = Mutex::new(StdRng::from_state(rng_words));
+        server.warmed_up = Mutex::new(doc.warmed_up as usize);
+        server.step = Mutex::new(doc.step as usize);
+        server.rounds = Mutex::new(doc.rounds);
+        server.retry_policy = RetryPolicy {
+            max_retries: doc.retry_policy.max_retries,
+            backoff_cost: doc.retry_policy.backoff_cost,
+            backoff_factor: doc.retry_policy.backoff_factor,
+            quarantine_threshold: doc.retry_policy.quarantine_threshold,
+            probation_rounds: doc.retry_policy.probation_rounds,
+        };
+        server.retry_state = RetryState::from_parts(
+            doc.retry_counters
+                .iter()
+                .map(|&(user, arm, n)| ((user, arm), n))
+                .collect(),
+            doc.retry_releases.clone(),
+        );
+        if let Some(fault) = &doc.fault {
+            let unflatten = |rates: &[f64; 4]| FaultRates {
+                crash: rates[0],
+                timeout: rates[1],
+                invalid: rates[2],
+                straggler: rates[3],
+            };
+            let mut config = FaultConfig::new(decode_u64(&fault.seed)?);
+            config.rates = unflatten(&fault.rates);
+            config.user_overrides = fault
+                .user_overrides
+                .iter()
+                .map(|(k, r)| (*k, unflatten(r)))
+                .collect();
+            config.arm_overrides = fault
+                .arm_overrides
+                .iter()
+                .map(|(k, r)| (*k, unflatten(r)))
+                .collect();
+            config.straggler_factor = fault.straggler_factor;
+            config.crash_cost_fraction = fault.crash_cost_fraction;
+            config.timeout_factor = fault.timeout_factor;
+            let mut injector = FaultInjector::new(config);
+            injector.restore_attempts(
+                fault
+                    .attempts
+                    .iter()
+                    .map(|&(user, arm, n)| ((user, arm), n))
+                    .collect(),
+            );
+            server.fault = Some(injector);
+        }
+        Ok(server)
     }
 
     /// Runs rounds until the simulated cluster has consumed `budget` cost.
@@ -261,18 +811,20 @@ impl EaseMl {
                     user: account.id(),
                     name: account.name().to_string(),
                     status: job.status().name().to_string(),
-                    served: runs.clone().count(),
-                    cost: runs.map(|r| r.run.cost).sum(),
+                    served: runs.clone().filter(|r| !r.run.censored).count(),
+                    cost: runs.clone().map(|r| r.run.cost).sum(),
                     best_model: best.map(|(model, _)| model.name().to_string()),
                     best_accuracy: best.map(|(_, accuracy)| accuracy),
+                    failed: runs.filter(|r| r.run.censored).count(),
                 }
             })
             .collect();
         StatusSnapshot {
             elapsed_cost,
-            completed_runs: history.len(),
+            completed_runs: history.iter().filter(|r| !r.run.censored).count(),
             num_users: self.users.len(),
             users,
+            failed_runs: history.iter().filter(|r| r.run.censored).count(),
         }
     }
 
@@ -296,10 +848,10 @@ mod tests {
         Box::new(|user, model| {
             let info = model.info();
             let base = if user % 2 == 0 { 0.7 } else { 0.5 };
-            TrainingOutcome {
+            Ok(TrainingOutcome {
                 accuracy: (base + 0.02 * (info.year as f64 - 2010.0)).min(0.99),
                 cost: info.relative_cost,
-            }
+            })
         })
     }
 
@@ -482,5 +1034,180 @@ mod tests {
     fn round_without_users_panics() {
         let mut s = EaseMl::new(toy_oracle(), 5);
         s.run_round();
+    }
+
+    #[test]
+    fn try_run_round_without_users_reports_no_users() {
+        let mut s = EaseMl::new(toy_oracle(), 5);
+        assert_eq!(s.try_run_round(), Err(RoundError::NoUsers));
+    }
+
+    #[test]
+    fn crashing_arm_is_censored_and_quarantined() {
+        use easeml_obs::InMemoryRecorder;
+        use std::sync::Arc;
+        let mut s = EaseMl::new(toy_oracle(), 8);
+        s.register_user("a", IMAGE_PROG).unwrap();
+        let rec = Arc::new(InMemoryRecorder::new());
+        s.set_recorder(RecorderHandle::new(rec.clone()));
+        // Arm 0 (the first argmax choice on a flat prior) always crashes.
+        let mut config = FaultConfig::new(13);
+        config.arm_overrides.insert(
+            0,
+            FaultRates {
+                crash: 1.0,
+                ..FaultRates::NONE
+            },
+        );
+        s.set_fault_injector(Some(FaultInjector::new(config)));
+
+        let out = s.try_run_round().unwrap();
+        assert_eq!(out.user, 0, "warm-up serves user 0");
+        assert_eq!(out.attempts, 3, "one attempt plus two retries");
+        assert!(out.completed().is_none());
+        match out.result {
+            RoundResult::Censored {
+                error,
+                cost_consumed,
+            } => {
+                assert_eq!(error.kind(), "crash");
+                assert!(cost_consumed > 0.0, "crashes and backoff bill the user");
+            }
+            other => panic!("expected a censored round, got {other:?}"),
+        }
+        assert_eq!(s.quarantined_arms(0), vec![0]);
+
+        // Censored rounds advance the clock and the bill, but never the
+        // posterior or the job's best model.
+        let snap = s.status_snapshot();
+        assert_eq!(snap.completed_runs, 0);
+        assert_eq!(snap.failed_runs, 3);
+        assert_eq!(snap.users[0].served, 0);
+        assert_eq!(snap.users[0].failed, 3);
+        assert!(snap.users[0].cost > 0.0);
+        assert!((snap.users[0].cost - snap.elapsed_cost).abs() < 1e-12);
+        assert!(s.infer(0).is_none());
+
+        // The next round steers around the quarantined arm and completes.
+        let out = s.try_run_round().unwrap();
+        assert_eq!(out.attempts, 1);
+        assert!(out.completed().is_some());
+        assert!(s.infer(0).is_some());
+
+        let counts = rec.event_counts();
+        assert_eq!(counts.get("TrainingFailed"), Some(&3));
+        assert_eq!(counts.get("RetryScheduled"), Some(&2));
+        assert_eq!(counts.get("ArmQuarantined"), Some(&1));
+        assert_eq!(counts.get("TrainingCompleted"), Some(&1));
+    }
+
+    #[test]
+    fn quarantined_arms_reenter_on_probation() {
+        use easeml_obs::InMemoryRecorder;
+        use std::sync::Arc;
+        let mut s = EaseMl::new(toy_oracle(), 9);
+        s.register_user("a", IMAGE_PROG).unwrap();
+        let rec = Arc::new(InMemoryRecorder::new());
+        s.set_recorder(RecorderHandle::new(rec.clone()));
+        s.set_retry_policy(RetryPolicy {
+            probation_rounds: 2,
+            ..RetryPolicy::default()
+        });
+        let mut config = FaultConfig::new(13);
+        config.arm_overrides.insert(
+            0,
+            FaultRates {
+                crash: 1.0,
+                ..FaultRates::NONE
+            },
+        );
+        s.set_fault_injector(Some(FaultInjector::new(config)));
+
+        // Round 1 quarantines arm 0; round 2 completes on another arm.
+        s.try_run_round().unwrap();
+        assert_eq!(s.quarantined_arms(0), vec![0]);
+        s.try_run_round().unwrap();
+        assert_eq!(s.quarantined_arms(0), vec![0], "probation not due yet");
+        // Round 3: probation releases arm 0 before scheduling. Either the
+        // picker avoids it (mask now empty) or selects it again — in which
+        // case it crashes and is re-quarantined, emitting a second
+        // ArmQuarantined. Both outcomes prove the release fired.
+        s.try_run_round().unwrap();
+        let requarantined = rec.event_counts().get("ArmQuarantined") == Some(&2);
+        assert!(
+            requarantined || s.quarantined_arms(0).is_empty(),
+            "arm 0 was never released from quarantine"
+        );
+    }
+
+    #[test]
+    fn run_round_skips_censored_rounds() {
+        let mut s = EaseMl::new(toy_oracle(), 10);
+        s.register_user("a", IMAGE_PROG).unwrap();
+        let config = FaultConfig::new(21).with_crash_rate(0.3);
+        s.set_fault_injector(Some(FaultInjector::new(config)));
+        // run_round always hands back a completed outcome, riding over any
+        // censored rounds in between.
+        for _ in 0..20 {
+            let (_, _, outcome) = s.run_round();
+            assert!(outcome.accuracy.is_finite());
+        }
+        let snap = s.status_snapshot();
+        assert_eq!(snap.completed_runs, 20);
+    }
+
+    #[test]
+    fn checkpoint_restore_reproduces_the_remaining_trajectory() {
+        let make = || {
+            let mut s = EaseMl::new(toy_oracle(), 42);
+            s.register_user("vision-lab", IMAGE_PROG).unwrap();
+            s.register_user("meteo-lab", TS_PROG).unwrap();
+            let config = FaultConfig::new(99)
+                .with_crash_rate(0.25)
+                .with_stragglers(0.2, 2.5);
+            s.set_fault_injector(Some(FaultInjector::new(config)));
+            s
+        };
+        // Uninterrupted reference: 30 rounds.
+        let mut reference = make();
+        let all: Vec<RoundOutcome> = (0..30)
+            .map(|_| reference.try_run_round().unwrap())
+            .collect();
+
+        // Interrupted run: 12 rounds, checkpoint, "crash", restore, resume.
+        let mut first = make();
+        for _ in 0..12 {
+            first.try_run_round().unwrap();
+        }
+        let ckpt = first.checkpoint();
+        drop(first);
+        let mut resumed = EaseMl::restore(&ckpt, toy_oracle()).unwrap();
+        assert_eq!(resumed.rounds_executed(), 12);
+        let tail: Vec<RoundOutcome> = (0..18).map(|_| resumed.try_run_round().unwrap()).collect();
+
+        // The resumed trajectory is *exactly* the uninterrupted one.
+        assert_eq!(&all[12..], &tail[..]);
+        assert_eq!(
+            resumed.elapsed().to_bits(),
+            reference.elapsed().to_bits(),
+            "cluster clocks agree to the bit"
+        );
+        assert_eq!(resumed.status_snapshot(), reference.status_snapshot());
+        assert_eq!(
+            resumed.checkpoint(),
+            reference.checkpoint(),
+            "checkpoints of equal states are byte-identical"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_malformed_documents() {
+        assert!(EaseMl::restore("not json", toy_oracle()).is_err());
+        assert!(EaseMl::restore("{\"version\":1}", toy_oracle()).is_err());
+        let err = match EaseMl::restore("{\"version\":99}", toy_oracle()) {
+            Err(err) => err,
+            Ok(_) => panic!("version 99 must be rejected"),
+        };
+        assert!(err.contains("unsupported checkpoint version"), "{err}");
     }
 }

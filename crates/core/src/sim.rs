@@ -9,6 +9,7 @@
 //! observations, never the hidden matrix.
 
 use crate::cluster::{Cluster, TrainingRun};
+use crate::fault::{FaultConfig, FaultInjector};
 use easeml_bandit::policies::FixedOrder;
 use easeml_bandit::{ArmPolicy, BetaSchedule, GpUcb};
 use easeml_data::Dataset;
@@ -77,16 +78,23 @@ pub struct SimConfig {
     pub noise_var: f64,
     /// Failure probability δ of the β schedules.
     pub delta: f64,
+    /// Optional fault injection: when set, every GP-scheduler training run
+    /// passes through a seeded [`FaultInjector`] built from this
+    /// configuration. Failed runs are *censored* — their consumed cost
+    /// advances the budget clock but no observation enters the posterior.
+    pub fault: Option<FaultConfig>,
 }
 
 impl SimConfig {
-    /// A reasonable default: cost-aware, tuned-noise placeholder, δ = 0.1.
+    /// A reasonable default: cost-aware, tuned-noise placeholder, δ = 0.1,
+    /// no faults.
     pub fn new(budget: f64) -> Self {
         SimConfig {
             budget,
             cost_aware: true,
             noise_var: 1e-3,
             delta: 0.1,
+            fault: None,
         }
     }
 }
@@ -334,7 +342,7 @@ fn simulate_heuristic(
         let cost = dataset.cost(user, model);
         {
             let _train = recorder.span("train");
-            cluster.execute(TrainingRun { user, model, cost });
+            cluster.execute(TrainingRun::new(user, model, cost));
             recorder.emit(|| Event::TrainingCompleted {
                 user,
                 model,
@@ -429,6 +437,32 @@ fn make_picker(kind: SchedulerKind, recorder: &RecorderHandle) -> Box<dyn UserPi
     picker
 }
 
+/// Charges a failed run's consumed cost to the cluster as a censored run
+/// and emits the `TrainingFailed` event. Zero (or non-finite) charges skip
+/// the cluster — there is nothing billable — but are still traced.
+fn censor_run(
+    cluster: &mut Cluster,
+    recorder: &RecorderHandle,
+    user: usize,
+    model: usize,
+    charge: f64,
+    kind: &str,
+) {
+    let _train = recorder.span("train");
+    if charge > 0.0 && charge.is_finite() {
+        cluster.execute(TrainingRun::censored(user, model, charge));
+    }
+    recorder.emit(|| Event::TrainingFailed {
+        user,
+        model,
+        cost: charge.max(0.0),
+        kind: kind.to_string(),
+        attempt: 1,
+        parent: easeml_obs::current_span(),
+    });
+    recorder.count("sim/failed-rounds", 1);
+}
+
 /// GP-UCB model picking with the chosen user picker.
 fn simulate_gp(
     dataset: &Dataset,
@@ -445,20 +479,51 @@ fn simulate_gp(
     let mut cluster = Cluster::single_device();
     let mut points = Vec::new();
     let mut rounds = 0usize;
+    let mut injector = cfg.fault.clone().map(FaultInjector::new);
 
     let mut events = Vec::new();
+    // Serves one round. Returns whether the run completed: a fault-injected
+    // failure (or NaN quality) is censored — its consumed cost advances the
+    // cluster clock but nothing enters the posterior or the trace points.
     let serve = |user: usize,
                  tenants: &mut Vec<Tenant>,
                  cluster: &mut Cluster,
                  losses: &mut LossTracker,
                  points: &mut Vec<(f64, f64)>,
-                 events: &mut Vec<SimEvent>| {
+                 events: &mut Vec<SimEvent>,
+                 injector: &mut Option<FaultInjector>|
+     -> bool {
         let model = tenants[user].select_model();
-        let quality = dataset.quality(user, model);
-        let cost = dataset.cost(user, model);
+        let clean = crate::server::TrainingOutcome {
+            accuracy: dataset.quality(user, model),
+            cost: dataset.cost(user, model),
+        };
+        let outcome = match injector.as_mut() {
+            Some(inj) => inj.apply(user, model, clean),
+            None => Ok(clean),
+        };
+        let (quality, cost) = match outcome {
+            Ok(out) if out.accuracy.is_finite() => (out.accuracy, out.cost),
+            Ok(out) => {
+                // Injected invalid quality: censor, charging the full cost.
+                censor_run(cluster, recorder, user, model, out.cost, "invalid-quality");
+                return false;
+            }
+            Err(error) => {
+                censor_run(
+                    cluster,
+                    recorder,
+                    user,
+                    model,
+                    error.cost_consumed(),
+                    error.kind(),
+                );
+                return false;
+            }
+        };
         {
             let _train = recorder.span("train");
-            cluster.execute(TrainingRun { user, model, cost });
+            cluster.execute(TrainingRun::new(user, model, cost));
             recorder.emit(|| Event::TrainingCompleted {
                 user,
                 model,
@@ -477,6 +542,7 @@ fn simulate_gp(
             quality,
         });
         recorder.count("sim/rounds", 1);
+        true
     };
 
     // Budget-free, scheduler-independent warm-up pass (Algorithm 2
@@ -501,17 +567,19 @@ fn simulate_gp(
             let _pick = recorder.time(Component::SchedulerPick);
             picker.pick(&tenants, step, rng)
         };
-        serve(
+        if serve(
             user,
             &mut tenants,
             &mut cluster,
             &mut losses,
             &mut points,
             &mut events,
-        );
-        picker.after_observe(&tenants, user);
+            &mut injector,
+        ) {
+            picker.after_observe(&tenants, user);
+            rounds += 1;
+        }
         step += 1;
-        rounds += 1;
     }
     recorder.gauge("sim/makespan", cluster.makespan());
     recorder.gauge("sim/mean-loss", losses.mean_loss());
@@ -767,6 +835,7 @@ mod tests {
                 cost_aware: true,
                 noise_var: 1e-3,
                 delta: 0.1,
+                fault: None,
             };
             let t = simulate(&d, &priors, kind, &cfg, &mut rng());
             assert!(!t.points.is_empty(), "{}", kind.name());
@@ -925,6 +994,7 @@ mod tests {
             cost_aware: false,
             noise_var: 1e-3,
             delta: 0.1,
+            fault: None,
         };
         let t = simulate(&d, &priors, SchedulerKind::RoundRobin, &cfg, &mut rng());
         assert_eq!(t.rounds, 10);
@@ -948,6 +1018,7 @@ mod tests {
             cost_aware: false,
             noise_var: 1e-3,
             delta: 0.1,
+            fault: None,
         };
         let t = simulate(&d, &priors, SchedulerKind::RoundRobin, &cfg, &mut rng());
         // 15 unit-cost runs over 5 users: each user's loss must have had a
@@ -966,6 +1037,7 @@ mod tests {
             cost_aware: true,
             noise_var: 1e-3,
             delta: 0.1,
+            fault: None,
         };
         for kind in [SchedulerKind::MostCited, SchedulerKind::MostRecent] {
             let t = simulate(&d, &[], kind, &cfg, &mut rng());
@@ -994,6 +1066,7 @@ mod tests {
             cost_aware: true,
             noise_var: 1e-3,
             delta: 0.1,
+            fault: None,
         };
         // Round robin is deterministic, so the two paths must agree
         // point for point (the serial loop admits one final overshooting
@@ -1019,6 +1092,7 @@ mod tests {
             cost_aware: true,
             noise_var: 1e-3,
             delta: 0.1,
+            fault: None,
         };
         let t1 = simulate_parallel(&d, &priors, SchedulerKind::RoundRobin, &cfg, 1, &mut rng());
         let t3 = simulate_parallel(&d, &priors, SchedulerKind::RoundRobin, &cfg, 3, &mut rng());
@@ -1055,6 +1129,7 @@ mod tests {
             cost_aware: true,
             noise_var: 1e-3,
             delta: 0.1,
+            fault: None,
         };
         let pooled = simulate(
             &pooled_dataset,
@@ -1090,6 +1165,7 @@ mod tests {
             cost_aware: true,
             noise_var: 1e-3,
             delta: 0.1,
+            fault: None,
         };
         let t = simulate(&d, &priors, SchedulerKind::Hybrid, &cfg, &mut rng());
         assert_eq!(t.events.len(), t.rounds);
@@ -1158,6 +1234,7 @@ mod tests {
             cost_aware: false,
             noise_var: 1e-3,
             delta: 0.1,
+            fault: None,
         };
         let d_unit = test.unit_cost_view();
         let mut informed_final = 0.0;

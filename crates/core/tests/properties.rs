@@ -1,13 +1,18 @@
 //! Property-based tests for the simulation engine and experiment harness.
 
+use easeml::fault::{FaultConfig, FaultInjector};
 use easeml::prelude::*;
+use easeml::server::{EaseMl, QualityOracle, TrainingOutcome};
 use easeml::sim::simulate_parallel;
 use easeml_data::{Dataset, SynConfig};
 use easeml_gp::ArmPrior;
+use easeml_obs::{InMemoryRecorder, RecorderHandle};
 use easeml_sched::PickRule;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 fn dataset(users: usize, models: usize, seed: u64) -> Dataset {
     SynConfig {
@@ -50,6 +55,7 @@ proptest! {
             cost_aware: true,
             noise_var: 1e-3,
             delta: 0.1,
+            fault: None,
         };
         let mut rng = StdRng::seed_from_u64(seed);
         let t = simulate(&d, &p, kind, &cfg, &mut rng);
@@ -90,6 +96,7 @@ proptest! {
             cost_aware: false,
             noise_var: 1e-3,
             delta: 0.1,
+            fault: None,
         };
         let mut rng = StdRng::seed_from_u64(seed);
         let t = simulate(&d.unit_cost_view(), &p, kind, &cfg, &mut rng);
@@ -112,6 +119,7 @@ proptest! {
             cost_aware: true,
             noise_var: 1e-3,
             delta: 0.1,
+            fault: None,
         };
         let mut rng = StdRng::seed_from_u64(seed);
         let t = simulate_parallel(&d, &p, SchedulerKind::RoundRobin, &cfg, devices, &mut rng);
@@ -121,6 +129,77 @@ proptest! {
             prop_assert!(w[1].1 <= w[0].1 + 1e-12);
         }
         prop_assert_eq!(t.points.len(), t.rounds);
+    }
+
+    /// Under injected faults, cost accounting stays closed: every unit of
+    /// simulated time the cluster spent — completed or censored — is
+    /// charged to exactly one tenant, and the Theorem 1 regret
+    /// decomposition recovered from the recorded trace still sums to its
+    /// undecomposed total.
+    #[test]
+    fn fault_injection_preserves_cost_accounting_and_regret_consistency(
+        (seed, crash, rounds) in (0u64..40, 0.05f64..0.45, 4usize..16)
+    ) {
+        let oracle: QualityOracle = Box::new(|user, model| {
+            let info = model.info();
+            Ok(TrainingOutcome {
+                accuracy: (0.5 + 0.03 * user as f64
+                    + 0.01 * (info.year as f64 - 2010.0))
+                    .min(0.95),
+                cost: info.relative_cost,
+            })
+        });
+        let mut server = EaseMl::new(oracle, seed);
+        server.set_fault_injector(Some(FaultInjector::new(
+            FaultConfig::new(seed.wrapping_mul(2_654_435_761).wrapping_add(1))
+                .with_crash_rate(crash)
+                .with_timeout_rate(0.05)
+                .with_stragglers(0.15, 2.5),
+        )));
+        let recorder = Arc::new(InMemoryRecorder::new());
+        server.set_recorder(RecorderHandle::new(recorder.clone()));
+        server
+            .register_user(
+                "vision",
+                "{input: {[Tensor[64, 64, 3]], []}, output: {[Tensor[5]], []}}",
+            )
+            .unwrap();
+        server
+            .register_user(
+                "meteo",
+                "{input: {[Tensor[16]], [next]}, output: {[Tensor[3]], []}}",
+            )
+            .unwrap();
+        for _ in 0..rounds {
+            server.run_round();
+        }
+
+        // Per-user charged cost (censored runs included) sums to the
+        // cluster makespan: nothing the cluster executed is unattributed.
+        let snap = server.status_snapshot();
+        let charged: f64 = snap.users.iter().map(|u| u.cost).sum();
+        prop_assert!(
+            (charged - server.elapsed()).abs() <= 1e-9 * (1.0 + charged),
+            "per-user cost {charged} vs makespan {}",
+            server.elapsed()
+        );
+        prop_assert_eq!(
+            snap.users.iter().map(|u| u.failed).sum::<usize>(),
+            snap.failed_runs
+        );
+        prop_assert_eq!(snap.completed_runs, rounds);
+
+        // The recorded trace replays to a consistent Theorem 1 split.
+        let events = recorder.events_since(0);
+        let report = easeml_trace::regret_report(&events, &BTreeMap::new());
+        prop_assert!(report.is_consistent(1e-9), "{:?}", report);
+        prop_assert_eq!(report.rounds, rounds as u64);
+        prop_assert!(
+            (report.clock - server.elapsed()).abs() <= 1e-9 * (1.0 + report.clock),
+            "trace clock {} vs makespan {}",
+            report.clock,
+            server.elapsed()
+        );
     }
 
     #[test]

@@ -148,6 +148,14 @@ fn render_series(out: &mut String, snap: &TimeSeriesSnapshot) {
 
     write_header(
         out,
+        "easeml_failed_rounds_total",
+        "counter",
+        "Failed (censored) training runs: charged but unobserved.",
+    );
+    let _ = writeln!(out, "easeml_failed_rounds_total {}", snap.failed_rounds);
+
+    write_header(
+        out,
         "easeml_scheduler_decisions_total",
         "counter",
         "Scheduler user-picking decisions.",
@@ -235,6 +243,20 @@ fn render_series(out: &mut String, snap: &TimeSeriesSnapshot) {
             out,
             "easeml_user_served_total{{user=\"{user}\"}} {}",
             series.served
+        );
+    }
+
+    write_header(
+        out,
+        "easeml_user_failed_runs_total",
+        "counter",
+        "Per-tenant failed (censored) training runs.",
+    );
+    for (user, series) in &snap.users {
+        let _ = writeln!(
+            out,
+            "easeml_user_failed_runs_total{{user=\"{user}\"}} {}",
+            series.failed
         );
     }
 
@@ -387,6 +409,14 @@ mod tests {
             quality: 0.75,
             parent: 0,
         });
+        ts.fold(&Event::TrainingFailed {
+            user: 1,
+            model: 0,
+            cost: 0.5,
+            kind: "timeout".into(),
+            attempt: 1,
+            parent: 0,
+        });
         let text = render_metrics(&InMemoryRecorder::new(), Some(&ts.snapshot()));
         assert!(
             text.contains("easeml_user_regret{user=\"0\"} 0.5"),
@@ -397,14 +427,19 @@ mod tests {
             "{text}"
         );
         assert!(
-            text.contains("easeml_user_cost_total{user=\"1\"} 2"),
+            text.contains("easeml_user_cost_total{user=\"1\"} 2.5"),
+            "{text}"
+        );
+        assert!(text.contains("easeml_failed_rounds_total 1"), "{text}");
+        assert!(
+            text.contains("easeml_user_failed_runs_total{user=\"1\"} 1"),
             "{text}"
         );
         assert!(
             text.contains("easeml_user_arm_pulls_total{user=\"0\",arm=\"2\"} 1"),
             "{text}"
         );
-        assert!(text.contains("easeml_sim_clock 3"), "{text}");
+        assert!(text.contains("easeml_sim_clock 3.5"), "{text}");
         assert!(text.contains("easeml_fallback_active 0"), "{text}");
     }
 

@@ -8,8 +8,12 @@ use serde::Serialize;
 /// Bumped whenever an event variant gains, loses, or retypes a field.
 /// [`Event::from_json`] stays backward compatible within a major paper-repro
 /// line by defaulting additive fields (`parent`, `mean`, `sigma`, `cond`)
-/// when they are absent, so version-1 traces still parse.
-pub const TRACE_SCHEMA_VERSION: u32 = 2;
+/// when they are absent, so version-1 traces still parse. Version 3 adds
+/// the fault-tolerance vocabulary ([`Event::TrainingFailed`],
+/// [`Event::RetryScheduled`], [`Event::ArmQuarantined`],
+/// [`Event::CheckpointWritten`]); earlier versions simply never emitted
+/// those variants, so version-1/2 traces still parse unchanged.
+pub const TRACE_SCHEMA_VERSION: u32 = 3;
 
 /// A structured observation emitted by an instrumented component.
 ///
@@ -116,6 +120,67 @@ pub enum Event {
         /// Wall-clock nanoseconds since the process trace epoch.
         ts_ns: u64,
     },
+    /// A training run failed: the consumed cost is charged to the cluster
+    /// clock and the tenant, but no quality observation enters the GP
+    /// posterior (a *censored* observation, so the Theorem 1 regret
+    /// decomposition stays consistent).
+    TrainingFailed {
+        /// Index of the tenant the failed run belonged to.
+        user: usize,
+        /// Index of the model whose training failed.
+        model: usize,
+        /// Cost charged for the failed run (partial progress plus any
+        /// retry-backoff charge); may be zero when nothing was consumed.
+        cost: f64,
+        /// Failure taxonomy kind: `"crash"`, `"timeout"`, or
+        /// `"invalid-quality"`.
+        kind: String,
+        /// 1-based attempt number within the scheduling round.
+        attempt: u64,
+        /// Id of the span the failure was detected under (0 = none).
+        parent: u64,
+    },
+    /// A failed training run will be retried within the same scheduling
+    /// round after a simulated-cost backoff.
+    RetryScheduled {
+        /// Index of the tenant being retried.
+        user: usize,
+        /// Index of the model that failed.
+        model: usize,
+        /// 1-based attempt number that just failed; the retry is attempt
+        /// `attempt + 1`.
+        attempt: u64,
+        /// Simulated-cost backoff charged before the retry runs.
+        backoff_cost: f64,
+        /// Id of the span the retry was scheduled under (0 = none).
+        parent: u64,
+    },
+    /// An arm accumulated enough consecutive failures to be quarantined:
+    /// it is masked out of the tenant's GP-UCB argmax until probation
+    /// re-entry.
+    ArmQuarantined {
+        /// Index of the tenant whose arm was quarantined.
+        user: usize,
+        /// Index of the quarantined model.
+        model: usize,
+        /// Consecutive failures that triggered the quarantine.
+        failures: u64,
+        /// Scheduling rounds until the arm re-enters on probation.
+        probation_rounds: u64,
+        /// Id of the span the quarantine happened under (0 = none).
+        parent: u64,
+    },
+    /// A crash-safe checkpoint of the whole server was serialized.
+    CheckpointWritten {
+        /// Scheduling rounds executed when the checkpoint was taken.
+        rounds: u64,
+        /// Registered users covered by the checkpoint.
+        users: u64,
+        /// Size of the serialized checkpoint in bytes.
+        bytes: u64,
+        /// Id of the span the checkpoint was written under (0 = none).
+        parent: u64,
+    },
     /// A Cholesky factorization only succeeded after adding diagonal jitter.
     JitterRetry {
         /// How many escalating jitter attempts ran (≥ 1).
@@ -148,6 +213,10 @@ impl Event {
             Event::HybridFallback { .. } => "HybridFallback",
             Event::TrainingCompleted { .. } => "TrainingCompleted",
             Event::PosteriorUpdated { .. } => "PosteriorUpdated",
+            Event::TrainingFailed { .. } => "TrainingFailed",
+            Event::RetryScheduled { .. } => "RetryScheduled",
+            Event::ArmQuarantined { .. } => "ArmQuarantined",
+            Event::CheckpointWritten { .. } => "CheckpointWritten",
             Event::SpanStart { .. } => "SpanStart",
             Event::SpanEnd { .. } => "SpanEnd",
             Event::JitterRetry { .. } => "JitterRetry",
@@ -160,9 +229,13 @@ impl Event {
         match self {
             Event::SchedulerDecision { user, .. }
             | Event::ArmChosen { user, .. }
-            | Event::TrainingCompleted { user, .. } => Some(*user),
+            | Event::TrainingCompleted { user, .. }
+            | Event::TrainingFailed { user, .. }
+            | Event::RetryScheduled { user, .. }
+            | Event::ArmQuarantined { user, .. } => Some(*user),
             Event::HybridFallback { .. }
             | Event::PosteriorUpdated { .. }
+            | Event::CheckpointWritten { .. }
             | Event::SpanStart { .. }
             | Event::SpanEnd { .. }
             | Event::JitterRetry { .. }
@@ -181,6 +254,10 @@ impl Event {
             | Event::ArmChosen { parent, .. }
             | Event::HybridFallback { parent, .. }
             | Event::TrainingCompleted { parent, .. }
+            | Event::TrainingFailed { parent, .. }
+            | Event::RetryScheduled { parent, .. }
+            | Event::ArmQuarantined { parent, .. }
+            | Event::CheckpointWritten { parent, .. }
             | Event::PosteriorUpdated { parent, .. }
             | Event::SpanStart { parent, .. }
             | Event::JitterRetry { parent, .. }
@@ -238,6 +315,34 @@ impl Event {
                 model: get_usize(fields, "model")?,
                 cost: get_f64(fields, "cost")?,
                 quality: get_f64(fields, "quality")?,
+                parent: get_u64_or(fields, "parent", 0)?,
+            }),
+            "TrainingFailed" => Ok(Event::TrainingFailed {
+                user: get_usize(fields, "user")?,
+                model: get_usize(fields, "model")?,
+                cost: get_f64(fields, "cost")?,
+                kind: get_str(fields, "kind")?,
+                attempt: get_u64_or(fields, "attempt", 1)?,
+                parent: get_u64_or(fields, "parent", 0)?,
+            }),
+            "RetryScheduled" => Ok(Event::RetryScheduled {
+                user: get_usize(fields, "user")?,
+                model: get_usize(fields, "model")?,
+                attempt: get_u64(fields, "attempt")?,
+                backoff_cost: get_f64(fields, "backoff_cost")?,
+                parent: get_u64_or(fields, "parent", 0)?,
+            }),
+            "ArmQuarantined" => Ok(Event::ArmQuarantined {
+                user: get_usize(fields, "user")?,
+                model: get_usize(fields, "model")?,
+                failures: get_u64(fields, "failures")?,
+                probation_rounds: get_u64(fields, "probation_rounds")?,
+                parent: get_u64_or(fields, "parent", 0)?,
+            }),
+            "CheckpointWritten" => Ok(Event::CheckpointWritten {
+                rounds: get_u64(fields, "rounds")?,
+                users: get_u64(fields, "users")?,
+                bytes: get_u64(fields, "bytes")?,
                 parent: get_u64_or(fields, "parent", 0)?,
             }),
             "PosteriorUpdated" => Ok(Event::PosteriorUpdated {
@@ -376,6 +481,34 @@ mod tests {
                 quality: 0.843,
                 parent: 11,
             },
+            Event::TrainingFailed {
+                user: 2,
+                model: 5,
+                cost: 3.25,
+                kind: "crash".into(),
+                attempt: 2,
+                parent: 11,
+            },
+            Event::RetryScheduled {
+                user: 2,
+                model: 5,
+                attempt: 3,
+                backoff_cost: 0.5,
+                parent: 11,
+            },
+            Event::ArmQuarantined {
+                user: 2,
+                model: 5,
+                failures: 3,
+                probation_rounds: 16,
+                parent: 11,
+            },
+            Event::CheckpointWritten {
+                rounds: 40,
+                users: 4,
+                bytes: 8_192,
+                parent: 0,
+            },
             Event::PosteriorUpdated {
                 arm: 19,
                 reward: 0.843,
@@ -478,14 +611,18 @@ mod tests {
         assert_eq!(events[1].user(), Some(3));
         assert_eq!(events[2].user(), None);
         assert_eq!(events[3].user(), Some(0));
-        assert_eq!(events[4].user(), None);
-        assert!(events[5..].iter().all(|e| e.user().is_none()));
+        assert_eq!(events[4].user(), Some(2)); // TrainingFailed
+        assert_eq!(events[5].user(), Some(2)); // RetryScheduled
+        assert_eq!(events[6].user(), Some(2)); // ArmQuarantined
+        assert_eq!(events[7].user(), None); // CheckpointWritten
+        assert_eq!(events[8].user(), None);
+        assert!(events[9..].iter().all(|e| e.user().is_none()));
     }
 
     #[test]
     fn parent_accessor_matches_variants() {
         let events = samples();
         let parents: Vec<u64> = events.iter().map(Event::parent).collect();
-        assert_eq!(parents, vec![9, 10, 0, 11, 12, 0, 0, 12, 0]);
+        assert_eq!(parents, vec![9, 10, 0, 11, 11, 11, 11, 0, 12, 0, 0, 12, 0]);
     }
 }

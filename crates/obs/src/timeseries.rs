@@ -63,6 +63,8 @@ impl RegretDecomposition {
 pub struct UserSeries {
     /// Number of training runs completed for this tenant.
     pub served: u64,
+    /// Number of failed (censored) training runs charged to this tenant.
+    pub failed: u64,
     /// Total cost charged to this tenant so far.
     pub cumulative_cost: f64,
     /// Best quality any of the tenant's runs reached.
@@ -89,6 +91,7 @@ impl UserSeries {
     fn new(target: f64) -> Self {
         UserSeries {
             served: 0,
+            failed: 0,
             cumulative_cost: 0.0,
             best_quality: 0.0,
             last_quality: 0.0,
@@ -114,6 +117,9 @@ pub struct TimeSeriesSnapshot {
     pub clock: f64,
     /// Total completed training runs.
     pub rounds: u64,
+    /// Total failed (censored) training runs: they advanced the clock and
+    /// charged their tenant but produced no quality observation.
+    pub failed_rounds: u64,
     /// Total `SchedulerDecision` events seen.
     pub decisions: u64,
     /// Whether a `HybridFallback` has fired (the hybrid scheduler is in its
@@ -159,6 +165,7 @@ impl TimeSeriesSnapshot {
 struct TsState {
     clock: f64,
     rounds: u64,
+    failed_rounds: u64,
     decisions: u64,
     fallback_active: bool,
     fallback_decisions: u64,
@@ -193,6 +200,7 @@ impl TimeSeriesRecorder {
             state: Mutex::new(TsState {
                 clock: 0.0,
                 rounds: 0,
+                failed_rounds: 0,
                 decisions: 0,
                 fallback_active: false,
                 fallback_decisions: 0,
@@ -289,6 +297,55 @@ impl TimeSeriesRecorder {
                     *series.regret_curve.last_mut().unwrap() = (clock, regret);
                 }
             }
+            Event::TrainingFailed {
+                user,
+                cost: charged,
+                ..
+            } => {
+                // A censored run: the cluster clock and the tenant's cost
+                // advance by the cost consumed, regret keeps integrating
+                // over the wasted interval (same Theorem 1 attribution as a
+                // completed run), but no quality observation lands.
+                let interval = self.sample_interval;
+                let dt = if charged.is_finite() && *charged > 0.0 {
+                    *charged
+                } else {
+                    0.0
+                };
+                let mut state = self.state.lock();
+                state.failed_rounds += 1;
+                let target = state.targets.get(user).copied().unwrap_or(1.0);
+                state
+                    .users
+                    .entry(*user)
+                    .or_insert_with(|| UserSeries::new(target));
+                if dt > 0.0 {
+                    for (&tenant, series) in state.users.iter_mut() {
+                        let regret = series.regret();
+                        if regret <= 0.0 {
+                            continue;
+                        }
+                        if tenant == *user {
+                            series.cum_regret.arm_picking += regret * dt;
+                        } else {
+                            series.cum_regret.user_picking += regret * dt;
+                        }
+                        series.cum_regret.total += regret * dt;
+                    }
+                }
+                state.clock += dt;
+                let clock = state.clock;
+                let series = state.users.get_mut(user).expect("materialized above");
+                series.failed += 1;
+                series.cumulative_cost += dt;
+                let regret = series.regret();
+                if series.regret_curve.is_empty() || clock - series.sample_anchor >= interval {
+                    series.regret_curve.push((clock, regret));
+                    series.sample_anchor = clock;
+                } else {
+                    *series.regret_curve.last_mut().unwrap() = (clock, regret);
+                }
+            }
             Event::SchedulerDecision { .. } => {
                 let mut state = self.state.lock();
                 state.decisions += 1;
@@ -301,6 +358,9 @@ impl TimeSeriesRecorder {
             }
             Event::ArmChosen { .. }
             | Event::PosteriorUpdated { .. }
+            | Event::RetryScheduled { .. }
+            | Event::ArmQuarantined { .. }
+            | Event::CheckpointWritten { .. }
             | Event::SpanStart { .. }
             | Event::SpanEnd { .. }
             | Event::JitterRetry { .. }
@@ -314,6 +374,7 @@ impl TimeSeriesRecorder {
         TimeSeriesSnapshot {
             clock: state.clock,
             rounds: state.rounds,
+            failed_rounds: state.failed_rounds,
             decisions: state.decisions,
             fallback_active: state.fallback_active,
             fallback_decisions: state.fallback_decisions,
@@ -406,6 +467,61 @@ mod tests {
         let last = curve.last().unwrap();
         assert_eq!(last.0, 100.0);
         assert!((last.1 - (1.0 - 0.099)).abs() < 1e-12);
+    }
+
+    fn failed(user: usize, model: usize, cost: f64) -> Event {
+        Event::TrainingFailed {
+            user,
+            model,
+            cost,
+            kind: "crash".into(),
+            attempt: 1,
+            parent: 0,
+        }
+    }
+
+    #[test]
+    fn failed_runs_are_censored_but_still_charged() {
+        let ts = TimeSeriesRecorder::new();
+        ts.set_target(0, 1.0);
+        ts.set_target(1, 1.0);
+        ts.fold(&completed(0, 0, 2.0, 0.5));
+        // User 0's next run crashes after 3 cost units: the clock and the
+        // tenant's cost advance, regret keeps integrating, but no quality
+        // lands and `served` stays put.
+        ts.fold(&failed(0, 1, 3.0));
+        ts.fold(&completed(1, 0, 1.0, 0.8));
+
+        let snap = ts.snapshot();
+        assert_eq!(snap.rounds, 2);
+        assert_eq!(snap.failed_rounds, 1);
+        assert!((snap.clock - 6.0).abs() < 1e-12);
+        let u0 = &snap.users[&0];
+        assert_eq!(u0.served, 1);
+        assert_eq!(u0.failed, 1);
+        assert!((u0.cumulative_cost - 5.0).abs() < 1e-12);
+        assert!((u0.best_quality - 0.5).abs() < 1e-12, "censored quality");
+        // The wasted interval is arm-picking regret for the served tenant:
+        // 1.0·2 (first run) + 0.5·3 (the crash).
+        assert!((u0.cum_regret.arm_picking - 3.5).abs() < 1e-12);
+        // User 1 waited through both intervals after materializing only on
+        // its own round, so it accrues nothing yet.
+        let d = snap.cum_regret();
+        assert!((d.sum() - d.total).abs() < 1e-9, "{d:?}");
+        assert_curve_monotone(&u0.regret_curve);
+        assert_eq!(u0.regret_curve.last().unwrap().0, 5.0);
+    }
+
+    #[test]
+    fn malformed_failed_costs_do_not_rewind_the_clock() {
+        let ts = TimeSeriesRecorder::new();
+        ts.fold(&completed(0, 0, 1.0, 0.4));
+        ts.fold(&failed(0, 1, -2.0));
+        ts.fold(&failed(0, 1, f64::NAN));
+        let snap = ts.snapshot();
+        assert!((snap.clock - 1.0).abs() < 1e-12);
+        assert_eq!(snap.failed_rounds, 2);
+        assert_curve_monotone(&snap.users[&0].regret_curve);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Golden-file test pinning the on-disk trace schema.
 //!
-//! The checked-in `tests/golden/schema_v2.jsonl` is the authoritative
+//! The checked-in `tests/golden/schema_v3.jsonl` is the authoritative
 //! serialization of one sample of every event variant. If a change to the
 //! event vocabulary alters any byte of the output, this test fails — which
 //! is the prompt to bump [`easeml_obs::TRACE_SCHEMA_VERSION`], extend
@@ -14,7 +14,7 @@ fn golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests")
         .join("golden")
-        .join("schema_v2.jsonl")
+        .join("schema_v3.jsonl")
 }
 
 /// One sample of every variant, exercising the fields a real trace carries:
@@ -48,6 +48,34 @@ fn samples() -> Vec<Event> {
             cost: 12.5,
             quality: 0.843,
             parent: 11,
+        },
+        Event::TrainingFailed {
+            user: 3,
+            model: 7,
+            cost: 4.5,
+            kind: "crash".into(),
+            attempt: 2,
+            parent: 11,
+        },
+        Event::RetryScheduled {
+            user: 3,
+            model: 7,
+            attempt: 3,
+            backoff_cost: 0.5,
+            parent: 11,
+        },
+        Event::ArmQuarantined {
+            user: 3,
+            model: 7,
+            failures: 3,
+            probation_rounds: 16,
+            parent: 11,
+        },
+        Event::CheckpointWritten {
+            rounds: 40,
+            users: 4,
+            bytes: 8192,
+            parent: 0,
         },
         Event::PosteriorUpdated {
             arm: 7,
@@ -102,7 +130,7 @@ fn serialized_trace_matches_the_golden_file() {
         .expect("golden file missing; regenerate with UPDATE_GOLDEN=1");
     assert_eq!(
         rendered, golden,
-        "trace serialization drifted from tests/golden/schema_v2.jsonl; \
+        "trace serialization drifted from tests/golden/schema_v3.jsonl; \
          if intentional, bump TRACE_SCHEMA_VERSION and regenerate with \
          UPDATE_GOLDEN=1"
     );

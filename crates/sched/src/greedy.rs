@@ -21,6 +21,27 @@ pub enum PickRule {
     Random,
 }
 
+impl PickRule {
+    /// A stable string name for the rule, used by checkpoint files.
+    pub fn name(self) -> &'static str {
+        match self {
+            PickRule::MaxUcbGap => "max-gap",
+            PickRule::MaxSigmaTilde => "max-sigma",
+            PickRule::Random => "random",
+        }
+    }
+
+    /// Parses a rule from its [`PickRule::name`] form.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "max-gap" => Some(PickRule::MaxUcbGap),
+            "max-sigma" => Some(PickRule::MaxSigmaTilde),
+            "random" => Some(PickRule::Random),
+            _ => None,
+        }
+    }
+}
+
 /// GREEDY (Algorithm 2): serve a tenant whose estimated potential for
 /// improvement σ̃ is at least the average over all tenants.
 ///
@@ -254,6 +275,18 @@ mod tests {
         let tenants = vec![tenant(0, 2), tenant(1, 2)];
         let v = Greedy::candidate_set(&tenants);
         assert_eq!(v, vec![0, 1], "equal σ̃ ⇒ everyone is a candidate");
+    }
+
+    #[test]
+    fn pick_rule_names_round_trip() {
+        for rule in [
+            PickRule::MaxUcbGap,
+            PickRule::MaxSigmaTilde,
+            PickRule::Random,
+        ] {
+            assert_eq!(PickRule::from_name(rule.name()), Some(rule));
+        }
+        assert_eq!(PickRule::from_name("nope"), None);
     }
 
     #[test]

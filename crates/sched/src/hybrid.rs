@@ -84,6 +84,61 @@ impl Hybrid {
     fn best_sum(tenants: &[Tenant]) -> f64 {
         tenants.iter().filter_map(Tenant::best_reward).sum()
     }
+
+    /// Snapshots the freeze detector and round-robin cursor for a
+    /// checkpoint. The greedy rule travels along so the restored picker is
+    /// configured identically.
+    pub fn export_state(&self) -> HybridState {
+        HybridState {
+            rule: self.greedy.rule(),
+            patience: self.patience,
+            frozen_rounds: self.frozen_rounds,
+            prev_candidates: self.prev_candidates.clone(),
+            prev_best_sum: self.prev_best_sum,
+            switched: self.switched,
+            rr_cursor: self.rr_cursor,
+        }
+    }
+
+    /// Rebuilds a picker from a checkpointed [`HybridState`]. The recorder
+    /// is not part of the state; attach one with
+    /// [`UserPicker::set_recorder`] afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.patience == 0`.
+    pub fn from_state(state: HybridState) -> Self {
+        let mut h = Hybrid::new(state.rule, state.patience);
+        h.frozen_rounds = state.frozen_rounds;
+        h.prev_candidates = state.prev_candidates;
+        h.prev_best_sum = state.prev_best_sum;
+        h.switched = state.switched;
+        h.rr_cursor = state.rr_cursor;
+        h
+    }
+}
+
+/// A plain-data snapshot of everything [`Hybrid`] needs to resume exactly
+/// where it left off: the freeze detector's memory and the round-robin
+/// cursor. Produced by [`Hybrid::export_state`], consumed by
+/// [`Hybrid::from_state`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybridState {
+    /// The greedy line-8 rule.
+    pub rule: PickRule,
+    /// Freeze threshold s.
+    pub patience: usize,
+    /// Consecutive frozen rounds observed so far.
+    pub frozen_rounds: usize,
+    /// Candidate set at the previous round.
+    pub prev_candidates: Vec<usize>,
+    /// Best-reward sum at the previous round (`f64::NEG_INFINITY` before
+    /// the first observation).
+    pub prev_best_sum: f64,
+    /// Whether the permanent round-robin switch has happened.
+    pub switched: bool,
+    /// Round-robin cursor.
+    pub rr_cursor: usize,
 }
 
 impl UserPicker for Hybrid {
@@ -280,5 +335,38 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_patience_panics() {
         let _ = Hybrid::new(PickRule::MaxUcbGap, 0);
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_same_trajectory() {
+        // Drive one picker halfway, export, rebuild, and check both copies
+        // make identical picks from there on.
+        let mut ts = tenants(3, 1);
+        for t in ts.iter_mut() {
+            t.observe(0, 0.5);
+        }
+        let mut h = Hybrid::new(PickRule::MaxUcbGap, 2);
+        let mut r = rng();
+        for step in 0..4 {
+            let u = h.pick(&ts, step, &mut r);
+            let below = ts[u].best_reward().unwrap() - 0.1;
+            ts[u].observe(0, below);
+            h.after_observe(&ts, u);
+        }
+        let state = h.export_state();
+        let mut resumed = Hybrid::from_state(state.clone());
+        assert_eq!(resumed.export_state(), state);
+        assert_eq!(resumed.has_switched(), h.has_switched());
+        let mut r1 = rng();
+        let mut r2 = rng();
+        for step in 4..12 {
+            assert_eq!(
+                h.pick(&ts, step, &mut r1),
+                resumed.pick(&ts, step, &mut r2),
+                "divergence at step {step}"
+            );
+            h.after_observe(&ts, step % 3);
+            resumed.after_observe(&ts, step % 3);
+        }
     }
 }

@@ -39,7 +39,7 @@ pub mod weighted;
 
 pub use deadline::{Deadline, DeadlinePicker};
 pub use greedy::{Greedy, PickRule};
-pub use hybrid::Hybrid;
+pub use hybrid::{Hybrid, HybridState};
 pub use picker::{Fcfs, RandomPicker, RoundRobin, UserPicker};
 pub use regret::MultiTenantRegret;
 pub use tenant::Tenant;

@@ -19,6 +19,9 @@
 //!   fell back to round robin, and why;
 //! * [`health_report`] — the numerical-health event stream summarized:
 //!   jitter retries, PSD projections, and posterior condition growth;
+//! * [`fault_report`] — the fault-tolerance event stream (schema v3)
+//!   summarized: censored runs by kind and tenant, retry backoff cost,
+//!   quarantined arms, and checkpoints;
 //! * [`chrome_trace`] — the causal span tree (`scheduler_step → pick_user →
 //!   pick_arm → train → posterior_update`) exported as Chrome trace-event
 //!   JSON, loadable in `chrome://tracing` / Perfetto.
@@ -271,6 +274,11 @@ pub struct FallbackPoint {
 }
 
 /// Extracts every `HybridFallback` with its position on the cost clock.
+///
+/// Censored runs (`TrainingFailed`) advance the clock by the cost they
+/// consumed — the cluster charged it even though no quality observation
+/// landed — but do not count as completed rounds, matching the live
+/// [`TimeSeriesRecorder`] fold.
 pub fn fallback_timeline(events: &[Event]) -> Vec<FallbackPoint> {
     let mut clock = 0.0f64;
     let mut rounds = 0u64;
@@ -283,11 +291,83 @@ pub fn fallback_timeline(events: &[Event]) -> Vec<FallbackPoint> {
                 }
                 rounds += 1;
             }
+            Event::TrainingFailed { cost, .. } if cost.is_finite() && *cost > 0.0 => {
+                clock += cost;
+            }
             Event::HybridFallback { reason, .. } => out.push(FallbackPoint {
                 clock,
                 rounds,
                 reason: reason.clone(),
             }),
+            _ => {}
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Fault tolerance
+// ---------------------------------------------------------------------------
+
+/// Summary of the fault-tolerance event stream (schema v3): censored runs,
+/// retries, quarantines, and checkpoints.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultReport {
+    /// Number of `TrainingFailed` events (censored runs).
+    pub failed_runs: u64,
+    /// Total cost charged to censored runs (partial progress + backoff).
+    pub censored_cost: f64,
+    /// Failed runs per failure kind (`crash`, `timeout`,
+    /// `invalid-quality`, …), in deterministic order.
+    pub by_kind: BTreeMap<String, u64>,
+    /// Failed runs per tenant.
+    pub by_user: BTreeMap<usize, u64>,
+    /// Number of `RetryScheduled` events.
+    pub retries: u64,
+    /// Total simulated-cost backoff charged across all retries.
+    pub backoff_cost: f64,
+    /// Number of `ArmQuarantined` events.
+    pub quarantines: u64,
+    /// The quarantined `(user, model)` pairs, in event order (an arm that
+    /// re-enters on probation and is quarantined again appears twice).
+    pub quarantined_arms: Vec<(usize, usize)>,
+    /// Number of `CheckpointWritten` events.
+    pub checkpoints: u64,
+    /// Bytes of the last checkpoint in the trace, if any.
+    pub last_checkpoint_bytes: Option<u64>,
+}
+
+/// Folds `TrainingFailed` / `RetryScheduled` / `ArmQuarantined` /
+/// `CheckpointWritten` into a [`FaultReport`]. Pre-v3 traces simply
+/// contain none of these events and yield an all-zero report.
+pub fn fault_report(events: &[Event]) -> FaultReport {
+    let mut out = FaultReport::default();
+    for event in events {
+        match event {
+            Event::TrainingFailed {
+                user, cost, kind, ..
+            } => {
+                out.failed_runs += 1;
+                if cost.is_finite() && *cost > 0.0 {
+                    out.censored_cost += cost;
+                }
+                *out.by_kind.entry(kind.clone()).or_insert(0) += 1;
+                *out.by_user.entry(*user).or_insert(0) += 1;
+            }
+            Event::RetryScheduled { backoff_cost, .. } => {
+                out.retries += 1;
+                if backoff_cost.is_finite() && *backoff_cost > 0.0 {
+                    out.backoff_cost += backoff_cost;
+                }
+            }
+            Event::ArmQuarantined { user, model, .. } => {
+                out.quarantines += 1;
+                out.quarantined_arms.push((*user, *model));
+            }
+            Event::CheckpointWritten { bytes, .. } => {
+                out.checkpoints += 1;
+                out.last_checkpoint_bytes = Some(*bytes);
+            }
             _ => {}
         }
     }
@@ -437,6 +517,7 @@ pub fn render_report(trace: &LoadedTrace, targets: &BTreeMap<usize, f64>) -> Str
     let calibration = calibration_report(&trace.events);
     let fallbacks = fallback_timeline(&trace.events);
     let health = health_report(&trace.events);
+    let faults = fault_report(&trace.events);
 
     let mut out = String::new();
     let _ = writeln!(out, "=== easeml-trace report ===");
@@ -516,6 +597,42 @@ pub fn render_report(trace: &LoadedTrace, targets: &BTreeMap<usize, f64>) -> Str
                 "at cost {:.4} (round {}): {}",
                 f.clock, f.rounds, f.reason
             );
+        }
+    }
+
+    let _ = writeln!(out, "\n--- fault tolerance ---");
+    let _ = writeln!(
+        out,
+        "TrainingFailed: {}  (censored cost {:.4})",
+        faults.failed_runs, faults.censored_cost
+    );
+    for (kind, count) in &faults.by_kind {
+        let _ = writeln!(out, "  {kind}: {count}");
+    }
+    let _ = writeln!(
+        out,
+        "retries: {}  (backoff cost {:.4})",
+        faults.retries, faults.backoff_cost
+    );
+    if faults.quarantines == 0 {
+        let _ = writeln!(out, "quarantines: 0");
+    } else {
+        let _ = writeln!(
+            out,
+            "quarantines: {}  arms {:?}",
+            faults.quarantines, faults.quarantined_arms
+        );
+    }
+    match faults.last_checkpoint_bytes {
+        Some(bytes) => {
+            let _ = writeln!(
+                out,
+                "checkpoints: {}  (last {} bytes)",
+                faults.checkpoints, bytes
+            );
+        }
+        None => {
+            let _ = writeln!(out, "checkpoints: 0");
         }
     }
 
@@ -688,6 +805,101 @@ mod tests {
         assert_eq!(timeline[0].reason, "frozen");
     }
 
+    fn failed(user: usize, model: usize, cost: f64, kind: &str, attempt: u64) -> Event {
+        Event::TrainingFailed {
+            user,
+            model,
+            cost,
+            kind: kind.into(),
+            attempt,
+            parent: 0,
+        }
+    }
+
+    #[test]
+    fn fallback_timeline_charges_censored_cost_to_the_clock() {
+        let events = vec![
+            completed(0, 0, 2.0, 0.5),
+            failed(1, 0, 3.0, "crash", 1),
+            Event::HybridFallback {
+                reason: "frozen".into(),
+                parent: 0,
+            },
+        ];
+        let timeline = fallback_timeline(&events);
+        assert_eq!(timeline.len(), 1);
+        // The censored run advanced the clock but not the round count.
+        assert!((timeline[0].clock - 5.0).abs() < 1e-12);
+        assert_eq!(timeline[0].rounds, 1);
+    }
+
+    #[test]
+    fn fault_report_aggregates_the_fault_vocabulary() {
+        let events = vec![
+            failed(0, 2, 1.5, "crash", 1),
+            Event::RetryScheduled {
+                user: 0,
+                model: 2,
+                attempt: 2,
+                backoff_cost: 0.25,
+                parent: 0,
+            },
+            failed(0, 2, 1.75, "crash", 2),
+            failed(1, 0, 4.0, "timeout", 1),
+            Event::ArmQuarantined {
+                user: 0,
+                model: 2,
+                failures: 2,
+                probation_rounds: 16,
+                parent: 0,
+            },
+            completed(1, 1, 1.0, 0.8),
+            Event::CheckpointWritten {
+                rounds: 1,
+                users: 2,
+                bytes: 4096,
+                parent: 0,
+            },
+        ];
+        let report = fault_report(&events);
+        assert_eq!(report.failed_runs, 3);
+        assert!((report.censored_cost - 7.25).abs() < 1e-12);
+        assert_eq!(report.by_kind.get("crash"), Some(&2));
+        assert_eq!(report.by_kind.get("timeout"), Some(&1));
+        assert_eq!(report.by_user.get(&0), Some(&2));
+        assert_eq!(report.by_user.get(&1), Some(&1));
+        assert_eq!(report.retries, 1);
+        assert!((report.backoff_cost - 0.25).abs() < 1e-12);
+        assert_eq!(report.quarantines, 1);
+        assert_eq!(report.quarantined_arms, vec![(0, 2)]);
+        assert_eq!(report.checkpoints, 1);
+        assert_eq!(report.last_checkpoint_bytes, Some(4096));
+    }
+
+    #[test]
+    fn fault_report_is_all_zero_on_pre_v3_traces() {
+        let events = vec![completed(0, 0, 1.0, 0.5), chosen(0, 0.4, 0.1)];
+        assert_eq!(fault_report(&events), FaultReport::default());
+    }
+
+    #[test]
+    fn faulty_trace_keeps_the_regret_decomposition_consistent() {
+        // Censored runs integrate regret over the wasted interval; the
+        // Theorem 1 split must still sum to the undecomposed total.
+        let events = vec![
+            completed(0, 0, 2.0, 0.5),
+            failed(0, 1, 3.0, "crash", 1),
+            completed(1, 0, 1.0, 0.7),
+            failed(1, 2, 0.5, "timeout", 1),
+            completed(0, 1, 4.0, 0.9),
+        ];
+        let report = regret_report(&events, &BTreeMap::new());
+        assert!(report.is_consistent(1e-9), "{report:?}");
+        // Clock includes the censored cost; rounds only count completions.
+        assert!((report.clock - 10.5).abs() < 1e-12);
+        assert_eq!(report.rounds, 3);
+    }
+
     #[test]
     fn health_report_aggregates_numerical_events() {
         let events = vec![
@@ -799,10 +1011,11 @@ mod tests {
                 jitter: 1e-9,
                 parent: 0,
             },
+            failed(0, 1, 2.0, "crash", 1),
         ];
         let trace = LoadedTrace {
             events,
-            schema_version: Some(2),
+            schema_version: Some(3),
             skipped_lines: 0,
         };
         let text = render_report(&trace, &BTreeMap::new());
@@ -811,6 +1024,9 @@ mod tests {
             "decomposition consistent: true",
             "GP calibration",
             "hybrid fallbacks",
+            "fault tolerance",
+            "TrainingFailed: 1  (censored cost 2.0000)",
+            "  crash: 1",
             "numerical health",
             "jitter retries: 1 event(s)",
         ] {

@@ -21,10 +21,10 @@ fn main() {
             "GoogLeNet" | "ResNet-18" => 0.05,
             _ => 0.0,
         };
-        TrainingOutcome {
+        Ok(TrainingOutcome {
             accuracy: (base + depth_bonus).min(0.99),
             cost: info.relative_cost,
-        }
+        })
     });
 
     let mut server = EaseMl::new(oracle, 42);

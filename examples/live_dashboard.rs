@@ -18,8 +18,12 @@
 //! snapshot instead — used by the CI smoke test), `--trace-out PATH`
 //! (write the JSONL trace to PATH and keep it on exit, ready for
 //! `easeml-trace report PATH`; without it the trace goes to a temp file
-//! that is deleted when the example finishes).
+//! that is deleted when the example finishes), `--chaos` (attach a seeded
+//! fault injector: crashes, timeouts, and stragglers exercise the
+//! retry/quarantine path while the dashboard stays live — the CI chaos
+//! smoke test runs exactly this).
 
+use easeml::fault::{FaultConfig, FaultInjector};
 use easeml::prelude::*;
 use easeml::server::{QualityOracle, TrainingOutcome};
 use easeml_dsl::ModelId;
@@ -69,6 +73,7 @@ struct Options {
     serve: bool,
     port: u16,
     trace_out: Option<std::path::PathBuf>,
+    chaos: bool,
 }
 
 fn parse_args() -> Options {
@@ -77,6 +82,7 @@ fn parse_args() -> Options {
         serve: true,
         port: 0,
         trace_out: None,
+        chaos: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -94,10 +100,11 @@ fn parse_args() -> Options {
                 let value = args.next().expect("--trace-out needs a path");
                 opts.trace_out = Some(value.into());
             }
+            "--chaos" => opts.chaos = true,
             other => {
                 eprintln!(
                     "unknown argument {other:?}; flags: --rounds N --port P --no-serve \
-                     --trace-out PATH"
+                     --trace-out PATH --chaos"
                 );
                 std::process::exit(2);
             }
@@ -166,8 +173,18 @@ fn main() {
             .with_sink(file_sink.clone() as Arc<dyn StreamingSink>),
     );
 
-    let quality: QualityOracle = Box::new(oracle);
+    let quality: QualityOracle = Box::new(|user, model| Ok(oracle(user, model)));
     let mut service = EaseMl::new(quality, 42);
+    if opts.chaos {
+        // A seeded, replayable fault storm: 12% crashes, 5% timeouts, 10%
+        // stragglers at 3× cost — rough but realistic trainer weather.
+        let config = FaultConfig::new(7)
+            .with_crash_rate(0.12)
+            .with_timeout_rate(0.05)
+            .with_stragglers(0.10, 3.0);
+        service.set_fault_injector(Some(FaultInjector::new(config)));
+        println!("chaos mode: seeded fault injection is ON\n");
+    }
     service.set_recorder(RecorderHandle::new(tee.clone()));
     for (name, program) in TENANTS {
         service.register_user(name, program).expect("valid program");
@@ -229,6 +246,20 @@ fn main() {
         "done: {} rounds, sim clock {:.2}",
         snapshot.rounds, snapshot.clock
     );
+    if opts.chaos {
+        let status = service.status_snapshot();
+        println!(
+            "chaos: {} failed (censored) runs charged alongside {} completed",
+            status.failed_runs, status.completed_runs
+        );
+        for user in 0..service.num_users() {
+            let quarantined = service.quarantined_arms(user);
+            if !quarantined.is_empty() {
+                let name = TENANTS.get(user).map_or("?", |(n, _)| *n);
+                println!("chaos: {name} has quarantined arms {quarantined:?}");
+            }
+        }
+    }
     println!(
         "trace: {} events in memory, JSONL on disk at {} ({} rotations, {} dropped)",
         primary.num_events(),

@@ -31,6 +31,7 @@ fn record_run(kind: SchedulerKind) -> (Arc<InMemoryRecorder>, SimTrace) {
         cost_aware: false,
         noise_var: 1e-3,
         delta: 0.1,
+        fault: None,
     };
 
     let rec = Arc::new(InMemoryRecorder::new());

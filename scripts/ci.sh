@@ -35,4 +35,23 @@ if echo "$report" | grep -q "rounds: 0 "; then
   exit 1
 fi
 
+echo "==> chaos smoke run (seeded fault injection)"
+chaos_trace="$(mktemp -t easeml-ci-chaos-XXXXXX.jsonl)"
+trap 'rm -f "$smoke_trace" "$chaos_trace"' EXIT
+cargo run --quiet --example live_dashboard -- \
+  --rounds 25 --no-serve --chaos --trace-out "$chaos_trace"
+
+echo "==> easeml-trace report on the chaos trace"
+chaos_report="$(cargo run --quiet -p easeml-trace -- report "$chaos_trace")"
+echo "$chaos_report"
+# The storm must actually censor runs (a zero count means the fault
+# injector silently stopped firing), and the Theorem 1 decomposition must
+# stay consistent with censored cost on the clock.
+echo "$chaos_report" | grep -q "TrainingFailed:"
+if echo "$chaos_report" | grep -q "TrainingFailed: 0 "; then
+  echo "error: chaos run recorded no censored training runs" >&2
+  exit 1
+fi
+echo "$chaos_report" | grep -q "decomposition consistent: true"
+
 echo "CI gate passed."

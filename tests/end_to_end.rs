@@ -13,10 +13,10 @@ fn declarative_service_end_to_end() {
     // stand-in for the deep-learning subsystem.
     let oracle: QualityOracle = Box::new(|user, model| {
         let info = model.info();
-        TrainingOutcome {
+        Ok(TrainingOutcome {
             accuracy: (0.55 + 0.01 * (user as f64) + 0.015 * (info.year as f64 - 2010.0)).min(0.98),
             cost: info.relative_cost,
-        }
+        })
     });
     let mut server = EaseMl::new(oracle, 42);
     let vision = server
@@ -217,6 +217,7 @@ fn average_regret_shrinks_with_budget() {
             cost_aware: false,
             noise_var: 1e-3,
             delta: 0.1,
+            fault: None,
         };
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
         let trace = simulate(&dataset, &priors, SchedulerKind::Hybrid, &cfg, &mut rng);

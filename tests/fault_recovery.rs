@@ -1,0 +1,132 @@
+//! The fault-tolerance acceptance scenarios, end to end through the public
+//! API: a seeded fault storm survives without panicking and quarantines
+//! brittle arms, and a kill + restore at an arbitrary round reproduces the
+//! exact remaining decision sequence of the uninterrupted run.
+
+use easeml::fault::{FaultConfig, FaultInjector, FaultRates};
+use easeml::server::{EaseMl, QualityOracle, RoundOutcome, TrainingOutcome};
+use easeml_obs::{InMemoryRecorder, RecorderHandle};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const VISION_PROG: &str = "{input: {[Tensor[64, 64, 3]], []}, output: {[Tensor[5]], []}}";
+const METEO_PROG: &str = "{input: {[Tensor[16]], [next]}, output: {[Tensor[3]], []}}";
+
+fn toy_oracle() -> QualityOracle {
+    Box::new(|user, model| {
+        let info = model.info();
+        let base = if user % 2 == 0 { 0.66 } else { 0.48 };
+        Ok(TrainingOutcome {
+            accuracy: (base + 0.02 * (info.year as f64 - 2010.0)).min(0.99),
+            cost: info.relative_cost,
+        })
+    })
+}
+
+/// ISSUE acceptance: a seeded run with a ≥10% crash rate and stragglers
+/// (plus one deterministically brittle arm) completes without panicking,
+/// charges the censored runs, and quarantines at least one arm.
+#[test]
+fn seeded_fault_storm_completes_and_quarantines() {
+    let mut config = FaultConfig::new(41)
+        .with_crash_rate(0.15)
+        .with_timeout_rate(0.05)
+        .with_stragglers(0.20, 2.5);
+    // One brittle model family that always crashes: the retry policy must
+    // give up on it and mask it out of the GP-UCB argmax.
+    config.arm_overrides.insert(
+        0,
+        FaultRates {
+            crash: 1.0,
+            ..FaultRates::NONE
+        },
+    );
+
+    let mut server = EaseMl::new(toy_oracle(), 23);
+    server.set_fault_injector(Some(FaultInjector::new(config)));
+    let recorder = Arc::new(InMemoryRecorder::new());
+    server.set_recorder(RecorderHandle::new(recorder.clone()));
+    server.register_user("vision-lab", VISION_PROG).unwrap();
+    server.register_user("meteo-lab", METEO_PROG).unwrap();
+
+    for _ in 0..40 {
+        // `run_round` retries/censors internally and never panics under
+        // injected faults; it always lands one completed run.
+        let (_, _, outcome) = server.run_round();
+        assert!(outcome.accuracy.is_finite() && outcome.cost.is_finite());
+    }
+
+    let snap = server.status_snapshot();
+    assert_eq!(snap.completed_runs, 40);
+    assert!(snap.failed_runs > 0, "the storm must censor some runs");
+    let quarantined: Vec<(usize, Vec<usize>)> = (0..server.num_users())
+        .map(|u| (u, server.quarantined_arms(u)))
+        .filter(|(_, arms)| !arms.is_empty())
+        .collect();
+    assert!(
+        !quarantined.is_empty(),
+        "at least one arm must be quarantined: {snap:?}"
+    );
+
+    // Cost accounting stays closed and the recorded trace replays to a
+    // consistent Theorem 1 decomposition with nonzero failure counts.
+    let charged: f64 = snap.users.iter().map(|u| u.cost).sum();
+    assert!((charged - server.elapsed()).abs() <= 1e-9 * (1.0 + charged));
+    let events = recorder.events_since(0);
+    let faults = easeml_trace::fault_report(&events);
+    assert!(
+        faults.failed_runs > 0 && faults.quarantines > 0,
+        "{faults:?}"
+    );
+    let regret = easeml_trace::regret_report(&events, &BTreeMap::new());
+    assert!(regret.is_consistent(1e-9), "{regret:?}");
+}
+
+/// ISSUE acceptance: kill the server at an arbitrary round, restore from
+/// the checkpoint, and the remaining decision sequence — users, models,
+/// attempts, censoring — is exactly the uninterrupted run's.
+#[test]
+fn kill_and_restore_reproduces_the_remaining_decisions() {
+    let make = || {
+        let mut server = EaseMl::new(toy_oracle(), 77);
+        server.set_fault_injector(Some(FaultInjector::new(
+            FaultConfig::new(5)
+                .with_crash_rate(0.20)
+                .with_stragglers(0.15, 3.0),
+        )));
+        server.register_user("vision-lab", VISION_PROG).unwrap();
+        server.register_user("meteo-lab", METEO_PROG).unwrap();
+        server
+    };
+    let total = 24usize;
+
+    // The uninterrupted reference trajectory.
+    let mut reference = make();
+    let all: Vec<RoundOutcome> = (0..total)
+        .map(|_| reference.try_run_round().unwrap())
+        .collect();
+
+    for kill_at in [1usize, 7, 15] {
+        let mut server = make();
+        for _ in 0..kill_at {
+            server.try_run_round().unwrap();
+        }
+        let checkpoint = server.checkpoint();
+        drop(server); // the "kill"
+
+        let mut restored = EaseMl::restore(&checkpoint, toy_oracle()).expect("checkpoint restores");
+        let tail: Vec<RoundOutcome> = (kill_at..total)
+            .map(|_| restored.try_run_round().unwrap())
+            .collect();
+        assert_eq!(
+            &all[kill_at..],
+            &tail[..],
+            "diverged after restore at round {kill_at}"
+        );
+        assert_eq!(
+            restored.elapsed().to_bits(),
+            reference.elapsed().to_bits(),
+            "clock diverged after restore at round {kill_at}"
+        );
+    }
+}

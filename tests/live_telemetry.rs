@@ -21,10 +21,10 @@ fn toy_oracle() -> QualityOracle {
     Box::new(|user, model| {
         let info = model.info();
         let base = if user % 2 == 0 { 0.7 } else { 0.5 };
-        TrainingOutcome {
+        Ok(TrainingOutcome {
             accuracy: (base + 0.02 * (info.year as f64 - 2010.0)).min(0.99),
             cost: info.relative_cost,
-        }
+        })
     })
 }
 
