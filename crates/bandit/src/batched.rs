@@ -12,6 +12,7 @@
 use crate::beta::BetaSchedule;
 use easeml_gp::{ArmPrior, GpPosterior};
 use easeml_linalg::vec_ops;
+use easeml_obs::{Component, Event, RecorderHandle};
 
 /// Batched GP-UCB selection with hallucinated updates.
 ///
@@ -41,8 +42,14 @@ pub struct GpBucb {
     costs: Option<Vec<f64>>,
     /// True observations so far (drives β).
     t: usize,
-    /// Arms selected in the current batch, pending their true rewards.
+    /// Arms selected in the current batch, pending their true rewards,
+    /// in dispatch order.
     pending: Vec<usize>,
+    /// Disabled by default; [`GpBucb::with_recorder`] attaches a sink that
+    /// receives an `ArmChosen` per selection.
+    recorder: RecorderHandle,
+    /// User id stamped on emitted events (0 until a recorder is attached).
+    owner: usize,
 }
 
 impl GpBucb {
@@ -56,7 +63,23 @@ impl GpBucb {
             costs: None,
             t: 0,
             pending: Vec::new(),
+            recorder: RecorderHandle::noop(),
+            owner: 0,
         }
+    }
+
+    /// Attaches a recorder; `owner` is the user id stamped on the emitted
+    /// events. Builder-style counterpart of [`GpBucb::set_recorder`].
+    pub fn with_recorder(mut self, recorder: RecorderHandle, owner: usize) -> Self {
+        self.set_recorder(recorder, owner);
+        self
+    }
+
+    /// Attaches (or, with a noop handle, detaches) a recorder; `owner` is
+    /// the user id stamped on the emitted events.
+    pub fn set_recorder(&mut self, recorder: RecorderHandle, owner: usize) {
+        self.recorder = recorder;
+        self.owner = owner;
     }
 
     /// Adds per-arm costs (the §3.2 twist applied within batches).
@@ -90,27 +113,60 @@ impl GpBucb {
         &self.real
     }
 
+    /// The hallucinated posterior driving in-batch selection. Equal to
+    /// [`GpBucb::posterior`] whenever no arms are pending.
+    pub fn hallucinated(&self) -> &GpPosterior {
+        &self.halluc
+    }
+
     fn cost(&self, arm: usize) -> f64 {
         self.costs.as_ref().map_or(1.0, |c| c[arm])
     }
 
     /// Selects the next arm of the batch and hallucinates its outcome
     /// (records the current posterior mean as a fake observation).
+    ///
+    /// Runs under a `pick_arm` span; the emitted [`Event::ArmChosen`]
+    /// carries the hallucinated mean and standard deviation the selection
+    /// actually scored, so traces show the in-batch state.
     pub fn select_next(&mut self) -> usize {
+        let _span = self.recorder.span("pick_arm");
+        let _timing = self.recorder.time(Component::ArmSelect);
         let beta = self.beta.at(self.t + self.pending.len() + 1);
         let scores: Vec<f64> = (0..self.num_arms())
             .map(|k| self.halluc.mean(k) + (beta / self.cost(k)).sqrt() * self.halluc.std(k))
             .collect();
         let arm = vec_ops::argmax(&scores).expect("at least one arm");
+        self.recorder.emit(|| Event::ArmChosen {
+            user: self.owner,
+            arm,
+            ucb: scores[arm],
+            beta,
+            cost: self.cost(arm),
+            mean: self.halluc.mean(arm),
+            sigma: self.halluc.std(arm),
+            parent: easeml_obs::current_span(),
+        });
         let fake = self.halluc.mean(arm);
         self.halluc.observe(arm, fake);
         self.pending.push(arm);
         arm
     }
 
-    /// Resolves one pending arm with its true reward. When the last pending
-    /// arm resolves, the hallucinated posterior is rebuilt from the real
-    /// one (all fakes replaced by truths).
+    /// Rebuilds the hallucinated posterior: the real posterior plus a fake
+    /// mean-observation per pending arm, in dispatch order.
+    fn rebuild_halluc(&mut self) {
+        let mut h = self.real.clone();
+        for &a in &self.pending {
+            let fake = h.mean(a);
+            h.observe(a, fake);
+        }
+        self.halluc = h;
+    }
+
+    /// Resolves one pending arm with its true reward. The hallucinated
+    /// posterior is rebuilt from the real one so the resolved fake does not
+    /// linger; remaining pending arms keep their dispatch order.
     ///
     /// # Panics
     ///
@@ -121,21 +177,86 @@ impl GpBucb {
             .iter()
             .position(|&a| a == arm)
             .expect("arm must be pending");
-        self.pending.swap_remove(idx);
+        self.pending.remove(idx);
         self.real.observe(arm, reward);
         self.t += 1;
-        if self.pending.is_empty() {
-            self.halluc = self.real.clone();
-        } else {
-            // Rebuild hallucinations on top of the updated real posterior
-            // so resolved fakes do not linger.
-            let mut h = self.real.clone();
-            for &a in &self.pending {
-                let fake = h.mean(a);
-                h.observe(a, fake);
-            }
-            self.halluc = h;
-        }
+        self.rebuild_halluc();
+    }
+
+    /// [`GpBucb::resolve`] addressed by position in the pending batch
+    /// instead of by arm index. When the same arm is dispatched twice in one
+    /// batch, `resolve(arm, _)` can only retire the *first* occurrence; a
+    /// dispatcher that tracks which physical run finished uses the pending
+    /// position to retire exactly that one, keeping the pending order
+    /// aligned with its own in-flight bookkeeping. Returns the arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn resolve_at(&mut self, idx: usize, reward: f64) -> usize {
+        assert!(idx < self.pending.len(), "pending index {idx} out of range");
+        let arm = self.pending.remove(idx);
+        self.real.observe(arm, reward);
+        self.t += 1;
+        self.rebuild_halluc();
+        arm
+    }
+
+    /// Drops one pending arm without observing a reward — the censored-run
+    /// path: a crashed or timed-out dispatch consumed budget but produced
+    /// no usable quality, so its hallucination must be retracted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is not pending.
+    pub fn cancel(&mut self, arm: usize) {
+        let idx = self
+            .pending
+            .iter()
+            .position(|&a| a == arm)
+            .expect("arm must be pending");
+        self.pending.remove(idx);
+        self.rebuild_halluc();
+    }
+
+    /// [`GpBucb::cancel`] addressed by position in the pending batch — the
+    /// positional twin of [`GpBucb::resolve_at`]. Returns the arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn cancel_at(&mut self, idx: usize) -> usize {
+        assert!(idx < self.pending.len(), "pending index {idx} out of range");
+        let arm = self.pending.remove(idx);
+        self.rebuild_halluc();
+        arm
+    }
+
+    /// Re-enters `arm` into the pending batch with a hallucinated
+    /// observation, *without* running selection — checkpoint restore of an
+    /// in-flight dispatch. Because the hallucinated posterior is always the
+    /// real posterior plus one mean-fake per pending arm in dispatch order,
+    /// replaying the real observations and then marking the pending arms in
+    /// their original order rebuilds the in-batch state bit-identically.
+    pub fn mark_pending(&mut self, arm: usize) {
+        let fake = self.halluc.mean(arm);
+        self.halluc.observe(arm, fake);
+        self.pending.push(arm);
+    }
+
+    /// Feeds a true observation that never went through
+    /// [`GpBucb::select_next`] — warm-up runs and checkpoint replay. The
+    /// pending batch (if any) is re-hallucinated on top of the grown real
+    /// posterior.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range arms or non-finite rewards (propagated from
+    /// the posterior).
+    pub fn observe_direct(&mut self, arm: usize, reward: f64) {
+        self.real.observe(arm, reward);
+        self.t += 1;
+        self.rebuild_halluc();
     }
 
     /// Best true observation so far.
@@ -233,5 +354,110 @@ mod tests {
     fn resolving_a_non_pending_arm_panics() {
         let mut p = GpBucb::new(ArmPrior::independent(2, 1.0), 1e-3, beta());
         p.resolve(0, 0.5);
+    }
+
+    #[test]
+    fn cancel_retracts_the_hallucination_without_observing() {
+        let mut p = GpBucb::new(ArmPrior::independent(4, 1.0), 1e-3, beta());
+        let a = p.select_next();
+        assert!(p.hallucinated().var(a) < p.posterior().var(a));
+        p.cancel(a);
+        assert!(p.pending().is_empty());
+        assert_eq!(p.posterior().num_observations(), 0);
+        for k in 0..4 {
+            assert!((p.hallucinated().var(k) - p.posterior().var(k)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pending")]
+    fn cancelling_a_non_pending_arm_panics() {
+        let mut p = GpBucb::new(ArmPrior::independent(2, 1.0), 1e-3, beta());
+        p.cancel(1);
+    }
+
+    #[test]
+    fn observe_direct_feeds_the_real_posterior_and_rehallucinates() {
+        let mut p = GpBucb::new(correlated_prior(), 1e-3, beta());
+        let a = p.select_next();
+        // A warm-up observation on a different arm lands while `a` is in
+        // flight: the real posterior grows and the fake on `a` is replayed.
+        let other = (0..4).find(|&k| k != a).unwrap();
+        p.observe_direct(other, 0.7);
+        assert_eq!(p.pending(), &[a]);
+        assert_eq!(p.posterior().num_observations(), 1);
+        assert!(p.hallucinated().var(a) < p.posterior().var(a));
+    }
+
+    #[test]
+    fn positional_resolution_retires_the_addressed_occurrence() {
+        // Force duplicate pending arms on a two-arm policy, then retire the
+        // *second* occurrence of the duplicated arm by position.
+        let mut p = GpBucb::new(ArmPrior::independent(2, 1.0), 1e-3, beta());
+        let a = p.select_next();
+        let b = p.select_next();
+        let c = p.select_next();
+        assert_eq!(a, c, "two arms, three picks: one arm repeats");
+        let dup_second = p.pending().iter().rposition(|&x| x == a).unwrap();
+        let retired = p.resolve_at(dup_second, 0.6);
+        assert_eq!(retired, a);
+        assert_eq!(p.posterior().num_observations(), 1);
+        // The first occurrence of `a` (and `b`) are still pending, in order.
+        let expect: Vec<usize> = [a, b, c]
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != dup_second)
+            .map(|(_, &x)| x)
+            .collect();
+        assert_eq!(p.pending(), expect.as_slice());
+        let cancelled = p.cancel_at(0);
+        assert_eq!(cancelled, expect[0]);
+        assert_eq!(p.pending(), &expect[1..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn positional_resolution_rejects_bad_indices() {
+        let mut p = GpBucb::new(ArmPrior::independent(2, 1.0), 1e-3, beta());
+        p.resolve_at(0, 0.5);
+    }
+
+    #[test]
+    fn pending_preserves_dispatch_order_across_resolutions() {
+        let mut p = GpBucb::new(ArmPrior::independent(4, 1.0), 1e-3, beta());
+        let a = p.select_next();
+        let b = p.select_next();
+        let c = p.select_next();
+        p.resolve(a, 0.5);
+        assert_eq!(p.pending(), &[b, c], "order survives an interior removal");
+    }
+
+    #[test]
+    fn recorder_sees_batched_arm_choices() {
+        use easeml_obs::InMemoryRecorder;
+        use std::sync::Arc;
+        let rec = Arc::new(InMemoryRecorder::new());
+        let mut p = GpBucb::new(ArmPrior::independent(3, 1.0), 1e-3, beta())
+            .with_recorder(RecorderHandle::new(rec.clone()), 5);
+        let a = p.select_next();
+        let events = rec.events();
+        assert_eq!(events.len(), 3, "{events:?}");
+        match (&events[0], &events[1]) {
+            (
+                Event::SpanStart { span, name, .. },
+                Event::ArmChosen {
+                    user: 5,
+                    arm,
+                    parent,
+                    ..
+                },
+            ) => {
+                assert_eq!(name, "pick_arm");
+                assert_eq!(*arm, a);
+                assert_eq!(parent, span, "ArmChosen nests under pick_arm");
+            }
+            other => panic!("unexpected leading events {other:?}"),
+        }
+        assert_eq!(rec.timing(Component::ArmSelect).count(), 1);
     }
 }

@@ -1,0 +1,76 @@
+//! Multi-device scaling sweep: how makespan and regret-at-equal-cost move
+//! as the fleet grows D ∈ {1, 2, 4, 8}.
+//!
+//! Every fleet size commits the same cost budget on the same workload, so
+//! the comparison is GPU-time-fair: a bigger fleet finishes the budget in
+//! less simulated time (makespan shrinks ~1/D until the per-tenant
+//! dispatch rate saturates), while the delayed feedback of in-flight runs
+//! costs a little statistical efficiency (regret at the shared budget
+//! creeps up with D) — the classic throughput/sample-efficiency trade of
+//! GP-BUCB batching. The wall-clock timings bound the engine's own
+//! overhead; the `exec_scaling.perf.json` snapshot feeds
+//! `scripts/bench_snapshot_diff.sh`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use easeml::prelude::*;
+use easeml_bench::{banner, exec_scaling_sweep, exec_snapshot, exec_workload};
+use easeml_exec::simulate_multi_device;
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let (dataset, priors, cfg) = exec_workload();
+    for devices in [1usize, 4] {
+        c.bench_function(&format!("exec/fleet_run_d{devices}"), |b| {
+            b.iter(|| {
+                simulate_multi_device(
+                    black_box(&dataset),
+                    black_box(&priors),
+                    SchedulerKind::Hybrid,
+                    &cfg,
+                    devices,
+                    7,
+                )
+            })
+        });
+    }
+}
+
+fn scaling_report(_c: &mut Criterion) {
+    banner("Scaling", "Multi-device execution: makespan vs fleet size");
+    let rows = exec_scaling_sweep(&[1, 2, 4, 8]);
+    println!(
+        "{:>8} {:>12} {:>18} {:>12} {:>20}",
+        "devices", "makespan", "regret@budget", "dispatches", "parallel dispatches"
+    );
+    for row in &rows {
+        println!(
+            "{:>8} {:>12.4} {:>18.4} {:>12} {:>20}",
+            row.devices,
+            row.makespan,
+            row.regret_at_budget,
+            row.dispatches,
+            row.parallel_dispatches
+        );
+    }
+    let makespan = |d: usize| {
+        rows.iter()
+            .find(|r| r.devices == d)
+            .map(|r| r.makespan)
+            .expect("sweep covers the fleet size")
+    };
+    assert!(
+        makespan(4) < makespan(2) && makespan(2) < makespan(1),
+        "makespan must strictly shrink from D=1 ({}) through D=2 ({}) to D=4 ({})",
+        makespan(1),
+        makespan(2),
+        makespan(4),
+    );
+    println!("\nmakespan strictly decreasing D=1 -> D=2 -> D=4: ok");
+    match exec_snapshot("exec_scaling", &rows) {
+        Some(p) => println!("perf snapshot: {}", p.display()),
+        None => println!("perf snapshot: skipped (filesystem unavailable)"),
+    }
+}
+
+criterion_group!(benches, bench_engine, scaling_report);
+criterion_main!(benches);

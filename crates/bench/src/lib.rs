@@ -210,6 +210,154 @@ pub fn obs_snapshot(id: &str) -> Option<std::path::PathBuf> {
     report::write_artifact(&format!("{id}.perf.json"), &json).ok()
 }
 
+/// One row of the multi-device scaling sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecScalingRow {
+    /// Fleet size D.
+    pub devices: usize,
+    /// Simulated makespan of the run.
+    pub makespan: f64,
+    /// Cumulative multi-tenant regret accrued by the time the shared
+    /// budget is spent — the equal-cost comparison point across fleet
+    /// sizes (every run commits the same budget; larger fleets just spend
+    /// it faster).
+    pub regret_at_budget: f64,
+    /// Total dispatches (completed + censored).
+    pub dispatches: usize,
+    /// Dispatches made while other runs were in flight.
+    pub parallel_dispatches: usize,
+}
+
+/// The fixed workload every exec-scaling measurement runs: 10 tenants x
+/// 20 models, unit costs, 100-unit budget, HYBRID scheduling — the same
+/// shape as [`obs_snapshot`], so component timings are comparable.
+pub fn exec_workload() -> (Dataset, Vec<easeml_gp::ArmPrior>, SimConfig) {
+    let dataset = easeml_data::SynConfig {
+        num_users: 10,
+        num_models: 20,
+        ..easeml_data::SynConfig::paper(0.5, 1.0)
+    }
+    .generate(seed())
+    .unit_cost_view();
+    let priors = (0..10)
+        .map(|_| easeml_gp::ArmPrior::independent(20, 0.05))
+        .collect();
+    let cfg = SimConfig {
+        budget: 100.0,
+        cost_aware: false,
+        noise_var: 1e-3,
+        delta: 0.1,
+        fault: None,
+    };
+    (dataset, priors, cfg)
+}
+
+/// Cumulative multi-tenant regret of `trace`, truncated at `cost_cap` —
+/// the equal-cost anchor of the scaling sweep.
+fn regret_at_cost(trace: &SimTrace, dataset: &Dataset, cost_cap: f64) -> f64 {
+    let mu_stars: Vec<f64> = (0..dataset.num_users())
+        .map(|i| dataset.best_quality(i))
+        .collect();
+    let mut tracker = easeml_sched::MultiTenantRegret::new(mu_stars);
+    let mut spent = 0.0;
+    for e in &trace.events {
+        if spent >= cost_cap {
+            break;
+        }
+        tracker.record_round(e.user, e.quality, e.cost);
+        spent += e.cost;
+    }
+    tracker.cumulative()
+}
+
+/// Runs the [`exec_workload`] through the multi-device engine at each
+/// fleet size and reports makespan and regret at the shared budget.
+pub fn exec_scaling_sweep(fleet_sizes: &[usize]) -> Vec<ExecScalingRow> {
+    let (dataset, priors, cfg) = exec_workload();
+    fleet_sizes
+        .iter()
+        .map(|&devices| {
+            let trace = easeml_exec::simulate_multi_device(
+                &dataset,
+                &priors,
+                SchedulerKind::Hybrid,
+                &cfg,
+                devices,
+                seed(),
+            );
+            ExecScalingRow {
+                devices,
+                makespan: trace.makespan,
+                regret_at_budget: regret_at_cost(&trace.sim, &dataset, cfg.budget),
+                dispatches: trace.dispatches,
+                parallel_dispatches: trace.parallel_dispatches,
+            }
+        })
+        .collect()
+}
+
+/// Runs one fully instrumented 4-device execution plus the scaling sweep
+/// and writes `<id>.perf.json` under `target/experiments/`: the same
+/// per-component latency quantiles [`obs_snapshot`] emits (so
+/// `scripts/bench_snapshot_diff.sh` diffs it unchanged) plus a `scaling`
+/// array with per-fleet-size makespan and regret-at-equal-cost.
+///
+/// Returns the perf-json path, or `None` when the filesystem is
+/// unavailable.
+pub fn exec_snapshot(id: &str, rows: &[ExecScalingRow]) -> Option<std::path::PathBuf> {
+    use easeml_obs::{Component, InMemoryRecorder, RecorderHandle};
+    use std::fmt::Write as _;
+    use std::sync::Arc;
+
+    let (dataset, priors, cfg) = exec_workload();
+    let rec = Arc::new(InMemoryRecorder::new());
+    let handle = RecorderHandle::new(rec.clone());
+    let trace = easeml_exec::simulate_multi_device_with_recorder(
+        &dataset,
+        &priors,
+        SchedulerKind::Hybrid,
+        &cfg,
+        4,
+        seed(),
+        &handle,
+    );
+
+    let mut json = String::from("{\n  \"components\": [\n");
+    for (i, &comp) in Component::ALL.iter().enumerate() {
+        let h = rec.timing(comp);
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"count\": {}, \"p50_ns\": {:.0}, \"p95_ns\": {:.0}, \"max_ns\": {}}}{}",
+            comp.name(),
+            h.count(),
+            h.quantile_ns(0.5),
+            h.quantile_ns(0.95),
+            h.max_ns(),
+            if i + 1 < Component::ALL.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n  \"scaling\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"devices\": {}, \"makespan\": {:.6}, \"regret_at_budget\": {:.6}, \
+             \"dispatches\": {}, \"parallel_dispatches\": {}}}{}",
+            row.devices,
+            row.makespan,
+            row.regret_at_budget,
+            row.dispatches,
+            row.parallel_dispatches,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(
+        json,
+        "  ],\n  \"rounds\": {},\n  \"makespan\": {:.6},\n  \"parallel_dispatches\": {}\n}}",
+        trace.sim.rounds, trace.makespan, trace.parallel_dispatches
+    );
+    report::write_artifact(&format!("{id}.perf.json"), &json).ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -73,15 +73,16 @@ pub mod prelude {
     pub use crate::fault::{FaultConfig, FaultInjector, FaultRates, TrainingError};
     pub use crate::job::{Job, JobStatus};
     pub use crate::metrics::{speedup_factor, AggregatedCurves};
-    pub use crate::pool::{Task, TaskPool, TaskState};
+    pub use crate::pool::{Task, TaskBoard, TaskPool, TaskState};
     pub use crate::retry::{RetryPolicy, RetryState};
     pub use crate::server::{
         EaseMl, QualityOracle, RoundError, RoundOutcome, RoundResult, StatusSnapshot,
         TrainingOutcome, UserStatus,
     };
     pub use crate::sim::{
-        simulate, simulate_parallel, simulate_parallel_with_recorder, simulate_with_recorder,
-        SchedulerKind, SimConfig, SimEvent, SimTrace,
+        build_tenants, cheapest_model, make_picker, simulate, simulate_parallel,
+        simulate_parallel_with_recorder, simulate_with_recorder, tenant_beta, SchedulerKind,
+        SimConfig, SimEvent, SimTrace,
     };
     pub use crate::storage::{Example, SharedStorage};
     pub use crate::user::UserAccount;

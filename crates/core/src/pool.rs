@@ -150,6 +150,110 @@ impl TaskPool {
     }
 }
 
+/// A dense users × arms state grid over [`TaskState`] — the multi-device
+/// dispatcher's work representation. Unlike [`TaskPool`] it is keyed by the
+/// simulator's `(user, arm)` indices rather than zoo models, and it
+/// tolerates re-dispatching an arm that already ran (GP schedulers revisit
+/// arms), tracking only the *current* state of each cell.
+///
+/// # Examples
+///
+/// ```
+/// use easeml::prelude::*;
+///
+/// let mut board = TaskBoard::new(2, 3);
+/// board.start(0, 1);
+/// assert_eq!(board.running_count(), 1);
+/// board.finish(0, 1, 0.9);
+/// assert_eq!(board.state(0, 1), TaskState::Done(0.9));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaskBoard {
+    arms: usize,
+    states: Vec<TaskState>,
+}
+
+impl TaskBoard {
+    /// Creates a board of `users × arms` cells, all pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    pub fn new(users: usize, arms: usize) -> Self {
+        assert!(users > 0 && arms > 0, "board dimensions must be positive");
+        TaskBoard {
+            arms,
+            states: vec![TaskState::Pending; users * arms],
+        }
+    }
+
+    /// Number of users (rows).
+    pub fn num_users(&self) -> usize {
+        self.states.len() / self.arms
+    }
+
+    /// Number of arms (columns).
+    pub fn num_arms(&self) -> usize {
+        self.arms
+    }
+
+    fn idx(&self, user: usize, arm: usize) -> usize {
+        assert!(arm < self.arms, "arm {arm} out of range");
+        let i = user * self.arms + arm;
+        assert!(i < self.states.len(), "user {user} out of range");
+        i
+    }
+
+    /// Current state of the `(user, arm)` cell.
+    pub fn state(&self, user: usize, arm: usize) -> TaskState {
+        self.states[self.idx(user, arm)]
+    }
+
+    /// Marks `(user, arm)` as running — also when re-dispatching an arm
+    /// that already completed once.
+    pub fn start(&mut self, user: usize, arm: usize) {
+        let i = self.idx(user, arm);
+        self.states[i] = TaskState::Running;
+    }
+
+    /// Marks a running `(user, arm)` as done with the achieved accuracy.
+    pub fn finish(&mut self, user: usize, arm: usize, accuracy: f64) {
+        let i = self.idx(user, arm);
+        self.states[i] = TaskState::Done(accuracy);
+    }
+
+    /// Returns a censored running `(user, arm)` to pending — the run
+    /// consumed budget but produced no observation, so the cell is
+    /// re-eligible.
+    pub fn fail(&mut self, user: usize, arm: usize) {
+        let i = self.idx(user, arm);
+        self.states[i] = TaskState::Pending;
+    }
+
+    /// Number of cells currently running.
+    pub fn running_count(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| matches!(s, TaskState::Running))
+            .count()
+    }
+
+    /// Number of cells that have completed at least once.
+    pub fn done_count(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| matches!(s, TaskState::Done(_)))
+            .count()
+    }
+
+    /// Arms of `user` currently running.
+    pub fn running_arms(&self, user: usize) -> Vec<usize> {
+        (0..self.arms)
+            .filter(|&a| matches!(self.state(user, a), TaskState::Running))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,5 +329,31 @@ mod tests {
     fn zero_data_scale_panics() {
         let mut pool = TaskPool::new();
         pool.submit_job(&image_job(0), 0.0);
+    }
+
+    #[test]
+    fn board_tracks_the_dispatch_lifecycle() {
+        let mut b = TaskBoard::new(2, 4);
+        assert_eq!(b.num_users(), 2);
+        assert_eq!(b.num_arms(), 4);
+        b.start(1, 3);
+        b.start(1, 0);
+        assert_eq!(b.running_count(), 2);
+        assert_eq!(b.running_arms(1), vec![0, 3]);
+        b.finish(1, 3, 0.8);
+        b.fail(1, 0);
+        assert_eq!(b.state(1, 3), TaskState::Done(0.8));
+        assert_eq!(b.state(1, 0), TaskState::Pending, "censored cell re-arms");
+        assert_eq!(b.done_count(), 1);
+        // Re-dispatching a done arm is legal for GP schedulers.
+        b.start(1, 3);
+        assert_eq!(b.state(1, 3), TaskState::Running);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn board_rejects_out_of_range_cells() {
+        let b = TaskBoard::new(1, 2);
+        let _ = b.state(0, 5);
     }
 }

@@ -86,8 +86,10 @@ pub struct SimConfig {
 }
 
 impl SimConfig {
-    /// A reasonable default: cost-aware, tuned-noise placeholder, δ = 0.1,
-    /// no faults.
+    /// The default configuration: cost-aware arm selection (the paper's
+    /// §3.2 twist), observation noise variance `1e-3` (matching the
+    /// synthetic workload's quality-noise scale), confidence δ = 0.1, and
+    /// no fault injection.
     pub fn new(budget: f64) -> Self {
         SimConfig {
             budget,
@@ -105,7 +107,7 @@ impl SimConfig {
 /// the same ≈0.1 loss), the mandatory first pass that trains one model per
 /// user is performed *outside* the budget: `initial_loss` is the mean loss
 /// after that warm-up pass, and `points` only record budgeted rounds.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimTrace {
     /// The configured budget.
     pub budget: f64,
@@ -377,18 +379,17 @@ fn simulate_heuristic(
 
 /// The user's cheapest model (lowest index on ties) — the neutral warm-up
 /// choice every strategy starts from.
-fn cheapest_model(dataset: &Dataset, user: usize) -> usize {
+///
+/// # Panics
+///
+/// Panics on an empty dataset.
+pub fn cheapest_model(dataset: &Dataset, user: usize) -> usize {
     vec_ops::argmin(dataset.user_costs(user)).expect("non-empty dataset")
 }
 
-fn build_tenants(
-    dataset: &Dataset,
-    priors: &[ArmPrior],
-    cfg: &SimConfig,
-    recorder: &RecorderHandle,
-) -> Vec<Tenant> {
-    let n = dataset.num_users();
-    let k_star = dataset.num_models();
+/// The multi-tenant β schedule every tenant policy runs under (the §4
+/// exploration coefficient): `c* = max cost` when cost-aware, else 1.
+pub fn tenant_beta(dataset: &Dataset, cfg: &SimConfig) -> BetaSchedule {
     let c_star = if cfg.cost_aware {
         dataset
             .cost_matrix()
@@ -399,12 +400,25 @@ fn build_tenants(
     } else {
         1.0
     };
-    let beta = BetaSchedule::MultiTenant {
+    BetaSchedule::MultiTenant {
         max_cost: c_star,
-        num_tenants: n,
-        max_arms: k_star,
+        num_tenants: dataset.num_users(),
+        max_arms: dataset.num_models(),
         delta: cfg.delta,
-    };
+    }
+}
+
+/// Builds one [`Tenant`] per user with the multi-tenant β schedule derived
+/// from `cfg` — the shared setup of the serial, parallel, and multi-device
+/// simulators.
+pub fn build_tenants(
+    dataset: &Dataset,
+    priors: &[ArmPrior],
+    cfg: &SimConfig,
+    recorder: &RecorderHandle,
+) -> Vec<Tenant> {
+    let n = dataset.num_users();
+    let beta = tenant_beta(dataset, cfg);
     (0..n)
         .map(|i| {
             let policy = if cfg.cost_aware {
@@ -422,7 +436,15 @@ fn build_tenants(
         .collect()
 }
 
-fn make_picker(kind: SchedulerKind, recorder: &RecorderHandle) -> Box<dyn UserPicker> {
+/// Instantiates the user-picking strategy for a GP scheduler kind, with the
+/// recorder attached.
+///
+/// # Panics
+///
+/// Panics on the heuristic kinds ([`SchedulerKind::MostCited`],
+/// [`SchedulerKind::MostRecent`]) — those are simulated separately and have
+/// no picker.
+pub fn make_picker(kind: SchedulerKind, recorder: &RecorderHandle) -> Box<dyn UserPicker> {
     let mut picker: Box<dyn UserPicker> = match kind {
         SchedulerKind::Fcfs => Box::new(Fcfs::default()),
         SchedulerKind::RoundRobin => Box::new(RoundRobin::default()),

@@ -1,0 +1,902 @@
+//! Crash-safe checkpoint/restore of in-flight execution state.
+//!
+//! [`ExecCheckpoint`] snapshots everything the engine needs to resume
+//! mid-flight: the resolved observation sequence (replaying it through the
+//! same numeric path rebuilds bit-identical GP state), every in-flight
+//! run's pre-resolved outcome, the device fleet's busy/idle integrals, the
+//! fault injector's attempt counters, and the HYBRID picker's freeze
+//! detector. Restoring marks each in-flight run pending again in dispatch
+//! order, which rebuilds the GP-BUCB hallucinated posterior bit-identically
+//! (the hallucinated state is always the real posterior plus one mean-fake
+//! per pending arm, in order).
+//!
+//! Serialization follows the same hand-rolled JSON conventions as the core
+//! checkpoint ([`easeml::checkpoint`]): finite floats round-trip bit-exactly,
+//! non-finite floats serialize as `null` (the in-flight `quality` of a
+//! censored run, HYBRID's `-inf` sentinel), and `u64` seeds travel as
+//! decimal strings.
+//!
+//! One caveat: the stochastic pickers ([`SchedulerKind::Random`],
+//! `Greedy(Random)`) draw from an RNG whose stream position is not part of
+//! the checkpoint — a restored run re-seeds from the start, so only the
+//! deterministic schedulers replay bit-identically across a restore.
+
+use crate::engine::{ExecEngine, InFlight, PickerSlot};
+use crate::fleet::{DeviceSpec, Fleet};
+use easeml::checkpoint::{decode_u64, encode_u64};
+use easeml::fault::{FaultConfig, FaultRates};
+use easeml::sim::{SchedulerKind, SimConfig, SimEvent};
+use easeml::TaskState;
+use easeml_data::Dataset;
+use easeml_gp::ArmPrior;
+use easeml_obs::json::{self, Json};
+use easeml_obs::RecorderHandle;
+use easeml_sched::{Hybrid, HybridState, PickRule};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Current execution-checkpoint format version.
+pub const EXEC_CHECKPOINT_VERSION: u32 = 1;
+
+/// One device's spec and runtime accounting.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DeviceCheckpoint {
+    /// Speed factor.
+    pub speed: f64,
+    /// Job slots.
+    pub slots: u64,
+    /// Occupied slots at checkpoint time.
+    pub in_use: u64,
+    /// Accrued busy slot-time.
+    pub busy: f64,
+    /// Accrued idle slot-time.
+    pub idle: f64,
+    /// Time of the last accounting update.
+    pub last_t: f64,
+    /// When the device last became fully idle.
+    pub idle_since: f64,
+}
+
+/// One in-flight run, outcome pre-resolved but unrevealed.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct InFlightCheckpoint {
+    /// Dispatch sequence number.
+    pub seq: u64,
+    /// Served user.
+    pub user: usize,
+    /// Dispatched model.
+    pub model: usize,
+    /// Executing device.
+    pub device: usize,
+    /// Dispatch time.
+    pub dispatched_at: f64,
+    /// Scheduled completion time.
+    pub finish: f64,
+    /// Charged cost.
+    pub charge: f64,
+    /// Whether the run completes with a usable quality.
+    pub ok: bool,
+    /// Revealed quality; serialized as `null` (NaN) for censored runs.
+    pub quality: f64,
+    /// Censoring kind (empty for clean runs).
+    pub kind: String,
+}
+
+/// One resolved (completed) run, in completion order.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ResolvedCheckpoint {
+    /// Served user.
+    pub user: usize,
+    /// Trained model.
+    pub model: usize,
+    /// Charged cost.
+    pub cost: f64,
+    /// Revealed quality.
+    pub quality: f64,
+}
+
+/// One `Done` cell of the dispatch board.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DoneCellCheckpoint {
+    /// User row.
+    pub user: usize,
+    /// Arm column.
+    pub arm: usize,
+    /// Recorded accuracy.
+    pub accuracy: f64,
+}
+
+/// The HYBRID picker's freeze detector (mirrors
+/// [`easeml_sched::HybridState`]).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HybridCheckpoint {
+    /// Greedy line-8 rule name.
+    pub rule: String,
+    /// Freeze threshold s.
+    pub patience: u64,
+    /// Consecutive frozen rounds.
+    pub frozen_rounds: u64,
+    /// Candidate set at the previous round.
+    pub prev_candidates: Vec<usize>,
+    /// Best-reward sum at the previous round (`null` while `-inf`).
+    pub prev_best_sum: f64,
+    /// Whether the round-robin switch happened.
+    pub switched: bool,
+    /// Round-robin cursor.
+    pub rr_cursor: u64,
+}
+
+/// Fault-injector configuration and attempt counters.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultStateCheckpoint {
+    /// Seed, as a decimal string.
+    pub seed: String,
+    /// Base rates `[crash, timeout, invalid, straggler]`.
+    pub rates: [f64; 4],
+    /// Per-user rate overrides.
+    pub user_overrides: Vec<(usize, [f64; 4])>,
+    /// Per-arm rate overrides.
+    pub arm_overrides: Vec<(usize, [f64; 4])>,
+    /// Straggler cost multiplier.
+    pub straggler_factor: f64,
+    /// Fraction of cost consumed before a crash.
+    pub crash_cost_fraction: f64,
+    /// Timeout deadline as a multiple of cost.
+    pub timeout_factor: f64,
+    /// Per-(user, arm) attempt counters.
+    pub attempts: Vec<(usize, usize, u64)>,
+}
+
+/// The full mid-flight engine snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ExecCheckpoint {
+    /// Format version ([`EXEC_CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Scheduler kind name (canonical [`SchedulerKind::name`]).
+    pub kind: String,
+    /// Picker RNG seed, as a decimal string.
+    pub seed: String,
+    /// Cost budget.
+    pub budget: f64,
+    /// Cost-aware arm selection flag.
+    pub cost_aware: bool,
+    /// GP observation-noise variance.
+    pub noise_var: f64,
+    /// β-schedule failure probability δ.
+    pub delta: f64,
+    /// The fleet: specs plus runtime accounting.
+    pub devices: Vec<DeviceCheckpoint>,
+    /// Simulated clock.
+    pub now: f64,
+    /// Next dispatch sequence number.
+    pub next_seq: u64,
+    /// Picker step counter.
+    pub step: u64,
+    /// Completed budgeted rounds.
+    pub rounds: u64,
+    /// Censored runs so far.
+    pub censored: u64,
+    /// Total dispatches.
+    pub dispatches: u64,
+    /// Dispatches made while other runs were in flight.
+    pub parallel_dispatches: u64,
+    /// Cost committed so far.
+    pub committed: f64,
+    /// Mean loss after the warm-up pass.
+    pub initial_loss: f64,
+    /// Per-user best quality seen.
+    pub best_seen: Vec<f64>,
+    /// Per-user charged cost.
+    pub user_cost: Vec<f64>,
+    /// `(time, mean loss)` trajectory so far.
+    pub points: Vec<(f64, f64)>,
+    /// Resolved runs in completion order — replaying them rebuilds the GP
+    /// posteriors bit-identically.
+    pub resolved: Vec<ResolvedCheckpoint>,
+    /// In-flight runs in dispatch (sequence) order.
+    pub in_flight: Vec<InFlightCheckpoint>,
+    /// `Done` cells of the dispatch board. Stored explicitly rather than
+    /// derived from `resolved`: a completed cell can be re-dispatched and
+    /// censored later, reverting it to pending.
+    pub board_done: Vec<DoneCellCheckpoint>,
+    /// HYBRID picker state, when the scheduler is HYBRID.
+    pub hybrid: Option<HybridCheckpoint>,
+    /// Fault injector, if one is attached.
+    pub fault: Option<FaultStateCheckpoint>,
+}
+
+fn rates_to_array(r: FaultRates) -> [f64; 4] {
+    [r.crash, r.timeout, r.invalid, r.straggler]
+}
+
+fn rates_from_array(a: [f64; 4]) -> FaultRates {
+    FaultRates {
+        crash: a[0],
+        timeout: a[1],
+        invalid: a[2],
+        straggler: a[3],
+    }
+}
+
+/// Maps a canonical scheduler name back to its kind.
+fn kind_from_name(name: &str) -> Result<SchedulerKind, String> {
+    Ok(match name {
+        "fcfs" => SchedulerKind::Fcfs,
+        "round-robin" => SchedulerKind::RoundRobin,
+        "random" => SchedulerKind::Random,
+        "greedy(max-gap)" => SchedulerKind::Greedy(PickRule::MaxUcbGap),
+        "greedy(max-sigma)" => SchedulerKind::Greedy(PickRule::MaxSigmaTilde),
+        "greedy(random)" => SchedulerKind::Greedy(PickRule::Random),
+        "hybrid" => SchedulerKind::Hybrid,
+        other => return Err(format!("unknown scheduler kind {other:?}")),
+    })
+}
+
+impl ExecEngine<'_> {
+    /// Snapshots the full mid-flight state.
+    pub fn checkpoint(&self) -> ExecCheckpoint {
+        let devices = self
+            .fleet
+            .devices
+            .iter()
+            .map(|d| DeviceCheckpoint {
+                speed: d.spec.speed,
+                slots: d.spec.slots as u64,
+                in_use: d.in_use as u64,
+                busy: d.busy,
+                idle: d.idle,
+                last_t: d.last_t,
+                idle_since: d.idle_since,
+            })
+            .collect();
+        let in_flight = self
+            .in_flight
+            .iter()
+            .map(|r| InFlightCheckpoint {
+                seq: r.seq,
+                user: r.user,
+                model: r.model,
+                device: r.device,
+                dispatched_at: r.dispatched_at,
+                finish: r.finish,
+                charge: r.charge,
+                ok: r.ok,
+                quality: r.quality,
+                kind: r.kind.clone(),
+            })
+            .collect();
+        let mut board_done = Vec::new();
+        for user in 0..self.board.num_users() {
+            for arm in 0..self.board.num_arms() {
+                if let TaskState::Done(accuracy) = self.board.state(user, arm) {
+                    board_done.push(DoneCellCheckpoint {
+                        user,
+                        arm,
+                        accuracy,
+                    });
+                }
+            }
+        }
+        let hybrid = self.picker.hybrid().map(|h| {
+            let s = h.export_state();
+            HybridCheckpoint {
+                rule: s.rule.name().to_string(),
+                patience: s.patience as u64,
+                frozen_rounds: s.frozen_rounds as u64,
+                prev_candidates: s.prev_candidates,
+                prev_best_sum: s.prev_best_sum,
+                switched: s.switched,
+                rr_cursor: s.rr_cursor as u64,
+            }
+        });
+        let fault = self.injector.as_ref().map(|inj| {
+            let c = inj.config();
+            FaultStateCheckpoint {
+                seed: encode_u64(c.seed),
+                rates: rates_to_array(c.rates),
+                user_overrides: c
+                    .user_overrides
+                    .iter()
+                    .map(|(&u, &r)| (u, rates_to_array(r)))
+                    .collect(),
+                arm_overrides: c
+                    .arm_overrides
+                    .iter()
+                    .map(|(&a, &r)| (a, rates_to_array(r)))
+                    .collect(),
+                straggler_factor: c.straggler_factor,
+                crash_cost_fraction: c.crash_cost_fraction,
+                timeout_factor: c.timeout_factor,
+                attempts: inj
+                    .attempts()
+                    .iter()
+                    .map(|(&(u, a), &n)| (u, a, n))
+                    .collect(),
+            }
+        });
+        ExecCheckpoint {
+            version: EXEC_CHECKPOINT_VERSION,
+            kind: self.kind.name().to_string(),
+            seed: encode_u64(self.seed),
+            budget: self.cfg.budget,
+            cost_aware: self.cfg.cost_aware,
+            noise_var: self.cfg.noise_var,
+            delta: self.cfg.delta,
+            devices,
+            now: self.now,
+            next_seq: self.next_seq,
+            step: self.step as u64,
+            rounds: self.rounds as u64,
+            censored: self.censored as u64,
+            dispatches: self.dispatches as u64,
+            parallel_dispatches: self.parallel_dispatches as u64,
+            committed: self.committed,
+            initial_loss: self.initial_loss,
+            best_seen: self.best_seen.clone(),
+            user_cost: self.user_cost.clone(),
+            points: self.points.clone(),
+            resolved: self
+                .events
+                .iter()
+                .map(|e| ResolvedCheckpoint {
+                    user: e.user,
+                    model: e.model,
+                    cost: e.cost,
+                    quality: e.quality,
+                })
+                .collect(),
+            in_flight,
+            board_done,
+            hybrid,
+            fault,
+        }
+    }
+
+    /// Rebuilds an engine from a checkpoint: replays the resolved
+    /// observations through the same numeric path (bit-identical GP
+    /// posteriors), re-marks every in-flight run pending in dispatch order
+    /// (bit-identical hallucinated posteriors), and restores the fleet,
+    /// fault, board, and picker state. The restored engine carries a
+    /// disabled recorder; attach a live one with
+    /// [`ExecEngine::attach_recorder`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on a version mismatch, an unknown scheduler kind,
+    /// a malformed seed, or dimensions that do not fit `dataset`/`priors`.
+    pub fn restore<'a>(
+        dataset: &'a Dataset,
+        priors: &[ArmPrior],
+        ck: &ExecCheckpoint,
+    ) -> Result<ExecEngine<'a>, String> {
+        if ck.version != EXEC_CHECKPOINT_VERSION {
+            return Err(format!(
+                "unsupported exec checkpoint version {} (expected {EXEC_CHECKPOINT_VERSION})",
+                ck.version
+            ));
+        }
+        let kind = kind_from_name(&ck.kind)?;
+        let seed = decode_u64(&ck.seed)?;
+        let n = dataset.num_users();
+        if ck.best_seen.len() != n || ck.user_cost.len() != n {
+            return Err(format!(
+                "checkpoint is for {} users, dataset has {n}",
+                ck.best_seen.len()
+            ));
+        }
+        let fault = match &ck.fault {
+            None => None,
+            Some(f) => {
+                let mut config = FaultConfig::new(decode_u64(&f.seed)?);
+                config.rates = rates_from_array(f.rates);
+                config.user_overrides = f
+                    .user_overrides
+                    .iter()
+                    .map(|&(u, r)| (u, rates_from_array(r)))
+                    .collect();
+                config.arm_overrides = f
+                    .arm_overrides
+                    .iter()
+                    .map(|&(a, r)| (a, rates_from_array(r)))
+                    .collect();
+                config.straggler_factor = f.straggler_factor;
+                config.crash_cost_fraction = f.crash_cost_fraction;
+                config.timeout_factor = f.timeout_factor;
+                Some(config)
+            }
+        };
+        let cfg = SimConfig {
+            budget: ck.budget,
+            cost_aware: ck.cost_aware,
+            noise_var: ck.noise_var,
+            delta: ck.delta,
+            fault,
+        };
+        let specs: Vec<DeviceSpec> = ck
+            .devices
+            .iter()
+            .map(|d| DeviceSpec {
+                speed: d.speed,
+                slots: d.slots as usize,
+            })
+            .collect();
+        let mut engine = ExecEngine::new(
+            dataset,
+            priors,
+            kind,
+            &cfg,
+            Fleet::new(specs),
+            seed,
+            RecorderHandle::noop(),
+        );
+
+        // Replay the resolved observations in completion order: the GP
+        // posteriors grow through the exact numeric path of the original
+        // run. The picker is NOT notified — its state is restored verbatim
+        // below (HYBRID) or is a pure function of `step` (the rest).
+        for r in &ck.resolved {
+            engine.tenants[r.user].observe(r.model, r.quality);
+            engine.bucbs[r.user].observe_direct(r.model, r.quality);
+            engine.events.push(SimEvent {
+                user: r.user,
+                model: r.model,
+                cost: r.cost,
+                quality: r.quality,
+            });
+        }
+        if let Some(h) = &ck.hybrid {
+            let rule = PickRule::from_name(&h.rule)
+                .ok_or_else(|| format!("unknown greedy rule {:?}", h.rule))?;
+            engine.picker = PickerSlot::Hybrid(Hybrid::from_state(HybridState {
+                rule,
+                patience: h.patience as usize,
+                frozen_rounds: h.frozen_rounds as usize,
+                prev_candidates: h.prev_candidates.clone(),
+                prev_best_sum: h.prev_best_sum,
+                switched: h.switched,
+                rr_cursor: h.rr_cursor as usize,
+            }));
+        }
+        if let Some(f) = &ck.fault {
+            let injector = engine
+                .injector
+                .as_mut()
+                .expect("fault config implies an injector");
+            let attempts: BTreeMap<(usize, usize), u64> =
+                f.attempts.iter().map(|&(u, a, c)| ((u, a), c)).collect();
+            injector.restore_attempts(attempts);
+        }
+        for (dev, d) in engine.fleet.devices.iter_mut().zip(&ck.devices) {
+            dev.in_use = d.in_use as usize;
+            dev.busy = d.busy;
+            dev.idle = d.idle;
+            dev.last_t = d.last_t;
+            dev.idle_since = d.idle_since;
+        }
+        for cell in &ck.board_done {
+            engine.board.finish(cell.user, cell.arm, cell.accuracy);
+        }
+        // Re-mark in-flight runs pending in dispatch order — this rebuilds
+        // each user's hallucinated posterior bit-identically on top of the
+        // replayed real posterior.
+        for r in &ck.in_flight {
+            engine.board.start(r.user, r.model);
+            engine.bucbs[r.user].mark_pending(r.model);
+            engine.queue.push(r.finish, r.seq);
+            engine.in_flight.push(InFlight {
+                seq: r.seq,
+                user: r.user,
+                model: r.model,
+                device: r.device,
+                dispatched_at: r.dispatched_at,
+                finish: r.finish,
+                charge: r.charge,
+                ok: r.ok,
+                quality: r.quality,
+                kind: r.kind.clone(),
+            });
+        }
+        engine.now = ck.now;
+        engine.next_seq = ck.next_seq;
+        engine.step = ck.step as usize;
+        engine.rounds = ck.rounds as usize;
+        engine.censored = ck.censored as usize;
+        engine.dispatches = ck.dispatches as usize;
+        engine.parallel_dispatches = ck.parallel_dispatches as usize;
+        engine.committed = ck.committed;
+        engine.initial_loss = ck.initial_loss;
+        engine.best_seen = ck.best_seen.clone();
+        engine.user_cost = ck.user_cost.clone();
+        engine.points = ck.points.clone();
+        Ok(engine)
+    }
+}
+
+impl ExecCheckpoint {
+    /// Serializes the checkpoint to one JSON document.
+    pub fn to_json(&self) -> String {
+        json::to_string(self)
+    }
+
+    /// Parses a checkpoint document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed or missing field.
+    pub fn from_json(input: &str) -> Result<Self, String> {
+        let doc = json::parse(input)?;
+        let fields = as_object(&doc, "exec checkpoint")?;
+        let version = get_u64(fields, "version")? as u32;
+        if version != EXEC_CHECKPOINT_VERSION {
+            return Err(format!(
+                "unsupported exec checkpoint version {version} (expected {EXEC_CHECKPOINT_VERSION})"
+            ));
+        }
+        let devices = as_array(get(fields, "devices")?, "devices")?
+            .iter()
+            .map(|d| {
+                let f = as_object(d, "device")?;
+                Ok(DeviceCheckpoint {
+                    speed: get_f64(f, "speed")?,
+                    slots: get_u64(f, "slots")?,
+                    in_use: get_u64(f, "in_use")?,
+                    busy: get_f64(f, "busy")?,
+                    idle: get_f64(f, "idle")?,
+                    last_t: get_f64(f, "last_t")?,
+                    idle_since: get_f64(f, "idle_since")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let resolved = as_array(get(fields, "resolved")?, "resolved")?
+            .iter()
+            .map(|r| {
+                let f = as_object(r, "resolved run")?;
+                Ok(ResolvedCheckpoint {
+                    user: get_u64(f, "user")? as usize,
+                    model: get_u64(f, "model")? as usize,
+                    cost: get_f64(f, "cost")?,
+                    quality: get_f64(f, "quality")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let in_flight = as_array(get(fields, "in_flight")?, "in_flight")?
+            .iter()
+            .map(|r| {
+                let f = as_object(r, "in-flight run")?;
+                Ok(InFlightCheckpoint {
+                    seq: get_u64(f, "seq")?,
+                    user: get_u64(f, "user")? as usize,
+                    model: get_u64(f, "model")? as usize,
+                    device: get_u64(f, "device")? as usize,
+                    dispatched_at: get_f64(f, "dispatched_at")?,
+                    finish: get_f64(f, "finish")?,
+                    charge: get_f64(f, "charge")?,
+                    ok: get_bool(f, "ok")?,
+                    quality: get_f64_or_nan(f, "quality")?,
+                    kind: get_str(f, "kind")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let board_done = as_array(get(fields, "board_done")?, "board_done")?
+            .iter()
+            .map(|c| {
+                let f = as_object(c, "done cell")?;
+                Ok(DoneCellCheckpoint {
+                    user: get_u64(f, "user")? as usize,
+                    arm: get_u64(f, "arm")? as usize,
+                    accuracy: get_f64(f, "accuracy")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let hybrid = match get(fields, "hybrid")? {
+            Json::Null => None,
+            value => {
+                let f = as_object(value, "hybrid")?;
+                Some(HybridCheckpoint {
+                    rule: get_str(f, "rule")?,
+                    patience: get_u64(f, "patience")?,
+                    frozen_rounds: get_u64(f, "frozen_rounds")?,
+                    prev_candidates: parse_usize_array(
+                        get(f, "prev_candidates")?,
+                        "prev_candidates",
+                    )?,
+                    prev_best_sum: get_f64_or_neg_inf(f, "prev_best_sum")?,
+                    switched: get_bool(f, "switched")?,
+                    rr_cursor: get_u64(f, "rr_cursor")?,
+                })
+            }
+        };
+        let fault = match get(fields, "fault")? {
+            Json::Null => None,
+            value => {
+                let f = as_object(value, "fault")?;
+                Some(FaultStateCheckpoint {
+                    seed: get_str(f, "seed")?,
+                    rates: parse_rates(get(f, "rates")?, "rates")?,
+                    user_overrides: parse_overrides(get(f, "user_overrides")?, "user_overrides")?,
+                    arm_overrides: parse_overrides(get(f, "arm_overrides")?, "arm_overrides")?,
+                    straggler_factor: get_f64(f, "straggler_factor")?,
+                    crash_cost_fraction: get_f64(f, "crash_cost_fraction")?,
+                    timeout_factor: get_f64(f, "timeout_factor")?,
+                    attempts: as_array(get(f, "attempts")?, "attempts")?
+                        .iter()
+                        .map(|t| parse_triple(t, "attempt counter"))
+                        .collect::<Result<Vec<_>, String>>()?
+                        .into_iter()
+                        .map(|(a, b, c)| (a as usize, b as usize, c))
+                        .collect(),
+                })
+            }
+        };
+        Ok(ExecCheckpoint {
+            version,
+            kind: get_str(fields, "kind")?,
+            seed: get_str(fields, "seed")?,
+            budget: get_f64(fields, "budget")?,
+            cost_aware: get_bool(fields, "cost_aware")?,
+            noise_var: get_f64(fields, "noise_var")?,
+            delta: get_f64(fields, "delta")?,
+            devices,
+            now: get_f64(fields, "now")?,
+            next_seq: get_u64(fields, "next_seq")?,
+            step: get_u64(fields, "step")?,
+            rounds: get_u64(fields, "rounds")?,
+            censored: get_u64(fields, "censored")?,
+            dispatches: get_u64(fields, "dispatches")?,
+            parallel_dispatches: get_u64(fields, "parallel_dispatches")?,
+            committed: get_f64(fields, "committed")?,
+            initial_loss: get_f64(fields, "initial_loss")?,
+            best_seen: parse_f64_array(get(fields, "best_seen")?, "best_seen")?,
+            user_cost: parse_f64_array(get(fields, "user_cost")?, "user_cost")?,
+            points: as_array(get(fields, "points")?, "points")?
+                .iter()
+                .map(|p| parse_f64_pair(p, "point"))
+                .collect::<Result<Vec<_>, String>>()?,
+            resolved,
+            in_flight,
+            board_done,
+            hybrid,
+            fault,
+        })
+    }
+}
+
+fn get<'a>(fields: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn as_object<'a>(value: &'a Json, what: &str) -> Result<&'a [(String, Json)], String> {
+    match value {
+        Json::Object(fields) => Ok(fields),
+        other => Err(format!("{what}: expected an object, got {other:?}")),
+    }
+}
+
+fn as_array<'a>(value: &'a Json, what: &str) -> Result<&'a [Json], String> {
+    match value {
+        Json::Array(items) => Ok(items),
+        other => Err(format!("{what}: expected an array, got {other:?}")),
+    }
+}
+
+fn as_f64(value: &Json, what: &str) -> Result<f64, String> {
+    match value {
+        Json::Number(n) => Ok(*n),
+        other => Err(format!("{what}: expected a number, got {other:?}")),
+    }
+}
+
+fn get_f64(fields: &[(String, Json)], key: &str) -> Result<f64, String> {
+    as_f64(get(fields, key)?, key)
+}
+
+fn get_f64_or_nan(fields: &[(String, Json)], key: &str) -> Result<f64, String> {
+    match get(fields, key)? {
+        Json::Null => Ok(f64::NAN),
+        value => as_f64(value, key),
+    }
+}
+
+fn get_f64_or_neg_inf(fields: &[(String, Json)], key: &str) -> Result<f64, String> {
+    match get(fields, key)? {
+        Json::Null => Ok(f64::NEG_INFINITY),
+        value => as_f64(value, key),
+    }
+}
+
+fn get_u64(fields: &[(String, Json)], key: &str) -> Result<u64, String> {
+    let n = get_f64(fields, key)?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(format!("field {key:?}: expected a non-negative integer"));
+    }
+    Ok(n as u64)
+}
+
+fn get_bool(fields: &[(String, Json)], key: &str) -> Result<bool, String> {
+    match get(fields, key)? {
+        Json::Bool(b) => Ok(*b),
+        other => Err(format!("field {key:?}: expected a bool, got {other:?}")),
+    }
+}
+
+fn get_str(fields: &[(String, Json)], key: &str) -> Result<String, String> {
+    match get(fields, key)? {
+        Json::String(s) => Ok(s.clone()),
+        other => Err(format!("field {key:?}: expected a string, got {other:?}")),
+    }
+}
+
+fn parse_usize_array(value: &Json, what: &str) -> Result<Vec<usize>, String> {
+    as_array(value, what)?
+        .iter()
+        .map(|v| as_f64(v, what).map(|n| n as usize))
+        .collect()
+}
+
+fn parse_f64_array(value: &Json, what: &str) -> Result<Vec<f64>, String> {
+    as_array(value, what)?
+        .iter()
+        .map(|v| as_f64(v, what))
+        .collect()
+}
+
+fn parse_f64_pair(value: &Json, what: &str) -> Result<(f64, f64), String> {
+    let items = as_array(value, what)?;
+    if items.len() != 2 {
+        return Err(format!("{what}: expected a pair"));
+    }
+    Ok((as_f64(&items[0], what)?, as_f64(&items[1], what)?))
+}
+
+fn parse_triple(value: &Json, what: &str) -> Result<(u64, u64, u64), String> {
+    let items = as_array(value, what)?;
+    if items.len() != 3 {
+        return Err(format!("{what}: expected a triple"));
+    }
+    Ok((
+        as_f64(&items[0], what)? as u64,
+        as_f64(&items[1], what)? as u64,
+        as_f64(&items[2], what)? as u64,
+    ))
+}
+
+fn parse_rates(value: &Json, what: &str) -> Result<[f64; 4], String> {
+    let items = parse_f64_array(value, what)?;
+    if items.len() != 4 {
+        return Err(format!("{what}: expected 4 rates"));
+    }
+    Ok([items[0], items[1], items[2], items[3]])
+}
+
+fn parse_overrides(value: &Json, what: &str) -> Result<Vec<(usize, [f64; 4])>, String> {
+    as_array(value, what)?
+        .iter()
+        .map(|entry| {
+            let items = as_array(entry, what)?;
+            if items.len() != 2 {
+                return Err(format!("{what}: expected (key, rates) pairs"));
+            }
+            Ok((
+                as_f64(&items[0], what)? as usize,
+                parse_rates(&items[1], what)?,
+            ))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate_multi_device;
+    use easeml_data::SynConfig;
+
+    fn small_dataset() -> Dataset {
+        SynConfig {
+            num_users: 4,
+            num_models: 3,
+            ..SynConfig::paper(0.5, 0.5)
+        }
+        .generate(3)
+    }
+
+    fn flat_priors(dataset: &Dataset) -> Vec<ArmPrior> {
+        (0..dataset.num_users())
+            .map(|_| ArmPrior::independent(dataset.num_models(), 0.05))
+            .collect()
+    }
+
+    fn chaos_cfg() -> SimConfig {
+        let mut cfg = SimConfig::new(8.0);
+        cfg.fault = Some(
+            FaultConfig::new(13)
+                .with_crash_rate(0.2)
+                .with_timeout_rate(0.1),
+        );
+        cfg
+    }
+
+    #[test]
+    fn checkpoint_json_round_trips_mid_flight() {
+        let d = small_dataset();
+        let priors = flat_priors(&d);
+        let cfg = chaos_cfg();
+        let mut engine = ExecEngine::new(
+            &d,
+            &priors,
+            SchedulerKind::Hybrid,
+            &cfg,
+            Fleet::uniform(3),
+            7,
+            RecorderHandle::noop(),
+        );
+        for _ in 0..4 {
+            assert!(engine.tick());
+        }
+        assert!(engine.in_flight_len() > 0, "checkpoint must be mid-flight");
+        let ck = engine.checkpoint();
+        let parsed = ExecCheckpoint::from_json(&ck.to_json()).expect("round-trip");
+        assert_eq!(parsed, ck);
+        assert!(ck.hybrid.is_some());
+        assert!(ck.fault.is_some());
+        assert!(!ck.in_flight.is_empty());
+    }
+
+    #[test]
+    fn version_and_kind_mismatches_are_rejected() {
+        let d = small_dataset();
+        let priors = flat_priors(&d);
+        let cfg = SimConfig::new(4.0);
+        let engine = ExecEngine::new(
+            &d,
+            &priors,
+            SchedulerKind::RoundRobin,
+            &cfg,
+            Fleet::uniform(2),
+            7,
+            RecorderHandle::noop(),
+        );
+        let mut ck = engine.checkpoint();
+        ck.version = 99;
+        assert!(ExecCheckpoint::from_json(&ck.to_json())
+            .unwrap_err()
+            .contains("version"));
+        ck.version = EXEC_CHECKPOINT_VERSION;
+        ck.kind = "most-cited".into();
+        let err = ExecEngine::restore(&d, &priors, &ck)
+            .err()
+            .expect("unknown kinds must be rejected");
+        assert!(err.contains("unknown scheduler kind"));
+    }
+
+    #[test]
+    fn restored_engine_finishes_like_the_original() {
+        // Coarse end-to-end check (the bit-exact invariant lives in
+        // tests/invariants.rs): restore at tick 5 and finish both.
+        let d = small_dataset();
+        let priors = flat_priors(&d);
+        let cfg = SimConfig::new(6.0);
+        let reference = simulate_multi_device(&d, &priors, SchedulerKind::RoundRobin, &cfg, 2, 7);
+        let mut engine = ExecEngine::new(
+            &d,
+            &priors,
+            SchedulerKind::RoundRobin,
+            &cfg,
+            Fleet::uniform(2),
+            7,
+            RecorderHandle::noop(),
+        );
+        for _ in 0..5 {
+            assert!(engine.tick());
+        }
+        let ck = engine.checkpoint();
+        let restored = ExecEngine::restore(&d, &priors, &ck).expect("restore");
+        let trace = restored.run();
+        assert_eq!(trace.sim.events, reference.sim.events);
+        assert_eq!(trace.sim.points, reference.sim.points);
+        assert_eq!(trace.makespan, reference.makespan);
+    }
+}

@@ -12,8 +12,11 @@ use serde::Serialize;
 /// the fault-tolerance vocabulary ([`Event::TrainingFailed`],
 /// [`Event::RetryScheduled`], [`Event::ArmQuarantined`],
 /// [`Event::CheckpointWritten`]); earlier versions simply never emitted
-/// those variants, so version-1/2 traces still parse unchanged.
-pub const TRACE_SCHEMA_VERSION: u32 = 3;
+/// those variants, so version-1/2 traces still parse unchanged. Version 4
+/// adds the multi-device execution vocabulary ([`Event::RunDispatched`],
+/// [`Event::RunFinished`], [`Event::DeviceIdle`]) — again purely additive,
+/// so version-1/2/3 traces still parse unchanged.
+pub const TRACE_SCHEMA_VERSION: u32 = 4;
 
 /// A structured observation emitted by an instrumented component.
 ///
@@ -190,6 +193,52 @@ pub enum Event {
         /// Id of the span the retry happened under (0 = none).
         parent: u64,
     },
+    /// The multi-device executor handed a training run to a device while
+    /// earlier runs may still be in flight (GP-BUCB delayed feedback).
+    RunDispatched {
+        /// Index of the tenant the run belongs to.
+        user: usize,
+        /// Index of the model being trained.
+        model: usize,
+        /// Index of the device the run was placed on.
+        device: usize,
+        /// Cost that will be charged for the run (before any speed scaling).
+        cost: f64,
+        /// Simulated clock at dispatch time.
+        at: f64,
+        /// Id of the span the dispatch happened under (0 = none).
+        parent: u64,
+    },
+    /// A dispatched run left its device — either completing (`ok = true`,
+    /// followed by a [`TrainingCompleted`](Event::TrainingCompleted)) or
+    /// censored by a fault (`ok = false`, followed by a
+    /// [`TrainingFailed`](Event::TrainingFailed)).
+    RunFinished {
+        /// Index of the tenant the run belonged to.
+        user: usize,
+        /// Index of the trained model.
+        model: usize,
+        /// Index of the device the run occupied.
+        device: usize,
+        /// Simulated clock when the device was freed.
+        at: f64,
+        /// Whether the run produced a usable quality observation.
+        ok: bool,
+        /// Id of the span the completion happened under (0 = none).
+        parent: u64,
+    },
+    /// A fully idle device received work after sitting empty: `idle` is the
+    /// length of the gap, the executor's queueing-delay sample.
+    DeviceIdle {
+        /// Index of the device that was idle.
+        device: usize,
+        /// Length of the idle gap in simulated cost units.
+        idle: f64,
+        /// Simulated clock when the gap ended (the dispatch time).
+        at: f64,
+        /// Id of the span the observation happened under (0 = none).
+        parent: u64,
+    },
     /// An empirical kernel matrix was projected onto the PSD cone.
     PsdProjectionApplied {
         /// The eigenvalue floor negative eigenvalues were clipped to.
@@ -217,6 +266,9 @@ impl Event {
             Event::RetryScheduled { .. } => "RetryScheduled",
             Event::ArmQuarantined { .. } => "ArmQuarantined",
             Event::CheckpointWritten { .. } => "CheckpointWritten",
+            Event::RunDispatched { .. } => "RunDispatched",
+            Event::RunFinished { .. } => "RunFinished",
+            Event::DeviceIdle { .. } => "DeviceIdle",
             Event::SpanStart { .. } => "SpanStart",
             Event::SpanEnd { .. } => "SpanEnd",
             Event::JitterRetry { .. } => "JitterRetry",
@@ -232,10 +284,13 @@ impl Event {
             | Event::TrainingCompleted { user, .. }
             | Event::TrainingFailed { user, .. }
             | Event::RetryScheduled { user, .. }
-            | Event::ArmQuarantined { user, .. } => Some(*user),
+            | Event::ArmQuarantined { user, .. }
+            | Event::RunDispatched { user, .. }
+            | Event::RunFinished { user, .. } => Some(*user),
             Event::HybridFallback { .. }
             | Event::PosteriorUpdated { .. }
             | Event::CheckpointWritten { .. }
+            | Event::DeviceIdle { .. }
             | Event::SpanStart { .. }
             | Event::SpanEnd { .. }
             | Event::JitterRetry { .. }
@@ -258,6 +313,9 @@ impl Event {
             | Event::RetryScheduled { parent, .. }
             | Event::ArmQuarantined { parent, .. }
             | Event::CheckpointWritten { parent, .. }
+            | Event::RunDispatched { parent, .. }
+            | Event::RunFinished { parent, .. }
+            | Event::DeviceIdle { parent, .. }
             | Event::PosteriorUpdated { parent, .. }
             | Event::SpanStart { parent, .. }
             | Event::JitterRetry { parent, .. }
@@ -345,6 +403,28 @@ impl Event {
                 bytes: get_u64(fields, "bytes")?,
                 parent: get_u64_or(fields, "parent", 0)?,
             }),
+            "RunDispatched" => Ok(Event::RunDispatched {
+                user: get_usize(fields, "user")?,
+                model: get_usize(fields, "model")?,
+                device: get_usize(fields, "device")?,
+                cost: get_f64(fields, "cost")?,
+                at: get_f64(fields, "at")?,
+                parent: get_u64_or(fields, "parent", 0)?,
+            }),
+            "RunFinished" => Ok(Event::RunFinished {
+                user: get_usize(fields, "user")?,
+                model: get_usize(fields, "model")?,
+                device: get_usize(fields, "device")?,
+                at: get_f64(fields, "at")?,
+                ok: get_bool(fields, "ok")?,
+                parent: get_u64_or(fields, "parent", 0)?,
+            }),
+            "DeviceIdle" => Ok(Event::DeviceIdle {
+                device: get_usize(fields, "device")?,
+                idle: get_f64(fields, "idle")?,
+                at: get_f64(fields, "at")?,
+                parent: get_u64_or(fields, "parent", 0)?,
+            }),
             "PosteriorUpdated" => Ok(Event::PosteriorUpdated {
                 arm: get_usize(fields, "arm")?,
                 reward: get_f64(fields, "reward")?,
@@ -424,6 +504,13 @@ fn get_u64_or(fields: &[(String, Json)], key: &str, default: u64) -> Result<u64,
 
 fn get_usize(fields: &[(String, Json)], key: &str) -> Result<usize, String> {
     Ok(get_u64(fields, key)? as usize)
+}
+
+fn get_bool(fields: &[(String, Json)], key: &str) -> Result<bool, String> {
+    match get(fields, key)? {
+        Json::Bool(b) => Ok(*b),
+        other => Err(format!("field {key:?}: expected a bool, got {other:?}")),
+    }
 }
 
 fn get_str(fields: &[(String, Json)], key: &str) -> Result<String, String> {
@@ -508,6 +595,28 @@ mod tests {
                 users: 4,
                 bytes: 8_192,
                 parent: 0,
+            },
+            Event::RunDispatched {
+                user: 1,
+                model: 8,
+                device: 2,
+                cost: 4.5,
+                at: 17.25,
+                parent: 13,
+            },
+            Event::RunFinished {
+                user: 1,
+                model: 8,
+                device: 2,
+                at: 21.75,
+                ok: true,
+                parent: 13,
+            },
+            Event::DeviceIdle {
+                device: 3,
+                idle: 1.5,
+                at: 17.25,
+                parent: 13,
             },
             Event::PosteriorUpdated {
                 arm: 19,
@@ -615,14 +724,20 @@ mod tests {
         assert_eq!(events[5].user(), Some(2)); // RetryScheduled
         assert_eq!(events[6].user(), Some(2)); // ArmQuarantined
         assert_eq!(events[7].user(), None); // CheckpointWritten
-        assert_eq!(events[8].user(), None);
-        assert!(events[9..].iter().all(|e| e.user().is_none()));
+        assert_eq!(events[8].user(), Some(1)); // RunDispatched
+        assert_eq!(events[9].user(), Some(1)); // RunFinished
+        assert_eq!(events[10].user(), None); // DeviceIdle
+        assert_eq!(events[11].user(), None); // PosteriorUpdated
+        assert!(events[12..].iter().all(|e| e.user().is_none()));
     }
 
     #[test]
     fn parent_accessor_matches_variants() {
         let events = samples();
         let parents: Vec<u64> = events.iter().map(Event::parent).collect();
-        assert_eq!(parents, vec![9, 10, 0, 11, 11, 11, 11, 0, 12, 0, 0, 12, 0]);
+        assert_eq!(
+            parents,
+            vec![9, 10, 0, 11, 11, 11, 11, 0, 13, 13, 13, 12, 0, 0, 12, 0]
+        );
     }
 }

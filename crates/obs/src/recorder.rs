@@ -26,11 +26,14 @@ pub enum Component {
     ArmSelect = 5,
     /// One full round of the simulation loop (pick + train + observe).
     SimRound = 6,
+    /// One dispatch decision of the multi-device execution engine
+    /// (pick user + pick arm + device placement).
+    ExecDispatch = 7,
 }
 
 impl Component {
     /// Number of components (length of per-component arrays).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// Every component, in index order.
     pub const ALL: [Component; Component::COUNT] = [
@@ -41,6 +44,7 @@ impl Component {
         Component::SchedulerPick,
         Component::ArmSelect,
         Component::SimRound,
+        Component::ExecDispatch,
     ];
 
     /// Stable display name, e.g. `"cholesky/factor"`.
@@ -53,6 +57,7 @@ impl Component {
             Component::SchedulerPick => "sched/pick",
             Component::ArmSelect => "bandit/arm-select",
             Component::SimRound => "sim/round",
+            Component::ExecDispatch => "exec/dispatch",
         }
     }
 

@@ -361,6 +361,12 @@ impl TimeSeriesRecorder {
             | Event::RetryScheduled { .. }
             | Event::ArmQuarantined { .. }
             | Event::CheckpointWritten { .. }
+            // Dispatch/device events carry no cost charge: the clock only
+            // advances on TrainingCompleted / TrainingFailed, so multi-
+            // device traces fold into the same cost-domain decomposition.
+            | Event::RunDispatched { .. }
+            | Event::RunFinished { .. }
+            | Event::DeviceIdle { .. }
             | Event::SpanStart { .. }
             | Event::SpanEnd { .. }
             | Event::JitterRetry { .. }

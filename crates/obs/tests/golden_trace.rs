@@ -1,6 +1,6 @@
 //! Golden-file test pinning the on-disk trace schema.
 //!
-//! The checked-in `tests/golden/schema_v3.jsonl` is the authoritative
+//! The checked-in `tests/golden/schema_v4.jsonl` is the authoritative
 //! serialization of one sample of every event variant. If a change to the
 //! event vocabulary alters any byte of the output, this test fails — which
 //! is the prompt to bump [`easeml_obs::TRACE_SCHEMA_VERSION`], extend
@@ -14,7 +14,7 @@ fn golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests")
         .join("golden")
-        .join("schema_v3.jsonl")
+        .join("schema_v4.jsonl")
 }
 
 /// One sample of every variant, exercising the fields a real trace carries:
@@ -77,6 +77,28 @@ fn samples() -> Vec<Event> {
             bytes: 8192,
             parent: 0,
         },
+        Event::RunDispatched {
+            user: 3,
+            model: 7,
+            device: 2,
+            cost: 4.5,
+            at: 17.25,
+            parent: 13,
+        },
+        Event::RunFinished {
+            user: 3,
+            model: 7,
+            device: 2,
+            at: 21.75,
+            ok: true,
+            parent: 13,
+        },
+        Event::DeviceIdle {
+            device: 1,
+            idle: 1.5,
+            at: 17.25,
+            parent: 13,
+        },
         Event::PosteriorUpdated {
             arm: 7,
             reward: 0.843,
@@ -130,7 +152,7 @@ fn serialized_trace_matches_the_golden_file() {
         .expect("golden file missing; regenerate with UPDATE_GOLDEN=1");
     assert_eq!(
         rendered, golden,
-        "trace serialization drifted from tests/golden/schema_v3.jsonl; \
+        "trace serialization drifted from tests/golden/schema_v4.jsonl; \
          if intentional, bump TRACE_SCHEMA_VERSION and regenerate with \
          UPDATE_GOLDEN=1"
     );

@@ -22,6 +22,10 @@
 //! * [`fault_report`] — the fault-tolerance event stream (schema v3)
 //!   summarized: censored runs by kind and tenant, retry backoff cost,
 //!   quarantined arms, and checkpoints;
+//! * [`exec_report`] — the multi-device execution stream (schema v4)
+//!   summarized: per-device run counts, busy slot-time and utilization
+//!   against the makespan, idle-gap (queueing-delay) statistics, and the
+//!   peak number of runs in flight;
 //! * [`chrome_trace`] — the causal span tree (`scheduler_step → pick_user →
 //!   pick_arm → train → posterior_update`) exported as Chrome trace-event
 //!   JSON, loadable in `chrome://tracing` / Perfetto.
@@ -375,6 +379,151 @@ pub fn fault_report(events: &[Event]) -> FaultReport {
 }
 
 // ---------------------------------------------------------------------------
+// Multi-device execution
+// ---------------------------------------------------------------------------
+
+/// One device's share of the execution event stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeviceUsage {
+    /// Runs dispatched onto the device.
+    pub dispatches: u64,
+    /// Runs that left the device (clean or censored).
+    pub completions: u64,
+    /// Completions with `ok = false` (censored by a fault).
+    pub censored: u64,
+    /// Busy slot-time: the summed durations of the device's runs. On a
+    /// multi-slot device overlapping runs each contribute their full span.
+    pub busy: f64,
+    /// `DeviceIdle` gaps observed (the device sat fully idle, then got
+    /// work).
+    pub idle_gaps: u64,
+    /// Total idle-gap time.
+    pub idle_gap_total: f64,
+    /// Longest single idle gap.
+    pub idle_gap_max: f64,
+}
+
+/// Summary of the multi-device execution stream (schema v4): per-device
+/// utilization and the executor's queueing-delay samples.
+///
+/// Serial traces (schema ≤ 3) contain no `RunDispatched` events and yield
+/// a report with `dispatches == 0`; [`render_report`] omits the section
+/// entirely in that case.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecReport {
+    /// Total `RunDispatched` events.
+    pub dispatches: u64,
+    /// Total `RunFinished` events.
+    pub completions: u64,
+    /// Finished runs that were censored (`ok = false`).
+    pub censored: u64,
+    /// Simulated clock of the last `RunFinished` (the makespan).
+    pub makespan: f64,
+    /// Peak number of runs simultaneously in flight.
+    pub peak_in_flight: u64,
+    /// Per-device breakdown, keyed by device index.
+    pub per_device: BTreeMap<usize, DeviceUsage>,
+}
+
+impl ExecReport {
+    /// A device's busy slot-time divided by the makespan. Exceeds 1 on
+    /// multi-slot devices running overlapping jobs; 0 when the makespan is
+    /// zero.
+    pub fn utilization(&self, device: usize) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.per_device
+            .get(&device)
+            .map_or(0.0, |d| d.busy / self.makespan)
+    }
+
+    /// Mean idle gap across all devices — the executor's average
+    /// queueing delay (how long a fully drained device waited for its next
+    /// run). 0 when no gaps were recorded.
+    pub fn mean_queueing_delay(&self) -> f64 {
+        let gaps: u64 = self.per_device.values().map(|d| d.idle_gaps).sum();
+        if gaps == 0 {
+            return 0.0;
+        }
+        let total: f64 = self.per_device.values().map(|d| d.idle_gap_total).sum();
+        total / gaps as f64
+    }
+}
+
+/// Folds `RunDispatched` / `RunFinished` / `DeviceIdle` into an
+/// [`ExecReport`]. Each finish is paired with its dispatch per
+/// `(device, user, model)` FIFO — the engine records both in causal order,
+/// so overlapping runs on a multi-slot device pair correctly.
+pub fn exec_report(events: &[Event]) -> ExecReport {
+    let mut out = ExecReport::default();
+    let mut pending: BTreeMap<(usize, usize, usize), Vec<f64>> = BTreeMap::new();
+    let mut in_flight = 0u64;
+    for event in events {
+        match event {
+            Event::RunDispatched {
+                user,
+                model,
+                device,
+                at,
+                ..
+            } => {
+                out.dispatches += 1;
+                out.per_device.entry(*device).or_default().dispatches += 1;
+                pending
+                    .entry((*device, *user, *model))
+                    .or_default()
+                    .push(*at);
+                in_flight += 1;
+                out.peak_in_flight = out.peak_in_flight.max(in_flight);
+            }
+            Event::RunFinished {
+                user,
+                model,
+                device,
+                at,
+                ok,
+                ..
+            } => {
+                out.completions += 1;
+                if !ok {
+                    out.censored += 1;
+                }
+                if *at > out.makespan {
+                    out.makespan = *at;
+                }
+                let usage = out.per_device.entry(*device).or_default();
+                usage.completions += 1;
+                if !ok {
+                    usage.censored += 1;
+                }
+                if let Some(starts) = pending.get_mut(&(*device, *user, *model)) {
+                    if !starts.is_empty() {
+                        let start = starts.remove(0);
+                        if at.is_finite() && *at >= start {
+                            usage.busy += at - start;
+                        }
+                    }
+                }
+                in_flight = in_flight.saturating_sub(1);
+            }
+            Event::DeviceIdle { device, idle, .. } => {
+                let usage = out.per_device.entry(*device).or_default();
+                usage.idle_gaps += 1;
+                if idle.is_finite() && *idle > 0.0 {
+                    usage.idle_gap_total += idle;
+                    if *idle > usage.idle_gap_max {
+                        usage.idle_gap_max = *idle;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Numerical health
 // ---------------------------------------------------------------------------
 
@@ -518,6 +667,7 @@ pub fn render_report(trace: &LoadedTrace, targets: &BTreeMap<usize, f64>) -> Str
     let fallbacks = fallback_timeline(&trace.events);
     let health = health_report(&trace.events);
     let faults = fault_report(&trace.events);
+    let exec = exec_report(&trace.events);
 
     let mut out = String::new();
     let _ = writeln!(out, "=== easeml-trace report ===");
@@ -634,6 +784,34 @@ pub fn render_report(trace: &LoadedTrace, targets: &BTreeMap<usize, f64>) -> Str
         None => {
             let _ = writeln!(out, "checkpoints: 0");
         }
+    }
+
+    if exec.dispatches > 0 {
+        let _ = writeln!(out, "\n--- multi-device execution ---");
+        let _ = writeln!(
+            out,
+            "dispatches: {}  finished: {} (censored {})  peak in-flight: {}  makespan: {:.4}",
+            exec.dispatches, exec.completions, exec.censored, exec.peak_in_flight, exec.makespan
+        );
+        for (device, usage) in &exec.per_device {
+            let _ = writeln!(
+                out,
+                "device {device}: runs {} (censored {})  busy {:.4}  utilization {:.1}%  \
+                 idle-gaps {} (total {:.4}, max {:.4})",
+                usage.dispatches,
+                usage.censored,
+                usage.busy,
+                exec.utilization(*device) * 100.0,
+                usage.idle_gaps,
+                usage.idle_gap_total,
+                usage.idle_gap_max,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "mean device queueing delay: {:.4}",
+            exec.mean_queueing_delay()
+        );
     }
 
     let _ = writeln!(out, "\n--- numerical health ---");
@@ -898,6 +1076,110 @@ mod tests {
         // Clock includes the censored cost; rounds only count completions.
         assert!((report.clock - 10.5).abs() < 1e-12);
         assert_eq!(report.rounds, 3);
+    }
+
+    fn dispatched(user: usize, model: usize, device: usize, at: f64) -> Event {
+        Event::RunDispatched {
+            user,
+            model,
+            device,
+            cost: 1.0,
+            at,
+            parent: 0,
+        }
+    }
+
+    fn finished(user: usize, model: usize, device: usize, at: f64, ok: bool) -> Event {
+        Event::RunFinished {
+            user,
+            model,
+            device,
+            at,
+            ok,
+            parent: 0,
+        }
+    }
+
+    #[test]
+    fn exec_report_tracks_devices_overlap_and_queueing_delay() {
+        // Device 0 runs two jobs back to back with an idle gap between;
+        // device 1 (two slots) overlaps two jobs, one of them censored.
+        let events = vec![
+            dispatched(0, 0, 0, 0.0),
+            dispatched(1, 0, 1, 0.0),
+            dispatched(2, 1, 1, 0.5),
+            finished(0, 0, 0, 2.0, true),
+            finished(1, 0, 1, 2.5, true),
+            Event::DeviceIdle {
+                device: 0,
+                idle: 1.0,
+                at: 3.0,
+                parent: 0,
+            },
+            dispatched(0, 1, 0, 3.0),
+            finished(2, 1, 1, 3.5, false),
+            finished(0, 1, 0, 4.0, true),
+        ];
+        let report = exec_report(&events);
+        assert_eq!(report.dispatches, 4);
+        assert_eq!(report.completions, 4);
+        assert_eq!(report.censored, 1);
+        assert_eq!(report.peak_in_flight, 3);
+        assert!((report.makespan - 4.0).abs() < 1e-12);
+        let d0 = &report.per_device[&0];
+        assert_eq!(d0.dispatches, 2);
+        assert_eq!(d0.censored, 0);
+        assert!((d0.busy - 3.0).abs() < 1e-12, "2.0 + 1.0 slot-time");
+        assert_eq!(d0.idle_gaps, 1);
+        assert!((d0.idle_gap_max - 1.0).abs() < 1e-12);
+        let d1 = &report.per_device[&1];
+        assert_eq!(d1.dispatches, 2);
+        assert_eq!(d1.censored, 1);
+        assert!((d1.busy - 5.5).abs() < 1e-12, "overlapping 2.5 + 3.0");
+        assert!((report.utilization(0) - 3.0 / 4.0).abs() < 1e-12);
+        assert!(
+            (report.utilization(1) - 5.5 / 4.0).abs() < 1e-12,
+            "multi-slot > 1"
+        );
+        assert!((report.mean_queueing_delay() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exec_report_is_empty_on_serial_traces() {
+        let events = vec![completed(0, 0, 1.0, 0.5), chosen(0, 0.4, 0.1)];
+        let report = exec_report(&events);
+        assert_eq!(report, ExecReport::default());
+        // And the rendered report omits the section entirely.
+        let trace = LoadedTrace {
+            events,
+            schema_version: Some(3),
+            skipped_lines: 0,
+        };
+        let text = render_report(&trace, &BTreeMap::new());
+        assert!(!text.contains("multi-device execution"), "{text}");
+    }
+
+    #[test]
+    fn report_renders_the_execution_section_for_v4_traces() {
+        let events = vec![
+            dispatched(0, 0, 0, 0.0),
+            finished(0, 0, 0, 1.0, true),
+            completed(0, 0, 1.0, 0.5),
+        ];
+        let trace = LoadedTrace {
+            events,
+            schema_version: Some(4),
+            skipped_lines: 0,
+        };
+        let text = render_report(&trace, &BTreeMap::new());
+        for needle in [
+            "--- multi-device execution ---",
+            "dispatches: 1  finished: 1 (censored 0)  peak in-flight: 1",
+            "device 0: runs 1 (censored 0)  busy 1.0000  utilization 100.0%",
+            "mean device queueing delay: 0.0000",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
     }
 
     #[test]

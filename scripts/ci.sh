@@ -54,4 +54,32 @@ if echo "$chaos_report" | grep -q "TrainingFailed: 0 "; then
 fi
 echo "$chaos_report" | grep -q "decomposition consistent: true"
 
+echo "==> multi-device smoke run (4 devices, chaos, mid-flight checkpoint)"
+exec_trace="$(mktemp -t easeml-ci-exec-XXXXXX.jsonl)"
+trap 'rm -f "$smoke_trace" "$chaos_trace" "$exec_trace"' EXIT
+exec_out="$(cargo run --quiet --example multi_device -- \
+  --devices 4 --chaos --trace-out "$exec_trace")"
+echo "$exec_out"
+# The fleet must actually overlap runs (a zero means the dispatcher fell
+# back to serial execution) and the mid-flight checkpoint must replay to
+# the exact uninterrupted trajectory.
+echo "$exec_out" | grep -q "parallel dispatches:"
+if echo "$exec_out" | grep -q "parallel dispatches: 0$"; then
+  echo "error: multi-device run made no parallel dispatches" >&2
+  exit 1
+fi
+echo "$exec_out" | grep -q "checkpoint replay consistent: true"
+
+echo "==> easeml-trace report on the multi-device trace"
+exec_report="$(cargo run --quiet -p easeml-trace -- report "$exec_trace")"
+echo "$exec_report"
+# The offline analyzer must see the v4 execution stream and keep the
+# Theorem 1 decomposition consistent with delayed completions on the clock.
+echo "$exec_report" | grep -q "multi-device execution"
+echo "$exec_report" | grep -q "decomposition consistent: true"
+if echo "$exec_report" | grep -Eq "peak in-flight: [01] "; then
+  echo "error: trace shows no overlapping runs on a 4-device fleet" >&2
+  exit 1
+fi
+
 echo "CI gate passed."

@@ -11,6 +11,9 @@
 //! * [`easeml_gp`] — Gaussian-process posteriors and kernels;
 //! * [`easeml_data`] — datasets and the Appendix-B generator;
 //! * [`easeml_dsl`] — the declarative language and template matcher;
+//! * [`easeml_exec`] — the multi-device discrete-event execution engine
+//!   (heterogeneous fleets, GP-BUCB delayed-feedback dispatch, in-flight
+//!   checkpoint/restore);
 //! * [`easeml_linalg`] — the dense linear-algebra substrate;
 //! * [`easeml_obs`] — zero-cost observability (events, histograms, sinks,
 //!   regret time series);
@@ -24,6 +27,7 @@ pub use easeml;
 pub use easeml_bandit;
 pub use easeml_data;
 pub use easeml_dsl;
+pub use easeml_exec;
 pub use easeml_gp;
 pub use easeml_linalg;
 pub use easeml_obs;
