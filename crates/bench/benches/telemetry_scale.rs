@@ -1,0 +1,67 @@
+//! Telemetry-at-scale sweep: per-event fold cost, recorder footprint, and
+//! `/metrics` body size of the aggregate-mode `TimeSeriesRecorder` at
+//! U ∈ {1k, 10k, 100k} tenants.
+//!
+//! The point of the sketch layer is that all three columns on the right
+//! are *flat* in U: the per-strategy quantile sketches, the top-K
+//! offender trackers, and the exemplar reservoir are all fixed-size, so a
+//! 100x tenant-count jump moves neither the recorder state nor the
+//! scrape body. The run asserts exactly that, then writes
+//! `telemetry_scale.perf.json` so `scripts/bench_snapshot_diff.sh` can
+//! diff the per-event fold quantiles across commits like any other
+//! component.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use easeml_bench::{banner, telemetry_scale_sweep, telemetry_snapshot};
+
+fn scale_report(_c: &mut Criterion) {
+    banner(
+        "Telemetry",
+        "Constant-memory telemetry: fold cost and state size vs tenant count",
+    );
+    let events = 200_000;
+    let rows = telemetry_scale_sweep(&[1_000, 10_000, 100_000], events);
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>12} {:>14}",
+        "users", "events", "fold p50 ns", "fold p95 ns", "state bytes", "metrics bytes"
+    );
+    for row in &rows {
+        println!(
+            "{:>8} {:>10} {:>12.0} {:>12.0} {:>12} {:>14}",
+            row.users,
+            row.events,
+            row.fold_p50_ns,
+            row.fold_p95_ns,
+            row.state_bytes,
+            row.metrics_bytes
+        );
+    }
+    // Boundedness is one-sided: the footprint must not *grow* with the
+    // tenant count. (It may shrink — with a fixed event budget a small U
+    // gives every exemplar tenant a longer curve window.)
+    let (small, large) = (rows.first().unwrap(), rows.last().unwrap());
+    assert!(
+        large.state_bytes as f64 <= 1.5 * small.state_bytes as f64,
+        "recorder state grew with U: {} bytes at U={} vs {} bytes at U={}",
+        large.state_bytes,
+        large.users,
+        small.state_bytes,
+        small.users
+    );
+    assert!(
+        large.metrics_bytes as f64 <= 1.5 * small.metrics_bytes as f64,
+        "/metrics body grew with U: {} bytes at U={} vs {} bytes at U={}",
+        large.metrics_bytes,
+        large.users,
+        small.metrics_bytes,
+        small.users
+    );
+    println!("\nstate and /metrics body bounded across a 100x tenant sweep: ok");
+    match telemetry_snapshot("telemetry_scale", &rows) {
+        Some(p) => println!("perf snapshot: {}", p.display()),
+        None => println!("perf snapshot: skipped (filesystem unavailable)"),
+    }
+}
+
+criterion_group!(benches, scale_report);
+criterion_main!(benches);

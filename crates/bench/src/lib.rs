@@ -358,6 +358,126 @@ pub fn exec_snapshot(id: &str, rows: &[ExecScalingRow]) -> Option<std::path::Pat
     report::write_artifact(&format!("{id}.perf.json"), &json).ok()
 }
 
+/// One row of the telemetry-scale sweep: how the aggregate-mode recorder
+/// behaves as the tenant count grows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryScaleRow {
+    /// Tenant count U of this run.
+    pub users: usize,
+    /// Events folded into the recorder.
+    pub events: usize,
+    /// Per-event fold latency samples taken.
+    pub fold_count: u64,
+    /// Median per-event fold latency, nanoseconds.
+    pub fold_p50_ns: f64,
+    /// 95th-percentile per-event fold latency, nanoseconds.
+    pub fold_p95_ns: f64,
+    /// Worst per-event fold latency, nanoseconds.
+    pub fold_max_ns: u64,
+    /// Estimated recorder state footprint after the fold, bytes. In
+    /// aggregate mode this must stay bounded as U grows.
+    pub state_bytes: usize,
+    /// Size of the rendered `/metrics` body, bytes. Bounded families keep
+    /// this independent of U.
+    pub metrics_bytes: usize,
+}
+
+/// Folds a synthetic `events_per_run`-event stream over `U` tenants into
+/// an aggregate-mode [`easeml_obs::TimeSeriesRecorder`] for each tenant
+/// count, timing every fold and measuring the resulting state and
+/// `/metrics` body sizes — the constant-memory-telemetry gate of the
+/// scale work. The stream mixes `TrainingCompleted` runs (random tenant,
+/// random cost/quality) with periodic `SchedulerDecision`s cycling
+/// through three rule labels, so the per-strategy sketches, top-K
+/// offenders, and exemplar reservoir all engage.
+pub fn telemetry_scale_sweep(
+    tenant_counts: &[usize],
+    events_per_run: usize,
+) -> Vec<TelemetryScaleRow> {
+    use easeml_obs::{Event, Histogram, InMemoryRecorder, ScaleConfig, TimeSeriesRecorder};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::time::Instant;
+
+    const RULES: [&str; 3] = ["hybrid", "greedy(max-gap)", "round-robin"];
+    tenant_counts
+        .iter()
+        .map(|&users| {
+            let recorder = TimeSeriesRecorder::aggregate(ScaleConfig::default());
+            recorder.set_default_target(0.95);
+            let mut rng = StdRng::seed_from_u64(seed() ^ users as u64);
+            let mut fold = Histogram::new();
+            for i in 0..events_per_run {
+                let user = rng.gen_range(0..users.max(1));
+                let event = if i % 16 == 0 {
+                    Event::SchedulerDecision {
+                        round: i as u64,
+                        user,
+                        rule: RULES[(i / 16) % RULES.len()].to_string(),
+                        scores: Vec::new(),
+                        parent: 0,
+                    }
+                } else {
+                    Event::TrainingCompleted {
+                        user,
+                        model: i % 20,
+                        cost: rng.gen_range(0.5..1.5),
+                        quality: rng.gen_range(0.0..1.0),
+                        parent: 0,
+                    }
+                };
+                let t = Instant::now();
+                recorder.fold(&event);
+                fold.record(t.elapsed().as_nanos() as u64);
+            }
+            let snapshot = recorder.snapshot();
+            let body = easeml_obs_http::render_metrics(&InMemoryRecorder::new(), Some(&snapshot));
+            TelemetryScaleRow {
+                users,
+                events: events_per_run,
+                fold_count: fold.count(),
+                fold_p50_ns: fold.quantile_ns(0.5),
+                fold_p95_ns: fold.quantile_ns(0.95),
+                fold_max_ns: fold.max_ns(),
+                state_bytes: recorder.approx_state_bytes(),
+                metrics_bytes: body.len(),
+            }
+        })
+        .collect()
+}
+
+/// Writes the telemetry-scale rows as `<id>.perf.json` under
+/// `target/experiments/`, one component row per tenant count named
+/// `telemetry/fold@u=N`. The rows carry the same `count`/`p50_ns`/
+/// `p95_ns`/`max_ns` keys `scripts/bench_snapshot_diff.sh` diffs, plus
+/// `state_bytes`/`metrics_bytes` for the boundedness check (the differ
+/// ignores keys it does not know).
+///
+/// Returns the perf-json path, or `None` when the filesystem is
+/// unavailable.
+pub fn telemetry_snapshot(id: &str, rows: &[TelemetryScaleRow]) -> Option<std::path::PathBuf> {
+    use std::fmt::Write as _;
+
+    let mut json = String::from("{\n  \"components\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"telemetry/fold@u={}\", \"count\": {}, \"p50_ns\": {:.0}, \
+             \"p95_ns\": {:.0}, \"max_ns\": {}, \"state_bytes\": {}, \"metrics_bytes\": {}}}{}",
+            row.users,
+            row.fold_count,
+            row.fold_p50_ns,
+            row.fold_p95_ns,
+            row.fold_max_ns,
+            row.state_bytes,
+            row.metrics_bytes,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    report::write_artifact(&format!("{id}.perf.json"), &json).ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,5 +488,45 @@ mod tests {
         // the defaults are sane when unset or the parse falls back.
         assert!(reps() > 0);
         let _ = seed();
+    }
+
+    #[test]
+    fn telemetry_sweep_state_is_bounded_in_tenant_count() {
+        let rows = telemetry_scale_sweep(&[10, 1_000], 2_000);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.fold_count, 2_000);
+            assert!(row.state_bytes > 0 && row.metrics_bytes > 0);
+        }
+        // Aggregate mode: a 100x tenant-count jump must not move the
+        // recorder footprint or the /metrics body by more than a small
+        // constant factor (exemplar identity strings and top-K labels
+        // may differ slightly in length).
+        let ratio = rows[1].state_bytes as f64 / rows[0].state_bytes as f64;
+        assert!(
+            ratio < 1.5,
+            "state bytes must be ~flat across U: {} -> {} ({ratio:.2}x)",
+            rows[0].state_bytes,
+            rows[1].state_bytes
+        );
+        let body_ratio = rows[1].metrics_bytes as f64 / rows[0].metrics_bytes as f64;
+        assert!(
+            body_ratio < 1.5,
+            "/metrics body must be ~flat across U: {} -> {} ({body_ratio:.2}x)",
+            rows[0].metrics_bytes,
+            rows[1].metrics_bytes
+        );
+    }
+
+    #[test]
+    fn telemetry_snapshot_rows_feed_the_perf_differ() {
+        let rows = telemetry_scale_sweep(&[50], 400);
+        let path = telemetry_snapshot("telemetry_scale_test", &rows)
+            .expect("target/experiments must be writable in tests");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"name\": \"telemetry/fold@u=50\""));
+        assert!(body.contains("\"p50_ns\""), "differ keys off p50_ns lines");
+        assert!(body.contains("\"state_bytes\""));
+        let _ = std::fs::remove_file(path);
     }
 }

@@ -36,7 +36,64 @@ use serde::Serialize;
 use std::collections::BTreeMap;
 
 /// Current execution-checkpoint format version.
-pub const EXEC_CHECKPOINT_VERSION: u32 = 1;
+///
+/// v2 added the bounded queueing-delay / busy-span quantile sketches.
+pub const EXEC_CHECKPOINT_VERSION: u32 = 2;
+
+/// A bounded quantile sketch's exported state (mirrors
+/// [`easeml_obs::SketchParts`]).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SketchCheckpoint {
+    /// Relative-error target α.
+    pub alpha: f64,
+    /// Live-bucket cap.
+    pub max_buckets: u64,
+    /// `(bucket index, count)` pairs, ascending by index.
+    pub buckets: Vec<(i32, u64)>,
+    /// Observations at or below the zero noise floor.
+    pub zeros: u64,
+    /// Rejected observations.
+    pub rejected: u64,
+    /// Observations whose bucket was collapsed by the cap.
+    pub collapsed: u64,
+    /// Sum of accepted observations.
+    pub sum: f64,
+    /// Smallest accepted observation (`None` when empty).
+    pub min: Option<f64>,
+    /// Largest accepted observation (`None` when empty).
+    pub max: Option<f64>,
+}
+
+impl SketchCheckpoint {
+    fn of(sketch: &easeml_obs::QuantileSketch) -> Self {
+        let parts = sketch.to_parts();
+        SketchCheckpoint {
+            alpha: parts.alpha,
+            max_buckets: parts.max_buckets as u64,
+            buckets: parts.buckets,
+            zeros: parts.zeros,
+            rejected: parts.rejected,
+            collapsed: parts.collapsed,
+            sum: parts.sum,
+            min: parts.min,
+            max: parts.max,
+        }
+    }
+
+    fn to_sketch(&self) -> easeml_obs::QuantileSketch {
+        easeml_obs::QuantileSketch::from_parts(&easeml_obs::SketchParts {
+            alpha: self.alpha,
+            max_buckets: self.max_buckets as usize,
+            buckets: self.buckets.clone(),
+            zeros: self.zeros,
+            rejected: self.rejected,
+            collapsed: self.collapsed,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+        })
+    }
+}
 
 /// One device's spec and runtime accounting.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -203,6 +260,10 @@ pub struct ExecCheckpoint {
     pub hybrid: Option<HybridCheckpoint>,
     /// Fault injector, if one is attached.
     pub fault: Option<FaultStateCheckpoint>,
+    /// Queueing-delay sketch accrued so far.
+    pub queueing_delay: SketchCheckpoint,
+    /// Busy-span sketch accrued so far.
+    pub busy_spans: SketchCheckpoint,
 }
 
 fn rates_to_array(r: FaultRates) -> [f64; 4] {
@@ -349,6 +410,8 @@ impl ExecEngine<'_> {
             board_done,
             hybrid,
             fault,
+            queueing_delay: SketchCheckpoint::of(&self.queueing_delay),
+            busy_spans: SketchCheckpoint::of(&self.busy_spans),
         }
     }
 
@@ -508,6 +571,8 @@ impl ExecEngine<'_> {
         engine.best_seen = ck.best_seen.clone();
         engine.user_cost = ck.user_cost.clone();
         engine.points = ck.points.clone();
+        engine.queueing_delay = ck.queueing_delay.to_sketch();
+        engine.busy_spans = ck.busy_spans.to_sketch();
         Ok(engine)
     }
 }
@@ -657,8 +722,41 @@ impl ExecCheckpoint {
             board_done,
             hybrid,
             fault,
+            queueing_delay: parse_sketch(get(fields, "queueing_delay")?, "queueing_delay")?,
+            busy_spans: parse_sketch(get(fields, "busy_spans")?, "busy_spans")?,
         })
     }
+}
+
+fn parse_sketch(value: &Json, what: &str) -> Result<SketchCheckpoint, String> {
+    let f = as_object(value, what)?;
+    let buckets = as_array(get(f, "buckets")?, "buckets")?
+        .iter()
+        .map(|pair| {
+            let (index, count) = parse_f64_pair(pair, "sketch bucket")?;
+            if index.fract() != 0.0 || count < 0.0 || count.fract() != 0.0 {
+                return Err(format!("{what}: malformed sketch bucket"));
+            }
+            Ok((index as i32, count as u64))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let opt_f64 = |key: &str| -> Result<Option<f64>, String> {
+        match get(f, key)? {
+            Json::Null => Ok(None),
+            value => as_f64(value, key).map(Some),
+        }
+    };
+    Ok(SketchCheckpoint {
+        alpha: get_f64(f, "alpha")?,
+        max_buckets: get_u64(f, "max_buckets")?,
+        buckets,
+        zeros: get_u64(f, "zeros")?,
+        rejected: get_u64(f, "rejected")?,
+        collapsed: get_u64(f, "collapsed")?,
+        sum: get_f64(f, "sum")?,
+        min: opt_f64("min")?,
+        max: opt_f64("max")?,
+    })
 }
 
 fn get<'a>(fields: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {

@@ -25,7 +25,7 @@ use easeml_bandit::GpBucb;
 use easeml_data::Dataset;
 use easeml_gp::ArmPrior;
 use easeml_linalg::vec_ops;
-use easeml_obs::{Component, Event, RecorderHandle};
+use easeml_obs::{Component, Event, QuantileSketch, RecorderHandle};
 use easeml_sched::{Fcfs, Greedy, Hybrid, RandomPicker, RoundRobin, Tenant, UserPicker};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -121,6 +121,12 @@ pub struct ExecTrace {
     pub user_cost: Vec<f64>,
     /// Total cost charged across all users.
     pub total_charged: f64,
+    /// Mergeable quantile sketch over the fully-idle gaps devices sat
+    /// through before their next dispatch — the queueing-delay
+    /// distribution (same sketch family the telemetry layer exports).
+    pub queueing_delay: QuantileSketch,
+    /// Mergeable quantile sketch over per-run device occupancy durations.
+    pub busy_spans: QuantileSketch,
 }
 
 /// The multi-device discrete-event execution engine.
@@ -156,6 +162,8 @@ pub struct ExecEngine<'a> {
     pub(crate) initial_loss: f64,
     pub(crate) points: Vec<(f64, f64)>,
     pub(crate) events: Vec<SimEvent>,
+    pub(crate) queueing_delay: QuantileSketch,
+    pub(crate) busy_spans: QuantileSketch,
     pub(crate) recorder: RecorderHandle,
 }
 
@@ -228,6 +236,8 @@ impl<'a> ExecEngine<'a> {
             initial_loss: 0.0,
             points: Vec::new(),
             events: Vec::new(),
+            queueing_delay: QuantileSketch::default(),
+            busy_spans: QuantileSketch::default(),
             recorder,
         };
         engine.warm_up();
@@ -354,6 +364,7 @@ impl<'a> ExecEngine<'a> {
             0.0
         };
         if let Some(gap) = self.fleet.occupy(device, self.now) {
+            self.queueing_delay.insert(gap);
             self.recorder.emit(|| Event::DeviceIdle {
                 device,
                 idle: gap,
@@ -361,6 +372,7 @@ impl<'a> ExecEngine<'a> {
                 parent: easeml_obs::current_span(),
             });
         }
+        self.busy_spans.insert(duration);
         self.board.start(user, model);
         if charge.is_finite() && charge > 0.0 {
             self.committed += charge;
@@ -509,6 +521,8 @@ impl<'a> ExecEngine<'a> {
             censored: self.censored,
             user_cost: self.user_cost,
             total_charged: self.committed,
+            queueing_delay: self.queueing_delay,
+            busy_spans: self.busy_spans,
         }
     }
 

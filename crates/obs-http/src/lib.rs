@@ -39,17 +39,17 @@
 mod http;
 mod render;
 
-use easeml_obs::{InMemoryRecorder, TimeSeriesRecorder};
+use easeml_obs::{InMemoryRecorder, JsonlFileSink, TimeSeriesRecorder};
 use parking_lot::Mutex;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 pub use http::{parse_request_line, read_request, write_response, Request, Status};
-pub use render::render_metrics;
+pub use render::{render_metrics, render_metrics_full, RenderOptions, DEFAULT_PER_USER_CAP};
 
 /// How long a connection may dribble its request in before being dropped.
 const READ_TIMEOUT: Duration = Duration::from_secs(2);
@@ -63,6 +63,10 @@ const READ_TIMEOUT: Duration = Duration::from_secs(2);
 pub struct TelemetryHub {
     recorder: Arc<InMemoryRecorder>,
     series: Option<Arc<TimeSeriesRecorder>>,
+    sinks: Vec<(String, Arc<JsonlFileSink>)>,
+    render_opts: RenderOptions,
+    render_ns: AtomicU64,
+    renders: AtomicU64,
     status_json: Mutex<String>,
 }
 
@@ -72,6 +76,10 @@ impl TelemetryHub {
         TelemetryHub {
             recorder,
             series: None,
+            sinks: Vec::new(),
+            render_opts: RenderOptions::default(),
+            render_ns: AtomicU64::new(0),
+            renders: AtomicU64::new(0),
             status_json: Mutex::new("{}".to_string()),
         }
     }
@@ -80,6 +88,20 @@ impl TelemetryHub {
     /// per-tenant regret / cost / arm-pull families.
     pub fn with_series(mut self, series: Arc<TimeSeriesRecorder>) -> Self {
         self.series = Some(series);
+        self
+    }
+
+    /// Registers a file sink whose byte/line/drop/rotation counters appear
+    /// on `/metrics` as `easeml_sink_*{sink="<name>"}` families.
+    pub fn with_sink_stats(mut self, name: impl Into<String>, sink: Arc<JsonlFileSink>) -> Self {
+        self.sinks.push((name.into(), sink));
+        self
+    }
+
+    /// Overrides the default [`RenderOptions`] (e.g. the per-user
+    /// cardinality cap for `easeml_user_*` families).
+    pub fn with_render_options(mut self, opts: RenderOptions) -> Self {
+        self.render_opts = opts;
         self
     }
 
@@ -99,10 +121,32 @@ impl TelemetryHub {
         *self.status_json.lock() = json;
     }
 
-    /// Renders the `/metrics` payload.
+    /// Renders the `/metrics` payload. Each call also feeds the hub's own
+    /// `easeml_telemetry_overhead_ns_total{component="http/render"}`
+    /// self-accounting, so the cost of observing is itself observable.
     pub fn render_metrics(&self) -> String {
+        let started = Instant::now();
         let snapshot = self.series.as_ref().map(|s| s.snapshot());
-        render::render_metrics(&self.recorder, snapshot.as_ref())
+        let sink_stats: Vec<(String, easeml_obs::SinkStats)> = self
+            .sinks
+            .iter()
+            .map(|(name, sink)| (name.clone(), sink.stats()))
+            .collect();
+        let render_self = (
+            self.render_ns.load(Ordering::Relaxed),
+            self.renders.load(Ordering::Relaxed),
+        );
+        let body = render::render_metrics_full(
+            &self.recorder,
+            snapshot.as_ref(),
+            &sink_stats,
+            render_self,
+            &self.render_opts,
+        );
+        let elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.render_ns.fetch_add(elapsed, Ordering::Relaxed);
+        self.renders.fetch_add(1, Ordering::Relaxed);
+        body
     }
 
     /// The current `/status` payload.
@@ -361,6 +405,51 @@ mod tests {
         assert!(head.starts_with("HTTP/1.1 400"), "{head}");
         let (head, _) = get(addr, "/trace?limit=abc");
         assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+    }
+
+    #[test]
+    fn sink_and_render_self_accounting_flow_to_metrics() {
+        let dir = std::env::temp_dir().join(format!("easeml-hub-sink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let sink = Arc::new(easeml_obs::JsonlFileSink::create(&path).unwrap());
+        let recorder = Arc::new(InMemoryRecorder::new());
+        let tee = easeml_obs::TeeRecorder::new(recorder.clone()).with_sink(sink.clone());
+        for arm in 0..3usize {
+            tee.record(Event::TrainingCompleted {
+                user: arm,
+                model: arm,
+                cost: 1.0,
+                quality: 0.7,
+                parent: 0,
+            });
+        }
+        let hub = Arc::new(TelemetryHub::new(recorder).with_sink_stats("trace", sink));
+        let server = TelemetryServer::serve("127.0.0.1:0", hub).unwrap();
+        let addr = server.local_addr();
+
+        let (_, body) = get(addr, "/metrics");
+        assert!(
+            body.contains("easeml_sink_lines_total{sink=\"trace\"} 3"),
+            "{body}"
+        );
+        assert!(
+            body.contains("easeml_sink_dropped_total{sink=\"trace\"} 0"),
+            "{body}"
+        );
+        assert!(
+            body.contains("easeml_sink_rotations_total{sink=\"trace\"} 0"),
+            "{body}"
+        );
+        // The first render reports zero renders; the second sees the first.
+        let (_, body) = get(addr, "/metrics");
+        assert!(body.contains("easeml_telemetry_renders_total 1"), "{body}");
+        assert!(
+            body.contains("easeml_telemetry_overhead_ns_total{component=\"http/render\"}"),
+            "{body}"
+        );
+        drop(server);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,14 +1,59 @@
 //! Rendering recorder state in the Prometheus text exposition format
 //! (version 0.0.4): `# HELP` / `# TYPE` headers, cumulative `le=` histogram
 //! buckets with a closing `+Inf`, and escaped label values.
+//!
+//! Per-tenant families (`easeml_user_*`) are *capped*: they render only
+//! while the snapshot holds at most [`RenderOptions::per_user_cap`]
+//! tenants, so the `/metrics` body cannot grow O(U) with the tenant
+//! population. Past the cap, the bounded families — regret/cost/quality
+//! quantiles, top-K offenders, and telemetry self-accounting — are the
+//! only per-tenant-derived output, keeping the body a constant.
 
-use easeml_obs::{Component, Histogram, InMemoryRecorder, TimeSeriesSnapshot};
+use easeml_obs::{Component, Histogram, InMemoryRecorder, SinkStats, TimeSeriesSnapshot};
 use std::fmt::Write as _;
 
+/// Default cap on tenants in the per-user metric families: beyond this
+/// the unbounded `easeml_user_*` families are suppressed in favor of the
+/// quantile + top-K rendering.
+pub const DEFAULT_PER_USER_CAP: usize = 100;
+
+/// The quantiles rendered for every sketch-backed family.
+const QUANTILES: [(f64, &str); 4] = [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99"), (1.0, "1")];
+
+/// Knobs for the `/metrics` rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenderOptions {
+    /// Per-family cardinality cap: `easeml_user_*` families render only
+    /// when the snapshot tracks at most this many tenants.
+    pub per_user_cap: usize,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            per_user_cap: DEFAULT_PER_USER_CAP,
+        }
+    }
+}
+
 /// Renders the full `/metrics` payload from an in-memory recorder plus an
-/// optional time-series snapshot (per-tenant regret/cost/arm-pull series
-/// are only available when one is attached).
+/// optional time-series snapshot, with default options and no sink or
+/// exporter self-accounting.
 pub fn render_metrics(recorder: &InMemoryRecorder, series: Option<&TimeSeriesSnapshot>) -> String {
+    render_metrics_full(recorder, series, &[], (0, 0), &RenderOptions::default())
+}
+
+/// The full rendering entry point: `sinks` contributes per-sink
+/// self-accounting families, `render_self` is `(cumulative ns, count)` of
+/// previous `/metrics` renders (the exporter accounting for itself), and
+/// `opts` caps the per-tenant families.
+pub fn render_metrics_full(
+    recorder: &InMemoryRecorder,
+    series: Option<&TimeSeriesSnapshot>,
+    sinks: &[(String, SinkStats)],
+    render_self: (u64, u64),
+    opts: &RenderOptions,
+) -> String {
     let mut out = String::new();
 
     write_header(
@@ -69,8 +114,9 @@ pub fn render_metrics(recorder: &InMemoryRecorder, series: Option<&TimeSeriesSna
     render_latency_histograms(&mut out, recorder);
 
     if let Some(snap) = series {
-        render_series(&mut out, snap);
+        render_series(&mut out, snap, opts);
     }
+    render_telemetry_overhead(&mut out, series, sinks, render_self);
 
     out
 }
@@ -129,7 +175,252 @@ fn render_latency_histograms(out: &mut String, recorder: &InMemoryRecorder) {
     }
 }
 
-fn render_series(out: &mut String, snap: &TimeSeriesSnapshot) {
+/// A rendered metric family driven by an accessor on a stats group:
+/// (family name, HELP text, accessor).
+type FamilySpec<S, V> = (&'static str, &'static str, fn(&S) -> V);
+
+/// As [`FamilySpec`], but the accessor borrows a sketch out of the
+/// per-strategy group (the elided lifetimes tie input to output).
+type SketchFamilySpec = (
+    &'static str,
+    &'static str,
+    fn(&easeml_obs::StrategySketches) -> &easeml_obs::QuantileSketch,
+);
+
+/// The sketch-backed bounded families: per-strategy quantiles and top-K
+/// offender boards. Body size depends only on the strategy count, the
+/// quantile list, and K — never on the tenant population.
+fn render_scale_families(out: &mut String, snap: &TimeSeriesSnapshot) {
+    let scale = &snap.scale;
+    let sketched: Vec<(&String, &easeml_obs::StrategySketches)> = scale
+        .strategies
+        .iter()
+        .filter(|(_, g)| g.regret.count() > 0 || g.cost.count() > 0 || g.quality.count() > 0)
+        .collect();
+    if !sketched.is_empty() {
+        let families: [SketchFamilySpec; 3] = [
+            (
+                "easeml_regret_quantile",
+                "Quantiles of per-run regret observations (target minus quality; censored runs observe full regret).",
+                |g| &g.regret,
+            ),
+            (
+                "easeml_cost_quantile",
+                "Quantiles of per-run charged cost.",
+                |g| &g.cost,
+            ),
+            (
+                "easeml_quality_quantile",
+                "Quantiles of per-run observed quality (completed runs).",
+                |g| &g.quality,
+            ),
+        ];
+        for (name, help, pick) in families {
+            if !sketched.iter().any(|(_, g)| pick(g).count() > 0) {
+                continue;
+            }
+            write_header(out, name, "gauge", help);
+            for (strategy, group) in &sketched {
+                let sketch = pick(group);
+                if sketch.count() == 0 {
+                    continue;
+                }
+                let strategy = escape_label(strategy);
+                for (q, q_label) in QUANTILES {
+                    let Some(value) = sketch.quantile(q) else {
+                        continue;
+                    };
+                    let _ = writeln!(
+                        out,
+                        "{name}{{strategy=\"{strategy}\",q=\"{q_label}\"}} {}",
+                        fmt_f64(value)
+                    );
+                }
+            }
+        }
+        write_header(
+            out,
+            "easeml_run_observations_total",
+            "counter",
+            "Training-run observations folded into the sketches, by scheduler strategy.",
+        );
+        for (strategy, group) in &sketched {
+            let _ = writeln!(
+                out,
+                "easeml_run_observations_total{{strategy=\"{}\"}} {}",
+                escape_label(strategy),
+                group.regret.count()
+            );
+        }
+    }
+
+    for (name, help, board) in [
+        (
+            "easeml_regret_topk",
+            "Worst tenants by cost-weighted regret (Space-Saving over-estimate).",
+            &scale.worst_regret,
+        ),
+        (
+            "easeml_cost_topk",
+            "Worst tenants by charged cost (Space-Saving over-estimate).",
+            &scale.worst_cost,
+        ),
+    ] {
+        if board.is_empty() {
+            continue;
+        }
+        write_header(out, name, "gauge", help);
+        for (rank, entry) in board.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{name}{{user=\"{}\",rank=\"{}\"}} {}",
+                entry.user,
+                rank + 1,
+                fmt_f64(entry.weight)
+            );
+        }
+    }
+}
+
+/// Telemetry self-accounting: what the pipeline itself costs, what the
+/// aggregate mode sampled away, and what each sink wrote or lost.
+fn render_telemetry_overhead(
+    out: &mut String,
+    series: Option<&TimeSeriesSnapshot>,
+    sinks: &[(String, SinkStats)],
+    render_self: (u64, u64),
+) {
+    write_header(
+        out,
+        "easeml_telemetry_overhead_ns_total",
+        "counter",
+        "Wall-clock nanoseconds the telemetry pipeline spent on itself, per component.",
+    );
+    if let Some(snap) = series {
+        let _ = writeln!(
+            out,
+            "easeml_telemetry_overhead_ns_total{{component=\"timeseries/fold\"}} {}",
+            snap.scale.overhead.fold_ns
+        );
+    }
+    let _ = writeln!(
+        out,
+        "easeml_telemetry_overhead_ns_total{{component=\"http/render\"}} {}",
+        render_self.0
+    );
+    for (name, stats) in sinks {
+        let _ = writeln!(
+            out,
+            "easeml_telemetry_overhead_ns_total{{component=\"sink/{}\"}} {}",
+            escape_label(name),
+            stats.append_ns
+        );
+    }
+
+    if let Some(snap) = series {
+        let overhead = &snap.scale.overhead;
+        write_header(
+            out,
+            "easeml_telemetry_events_total",
+            "counter",
+            "Events folded by the time-series recorder, by disposition: sampled \
+             events updated an exemplar tenant series, dropped events reached \
+             only the bounded sketches.",
+        );
+        let _ = writeln!(
+            out,
+            "easeml_telemetry_events_total{{disposition=\"folded\"}} {}",
+            overhead.events_folded
+        );
+        let _ = writeln!(
+            out,
+            "easeml_telemetry_events_total{{disposition=\"sampled\"}} {}",
+            overhead.events_sampled
+        );
+        let _ = writeln!(
+            out,
+            "easeml_telemetry_events_total{{disposition=\"dropped\"}} {}",
+            overhead.events_dropped
+        );
+
+        write_header(
+            out,
+            "easeml_telemetry_exemplar_evictions_total",
+            "counter",
+            "Exemplar tenant curves evicted by reservoir replacement.",
+        );
+        let _ = writeln!(
+            out,
+            "easeml_telemetry_exemplar_evictions_total {}",
+            overhead.exemplar_evictions
+        );
+    }
+
+    write_header(
+        out,
+        "easeml_telemetry_renders_total",
+        "counter",
+        "Completed /metrics renders.",
+    );
+    let _ = writeln!(out, "easeml_telemetry_renders_total {}", render_self.1);
+
+    if let Some(snap) = series {
+        write_header(
+            out,
+            "easeml_telemetry_state_bytes",
+            "gauge",
+            "Approximate in-memory footprint of the time-series recorder.",
+        );
+        let _ = writeln!(
+            out,
+            "easeml_telemetry_state_bytes {}",
+            snap.scale.approx_state_bytes
+        );
+    }
+
+    if !sinks.is_empty() {
+        render_sink_stats(out, sinks);
+    }
+}
+
+/// Per-sink write/loss counters, so silent trace loss shows on `/metrics`.
+fn render_sink_stats(out: &mut String, sinks: &[(String, SinkStats)]) {
+    let families: [FamilySpec<SinkStats, u64>; 4] = [
+        (
+            "easeml_sink_bytes_total",
+            "Bytes written by the sink across all rotated segments.",
+            |s| s.bytes_total,
+        ),
+        (
+            "easeml_sink_lines_total",
+            "Event lines written by the sink across all rotated segments.",
+            |s| s.lines_total,
+        ),
+        (
+            "easeml_sink_dropped_total",
+            "Event lines dropped by the sink on I/O errors (trace loss).",
+            |s| s.dropped,
+        ),
+        (
+            "easeml_sink_rotations_total",
+            "Segment rotations performed by the sink.",
+            |s| s.rotations,
+        ),
+    ];
+    for (name, help, pick) in families {
+        write_header(out, name, "counter", help);
+        for (sink, stats) in sinks {
+            let _ = writeln!(
+                out,
+                "{name}{{sink=\"{}\"}} {}",
+                escape_label(sink),
+                pick(stats)
+            );
+        }
+    }
+}
+
+fn render_series(out: &mut String, snap: &TimeSeriesSnapshot, opts: &RenderOptions) {
     write_header(
         out,
         "easeml_sim_clock",
@@ -186,7 +477,29 @@ fn render_series(out: &mut String, snap: &TimeSeriesSnapshot) {
         fmt_f64(snap.fallback_rate())
     );
 
+    render_scale_families(out, snap);
+
+    write_header(
+        out,
+        "easeml_tracked_tenants",
+        "gauge",
+        "Tenants with a materialized per-user series (exemplars only in aggregate mode).",
+    );
+    let _ = writeln!(out, "easeml_tracked_tenants {}", snap.users.len());
+
     if snap.users.is_empty() {
+        return;
+    }
+    // Cardinality guard: unbounded per-tenant families are opt-in via the
+    // cap. Past it, the bounded families above are the whole story.
+    if snap.users.len() > opts.per_user_cap {
+        let _ = writeln!(
+            out,
+            "# easeml_user_* families suppressed: {} tenants exceed per_user_cap {}; \
+             use the quantile and top-K families instead.",
+            snap.users.len(),
+            opts.per_user_cap
+        );
         return;
     }
 
@@ -441,6 +754,130 @@ mod tests {
         );
         assert!(text.contains("easeml_sim_clock 3.5"), "{text}");
         assert!(text.contains("easeml_fallback_active 0"), "{text}");
+    }
+
+    #[test]
+    fn scale_families_render_quantiles_topk_and_overhead() {
+        let ts = TimeSeriesRecorder::new();
+        ts.fold(&Event::SchedulerDecision {
+            round: 0,
+            user: 0,
+            rule: "hybrid".into(),
+            scores: vec![],
+            parent: 0,
+        });
+        for i in 0..20 {
+            ts.fold(&Event::TrainingCompleted {
+                user: i % 3,
+                model: i % 2,
+                cost: 1.0 + i as f64 * 0.1,
+                quality: 0.5,
+                parent: 0,
+            });
+        }
+        let text = render_metrics(&InMemoryRecorder::new(), Some(&ts.snapshot()));
+        for family in [
+            "easeml_regret_quantile{strategy=\"hybrid\",q=\"0.5\"}",
+            "easeml_cost_quantile{strategy=\"hybrid\",q=\"0.99\"}",
+            "easeml_quality_quantile{strategy=\"hybrid\",q=\"0.9\"}",
+            "easeml_run_observations_total{strategy=\"hybrid\"} 20",
+            "easeml_regret_topk{user=\"",
+            "easeml_cost_topk{user=\"",
+            "easeml_telemetry_overhead_ns_total{component=\"timeseries/fold\"}",
+            "easeml_telemetry_events_total{disposition=\"folded\"} 21",
+            "easeml_telemetry_events_total{disposition=\"sampled\"} 20",
+            "easeml_telemetry_state_bytes",
+            "easeml_tracked_tenants 3",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+        // All runs hit quality 0.5 → the regret p50 is ~0.5 within alpha.
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("easeml_regret_quantile{strategy=\"hybrid\",q=\"0.5\"}"))
+            .unwrap();
+        let value: f64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!((value - 0.5).abs() <= 0.01 * 0.5 + 1e-9, "{line}");
+    }
+
+    #[test]
+    fn per_user_families_are_suppressed_past_the_cap() {
+        let ts = TimeSeriesRecorder::new();
+        for user in 0..5 {
+            ts.fold(&Event::TrainingCompleted {
+                user,
+                model: 0,
+                cost: 1.0,
+                quality: 0.5,
+                parent: 0,
+            });
+        }
+        let snap = ts.snapshot();
+        let opts = RenderOptions { per_user_cap: 3 };
+        let capped = render_metrics_full(&InMemoryRecorder::new(), Some(&snap), &[], (0, 0), &opts);
+        // Bounded families still render; unbounded per-user ones do not.
+        assert!(!capped.contains("easeml_user_regret{"), "{capped}");
+        assert!(!capped.contains("easeml_user_arm_pulls_total{"), "{capped}");
+        assert!(capped.contains("easeml_regret_quantile{"), "{capped}");
+        assert!(capped.contains("easeml_tracked_tenants 5"), "{capped}");
+        assert!(
+            capped.contains("# easeml_user_* families suppressed: 5 tenants"),
+            "{capped}"
+        );
+        // Under the cap the per-user families come back.
+        let open = render_metrics_full(
+            &InMemoryRecorder::new(),
+            Some(&snap),
+            &[],
+            (0, 0),
+            &RenderOptions { per_user_cap: 5 },
+        );
+        assert!(open.contains("easeml_user_regret{user=\"4\"}"), "{open}");
+    }
+
+    #[test]
+    fn sink_stats_and_render_self_accounting_render() {
+        let sinks = vec![(
+            "trace".to_string(),
+            SinkStats {
+                bytes_total: 4096,
+                lines_total: 37,
+                dropped: 2,
+                rotations: 1,
+                append_ns: 999,
+            },
+        )];
+        let ts = TimeSeriesRecorder::new();
+        let text = render_metrics_full(
+            &InMemoryRecorder::new(),
+            Some(&ts.snapshot()),
+            &sinks,
+            (12345, 7),
+            &RenderOptions::default(),
+        );
+        for line in [
+            "easeml_sink_bytes_total{sink=\"trace\"} 4096",
+            "easeml_sink_lines_total{sink=\"trace\"} 37",
+            "easeml_sink_dropped_total{sink=\"trace\"} 2",
+            "easeml_sink_rotations_total{sink=\"trace\"} 1",
+            "easeml_telemetry_overhead_ns_total{component=\"sink/trace\"} 999",
+            "easeml_telemetry_overhead_ns_total{component=\"http/render\"} 12345",
+            "easeml_telemetry_renders_total 7",
+        ] {
+            assert!(text.contains(line), "missing {line} in:\n{text}");
+        }
+        // Without a series snapshot the sink families still render.
+        let bare = render_metrics_full(
+            &InMemoryRecorder::new(),
+            None,
+            &sinks,
+            (0, 0),
+            &RenderOptions::default(),
+        );
+        assert!(
+            bare.contains("easeml_sink_dropped_total{sink=\"trace\"} 2"),
+            "{bare}"
+        );
     }
 
     #[test]

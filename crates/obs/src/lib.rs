@@ -65,6 +65,7 @@ pub mod json;
 mod memory;
 mod recorder;
 mod sink;
+mod sketch;
 mod span;
 mod timer;
 mod timeseries;
@@ -73,9 +74,16 @@ pub use event::{Event, TRACE_SCHEMA_VERSION};
 pub use memory::{Histogram, InMemoryRecorder, UserStats};
 pub use recorder::{Component, NoopRecorder, Recorder, RecorderHandle};
 pub use sink::{
-    schema_header_line, JsonlFileSink, StreamingSink, TeeRecorder, DEFAULT_KEEP_ROTATED,
+    schema_header_line, JsonlFileSink, SinkStats, StreamingSink, TeeRecorder, DEFAULT_KEEP_ROTATED,
     DEFAULT_MAX_FILE_BYTES,
+};
+pub use sketch::{
+    HeavyHitter, QuantileSketch, Reservoir, ReservoirOutcome, SketchParts, SpaceSaving,
+    DEFAULT_SKETCH_ALPHA, DEFAULT_SKETCH_MAX_BUCKETS,
 };
 pub use span::{current_span, trace_ts_ns, SpanGuard};
 pub use timer::{global_handle, global_timer, set_global_recorder, GlobalTimer, ScopedTimer};
-pub use timeseries::{RegretDecomposition, TimeSeriesRecorder, TimeSeriesSnapshot, UserSeries};
+pub use timeseries::{
+    RegretDecomposition, ScaleConfig, ScaleSnapshot, StrategySketches, TelemetryOverhead,
+    TimeSeriesRecorder, TimeSeriesSnapshot, TopTenant, UserSeries,
+};

@@ -59,6 +59,30 @@ struct FileSinkState {
     written: u64,
     rotations: u64,
     dropped: u64,
+    /// Cumulative bytes written across all segments (headers included).
+    bytes_total: u64,
+    /// Cumulative event lines written across all segments.
+    lines_total: u64,
+    /// Cumulative wall-clock nanoseconds spent inside `append`.
+    append_ns: u64,
+}
+
+/// Point-in-time counters of one [`JsonlFileSink`] — the sink accounting
+/// for itself, so silent trace loss (dropped writes, rotated-away
+/// segments) is observable instead of only counted internally.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SinkStats {
+    /// Cumulative bytes written across all segments, headers included.
+    pub bytes_total: u64,
+    /// Cumulative event lines written across all segments.
+    pub lines_total: u64,
+    /// Lines dropped because of I/O errors.
+    pub dropped: u64,
+    /// Times the current segment was rotated out.
+    pub rotations: u64,
+    /// Cumulative wall-clock nanoseconds spent appending (the sink's own
+    /// overhead on the recording path).
+    pub append_ns: u64,
 }
 
 /// A buffered JSON-Lines file sink with size-based rotation.
@@ -99,6 +123,9 @@ impl JsonlFileSink {
                 written,
                 rotations: 0,
                 dropped: 0,
+                bytes_total: written,
+                lines_total: 0,
+                append_ns: 0,
             }),
         })
     }
@@ -126,6 +153,19 @@ impl JsonlFileSink {
     /// How many lines were dropped because of I/O errors.
     pub fn dropped(&self) -> u64 {
         self.state.lock().dropped
+    }
+
+    /// A point-in-time copy of the sink's self-accounting counters, for
+    /// `/metrics` exposure and report header checks.
+    pub fn stats(&self) -> SinkStats {
+        let state = self.state.lock();
+        SinkStats {
+            bytes_total: state.bytes_total,
+            lines_total: state.lines_total,
+            dropped: state.dropped,
+            rotations: state.rotations,
+            append_ns: state.append_ns,
+        }
     }
 
     fn rotated_path(&self, n: usize) -> PathBuf {
@@ -158,6 +198,7 @@ impl JsonlFileSink {
             Ok(file) => {
                 let mut writer = BufWriter::new(file);
                 state.written = write_header(&mut writer);
+                state.bytes_total += state.written;
                 state.writer = Some(writer);
                 state.rotations += 1;
             }
@@ -183,6 +224,7 @@ fn write_header(writer: &mut BufWriter<File>) -> u64 {
 
 impl StreamingSink for JsonlFileSink {
     fn append(&self, seq: u64, event: &Event) {
+        let start = std::time::Instant::now();
         let mut line = String::with_capacity(64);
         line.push_str("{\"seq\":");
         line.push_str(&seq.to_string());
@@ -200,6 +242,8 @@ impl StreamingSink for JsonlFileSink {
             Some(w) => {
                 if w.write_all(line.as_bytes()).is_ok() {
                     state.written += line.len() as u64;
+                    state.bytes_total += line.len() as u64;
+                    state.lines_total += 1;
                     if state.written >= self.max_bytes {
                         self.rotate(&mut state);
                     }
@@ -209,6 +253,7 @@ impl StreamingSink for JsonlFileSink {
             }
             None => state.dropped += 1,
         }
+        state.append_ns += start.elapsed().as_nanos() as u64;
     }
 
     fn flush(&self) {
@@ -462,6 +507,31 @@ mod tests {
         assert!(sink.rotations() > 0);
         assert!(!sink.rotated_path(1).exists());
         assert!(std::fs::metadata(&path).unwrap().len() < 512);
+        drop(sink);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sink_stats_account_for_every_byte_line_and_rotation() {
+        let path = tmp_path("stats");
+        let sink = JsonlFileSink::create(&path).unwrap().with_rotation(512, 1);
+        let total = 50usize;
+        for i in 0..total {
+            sink.append(i as u64 + 1, &sample_event(i));
+        }
+        sink.flush();
+        let stats = sink.stats();
+        assert_eq!(stats.lines_total, total as u64);
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.rotations, sink.rotations());
+        assert!(stats.rotations > 0);
+        assert!(stats.append_ns > 0);
+        // bytes_total is cumulative across segments: it must exceed what
+        // any single surviving segment holds, and equal headers + lines.
+        let header_bytes = (schema_header_line().len() as u64 + 1) * (stats.rotations + 1);
+        assert!(stats.bytes_total > std::fs::metadata(&path).unwrap().len());
+        assert!(stats.bytes_total > header_bytes);
+        let _ = std::fs::remove_file(sink.rotated_path(1));
         drop(sink);
         let _ = std::fs::remove_file(&path);
     }

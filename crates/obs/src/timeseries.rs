@@ -9,15 +9,42 @@
 //! cost), cumulative per-user cost, arm-pull counts, and the
 //! hybrid-fallback rate. It implements both [`Recorder`] (attach it
 //! directly) and [`StreamingSink`] (hang it off a
-//! [`TeeRecorder`](crate::TeeRecorder) next to a file sink), and its
-//! memory footprint is bounded by the sampling interval, not the run
-//! length.
+//! [`TeeRecorder`](crate::TeeRecorder) next to a file sink).
+//!
+//! # Two modes, one fold
+//!
+//! The recorder runs in one of two modes, chosen at construction:
+//!
+//! * **Exact** ([`TimeSeriesRecorder::new`]) keeps one [`UserSeries`] per
+//!   tenant — bit-exact curves and Theorem 1 decompositions, O(U) memory.
+//!   Right for simulations and services with up to a few thousand tenants.
+//! * **Aggregate** ([`TimeSeriesRecorder::aggregate`]) is the
+//!   million-tenant mode: memory is a *constant* governed by the
+//!   [`ScaleConfig`] cardinality budget, independent of the tenant count.
+//!   Per-tenant series exist only for a reservoir-sampled set of exemplar
+//!   tenants; everything else folds into mergeable summaries.
+//!
+//! Both modes additionally maintain the *scale layer*: per-strategy
+//! regret/cost/quality [`QuantileSketch`]es over per-run observations,
+//! Space-Saving top-K worst-regret / worst-cost tenant trackers, and
+//! self-overhead accounting (ns spent folding, events sampled into
+//! exemplar series vs. dropped to sketches only). The per-run regret
+//! observation is `max(target − quality, 0)` — a censored (failed) run
+//! observes quality 0, i.e. full regret — which is O(1) to compute with no
+//! per-tenant state, so the same definition folds identically online, in
+//! aggregate mode, and offline in `easeml-trace`.
 
 use crate::event::Event;
 use crate::recorder::{Component, Recorder};
 use crate::sink::StreamingSink;
+use crate::sketch::{
+    QuantileSketch, Reservoir, ReservoirOutcome, SpaceSaving, DEFAULT_SKETCH_ALPHA,
+    DEFAULT_SKETCH_MAX_BUCKETS,
+};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Cost-weighted cumulative regret split into the two terms of the paper's
 /// Theorem 1 analysis.
@@ -108,6 +135,162 @@ impl UserSeries {
     pub fn regret(&self) -> f64 {
         (self.target - self.best_quality).max(0.0)
     }
+
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + 32 * self.arm_pulls.len() + 16 * self.regret_curve.capacity()
+    }
+}
+
+/// Cardinality budget for [`TimeSeriesRecorder::aggregate`] mode: every
+/// knob that lets per-tenant state grow is bounded here, so the recorder's
+/// memory and the `/metrics` body it feeds are constants independent of
+/// the tenant count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleConfig {
+    /// Hard cap on distinct per-tenant label values the recorder may
+    /// materialize (exemplar curves plus both top-K trackers). The other
+    /// knobs are clamped so `2·topk + exemplars ≤ max_tenant_series`.
+    pub max_tenant_series: usize,
+    /// Relative-error target for the quantile sketches.
+    pub quantile_alpha: f64,
+    /// Bucket cap per quantile sketch (see [`QuantileSketch`]).
+    pub sketch_max_buckets: usize,
+    /// Slots in each Space-Saving worst-regret / worst-cost tracker.
+    pub topk: usize,
+    /// Reservoir size for exemplar tenant curves kept live in aggregate
+    /// mode.
+    pub exemplars: usize,
+    /// Cap on distinct scheduler-rule labels; overflow folds into
+    /// `"other"`.
+    pub max_strategies: usize,
+    /// Seed for the exemplar reservoir's deterministic sampling stream.
+    pub seed: u64,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            max_tenant_series: 128,
+            quantile_alpha: DEFAULT_SKETCH_ALPHA,
+            sketch_max_buckets: DEFAULT_SKETCH_MAX_BUCKETS,
+            topk: 10,
+            exemplars: 8,
+            max_strategies: 8,
+            seed: 0x00ea_5e31,
+        }
+    }
+}
+
+impl ScaleConfig {
+    fn normalized(mut self) -> Self {
+        self.max_tenant_series = self.max_tenant_series.max(3);
+        self.topk = self.topk.clamp(1, self.max_tenant_series / 3);
+        self.exemplars = self
+            .exemplars
+            .clamp(1, self.max_tenant_series - 2 * self.topk);
+        self.max_strategies = self.max_strategies.max(1);
+        self
+    }
+
+    fn sketch(&self) -> QuantileSketch {
+        QuantileSketch::with_max_buckets(self.quantile_alpha, self.sketch_max_buckets)
+    }
+}
+
+/// The quantile sketches folded per scheduler-rule label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategySketches {
+    /// Per-run regret observations `max(target − quality, 0)`; a censored
+    /// run observes full regret.
+    pub regret: QuantileSketch,
+    /// Per-run charged cost (zero-cost runs are skipped: they carry no
+    /// clock signal).
+    pub cost: QuantileSketch,
+    /// Per-run observed quality (completed runs only).
+    pub quality: QuantileSketch,
+}
+
+impl StrategySketches {
+    fn new(cfg: &ScaleConfig) -> Self {
+        StrategySketches {
+            regret: cfg.sketch(),
+            cost: cfg.sketch(),
+            quality: cfg.sketch(),
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.regret.approx_bytes() + self.cost.approx_bytes() + self.quality.approx_bytes()
+    }
+}
+
+/// One entry of a top-K offender ranking: estimated weight over-counts the
+/// truth by at most `error` (the Space-Saving guarantee).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopTenant {
+    /// Tenant index.
+    pub user: usize,
+    /// Estimated accumulated weight (cost, or cost-weighted regret).
+    pub weight: f64,
+    /// Upper bound on the overestimate.
+    pub error: f64,
+}
+
+/// The telemetry pipeline accounting for itself: how much work the
+/// recorder did, and what the aggregate mode sampled away.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TelemetryOverhead {
+    /// Wall-clock nanoseconds spent inside [`TimeSeriesRecorder::fold`].
+    pub fold_ns: u64,
+    /// Total events folded (all variants).
+    pub events_folded: u64,
+    /// Run events that updated a materialized per-tenant series.
+    pub events_sampled: u64,
+    /// Run events that hit only the bounded sketches (aggregate mode:
+    /// the tenant was sampled out of the exemplar reservoir).
+    pub events_dropped: u64,
+    /// Exemplar tenants whose live curve was evicted by reservoir
+    /// replacement.
+    pub exemplar_evictions: u64,
+}
+
+/// Point-in-time copy of the bounded scale layer: sketches, top-K
+/// offenders, exemplars, and self-overhead.
+#[derive(Debug, Clone)]
+pub struct ScaleSnapshot {
+    /// True when the recorder runs in aggregate (bounded-memory) mode.
+    pub aggregate: bool,
+    /// Relative-error target of the quantile sketches.
+    pub quantile_alpha: f64,
+    /// Sketches keyed by scheduler-rule label (`"unknown"` before the
+    /// first `SchedulerDecision`, `"other"` past the strategy cap).
+    pub strategies: BTreeMap<String, StrategySketches>,
+    /// Worst tenants by cost-weighted regret (`regret_obs · Δcost`),
+    /// heaviest first.
+    pub worst_regret: Vec<TopTenant>,
+    /// Worst tenants by charged cost, heaviest first.
+    pub worst_cost: Vec<TopTenant>,
+    /// Tenants currently holding a live exemplar curve.
+    pub exemplar_users: Vec<usize>,
+    /// The recorder's self-accounting.
+    pub overhead: TelemetryOverhead,
+    /// Estimated in-memory footprint of the whole recorder state.
+    pub approx_state_bytes: usize,
+}
+
+impl ScaleSnapshot {
+    /// Sketches for all strategies merged into one (losslessly: equal
+    /// alpha buckets add).
+    pub fn merged(&self) -> Option<StrategySketches> {
+        let mut it = self.strategies.values();
+        let mut merged = it.next()?.clone();
+        for group in it {
+            merged.regret.merge(&group.regret);
+            merged.cost.merge(&group.cost);
+            merged.quality.merge(&group.quality);
+        }
+        Some(merged)
+    }
 }
 
 /// A point-in-time copy of everything the recorder has folded.
@@ -127,8 +310,12 @@ pub struct TimeSeriesSnapshot {
     pub fallback_active: bool,
     /// Scheduler decisions taken *after* the fallback fired.
     pub fallback_decisions: u64,
-    /// Per-tenant series, keyed by tenant index.
+    /// Per-tenant series, keyed by tenant index. In aggregate mode this
+    /// holds only the exemplar tenants, windowed from when each joined the
+    /// reservoir.
     pub users: BTreeMap<usize, UserSeries>,
+    /// The bounded scale layer: sketches, top-K offenders, self-overhead.
+    pub scale: ScaleSnapshot,
 }
 
 impl TimeSeriesSnapshot {
@@ -142,8 +329,9 @@ impl TimeSeriesSnapshot {
         }
     }
 
-    /// Mean regret across tenants (0.0 with no tenants yet) — the live
-    /// counterpart of the paper's mean-accuracy-loss curves.
+    /// Mean regret across materialized tenants (0.0 with no tenants yet) —
+    /// the live counterpart of the paper's mean-accuracy-loss curves. In
+    /// aggregate mode this averages the exemplar sample only.
     pub fn mean_regret(&self) -> f64 {
         if self.users.is_empty() {
             0.0
@@ -152,13 +340,72 @@ impl TimeSeriesSnapshot {
         }
     }
 
-    /// Aggregate cost-weighted regret decomposition across all tenants.
+    /// Aggregate cost-weighted regret decomposition across materialized
+    /// tenants (exemplars only in aggregate mode).
     pub fn cum_regret(&self) -> RegretDecomposition {
         let mut out = RegretDecomposition::default();
         for series in self.users.values() {
             out.accumulate(&series.cum_regret);
         }
         out
+    }
+}
+
+/// The always-on bounded layer: per-strategy sketches, offender trackers,
+/// exemplar reservoir, and the sampled/dropped accounting.
+struct ScaleState {
+    cfg: ScaleConfig,
+    current_rule: String,
+    strategies: BTreeMap<String, StrategySketches>,
+    worst_regret: SpaceSaving,
+    worst_cost: SpaceSaving,
+    exemplars: Reservoir<usize>,
+    events_sampled: u64,
+    events_dropped: u64,
+    exemplar_evictions: u64,
+}
+
+impl ScaleState {
+    fn new(cfg: ScaleConfig) -> Self {
+        ScaleState {
+            current_rule: "unknown".to_string(),
+            strategies: BTreeMap::new(),
+            worst_regret: SpaceSaving::new(cfg.topk),
+            worst_cost: SpaceSaving::new(cfg.topk),
+            exemplars: Reservoir::new(cfg.exemplars, cfg.seed),
+            events_sampled: 0,
+            events_dropped: 0,
+            exemplar_evictions: 0,
+            cfg,
+        }
+    }
+
+    /// The sketch group for the current scheduler rule, folding overflow
+    /// labels into `"other"` so strategy cardinality stays capped.
+    fn group(&mut self) -> &mut StrategySketches {
+        let key = if self.strategies.contains_key(&self.current_rule)
+            || self.strategies.len() < self.cfg.max_strategies
+        {
+            self.current_rule.clone()
+        } else {
+            "other".to_string()
+        };
+        let cfg = self.cfg;
+        self.strategies
+            .entry(key)
+            .or_insert_with(|| StrategySketches::new(&cfg))
+    }
+
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .strategies
+                .iter()
+                .map(|(k, v)| k.len() + 48 + v.approx_bytes())
+                .sum::<usize>()
+            + self.worst_regret.approx_bytes()
+            + self.worst_cost.approx_bytes()
+            + 8 * self.cfg.exemplars
     }
 }
 
@@ -171,6 +418,21 @@ struct TsState {
     fallback_decisions: u64,
     users: BTreeMap<usize, UserSeries>,
     targets: BTreeMap<usize, f64>,
+    default_target: f64,
+    scale: ScaleState,
+}
+
+impl TsState {
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .users
+                .values()
+                .map(|s| 32 + s.approx_bytes())
+                .sum::<usize>()
+            + 32 * self.targets.len()
+            + self.scale.approx_bytes()
+    }
 }
 
 /// A [`Recorder`] / [`StreamingSink`] that folds events into per-tenant
@@ -181,8 +443,15 @@ struct TsState {
 /// stream feeds the in-memory trace, the disk, and the live curves at
 /// once. Counter/gauge/timing calls are ignored — this type only consumes
 /// the structured event stream.
+///
+/// [`TimeSeriesRecorder::new`] gives the exact per-tenant mode;
+/// [`TimeSeriesRecorder::aggregate`] gives the bounded sketch-backed mode
+/// for large tenant counts.
 pub struct TimeSeriesRecorder {
     sample_interval: f64,
+    aggregate: bool,
+    fold_ns: AtomicU64,
+    events_folded: AtomicU64,
     state: Mutex<TsState>,
 }
 
@@ -193,10 +462,26 @@ impl Default for TimeSeriesRecorder {
 }
 
 impl TimeSeriesRecorder {
-    /// A recorder sampling every completion (interval 0).
+    /// An exact-mode recorder sampling every completion (interval 0): one
+    /// [`UserSeries`] per tenant, O(U) memory.
     pub fn new() -> Self {
+        Self::with_mode(false, ScaleConfig::default())
+    }
+
+    /// A bounded-memory recorder for large tenant populations: per-tenant
+    /// state is limited to `cfg`'s cardinality budget (exemplar reservoir
+    /// plus top-K trackers); everything else folds into mergeable
+    /// sketches. Memory is a constant independent of the tenant count.
+    pub fn aggregate(cfg: ScaleConfig) -> Self {
+        Self::with_mode(true, cfg)
+    }
+
+    fn with_mode(aggregate: bool, cfg: ScaleConfig) -> Self {
         TimeSeriesRecorder {
             sample_interval: 0.0,
+            aggregate,
+            fold_ns: AtomicU64::new(0),
+            events_folded: AtomicU64::new(0),
             state: Mutex::new(TsState {
                 clock: 0.0,
                 rounds: 0,
@@ -206,8 +491,15 @@ impl TimeSeriesRecorder {
                 fallback_decisions: 0,
                 users: BTreeMap::new(),
                 targets: BTreeMap::new(),
+                default_target: 1.0,
+                scale: ScaleState::new(cfg.normalized()),
             }),
         }
+    }
+
+    /// Whether this recorder runs in bounded (aggregate) mode.
+    pub fn is_aggregate(&self) -> bool {
+        self.aggregate
     }
 
     /// Sets the sampling interval in simulated-clock units: a tenant's
@@ -223,6 +515,9 @@ impl TimeSeriesRecorder {
     /// Declares the best achievable quality μ* for `user`, making the
     /// tenant's regret the paper's true accuracy loss instead of the
     /// default loss-to-1.0. Applies retroactively to the current best.
+    ///
+    /// Note: this map is caller-controlled O(#declared users). At large U,
+    /// prefer [`TimeSeriesRecorder::set_default_target`].
     pub fn set_target(&self, user: usize, target: f64) {
         let mut state = self.state.lock();
         state.targets.insert(user, target);
@@ -231,8 +526,162 @@ impl TimeSeriesRecorder {
         }
     }
 
+    /// Sets the target used for every tenant without an explicit
+    /// [`TimeSeriesRecorder::set_target`] entry (default 1.0) — the O(1)
+    /// way to calibrate regret across a large uniform population.
+    pub fn set_default_target(&self, target: f64) {
+        let mut state = self.state.lock();
+        state.default_target = target;
+        for series in state.users.values_mut() {
+            series.target = target;
+        }
+        let targets = std::mem::take(&mut state.targets);
+        for (&user, &t) in &targets {
+            if let Some(series) = state.users.get_mut(&user) {
+                series.target = t;
+            }
+        }
+        state.targets = targets;
+    }
+
+    /// Estimated in-memory footprint of the folded state right now. In
+    /// aggregate mode this is bounded by the [`ScaleConfig`] budget and
+    /// the sampling interval, independent of the tenant count.
+    pub fn approx_state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.state.lock().approx_bytes()
+    }
+
+    /// Folds one training-run event (completed or censored). `quality` is
+    /// `None` for censored runs: they advance the clock and charge the
+    /// tenant but observe no quality — i.e. full regret for the sketch.
+    fn fold_run(&self, user: usize, model: usize, cost: f64, quality: Option<f64>) {
+        let interval = self.sample_interval;
+        // Sanitize the clock advance: a malformed trace (negative or
+        // non-finite cost) must not run time backwards — every curve
+        // stays monotone in the simulated clock.
+        let dt = if cost.is_finite() && cost > 0.0 {
+            cost
+        } else {
+            0.0
+        };
+        let mut state = self.state.lock();
+        if quality.is_some() {
+            state.rounds += 1;
+        } else {
+            state.failed_rounds += 1;
+        }
+        let target = state
+            .targets
+            .get(&user)
+            .copied()
+            .unwrap_or(state.default_target);
+
+        // --- the bounded scale layer (both modes, O(1) per event) -------
+        let sane_quality = quality
+            .filter(|q| q.is_finite())
+            .map(|q| q.clamp(0.0, f64::MAX));
+        let regret_obs = (target - sane_quality.unwrap_or(0.0)).max(0.0);
+        let group = state.scale.group();
+        group.regret.insert(regret_obs);
+        if dt > 0.0 {
+            group.cost.insert(dt);
+        }
+        if let Some(q) = sane_quality {
+            group.quality.insert(q);
+        }
+        state.scale.worst_cost.offer(user as u64, dt);
+        state.scale.worst_regret.offer(user as u64, regret_obs * dt);
+
+        // --- materialize the served tenant (mode-dependent) -------------
+        // Exact mode tracks everyone; aggregate mode only the reservoir's
+        // exemplars, whose curves are windowed from when they joined.
+        let materialized = if self.aggregate {
+            if state.users.contains_key(&user) {
+                true
+            } else {
+                match state.scale.exemplars.offer(user) {
+                    ReservoirOutcome::Added => {
+                        state.users.insert(user, UserSeries::new(target));
+                        true
+                    }
+                    ReservoirOutcome::Replaced { evicted, .. } => {
+                        state.users.remove(&evicted);
+                        state.scale.exemplar_evictions += 1;
+                        state.users.insert(user, UserSeries::new(target));
+                        true
+                    }
+                    ReservoirOutcome::Rejected => false,
+                }
+            }
+        } else {
+            state
+                .users
+                .entry(user)
+                .or_insert_with(|| UserSeries::new(target));
+            true
+        };
+        if materialized {
+            state.scale.events_sampled += 1;
+        } else {
+            state.scale.events_dropped += 1;
+        }
+
+        // Integrate every materialized tenant's pre-completion regret over
+        // the interval this run occupied: the served tenant's share is
+        // arm-picking regret, everyone else's is user-picking regret (they
+        // waited), per the Theorem 1 decomposition. Exact mode integrates
+        // all tenants; aggregate mode only the exemplar sample.
+        if dt > 0.0 {
+            for (&tenant, series) in state.users.iter_mut() {
+                let regret = series.regret();
+                if regret <= 0.0 {
+                    continue;
+                }
+                if tenant == user {
+                    series.cum_regret.arm_picking += regret * dt;
+                } else {
+                    series.cum_regret.user_picking += regret * dt;
+                }
+                series.cum_regret.total += regret * dt;
+            }
+        }
+        state.clock += dt;
+        let clock = state.clock;
+        if !materialized {
+            return;
+        }
+        let series = state.users.get_mut(&user).expect("materialized above");
+        match quality {
+            Some(q) => {
+                series.served += 1;
+                series.cumulative_cost += dt;
+                series.last_quality = q;
+                if q > series.best_quality {
+                    series.best_quality = q;
+                }
+                *series.arm_pulls.entry(model).or_insert(0) += 1;
+            }
+            None => {
+                // A censored run: the tenant's cost advances by the cost
+                // consumed, but no quality observation lands.
+                series.failed += 1;
+                series.cumulative_cost += dt;
+            }
+        }
+        let regret = series.regret();
+        if series.regret_curve.is_empty() || clock - series.sample_anchor >= interval {
+            series.regret_curve.push((clock, regret));
+            series.sample_anchor = clock;
+        } else {
+            // Within the sampling interval: update the final point in
+            // place so the curve still ends at the latest state.
+            *series.regret_curve.last_mut().unwrap() = (clock, regret);
+        }
+    }
+
     /// Folds one event into the series. This is what both trait impls call.
     pub fn fold(&self, event: &Event) {
+        let start = Instant::now();
         match event {
             Event::TrainingCompleted {
                 user,
@@ -240,117 +689,21 @@ impl TimeSeriesRecorder {
                 cost,
                 quality,
                 ..
-            } => {
-                let interval = self.sample_interval;
-                // Sanitize the clock advance: a malformed trace (negative or
-                // non-finite cost) must not run time backwards — every curve
-                // stays monotone in the simulated clock.
-                let dt = if cost.is_finite() && *cost > 0.0 {
-                    *cost
-                } else {
-                    0.0
-                };
-                let mut state = self.state.lock();
-                state.rounds += 1;
-                let target = state.targets.get(user).copied().unwrap_or(1.0);
-                // Materialize the served tenant before accrual so its
-                // interval is attributed even on its very first run.
-                state
-                    .users
-                    .entry(*user)
-                    .or_insert_with(|| UserSeries::new(target));
-                // Integrate every tenant's pre-completion regret over the
-                // interval this run occupied: the served tenant's share is
-                // arm-picking regret, everyone else's is user-picking
-                // regret (they waited), per the Theorem 1 decomposition.
-                if dt > 0.0 {
-                    for (&tenant, series) in state.users.iter_mut() {
-                        let regret = series.regret();
-                        if regret <= 0.0 {
-                            continue;
-                        }
-                        if tenant == *user {
-                            series.cum_regret.arm_picking += regret * dt;
-                        } else {
-                            series.cum_regret.user_picking += regret * dt;
-                        }
-                        series.cum_regret.total += regret * dt;
-                    }
-                }
-                state.clock += dt;
-                let clock = state.clock;
-                let series = state.users.get_mut(user).expect("materialized above");
-                series.served += 1;
-                series.cumulative_cost += dt;
-                series.last_quality = *quality;
-                if *quality > series.best_quality {
-                    series.best_quality = *quality;
-                }
-                *series.arm_pulls.entry(*model).or_insert(0) += 1;
-                let regret = series.regret();
-                if series.regret_curve.is_empty() || clock - series.sample_anchor >= interval {
-                    series.regret_curve.push((clock, regret));
-                    series.sample_anchor = clock;
-                } else {
-                    // Within the sampling interval: update the final point
-                    // in place so the curve still ends at the latest state.
-                    *series.regret_curve.last_mut().unwrap() = (clock, regret);
-                }
-            }
+            } => self.fold_run(*user, *model, *cost, Some(*quality)),
             Event::TrainingFailed {
                 user,
+                model,
                 cost: charged,
                 ..
-            } => {
-                // A censored run: the cluster clock and the tenant's cost
-                // advance by the cost consumed, regret keeps integrating
-                // over the wasted interval (same Theorem 1 attribution as a
-                // completed run), but no quality observation lands.
-                let interval = self.sample_interval;
-                let dt = if charged.is_finite() && *charged > 0.0 {
-                    *charged
-                } else {
-                    0.0
-                };
-                let mut state = self.state.lock();
-                state.failed_rounds += 1;
-                let target = state.targets.get(user).copied().unwrap_or(1.0);
-                state
-                    .users
-                    .entry(*user)
-                    .or_insert_with(|| UserSeries::new(target));
-                if dt > 0.0 {
-                    for (&tenant, series) in state.users.iter_mut() {
-                        let regret = series.regret();
-                        if regret <= 0.0 {
-                            continue;
-                        }
-                        if tenant == *user {
-                            series.cum_regret.arm_picking += regret * dt;
-                        } else {
-                            series.cum_regret.user_picking += regret * dt;
-                        }
-                        series.cum_regret.total += regret * dt;
-                    }
-                }
-                state.clock += dt;
-                let clock = state.clock;
-                let series = state.users.get_mut(user).expect("materialized above");
-                series.failed += 1;
-                series.cumulative_cost += dt;
-                let regret = series.regret();
-                if series.regret_curve.is_empty() || clock - series.sample_anchor >= interval {
-                    series.regret_curve.push((clock, regret));
-                    series.sample_anchor = clock;
-                } else {
-                    *series.regret_curve.last_mut().unwrap() = (clock, regret);
-                }
-            }
-            Event::SchedulerDecision { .. } => {
+            } => self.fold_run(*user, *model, *charged, None),
+            Event::SchedulerDecision { rule, .. } => {
                 let mut state = self.state.lock();
                 state.decisions += 1;
                 if state.fallback_active {
                     state.fallback_decisions += 1;
+                }
+                if state.scale.current_rule != *rule {
+                    state.scale.current_rule = rule.clone();
                 }
             }
             Event::HybridFallback { .. } => {
@@ -372,11 +725,31 @@ impl TimeSeriesRecorder {
             | Event::JitterRetry { .. }
             | Event::PsdProjectionApplied { .. } => {}
         }
+        self.events_folded.fetch_add(1, Ordering::Relaxed);
+        self.fold_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// A copy of the current folded state.
     pub fn snapshot(&self) -> TimeSeriesSnapshot {
         let state = self.state.lock();
+        let approx_state_bytes = std::mem::size_of::<Self>() + state.approx_bytes();
+        let scale = ScaleSnapshot {
+            aggregate: self.aggregate,
+            quantile_alpha: state.scale.cfg.quantile_alpha,
+            strategies: state.scale.strategies.clone(),
+            worst_regret: top_tenants(&state.scale.worst_regret, state.scale.cfg.topk),
+            worst_cost: top_tenants(&state.scale.worst_cost, state.scale.cfg.topk),
+            exemplar_users: state.scale.exemplars.items().to_vec(),
+            overhead: TelemetryOverhead {
+                fold_ns: self.fold_ns.load(Ordering::Relaxed),
+                events_folded: self.events_folded.load(Ordering::Relaxed),
+                events_sampled: state.scale.events_sampled,
+                events_dropped: state.scale.events_dropped,
+                exemplar_evictions: state.scale.exemplar_evictions,
+            },
+            approx_state_bytes,
+        };
         TimeSeriesSnapshot {
             clock: state.clock,
             rounds: state.rounds,
@@ -385,8 +758,21 @@ impl TimeSeriesRecorder {
             fallback_active: state.fallback_active,
             fallback_decisions: state.fallback_decisions,
             users: state.users.clone(),
+            scale,
         }
     }
+}
+
+fn top_tenants(tracker: &SpaceSaving, k: usize) -> Vec<TopTenant> {
+    tracker
+        .top(k)
+        .into_iter()
+        .map(|h| TopTenant {
+            user: h.key as usize,
+            weight: h.weight,
+            error: h.error,
+        })
+        .collect()
 }
 
 impl Recorder for TimeSeriesRecorder {
@@ -680,5 +1066,193 @@ mod tests {
         }
         let expected: f64 = costs.iter().sum();
         assert!((snap.clock - expected).abs() < 1e-12);
+    }
+
+    // --- aggregate (bounded) mode ------------------------------------
+
+    /// Deterministic synthetic run stream shared by the scale tests.
+    fn synth_stream(users: usize, events: usize) -> Vec<Event> {
+        let mut rng: u64 = 0x5eed;
+        let mut next = move || {
+            rng = rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = rng;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        (0..events)
+            .map(|i| {
+                let user = (next() % users as u64) as usize;
+                let quality = (next() % 1000) as f64 / 1000.0;
+                let cost = 0.1 + (next() % 100) as f64 / 50.0;
+                if i % 97 == 13 {
+                    Event::TrainingFailed {
+                        user,
+                        model: i % 20,
+                        cost,
+                        kind: "crash".into(),
+                        attempt: 1,
+                        parent: 0,
+                    }
+                } else {
+                    completed(user, i % 20, cost, quality)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn aggregate_mode_memory_is_independent_of_tenant_count() {
+        let mut bytes = Vec::new();
+        for users in [1_000usize, 100_000] {
+            let ts =
+                TimeSeriesRecorder::aggregate(ScaleConfig::default()).with_sample_interval(10.0);
+            for event in synth_stream(users, 4 * 1_000) {
+                ts.fold(&event);
+            }
+            let snap = ts.snapshot();
+            assert!(
+                snap.users.len() <= ScaleConfig::default().exemplars,
+                "exemplars leaked: {}",
+                snap.users.len()
+            );
+            bytes.push(ts.approx_state_bytes());
+        }
+        // 100× the tenants must not grow recorder state: same event count,
+        // same budget, so the footprint stays flat within jitter from
+        // bucket counts, exemplar curve lengths, and Vec doubling.
+        let (small, large) = (bytes[0] as f64, bytes[1] as f64);
+        assert!(
+            large <= small * 1.5,
+            "state grew with U: {small} -> {large}"
+        );
+        assert!(large < 512.0 * 1024.0, "state unbounded: {large} bytes");
+    }
+
+    #[test]
+    fn aggregate_sketches_agree_with_exact_fold_within_alpha() {
+        let events = synth_stream(50, 2_000);
+        let exact = TimeSeriesRecorder::new();
+        let bounded = TimeSeriesRecorder::aggregate(ScaleConfig::default());
+        let mut observations = Vec::new();
+        for event in &events {
+            exact.fold(event);
+            bounded.fold(event);
+            match event {
+                Event::TrainingCompleted { quality, .. } => {
+                    observations.push((1.0 - quality).max(0.0));
+                }
+                Event::TrainingFailed { .. } => observations.push(1.0),
+                _ => {}
+            }
+        }
+        observations.sort_by(f64::total_cmp);
+        // Both modes fold the identical sketch, and the sketch matches an
+        // exact sort of the same per-run regret observations within alpha.
+        let exact_sketch = exact.snapshot().scale.merged().unwrap();
+        let bounded_sketch = bounded.snapshot().scale.merged().unwrap();
+        assert_eq!(exact_sketch.regret, bounded_sketch.regret);
+        assert_eq!(exact_sketch.regret.count(), observations.len() as u64);
+        let alpha = ScaleConfig::default().quantile_alpha;
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let rank = (q * (observations.len() - 1) as f64).floor() as usize;
+            let truth = observations[rank];
+            let est = exact_sketch.regret.quantile(q).unwrap();
+            assert!(
+                (est - truth).abs() <= alpha * truth + 1e-9,
+                "q={q}: {est} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn top_offenders_surface_the_heavy_tenants() {
+        let ts = TimeSeriesRecorder::aggregate(ScaleConfig::default());
+        // Tenant 7 burns 10× the cost of 200 background tenants and never
+        // improves, so it must dominate both offender boards.
+        for i in 0..2_000usize {
+            ts.fold(&completed(i % 200 + 100, 0, 0.1, 0.95));
+            ts.fold(&completed(7, 1, 1.0, 0.05));
+        }
+        let scale = ts.snapshot().scale;
+        assert_eq!(scale.worst_cost[0].user, 7);
+        assert_eq!(scale.worst_regret[0].user, 7);
+        assert!(scale.worst_cost[0].weight >= 2_000.0 - 1e-6);
+    }
+
+    #[test]
+    fn strategy_labels_are_capped_and_follow_decisions() {
+        let cfg = ScaleConfig {
+            max_strategies: 2,
+            ..ScaleConfig::default()
+        };
+        let ts = TimeSeriesRecorder::aggregate(cfg);
+        for (i, rule) in ["hybrid", "round-robin", "greedy", "random"]
+            .iter()
+            .enumerate()
+        {
+            ts.fold(&Event::SchedulerDecision {
+                round: i as u64,
+                user: i,
+                rule: rule.to_string(),
+                scores: vec![],
+                parent: 0,
+            });
+            ts.fold(&completed(i, 0, 1.0, 0.5));
+        }
+        let scale = ts.snapshot().scale;
+        // Two real labels plus the overflow bucket.
+        assert!(scale.strategies.len() <= 3, "{:?}", scale.strategies.keys());
+        assert!(scale.strategies.contains_key("hybrid"));
+        assert!(scale.strategies.contains_key("other"));
+        let total: u64 = scale.strategies.values().map(|g| g.regret.count()).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn overhead_accounting_tracks_folds_and_sampling() {
+        let cfg = ScaleConfig {
+            exemplars: 2,
+            ..ScaleConfig::default()
+        };
+        let ts = TimeSeriesRecorder::aggregate(cfg);
+        for event in synth_stream(100, 500) {
+            ts.fold(&event);
+        }
+        let overhead = ts.snapshot().scale.overhead;
+        assert_eq!(overhead.events_folded, 500);
+        assert_eq!(overhead.events_sampled + overhead.events_dropped, 500);
+        assert!(overhead.events_dropped > 0, "{overhead:?}");
+        assert!(overhead.fold_ns > 0);
+    }
+
+    #[test]
+    fn exact_mode_samples_every_event_and_keeps_sketches() {
+        let ts = TimeSeriesRecorder::new();
+        ts.fold(&completed(0, 0, 1.0, 0.25));
+        ts.fold(&completed(1, 0, 2.0, 0.75));
+        let snap = ts.snapshot();
+        assert!(!snap.scale.aggregate);
+        assert_eq!(snap.scale.overhead.events_sampled, 2);
+        assert_eq!(snap.scale.overhead.events_dropped, 0);
+        let merged = snap.scale.merged().unwrap();
+        assert_eq!(merged.regret.count(), 2);
+        assert_eq!(merged.cost.count(), 2);
+        // Per-run regret observations 0.75 and 0.25 land in the sketch.
+        let p100 = merged.regret.quantile(1.0).unwrap();
+        assert!((p100 - 0.75).abs() <= 0.01 * 0.75 + 1e-9);
+    }
+
+    #[test]
+    fn default_target_calibrates_unlisted_tenants() {
+        let ts = TimeSeriesRecorder::aggregate(ScaleConfig::default());
+        ts.set_default_target(0.8);
+        ts.set_target(1, 0.9);
+        ts.fold(&completed(0, 0, 1.0, 0.8)); // meets the default target
+        ts.fold(&completed(1, 0, 1.0, 0.8)); // 0.1 short of its own target
+        let merged = ts.snapshot().scale.merged().unwrap();
+        assert_eq!(merged.regret.quantile(0.0), Some(0.0));
+        let p100 = merged.regret.quantile(1.0).unwrap();
+        assert!((p100 - 0.1).abs() <= 0.01 * 0.1 + 1e-9, "{p100}");
     }
 }

@@ -1,0 +1,194 @@
+//! Property-based tests of the sketch layer's published guarantees:
+//! quantile sketches merge associatively/commutatively and stay within
+//! their relative-error bound against an exact sort; Space-Saving never
+//! under-counts a tracked key and never over-counts by more than its
+//! reported error; the reservoir is a uniform, bounded, seeded sample.
+
+use easeml_obs::{HeavyHitter, QuantileSketch, Reservoir, SpaceSaving};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Adversarial value distributions: dense uniform, many orders of
+/// magnitude, heavy duplicates, and zero-spiked streams.
+fn value_stream() -> impl Strategy<Value = Vec<f64>> {
+    (0usize..4, prop::collection::vec(0.0f64..1.0, 1..200)).prop_map(|(kind, raw)| {
+        raw.into_iter()
+            .map(|u| match kind {
+                0 => u * 1e3,                     // dense uniform
+                1 => 10f64.powf(-6.0 + 14.0 * u), // log-uniform, 14 decades
+                2 => (u * 8.0).floor(),           // heavy duplicates (incl. 0)
+                _ => {
+                    if u < 0.3 {
+                        0.0 // zero-spiked
+                    } else {
+                        u * 42.0
+                    }
+                }
+            })
+            .collect()
+    })
+}
+
+fn sketch_of(values: &[f64], alpha: f64) -> QuantileSketch {
+    let mut sketch = QuantileSketch::new(alpha);
+    for &v in values {
+        sketch.insert(v);
+    }
+    sketch
+}
+
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = (q * (sorted.len() - 1) as f64).floor() as usize;
+    sorted[rank]
+}
+
+const QS: [f64; 7] = [0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 1.0];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_stay_within_the_relative_error_bound(values in value_stream()) {
+        let alpha = 0.01;
+        let sketch = sketch_of(&values, alpha);
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        for q in QS {
+            let exact = exact_quantile(&sorted, q);
+            let est = sketch.quantile(q).unwrap();
+            prop_assert!(
+                (est - exact).abs() <= alpha * exact + 1e-9,
+                "q={}: est {} vs exact {} over {} values",
+                q, est, exact, values.len()
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_merge_is_commutative_and_associative(
+        a in value_stream(),
+        b in value_stream(),
+        c in value_stream(),
+    ) {
+        let (sa, sb, sc) = (sketch_of(&a, 0.02), sketch_of(&b, 0.02), sketch_of(&c, 0.02));
+
+        // Commutativity: a∪b == b∪a (identical buckets → identical quantiles).
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(ab.count(), ba.count());
+        for q in QS {
+            prop_assert_eq!(ab.quantile(q), ba.quantile(q));
+        }
+
+        // Associativity: (a∪b)∪c == a∪(b∪c).
+        let mut left = ab;
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left.count(), right.count());
+        for q in QS {
+            prop_assert_eq!(left.quantile(q), right.quantile(q));
+        }
+
+        // Merging equals folding the concatenated stream.
+        let mut whole: Vec<f64> = a.clone();
+        whole.extend(&b);
+        whole.extend(&c);
+        let folded = sketch_of(&whole, 0.02);
+        prop_assert_eq!(left.count(), folded.count());
+        for q in QS {
+            prop_assert_eq!(left.quantile(q), folded.quantile(q));
+        }
+    }
+
+    #[test]
+    fn space_saving_count_error_guarantee_holds(
+        offers in prop::collection::vec((0u64..24, 0.1f64..10.0), 1..300),
+        capacity in 1usize..8,
+    ) {
+        let mut tracker = SpaceSaving::new(capacity);
+        let mut truth: BTreeMap<u64, f64> = BTreeMap::new();
+        for &(key, weight) in &offers {
+            tracker.offer(key, weight);
+            *truth.entry(key).or_insert(0.0) += weight;
+        }
+        let total: f64 = truth.values().sum();
+        prop_assert!((tracker.total() - total).abs() <= 1e-6 * total.max(1.0));
+
+        let tracked: Vec<HeavyHitter> = tracker.top(tracker.len());
+        for entry in &tracked {
+            let true_weight = truth[&entry.key];
+            // Never an under-count, never over by more than the reported
+            // error, and the error itself is bounded by total/capacity.
+            prop_assert!(entry.weight >= true_weight - 1e-9, "{:?} vs {}", entry, true_weight);
+            prop_assert!(entry.weight - entry.error <= true_weight + 1e-9);
+            prop_assert!(entry.error <= total / capacity as f64 + 1e-9);
+        }
+        // Every key heavier than total/capacity must be tracked.
+        for (&key, &weight) in &truth {
+            if weight > total / capacity as f64 {
+                prop_assert!(
+                    tracked.iter().any(|e| e.key == key),
+                    "heavy key {} (weight {}) not tracked", key, weight
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reservoir_is_bounded_deterministic_and_counts_the_stream(
+        n in 1u64..500,
+        capacity in 1usize..16,
+        seed in 0u64..1000,
+    ) {
+        let mut reservoir = Reservoir::new(capacity, seed);
+        for i in 0..n {
+            reservoir.offer(i);
+        }
+        prop_assert_eq!(reservoir.seen(), n);
+        prop_assert_eq!(reservoir.items().len(), capacity.min(n as usize));
+        // Samples are distinct stream elements within range.
+        let mut items = reservoir.items().to_vec();
+        items.sort_unstable();
+        items.dedup();
+        prop_assert_eq!(items.len(), reservoir.items().len());
+        prop_assert!(items.iter().all(|&i| i < n));
+        // Same seed, same stream → same sample.
+        let mut again = Reservoir::new(capacity, seed);
+        for i in 0..n {
+            again.offer(i);
+        }
+        prop_assert_eq!(reservoir.items(), again.items());
+    }
+}
+
+/// Uniformity of the seeded reservoir: across many seeds, every stream
+/// position is sampled at close to the nominal `capacity / n` rate —
+/// Algorithm R must not favor early or late arrivals.
+#[test]
+fn reservoir_sampling_is_uniform_across_seeds() {
+    let n = 50u64;
+    let capacity = 5usize;
+    let trials = 2000u64;
+    let mut hits = vec![0u64; n as usize];
+    for seed in 0..trials {
+        let mut reservoir = Reservoir::new(capacity, seed.wrapping_mul(0x9E37_79B9));
+        for i in 0..n {
+            reservoir.offer(i);
+        }
+        for &kept in reservoir.items() {
+            hits[kept as usize] += 1;
+        }
+    }
+    let expected = trials as f64 * capacity as f64 / n as f64; // 200
+    for (position, &count) in hits.iter().enumerate() {
+        assert!(
+            (count as f64 - expected).abs() < 0.35 * expected,
+            "position {position} sampled {count} times, expected ~{expected}"
+        );
+    }
+}

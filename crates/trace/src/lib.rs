@@ -33,7 +33,9 @@
 //! The `easeml-trace` binary wraps these as `report` and `chrome`
 //! subcommands.
 
-use easeml_obs::{Event, TimeSeriesRecorder};
+use easeml_obs::{
+    Event, QuantileSketch, ScaleConfig, ScaleSnapshot, StrategySketches, TimeSeriesRecorder,
+};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -46,15 +48,76 @@ pub struct LoadedTrace {
     pub schema_version: Option<u64>,
     /// Lines that were neither headers, blank, nor parseable events.
     pub skipped_lines: usize,
+    /// Lowest sequence number seen on a `{"seq":N,...}` frame, if any.
+    pub first_seq: Option<u64>,
+    /// Highest sequence number seen on a `{"seq":N,...}` frame, if any.
+    pub last_seq: Option<u64>,
+    /// Frames provably lost: the summed interior jumps in the sequence
+    /// numbers (`seq` skipping from 7 to 10 counts 2 missing frames) —
+    /// dropped sink writes and over-rotated segments show up here.
+    pub seq_gaps: u64,
+    /// Start index in [`LoadedTrace::events`] of each merged source file
+    /// (one entry per file; a single-file load has one entry, `0`).
+    pub segments: Vec<usize>,
+}
+
+impl LoadedTrace {
+    /// Appends `later` (a chronologically later segment of the same trace)
+    /// onto `self`, accumulating skip/gap counters and counting the seam
+    /// between the two files as a gap when their sequence numbers do not
+    /// abut. This is the rotation-merge used by
+    /// [`load_trace_with_rotations`].
+    pub fn merge(&mut self, later: LoadedTrace) {
+        if let (Some(prev), Some(next)) = (self.last_seq, later.first_seq) {
+            if next > prev + 1 {
+                self.seq_gaps += next - prev - 1;
+            }
+        }
+        let offset = self.events.len();
+        if later.segments.is_empty() {
+            self.segments.push(offset);
+        } else {
+            self.segments
+                .extend(later.segments.iter().map(|s| s + offset));
+        }
+        self.events.extend(later.events);
+        self.schema_version = self.schema_version.or(later.schema_version);
+        self.skipped_lines += later.skipped_lines;
+        self.seq_gaps += later.seq_gaps;
+        self.first_seq = self.first_seq.or(later.first_seq);
+        self.last_seq = later.last_seq.or(self.last_seq);
+    }
+
+    /// The per-segment event slices, in merge order — the shape
+    /// [`scale_report`] folds sketch-per-segment and merges, mirroring how
+    /// rotated files would be folded on separate machines.
+    pub fn segment_slices(&self) -> Vec<&[Event]> {
+        if self.segments.is_empty() {
+            return vec![&self.events];
+        }
+        let mut out = Vec::with_capacity(self.segments.len());
+        for (i, &start) in self.segments.iter().enumerate() {
+            let end = self
+                .segments
+                .get(i + 1)
+                .copied()
+                .unwrap_or(self.events.len());
+            out.push(&self.events[start..end]);
+        }
+        out
+    }
 }
 
 /// Strips the `{"seq":N,"event":{...}}` framing a
 /// [`JsonlFileSink`](easeml_obs::JsonlFileSink) / `/trace` endpoint adds,
-/// returning the inner event object.
-fn unwrap_seq_frame(line: &str) -> Option<&str> {
+/// returning the sequence number and the inner event object.
+fn unwrap_seq_frame(line: &str) -> Option<(u64, &str)> {
     let rest = line.strip_prefix("{\"seq\":")?;
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    let seq = digits.parse().ok()?;
     let idx = rest.find("\"event\":")?;
-    rest[idx + "\"event\":".len()..].strip_suffix('}')
+    let payload = rest[idx + "\"event\":".len()..].strip_suffix('}')?;
+    Some((seq, payload))
 }
 
 /// Reads the `version` out of a `{"schema":"easeml-trace","version":N}`
@@ -77,7 +140,10 @@ fn parse_header(line: &str) -> Option<u64> {
 /// failing, so a truncated tail (crash mid-write) does not lose the rest of
 /// the trace.
 pub fn parse_trace(text: &str) -> LoadedTrace {
-    let mut out = LoadedTrace::default();
+    let mut out = LoadedTrace {
+        segments: vec![0],
+        ..LoadedTrace::default()
+    };
     for line in text.lines() {
         let line = line.trim();
         if line.is_empty() {
@@ -87,9 +153,23 @@ pub fn parse_trace(text: &str) -> LoadedTrace {
             out.schema_version = Some(version);
             continue;
         }
-        let payload = unwrap_seq_frame(line).unwrap_or(line);
+        let (seq, payload) = match unwrap_seq_frame(line) {
+            Some((seq, payload)) => (Some(seq), payload),
+            None => (None, line),
+        };
         match Event::from_json(payload) {
-            Ok(event) => out.events.push(event),
+            Ok(event) => {
+                out.events.push(event);
+                if let Some(seq) = seq {
+                    if let Some(prev) = out.last_seq {
+                        if seq > prev + 1 {
+                            out.seq_gaps += seq - prev - 1;
+                        }
+                    }
+                    out.first_seq = out.first_seq.or(Some(seq));
+                    out.last_seq = Some(out.last_seq.map_or(seq, |p| p.max(seq)));
+                }
+            }
             Err(_) => out.skipped_lines += 1,
         }
     }
@@ -105,6 +185,49 @@ pub fn load_trace(path: &std::path::Path) -> Result<LoadedTrace, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     Ok(parse_trace(&text))
+}
+
+/// Loads `path` together with any rotated siblings a
+/// [`JsonlFileSink`](easeml_obs::JsonlFileSink) left next to it
+/// (`<path>.1` is the most recently rotated, higher suffixes are older),
+/// merged oldest-first so the events come back in recording order.
+/// Cross-file sequence jumps count into [`LoadedTrace::seq_gaps`].
+///
+/// # Errors
+///
+/// Returns the I/O error message when the live file cannot be read;
+/// rotated segments that disappear mid-scan (a concurrent writer rotating)
+/// are skipped rather than failing the load.
+pub fn load_trace_with_rotations(path: &std::path::Path) -> Result<LoadedTrace, String> {
+    let mut rotated: Vec<(usize, std::path::PathBuf)> = Vec::new();
+    for n in 1.. {
+        let candidate = std::path::PathBuf::from(format!("{}.{n}", path.display()));
+        if candidate.exists() {
+            rotated.push((n, candidate));
+        } else {
+            break;
+        }
+    }
+    let mut merged: Option<LoadedTrace> = None;
+    // Oldest segment first: highest rotation index down to `.1`.
+    for (_, segment) in rotated.iter().rev() {
+        let Ok(text) = std::fs::read_to_string(segment) else {
+            continue;
+        };
+        let parsed = parse_trace(&text);
+        match merged.as_mut() {
+            Some(acc) => acc.merge(parsed),
+            None => merged = Some(parsed),
+        }
+    }
+    let live = load_trace(path)?;
+    Ok(match merged {
+        Some(mut acc) => {
+            acc.merge(live);
+            acc
+        }
+        None => live,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -423,6 +546,12 @@ pub struct ExecReport {
     pub peak_in_flight: u64,
     /// Per-device breakdown, keyed by device index.
     pub per_device: BTreeMap<usize, DeviceUsage>,
+    /// Mergeable quantile sketch over every `DeviceIdle` gap — the
+    /// executor's queueing-delay distribution across all devices.
+    pub queueing_delay: QuantileSketch,
+    /// Mergeable quantile sketch over every paired run duration — the
+    /// busy-span distribution across all devices.
+    pub busy_spans: QuantileSketch,
 }
 
 impl ExecReport {
@@ -502,6 +631,7 @@ pub fn exec_report(events: &[Event]) -> ExecReport {
                         let start = starts.remove(0);
                         if at.is_finite() && *at >= start {
                             usage.busy += at - start;
+                            out.busy_spans.insert(at - start);
                         }
                     }
                 }
@@ -510,6 +640,9 @@ pub fn exec_report(events: &[Event]) -> ExecReport {
             Event::DeviceIdle { device, idle, .. } => {
                 let usage = out.per_device.entry(*device).or_default();
                 usage.idle_gaps += 1;
+                if idle.is_finite() && *idle >= 0.0 {
+                    out.queueing_delay.insert(*idle);
+                }
                 if idle.is_finite() && *idle > 0.0 {
                     usage.idle_gap_total += idle;
                     if *idle > usage.idle_gap_max {
@@ -521,6 +654,154 @@ pub fn exec_report(events: &[Event]) -> ExecReport {
         }
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry at scale: sketch fold + exact cross-check
+// ---------------------------------------------------------------------------
+
+/// Traces with more events than this skip the exact cross-check — the
+/// point of the sketches is that the exact fold stops being affordable.
+pub const CROSS_CHECK_MAX_EVENTS: usize = 200_000;
+
+/// The quantiles the scale section prints and cross-checks.
+pub const SCALE_QUANTILES: [(f64, &str); 3] = [(0.5, "p50"), (0.9, "p90"), (0.99, "p99")];
+
+/// Outcome of comparing the merged regret sketch against an exact
+/// sorted-fold of the same per-run regret observations.
+#[derive(Debug, Clone, Default)]
+pub struct SketchCrossCheck {
+    /// Quantiles compared (0 when skipped or the trace has no runs).
+    pub quantiles_checked: usize,
+    /// Largest relative error observed across the checked quantiles.
+    pub max_rel_err: f64,
+    /// The sketch's configured relative-error bound α.
+    pub tolerance: f64,
+    /// True when the trace exceeded [`CROSS_CHECK_MAX_EVENTS`].
+    pub skipped: bool,
+}
+
+impl SketchCrossCheck {
+    /// Whether the sketch stayed within its advertised bound (vacuously
+    /// true when the check was skipped or nothing was comparable).
+    pub fn passed(&self) -> bool {
+        self.skipped || self.quantiles_checked == 0 || self.max_rel_err <= self.tolerance + 1e-12
+    }
+}
+
+/// The scale section of the offline report: bounded sketches folded from
+/// the trace — per rotated segment, then merged — plus top-K offenders and
+/// the sketch-vs-exact consistency check.
+#[derive(Debug, Clone)]
+pub struct ScaleReport {
+    /// Aggregate-mode fold of the whole stream: per-strategy sketches,
+    /// top-K offender boards, and self-overhead counters.
+    pub scale: ScaleSnapshot,
+    /// Regret/cost/quality sketches folded independently per rotated
+    /// segment and merged — exercising the mergeability the sketches exist
+    /// for. `None` when the trace has no runs.
+    pub merged: Option<StrategySketches>,
+    /// Rotated segments folded.
+    pub segments: usize,
+    /// Merged sketch vs exact sorted fold of the same observations.
+    pub cross_check: SketchCrossCheck,
+}
+
+/// The per-run regret observations the recorder's scale layer inserts,
+/// recomputed exactly: completed runs observe `max(target − quality, 0)`
+/// (quality clamped to `[0, ∞)`), censored runs observe the full target.
+fn exact_regret_observations(events: &[Event], targets: &BTreeMap<usize, f64>) -> Vec<f64> {
+    let target_of = |user: &usize| targets.get(user).copied().unwrap_or(1.0);
+    let mut out = Vec::new();
+    for event in events {
+        match event {
+            Event::TrainingCompleted { user, quality, .. } => {
+                let sane = if quality.is_finite() {
+                    quality.max(0.0)
+                } else {
+                    0.0
+                };
+                out.push((target_of(user) - sane).max(0.0));
+            }
+            Event::TrainingFailed { user, .. } => out.push(target_of(user).max(0.0)),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Folds the trace into the bounded scale telemetry: one aggregate-mode
+/// [`TimeSeriesRecorder`] pass over the whole stream for the snapshot, one
+/// sketch fold per rotated segment merged together, and — on traces small
+/// enough to sort — an exact cross-check of the merged regret quantiles.
+pub fn scale_report(trace: &LoadedTrace, targets: &BTreeMap<usize, f64>) -> ScaleReport {
+    let fold = |events: &[Event]| {
+        let ts = TimeSeriesRecorder::aggregate(ScaleConfig::default());
+        for (&user, &target) in targets {
+            ts.set_target(user, target);
+        }
+        for event in events {
+            ts.fold(event);
+        }
+        ts.snapshot().scale
+    };
+
+    let scale = fold(&trace.events);
+
+    // Mergeability in anger: fold each rotated segment as if it lived on
+    // its own machine, then merge the sketches.
+    let segments = trace.segment_slices();
+    let mut merged: Option<StrategySketches> = None;
+    for slice in &segments {
+        if let Some(part) = fold(slice).merged() {
+            match merged.as_mut() {
+                Some(acc) => {
+                    acc.regret.merge(&part.regret);
+                    acc.cost.merge(&part.cost);
+                    acc.quality.merge(&part.quality);
+                }
+                None => merged = Some(part),
+            }
+        }
+    }
+
+    let mut cross_check = SketchCrossCheck {
+        tolerance: scale.quantile_alpha,
+        ..SketchCrossCheck::default()
+    };
+    if trace.events.len() > CROSS_CHECK_MAX_EVENTS {
+        cross_check.skipped = true;
+    } else if let Some(sketch) = merged.as_ref().map(|m| &m.regret) {
+        let mut exact = exact_regret_observations(&trace.events, targets);
+        exact.sort_by(f64::total_cmp);
+        if !exact.is_empty() {
+            for (q, _) in SCALE_QUANTILES {
+                let rank = (q * (exact.len() - 1) as f64).floor() as usize;
+                let truth = exact[rank];
+                let Some(est) = sketch.quantile(q) else {
+                    continue;
+                };
+                let rel = if truth > 1e-9 {
+                    (est - truth).abs() / truth
+                } else if (est - truth).abs() > 1e-9 {
+                    f64::INFINITY
+                } else {
+                    0.0
+                };
+                cross_check.quantiles_checked += 1;
+                if rel > cross_check.max_rel_err {
+                    cross_check.max_rel_err = rel;
+                }
+            }
+        }
+    }
+
+    ScaleReport {
+        scale,
+        merged,
+        segments: segments.len(),
+        cross_check,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -668,6 +949,7 @@ pub fn render_report(trace: &LoadedTrace, targets: &BTreeMap<usize, f64>) -> Str
     let health = health_report(&trace.events);
     let faults = fault_report(&trace.events);
     let exec = exec_report(&trace.events);
+    let scale = scale_report(trace, targets);
 
     let mut out = String::new();
     let _ = writeln!(out, "=== easeml-trace report ===");
@@ -680,6 +962,14 @@ pub fn render_report(trace: &LoadedTrace, targets: &BTreeMap<usize, f64>) -> Str
             .map_or("?".to_string(), |v| v.to_string()),
         trace.skipped_lines,
     );
+    if let (Some(first), Some(last)) = (trace.first_seq, trace.last_seq) {
+        let _ = writeln!(
+            out,
+            "frames: seq {first}..={last}  missing: {}  file segment(s): {}",
+            trace.seq_gaps,
+            trace.segments.len().max(1),
+        );
+    }
     let _ = writeln!(
         out,
         "rounds: {}  simulated cost: {:.4}",
@@ -812,6 +1102,97 @@ pub fn render_report(trace: &LoadedTrace, targets: &BTreeMap<usize, f64>) -> Str
             "mean device queueing delay: {:.4}",
             exec.mean_queueing_delay()
         );
+        let sketch_line = |name: &str, sketch: &QuantileSketch| {
+            let mut line = format!("{name} quantiles:");
+            for (q, label) in SCALE_QUANTILES {
+                let _ = write!(line, "  {label} {:.4}", sketch.quantile(q).unwrap_or(0.0));
+            }
+            let _ = write!(line, "  ({} sample(s))", sketch.count());
+            line
+        };
+        if exec.queueing_delay.count() > 0 {
+            let _ = writeln!(
+                out,
+                "{}",
+                sketch_line("queueing-delay", &exec.queueing_delay)
+            );
+        }
+        if exec.busy_spans.count() > 0 {
+            let _ = writeln!(out, "{}", sketch_line("busy-span", &exec.busy_spans));
+        }
+    }
+
+    let _ = writeln!(out, "\n--- telemetry at scale ---");
+    match scale.merged.as_ref() {
+        None => {
+            let _ = writeln!(out, "no run observations");
+        }
+        Some(merged) => {
+            let _ = writeln!(
+                out,
+                "run observations: {}  strategy group(s): {}  segment(s) merged: {}  \
+                 sketch bytes: {}",
+                merged.regret.count(),
+                scale.scale.strategies.len(),
+                scale.segments,
+                scale.scale.approx_state_bytes,
+            );
+            let _ = writeln!(
+                out,
+                "{:>9}  {:>12}  {:>12}  {:>12}",
+                "quantile", "regret", "cost", "quality"
+            );
+            for (q, label) in SCALE_QUANTILES {
+                let _ = writeln!(
+                    out,
+                    "{label:>9}  {:>12.6}  {:>12.6}  {:>12.6}",
+                    merged.regret.quantile(q).unwrap_or(0.0),
+                    merged.cost.quantile(q).unwrap_or(0.0),
+                    merged.quality.quantile(q).unwrap_or(0.0),
+                );
+            }
+            let offenders = |board: &[easeml_obs::TopTenant]| {
+                board
+                    .iter()
+                    .take(3)
+                    .map(|t| format!("user {} ({:.4})", t.user, t.weight))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            if !scale.scale.worst_regret.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "top regret-weight: {}",
+                    offenders(&scale.scale.worst_regret)
+                );
+            }
+            if !scale.scale.worst_cost.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "top cost-weight: {}",
+                    offenders(&scale.scale.worst_cost)
+                );
+            }
+            let check = &scale.cross_check;
+            if check.skipped {
+                let _ = writeln!(
+                    out,
+                    "sketch-vs-exact cross-check: skipped ({} events > {})",
+                    trace.events.len(),
+                    CROSS_CHECK_MAX_EVENTS
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "sketch-vs-exact cross-check: {} (max rel err {:.2}% <= {:.2}%, \
+                     {} quantile(s))",
+                    if check.passed() { "pass" } else { "FAIL" },
+                    check.max_rel_err * 100.0,
+                    check.tolerance * 100.0,
+                    check.quantiles_checked,
+                );
+            }
+        }
     }
 
     let _ = writeln!(out, "\n--- numerical health ---");
@@ -1153,7 +1534,7 @@ mod tests {
         let trace = LoadedTrace {
             events,
             schema_version: Some(3),
-            skipped_lines: 0,
+            ..LoadedTrace::default()
         };
         let text = render_report(&trace, &BTreeMap::new());
         assert!(!text.contains("multi-device execution"), "{text}");
@@ -1169,7 +1550,7 @@ mod tests {
         let trace = LoadedTrace {
             events,
             schema_version: Some(4),
-            skipped_lines: 0,
+            ..LoadedTrace::default()
         };
         let text = render_report(&trace, &BTreeMap::new());
         for needle in [
@@ -1298,7 +1679,7 @@ mod tests {
         let trace = LoadedTrace {
             events,
             schema_version: Some(3),
-            skipped_lines: 0,
+            ..LoadedTrace::default()
         };
         let text = render_report(&trace, &BTreeMap::new());
         for section in [
@@ -1311,8 +1692,188 @@ mod tests {
             "  crash: 1",
             "numerical health",
             "jitter retries: 1 event(s)",
+            "telemetry at scale",
+            "sketch-vs-exact cross-check: pass",
         ] {
             assert!(text.contains(section), "missing {section:?} in:\n{text}");
         }
+    }
+
+    fn seq_frame(seq: u64, event: &Event) -> String {
+        format!("{{\"seq\":{seq},\"event\":{}}}", event.to_json())
+    }
+
+    #[test]
+    fn seq_frames_surface_gaps_and_bounds() {
+        let text = format!(
+            "{}\n{}\n{}\n",
+            seq_frame(1, &completed(0, 0, 1.0, 0.5)),
+            seq_frame(2, &completed(1, 0, 1.0, 0.6)),
+            seq_frame(5, &completed(2, 0, 1.0, 0.7)), // 3 and 4 lost
+        );
+        let trace = parse_trace(&text);
+        assert_eq!(trace.first_seq, Some(1));
+        assert_eq!(trace.last_seq, Some(5));
+        assert_eq!(trace.seq_gaps, 2);
+        let report = render_report(&trace, &BTreeMap::new());
+        assert!(
+            report.contains("frames: seq 1..=5  missing: 2  file segment(s): 1"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn rotation_merge_restores_recording_order_and_counts_seams() {
+        let dir = std::env::temp_dir().join(format!("easeml-trace-rot-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let live = dir.join("trace.jsonl");
+        // `.2` is the oldest segment, `.1` newer, the live file newest.
+        // Frame 4 was lost between `.1` and the live file.
+        std::fs::write(
+            dir.join("trace.jsonl.2"),
+            format!(
+                "{{\"schema\":\"easeml-trace\",\"version\":4}}\n{}\n",
+                seq_frame(1, &completed(0, 0, 1.0, 0.1))
+            ),
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("trace.jsonl.1"),
+            format!(
+                "{}\n{}\n",
+                seq_frame(2, &completed(1, 0, 1.0, 0.2)),
+                seq_frame(3, &completed(2, 0, 1.0, 0.3))
+            ),
+        )
+        .unwrap();
+        std::fs::write(
+            &live,
+            format!("{}\n", seq_frame(5, &completed(3, 0, 1.0, 0.4))),
+        )
+        .unwrap();
+
+        let trace = load_trace_with_rotations(&live).unwrap();
+        assert_eq!(trace.events.len(), 4);
+        let users: Vec<usize> = trace
+            .events
+            .iter()
+            .map(|e| match e {
+                Event::TrainingCompleted { user, .. } => *user,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(users, vec![0, 1, 2, 3]);
+        assert_eq!(trace.schema_version, Some(4));
+        assert_eq!(trace.first_seq, Some(1));
+        assert_eq!(trace.last_seq, Some(5));
+        assert_eq!(trace.seq_gaps, 1);
+        assert_eq!(trace.segments.len(), 3);
+        assert_eq!(trace.segment_slices().len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scale_report_cross_checks_sketch_against_exact() {
+        // A deliberately lumpy stream: three quality tiers plus failures,
+        // split across two segments to exercise the sketch merge.
+        let mut first = LoadedTrace {
+            segments: vec![0],
+            ..LoadedTrace::default()
+        };
+        let mut second = LoadedTrace {
+            segments: vec![0],
+            ..LoadedTrace::default()
+        };
+        for i in 0..120usize {
+            let quality = match i % 3 {
+                0 => 0.9,
+                1 => 0.5,
+                _ => 0.2,
+            };
+            let event = if i % 17 == 0 {
+                failed(i % 7, 0, 1.0, "crash", 1)
+            } else {
+                completed(i % 7, 0, 0.5 + (i % 5) as f64, quality)
+            };
+            if i < 60 {
+                first.events.push(event);
+            } else {
+                second.events.push(event);
+            }
+        }
+        first.merge(second);
+        let report = scale_report(&first, &BTreeMap::new());
+        assert_eq!(report.segments, 2);
+        let merged = report.merged.as_ref().unwrap();
+        assert_eq!(merged.regret.count(), 120);
+        let check = &report.cross_check;
+        assert!(!check.skipped);
+        assert_eq!(check.quantiles_checked, SCALE_QUANTILES.len());
+        assert!(
+            check.passed(),
+            "max rel err {} over tolerance {}",
+            check.max_rel_err,
+            check.tolerance
+        );
+        // The merged sketch must agree with a single whole-stream fold.
+        let whole = scale_report(
+            &LoadedTrace {
+                events: first.events.clone(),
+                segments: vec![0],
+                ..LoadedTrace::default()
+            },
+            &BTreeMap::new(),
+        );
+        // Bucket-identical (the running `sum` may differ in the last ulp
+        // from the different accumulation order).
+        let whole_regret = &whole.merged.as_ref().unwrap().regret;
+        assert_eq!(whole_regret.count(), merged.regret.count());
+        for (q, _) in SCALE_QUANTILES {
+            assert_eq!(whole_regret.quantile(q), merged.regret.quantile(q));
+        }
+        // Top offender boards are populated from the same fold.
+        assert!(!report.scale.worst_cost.is_empty());
+        assert!(!report.scale.worst_regret.is_empty());
+    }
+
+    #[test]
+    fn exec_report_sketches_follow_the_device_stream() {
+        let events = vec![
+            Event::RunDispatched {
+                user: 0,
+                model: 0,
+                device: 0,
+                cost: 1.0,
+                at: 0.0,
+                parent: 0,
+            },
+            Event::RunFinished {
+                user: 0,
+                model: 0,
+                device: 0,
+                at: 2.0,
+                ok: true,
+                parent: 0,
+            },
+            Event::DeviceIdle {
+                device: 0,
+                idle: 0.5,
+                at: 2.5,
+                parent: 0,
+            },
+        ];
+        let report = exec_report(&events);
+        assert_eq!(report.busy_spans.count(), 1);
+        assert!((report.busy_spans.quantile(0.5).unwrap() - 2.0).abs() <= 0.02 * 2.0);
+        assert_eq!(report.queueing_delay.count(), 1);
+        assert!((report.queueing_delay.quantile(0.5).unwrap() - 0.5).abs() <= 0.02 * 0.5);
+        let trace = LoadedTrace {
+            events,
+            schema_version: Some(4),
+            ..LoadedTrace::default()
+        };
+        let text = render_report(&trace, &BTreeMap::new());
+        assert!(text.contains("queueing-delay quantiles:"), "{text}");
+        assert!(text.contains("busy-span quantiles:"), "{text}");
     }
 }

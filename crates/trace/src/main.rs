@@ -47,9 +47,12 @@ fn run() -> Result<(), String> {
         [command, path, rest @ ..] => (command.as_str(), Path::new(path), rest),
         _ => return Err(USAGE.to_string()),
     };
-    let trace = easeml_trace::load_trace(path)?;
+    // `report` folds rotated siblings (`<path>.N`) back in so a rotated
+    // sink's history is analyzed as one stream; `chrome` keeps the single
+    // file (the span tree only makes sense within one segment).
     match command {
         "report" => {
+            let trace = easeml_trace::load_trace_with_rotations(path)?;
             let targets = parse_targets(rest)?;
             print!("{}", easeml_trace::render_report(&trace, &targets));
             Ok(())
@@ -58,6 +61,7 @@ fn run() -> Result<(), String> {
             if !rest.is_empty() {
                 return Err(format!("chrome takes no flags\n{USAGE}"));
             }
+            let trace = easeml_trace::load_trace(path)?;
             println!("{}", easeml_trace::chrome_trace(&trace.events));
             Ok(())
         }

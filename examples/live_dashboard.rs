@@ -201,7 +201,14 @@ fn main() {
         series.set_target(user, target);
     }
 
-    let hub = Arc::new(TelemetryHub::new(primary.clone()).with_series(series.clone()));
+    // Registering the file sink publishes its write accounting
+    // (easeml_sink_{bytes,lines,dropped,rotations}_total) on /metrics —
+    // a scraper can alert on dropped trace writes without touching disk.
+    let hub = Arc::new(
+        TelemetryHub::new(primary.clone())
+            .with_series(series.clone())
+            .with_sink_stats("trace", file_sink.clone()),
+    );
     hub.set_status_json(service.status_json());
     let telemetry = if opts.serve {
         let server = TelemetryServer::serve(("127.0.0.1", opts.port), hub.clone())

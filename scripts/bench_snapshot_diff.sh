@@ -108,3 +108,45 @@ END {
     printf "\nOK: no component quantile regressed more than %s%%\n", threshold
 }
 ' "$baseline" "$candidate"
+
+# Telemetry-scale boundedness: rows named telemetry/fold@u=N (written by
+# `cargo bench -p easeml-bench --bench telemetry_scale`, in ascending
+# tenant order) carry the recorder state and /metrics body size at each
+# tenant count. Aggregate mode promises both are bounded in U: the check
+# is one-sided — the largest-U row must not exceed 1.5x the smallest-U
+# row (shrinking is fine; with a fixed event budget, fewer tenants give
+# each exemplar a longer curve window).
+# Snapshots without telemetry rows (e.g. obs_overhead) skip the check.
+awk '
+function extract(line, key,    rest) {
+    if (index(line, "\"" key "\":") == 0) return ""
+    rest = substr(line, index(line, "\"" key "\":") + length(key) + 3)
+    gsub(/^[ \t]+/, "", rest)
+    gsub(/[,}].*$/, "", rest)
+    return rest
+}
+/"name": "telemetry\/fold@u=/ {
+    n++
+    state[n] = extract($0, "state_bytes") + 0
+    body[n] = extract($0, "metrics_bytes") + 0
+}
+END {
+    if (n < 2) {
+        printf "telemetry boundedness: skipped (%d telemetry row(s) in candidate)\n", n
+        exit 0
+    }
+    if (state[1] <= 0 || body[1] <= 0) {
+        printf "error: telemetry rows carry zero state/body sizes\n" > "/dev/stderr"
+        exit 2
+    }
+    printf "telemetry state bytes, smallest -> largest U: %d -> %d (%.2fx)\n", \
+        state[1], state[n], state[n] / state[1]
+    printf "telemetry /metrics bytes, smallest -> largest U: %d -> %d (%.2fx)\n", \
+        body[1], body[n], body[n] / body[1]
+    if (state[n] > 1.5 * state[1] || body[n] > 1.5 * body[1]) {
+        printf "\nFAIL: telemetry state or /metrics body grows with the tenant count\n"
+        exit 1
+    }
+    printf "OK: telemetry footprint bounded across the tenant sweep\n"
+}
+' "$candidate"

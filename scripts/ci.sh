@@ -34,6 +34,9 @@ if echo "$report" | grep -q "rounds: 0 "; then
   echo "error: smoke trace produced an empty regret decomposition" >&2
   exit 1
 fi
+# The scale section folds the trace into sketches and must agree with the
+# exact per-quantile fold on a trace this small.
+echo "$report" | grep -q "sketch-vs-exact cross-check: pass"
 
 echo "==> chaos smoke run (seeded fault injection)"
 chaos_trace="$(mktemp -t easeml-ci-chaos-XXXXXX.jsonl)"
@@ -53,6 +56,9 @@ if echo "$chaos_report" | grep -q "TrainingFailed: 0 "; then
   exit 1
 fi
 echo "$chaos_report" | grep -q "decomposition consistent: true"
+# Censored runs observe full regret; the sketch fold must still match the
+# exact fold under censoring.
+echo "$chaos_report" | grep -q "sketch-vs-exact cross-check: pass"
 
 echo "==> multi-device smoke run (4 devices, chaos, mid-flight checkpoint)"
 exec_trace="$(mktemp -t easeml-ci-exec-XXXXXX.jsonl)"
@@ -81,5 +87,15 @@ if echo "$exec_report" | grep -Eq "peak in-flight: [01] "; then
   echo "error: trace shows no overlapping runs on a 4-device fleet" >&2
   exit 1
 fi
+echo "$exec_report" | grep -q "sketch-vs-exact cross-check: pass"
+
+echo "==> telemetry scale smoke (aggregate mode, U up to 100k)"
+scale_out="$(cargo run --quiet --example telemetry_scale -- --sweep --events 30000)"
+echo "$scale_out"
+# The aggregate-mode recorder must keep its state and the /metrics body
+# flat across a 100x tenant sweep while the sketch quantiles stay within
+# the configured relative error of an exact sort — the example asserts
+# both and prints the pass line only when they hold.
+echo "$scale_out" | grep -q "telemetry scale check: pass"
 
 echo "CI gate passed."

@@ -58,7 +58,11 @@ fn scheduler_run_is_observable_over_http() {
     service.register_user("vision-lab", IMAGE_PROG).unwrap();
     service.register_user("meteo-lab", TS_PROG).unwrap();
 
-    let hub = Arc::new(TelemetryHub::new(primary.clone()).with_series(series.clone()));
+    let hub = Arc::new(
+        TelemetryHub::new(primary.clone())
+            .with_series(series.clone())
+            .with_sink_stats("trace", file_sink.clone()),
+    );
     let server = TelemetryServer::serve("127.0.0.1:0", hub.clone()).unwrap();
     let addr = server.local_addr();
 
@@ -119,6 +123,40 @@ fn scheduler_run_is_observable_over_http() {
     assert!(
         metrics.contains("easeml_counter_total{name=\"server/rounds\"} 20"),
         "{metrics}"
+    );
+    // The bounded scale families are always on: regret quantiles per
+    // strategy, top-K offenders, and the telemetry's own accounting.
+    assert!(
+        metrics.contains("easeml_regret_quantile{"),
+        "missing bounded regret quantile family: {metrics}"
+    );
+    assert!(
+        metrics.contains("easeml_regret_topk{user=\""),
+        "missing top-K offender family: {metrics}"
+    );
+    assert!(
+        metrics.contains("easeml_telemetry_overhead_ns_total{component=\"timeseries/fold\"}"),
+        "missing self-overhead family: {metrics}"
+    );
+    assert!(
+        metrics.contains("easeml_telemetry_state_bytes"),
+        "{metrics}"
+    );
+    // The registered file sink reports its write accounting; every event
+    // reached disk (lines = seq header excluded, counted at scrape time).
+    assert!(
+        metrics.contains("easeml_sink_lines_total{sink=\"trace\"}"),
+        "missing sink accounting: {metrics}"
+    );
+    assert!(
+        metrics.contains("easeml_sink_dropped_total{sink=\"trace\"} 0"),
+        "{metrics}"
+    );
+    // The exporter accounts for itself from the second scrape on.
+    let (_, metrics2) = get(addr, "/metrics");
+    assert!(
+        metrics2.contains("easeml_telemetry_renders_total 1"),
+        "{metrics2}"
     );
 
     // --- /status: the scheduler snapshot -----------------------------
