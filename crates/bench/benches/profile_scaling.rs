@@ -1,0 +1,109 @@
+//! Hot-path profiling gate: per-phase self time, allocation attribution,
+//! and empirical scaling exponents at U ∈ {1k, 10k, 100k} tenants.
+//!
+//! Each tenant count runs the greedy max-UCB-gap workload for a fixed
+//! number of steps under a live `Profiler` (noop recorder — the profiler
+//! hooks on span enter/exit alone), with the counting allocator installed
+//! so every phase row also carries allocs/bytes attributed to its self
+//! windows. The run asserts the profile's structural health (≥95% of
+//! `scheduler_step` wall time attributed to child phases, phase totals
+//! within 5% of the measured step totals) and the paper's complexity
+//! reading: `pick_user` scans all U tenants — empirically ~O(U) — while
+//! `posterior_update` touches one 20-arm posterior and must stay ~O(1).
+//! Rows land in `profile_scaling.perf.json` for
+//! `scripts/bench_snapshot_diff.sh` to diff across commits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use easeml_bench::{banner, profile_rows, profile_scaling_sweep, profile_snapshot};
+use easeml_obs::{scaling_exponents, CountingAlloc};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::system();
+
+const TENANT_COUNTS: [usize; 3] = [1_000, 10_000, 100_000];
+const STEPS: usize = 200;
+
+fn profile_report(_c: &mut Criterion) {
+    banner(
+        "Profile",
+        "Hot-path profiling: per-phase self time and empirical scaling vs tenant count",
+    );
+    let runs = profile_scaling_sweep(&TENANT_COUNTS, STEPS);
+
+    let rows = profile_rows(&runs);
+    println!(
+        "{:>8} {:>18} {:>8} {:>14} {:>14} {:>12} {:>12}",
+        "users", "phase", "calls", "self ns/step", "p95 ns/call", "allocs/step", "peak bytes"
+    );
+    for row in &rows {
+        println!(
+            "{:>8} {:>18} {:>8} {:>14.0} {:>14.0} {:>12.2} {:>12}",
+            row.users,
+            row.phase,
+            row.calls,
+            row.self_ns_per_step,
+            row.p95_ns,
+            row.allocs_per_step,
+            row.peak_bytes
+        );
+    }
+
+    // Structural health: every run attributes ≥95% of scheduler_step wall
+    // time to named phases, which is exactly "phase totals within 5% of
+    // the measured step totals".
+    for (users, profile) in &runs {
+        assert_eq!(
+            profile.dropped_exits, 0,
+            "u={users}: profiler dropped span exits"
+        );
+        let (attributed, total) = profile
+            .phase_coverage("scheduler_step")
+            .expect("every run records scheduler steps");
+        assert!(
+            attributed as f64 >= 0.95 * total as f64,
+            "u={users}: only {attributed} of {total} scheduler_step ns attributed (need 95%)"
+        );
+        let step = profile.find(&["scheduler_step"]).unwrap();
+        assert!(
+            step.allocs > 0,
+            "u={users}: counting allocator attributed no allocations — is it installed?"
+        );
+    }
+    println!("\nphase coverage ≥ 95% of scheduler_step wall time at every U: ok");
+
+    // Complexity reading. The fit tolerates constant-factor noise: the
+    // pick scan is ~O(U) (candidate set + argmax over all tenants), the
+    // posterior update is per-tenant and must not grow with U.
+    let refs: Vec<(usize, &easeml_obs::CallTreeProfile)> =
+        runs.iter().map(|(u, p)| (*u, p)).collect();
+    let fits = scaling_exponents(&refs);
+    println!("\nempirical scaling (self ns/call vs U):");
+    for fit in &fits {
+        println!("  {:<18} O(U^{:.2})", fit.phase, fit.exponent);
+    }
+    let exponent = |phase: &str| {
+        fits.iter()
+            .find(|f| f.phase == phase)
+            .unwrap_or_else(|| panic!("no scaling fit for {phase}"))
+            .exponent
+    };
+    let pick = exponent("pick_user");
+    assert!(
+        (0.5..1.6).contains(&pick),
+        "pick_user should scale ~O(U), fitted O(U^{pick:.2})"
+    );
+    let update = exponent("posterior_update");
+    assert!(
+        update < 0.5,
+        "posterior_update should be ~O(1) in U, fitted O(U^{update:.2})"
+    );
+    println!("\npick_user ~O(U), posterior_update ~O(1): ok");
+
+    match profile_snapshot("profile_scaling", &rows) {
+        Some(p) => println!("perf snapshot: {}", p.display()),
+        None => println!("perf snapshot: skipped (filesystem unavailable)"),
+    }
+}
+
+criterion_group!(benches, profile_report);
+criterion_main!(benches);

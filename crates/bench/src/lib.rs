@@ -478,6 +478,172 @@ pub fn telemetry_snapshot(id: &str, rows: &[TelemetryScaleRow]) -> Option<std::p
     report::write_artifact(&format!("{id}.perf.json"), &json).ok()
 }
 
+/// One per-phase row of the hot-path profiling sweep at one tenant count —
+/// what [`profile_snapshot`] serialises and `benches/profile_scaling.rs`
+/// prints and gates on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfilePhaseRow {
+    /// Tenant count U of this run.
+    pub users: usize,
+    /// Span name of the phase.
+    pub phase: String,
+    /// Closed occurrences across the whole call tree.
+    pub calls: u64,
+    /// Median per-call latency, nanoseconds.
+    pub p50_ns: f64,
+    /// 95th-percentile per-call latency, nanoseconds.
+    pub p95_ns: f64,
+    /// Worst per-call latency, nanoseconds.
+    pub max_ns: u64,
+    /// Wall time attributed to the phase itself (children excluded).
+    pub self_ns: u64,
+    /// Self time per scheduler step.
+    pub self_ns_per_step: f64,
+    /// Heap allocations attributed to the phase's self windows (0 unless
+    /// the binary installs [`easeml_obs::CountingAlloc`]).
+    pub allocs: u64,
+    /// Allocations per scheduler step.
+    pub allocs_per_step: f64,
+    /// Bytes allocated in the phase's self windows.
+    pub alloc_bytes: u64,
+    /// Largest single-call peak live-byte growth.
+    pub peak_bytes: u64,
+}
+
+/// The fixed workload one profiling measurement runs at tenant count
+/// `users`: U tenants x 20 models, unit costs, a `steps`-round budget, and
+/// no faults. The sweep schedules it with the greedy max-UCB-gap rule —
+/// not HYBRID, whose freeze decays into round-robin and would wash the
+/// `pick_user` scaling exponent out.
+pub fn profile_workload(
+    users: usize,
+    steps: usize,
+) -> (Dataset, Vec<easeml_gp::ArmPrior>, SimConfig) {
+    let dataset = easeml_data::SynConfig {
+        num_users: users,
+        num_models: 20,
+        ..easeml_data::SynConfig::paper(0.5, 1.0)
+    }
+    .generate(seed())
+    .unit_cost_view();
+    let priors = (0..users)
+        .map(|_| easeml_gp::ArmPrior::independent(20, 0.05))
+        .collect();
+    let cfg = SimConfig {
+        budget: steps as f64,
+        cost_aware: false,
+        noise_var: 1e-3,
+        delta: 0.1,
+        fault: None,
+    };
+    (dataset, priors, cfg)
+}
+
+/// Runs [`profile_workload`] under a live [`easeml_obs::Profiler`] at each
+/// tenant count and returns the captured call trees, ready for
+/// [`easeml_obs::scaling_exponents`]. The recorder is a noop handle: the
+/// profiler hooks on span enter/exit fire anyway, so the measurement
+/// carries no event-buffer cost — it times exactly the simulation's own
+/// work. Each run gets a fresh profiler; the previous global profiler is
+/// restored afterwards.
+pub fn profile_scaling_sweep(
+    tenant_counts: &[usize],
+    steps: usize,
+) -> Vec<(usize, easeml_obs::CallTreeProfile)> {
+    use easeml_obs::{set_global_profiler, Profiler, RecorderHandle};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    tenant_counts
+        .iter()
+        .map(|&users| {
+            let (dataset, priors, cfg) = profile_workload(users, steps);
+            let profiler = Arc::new(Profiler::new());
+            let previous = set_global_profiler(Some(profiler.clone()));
+            let mut rng = StdRng::seed_from_u64(seed() ^ users as u64);
+            let _ = simulate_with_recorder(
+                &dataset,
+                &priors,
+                SchedulerKind::Greedy(easeml_sched::PickRule::MaxUcbGap),
+                &cfg,
+                &mut rng,
+                &RecorderHandle::noop(),
+            );
+            set_global_profiler(previous);
+            (users, profiler.snapshot())
+        })
+        .collect()
+}
+
+/// Flattens the sweep's call trees into per-phase rows, normalising self
+/// time and allocations by each run's `scheduler_step` count.
+pub fn profile_rows(runs: &[(usize, easeml_obs::CallTreeProfile)]) -> Vec<ProfilePhaseRow> {
+    let mut out = Vec::new();
+    for (users, profile) in runs {
+        let steps = profile
+            .find(&["scheduler_step"])
+            .map_or(0, |node| node.count)
+            .max(1);
+        for phase in profile.phase_table() {
+            out.push(ProfilePhaseRow {
+                users: *users,
+                calls: phase.calls,
+                p50_ns: phase.latency.quantile(0.5).unwrap_or(0.0),
+                p95_ns: phase.latency.quantile(0.95).unwrap_or(0.0),
+                max_ns: phase.latency.max().unwrap_or(0.0) as u64,
+                self_ns: phase.self_ns,
+                self_ns_per_step: phase.self_ns as f64 / steps as f64,
+                allocs: phase.allocs,
+                allocs_per_step: phase.allocs as f64 / steps as f64,
+                alloc_bytes: phase.alloc_bytes,
+                peak_bytes: phase.peak_bytes,
+                phase: phase.name,
+            });
+        }
+    }
+    out
+}
+
+/// Writes the profiling rows as `<id>.perf.json` under
+/// `target/experiments/`, one component row per (phase, tenant count)
+/// named `profile/<phase>@u=N`. The rows carry the same `count`/`p50_ns`/
+/// `p95_ns`/`max_ns` keys `scripts/bench_snapshot_diff.sh` diffs, plus
+/// `self_ns`/`allocs` (and their per-step forms) for the per-phase budget
+/// check.
+///
+/// Returns the perf-json path, or `None` when the filesystem is
+/// unavailable.
+pub fn profile_snapshot(id: &str, rows: &[ProfilePhaseRow]) -> Option<std::path::PathBuf> {
+    use std::fmt::Write as _;
+
+    let mut json = String::from("{\n  \"components\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"profile/{}@u={}\", \"count\": {}, \"p50_ns\": {:.0}, \
+             \"p95_ns\": {:.0}, \"max_ns\": {}, \"self_ns\": {}, \"self_ns_per_step\": {:.0}, \
+             \"allocs\": {}, \"allocs_per_step\": {:.2}, \"alloc_bytes\": {}, \
+             \"peak_bytes\": {}}}{}",
+            row.phase,
+            row.users,
+            row.calls,
+            row.p50_ns,
+            row.p95_ns,
+            row.max_ns,
+            row.self_ns,
+            row.self_ns_per_step,
+            row.allocs,
+            row.allocs_per_step,
+            row.alloc_bytes,
+            row.peak_bytes,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    report::write_artifact(&format!("{id}.perf.json"), &json).ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -516,6 +682,55 @@ mod tests {
             rows[0].metrics_bytes,
             rows[1].metrics_bytes
         );
+    }
+
+    #[test]
+    fn profile_sweep_captures_the_step_phases() {
+        // One combined test: the global profiler is process-wide state, so
+        // the sweep, row flattening, and snapshot are exercised together.
+        let runs = profile_scaling_sweep(&[5, 50], 40);
+        assert_eq!(runs.len(), 2);
+        for (users, profile) in &runs {
+            let step = profile
+                .find(&["scheduler_step"])
+                .unwrap_or_else(|| panic!("u={users}: no scheduler_step node"));
+            assert_eq!(step.count, 40, "unit costs: one step per budget unit");
+            assert_eq!(profile.dropped_exits, 0);
+            let (attributed, total) = profile
+                .phase_coverage("scheduler_step")
+                .expect("steps were profiled");
+            assert!(
+                attributed as f64 >= 0.95 * total as f64,
+                "u={users}: phase coverage {attributed}/{total}"
+            );
+        }
+        let rows = profile_rows(&runs);
+        for phase in [
+            "scheduler_step",
+            "pick_user",
+            "pick_arm",
+            "train",
+            "posterior_update",
+        ] {
+            assert!(
+                rows.iter().any(|r| r.phase == phase && r.users == 50),
+                "missing phase row {phase}"
+            );
+        }
+        let step_row = rows
+            .iter()
+            .find(|r| r.phase == "scheduler_step" && r.users == 50)
+            .unwrap();
+        assert!(step_row.p95_ns >= step_row.p50_ns);
+        assert!(step_row.self_ns_per_step > 0.0);
+
+        let path = profile_snapshot("profile_scaling_test", &rows)
+            .expect("target/experiments must be writable in tests");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"name\": \"profile/pick_user@u=50\""));
+        assert!(body.contains("\"p50_ns\""), "differ keys off p50_ns lines");
+        assert!(body.contains("\"self_ns_per_step\""));
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

@@ -436,21 +436,29 @@ impl EaseMl {
                         0.0
                     };
                     let total = charge.max(0.0) + backoff;
-                    if total > 0.0 && total.is_finite() {
+                    {
+                        // The failed attempt is still training work: the
+                        // span covers both the censored charge and the
+                        // TrainingFailed emit, so the event parents under
+                        // `train` exactly like the success path (and like
+                        // the sim's censor_run) — profiles attribute the
+                        // failure to the phase that paid for it.
                         let _train = self.recorder.span("train");
-                        self.cluster
-                            .lock()
-                            .execute(TrainingRun::censored(user, model_idx, total));
-                        censored_cost += total;
+                        if total > 0.0 && total.is_finite() {
+                            self.cluster
+                                .lock()
+                                .execute(TrainingRun::censored(user, model_idx, total));
+                            censored_cost += total;
+                        }
+                        self.recorder.emit(|| Event::TrainingFailed {
+                            user,
+                            model: model_idx,
+                            cost: total,
+                            kind: error.kind().to_string(),
+                            attempt,
+                            parent: easeml_obs::current_span(),
+                        });
                     }
-                    self.recorder.emit(|| Event::TrainingFailed {
-                        user,
-                        model: model_idx,
-                        cost: total,
-                        kind: error.kind().to_string(),
-                        attempt,
-                        parent: easeml_obs::current_span(),
-                    });
                     self.recorder.count("server/failed-runs", 1);
                     // Quarantine on repeated (cross-round) failures.
                     let consecutive = self.retry_state.record_failure(user, model_idx);

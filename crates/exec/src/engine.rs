@@ -431,8 +431,11 @@ impl<'a> ExecEngine<'a> {
             .filter(|r| r.user == self.in_flight[idx].user)
             .count();
         let run = self.in_flight.remove(idx);
-        self.fleet.release(run.device, self.now);
+        // The span opens before the device release so the busy-integral
+        // sweep inside `release` is attributed to `complete` — it is part
+        // of resolving this run, not idle scheduler time.
         let _span = self.recorder.span("complete");
+        self.fleet.release(run.device, self.now);
         self.recorder.emit(|| Event::RunFinished {
             user: run.user,
             model: run.model,

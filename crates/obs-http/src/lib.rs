@@ -3,7 +3,7 @@
 //! `easeml-obs` captures what the multi-tenant scheduler is doing;
 //! this crate makes that visible *while it happens* over plain HTTP/1.1 —
 //! no external dependencies, just `std::net::TcpListener` and a thread per
-//! connection. Four routes:
+//! connection. Five routes:
 //!
 //! | Route            | Content                                             |
 //! |------------------|-----------------------------------------------------|
@@ -14,6 +14,9 @@
 //! | `GET /trace`     | JSONL event trace; `?after=<seq>` tails only events |
 //! |                  | with sequence number strictly greater than `seq`;   |
 //! |                  | `?limit=<n>` caps the page at `n` events            |
+//! | `GET /profile`   | Aggregated span call-tree profile as JSON, or with  |
+//! |                  | `?format=folded` as Brendan-Gregg folded stacks     |
+//! |                  | ready for `flamegraph.pl` / speedscope              |
 //!
 //! The application side is a [`TelemetryHub`]: it owns the
 //! [`InMemoryRecorder`] the scheduler writes through, optionally a
@@ -39,7 +42,7 @@
 mod http;
 mod render;
 
-use easeml_obs::{InMemoryRecorder, JsonlFileSink, TimeSeriesRecorder};
+use easeml_obs::{CallTreeProfile, InMemoryRecorder, JsonlFileSink, Profiler, TimeSeriesRecorder};
 use parking_lot::Mutex;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -63,6 +66,7 @@ const READ_TIMEOUT: Duration = Duration::from_secs(2);
 pub struct TelemetryHub {
     recorder: Arc<InMemoryRecorder>,
     series: Option<Arc<TimeSeriesRecorder>>,
+    profiler: Option<Arc<Profiler>>,
     sinks: Vec<(String, Arc<JsonlFileSink>)>,
     render_opts: RenderOptions,
     render_ns: AtomicU64,
@@ -76,6 +80,7 @@ impl TelemetryHub {
         TelemetryHub {
             recorder,
             series: None,
+            profiler: None,
             sinks: Vec::new(),
             render_opts: RenderOptions::default(),
             render_ns: AtomicU64::new(0),
@@ -95,6 +100,14 @@ impl TelemetryHub {
     /// on `/metrics` as `easeml_sink_*{sink="<name>"}` families.
     pub fn with_sink_stats(mut self, name: impl Into<String>, sink: Arc<JsonlFileSink>) -> Self {
         self.sinks.push((name.into(), sink));
+        self
+    }
+
+    /// Attaches a live [`Profiler`]; `/profile` then serves its online
+    /// call tree. Without one, `/profile` folds the hub recorder's span
+    /// events on demand — same tree, rebuilt per request.
+    pub fn with_profiler(mut self, profiler: Arc<Profiler>) -> Self {
+        self.profiler = Some(profiler);
         self
     }
 
@@ -166,6 +179,16 @@ impl TelemetryHub {
         self.recorder.to_jsonl_since_capped(after, limit)
     }
 
+    /// The call-tree profile behind `/profile`: the attached live
+    /// [`Profiler`]'s snapshot, or an on-demand fold of the recorder's
+    /// span events when none is attached.
+    pub fn profile(&self) -> CallTreeProfile {
+        match &self.profiler {
+            Some(p) => p.snapshot(),
+            None => CallTreeProfile::fold(&self.recorder.events()),
+        }
+    }
+
     /// Routes one parsed request to its response. Exposed for tests and
     /// for embedding the routing into another server.
     pub fn respond(&self, request: &Request) -> (Status, &'static str, String) {
@@ -202,10 +225,23 @@ impl TelemetryHub {
                     ),
                 }
             }
+            "/profile" => match request.query_param("format") {
+                None | Some("json") => (Status::Ok, "application/json", self.profile().to_json()),
+                Some("folded") => (
+                    Status::Ok,
+                    "text/plain; charset=utf-8",
+                    self.profile().folded_stacks(),
+                ),
+                Some(_) => (
+                    Status::BadRequest,
+                    "text/plain; charset=utf-8",
+                    "format must be json or folded\n".to_string(),
+                ),
+            },
             _ => (
                 Status::NotFound,
                 "text/plain; charset=utf-8",
-                "unknown route; try /healthz, /metrics, /status, /trace\n".to_string(),
+                "unknown route; try /healthz, /metrics, /status, /trace, /profile\n".to_string(),
             ),
         }
     }
@@ -450,6 +486,58 @@ mod tests {
         );
         drop(server);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn profile_endpoint_serves_folded_and_json_trees() {
+        // Without an attached profiler the hub folds the recorder's span
+        // events on demand.
+        let recorder = Arc::new(InMemoryRecorder::new());
+        let handle = easeml_obs::RecorderHandle::new(recorder.clone());
+        for _ in 0..2 {
+            let _step = handle.span("scheduler_step");
+            let _pick = handle.span("pick_user");
+        }
+        let hub = Arc::new(TelemetryHub::new(recorder));
+        let server = TelemetryServer::serve("127.0.0.1:0", hub).unwrap();
+        let addr = server.local_addr();
+
+        let (head, body) = get(addr, "/profile");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("application/json"), "{head}");
+        assert!(body.contains("\"schema\":\"easeml-profile\""), "{body}");
+        assert!(body.contains("\"name\":\"pick_user\""), "{body}");
+        assert!(body.contains("\"closed_spans\":4"), "{body}");
+
+        let (head, body) = get(addr, "/profile?format=folded");
+        assert!(head.contains("text/plain"), "{head}");
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2, "{body}");
+        assert!(lines[0].starts_with("scheduler_step "), "{body}");
+        assert!(lines[1].starts_with("scheduler_step;pick_user "), "{body}");
+
+        let (head, _) = get(addr, "/profile?format=ascii-art");
+        assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+    }
+
+    #[test]
+    fn profile_endpoint_prefers_the_attached_live_profiler() {
+        // A live profiler sees spans that never reach the hub's recorder
+        // (here: spans through a noop handle).
+        let profiler = Arc::new(easeml_obs::Profiler::new());
+        assert!(easeml_obs::set_global_profiler(Some(profiler.clone())).is_none());
+        let noop = easeml_obs::RecorderHandle::noop();
+        for _ in 0..3 {
+            let _step = noop.span("scheduler_step");
+            let _train = noop.span("train");
+        }
+        easeml_obs::set_global_profiler(None);
+
+        let hub =
+            Arc::new(TelemetryHub::new(Arc::new(InMemoryRecorder::new())).with_profiler(profiler));
+        let server = TelemetryServer::serve("127.0.0.1:0", hub).unwrap();
+        let (_, body) = get(server.local_addr(), "/profile?format=folded");
+        assert!(body.contains("scheduler_step;train "), "{body}");
     }
 
     #[test]

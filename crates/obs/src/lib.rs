@@ -60,9 +60,19 @@
 //!   the contract behind the `easeml-obs-http` crate's `/trace?after=`
 //!   endpoint.
 
+//!
+//! For *attribution* — where a step spends its time and memory — the
+//! profiling layer folds the span stream into an aggregated
+//! [`CallTreeProfile`] (offline, from any trace) or maintains it online
+//! through a global [`Profiler`] fed directly by span guards, with
+//! optional allocation accounting via the [`CountingAlloc`] global
+//! allocator. See the `profile` module docs.
+
+mod alloc;
 mod event;
 pub mod json;
 mod memory;
+mod profile;
 mod recorder;
 mod sink;
 mod sketch;
@@ -70,8 +80,13 @@ mod span;
 mod timer;
 mod timeseries;
 
+pub use alloc::{counting_allocator_active, thread_alloc_stats, AllocStats, CountingAlloc};
 pub use event::{Event, TRACE_SCHEMA_VERSION};
 pub use memory::{Histogram, InMemoryRecorder, UserStats};
+pub use profile::{
+    global_profiler, profiling_enabled, scaling_exponents, set_global_profiler, CallTreeProfile,
+    PhaseRow, PhaseScaling, ProfileNode, Profiler,
+};
 pub use recorder::{Component, NoopRecorder, Recorder, RecorderHandle};
 pub use sink::{
     schema_header_line, JsonlFileSink, SinkStats, StreamingSink, TeeRecorder, DEFAULT_KEEP_ROTATED,

@@ -1,0 +1,952 @@
+//! Hot-path self-profiling: aggregated call-tree profiles over spans.
+//!
+//! Two producers build the same structure:
+//!
+//! * [`CallTreeProfile::fold`] rebuilds the tree *offline* from any
+//!   [`Event::SpanStart`]/[`Event::SpanEnd`] stream — a loaded trace file,
+//!   an [`InMemoryRecorder`](crate::InMemoryRecorder) dump, a rotated
+//!   segment. Folding never panics: truncated or interleaved streams are
+//!   tolerated and the damage is *counted* ([`CallTreeProfile::unclosed_spans`],
+//!   [`CallTreeProfile::orphan_ends`]) instead of hidden.
+//! * A live [`Profiler`], registered process-wide with
+//!   [`set_global_profiler`], maintains the tree *online* from
+//!   [`SpanGuard`](crate::SpanGuard) enter/exit without materializing any
+//!   events — spans profile even through noop recorder handles, so a
+//!   benchmark can attribute time with zero event traffic.
+//!
+//! Nodes are keyed by span-name *path* (`scheduler_step → pick_user`),
+//! and each carries call count, total and self wall-ns, a per-call latency
+//! [`QuantileSketch`] (constant memory; equal-alpha profiles merge
+//! losslessly across rotated segments), and — when the binary installs
+//! [`CountingAlloc`](crate::CountingAlloc) — allocations, bytes, and peak
+//! live-byte growth attributed to the node.
+//!
+//! When no profiler is registered the per-span cost is one relaxed atomic
+//! load; the noop span path stays allocation-free.
+
+use crate::alloc;
+use crate::event::Event;
+use crate::sketch::{QuantileSketch, DEFAULT_SKETCH_ALPHA};
+use crate::span::trace_ts_ns;
+use parking_lot::{Mutex, RwLock};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Bucket cap for per-node latency sketches; spans of one phase cluster
+/// within a few orders of magnitude, so this is far more than needed.
+const LATENCY_SKETCH_MAX_BUCKETS: usize = 256;
+
+/// Index of the synthetic root node present in every profile.
+const ROOT: usize = 0;
+
+fn latency_sketch() -> QuantileSketch {
+    QuantileSketch::with_max_buckets(DEFAULT_SKETCH_ALPHA, LATENCY_SKETCH_MAX_BUCKETS)
+}
+
+/// One aggregated node of a call-tree profile: every span occurrence with
+/// the same name *path* folds into the same node.
+#[derive(Debug, Clone)]
+pub struct ProfileNode {
+    /// Span name (empty for the synthetic root).
+    pub name: String,
+    /// Index of the parent node (`usize::MAX` for the root).
+    pub parent: usize,
+    /// Child node indices, in first-seen order.
+    pub children: Vec<usize>,
+    /// Number of span occurrences folded into this node.
+    pub count: u64,
+    /// Total wall-ns across occurrences (children included).
+    pub total_ns: u64,
+    /// Wall-ns not covered by profiled children.
+    pub self_ns: u64,
+    /// Per-occurrence total-duration sketch (ns).
+    pub latency: QuantileSketch,
+    /// Allocations attributed to this node's self-time (zero without a
+    /// [`CountingAlloc`](crate::CountingAlloc); always zero offline).
+    pub allocs: u64,
+    /// Deallocations attributed to this node's self-time.
+    pub frees: u64,
+    /// Bytes allocated, attributed to this node's self-time.
+    pub alloc_bytes: u64,
+    /// Largest peak live-byte growth seen during any single occurrence
+    /// (children included).
+    pub peak_bytes: u64,
+}
+
+impl ProfileNode {
+    fn new(name: String, parent: usize) -> Self {
+        ProfileNode {
+            name,
+            parent,
+            children: Vec::new(),
+            count: 0,
+            total_ns: 0,
+            self_ns: 0,
+            latency: latency_sketch(),
+            allocs: 0,
+            frees: 0,
+            alloc_bytes: 0,
+            peak_bytes: 0,
+        }
+    }
+}
+
+/// An aggregated call tree over span names. See the module docs for the
+/// two ways to build one; [`merge`](CallTreeProfile::merge) combines
+/// profiles from rotated segments, threads, or repeated runs.
+#[derive(Debug, Clone)]
+pub struct CallTreeProfile {
+    /// Node arena; index 0 is the synthetic root and every node's parent
+    /// index is smaller than its own.
+    nodes: Vec<ProfileNode>,
+    /// Spans whose `SpanEnd` never arrived (stream truncation, crash,
+    /// rotation seam) — their partial time is *not* attributed.
+    pub unclosed_spans: u64,
+    /// `SpanEnd` events with no matching open span (head-truncated
+    /// streams, duplicate closes).
+    pub orphan_ends: u64,
+    /// Live-profiler exits discarded because the profiler was swapped
+    /// while their span was open.
+    pub dropped_exits: u64,
+}
+
+impl Default for CallTreeProfile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CallTreeProfile {
+    /// An empty profile holding only the synthetic root.
+    pub fn new() -> Self {
+        CallTreeProfile {
+            nodes: vec![ProfileNode::new(String::new(), usize::MAX)],
+            unclosed_spans: 0,
+            orphan_ends: 0,
+            dropped_exits: 0,
+        }
+    }
+
+    /// All nodes; index 0 is the synthetic root.
+    pub fn nodes(&self) -> &[ProfileNode] {
+        &self.nodes
+    }
+
+    /// Whether any span occurrence has been folded in.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1 && self.nodes[ROOT].children.is_empty()
+    }
+
+    /// Total span occurrences closed into the tree.
+    pub fn closed_spans(&self) -> u64 {
+        self.nodes.iter().skip(1).map(|n| n.count).sum()
+    }
+
+    /// Child of `parent` named `name`, creating it if absent.
+    fn find_or_insert(&mut self, parent: usize, name: &str) -> usize {
+        if let Some(&child) = self.nodes[parent]
+            .children
+            .iter()
+            .find(|&&c| self.nodes[c].name == name)
+        {
+            return child;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(ProfileNode::new(name.to_string(), parent));
+        self.nodes[parent].children.push(idx);
+        idx
+    }
+
+    fn close_occurrence(&mut self, node: usize, dur_ns: u64, child_ns: u64) {
+        let n = &mut self.nodes[node];
+        n.count += 1;
+        n.total_ns += dur_ns;
+        n.self_ns += dur_ns.saturating_sub(child_ns);
+        n.latency.insert(dur_ns as f64);
+    }
+
+    /// Folds a span stream into an aggregated call tree.
+    ///
+    /// Parenting uses span ids (not stack order), so interleaved spans
+    /// from multiple threads fold correctly. Malformed streams never
+    /// panic: ends without starts bump [`orphan_ends`](Self::orphan_ends),
+    /// starts without ends bump [`unclosed_spans`](Self::unclosed_spans)
+    /// and contribute no time.
+    pub fn fold(events: &[Event]) -> CallTreeProfile {
+        struct OpenSpan {
+            node: usize,
+            parent_span: u64,
+            start_ns: u64,
+            child_ns: u64,
+        }
+        let mut profile = CallTreeProfile::new();
+        let mut open: HashMap<u64, OpenSpan> = HashMap::new();
+        for event in events {
+            match event {
+                Event::SpanStart {
+                    span,
+                    parent,
+                    name,
+                    ts_ns,
+                } => {
+                    let parent_node = open.get(parent).map_or(ROOT, |o| o.node);
+                    let node = profile.find_or_insert(parent_node, name);
+                    let prev = open.insert(
+                        *span,
+                        OpenSpan {
+                            node,
+                            parent_span: *parent,
+                            start_ns: *ts_ns,
+                            child_ns: 0,
+                        },
+                    );
+                    if prev.is_some() {
+                        // A reused span id clobbers the stale entry; the
+                        // earlier open can no longer close.
+                        profile.unclosed_spans += 1;
+                    }
+                }
+                Event::SpanEnd { span, ts_ns } => match open.remove(span) {
+                    Some(o) => {
+                        let dur = ts_ns.saturating_sub(o.start_ns);
+                        profile.close_occurrence(o.node, dur, o.child_ns);
+                        if let Some(p) = open.get_mut(&o.parent_span) {
+                            p.child_ns += dur;
+                        }
+                    }
+                    None => profile.orphan_ends += 1,
+                },
+                _ => {}
+            }
+        }
+        profile.unclosed_spans += open.len() as u64;
+        profile
+    }
+
+    /// Merges `other` into `self` node-by-node (matched by name path):
+    /// counts, times, and allocation counters add; latency sketches merge
+    /// losslessly; peaks take the max. `fold(a ++ b)` equals
+    /// `merge(fold(a), fold(b))` for well-formed `a` and `b`.
+    pub fn merge(&mut self, other: &CallTreeProfile) {
+        self.unclosed_spans += other.unclosed_spans;
+        self.orphan_ends += other.orphan_ends;
+        self.dropped_exits += other.dropped_exits;
+        // Parents precede children in the arena, so a single in-order pass
+        // always finds the mapped parent before its children.
+        let mut map = vec![usize::MAX; other.nodes.len()];
+        map[ROOT] = ROOT;
+        for idx in 1..other.nodes.len() {
+            let o = &other.nodes[idx];
+            let mine = self.find_or_insert(map[o.parent], &o.name);
+            map[idx] = mine;
+            let n = &mut self.nodes[mine];
+            n.count += o.count;
+            n.total_ns += o.total_ns;
+            n.self_ns += o.self_ns;
+            n.latency.merge(&o.latency);
+            n.allocs += o.allocs;
+            n.frees += o.frees;
+            n.alloc_bytes += o.alloc_bytes;
+            n.peak_bytes = n.peak_bytes.max(o.peak_bytes);
+        }
+    }
+
+    /// The node at name path `path` (root-relative), if present.
+    pub fn find(&self, path: &[&str]) -> Option<&ProfileNode> {
+        let mut idx = ROOT;
+        for name in path {
+            idx = *self.nodes[idx]
+                .children
+                .iter()
+                .find(|&&c| self.nodes[c].name == *name)?;
+        }
+        Some(&self.nodes[idx])
+    }
+
+    /// Sum of `self_ns` over the subtree rooted at `idx`.
+    fn subtree_self_ns(&self, idx: usize) -> u64 {
+        let mut total = self.nodes[idx].self_ns;
+        for &c in &self.nodes[idx].children {
+            total += self.subtree_self_ns(c);
+        }
+        total
+    }
+
+    /// Attribution coverage for spans named `name`: returns
+    /// `(attributed_ns, total_ns)` where `attributed` sums self-time over
+    /// the named nodes *and their descendants* and `total` is the named
+    /// nodes' wall time. The ratio is 1.0 when every nanosecond of the
+    /// phase decomposed cleanly; a shortfall means unbalanced spans or
+    /// clock skew leaked time. `None` if no node carries that name.
+    pub fn phase_coverage(&self, name: &str) -> Option<(u64, u64)> {
+        let mut attributed = 0u64;
+        let mut total = 0u64;
+        let mut seen = false;
+        for idx in 1..self.nodes.len() {
+            if self.nodes[idx].name == name {
+                seen = true;
+                attributed += self.subtree_self_ns(idx);
+                total += self.nodes[idx].total_ns;
+            }
+        }
+        seen.then_some((attributed, total))
+    }
+
+    /// Per-phase rollup: nodes sharing a name aggregate into one row
+    /// regardless of where they sit in the tree; rows sort by self-time,
+    /// heaviest first.
+    pub fn phase_table(&self) -> Vec<PhaseRow> {
+        let mut order: Vec<String> = Vec::new();
+        let mut rows: HashMap<String, PhaseRow> = HashMap::new();
+        for node in self.nodes.iter().skip(1) {
+            let row = rows.entry(node.name.clone()).or_insert_with(|| {
+                order.push(node.name.clone());
+                PhaseRow {
+                    name: node.name.clone(),
+                    calls: 0,
+                    total_ns: 0,
+                    self_ns: 0,
+                    latency: latency_sketch(),
+                    allocs: 0,
+                    frees: 0,
+                    alloc_bytes: 0,
+                    peak_bytes: 0,
+                }
+            });
+            row.calls += node.count;
+            row.total_ns += node.total_ns;
+            row.self_ns += node.self_ns;
+            row.latency.merge(&node.latency);
+            row.allocs += node.allocs;
+            row.frees += node.frees;
+            row.alloc_bytes += node.alloc_bytes;
+            row.peak_bytes = row.peak_bytes.max(node.peak_bytes);
+        }
+        let mut table: Vec<PhaseRow> = order.into_iter().filter_map(|n| rows.remove(&n)).collect();
+        table.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(&b.name)));
+        table
+    }
+
+    /// Brendan Gregg folded-stacks text: one line per node,
+    /// `root;child;leaf self_ns`, ready for `flamegraph.pl` or speedscope.
+    pub fn folded_stacks(&self) -> String {
+        let mut out = String::new();
+        let mut path: Vec<&str> = Vec::new();
+        self.fold_stacks_into(ROOT, &mut path, &mut out);
+        out
+    }
+
+    fn fold_stacks_into<'a>(&'a self, idx: usize, path: &mut Vec<&'a str>, out: &mut String) {
+        if idx != ROOT {
+            path.push(&self.nodes[idx].name);
+            if self.nodes[idx].count > 0 {
+                let _ = writeln!(out, "{} {}", path.join(";"), self.nodes[idx].self_ns);
+            }
+        }
+        for &c in &self.nodes[idx].children {
+            self.fold_stacks_into(c, path, out);
+        }
+        if idx != ROOT {
+            path.pop();
+        }
+    }
+
+    /// The profile as a JSON document: data-quality counters plus the
+    /// recursive node tree with sketch-derived latency quantiles.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"schema\":\"easeml-profile\",\"version\":1,\
+             \"closed_spans\":{},\"unclosed_spans\":{},\"orphan_ends\":{},\
+             \"dropped_exits\":{},\"alloc_counters_active\":{},\"root\":",
+            self.closed_spans(),
+            self.unclosed_spans,
+            self.orphan_ends,
+            self.dropped_exits,
+            alloc::counting_allocator_active(),
+        ));
+        self.node_json_into(ROOT, &mut out);
+        out.push('}');
+        out
+    }
+
+    fn node_json_into(&self, idx: usize, out: &mut String) {
+        let n = &self.nodes[idx];
+        let q = |p: f64| n.latency.quantile(p).unwrap_or(0.0).round() as u64;
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"count\":{},\"total_ns\":{},\"self_ns\":{},\
+             \"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{},\
+             \"allocs\":{},\"frees\":{},\"alloc_bytes\":{},\"peak_bytes\":{},\
+             \"children\":[",
+            crate::json::to_string(&n.name),
+            n.count,
+            n.total_ns,
+            n.self_ns,
+            q(0.5),
+            q(0.95),
+            q(0.99),
+            n.latency.max().unwrap_or(0.0).round() as u64,
+            n.allocs,
+            n.frees,
+            n.alloc_bytes,
+            n.peak_bytes,
+        );
+        for (i, &c) in n.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            self.node_json_into(c, out);
+        }
+        out.push_str("]}");
+    }
+}
+
+/// One row of [`CallTreeProfile::phase_table`]: a per-span-name rollup.
+#[derive(Debug, Clone)]
+pub struct PhaseRow {
+    /// Span name.
+    pub name: String,
+    /// Occurrences across the whole tree.
+    pub calls: u64,
+    /// Total wall-ns (children included).
+    pub total_ns: u64,
+    /// Self wall-ns.
+    pub self_ns: u64,
+    /// Merged per-occurrence latency sketch (ns).
+    pub latency: QuantileSketch,
+    /// Self-attributed allocations.
+    pub allocs: u64,
+    /// Self-attributed deallocations.
+    pub frees: u64,
+    /// Self-attributed bytes allocated.
+    pub alloc_bytes: u64,
+    /// Largest single-occurrence peak live-byte growth.
+    pub peak_bytes: u64,
+}
+
+impl PhaseRow {
+    /// Mean self-ns per call (0 when the phase never ran).
+    pub fn self_ns_per_call(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.self_ns as f64 / self.calls as f64
+        }
+    }
+}
+
+/// The empirical scaling law fitted for one phase across a tenant-count
+/// sweep: `self_ns_per_call ≈ c · U^exponent`.
+#[derive(Debug, Clone)]
+pub struct PhaseScaling {
+    /// Span name the fit is for.
+    pub phase: String,
+    /// Least-squares slope of `ln(self ns/call)` against `ln U`.
+    pub exponent: f64,
+    /// The fitted points: `(U, self_ns_per_call)`.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Fits a log-log regression of per-call self-time against tenant count
+/// for every phase observed in at least two distinct-U runs. The slope is
+/// the empirical cost exponent: ~1 reads as O(U), ~0 as constant.
+pub fn scaling_exponents(runs: &[(usize, &CallTreeProfile)]) -> Vec<PhaseScaling> {
+    let mut order: Vec<String> = Vec::new();
+    let mut points: HashMap<String, Vec<(usize, f64)>> = HashMap::new();
+    for (users, profile) in runs {
+        for row in profile.phase_table() {
+            if row.calls == 0 {
+                continue;
+            }
+            let entry = points.entry(row.name.clone()).or_insert_with(|| {
+                order.push(row.name.clone());
+                Vec::new()
+            });
+            entry.push((*users, row.self_ns_per_call()));
+        }
+    }
+    let mut out = Vec::new();
+    for phase in order {
+        let pts = points.remove(&phase).expect("phase recorded above");
+        let mut distinct: Vec<usize> = pts.iter().map(|p| p.0).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        if distinct.len() < 2 {
+            continue;
+        }
+        // Least squares on (x, y) = (ln U, ln per-call self ns); clamp the
+        // per-call time to 1ns so empty phases cannot poison the log.
+        let xy: Vec<(f64, f64)> = pts
+            .iter()
+            .map(|&(u, ns)| ((u.max(1) as f64).ln(), ns.max(1.0).ln()))
+            .collect();
+        let n = xy.len() as f64;
+        let mean_x = xy.iter().map(|p| p.0).sum::<f64>() / n;
+        let mean_y = xy.iter().map(|p| p.1).sum::<f64>() / n;
+        let var_x: f64 = xy.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+        let cov: f64 = xy.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
+        if var_x <= 0.0 {
+            continue;
+        }
+        out.push(PhaseScaling {
+            phase,
+            exponent: cov / var_x,
+            points: pts,
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Live profiler
+// ---------------------------------------------------------------------------
+
+/// A live call-tree profiler fed by [`SpanGuard`](crate::SpanGuard)
+/// enter/exit. Register with [`set_global_profiler`]; read back with
+/// [`Profiler::snapshot`]. Thread-safe: the tree sits behind a mutex that
+/// span exits touch briefly; per-thread span stacks are lock-free.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    tree: Mutex<CallTreeProfile>,
+    dropped_exits: AtomicU64,
+}
+
+impl Profiler {
+    /// An empty profiler.
+    pub fn new() -> Self {
+        Profiler {
+            tree: Mutex::new(CallTreeProfile::new()),
+            dropped_exits: AtomicU64::new(0),
+        }
+    }
+
+    /// A copy of the current tree, with dropped-exit accounting folded in.
+    pub fn snapshot(&self) -> CallTreeProfile {
+        let mut tree = self.tree.lock().clone();
+        tree.dropped_exits += self.dropped_exits.load(Ordering::Relaxed);
+        tree
+    }
+
+    /// Clears the tree (dropped-exit count included).
+    pub fn reset(&self) {
+        *self.tree.lock() = CallTreeProfile::new();
+        self.dropped_exits.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Fast-path flag mirroring whether a global profiler is registered.
+static PROFILING: AtomicBool = AtomicBool::new(false);
+/// The registered profiler; a `RwLock` so span enter/exit never block on
+/// each other, only (rarely) on registration changes.
+static PROFILER: RwLock<Option<Arc<Profiler>>> = RwLock::new(None);
+/// Bumped on every registration change; frames opened under an older
+/// generation are discarded at exit instead of corrupting the new tree.
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+
+/// Installs (or, with `None`, removes) the process-global live profiler
+/// and returns the previous one. Spans already open keep running but
+/// their exits are discarded (counted as `dropped_exits` where possible),
+/// so swap at a quiescent point for exact trees.
+pub fn set_global_profiler(profiler: Option<Arc<Profiler>>) -> Option<Arc<Profiler>> {
+    let mut slot = PROFILER.write();
+    GENERATION.fetch_add(1, Ordering::Relaxed);
+    PROFILING.store(profiler.is_some(), Ordering::Release);
+    std::mem::replace(&mut *slot, profiler)
+}
+
+/// The currently registered global profiler, if any.
+pub fn global_profiler() -> Option<Arc<Profiler>> {
+    if !PROFILING.load(Ordering::Acquire) {
+        return None;
+    }
+    PROFILER.read().clone()
+}
+
+/// Whether a global profiler is registered (one relaxed atomic load).
+pub fn profiling_enabled() -> bool {
+    PROFILING.load(Ordering::Relaxed)
+}
+
+/// One open span on this thread's profiling stack.
+struct Frame {
+    generation: u64,
+    node: usize,
+    start_ns: u64,
+    child_ns: u64,
+    start_allocs: u64,
+    start_frees: u64,
+    start_bytes: u64,
+    start_live: u64,
+    child_allocs: u64,
+    child_frees: u64,
+    child_bytes: u64,
+    saved_peak: u64,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Called by `SpanGuard::open` *before* any recorder check, so spans
+/// profile even through noop handles. Returns whether a frame was pushed
+/// (the guard must then call [`span_exit`] on drop).
+pub(crate) fn span_enter(name: &'static str) -> bool {
+    if !PROFILING.load(Ordering::Relaxed) {
+        return false;
+    }
+    let Some(profiler) = PROFILER.read().clone() else {
+        return false;
+    };
+    let generation = GENERATION.load(Ordering::Relaxed);
+    let parent = STACK.with(|s| {
+        s.borrow()
+            .last()
+            .filter(|f| f.generation == generation)
+            .map_or(ROOT, |f| f.node)
+    });
+    let node = alloc::with_counting_paused(|| profiler.tree.lock().find_or_insert(parent, name));
+    let stats = alloc::thread_alloc_stats();
+    let saved_peak = alloc::reset_peak();
+    // Clock read last: tree bookkeeping above lands in the *parent's*
+    // self-time, never inside this span.
+    let start_ns = trace_ts_ns();
+    STACK.with(|s| {
+        s.borrow_mut().push(Frame {
+            generation,
+            node,
+            start_ns,
+            child_ns: 0,
+            start_allocs: stats.allocs,
+            start_frees: stats.frees,
+            start_bytes: stats.bytes,
+            start_live: stats.live_bytes,
+            child_allocs: 0,
+            child_frees: 0,
+            child_bytes: 0,
+            saved_peak,
+        })
+    });
+    true
+}
+
+/// Called by `SpanGuard`'s drop when [`span_enter`] pushed a frame.
+pub(crate) fn span_exit() {
+    let Some(frame) = STACK.with(|s| s.borrow_mut().pop()) else {
+        // Enter/exit are paired by the guard's `profiled` flag, so an
+        // empty stack here means the thread's stack was torn down.
+        if let Some(p) = global_profiler() {
+            p.dropped_exits.fetch_add(1, Ordering::Relaxed);
+        }
+        return;
+    };
+    let end_ns = trace_ts_ns();
+    let stats = alloc::thread_alloc_stats();
+    let dur_ns = end_ns.saturating_sub(frame.start_ns);
+    let span_allocs = stats.allocs.saturating_sub(frame.start_allocs);
+    let span_frees = stats.frees.saturating_sub(frame.start_frees);
+    let span_bytes = stats.bytes.saturating_sub(frame.start_bytes);
+    let span_peak = alloc::current_peak().saturating_sub(frame.start_live);
+    alloc::restore_peak(frame.saved_peak);
+
+    // Charge this span's inclusive figures to the parent frame so the
+    // parent can subtract them from its own self-attribution.
+    STACK.with(|s| {
+        if let Some(top) = s.borrow_mut().last_mut() {
+            if top.generation == frame.generation {
+                top.child_ns += dur_ns;
+                top.child_allocs += span_allocs;
+                top.child_frees += span_frees;
+                top.child_bytes += span_bytes;
+            }
+        }
+    });
+
+    if GENERATION.load(Ordering::Relaxed) != frame.generation {
+        // The profiler this frame indexes into is gone; its node index
+        // may not exist (or mean something else) in the new tree.
+        if let Some(p) = global_profiler() {
+            p.dropped_exits.fetch_add(1, Ordering::Relaxed);
+        }
+        return;
+    }
+    let Some(profiler) = PROFILER.read().clone() else {
+        return;
+    };
+    alloc::with_counting_paused(|| {
+        let mut tree = profiler.tree.lock();
+        let n = &mut tree.nodes[frame.node];
+        n.count += 1;
+        n.total_ns += dur_ns;
+        n.self_ns += dur_ns.saturating_sub(frame.child_ns);
+        n.latency.insert(dur_ns as f64);
+        n.allocs += span_allocs.saturating_sub(frame.child_allocs);
+        n.frees += span_frees.saturating_sub(frame.child_frees);
+        n.alloc_bytes += span_bytes.saturating_sub(frame.child_bytes);
+        if span_peak > n.peak_bytes {
+            n.peak_bytes = span_peak;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::InMemoryRecorder;
+    use crate::RecorderHandle;
+
+    fn start(span: u64, parent: u64, name: &str, ts_ns: u64) -> Event {
+        Event::SpanStart {
+            span,
+            parent,
+            name: name.to_string(),
+            ts_ns,
+        }
+    }
+
+    fn end(span: u64, ts_ns: u64) -> Event {
+        Event::SpanEnd { span, ts_ns }
+    }
+
+    #[test]
+    fn fold_builds_an_aggregated_tree() {
+        // Two steps: one with pick_user(10) + train(20), one with just
+        // pick_user(5). Step totals 100 and 40.
+        let events = vec![
+            start(1, 0, "scheduler_step", 0),
+            start(2, 1, "pick_user", 10),
+            end(2, 20),
+            start(3, 1, "train", 30),
+            end(3, 50),
+            end(1, 100),
+            start(4, 0, "scheduler_step", 200),
+            start(5, 4, "pick_user", 210),
+            end(5, 215),
+            end(4, 240),
+        ];
+        let p = CallTreeProfile::fold(&events);
+        assert_eq!(p.unclosed_spans, 0);
+        assert_eq!(p.orphan_ends, 0);
+        assert_eq!(p.closed_spans(), 5);
+
+        let step = p.find(&["scheduler_step"]).unwrap();
+        assert_eq!(step.count, 2);
+        assert_eq!(step.total_ns, 140);
+        assert_eq!(step.self_ns, 140 - 10 - 20 - 5);
+        let pick = p.find(&["scheduler_step", "pick_user"]).unwrap();
+        assert_eq!((pick.count, pick.total_ns, pick.self_ns), (2, 15, 15));
+        let train = p.find(&["scheduler_step", "train"]).unwrap();
+        assert_eq!((train.count, train.total_ns, train.self_ns), (1, 20, 20));
+        // Same name under a different path is a different node.
+        assert!(p.find(&["pick_user"]).is_none());
+
+        let (attributed, total) = p.phase_coverage("scheduler_step").unwrap();
+        assert_eq!(attributed, 140);
+        assert_eq!(total, 140);
+    }
+
+    #[test]
+    fn fold_counts_malformed_streams_instead_of_panicking() {
+        let events = vec![
+            end(99, 5),                        // orphan end
+            start(1, 0, "scheduler_step", 10), // never closed
+            start(2, 1, "pick_user", 20),
+            end(2, 30),
+            end(2, 31), // double close -> orphan
+        ];
+        let p = CallTreeProfile::fold(&events);
+        assert_eq!(p.orphan_ends, 2);
+        assert_eq!(p.unclosed_spans, 1);
+        // The closed child still attributed; the unclosed parent did not.
+        let step = p.find(&["scheduler_step"]).unwrap();
+        assert_eq!((step.count, step.total_ns), (0, 0));
+        let pick = p.find(&["scheduler_step", "pick_user"]).unwrap();
+        assert_eq!((pick.count, pick.total_ns), (1, 10));
+    }
+
+    #[test]
+    fn fold_parents_by_span_id_across_interleaved_threads() {
+        // Thread A opens 1, thread B opens 2 as a root, both close out of
+        // stack order — id-based parenting keeps them separate roots.
+        let events = vec![
+            start(1, 0, "a", 0),
+            start(2, 0, "b", 5),
+            end(1, 10),
+            end(2, 25),
+        ];
+        let p = CallTreeProfile::fold(&events);
+        assert_eq!(p.find(&["a"]).unwrap().total_ns, 10);
+        assert_eq!(p.find(&["b"]).unwrap().total_ns, 20);
+        assert_eq!(p.unclosed_spans + p.orphan_ends, 0);
+    }
+
+    #[test]
+    fn merge_matches_folding_the_concatenation() {
+        let a = vec![
+            start(1, 0, "scheduler_step", 0),
+            start(2, 1, "pick_user", 3),
+            end(2, 9),
+            end(1, 20),
+        ];
+        let b = vec![
+            start(7, 0, "scheduler_step", 100),
+            start(8, 7, "train", 110),
+            end(8, 150),
+            end(7, 160),
+            start(9, 0, "dispatch", 200),
+            end(9, 230),
+        ];
+        let concat: Vec<Event> = a.iter().chain(b.iter()).cloned().collect();
+        let folded = CallTreeProfile::fold(&concat);
+        let mut merged = CallTreeProfile::fold(&a);
+        merged.merge(&CallTreeProfile::fold(&b));
+
+        assert_eq!(folded.nodes.len(), merged.nodes.len());
+        for (f, m) in folded.nodes.iter().zip(merged.nodes.iter()) {
+            assert_eq!(f.name, m.name);
+            assert_eq!(f.count, m.count);
+            assert_eq!(f.total_ns, m.total_ns);
+            assert_eq!(f.self_ns, m.self_ns);
+            assert_eq!(f.latency.count(), m.latency.count());
+            assert_eq!(f.latency.quantile(0.5), m.latency.quantile(0.5));
+        }
+        assert_eq!(folded.folded_stacks(), merged.folded_stacks());
+    }
+
+    #[test]
+    fn folded_stacks_and_json_render() {
+        let events = vec![
+            start(1, 0, "scheduler_step", 0),
+            start(2, 1, "pick_user", 10),
+            end(2, 30),
+            end(1, 50),
+        ];
+        let p = CallTreeProfile::fold(&events);
+        let folded = p.folded_stacks();
+        assert_eq!(folded, "scheduler_step 30\nscheduler_step;pick_user 20\n");
+        let json = p.to_json();
+        assert!(json.starts_with("{\"schema\":\"easeml-profile\""));
+        assert!(json.contains("\"name\":\"pick_user\""));
+        assert!(json.contains("\"closed_spans\":2"));
+        crate::json::parse(&json).expect("profile JSON must parse");
+    }
+
+    #[test]
+    fn phase_table_rolls_up_across_paths() {
+        // pick_user appears under two parents; the table merges them.
+        let events = vec![
+            start(1, 0, "scheduler_step", 0),
+            start(2, 1, "pick_user", 0),
+            end(2, 10),
+            end(1, 15),
+            start(3, 0, "dispatch", 20),
+            start(4, 3, "pick_user", 20),
+            end(4, 50),
+            end(3, 55),
+        ];
+        let table = CallTreeProfile::fold(&events).phase_table();
+        let pick = table.iter().find(|r| r.name == "pick_user").unwrap();
+        assert_eq!((pick.calls, pick.total_ns, pick.self_ns), (2, 40, 40));
+        // Sorted heaviest-self first.
+        assert_eq!(table[0].name, "pick_user");
+    }
+
+    #[test]
+    fn scaling_exponent_reads_linear_and_constant_phases() {
+        // Synthetic sweep: pick_user self/call grows like U, train flat.
+        let mut runs = Vec::new();
+        for &u in &[1_000usize, 10_000, 100_000] {
+            let per_call = u as u64;
+            let events = vec![
+                start(1, 0, "scheduler_step", 0),
+                start(2, 1, "pick_user", 0),
+                end(2, per_call),
+                start(3, 1, "train", per_call),
+                end(3, per_call + 5_000),
+                end(1, per_call + 5_000),
+            ];
+            runs.push((u, CallTreeProfile::fold(&events)));
+        }
+        let borrowed: Vec<(usize, &CallTreeProfile)> = runs.iter().map(|(u, p)| (*u, p)).collect();
+        let fits = scaling_exponents(&borrowed);
+        let pick = fits.iter().find(|f| f.phase == "pick_user").unwrap();
+        assert!(
+            (pick.exponent - 1.0).abs() < 0.05,
+            "pick_user exponent {}",
+            pick.exponent
+        );
+        let train = fits.iter().find(|f| f.phase == "train").unwrap();
+        assert!(
+            train.exponent.abs() < 0.05,
+            "train exponent {}",
+            train.exponent
+        );
+        // scheduler_step has only 2 distinct... actually 3 distinct U; it
+        // fits too, dominated by the linear child -> near 1 in total but
+        // its *self* time is constant (0 -> clamped): just ensure present.
+        assert!(fits.iter().any(|f| f.phase == "scheduler_step"));
+    }
+
+    // The global-profiler tests share mutable process state, so they run
+    // as one test (mirroring the global-timer tests).
+    #[test]
+    fn live_profiler_global_lifecycle() {
+        // -- spans profile through a *noop* handle once registered.
+        let profiler = Arc::new(Profiler::new());
+        let prev = set_global_profiler(Some(profiler.clone()));
+        assert!(prev.is_none(), "no other test may leave a profiler set");
+        assert!(profiling_enabled());
+
+        let handle = RecorderHandle::noop();
+        for _ in 0..3 {
+            let _step = handle.span("scheduler_step");
+            let _pick = handle.span("pick_user");
+        }
+        let snap = profiler.snapshot();
+        let step = snap.find(&["scheduler_step"]).unwrap();
+        assert_eq!(step.count, 3);
+        let pick = snap.find(&["scheduler_step", "pick_user"]).unwrap();
+        assert_eq!(pick.count, 3);
+        assert!(step.total_ns >= pick.total_ns);
+        assert!(step.self_ns <= step.total_ns);
+        assert_eq!(snap.dropped_exits, 0);
+
+        // -- the same spans through a *recording* handle also hit the
+        // recorder, and the offline fold of those events matches the live
+        // tree shape.
+        profiler.reset();
+        let recorder = Arc::new(InMemoryRecorder::new());
+        let rec_handle = RecorderHandle::new(recorder.clone());
+        {
+            let _step = rec_handle.span("scheduler_step");
+            let _pick = rec_handle.span("pick_user");
+        }
+        let live = profiler.snapshot();
+        let folded = CallTreeProfile::fold(&recorder.events());
+        assert_eq!(live.nodes.len(), folded.nodes.len());
+        for (l, f) in live.nodes.iter().zip(folded.nodes.iter()) {
+            assert_eq!(l.name, f.name);
+            assert_eq!(l.count, f.count);
+        }
+
+        // -- swapping the profiler mid-span discards the stale exit.
+        let guard = handle.span("scheduler_step");
+        let replacement = Arc::new(Profiler::new());
+        let prev = set_global_profiler(Some(replacement.clone()));
+        assert!(Arc::ptr_eq(&prev.unwrap(), &profiler));
+        drop(guard);
+        let snap = replacement.snapshot();
+        assert!(snap.find(&["scheduler_step"]).is_none());
+        assert_eq!(snap.dropped_exits, 1);
+
+        // -- unregistering restores the zero-cost path.
+        set_global_profiler(None);
+        assert!(!profiling_enabled());
+        assert!(global_profiler().is_none());
+        drop(handle.span("scheduler_step"));
+        assert!(replacement.snapshot().find(&["scheduler_step"]).is_none());
+    }
+}

@@ -61,6 +61,9 @@ pub fn current_span() -> u64 {
 #[must_use = "a span covers the scope of its guard; dropping it immediately records an empty span"]
 pub struct SpanGuard {
     active: Option<ActiveSpan>,
+    /// Whether the global [`Profiler`](crate::Profiler) opened a frame for
+    /// this span (independent of whether a recorder is attached).
+    profiled: bool,
 }
 
 struct ActiveSpan {
@@ -72,9 +75,19 @@ struct ActiveSpan {
 impl SpanGuard {
     /// Opens a span named `name` under `recorder`, or an inert guard when
     /// no recorder is attached.
+    ///
+    /// The live profiler hooks in *before* the recorder check: when a
+    /// global profiler is registered, even spans opened through noop
+    /// handles feed the call-tree profile (without materializing events).
+    /// With no profiler registered the extra cost is one relaxed atomic
+    /// load — the noop path stays allocation-free.
     pub(crate) fn open(recorder: Option<&Arc<dyn Recorder>>, name: &'static str) -> SpanGuard {
+        let profiled = crate::profile::span_enter(name);
         let Some(recorder) = recorder else {
-            return SpanGuard { active: None };
+            return SpanGuard {
+                active: None,
+                profiled,
+            };
         };
         let span = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
         let prev = CURRENT_SPAN.with(|current| current.replace(span));
@@ -90,6 +103,7 @@ impl SpanGuard {
                 span,
                 prev,
             }),
+            profiled,
         }
     }
 
@@ -101,6 +115,17 @@ impl SpanGuard {
     /// Whether the guard actually records (false on disabled handles).
     pub fn is_recording(&self) -> bool {
         self.active.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        // Close the profiler frame first so recorder teardown cost (the
+        // `SpanEnd` record by the contained `ActiveSpan`, which drops
+        // right after this body) is charged to the parent, not this span.
+        if self.profiled {
+            crate::profile::span_exit();
+        }
     }
 }
 

@@ -1,0 +1,97 @@
+//! Golden-file test pinning the folded-stacks profile format.
+//!
+//! Flamegraph tooling (`flamegraph.pl`, speedscope, inferno) consumes the
+//! `path;to;node self_ns` lines byte-for-byte, so the rendering is pinned
+//! against `tests/golden/profile.folded`. Regenerate with
+//! `UPDATE_GOLDEN=1` after an intentional format change.
+
+use easeml_obs::{CallTreeProfile, Event};
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("profile.folded")
+}
+
+fn start(span: u64, parent: u64, name: &str, ts_ns: u64) -> Event {
+    Event::SpanStart {
+        span,
+        parent,
+        name: name.to_string(),
+        ts_ns,
+    }
+}
+
+fn end(span: u64, ts_ns: u64) -> Event {
+    Event::SpanEnd { span, ts_ns }
+}
+
+/// A deterministic two-step span stream covering the full serial-path
+/// vocabulary plus an exec dispatch, with fixed timestamps.
+fn sample_events() -> Vec<Event> {
+    vec![
+        // Step 1: full serial pipeline.
+        start(1, 0, "scheduler_step", 0),
+        start(2, 1, "pick_user", 100),
+        end(2, 1_600),
+        start(3, 1, "pick_arm", 1_700),
+        end(3, 2_900),
+        start(4, 1, "train", 3_000),
+        end(4, 53_000),
+        start(5, 1, "posterior_update", 53_100),
+        end(5, 58_100),
+        end(1, 58_400),
+        // Step 2: censored run — no posterior update.
+        start(6, 0, "scheduler_step", 60_000),
+        start(7, 6, "pick_user", 60_100),
+        end(7, 61_550),
+        start(8, 6, "pick_arm", 61_600),
+        end(8, 62_900),
+        start(9, 6, "train", 63_000),
+        end(9, 80_000),
+        end(6, 80_300),
+        // A multi-device dispatch with its nested user pick.
+        start(10, 0, "dispatch", 90_000),
+        start(11, 10, "pick_user", 90_200),
+        end(11, 91_700),
+        end(10, 92_000),
+        start(12, 0, "complete", 95_000),
+        end(12, 96_200),
+    ]
+}
+
+#[test]
+fn folded_stacks_match_the_golden_file() {
+    let rendered = CallTreeProfile::fold(&sample_events()).folded_stacks();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path(), &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path())
+        .expect("golden file missing; regenerate with UPDATE_GOLDEN=1");
+    assert_eq!(
+        rendered, golden,
+        "folded-stacks rendering drifted from tests/golden/profile.folded; \
+         if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_file_stacks_are_flamegraph_ready() {
+    let golden = std::fs::read_to_string(golden_path()).unwrap();
+    let mut total = 0u64;
+    for line in golden.lines() {
+        let (stack, value) = line.rsplit_once(' ').expect("`stack value` lines");
+        assert!(!stack.is_empty() && !stack.ends_with(';'));
+        total += value.parse::<u64>().expect("integer self-ns value");
+    }
+    // Self-times over all stacks reconstruct total wall time exactly.
+    let profile = CallTreeProfile::fold(&sample_events());
+    let wall: u64 = [("scheduler_step", ()), ("dispatch", ()), ("complete", ())]
+        .iter()
+        .map(|(name, _)| profile.phase_coverage(name).unwrap().1)
+        .sum();
+    assert_eq!(total, wall);
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the call-tree fold's published invariants:
+//! for any well-formed span stream, every node satisfies
+//! `self_ns ≤ total_ns` and `Σ child total ≤ parent total`, and folding a
+//! concatenation equals merging the individual folds for every mergeable
+//! field.
+
+use easeml_obs::{CallTreeProfile, Event, ProfileNode};
+use proptest::prelude::*;
+
+const NAMES: [&str; 5] = [
+    "scheduler_step",
+    "pick_user",
+    "pick_arm",
+    "train",
+    "posterior_update",
+];
+
+/// Interprets a byte program into a *well-formed* span stream: each byte
+/// either opens a nested span (name chosen by value) or closes the
+/// innermost open one; everything left open closes at the end. Span ids
+/// are stream-local and timestamps strictly increase by byte-derived
+/// increments, so any two generated streams are independently balanced.
+fn build_stream(program: &[u8], first_span: u64, start_ts: u64) -> (Vec<Event>, u64, u64) {
+    let mut events = Vec::new();
+    let mut stack: Vec<u64> = Vec::new();
+    let mut next_span = first_span;
+    let mut ts = start_ts;
+    for &op in program {
+        ts += 1 + (op as u64 % 97);
+        if op % 3 != 0 || stack.is_empty() {
+            let span = next_span;
+            next_span += 1;
+            events.push(Event::SpanStart {
+                span,
+                parent: stack.last().copied().unwrap_or(0),
+                name: NAMES[op as usize % NAMES.len()].to_string(),
+                ts_ns: ts,
+            });
+            stack.push(span);
+        } else {
+            let span = stack.pop().expect("checked non-empty");
+            events.push(Event::SpanEnd { span, ts_ns: ts });
+        }
+    }
+    while let Some(span) = stack.pop() {
+        ts += 1;
+        events.push(Event::SpanEnd { span, ts_ns: ts });
+    }
+    (events, next_span, ts)
+}
+
+fn check_node_invariants(profile: &CallTreeProfile, idx: usize) {
+    let nodes = profile.nodes();
+    let node: &ProfileNode = &nodes[idx];
+    assert!(
+        node.self_ns <= node.total_ns,
+        "{}: self {} > total {}",
+        node.name,
+        node.self_ns,
+        node.total_ns
+    );
+    if idx != 0 {
+        let child_total: u64 = node.children.iter().map(|&c| nodes[c].total_ns).sum();
+        assert!(
+            child_total <= node.total_ns,
+            "{}: children total {} > own total {}",
+            node.name,
+            child_total,
+            node.total_ns
+        );
+        assert_eq!(node.total_ns, node.self_ns + child_total);
+    }
+    for &c in &node.children {
+        check_node_invariants(profile, c);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fold_invariants_hold_on_any_well_formed_stream(
+        program in prop::collection::vec(0u8..255u8, 0..200),
+    ) {
+        let (events, _, _) = build_stream(&program, 1, 0);
+        let profile = CallTreeProfile::fold(&events);
+        prop_assert_eq!(profile.unclosed_spans, 0);
+        prop_assert_eq!(profile.orphan_ends, 0);
+        prop_assert_eq!(2 * profile.closed_spans(), events.len() as u64);
+        check_node_invariants(&profile, 0);
+    }
+
+    #[test]
+    fn fold_of_concat_equals_merge_of_folds(
+        prog_a in prop::collection::vec(0u8..255u8, 0..120),
+        prog_b in prop::collection::vec(0u8..255u8, 0..120),
+    ) {
+        // Disjoint span-id ranges and advancing timestamps, exactly as
+        // two rotated segments of one trace would carry.
+        let (a, next_span, next_ts) = build_stream(&prog_a, 1, 0);
+        let (b, _, _) = build_stream(&prog_b, next_span, next_ts);
+        let concat: Vec<Event> = a.iter().chain(b.iter()).cloned().collect();
+
+        let folded = CallTreeProfile::fold(&concat);
+        let mut merged = CallTreeProfile::fold(&a);
+        merged.merge(&CallTreeProfile::fold(&b));
+
+        prop_assert_eq!(folded.nodes().len(), merged.nodes().len());
+        for (f, m) in folded.nodes().iter().zip(merged.nodes().iter()) {
+            prop_assert_eq!(&f.name, &m.name);
+            prop_assert_eq!(f.count, m.count);
+            prop_assert_eq!(f.total_ns, m.total_ns);
+            prop_assert_eq!(f.self_ns, m.self_ns);
+            prop_assert_eq!(f.children.len(), m.children.len());
+            // Latency sketches agree as distributions (equal-alpha merge
+            // is lossless: same multiset of buckets either way).
+            prop_assert_eq!(f.latency.count(), m.latency.count());
+            prop_assert_eq!(f.latency.sum(), m.latency.sum());
+            for q in [0.0, 0.5, 0.95, 1.0] {
+                prop_assert_eq!(f.latency.quantile(q), m.latency.quantile(q));
+            }
+        }
+        prop_assert_eq!(folded.folded_stacks(), merged.folded_stacks());
+    }
+}

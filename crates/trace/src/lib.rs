@@ -28,13 +28,19 @@
 //!   peak number of runs in flight;
 //! * [`chrome_trace`] — the causal span tree (`scheduler_step → pick_user →
 //!   pick_arm → train → posterior_update`) exported as Chrome trace-event
-//!   JSON, loadable in `chrome://tracing` / Perfetto.
+//!   JSON, loadable in `chrome://tracing` / Perfetto;
+//! * [`profile_of`] — the same span stream folded into an aggregated
+//!   [`CallTreeProfile`] (per-phase call counts, total/self wall time,
+//!   latency quantiles), rendered by [`render_profile`] as a per-phase
+//!   self-time table — and, across a multi-trace tenant-count sweep, the
+//!   empirical scaling exponent of each phase.
 //!
-//! The `easeml-trace` binary wraps these as `report` and `chrome`
-//! subcommands.
+//! The `easeml-trace` binary wraps these as `report`, `chrome`, and
+//! `profile` subcommands.
 
 use easeml_obs::{
-    Event, QuantileSketch, ScaleConfig, ScaleSnapshot, StrategySketches, TimeSeriesRecorder,
+    scaling_exponents, CallTreeProfile, Event, PhaseScaling, QuantileSketch, ScaleConfig,
+    ScaleSnapshot, StrategySketches, TimeSeriesRecorder,
 };
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -937,6 +943,177 @@ pub fn chrome_trace(events: &[Event]) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Call-tree profile
+// ---------------------------------------------------------------------------
+
+/// Coverage threshold the profile section asserts for `scheduler_step`:
+/// self-time over the step nodes and their descendants must account for at
+/// least this fraction of the steps' wall time, or unbalanced spans /
+/// clock skew are leaking attribution.
+pub const PROFILE_COVERAGE_THRESHOLD: f64 = 0.95;
+
+/// Rebuilds the aggregated call-tree profile from a loaded trace —
+/// exactly the tree a live [`Profiler`](easeml_obs::Profiler) would have
+/// built online (minus allocation columns, which only exist in-process).
+/// Rotated segments are already concatenated by
+/// [`load_trace_with_rotations`], so spans pair across rotation seams.
+pub fn profile_of(trace: &LoadedTrace) -> CallTreeProfile {
+    CallTreeProfile::fold(&trace.events)
+}
+
+/// Renders one profile as an indented call tree plus a per-phase rollup
+/// table, with span data-quality counters and `scheduler_step` coverage.
+pub fn render_profile_section(profile: &CallTreeProfile) -> String {
+    let mut out = String::new();
+    if profile.is_empty() {
+        let _ = writeln!(out, "no spans recorded (schema v2+ traces carry spans)");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "spans: {} closed, {} unclosed, {} orphaned end(s), {} dropped exit(s)",
+        profile.closed_spans(),
+        profile.unclosed_spans,
+        profile.orphan_ends,
+        profile.dropped_exits,
+    );
+
+    let _ = writeln!(
+        out,
+        "{:<36} {:>8} {:>12} {:>12} {:>10} {:>10}",
+        "call tree", "calls", "total ms", "self ms", "p50 us", "p95 us"
+    );
+    render_profile_node(profile, 0, 0, &mut out);
+
+    let _ = writeln!(
+        out,
+        "\n{:<20} {:>8} {:>12} {:>12} {:>8} {:>12} {:>12}",
+        "phase", "calls", "total ms", "self ms", "self %", "ns/call", "allocs"
+    );
+    let table = profile.phase_table();
+    let grand_self: u64 = table.iter().map(|r| r.self_ns).sum();
+    for row in &table {
+        let _ = writeln!(
+            out,
+            "{:<20} {:>8} {:>12.3} {:>12.3} {:>7.1}% {:>12.0} {:>12}",
+            row.name,
+            row.calls,
+            row.total_ns as f64 / 1e6,
+            row.self_ns as f64 / 1e6,
+            if grand_self == 0 {
+                0.0
+            } else {
+                100.0 * row.self_ns as f64 / grand_self as f64
+            },
+            row.self_ns_per_call(),
+            row.allocs,
+        );
+    }
+
+    match profile.phase_coverage("scheduler_step") {
+        Some((attributed, total)) if total > 0 => {
+            let ratio = attributed as f64 / total as f64;
+            let _ = writeln!(
+                out,
+                "phase coverage: {:.2}% of scheduler_step wall time attributed ({}, threshold {:.0}%)",
+                ratio * 100.0,
+                if ratio >= PROFILE_COVERAGE_THRESHOLD {
+                    "pass"
+                } else {
+                    "FAIL"
+                },
+                PROFILE_COVERAGE_THRESHOLD * 100.0,
+            );
+        }
+        _ => {
+            let _ = writeln!(out, "phase coverage: n/a (no closed scheduler_step spans)");
+        }
+    }
+    out
+}
+
+fn render_profile_node(profile: &CallTreeProfile, idx: usize, depth: usize, out: &mut String) {
+    let nodes = profile.nodes();
+    if idx != 0 {
+        let n = &nodes[idx];
+        let q = |p: f64| n.latency.quantile(p).unwrap_or(0.0) / 1e3;
+        let label = format!("{}{}", "  ".repeat(depth - 1), n.name);
+        let _ = writeln!(
+            out,
+            "{:<36} {:>8} {:>12.3} {:>12.3} {:>10.1} {:>10.1}",
+            label,
+            n.count,
+            n.total_ns as f64 / 1e6,
+            n.self_ns as f64 / 1e6,
+            q(0.5),
+            q(0.95),
+        );
+    }
+    for &c in &nodes[idx].children {
+        render_profile_node(profile, c, depth + 1, out);
+    }
+}
+
+/// Renders the `easeml-trace profile` report: the merged call tree over
+/// every run, and — when the runs span at least two distinct tenant
+/// counts — the per-phase empirical scaling exponents fitted by
+/// [`scaling_exponents`].
+pub fn render_profile(runs: &[(usize, CallTreeProfile)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== easeml-trace profile ===");
+    let users: Vec<usize> = runs.iter().map(|(u, _)| *u).collect();
+    let _ = writeln!(out, "runs: {}  tenant counts: {:?}", runs.len(), users);
+
+    let mut merged = CallTreeProfile::new();
+    for (_, profile) in runs {
+        merged.merge(profile);
+    }
+    let _ = writeln!(out, "\n--- call-tree profile (all runs merged) ---");
+    out.push_str(&render_profile_section(&merged));
+
+    let borrowed: Vec<(usize, &CallTreeProfile)> = runs.iter().map(|(u, p)| (*u, p)).collect();
+    let fits = scaling_exponents(&borrowed);
+    let _ = writeln!(out, "\n--- empirical scaling (self ns/call vs U) ---");
+    if fits.is_empty() {
+        let _ = writeln!(
+            out,
+            "need runs at >= 2 distinct tenant counts to fit exponents"
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "{:<20} {:>10}  per-call self time across the sweep",
+            "phase", "exponent"
+        );
+        for fit in &fits {
+            let pts = fit
+                .points
+                .iter()
+                .map(|(u, ns)| format!("U={u}: {:.0}ns", ns))
+                .collect::<Vec<_>>()
+                .join("  ");
+            let _ = writeln!(
+                out,
+                "{:<20} {:>10}  {}",
+                fit.phase,
+                format_exponent(fit),
+                pts
+            );
+        }
+        let _ = writeln!(
+            out,
+            "reading: exponent ~1 means the phase costs O(U) per step, ~0 means \
+             constant; pick_user is the ROADMAP-1 target."
+        );
+    }
+    out
+}
+
+fn format_exponent(fit: &PhaseScaling) -> String {
+    format!("O(U^{:.2})", fit.exponent)
+}
+
+// ---------------------------------------------------------------------------
 // The human-readable report
 // ---------------------------------------------------------------------------
 
@@ -1195,6 +1372,9 @@ pub fn render_report(trace: &LoadedTrace, targets: &BTreeMap<usize, f64>) -> Str
         }
     }
 
+    let _ = writeln!(out, "\n--- call-tree profile ---");
+    out.push_str(&render_profile_section(&profile_of(trace)));
+
     let _ = writeln!(out, "\n--- numerical health ---");
     let _ = writeln!(
         out,
@@ -1243,6 +1423,132 @@ mod tests {
             sigma,
             parent: 0,
         }
+    }
+
+    fn span_pair(span: u64, parent: u64, name: &str, start: u64, end: u64) -> [Event; 2] {
+        [
+            Event::SpanStart {
+                span,
+                parent,
+                name: name.to_string(),
+                ts_ns: start,
+            },
+            Event::SpanEnd { span, ts_ns: end },
+        ]
+    }
+
+    fn step_events(first_span: u64, base_ts: u64, pick_ns: u64) -> Vec<Event> {
+        let s = first_span;
+        let mut out = Vec::new();
+        let [start, stop] = span_pair(s, 0, "scheduler_step", base_ts, base_ts + pick_ns + 3_000);
+        let [p_start, p_stop] = span_pair(
+            s + 1,
+            s,
+            "pick_user",
+            base_ts + 100,
+            base_ts + 100 + pick_ns,
+        );
+        let [u_start, u_stop] = span_pair(
+            s + 2,
+            s,
+            "posterior_update",
+            base_ts + pick_ns + 500,
+            base_ts + pick_ns + 2_500,
+        );
+        out.push(start);
+        out.push(p_start);
+        out.push(p_stop);
+        out.push(u_start);
+        out.push(u_stop);
+        out.push(stop);
+        out
+    }
+
+    #[test]
+    fn profile_section_reports_coverage_and_phases() {
+        let mut events = step_events(1, 0, 10_000);
+        events.extend(step_events(10, 100_000, 12_000));
+        let trace = LoadedTrace {
+            events,
+            ..LoadedTrace::default()
+        };
+        let profile = profile_of(&trace);
+        assert_eq!(profile.closed_spans(), 6);
+        let section = render_profile_section(&profile);
+        assert!(section.contains("spans: 6 closed, 0 unclosed"), "{section}");
+        assert!(section.contains("scheduler_step"), "{section}");
+        assert!(section.contains("pick_user"), "{section}");
+        // Every nanosecond of the two steps decomposes into self times.
+        assert!(
+            section
+                .contains("phase coverage: 100.00% of scheduler_step wall time attributed (pass"),
+            "{section}"
+        );
+    }
+
+    #[test]
+    fn render_profile_fits_scaling_exponents_across_a_sweep() {
+        // pick_user self-time per call grows ~linearly in U, the
+        // posterior update stays constant.
+        let mut runs = Vec::new();
+        for &u in &[1_000usize, 10_000, 100_000] {
+            let trace = LoadedTrace {
+                events: step_events(1, 0, u as u64),
+                ..LoadedTrace::default()
+            };
+            runs.push((u, profile_of(&trace)));
+        }
+        let rendered = render_profile(&runs);
+        assert!(
+            rendered.contains("tenant counts: [1000, 10000, 100000]"),
+            "{rendered}"
+        );
+        let pick_line = rendered
+            .lines()
+            .find(|l| l.starts_with("pick_user") && l.contains("O(U^"))
+            .expect("pick_user exponent line");
+        let exp: f64 = pick_line
+            .split("O(U^")
+            .nth(1)
+            .unwrap()
+            .split(')')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((exp - 1.0).abs() < 0.05, "{pick_line}");
+        let update_line = rendered
+            .lines()
+            .find(|l| l.starts_with("posterior_update") && l.contains("O(U^"))
+            .expect("posterior_update exponent line");
+        let exp: f64 = update_line
+            .split("O(U^")
+            .nth(1)
+            .unwrap()
+            .split(')')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(exp.abs() < 0.05, "{update_line}");
+    }
+
+    #[test]
+    fn report_includes_the_profile_section_for_span_traces() {
+        let trace = LoadedTrace {
+            events: step_events(1, 0, 5_000),
+            ..LoadedTrace::default()
+        };
+        let report = render_report(&trace, &BTreeMap::new());
+        assert!(report.contains("--- call-tree profile ---"), "{report}");
+        assert!(report.contains("phase coverage:"), "{report}");
+        // A span-free trace degrades gracefully.
+        let empty = LoadedTrace {
+            events: vec![completed(0, 0, 1.0, 0.5)],
+            ..LoadedTrace::default()
+        };
+        let report = render_report(&empty, &BTreeMap::new());
+        assert!(report.contains("no spans recorded"), "{report}");
     }
 
     #[test]

@@ -3,19 +3,26 @@
 //! ```text
 //! easeml-trace report <trace.jsonl> [--target USER=QUALITY]...
 //! easeml-trace chrome <trace.jsonl>
+//! easeml-trace profile <trace.jsonl>... [--users N,N,...] [--folded PATH]
 //! ```
 //!
 //! `report` prints the regret decomposition (Theorem 1), the GP
 //! calibration table, the hybrid-fallback timeline, and the
 //! numerical-health summary. `chrome` writes Chrome trace-event JSON to
 //! stdout — redirect to a file and load it in `chrome://tracing` or
-//! Perfetto to see the causal span tree.
+//! Perfetto to see the causal span tree. `profile` folds the span stream
+//! of one or more traces into an aggregated call-tree profile with a
+//! per-phase self-time table; given several traces from a tenant-count
+//! sweep (`--users` pins the counts, otherwise each trace's max user id
+//! is used) it also fits the empirical per-phase scaling exponents, and
+//! `--folded PATH` writes flamegraph-ready folded stacks.
 
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: easeml-trace <report|chrome> <trace.jsonl> [--target USER=QUALITY]...";
+const USAGE: &str = "usage: easeml-trace <report|chrome|profile> <trace.jsonl>... \
+                     [--target USER=QUALITY]... [--users N,N,...] [--folded PATH]";
 
 fn parse_targets(args: &[String]) -> Result<BTreeMap<usize, f64>, String> {
     let mut targets = BTreeMap::new();
@@ -65,8 +72,86 @@ fn run() -> Result<(), String> {
             println!("{}", easeml_trace::chrome_trace(&trace.events));
             Ok(())
         }
+        "profile" => {
+            let (paths, users, folded) = parse_profile_args(path, rest)?;
+            if let Some(list) = &users {
+                if list.len() != paths.len() {
+                    return Err(format!(
+                        "--users lists {} count(s) but {} trace(s) were given",
+                        list.len(),
+                        paths.len()
+                    ));
+                }
+            }
+            let mut runs = Vec::new();
+            for (i, p) in paths.iter().enumerate() {
+                let trace = easeml_trace::load_trace_with_rotations(Path::new(p))?;
+                let u = users
+                    .as_ref()
+                    .map_or_else(|| infer_tenant_count(&trace.events), |list| list[i]);
+                runs.push((u, easeml_trace::profile_of(&trace)));
+            }
+            print!("{}", easeml_trace::render_profile(&runs));
+            if let Some(out_path) = folded {
+                let mut merged = easeml_obs::CallTreeProfile::new();
+                for (_, profile) in &runs {
+                    merged.merge(profile);
+                }
+                std::fs::write(&out_path, merged.folded_stacks())
+                    .map_err(|e| format!("writing {}: {e}", out_path.display()))?;
+                eprintln!("folded stacks written to {}", out_path.display());
+            }
+            Ok(())
+        }
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     }
+}
+
+/// Parsed `profile` argument tail: trace paths, `--users` counts,
+/// `--folded` output path.
+type ProfileArgs = (Vec<PathBuf>, Option<Vec<usize>>, Option<PathBuf>);
+
+/// Splits `profile`'s argument tail into extra trace paths and flags.
+fn parse_profile_args(first: &Path, rest: &[String]) -> Result<ProfileArgs, String> {
+    let mut paths = vec![first.to_path_buf()];
+    let mut users = None;
+    let mut folded = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--users" => {
+                let spec = it
+                    .next()
+                    .ok_or_else(|| format!("--users needs N,N,...\n{USAGE}"))?;
+                let parsed: Result<Vec<usize>, _> =
+                    spec.split(',').map(str::trim).map(str::parse).collect();
+                users = Some(parsed.map_err(|_| {
+                    format!("--users {spec:?} is not a comma-separated integer list")
+                })?);
+            }
+            "--folded" => {
+                let p = it
+                    .next()
+                    .ok_or_else(|| format!("--folded needs a path\n{USAGE}"))?;
+                folded = Some(PathBuf::from(p));
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown argument {flag:?}\n{USAGE}"));
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    Ok((paths, users, folded))
+}
+
+/// Tenant count implied by a trace: one past the highest user id any event
+/// carries (0 when no event names a user).
+fn infer_tenant_count(events: &[easeml_obs::Event]) -> usize {
+    events
+        .iter()
+        .filter_map(easeml_obs::Event::user)
+        .max()
+        .map_or(0, |u| u + 1)
 }
 
 fn main() -> ExitCode {
@@ -81,10 +166,55 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::parse_targets;
+    use super::{infer_tenant_count, parse_profile_args, parse_targets};
+    use std::path::Path;
 
     fn strings(args: &[&str]) -> Vec<String> {
         args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn profile_args_collect_paths_and_flags() {
+        let (paths, users, folded) = parse_profile_args(
+            Path::new("a.jsonl"),
+            &strings(&[
+                "b.jsonl",
+                "--users",
+                "1000, 10000",
+                "--folded",
+                "out.folded",
+            ]),
+        )
+        .unwrap();
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[1], Path::new("b.jsonl"));
+        assert_eq!(users, Some(vec![1_000, 10_000]));
+        assert_eq!(folded.as_deref(), Some(Path::new("out.folded")));
+
+        let (paths, users, folded) = parse_profile_args(Path::new("a.jsonl"), &[]).unwrap();
+        assert_eq!((paths.len(), users, folded), (1, None, None));
+
+        assert!(parse_profile_args(Path::new("a"), &strings(&["--users"])).is_err());
+        assert!(parse_profile_args(Path::new("a"), &strings(&["--users", "x,y"])).is_err());
+        assert!(parse_profile_args(Path::new("a"), &strings(&["--folded"])).is_err());
+        assert!(parse_profile_args(Path::new("a"), &strings(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn tenant_count_is_inferred_from_events() {
+        use easeml_obs::Event;
+        assert_eq!(infer_tenant_count(&[]), 0);
+        let events = vec![
+            Event::TrainingCompleted {
+                user: 41,
+                model: 0,
+                cost: 1.0,
+                quality: 0.5,
+                parent: 0,
+            },
+            Event::SpanEnd { span: 1, ts_ns: 5 },
+        ];
+        assert_eq!(infer_tenant_count(&events), 42);
     }
 
     #[test]

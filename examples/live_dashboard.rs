@@ -21,7 +21,10 @@
 //! that is deleted when the example finishes), `--chaos` (attach a seeded
 //! fault injector: crashes, timeouts, and stragglers exercise the
 //! retry/quarantine path while the dashboard stays live — the CI chaos
-//! smoke test runs exactly this).
+//! smoke test runs exactly this), `--profile-out PATH` (attach a live
+//! [`easeml_obs::Profiler`]: `/profile` serves the call-tree while the
+//! run executes, and flamegraph-ready folded stacks land at PATH on
+//! exit).
 
 use easeml::fault::{FaultConfig, FaultInjector};
 use easeml::prelude::*;
@@ -74,6 +77,7 @@ struct Options {
     port: u16,
     trace_out: Option<std::path::PathBuf>,
     chaos: bool,
+    profile_out: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Options {
@@ -83,6 +87,7 @@ fn parse_args() -> Options {
         port: 0,
         trace_out: None,
         chaos: false,
+        profile_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -101,10 +106,14 @@ fn parse_args() -> Options {
                 opts.trace_out = Some(value.into());
             }
             "--chaos" => opts.chaos = true,
+            "--profile-out" => {
+                let value = args.next().expect("--profile-out needs a path");
+                opts.profile_out = Some(value.into());
+            }
             other => {
                 eprintln!(
                     "unknown argument {other:?}; flags: --rounds N --port P --no-serve \
-                     --trace-out PATH --chaos"
+                     --trace-out PATH --chaos --profile-out PATH"
                 );
                 std::process::exit(2);
             }
@@ -201,20 +210,33 @@ fn main() {
         series.set_target(user, target);
     }
 
+    // With --profile-out, a live profiler aggregates every span the run
+    // opens; /profile serves the call tree while rounds execute, and the
+    // folded stacks are written on exit.
+    let profiler = opts
+        .profile_out
+        .as_ref()
+        .map(|_| Arc::new(easeml_obs::Profiler::new()));
+    let previous_profiler = profiler
+        .as_ref()
+        .map(|p| easeml_obs::set_global_profiler(Some(p.clone())));
+
     // Registering the file sink publishes its write accounting
     // (easeml_sink_{bytes,lines,dropped,rotations}_total) on /metrics —
     // a scraper can alert on dropped trace writes without touching disk.
-    let hub = Arc::new(
-        TelemetryHub::new(primary.clone())
-            .with_series(series.clone())
-            .with_sink_stats("trace", file_sink.clone()),
-    );
+    let mut hub = TelemetryHub::new(primary.clone())
+        .with_series(series.clone())
+        .with_sink_stats("trace", file_sink.clone());
+    if let Some(p) = &profiler {
+        hub = hub.with_profiler(p.clone());
+    }
+    let hub = Arc::new(hub);
     hub.set_status_json(service.status_json());
     let telemetry = if opts.serve {
         let server = TelemetryServer::serve(("127.0.0.1", opts.port), hub.clone())
             .expect("bind telemetry endpoint");
         println!("live telemetry on http://{}", server.local_addr());
-        println!("  /healthz  /metrics  /status  /trace?after=<seq>\n");
+        println!("  /healthz  /metrics  /status  /trace?after=<seq>  /profile\n");
         Some(server)
     } else {
         None
@@ -283,6 +305,18 @@ fn main() {
         for line in trace_tail.lines() {
             println!("  {line}");
         }
+    }
+    if let (Some(path), Some(p)) = (&opts.profile_out, &profiler) {
+        easeml_obs::set_global_profiler(previous_profiler.flatten());
+        let profile = p.snapshot();
+        std::fs::write(path, profile.folded_stacks()).expect("write folded stacks");
+        println!(
+            "profile: {} closed spans across {} call-tree nodes; folded stacks at {} \
+             (render with flamegraph.pl or speedscope)",
+            profile.closed_spans(),
+            profile.nodes().len().saturating_sub(1),
+            path.display()
+        );
     }
     drop(telemetry);
     if opts.trace_out.is_none() {

@@ -19,12 +19,19 @@
 //!
 //! Flags: `--users N` (default 100000), `--events N` (default 50000),
 //! `--sweep` (run U ∈ {1k, 10k, 100k} with the same event budget and
-//! assert state/body stay flat across the two orders of magnitude).
+//! assert state/body stay flat across the two orders of magnitude),
+//! `--profile` (run each fold under a live [`easeml_obs::Profiler`] and
+//! print the per-phase self-time table — where does a 100k-tenant fold
+//! actually spend its time?).
 
-use easeml_obs::{Event, InMemoryRecorder, ScaleConfig, TimeSeriesRecorder, DEFAULT_SKETCH_ALPHA};
+use easeml_obs::{
+    set_global_profiler, Event, InMemoryRecorder, Profiler, RecorderHandle, ScaleConfig,
+    TimeSeriesRecorder, DEFAULT_SKETCH_ALPHA,
+};
 use easeml_obs_http::render_metrics;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Quality target every synthetic tenant chases; regret observation of a
 /// run is `max(target - quality, 0)`, matching the recorder's fold.
@@ -34,6 +41,7 @@ struct Options {
     users: usize,
     events: usize,
     sweep: bool,
+    profile: bool,
 }
 
 fn parse_args() -> Options {
@@ -41,6 +49,7 @@ fn parse_args() -> Options {
         users: 100_000,
         events: 50_000,
         sweep: false,
+        profile: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -54,8 +63,11 @@ fn parse_args() -> Options {
                 opts.events = value.parse().expect("--events must be an integer");
             }
             "--sweep" => opts.sweep = true,
+            "--profile" => opts.profile = true,
             other => {
-                eprintln!("unknown argument {other:?}; flags: --users N --events N --sweep");
+                eprintln!(
+                    "unknown argument {other:?}; flags: --users N --events N --sweep --profile"
+                );
                 std::process::exit(2);
             }
         }
@@ -76,10 +88,15 @@ struct RunOutcome {
 /// fresh aggregate-mode recorder and snapshots the bounded layer.
 fn run_fold(users: usize, events: usize, seed: u64) -> RunOutcome {
     const RULES: [&str; 3] = ["hybrid", "greedy(max-gap)", "round-robin"];
+    // Coarse phase spans for --profile. The handle is a noop recorder —
+    // nothing lands in any event buffer — but a live global profiler still
+    // hooks span enter/exit and attributes wall time to the phases.
+    let spans = RecorderHandle::noop();
     let recorder = TimeSeriesRecorder::aggregate(ScaleConfig::default());
     recorder.set_default_target(TARGET);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut exact_regret = Vec::new();
+    let fold_span = spans.span("scale_fold");
     for i in 0..events {
         let user = rng.gen_range(0..users.max(1));
         if i % 16 == 0 {
@@ -102,10 +119,17 @@ fn run_fold(users: usize, events: usize, seed: u64) -> RunOutcome {
             });
         }
     }
-    let snapshot = recorder.snapshot();
+    drop(fold_span);
+    let snapshot = {
+        let _span = spans.span("snapshot");
+        recorder.snapshot()
+    };
     // Render the same bytes a Prometheus scraper would pull; an empty
     // event recorder keeps the measurement about the bounded families.
-    let body = render_metrics(&InMemoryRecorder::new(), Some(&snapshot));
+    let body = {
+        let _span = spans.span("render_metrics");
+        render_metrics(&InMemoryRecorder::new(), Some(&snapshot))
+    };
     let merged = snapshot.scale.merged().expect("stream produced runs");
     let sketch_quantiles = [0.5, 0.9, 0.99]
         .iter()
@@ -159,8 +183,19 @@ fn main() {
         "users", "state bytes", "metrics bytes", "regret p50/p90/p99"
     );
     let mut rows = Vec::new();
+    let mut phase_tables = Vec::new();
     for &users in &tenant_counts {
-        let mut outcome = run_fold(users, opts.events, 20_180_801 ^ users as u64);
+        let mut outcome = if opts.profile {
+            // Fresh profiler per tenant count, so each table stands alone.
+            let profiler = Arc::new(Profiler::new());
+            let previous = set_global_profiler(Some(profiler.clone()));
+            let outcome = run_fold(users, opts.events, 20_180_801 ^ users as u64);
+            set_global_profiler(previous);
+            phase_tables.push((users, profiler.snapshot()));
+            outcome
+        } else {
+            run_fold(users, opts.events, 20_180_801 ^ users as u64)
+        };
         let worst_rel = cross_check(&mut outcome);
         let qs: Vec<String> = outcome
             .sketch_quantiles
@@ -213,6 +248,23 @@ fn main() {
         max_state < 512 * 1024,
         "recorder state must stay under 512 KiB, got {max_state}"
     );
+
+    for (users, profile) in &phase_tables {
+        println!("\nphase breakdown at U={users} (--profile):");
+        println!(
+            "  {:<16} {:>8} {:>12} {:>14}",
+            "phase", "calls", "self ms", "p95 ns/call"
+        );
+        for row in profile.phase_table() {
+            println!(
+                "  {:<16} {:>8} {:>12.2} {:>14.0}",
+                row.name,
+                row.calls,
+                row.self_ns as f64 / 1e6,
+                row.latency.quantile(0.95).unwrap_or(0.0)
+            );
+        }
+    }
 
     println!(
         "\nsketch-vs-exact agreement within {:.1}% on every run",

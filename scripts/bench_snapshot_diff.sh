@@ -11,6 +11,10 @@
 # Environment:
 #   MIN_BASELINE_NS  baseline quantiles below this are treated as noise
 #                    floor and skipped (default 500)
+#   PROFILE_ALLOC_THRESHOLD_PCT  max allowed allocs-per-step increase on
+#                    profile/<phase>@u=N rows, percent (default 10 — the
+#                    workload is seeded, so allocation counts are nearly
+#                    deterministic and drift means a real code change)
 #
 # Exit status: 0 if no component regressed, 1 if any p50 or p95 grew by
 # more than the threshold, 2 on usage/parse errors.
@@ -29,6 +33,7 @@ baseline=$1
 candidate=$2
 threshold=${3:-25}
 min_ns=${MIN_BASELINE_NS:-500}
+alloc_threshold=${PROFILE_ALLOC_THRESHOLD_PCT:-10}
 
 for f in "$baseline" "$candidate"; do
     if [[ ! -r $f ]]; then
@@ -150,3 +155,82 @@ END {
     printf "OK: telemetry footprint bounded across the tenant sweep\n"
 }
 ' "$candidate"
+
+# Hot-path profiling budgets: rows named profile/<phase>@u=N (written by
+# `cargo bench -p easeml-bench --bench profile_scaling`) carry per-phase
+# self time and allocation counts normalised per scheduler step. Both are
+# diffed against the baseline: self time with the same latency threshold
+# as the component quantiles (plus the noise floor), allocation counts
+# with the tighter PROFILE_ALLOC_THRESHOLD_PCT — the workload is seeded,
+# so a sustained allocs/step increase is a code change, not jitter.
+# Snapshots without profile rows (e.g. obs_overhead) skip the check.
+awk -v threshold="$threshold" -v min_ns="$min_ns" -v alloc_threshold="$alloc_threshold" '
+function extract(line, key,    rest) {
+    if (index(line, "\"" key "\":") == 0) return ""
+    rest = substr(line, index(line, "\"" key "\":") + length(key) + 3)
+    gsub(/^[ \t]+/, "", rest)
+    gsub(/[,}].*$/, "", rest)
+    gsub(/"/, "", rest)
+    return rest
+}
+FNR == 1 { file_idx++ }
+/"name": "profile\// {
+    name = extract($0, "name")
+    if (name == "") next
+    if (file_idx == 1) {
+        base_self[name] = extract($0, "self_ns_per_step")
+        base_allocs[name] = extract($0, "allocs_per_step")
+        in_base[name] = 1
+    } else {
+        cand_self[name] = extract($0, "self_ns_per_step")
+        cand_allocs[name] = extract($0, "allocs_per_step")
+        order[++n] = name
+    }
+}
+END {
+    if (n == 0) {
+        printf "profile budgets: skipped (no profile rows in candidate)\n"
+        exit 0
+    }
+    printf "\n%-34s %14s %12s %8s   %s\n", "profile phase", "metric", "baseline", "now", "delta"
+    failed = 0
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        if (!(name in in_base)) {
+            printf "%-34s %14s  (skipped: not in baseline)\n", name, "-"
+            continue
+        }
+        b = base_self[name] + 0; c = cand_self[name] + 0
+        if (b < min_ns) {
+            printf "%-34s %14s %12d %8d   (skipped: baseline under %d ns noise floor)\n", \
+                name, "self_ns/step", b, c, min_ns
+        } else {
+            delta = 100.0 * (c - b) / b
+            flag = ""
+            if (delta > threshold + 0) {
+                flag = "  REGRESSION (limit +" threshold "%)"
+                failed = 1
+            }
+            printf "%-34s %14s %12d %8d   %+7.1f%%%s\n", name, "self_ns/step", b, c, delta, flag
+        }
+        b = base_allocs[name] + 0; c = cand_allocs[name] + 0
+        if (b <= 0) {
+            printf "%-34s %14s %12.2f %8.2f   (skipped: zero baseline)\n", \
+                name, "allocs/step", b, c
+            continue
+        }
+        delta = 100.0 * (c - b) / b
+        flag = ""
+        if (delta > alloc_threshold + 0) {
+            flag = "  REGRESSION (limit +" alloc_threshold "%)"
+            failed = 1
+        }
+        printf "%-34s %14s %12.2f %8.2f   %+7.1f%%%s\n", name, "allocs/step", b, c, delta, flag
+    }
+    if (failed) {
+        printf "\nFAIL: a profiled phase blew its per-step time or allocation budget\n"
+        exit 1
+    }
+    printf "\nOK: every profiled phase within its per-step budgets\n"
+}
+' "$baseline" "$candidate"

@@ -38,9 +38,23 @@ fi
 # exact per-quantile fold on a trace this small.
 echo "$report" | grep -q "sketch-vs-exact cross-check: pass"
 
+echo "==> easeml-trace profile on the smoke trace"
+smoke_folded="$(mktemp -t easeml-ci-folded-XXXXXX.folded)"
+trap 'rm -f "$smoke_trace" "$smoke_folded"' EXIT
+profile_out="$(cargo run --quiet -p easeml-trace -- profile "$smoke_trace" \
+  --folded "$smoke_folded")"
+echo "$profile_out"
+# The folded call tree must be non-empty and balanced (every SpanStart
+# paired with its SpanEnd, none orphaned), and the scheduler's hot loop
+# must attribute at least 95% of its wall time to named child phases.
+echo "$profile_out" | grep -q "scheduler_step"
+echo "$profile_out" | grep -q "0 unclosed, 0 orphaned"
+echo "$profile_out" | grep -q "wall time attributed (pass"
+test -s "$smoke_folded"
+
 echo "==> chaos smoke run (seeded fault injection)"
 chaos_trace="$(mktemp -t easeml-ci-chaos-XXXXXX.jsonl)"
-trap 'rm -f "$smoke_trace" "$chaos_trace"' EXIT
+trap 'rm -f "$smoke_trace" "$smoke_folded" "$chaos_trace"' EXIT
 cargo run --quiet --example live_dashboard -- \
   --rounds 25 --no-serve --chaos --trace-out "$chaos_trace"
 
@@ -62,7 +76,7 @@ echo "$chaos_report" | grep -q "sketch-vs-exact cross-check: pass"
 
 echo "==> multi-device smoke run (4 devices, chaos, mid-flight checkpoint)"
 exec_trace="$(mktemp -t easeml-ci-exec-XXXXXX.jsonl)"
-trap 'rm -f "$smoke_trace" "$chaos_trace" "$exec_trace"' EXIT
+trap 'rm -f "$smoke_trace" "$smoke_folded" "$chaos_trace" "$exec_trace"' EXIT
 exec_out="$(cargo run --quiet --example multi_device -- \
   --devices 4 --chaos --trace-out "$exec_trace")"
 echo "$exec_out"
