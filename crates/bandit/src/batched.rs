@@ -10,9 +10,10 @@
 //! pushed towards diverse, still-uncertain arms.
 
 use crate::beta::BetaSchedule;
+use crate::gp_ucb::{ArmExplanation, ScoredArm};
 use easeml_gp::{ArmPrior, GpPosterior};
 use easeml_linalg::vec_ops;
-use easeml_obs::{Component, Event, RecorderHandle};
+use easeml_obs::{top_k_indices, Component, Event, RecorderHandle};
 
 /// Batched GP-UCB selection with hallucinated updates.
 ///
@@ -151,6 +152,44 @@ impl GpBucb {
         self.halluc.observe(arm, fake);
         self.pending.push(arm);
         arm
+    }
+
+    /// Read-only why-chain for the *next* [`GpBucb::select_next`]: the arm
+    /// it would pick, the winning margin, and the top-K runners-up scored on
+    /// the hallucinated posterior with the batch-aware β. Does not
+    /// hallucinate, emit events, or grow the pending batch — call it just
+    /// before `select_next` to capture the decision's provenance.
+    pub fn explain_next(&self, k: usize) -> ArmExplanation {
+        let beta = self.beta.at(self.t + self.pending.len() + 1);
+        let scores: Vec<f64> = (0..self.num_arms())
+            .map(|a| self.halluc.mean(a) + (beta / self.cost(a)).sqrt() * self.halluc.std(a))
+            .collect();
+        let ranked = top_k_indices(&scores, k.max(1));
+        let chosen = vec_ops::argmax(&scores).expect("at least one arm");
+        let margin = if scores.len() >= 2 {
+            let runner_up = ranked
+                .get(1)
+                .map(|&a| scores[a])
+                .unwrap_or(f64::NEG_INFINITY);
+            scores[chosen] - runner_up
+        } else {
+            f64::NAN
+        };
+        let top = ranked
+            .into_iter()
+            .map(|arm| ScoredArm {
+                arm,
+                mean: self.halluc.mean(arm),
+                sigma: self.halluc.std(arm),
+                ucb: scores[arm],
+                masked: false,
+            })
+            .collect();
+        ArmExplanation {
+            chosen,
+            margin,
+            top,
+        }
     }
 
     /// Rebuilds the hallucinated posterior: the real posterior plus a fake
@@ -299,6 +338,26 @@ mod tests {
             "correlated twins both picked in one batch: {batch:?}"
         );
         assert_eq!(p.pending().len(), 3);
+    }
+
+    #[test]
+    fn explain_next_agrees_with_select_next_across_a_batch() {
+        let mut p = GpBucb::new(correlated_prior(), 1e-3, beta());
+        for _ in 0..4 {
+            let expl = p.explain_next(2);
+            let pending_before = p.pending().len();
+            assert_eq!(
+                p.pending().len(),
+                pending_before,
+                "explain_next must not grow the batch"
+            );
+            let a = p.select_next();
+            assert_eq!(expl.chosen, a, "explanation must mirror the batch argmax");
+            assert_eq!(expl.top[0].arm, a);
+            assert_eq!(expl.top.len(), 2);
+            assert!(expl.margin >= 0.0);
+            assert!(!expl.top[0].masked, "GP-BUCB has no quarantine mask");
+        }
     }
 
     #[test]

@@ -5,7 +5,41 @@ use crate::beta::BetaSchedule;
 use crate::ArmPolicy;
 use easeml_gp::{ArmPrior, GpPosterior};
 use easeml_linalg::vec_ops;
-use easeml_obs::{Component, Event, RecorderHandle};
+use easeml_obs::{top_k_indices, Component, Event, RecorderHandle};
+
+/// One arm's posterior snapshot inside an [`ArmExplanation`]: what the
+/// policy knew about the arm at selection time. `ucb` is the arm's *real*
+/// upper confidence bound — masked arms keep their true score here (with
+/// `masked: true`) even though the argmax saw `-∞` for them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredArm {
+    /// Arm (model) index.
+    pub arm: usize,
+    /// Posterior mean μ(k).
+    pub mean: f64,
+    /// Posterior standard deviation σ(k).
+    pub sigma: f64,
+    /// Upper confidence bound μ(k) + √(β/c_k)·σ(k).
+    pub ucb: f64,
+    /// Whether quarantine masked the arm out of the argmax.
+    pub masked: bool,
+}
+
+/// The why-chain of one arm selection: the chosen arm, the winning margin,
+/// and the top-K runners-up ranked exactly as the argmax saw them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArmExplanation {
+    /// The arm [`GpUcb::select_arm`] (or [`crate::GpBucb::select_next`])
+    /// would return from this posterior state.
+    pub chosen: usize,
+    /// Effective score gap between the winner and the runner-up, computed on
+    /// the *masked* scores the argmax ranked (so a quarantined near-winner
+    /// does not shrink the margin). `NaN` when there is no runner-up.
+    pub margin: f64,
+    /// Top-K arms by effective (mask-adjusted) score, best first. Entry 0 is
+    /// always the chosen arm.
+    pub top: Vec<ScoredArm>,
+}
 
 /// GP-UCB arm selection.
 ///
@@ -231,6 +265,56 @@ impl GpUcb {
             parent: easeml_obs::current_span(),
         });
         arm
+    }
+
+    /// Effective scores [`GpUcb::select_arm`]'s argmax ranks: the UCBs, with
+    /// masked arms forced to `-∞` unless every arm is masked (in which case
+    /// quarantine degrades to a no-op, matching the selection rule).
+    fn effective_scores(&self) -> Vec<f64> {
+        let mut ucbs = self.ucbs();
+        if self.masked.iter().any(|&m| m) && !self.masked.iter().all(|&m| m) {
+            for (k, &m) in self.masked.iter().enumerate() {
+                if m {
+                    ucbs[k] = f64::NEG_INFINITY;
+                }
+            }
+        }
+        ucbs
+    }
+
+    /// Read-only why-chain for the *next* selection: the arm
+    /// [`GpUcb::select_arm`] would choose, the winning margin, and the top-K
+    /// runners-up with their posterior state. Does not move the posterior,
+    /// emit events, or consume randomness — safe to call on the hot path
+    /// before (or instead of) `select_arm`.
+    pub fn explain_selection(&self, k: usize) -> ArmExplanation {
+        let scores = self.effective_scores();
+        let ranked = top_k_indices(&scores, k.max(1));
+        let chosen = vec_ops::argmax(&scores).expect("policy has at least one arm");
+        let margin = if scores.len() >= 2 {
+            let runner_up = ranked
+                .get(1)
+                .map(|&a| scores[a])
+                .unwrap_or(f64::NEG_INFINITY);
+            scores[chosen] - runner_up
+        } else {
+            f64::NAN
+        };
+        let top = ranked
+            .into_iter()
+            .map(|arm| ScoredArm {
+                arm,
+                mean: self.gp.mean(arm),
+                sigma: self.gp.std(arm),
+                ucb: self.ucb(arm),
+                masked: self.is_masked(arm),
+            })
+            .collect();
+        ArmExplanation {
+            chosen,
+            margin,
+            top,
+        }
     }
 
     /// Incorporates an observation.
@@ -491,6 +575,52 @@ mod tests {
     fn masking_out_of_range_arm_panics() {
         let mut ucb = GpUcb::cost_oblivious(ArmPrior::independent(2, 1.0), 0.01, simple_beta(2));
         ucb.set_arm_masked(5, true);
+    }
+
+    #[test]
+    fn explain_selection_agrees_with_select_arm() {
+        let mut ucb = GpUcb::cost_oblivious(ArmPrior::independent(4, 1.0), 0.01, simple_beta(4));
+        for _ in 0..6 {
+            let expl = ucb.explain_selection(3);
+            let a = ucb.select_arm();
+            assert_eq!(expl.chosen, a, "explanation must mirror the argmax");
+            assert_eq!(expl.top[0].arm, a, "entry 0 is the chosen arm");
+            assert_eq!(expl.top.len(), 3);
+            assert!(expl.margin >= 0.0, "winner beats the runner-up");
+            let runner_up = &expl.top[1];
+            let gap = expl.top[0].ucb - runner_up.ucb;
+            assert!((gap - expl.margin).abs() < 1e-12);
+            ucb.observe(a, 0.2);
+        }
+    }
+
+    #[test]
+    fn explain_selection_respects_the_quarantine_mask() {
+        let mut ucb = GpUcb::cost_oblivious(ArmPrior::independent(3, 0.05), 0.001, simple_beta(3));
+        ucb.observe(0, 5.0);
+        ucb.set_arm_masked(0, true);
+        let expl = ucb.explain_selection(3);
+        assert_eq!(expl.chosen, ucb.select_arm());
+        assert_ne!(expl.chosen, 0, "masked dominator cannot win");
+        // The masked arm still ranks (last) and keeps its real UCB.
+        let masked_entry = expl.top.iter().find(|s| s.arm == 0).unwrap();
+        assert!(masked_entry.masked);
+        assert!(masked_entry.ucb.is_finite());
+        assert_eq!(expl.top.last().unwrap().arm, 0);
+        // Margin is computed on the masked scores, so it compares the two
+        // unmasked arms, not the quarantined dominator.
+        let s1 = ucb.ucb(expl.top[0].arm);
+        let s2 = ucb.ucb(expl.top[1].arm);
+        assert!((expl.margin - (s1 - s2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explain_selection_single_arm_has_nan_margin() {
+        let ucb = GpUcb::cost_oblivious(ArmPrior::independent(1, 1.0), 0.01, simple_beta(1));
+        let expl = ucb.explain_selection(8);
+        assert_eq!(expl.chosen, 0);
+        assert_eq!(expl.top.len(), 1);
+        assert!(expl.margin.is_nan());
     }
 
     #[test]

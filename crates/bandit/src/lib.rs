@@ -35,7 +35,7 @@ pub mod ucb1;
 
 pub use batched::GpBucb;
 pub use beta::BetaSchedule;
-pub use gp_ucb::GpUcb;
+pub use gp_ucb::{ArmExplanation, GpUcb, ScoredArm};
 pub use policies::{
     EpsilonGreedy, ExpectedImprovement, FixedOrder, ProbabilityOfImprovement, RandomArm,
     ThompsonSampling,

@@ -64,6 +64,7 @@ pub mod server;
 pub mod sim;
 pub mod storage;
 pub mod user;
+pub mod witness;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
@@ -86,6 +87,7 @@ pub mod prelude {
     };
     pub use crate::storage::{Example, SharedStorage};
     pub use crate::user::UserAccount;
+    pub use crate::witness::{DecisionLog, RoundWitness, DEFAULT_WITNESS_TOP_K};
 }
 
 pub use prelude::*;

@@ -17,6 +17,7 @@ use crate::job::{Job, JobStatus};
 use crate::retry::{RetryPolicy, RetryState};
 use crate::storage::SharedStorage;
 use crate::user::UserAccount;
+use crate::witness::{DecisionLog, RoundWitness};
 use easeml_bandit::{BetaSchedule, GpUcb};
 use easeml_dsl::{parse_program, ModelId, ParseError};
 use easeml_gp::ArmPrior;
@@ -162,6 +163,9 @@ pub struct EaseMl {
     retry_policy: RetryPolicy,
     retry_state: RetryState,
     recorder: RecorderHandle,
+    /// Decision provenance: the rolling digest + bounded witness emitter
+    /// every round folds into.
+    witness: Mutex<DecisionLog>,
 }
 
 impl EaseMl {
@@ -186,7 +190,20 @@ impl EaseMl {
             retry_policy: RetryPolicy::default(),
             retry_state: RetryState::new(),
             recorder: RecorderHandle::noop(),
+            witness: Mutex::new(DecisionLog::new()),
         }
+    }
+
+    /// Rolling digest (16 hex chars) of every decision made so far — equal
+    /// digests mean equal decision sequences ([`crate::witness`]).
+    pub fn state_digest(&self) -> String {
+        self.witness.lock().digest_hex()
+    }
+
+    /// Replaces the witness bound K (resets the digest; call before the
+    /// first round).
+    pub fn set_witness_top_k(&mut self, top_k: usize) {
+        *self.witness.lock() = DecisionLog::with_top_k(top_k);
     }
 
     /// Attaches (or with `None` removes) a deterministic fault injector:
@@ -348,16 +365,34 @@ impl EaseMl {
         }
 
         // Warm-up pass (Algorithm 2 lines 1–4): serve each user once.
-        let user = if *warmed < self.tenants.len() {
+        let (user, from_warmup) = if *warmed < self.tenants.len() {
             let u = *warmed;
             *warmed += 1;
-            u
+            (u, true)
         } else {
             let _pick_span = self.recorder.span("pick_user");
             let _pick = self.recorder.time(Component::SchedulerPick);
             let u = picker.pick(&self.tenants, *step, &mut *rng);
             *step += 1;
-            u
+            (u, false)
+        };
+
+        // Witness context: what the picker ranked, gathered only when a
+        // recorder is live (the digest fold below needs none of it).
+        let mut wlog = self.witness.lock();
+        let witness_round = *rounds;
+        let witness_live = self.recorder.is_enabled();
+        let (user_scores, candidates, path) = if !witness_live {
+            (Vec::new(), Vec::new(), String::new())
+        } else if from_warmup {
+            (Vec::new(), Vec::new(), "warm-up".to_string())
+        } else {
+            let _w = self.recorder.span("witness");
+            (
+                picker.decision_scores(&self.tenants),
+                picker.last_candidates().to_vec(),
+                picker.pick_path(),
+            )
         };
 
         let mut failures: u64 = 0;
@@ -366,6 +401,10 @@ impl EaseMl {
             let attempt = failures + 1;
             // Re-select each attempt: quarantine during this round's
             // failures immediately steers retries to another arm.
+            let arm_expl = witness_live.then(|| {
+                let _w = self.recorder.span("witness");
+                self.tenants[user].policy().explain_selection(wlog.top_k())
+            });
             let model_idx = self.tenants[user].select_model();
             let model = self.jobs[user].candidate_models()[model_idx];
             let raw = (self.oracle)(user, model);
@@ -420,6 +459,20 @@ impl EaseMl {
                     picker.after_observe(&self.tenants, user);
                     self.recorder.count("server/rounds", 1);
                     *rounds += 1;
+                    wlog.record(
+                        &self.recorder,
+                        RoundWitness {
+                            round: witness_round,
+                            user,
+                            arm: model_idx,
+                            user_scores: &user_scores,
+                            candidates: &candidates,
+                            arm_explanation: arm_expl.as_ref(),
+                            path: path.clone(),
+                            fallback: String::new(),
+                            censored: false,
+                        },
+                    );
                     return Ok(RoundOutcome {
                         user,
                         model,
@@ -493,6 +546,20 @@ impl EaseMl {
                     }
                     self.recorder.count("server/rounds", 1);
                     *rounds += 1;
+                    wlog.record(
+                        &self.recorder,
+                        RoundWitness {
+                            round: witness_round,
+                            user,
+                            arm: model_idx,
+                            user_scores: &user_scores,
+                            candidates: &candidates,
+                            arm_explanation: arm_expl.as_ref(),
+                            path: path.clone(),
+                            fallback: error.kind().to_string(),
+                            censored: true,
+                        },
+                    );
                     return Ok(RoundOutcome {
                         user,
                         model,

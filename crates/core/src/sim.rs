@@ -10,6 +10,7 @@
 
 use crate::cluster::{Cluster, TrainingRun};
 use crate::fault::{FaultConfig, FaultInjector};
+use crate::witness::{DecisionLog, RoundWitness};
 use easeml_bandit::policies::FixedOrder;
 use easeml_bandit::{ArmPolicy, BetaSchedule, GpUcb};
 use easeml_data::Dataset;
@@ -502,12 +503,19 @@ fn simulate_gp(
     let mut points = Vec::new();
     let mut rounds = 0usize;
     let mut injector = cfg.fault.clone().map(FaultInjector::new);
+    let mut wlog = DecisionLog::new();
 
     let mut events = Vec::new();
     // Serves one round. Returns whether the run completed: a fault-injected
     // failure (or NaN quality) is censored — its consumed cost advances the
     // cluster clock but nothing enters the posterior or the trace points.
+    // Every round, censored or not, folds its decision into `wlog` and
+    // (with a live recorder) commits a witness chain; `wctx` carries what
+    // the picker ranked.
     let serve = |user: usize,
+                 step: usize,
+                 wctx: (&[f64], &[usize], &str),
+                 wlog: &mut DecisionLog,
                  tenants: &mut Vec<Tenant>,
                  cluster: &mut Cluster,
                  losses: &mut LossTracker,
@@ -515,7 +523,31 @@ fn simulate_gp(
                  events: &mut Vec<SimEvent>,
                  injector: &mut Option<FaultInjector>|
      -> bool {
+        let (user_scores, candidates, path) = wctx;
+        let arm_expl = recorder.is_enabled().then(|| {
+            let _w = recorder.span("witness");
+            tenants[user].policy().explain_selection(wlog.top_k())
+        });
         let model = tenants[user].select_model();
+        let witness = |arm_margin_source: Option<&easeml_bandit::ArmExplanation>,
+                       wlog: &mut DecisionLog,
+                       fallback: &str,
+                       censored: bool| {
+            wlog.record(
+                recorder,
+                RoundWitness {
+                    round: step as u64,
+                    user,
+                    arm: model,
+                    user_scores,
+                    candidates,
+                    arm_explanation: arm_margin_source,
+                    path: path.to_string(),
+                    fallback: fallback.to_string(),
+                    censored,
+                },
+            );
+        };
         let clean = crate::server::TrainingOutcome {
             accuracy: dataset.quality(user, model),
             cost: dataset.cost(user, model),
@@ -529,6 +561,7 @@ fn simulate_gp(
             Ok(out) => {
                 // Injected invalid quality: censor, charging the full cost.
                 censor_run(cluster, recorder, user, model, out.cost, "invalid-quality");
+                witness(arm_expl.as_ref(), wlog, "invalid-quality", true);
                 return false;
             }
             Err(error) => {
@@ -540,6 +573,7 @@ fn simulate_gp(
                     error.cost_consumed(),
                     error.kind(),
                 );
+                witness(arm_expl.as_ref(), wlog, error.kind(), true);
                 return false;
             }
         };
@@ -564,6 +598,7 @@ fn simulate_gp(
             quality,
         });
         recorder.count("sim/rounds", 1);
+        witness(arm_expl.as_ref(), wlog, "", false);
         true
     };
 
@@ -589,8 +624,21 @@ fn simulate_gp(
             let _pick = recorder.time(Component::SchedulerPick);
             picker.pick(&tenants, step, rng)
         };
+        let (user_scores, candidates, path) = if recorder.is_enabled() {
+            let _w = recorder.span("witness");
+            (
+                picker.decision_scores(&tenants),
+                picker.last_candidates().to_vec(),
+                picker.pick_path(),
+            )
+        } else {
+            (Vec::new(), Vec::new(), String::new())
+        };
         if serve(
             user,
+            step,
+            (&user_scores, &candidates, &path),
+            &mut wlog,
             &mut tenants,
             &mut cluster,
             &mut losses,
@@ -942,13 +990,95 @@ mod tests {
             Some(vec_ops::mean(&trace.final_losses))
         );
 
-        // And the JSONL export round-trips the whole trace.
-        let parsed: Vec<Event> = rec
+        // And the JSONL export round-trips the whole trace. Compare the
+        // re-serialized forms: the NaN margins a non-scoring round's
+        // DecisionWitness carries (NaN != NaN under PartialEq) still
+        // round-trip through their `null` serialization.
+        let parsed: Vec<String> = rec
             .to_jsonl()
             .lines()
-            .map(|l| Event::from_json(l).unwrap())
+            .map(|l| Event::from_json(l).unwrap().to_json())
             .collect();
-        assert_eq!(parsed, rec.events());
+        let expected: Vec<String> = rec.events().iter().map(Event::to_json).collect();
+        assert_eq!(parsed, expected);
+    }
+
+    #[test]
+    fn witness_chain_commits_every_round_with_a_deterministic_digest() {
+        use crate::fault::FaultConfig;
+        use easeml_obs::InMemoryRecorder;
+        use std::sync::Arc;
+        let d = small_dataset();
+        let priors = flat_priors(&d);
+        let cfg = SimConfig {
+            budget: 14.0,
+            cost_aware: true,
+            noise_var: 1e-3,
+            delta: 0.1,
+            fault: Some(FaultConfig::new(5).with_crash_rate(0.3)),
+        };
+        let run = || {
+            let rec = Arc::new(InMemoryRecorder::new());
+            let handle = RecorderHandle::new(rec.clone());
+            let trace = simulate_with_recorder(
+                &d,
+                &priors,
+                SchedulerKind::EaseMl,
+                &cfg,
+                &mut rng(),
+                &handle,
+            );
+            (rec, trace)
+        };
+        let (rec, trace) = run();
+        let witnesses: Vec<(u64, bool, String)> = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::DecisionWitness {
+                    round,
+                    censored,
+                    digest,
+                    ..
+                } => Some((*round, *censored, digest.clone())),
+                _ => None,
+            })
+            .collect();
+        let censored = witnesses.iter().filter(|w| w.1).count();
+        assert!(censored > 0, "fault injection should censor some rounds");
+        // One witness per step — completed and censored alike — with
+        // consecutive round numbers.
+        assert_eq!(witnesses.len(), trace.rounds + censored);
+        for (i, w) in witnesses.iter().enumerate() {
+            assert_eq!(w.0, i as u64, "witness rounds are the step counter");
+        }
+        // Censored witnesses name the failure; healthy ones don't.
+        for e in rec.events().iter() {
+            if let Event::DecisionWitness {
+                censored, fallback, ..
+            } = e
+            {
+                assert_eq!(*censored, !fallback.is_empty(), "{e:?}");
+            }
+        }
+        // Same seed, same scenario: bit-identical digest trajectory.
+        let (rec2, _) = run();
+        let digests2: Vec<String> = rec2
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::DecisionWitness { digest, .. } => Some(digest.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            witnesses.iter().map(|w| w.2.clone()).collect::<Vec<_>>(),
+            digests2
+        );
+        // The obs-side fold sees only committed (untorn) witnesses.
+        let records = easeml_obs::witness_records(&rec.events());
+        assert_eq!(records.len(), witnesses.len());
+        assert!(records.iter().all(|r| !r.top_arms.is_empty()));
     }
 
     #[test]

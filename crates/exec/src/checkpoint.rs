@@ -557,6 +557,10 @@ impl ExecEngine<'_> {
                 ok: r.ok,
                 quality: r.quality,
                 kind: r.kind.clone(),
+                // A checkpoint does not carry the dispatch-time decision
+                // context; the restored run's completion skips the witness
+                // chain but still folds into the digest.
+                witness: None,
             });
         }
         engine.now = ck.now;

@@ -21,7 +21,8 @@ use easeml::server::TrainingOutcome;
 use easeml::sim::{
     build_tenants, cheapest_model, tenant_beta, SchedulerKind, SimConfig, SimEvent, SimTrace,
 };
-use easeml_bandit::GpBucb;
+use easeml::witness::{DecisionLog, RoundWitness};
+use easeml_bandit::{ArmExplanation, GpBucb};
 use easeml_data::Dataset;
 use easeml_gp::ArmPrior;
 use easeml_linalg::vec_ops;
@@ -53,6 +54,21 @@ pub(crate) struct InFlight {
     pub(crate) quality: f64,
     /// The censoring kind for failed runs (empty when `ok`).
     pub(crate) kind: String,
+    /// Witness context captured at dispatch time, committed with the
+    /// completion. `None` when no recorder was attached at dispatch (and
+    /// for runs rebuilt from a checkpoint — their decision context is
+    /// gone, but the digest fold still happens at completion).
+    pub(crate) witness: Option<Box<PendingWitness>>,
+}
+
+/// What the dispatch decision hinged on, frozen until its completion event
+/// commits the witness chain.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PendingWitness {
+    pub(crate) user_scores: Vec<f64>,
+    pub(crate) candidates: Vec<usize>,
+    pub(crate) path: String,
+    pub(crate) arm_expl: ArmExplanation,
 }
 
 /// The user-picking strategy, kept concrete for HYBRID so its freeze
@@ -165,6 +181,7 @@ pub struct ExecEngine<'a> {
     pub(crate) queueing_delay: QuantileSketch,
     pub(crate) busy_spans: QuantileSketch,
     pub(crate) recorder: RecorderHandle,
+    pub(crate) wlog: DecisionLog,
 }
 
 impl<'a> ExecEngine<'a> {
@@ -239,9 +256,17 @@ impl<'a> ExecEngine<'a> {
             queueing_delay: QuantileSketch::default(),
             busy_spans: QuantileSketch::default(),
             recorder,
+            wlog: DecisionLog::new(),
         };
         engine.warm_up();
         engine
+    }
+
+    /// Rolling digest (16 hex chars) of every completed decision — equal
+    /// digests mean equal decision sequences, bit-compatible with the
+    /// serial simulator's at one unit device ([`easeml::witness`]).
+    pub fn state_digest(&self) -> String {
+        self.wlog.digest_hex()
     }
 
     /// The budget-free warm-up pass, identical to the serial simulator's:
@@ -338,6 +363,19 @@ impl<'a> ExecEngine<'a> {
                 .pick(&self.tenants, self.step, &mut self.rng)
         };
         self.step += 1;
+        // Freeze the decision context before `select_next` hallucinates:
+        // the explanation must score the same posterior the argmax saw.
+        let witness = if self.recorder.is_enabled() {
+            let _w = self.recorder.span("witness");
+            Some(Box::new(PendingWitness {
+                user_scores: self.picker.as_mut().decision_scores(&self.tenants),
+                candidates: self.picker.as_mut().last_candidates().to_vec(),
+                path: self.picker.as_mut().pick_path(),
+                arm_expl: self.bucbs[user].explain_next(self.wlog.top_k()),
+            }))
+        } else {
+            None
+        };
         let model = self.bucbs[user].select_next();
         let clean = TrainingOutcome {
             accuracy: self.dataset.quality(user, model),
@@ -397,6 +435,7 @@ impl<'a> ExecEngine<'a> {
             ok,
             quality,
             kind: kind.to_string(),
+            witness,
         });
         self.recorder.emit(|| Event::RunDispatched {
             user,
@@ -484,6 +523,28 @@ impl<'a> ExecEngine<'a> {
             self.censored += 1;
             self.recorder.count("sim/failed-rounds", 1);
         }
+        // Commit the decision's provenance in completion order. `seq` is
+        // the dispatch counter, so at one unit device the witness rounds
+        // and the digest trajectory match the serial simulator's exactly.
+        let w = run.witness.as_deref();
+        self.wlog.record(
+            &self.recorder,
+            RoundWitness {
+                round: run.seq,
+                user: run.user,
+                arm: run.model,
+                user_scores: w.map_or(&[][..], |w| &w.user_scores),
+                candidates: w.map_or(&[][..], |w| &w.candidates),
+                arm_explanation: w.map(|w| &w.arm_expl),
+                path: w.map_or_else(String::new, |w| w.path.clone()),
+                fallback: if run.ok {
+                    String::new()
+                } else {
+                    run.kind.clone()
+                },
+                censored: !run.ok,
+            },
+        );
         true
     }
 
@@ -745,6 +806,75 @@ mod tests {
             })
             .collect();
         assert_eq!(completed, t.sim.events);
+    }
+
+    #[test]
+    fn single_device_witness_digests_match_the_serial_simulator() {
+        use easeml_obs::InMemoryRecorder;
+        use rand::SeedableRng;
+        use std::sync::Arc;
+        let d = small_dataset();
+        let priors = flat_priors(&d);
+        let cfg = SimConfig::new(9.0);
+        let digests = |events: &[Event]| -> Vec<String> {
+            events
+                .iter()
+                .filter_map(|e| match e {
+                    Event::DecisionWitness { round, digest, .. } => {
+                        Some(format!("{round}:{digest}"))
+                    }
+                    _ => None,
+                })
+                .collect()
+        };
+        let serial_rec = Arc::new(InMemoryRecorder::new());
+        let _ = easeml::sim::simulate_with_recorder(
+            &d,
+            &priors,
+            SchedulerKind::Hybrid,
+            &cfg,
+            &mut rand::rngs::StdRng::seed_from_u64(7),
+            &RecorderHandle::new(serial_rec.clone()),
+        );
+        let exec_rec = Arc::new(InMemoryRecorder::new());
+        let _ = simulate_multi_device_with_recorder(
+            &d,
+            &priors,
+            SchedulerKind::Hybrid,
+            &cfg,
+            1,
+            7,
+            &RecorderHandle::new(exec_rec.clone()),
+        );
+        let serial = digests(&serial_rec.events());
+        let exec = digests(&exec_rec.events());
+        assert!(!serial.is_empty());
+        assert_eq!(serial, exec, "D=1 exec must replay the serial decisions");
+    }
+
+    #[test]
+    fn multi_device_witnesses_commit_one_per_dispatch() {
+        use easeml_obs::InMemoryRecorder;
+        use std::sync::Arc;
+        let d = small_dataset();
+        let priors = flat_priors(&d);
+        let cfg = SimConfig::new(8.0);
+        let rec = Arc::new(InMemoryRecorder::new());
+        let t = simulate_multi_device_with_recorder(
+            &d,
+            &priors,
+            SchedulerKind::RoundRobin,
+            &cfg,
+            3,
+            7,
+            &RecorderHandle::new(rec.clone()),
+        );
+        let records = easeml_obs::witness_records(&rec.events());
+        assert_eq!(records.len(), t.dispatches, "one witness per dispatch");
+        // Witness rounds are dispatch seq numbers: a permutation of 0..n.
+        let mut rounds: Vec<u64> = records.iter().map(|r| r.round).collect();
+        rounds.sort_unstable();
+        assert_eq!(rounds, (0..t.dispatches as u64).collect::<Vec<_>>());
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //! | `GET /profile`   | Aggregated span call-tree profile as JSON, or with  |
 //! |                  | `?format=folded` as Brendan-Gregg folded stacks     |
 //! |                  | ready for `flamegraph.pl` / speedscope              |
+//! | `GET /explain`   | Decision-health JSON: committed witness rounds,     |
+//! |                  | censor/tie counts, margin distribution, per-path    |
+//! |                  | tallies; `?round=<n>` serves one round's full       |
+//! |                  | decision witness (scored users, scored arms, path)  |
 //!
 //! The application side is a [`TelemetryHub`]: it owns the
 //! [`InMemoryRecorder`] the scheduler writes through, optionally a
@@ -52,7 +56,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 pub use http::{parse_request_line, read_request, write_response, Request, Status};
-pub use render::{render_metrics, render_metrics_full, RenderOptions, DEFAULT_PER_USER_CAP};
+pub use render::{
+    render_explain_summary, render_metrics, render_metrics_full, RenderOptions,
+    DEFAULT_PER_USER_CAP,
+};
 
 /// How long a connection may dribble its request in before being dropped.
 const READ_TIMEOUT: Duration = Duration::from_secs(2);
@@ -189,6 +196,23 @@ impl TelemetryHub {
         }
     }
 
+    /// One round's committed decision witness as JSON, or `None` when no
+    /// `DecisionWitness` commit marker for that round has landed yet —
+    /// a round whose score events are still streaming in is invisible
+    /// here, never torn.
+    pub fn explain_round(&self, round: u64) -> Option<String> {
+        easeml_obs::witness_records(&self.recorder.events())
+            .into_iter()
+            .find(|r| r.round == round)
+            .map(|r| r.to_json())
+    }
+
+    /// The `/explain` aggregate decision-health report over every
+    /// committed witness round recorded so far.
+    pub fn explain_summary(&self) -> String {
+        render::render_explain_summary(&easeml_obs::witness_records(&self.recorder.events()))
+    }
+
     /// Routes one parsed request to its response. Exposed for tests and
     /// for embedding the routing into another server.
     pub fn respond(&self, request: &Request) -> (Status, &'static str, String) {
@@ -238,10 +262,29 @@ impl TelemetryHub {
                     "format must be json or folded\n".to_string(),
                 ),
             },
+            "/explain" => match request.query_param("round") {
+                None => (Status::Ok, "application/json", self.explain_summary()),
+                Some(raw) => match raw.parse::<u64>() {
+                    Ok(round) => match self.explain_round(round) {
+                        Some(body) => (Status::Ok, "application/json", body),
+                        None => (
+                            Status::NotFound,
+                            "text/plain; charset=utf-8",
+                            format!("no committed decision witness for round {round}\n"),
+                        ),
+                    },
+                    Err(_) => (
+                        Status::BadRequest,
+                        "text/plain; charset=utf-8",
+                        "round must be an unsigned integer\n".to_string(),
+                    ),
+                },
+            },
             _ => (
                 Status::NotFound,
                 "text/plain; charset=utf-8",
-                "unknown route; try /healthz, /metrics, /status, /trace, /profile\n".to_string(),
+                "unknown route; try /healthz, /metrics, /status, /trace, /profile, /explain\n"
+                    .to_string(),
             ),
         }
     }
@@ -561,6 +604,176 @@ mod tests {
         // The port is released: binding it again succeeds.
         let listener = TcpListener::bind(addr);
         assert!(listener.is_ok(), "{listener:?}");
+    }
+
+    /// Emits one complete witness chain — two `UserScored`, one
+    /// `ArmScored`, then the `DecisionWitness` commit marker — for `round`.
+    fn emit_witness_chain(recorder: &InMemoryRecorder, round: u64, censored: bool) {
+        for rank in 0..2u64 {
+            recorder.record(Event::UserScored {
+                round,
+                user: rank as usize,
+                score: 1.0 - 0.3 * rank as f64,
+                rank,
+                candidate: true,
+                parent: 0,
+            });
+        }
+        recorder.record(Event::ArmScored {
+            round,
+            user: 0,
+            arm: 2,
+            mean: 0.6,
+            sigma: 0.1,
+            ucb: 0.8,
+            rank: 0,
+            masked: false,
+            parent: 0,
+        });
+        recorder.record(Event::DecisionWitness {
+            round,
+            user: 0,
+            arm: 2,
+            user_margin: 0.3,
+            arm_margin: 0.1,
+            path: "greedy(max-gap)".to_string(),
+            fallback: if censored {
+                "crash".to_string()
+            } else {
+                String::new()
+            },
+            censored,
+            candidates: 2,
+            digest: format!("{round:016x}"),
+            parent: 0,
+        });
+    }
+
+    /// Looks up a key in a parsed JSON object.
+    fn field<'a>(value: &'a easeml_obs::json::Json, key: &str) -> &'a easeml_obs::json::Json {
+        match value {
+            easeml_obs::json::Json::Object(pairs) => {
+                &pairs.iter().find(|(k, _)| k == key).expect(key).1
+            }
+            other => panic!("expected object with {key}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explain_serves_committed_rounds_and_the_health_summary() {
+        let recorder = Arc::new(InMemoryRecorder::new());
+        emit_witness_chain(&recorder, 0, false);
+        emit_witness_chain(&recorder, 1, true);
+        // A torn round: scores landed, commit marker never did.
+        recorder.record(Event::UserScored {
+            round: 2,
+            user: 0,
+            score: 0.5,
+            rank: 0,
+            candidate: false,
+            parent: 0,
+        });
+        let hub = Arc::new(TelemetryHub::new(recorder));
+        let server = TelemetryServer::serve("127.0.0.1:0", hub).unwrap();
+        let addr = server.local_addr();
+
+        let (head, body) = get(addr, "/explain?round=1");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("application/json"), "{head}");
+        let round = easeml_obs::json::parse(&body).unwrap();
+        assert_eq!(field(&round, "round"), &easeml_obs::json::Json::Number(1.0));
+        assert_eq!(
+            field(&round, "censored"),
+            &easeml_obs::json::Json::Bool(true)
+        );
+        assert_eq!(
+            field(&round, "fallback"),
+            &easeml_obs::json::Json::String("crash".to_string())
+        );
+        match field(&round, "top_users") {
+            easeml_obs::json::Json::Array(users) => assert_eq!(users.len(), 2, "{body}"),
+            other => panic!("top_users should be an array, got {other:?}"),
+        }
+
+        // The torn round is invisible, not half-rendered.
+        let (head, _) = get(addr, "/explain?round=2");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        let (head, _) = get(addr, "/explain?round=abc");
+        assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+
+        let (head, body) = get(addr, "/explain");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        let summary = easeml_obs::json::parse(&body).unwrap();
+        assert_eq!(
+            field(&summary, "rounds"),
+            &easeml_obs::json::Json::Number(2.0)
+        );
+        assert_eq!(
+            field(&summary, "censored"),
+            &easeml_obs::json::Json::Number(1.0)
+        );
+        assert_eq!(
+            field(&summary, "last_digest"),
+            &easeml_obs::json::Json::String(format!("{:016x}", 1))
+        );
+        match field(&summary, "fallbacks") {
+            easeml_obs::json::Json::Array(kinds) => {
+                assert_eq!(
+                    field(&kinds[0], "kind"),
+                    &easeml_obs::json::Json::String("crash".to_string())
+                );
+            }
+            other => panic!("fallbacks should be an array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn profile_and_explain_stay_well_formed_under_concurrent_scrapes() {
+        let recorder = Arc::new(InMemoryRecorder::new());
+        let hub = Arc::new(TelemetryHub::new(recorder.clone()));
+        let server = TelemetryServer::serve("127.0.0.1:0", hub).unwrap();
+        let addr = server.local_addr();
+        let writer = std::thread::spawn(move || {
+            let handle = easeml_obs::RecorderHandle::new(recorder.clone());
+            for round in 0..150u64 {
+                let _step = handle.span("scheduler_step");
+                emit_witness_chain(&recorder, round, round % 7 == 0);
+            }
+        });
+        for _ in 0..8 {
+            // Every mid-write scrape must parse, and every round the
+            // summary counts must itself be fully committed (no torn
+            // witnesses): chains commit in round order here, so `rounds`
+            // committed implies round `rounds - 1` is servable and whole.
+            let (head, body) = get(addr, "/profile");
+            assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+            easeml_obs::json::parse(&body).unwrap();
+            let (head, body) = get(addr, "/explain");
+            assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+            let summary = easeml_obs::json::parse(&body).unwrap();
+            let committed = match field(&summary, "rounds") {
+                easeml_obs::json::Json::Number(n) => *n as u64,
+                other => panic!("rounds should be a number, got {other:?}"),
+            };
+            if committed == 0 {
+                continue;
+            }
+            let (head, body) = get(addr, &format!("/explain?round={}", committed - 1));
+            assert!(head.starts_with("HTTP/1.1 200"), "{head} {body}");
+            let witness = easeml_obs::json::parse(&body).unwrap();
+            match field(&witness, "top_users") {
+                easeml_obs::json::Json::Array(users) => assert_eq!(users.len(), 2, "{body}"),
+                other => panic!("top_users should be an array, got {other:?}"),
+            }
+        }
+        writer.join().unwrap();
+        // After the writer drains, all 150 rounds are committed.
+        let (_, body) = get(addr, "/explain");
+        let summary = easeml_obs::json::parse(&body).unwrap();
+        assert_eq!(
+            field(&summary, "rounds"),
+            &easeml_obs::json::Json::Number(150.0)
+        );
     }
 
     #[test]

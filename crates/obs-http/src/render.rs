@@ -9,7 +9,9 @@
 //! quantiles, top-K offenders, and telemetry self-accounting — are the
 //! only per-tenant-derived output, keeping the body a constant.
 
-use easeml_obs::{Component, Histogram, InMemoryRecorder, SinkStats, TimeSeriesSnapshot};
+use easeml_obs::{
+    Component, Histogram, InMemoryRecorder, SinkStats, TimeSeriesSnapshot, WitnessRecord,
+};
 use std::fmt::Write as _;
 
 /// Default cap on tenants in the per-user metric families: beyond this
@@ -608,6 +610,113 @@ fn escape_label(value: &str) -> String {
     out
 }
 
+/// Renders the `/explain` aggregate decision-health report as one JSON
+/// object: committed round / censor / tie counts, margin distributions,
+/// and per-path / per-fallback tallies. Works off committed
+/// [`WitnessRecord`]s only, so a summary scraped mid-round never counts a
+/// torn witness.
+pub fn render_explain_summary(records: &[WitnessRecord]) -> String {
+    let censored = records.iter().filter(|r| r.censored).count();
+    let ties = records
+        .iter()
+        .filter(|r| r.arm_margin.is_finite() && r.arm_margin.abs() < 1e-12)
+        .count();
+    // Small-cardinality tallies (one entry per decision path / fault
+    // kind), keyed by first appearance so the output order is stable.
+    let mut paths: Vec<(&str, usize, usize)> = Vec::new();
+    let mut fallbacks: Vec<(&str, usize)> = Vec::new();
+    for r in records {
+        match paths.iter_mut().find(|(p, _, _)| *p == r.path) {
+            Some((_, n, c)) => {
+                *n += 1;
+                *c += usize::from(r.censored);
+            }
+            None => paths.push((&r.path, 1, usize::from(r.censored))),
+        }
+        if !r.fallback.is_empty() {
+            match fallbacks.iter_mut().find(|(k, _)| *k == r.fallback) {
+                Some((_, n)) => *n += 1,
+                None => fallbacks.push((&r.fallback, 1)),
+            }
+        }
+    }
+    let mut out = String::from("{\"schema\":\"easeml-explain\"");
+    let _ = write!(
+        out,
+        ",\"rounds\":{},\"censored\":{censored},\"ties\":{ties}",
+        records.len()
+    );
+    match records.last() {
+        Some(r) => {
+            let _ = write!(out, ",\"last_digest\":\"{}\"", escape_json(&r.digest));
+        }
+        None => out.push_str(",\"last_digest\":null"),
+    }
+    write_margin_stats(
+        &mut out,
+        "user_margin",
+        records.iter().map(|r| r.user_margin),
+    );
+    write_margin_stats(&mut out, "arm_margin", records.iter().map(|r| r.arm_margin));
+    out.push_str(",\"paths\":[");
+    for (i, (path, n, c)) in paths.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}{{\"path\":\"{}\",\"rounds\":{n},\"censored\":{c}}}",
+            if i > 0 { "," } else { "" },
+            escape_json(path)
+        );
+    }
+    out.push_str("],\"fallbacks\":[");
+    for (i, (kind, n)) in fallbacks.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}{{\"kind\":\"{}\",\"count\":{n}}}",
+            if i > 0 { "," } else { "" },
+            escape_json(kind)
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Appends `,"<name>":{"count":..,"min":..,"median":..,"max":..}` over the
+/// finite margins, or `,"<name>":null` when no round scored.
+fn write_margin_stats(out: &mut String, name: &str, margins: impl Iterator<Item = f64>) {
+    let mut finite: Vec<f64> = margins.filter(|m| m.is_finite()).collect();
+    if finite.is_empty() {
+        let _ = write!(out, ",\"{name}\":null");
+        return;
+    }
+    finite.sort_by(f64::total_cmp);
+    let _ = write!(
+        out,
+        ",\"{name}\":{{\"count\":{},\"min\":{},\"median\":{},\"max\":{}}}",
+        finite.len(),
+        finite[0],
+        finite[finite.len() / 2],
+        finite[finite.len() - 1]
+    );
+}
+
+/// Escapes a JSON string value: backslash, double quote, and control
+/// characters (`\u00XX`).
+fn escape_json(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Prometheus float formatting: finite values via Rust's shortest form,
 /// non-finite as `NaN` / `+Inf` / `-Inf`.
 fn fmt_f64(v: f64) -> String {
@@ -893,5 +1002,56 @@ mod tests {
         assert_eq!(fmt_f64(f64::NAN), "NaN");
         assert_eq!(fmt_f64(f64::INFINITY), "+Inf");
         assert_eq!(fmt_f64(f64::NEG_INFINITY), "-Inf");
+    }
+
+    #[test]
+    fn explain_summary_tallies_paths_fallbacks_and_margins() {
+        let record = |round: u64, path: &str, fallback: &str, arm_margin: f64| WitnessRecord {
+            round,
+            user: 0,
+            arm: 1,
+            user_margin: 0.5,
+            arm_margin,
+            path: path.to_string(),
+            fallback: fallback.to_string(),
+            censored: !fallback.is_empty(),
+            candidates: 2,
+            digest: format!("{round:016x}"),
+            top_users: Vec::new(),
+            top_arms: Vec::new(),
+        };
+        let records = [
+            record(0, "greedy(max-gap)", "", 0.2),
+            record(1, "greedy(max-gap)", "crash", 0.0),
+            record(2, "round-robin", "", f64::NAN),
+        ];
+        let body = render_explain_summary(&records);
+        easeml_obs::json::parse(&body).unwrap();
+        assert!(body.contains("\"rounds\":3"), "{body}");
+        assert!(body.contains("\"censored\":1"), "{body}");
+        assert!(body.contains("\"ties\":1"), "{body}");
+        assert!(
+            body.contains("\"last_digest\":\"0000000000000002\""),
+            "{body}"
+        );
+        // NaN margins are excluded from the distribution, not emitted.
+        assert!(
+            body.contains("\"arm_margin\":{\"count\":2,\"min\":0,\"median\":0.2,\"max\":0.2}"),
+            "{body}"
+        );
+        assert!(
+            body.contains("{\"path\":\"greedy(max-gap)\",\"rounds\":2,\"censored\":1}"),
+            "{body}"
+        );
+        assert!(
+            body.contains("\"fallbacks\":[{\"kind\":\"crash\",\"count\":1}]"),
+            "{body}"
+        );
+
+        let empty = render_explain_summary(&[]);
+        easeml_obs::json::parse(&empty).unwrap();
+        assert!(empty.contains("\"rounds\":0"), "{empty}");
+        assert!(empty.contains("\"last_digest\":null"), "{empty}");
+        assert!(empty.contains("\"user_margin\":null"), "{empty}");
     }
 }

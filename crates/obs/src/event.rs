@@ -15,8 +15,12 @@ use serde::Serialize;
 /// those variants, so version-1/2 traces still parse unchanged. Version 4
 /// adds the multi-device execution vocabulary ([`Event::RunDispatched`],
 /// [`Event::RunFinished`], [`Event::DeviceIdle`]) — again purely additive,
-/// so version-1/2/3 traces still parse unchanged.
-pub const TRACE_SCHEMA_VERSION: u32 = 4;
+/// so version-1/2/3 traces still parse unchanged. Version 5 adds the
+/// decision-provenance vocabulary ([`Event::UserScored`],
+/// [`Event::ArmScored`], [`Event::DecisionWitness`]): per-round witnesses
+/// of *why* each scheduling decision won, plus a rolling trajectory digest
+/// for differential replay — also purely additive.
+pub const TRACE_SCHEMA_VERSION: u32 = 5;
 
 /// A structured observation emitted by an instrumented component.
 ///
@@ -251,6 +255,85 @@ pub enum Event {
         /// Id of the span the projection happened under (0 = none).
         parent: u64,
     },
+    /// One of the top-K candidate users of a round's pick decision, with
+    /// the expected-regret-reduction score the picker ranked it on
+    /// (schema v5; part of the round's decision witness).
+    UserScored {
+        /// Global scheduling round the score belongs to (0-based).
+        round: u64,
+        /// Index of the scored tenant.
+        user: usize,
+        /// The picker's score for this tenant (UCB gap or σ̃, per rule).
+        score: f64,
+        /// Rank among the round's scored users (0 = best score).
+        rank: u64,
+        /// Whether the tenant was in the candidate set `V_t`.
+        candidate: bool,
+        /// Id of the span the score was captured under (0 = none).
+        parent: u64,
+    },
+    /// One of the top-K candidate arms of a round's model selection, with
+    /// the posterior statistics the acquisition scored it on (schema v5;
+    /// part of the round's decision witness).
+    ArmScored {
+        /// Global scheduling round the score belongs to (0-based).
+        round: u64,
+        /// Index of the tenant whose policy scored the arm.
+        user: usize,
+        /// Index of the scored arm (model).
+        arm: usize,
+        /// Posterior mean at selection time.
+        mean: f64,
+        /// Posterior standard deviation at selection time.
+        sigma: f64,
+        /// The (cost-scaled) upper confidence bound the arm was ranked on.
+        ucb: f64,
+        /// Rank among the round's scored arms (0 = best acquisition).
+        rank: u64,
+        /// Whether the arm was quarantine-masked out of the argmax.
+        masked: bool,
+        /// Id of the span the score was captured under (0 = none).
+        parent: u64,
+    },
+    /// The per-round decision witness (schema v5): margins, tie-break path,
+    /// fallback state, and the rolling trajectory digest. Emitted *after*
+    /// the round's [`UserScored`](Event::UserScored) /
+    /// [`ArmScored`](Event::ArmScored) events as the commit marker — readers
+    /// that only surface rounds carrying a `DecisionWitness` never observe
+    /// a torn (half-emitted) witness chain.
+    DecisionWitness {
+        /// Global scheduling round (0-based).
+        round: u64,
+        /// Index of the tenant served this round.
+        user: usize,
+        /// Index of the arm (model) trained this round.
+        arm: usize,
+        /// Winner's user score minus the runner-up's (NaN when fewer than
+        /// two users were scored, e.g. warm-up or round-robin rounds).
+        user_margin: f64,
+        /// Winning arm's acquisition minus the runner-up's (NaN when the
+        /// tenant has a single arm).
+        arm_margin: f64,
+        /// The decision path taken, e.g. `"greedy(max-gap)"`, `"warm-up"`,
+        /// `"hybrid:rr-after-switch"`.
+        path: String,
+        /// Why the round deviated from the happy path: the censoring fault
+        /// kind, a fallback reason, or `""` when nothing fired.
+        fallback: String,
+        /// Whether the round was censored (charged but unobserved).
+        censored: bool,
+        /// Size of the candidate set `V_t` the pick ranked (0 when the
+        /// picker is not candidate-driven).
+        candidates: u64,
+        /// Rolling FNV-1a digest (16 hex digits) of the trajectory up to
+        /// and including this round: equal digests at round `r` certify
+        /// bit-identical decisions and outcomes for every round `≤ r`,
+        /// which is what lets differential replay binary-search the first
+        /// divergent round.
+        digest: String,
+        /// Id of the span the witness was emitted under (0 = none).
+        parent: u64,
+    },
 }
 
 impl Event {
@@ -273,6 +356,9 @@ impl Event {
             Event::SpanEnd { .. } => "SpanEnd",
             Event::JitterRetry { .. } => "JitterRetry",
             Event::PsdProjectionApplied { .. } => "PsdProjectionApplied",
+            Event::UserScored { .. } => "UserScored",
+            Event::ArmScored { .. } => "ArmScored",
+            Event::DecisionWitness { .. } => "DecisionWitness",
         }
     }
 
@@ -286,7 +372,10 @@ impl Event {
             | Event::RetryScheduled { user, .. }
             | Event::ArmQuarantined { user, .. }
             | Event::RunDispatched { user, .. }
-            | Event::RunFinished { user, .. } => Some(*user),
+            | Event::RunFinished { user, .. }
+            | Event::UserScored { user, .. }
+            | Event::ArmScored { user, .. }
+            | Event::DecisionWitness { user, .. } => Some(*user),
             Event::HybridFallback { .. }
             | Event::PosteriorUpdated { .. }
             | Event::CheckpointWritten { .. }
@@ -319,7 +408,10 @@ impl Event {
             | Event::PosteriorUpdated { parent, .. }
             | Event::SpanStart { parent, .. }
             | Event::JitterRetry { parent, .. }
-            | Event::PsdProjectionApplied { parent, .. } => *parent,
+            | Event::PsdProjectionApplied { parent, .. }
+            | Event::UserScored { parent, .. }
+            | Event::ArmScored { parent, .. }
+            | Event::DecisionWitness { parent, .. } => *parent,
             Event::SpanEnd { .. } => 0,
         }
     }
@@ -451,6 +543,38 @@ impl Event {
                 floor: get_f64(fields, "floor")?,
                 clipped: get_u64(fields, "clipped")?,
                 clipped_mass: get_f64(fields, "clipped_mass")?,
+                parent: get_u64_or(fields, "parent", 0)?,
+            }),
+            "UserScored" => Ok(Event::UserScored {
+                round: get_u64(fields, "round")?,
+                user: get_usize(fields, "user")?,
+                score: get_f64(fields, "score")?,
+                rank: get_u64(fields, "rank")?,
+                candidate: get_bool(fields, "candidate")?,
+                parent: get_u64_or(fields, "parent", 0)?,
+            }),
+            "ArmScored" => Ok(Event::ArmScored {
+                round: get_u64(fields, "round")?,
+                user: get_usize(fields, "user")?,
+                arm: get_usize(fields, "arm")?,
+                mean: get_f64(fields, "mean")?,
+                sigma: get_f64(fields, "sigma")?,
+                ucb: get_f64(fields, "ucb")?,
+                rank: get_u64(fields, "rank")?,
+                masked: get_bool(fields, "masked")?,
+                parent: get_u64_or(fields, "parent", 0)?,
+            }),
+            "DecisionWitness" => Ok(Event::DecisionWitness {
+                round: get_u64(fields, "round")?,
+                user: get_usize(fields, "user")?,
+                arm: get_usize(fields, "arm")?,
+                user_margin: get_f64(fields, "user_margin")?,
+                arm_margin: get_f64(fields, "arm_margin")?,
+                path: get_str(fields, "path")?,
+                fallback: get_str(fields, "fallback")?,
+                censored: get_bool(fields, "censored")?,
+                candidates: get_u64(fields, "candidates")?,
+                digest: get_str(fields, "digest")?,
                 parent: get_u64_or(fields, "parent", 0)?,
             }),
             other => Err(format!("unknown event variant {other:?}")),
@@ -646,6 +770,38 @@ mod tests {
                 clipped_mass: 0.031,
                 parent: 0,
             },
+            Event::UserScored {
+                round: 42,
+                user: 3,
+                score: 0.177,
+                rank: 0,
+                candidate: true,
+                parent: 9,
+            },
+            Event::ArmScored {
+                round: 42,
+                user: 3,
+                arm: 7,
+                mean: 0.8,
+                sigma: 0.04,
+                ucb: 0.912,
+                rank: 0,
+                masked: false,
+                parent: 9,
+            },
+            Event::DecisionWitness {
+                round: 42,
+                user: 3,
+                arm: 7,
+                user_margin: 0.012,
+                arm_margin: 0.033,
+                path: "hybrid:greedy(max-gap)".into(),
+                fallback: String::new(),
+                censored: false,
+                candidates: 2,
+                digest: "cbf29ce484222325".into(),
+                parent: 9,
+            },
         ]
     }
 
@@ -728,7 +884,10 @@ mod tests {
         assert_eq!(events[9].user(), Some(1)); // RunFinished
         assert_eq!(events[10].user(), None); // DeviceIdle
         assert_eq!(events[11].user(), None); // PosteriorUpdated
-        assert!(events[12..].iter().all(|e| e.user().is_none()));
+        assert!(events[12..16].iter().all(|e| e.user().is_none()));
+        assert_eq!(events[16].user(), Some(3)); // UserScored
+        assert_eq!(events[17].user(), Some(3)); // ArmScored
+        assert_eq!(events[18].user(), Some(3)); // DecisionWitness
     }
 
     #[test]
@@ -737,7 +896,7 @@ mod tests {
         let parents: Vec<u64> = events.iter().map(Event::parent).collect();
         assert_eq!(
             parents,
-            vec![9, 10, 0, 11, 11, 11, 11, 0, 13, 13, 13, 12, 0, 0, 12, 0]
+            vec![9, 10, 0, 11, 11, 11, 11, 0, 13, 13, 13, 12, 0, 0, 12, 0, 9, 9, 9]
         );
     }
 }

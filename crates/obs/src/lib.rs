@@ -79,6 +79,7 @@ mod sketch;
 mod span;
 mod timer;
 mod timeseries;
+mod witness;
 
 pub use alloc::{counting_allocator_active, thread_alloc_stats, AllocStats, CountingAlloc};
 pub use event::{Event, TRACE_SCHEMA_VERSION};
@@ -101,4 +102,7 @@ pub use timer::{global_handle, global_timer, set_global_recorder, GlobalTimer, S
 pub use timeseries::{
     RegretDecomposition, ScaleConfig, ScaleSnapshot, StrategySketches, TelemetryOverhead,
     TimeSeriesRecorder, TimeSeriesSnapshot, TopTenant, UserSeries,
+};
+pub use witness::{
+    top_k_indices, witness_records, RollingDigest, WitnessArm, WitnessRecord, WitnessUser,
 };

@@ -723,7 +723,13 @@ impl TimeSeriesRecorder {
             | Event::SpanStart { .. }
             | Event::SpanEnd { .. }
             | Event::JitterRetry { .. }
-            | Event::PsdProjectionApplied { .. } => {}
+            | Event::PsdProjectionApplied { .. }
+            // Witness events are provenance, not cost: the decisions and
+            // charges they describe are already folded from the events
+            // above.
+            | Event::UserScored { .. }
+            | Event::ArmScored { .. }
+            | Event::DecisionWitness { .. } => {}
         }
         self.events_folded.fetch_add(1, Ordering::Relaxed);
         self.fold_ns

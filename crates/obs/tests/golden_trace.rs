@@ -1,6 +1,6 @@
 //! Golden-file test pinning the on-disk trace schema.
 //!
-//! The checked-in `tests/golden/schema_v4.jsonl` is the authoritative
+//! The checked-in `tests/golden/schema_v5.jsonl` is the authoritative
 //! serialization of one sample of every event variant. If a change to the
 //! event vocabulary alters any byte of the output, this test fails — which
 //! is the prompt to bump [`easeml_obs::TRACE_SCHEMA_VERSION`], extend
@@ -14,7 +14,7 @@ fn golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests")
         .join("golden")
-        .join("schema_v4.jsonl")
+        .join("schema_v5.jsonl")
 }
 
 /// One sample of every variant, exercising the fields a real trace carries:
@@ -127,6 +127,68 @@ fn samples() -> Vec<Event> {
             clipped_mass: 0.031,
             parent: 0,
         },
+        // A witness chain for a healthy round: scores first, the
+        // DecisionWitness commit marker last.
+        Event::UserScored {
+            round: 42,
+            user: 3,
+            score: 0.177,
+            rank: 0,
+            candidate: true,
+            parent: 9,
+        },
+        Event::ArmScored {
+            round: 42,
+            user: 3,
+            arm: 7,
+            mean: 0.8,
+            sigma: 0.04,
+            ucb: 0.912,
+            rank: 0,
+            masked: false,
+            parent: 9,
+        },
+        Event::DecisionWitness {
+            round: 42,
+            user: 3,
+            arm: 7,
+            user_margin: 0.012,
+            arm_margin: 0.033,
+            path: "hybrid:greedy(max-gap)".into(),
+            fallback: String::new(),
+            censored: false,
+            candidates: 2,
+            digest: "d2700d8249289c29".into(),
+            parent: 9,
+        },
+        // A witness chain for a censored round under quarantine: the
+        // served arm is masked, the round charges cost without an
+        // observation, and the witness still commits — censored rounds
+        // carry provenance too.
+        Event::ArmScored {
+            round: 43,
+            user: 3,
+            arm: 7,
+            mean: 0.8,
+            sigma: 0.04,
+            ucb: 0.912,
+            rank: 1,
+            masked: true,
+            parent: 14,
+        },
+        Event::DecisionWitness {
+            round: 43,
+            user: 3,
+            arm: 5,
+            user_margin: f64::NAN,
+            arm_margin: 0.004,
+            path: "hybrid:rr-after-switch".into(),
+            fallback: "crash".into(),
+            censored: true,
+            candidates: 0,
+            digest: "81b2f09b1a368569".into(),
+            parent: 14,
+        },
     ]
 }
 
@@ -164,6 +226,12 @@ fn golden_file_parses_back_to_the_same_events() {
     let mut lines = golden.lines();
     let header = lines.next().unwrap();
     assert!(header.contains(&format!("\"version\":{TRACE_SCHEMA_VERSION}")));
-    let parsed: Vec<Event> = lines.map(|l| Event::from_json(l).unwrap()).collect();
-    assert_eq!(parsed, samples());
+    let parsed: Vec<String> = lines
+        .map(|l| Event::from_json(l).unwrap().to_json())
+        .collect();
+    // Compare re-serialized forms rather than the events themselves so the
+    // NaN margins a warm-up witness carries (NaN != NaN under PartialEq)
+    // still round-trip through their `null` serialization.
+    let expected: Vec<String> = samples().iter().map(Event::to_json).collect();
+    assert_eq!(parsed, expected);
 }

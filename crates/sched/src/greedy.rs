@@ -84,6 +84,13 @@ pub struct Greedy {
     /// Candidate set of the most recent pick (exposed for HYBRID's freeze
     /// detector and for diagnostics).
     last_candidates: Vec<usize>,
+    /// Test-only seeded mutation: from this step on, the final choice is
+    /// rotated by one tenant. `None` in every real configuration; set via
+    /// the `EASEML_PICKER_MUTATE_AT` environment variable (read once at
+    /// construction) or [`Greedy::set_test_mutation`], and used by the
+    /// `replay-diff` harness to prove it pinpoints the exact first
+    /// divergent round.
+    mutate_at: Option<usize>,
     recorder: RecorderHandle,
 }
 
@@ -93,8 +100,18 @@ impl Greedy {
         Greedy {
             rule,
             last_candidates: Vec::new(),
+            mutate_at: std::env::var("EASEML_PICKER_MUTATE_AT")
+                .ok()
+                .and_then(|s| s.parse().ok()),
             recorder: RecorderHandle::noop(),
         }
+    }
+
+    /// Arms (or with `None` disarms) the test-only pick mutation: from step
+    /// `at_step` on, the chosen tenant is rotated by one. Exists solely so
+    /// the differential-replay harness can seed a known divergence.
+    pub fn set_test_mutation(&mut self, at_step: Option<usize>) {
+        self.mutate_at = at_step;
     }
 
     /// Ease.ml's production configuration: the maximum UCB-gap rule.
@@ -127,8 +144,9 @@ impl Greedy {
     }
 
     /// The per-tenant score the configured rule ranks on — what a recorded
-    /// `SchedulerDecision` carries in its `scores` column.
-    pub(crate) fn decision_scores(&self, tenants: &[Tenant]) -> Vec<f64> {
+    /// `SchedulerDecision` carries in its `scores` column and the witness
+    /// layer folds into top-K `UserScored` events.
+    fn scores_for_rule(&self, tenants: &[Tenant]) -> Vec<f64> {
         match self.rule {
             PickRule::MaxUcbGap => tenants.iter().map(Tenant::ucb_gap).collect(),
             PickRule::MaxSigmaTilde | PickRule::Random => {
@@ -178,13 +196,19 @@ impl UserPicker for Greedy {
 
     fn pick(&mut self, tenants: &[Tenant], step: usize, rng: &mut dyn rand::RngCore) -> usize {
         let candidates = Self::candidate_set(tenants);
-        let choice = self.pick_from_candidates(tenants, &candidates, rng);
+        let mut choice = self.pick_from_candidates(tenants, &candidates, rng);
+        if let Some(at) = self.mutate_at {
+            // Test-only seeded divergence for the replay-diff harness.
+            if step >= at {
+                choice = (choice + 1) % tenants.len();
+            }
+        }
         self.last_candidates = candidates;
         self.recorder.emit(|| Event::SchedulerDecision {
             round: step as u64,
             user: choice,
             rule: self.name().to_string(),
-            scores: self.decision_scores(tenants),
+            scores: self.scores_for_rule(tenants),
             parent: easeml_obs::current_span(),
         });
         choice
@@ -192,6 +216,14 @@ impl UserPicker for Greedy {
 
     fn set_recorder(&mut self, recorder: RecorderHandle) {
         self.recorder = recorder;
+    }
+
+    fn decision_scores(&self, tenants: &[Tenant]) -> Vec<f64> {
+        self.scores_for_rule(tenants)
+    }
+
+    fn last_candidates(&self) -> &[usize] {
+        &self.last_candidates
     }
 }
 
@@ -295,6 +327,35 @@ mod tests {
         assert_eq!(Greedy::ease_ml().rule(), PickRule::MaxUcbGap);
         assert!(Greedy::ease_ml().needs_warmup());
         assert_eq!(Greedy::new(PickRule::Random).name(), "greedy(random)");
+    }
+
+    #[test]
+    fn witness_accessors_expose_scores_candidates_and_path() {
+        let tenants = vec![settled_tenant(0), open_tenant(1)];
+        let mut g = Greedy::ease_ml();
+        let mut r = rng();
+        let choice = g.pick(&tenants, 0, &mut r);
+        let scores = UserPicker::decision_scores(&g, &tenants);
+        assert_eq!(scores.len(), 2, "one score per tenant");
+        assert!(
+            scores[choice] >= scores[1 - choice],
+            "the winner carries the top score: {scores:?}"
+        );
+        assert_eq!(UserPicker::last_candidates(&g), &[1]);
+        assert_eq!(g.pick_path(), "greedy(max-gap)");
+    }
+
+    #[test]
+    fn test_mutation_rotates_the_choice_from_the_armed_step() {
+        let tenants = vec![settled_tenant(0), open_tenant(1)];
+        let mut g = Greedy::ease_ml();
+        let mut r = rng();
+        g.set_test_mutation(Some(3));
+        assert_eq!(g.pick(&tenants, 2, &mut r), 1, "before the armed step");
+        assert_eq!(g.pick(&tenants, 3, &mut r), 0, "rotated from the step on");
+        assert_eq!(g.pick(&tenants, 9, &mut r), 0, "and for every later step");
+        g.set_test_mutation(None);
+        assert_eq!(g.pick(&tenants, 9, &mut r), 1, "disarmed again");
     }
 
     #[test]

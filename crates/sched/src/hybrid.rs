@@ -81,6 +81,12 @@ impl Hybrid {
         self.frozen_rounds
     }
 
+    /// Arms the inner greedy picker's test-only mutation — see
+    /// [`Greedy::set_test_mutation`]. Only affects the pre-fallback phase.
+    pub fn set_test_mutation(&mut self, at_step: Option<usize>) {
+        self.greedy.set_test_mutation(at_step);
+    }
+
     fn best_sum(tenants: &[Tenant]) -> f64 {
         tenants.iter().filter_map(Tenant::best_reward).sum()
     }
@@ -168,7 +174,7 @@ impl UserPicker for Hybrid {
             scores: if self.switched {
                 Vec::new()
             } else {
-                self.greedy.decision_scores(tenants)
+                UserPicker::decision_scores(&self.greedy, tenants)
             },
             parent: easeml_obs::current_span(),
         });
@@ -205,6 +211,30 @@ impl UserPicker for Hybrid {
 
     fn set_recorder(&mut self, recorder: RecorderHandle) {
         self.recorder = recorder;
+    }
+
+    fn decision_scores(&self, tenants: &[Tenant]) -> Vec<f64> {
+        if self.switched {
+            Vec::new()
+        } else {
+            UserPicker::decision_scores(&self.greedy, tenants)
+        }
+    }
+
+    fn last_candidates(&self) -> &[usize] {
+        if self.switched {
+            &[]
+        } else {
+            self.greedy.last_candidates()
+        }
+    }
+
+    fn pick_path(&self) -> String {
+        if self.switched {
+            "hybrid:rr-after-switch".to_string()
+        } else {
+            format!("hybrid:{}", self.greedy.name())
+        }
     }
 }
 
@@ -329,6 +359,17 @@ mod tests {
         // after_observe is a no-op once switched.
         h.after_observe(&ts, 0);
         assert!(h.has_switched());
+    }
+
+    #[test]
+    fn pick_path_tracks_the_phase() {
+        let ts = tenants(2, 1);
+        let mut h = Hybrid::ease_ml();
+        assert_eq!(h.pick_path(), "hybrid:greedy(max-gap)");
+        assert_eq!(UserPicker::last_candidates(&h), &[] as &[usize]);
+        h.switched = true;
+        assert_eq!(h.pick_path(), "hybrid:rr-after-switch");
+        assert!(UserPicker::decision_scores(&h, &ts).is_empty());
     }
 
     #[test]

@@ -34,6 +34,28 @@ pub trait UserPicker {
     /// `SchedulerDecision` per pick (plus any strategy-specific events).
     /// The default keeps the picker uninstrumented.
     fn set_recorder(&mut self, _recorder: RecorderHandle) {}
+
+    /// Per-tenant scores the most recent [`UserPicker::pick`] ranked users
+    /// on, indexed by tenant — the witness-capture layer turns these into
+    /// bounded top-K `UserScored` events. Empty for strategies that do not
+    /// score (FCFS, round robin, random, post-fallback HYBRID).
+    fn decision_scores(&self, _tenants: &[Tenant]) -> Vec<f64> {
+        Vec::new()
+    }
+
+    /// Candidate set `V_t` of the most recent pick; empty for strategies
+    /// that are not candidate-driven.
+    fn last_candidates(&self) -> &[usize] {
+        &[]
+    }
+
+    /// Label of the decision path the most recent pick took — finer than
+    /// [`UserPicker::name`] for strategies with phases (HYBRID reports
+    /// `"hybrid:greedy(max-gap)"` before its fallback and
+    /// `"hybrid:rr-after-switch"` after).
+    fn pick_path(&self) -> String {
+        self.name().to_string()
+    }
 }
 
 /// First-come-first-served: serve the lowest-indexed tenant whose

@@ -1,0 +1,343 @@
+//! `easeml-trace explain` — the why-chain of any recorded decision.
+//!
+//! The capture side (schema v5) emits a bounded witness per round:
+//! `UserScored*`, `ArmScored*`, then a `DecisionWitness` commit marker.
+//! This module folds those chains back out of a loaded trace and renders
+//! either one round's full why-chain (`--round N`) or an aggregate
+//! decision-health report — margin distributions, tie and fallback rates
+//! per decision path — over every committed round.
+
+use easeml_obs::{witness_records, Event, QuantileSketch, WitnessRecord};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Margins closer to zero than this count as ties: the decision hinged on
+/// the deterministic tie-break, not the scores.
+pub const TIE_EPSILON: f64 = 1e-12;
+
+/// Per-decision-path tallies of the health report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PathHealth {
+    /// Committed rounds that took this path.
+    pub rounds: u64,
+    /// Of those, censored rounds.
+    pub censored: u64,
+    /// Rounds whose arm margin was a tie (|margin| < [`TIE_EPSILON`]).
+    pub ties: u64,
+}
+
+/// The aggregate decision-health report behind `easeml-trace explain`
+/// without `--round`: how decisively, and through which paths, a run's
+/// decisions were made.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionHealth {
+    /// Committed witness rounds.
+    pub rounds: u64,
+    /// Censored rounds.
+    pub censored: u64,
+    /// Rounds with a tied arm margin.
+    pub ties: u64,
+    /// Distribution of finite user margins (how decisively the picker won).
+    pub user_margins: QuantileSketch,
+    /// Distribution of finite arm margins (how decisively the arm won).
+    pub arm_margins: QuantileSketch,
+    /// Per-path tallies, in deterministic order.
+    pub per_path: BTreeMap<String, PathHealth>,
+    /// Fallback / fault kinds and their counts.
+    pub fallbacks: BTreeMap<String, u64>,
+    /// Digest after the last committed round, if any.
+    pub last_digest: Option<String>,
+}
+
+/// Folds committed witness records into a [`DecisionHealth`].
+pub fn decision_health(records: &[WitnessRecord]) -> DecisionHealth {
+    let mut out = DecisionHealth::default();
+    for r in records {
+        out.rounds += 1;
+        let path = out.per_path.entry(r.path.clone()).or_default();
+        path.rounds += 1;
+        if r.censored {
+            out.censored += 1;
+            path.censored += 1;
+        }
+        if r.arm_margin.is_finite() && r.arm_margin.abs() < TIE_EPSILON {
+            out.ties += 1;
+            path.ties += 1;
+        }
+        if r.user_margin.is_finite() {
+            out.user_margins.insert(r.user_margin);
+        }
+        if r.arm_margin.is_finite() {
+            out.arm_margins.insert(r.arm_margin);
+        }
+        if !r.fallback.is_empty() {
+            *out.fallbacks.entry(r.fallback.clone()).or_insert(0) += 1;
+        }
+        out.last_digest = Some(r.digest.clone());
+    }
+    out
+}
+
+/// Renders the aggregate decision-health report as plain text.
+pub fn render_decision_health(health: &DecisionHealth) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== easeml-trace explain: decision health ===");
+    if health.rounds == 0 {
+        let _ = writeln!(
+            out,
+            "no committed decision witnesses (schema v5+ traces carry them)"
+        );
+        return out;
+    }
+    let pct = |n: u64| 100.0 * n as f64 / health.rounds as f64;
+    let _ = writeln!(
+        out,
+        "committed rounds: {}  censored: {} ({:.1}%)  arm-margin ties: {} ({:.1}%)",
+        health.rounds,
+        health.censored,
+        pct(health.censored),
+        health.ties,
+        pct(health.ties),
+    );
+    if let Some(digest) = &health.last_digest {
+        let _ = writeln!(out, "final state digest: {digest}");
+    }
+    let sketch_line = |name: &str, sketch: &QuantileSketch| {
+        let mut line = format!("{name:<12}");
+        if sketch.count() == 0 {
+            line.push_str("  (no scored rounds)");
+            return line;
+        }
+        for (q, label) in [(0.1, "p10"), (0.5, "p50"), (0.9, "p90")] {
+            let _ = write!(line, "  {label} {:+.6}", sketch.quantile(q).unwrap_or(0.0));
+        }
+        let _ = write!(line, "  ({} round(s))", sketch.count());
+        line
+    };
+    let _ = writeln!(out, "\n--- winning-margin distribution ---");
+    let _ = writeln!(out, "{}", sketch_line("user margin", &health.user_margins));
+    let _ = writeln!(out, "{}", sketch_line("arm margin", &health.arm_margins));
+
+    let _ = writeln!(out, "\n--- per decision path ---");
+    let _ = writeln!(
+        out,
+        "{:<28} {:>8} {:>10} {:>8}",
+        "path", "rounds", "censored", "ties"
+    );
+    for (path, p) in &health.per_path {
+        let label = if path.is_empty() { "(unlabeled)" } else { path };
+        let _ = writeln!(
+            out,
+            "{label:<28} {:>8} {:>10} {:>8}",
+            p.rounds, p.censored, p.ties
+        );
+    }
+
+    let _ = writeln!(out, "\n--- fallbacks ---");
+    if health.fallbacks.is_empty() {
+        let _ = writeln!(out, "none");
+    } else {
+        for (kind, count) in &health.fallbacks {
+            let _ = writeln!(
+                out,
+                "{kind}: {count} round(s) ({:.1}% of rounds)",
+                pct(*count)
+            );
+        }
+    }
+    out
+}
+
+/// Renders one committed round's full why-chain: the decision taken, the
+/// path that produced it, the scored users and arms it beat, and the state
+/// digest after it.
+///
+/// # Errors
+///
+/// Returns a message when no committed witness for `round` exists in the
+/// trace (never recorded, or its commit marker never landed).
+pub fn render_explain_round(events: &[Event], round: u64) -> Result<String, String> {
+    let records = witness_records(events);
+    let record = records.iter().find(|r| r.round == round).ok_or_else(|| {
+        format!(
+            "no committed decision witness for round {round} \
+             ({} committed round(s) in the trace)",
+            records.len()
+        )
+    })?;
+    Ok(render_witness(record))
+}
+
+/// Renders a single witness record as the `explain --round` why-chain —
+/// also the per-side body of `replay-diff`'s divergence report.
+pub fn render_witness(r: &WitnessRecord) -> String {
+    let margin = |m: f64| {
+        if m.is_finite() {
+            format!("{m:+.6}")
+        } else {
+            "n/a".to_string()
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "round {}:", r.round);
+    let _ = writeln!(
+        out,
+        "  decision: user {} -> arm {}{}",
+        r.user,
+        r.arm,
+        if r.censored { "  [CENSORED]" } else { "" }
+    );
+    let _ = writeln!(
+        out,
+        "  path: {}  candidates: {}",
+        if r.path.is_empty() {
+            "(unlabeled)"
+        } else {
+            &r.path
+        },
+        r.candidates
+    );
+    if !r.fallback.is_empty() {
+        let _ = writeln!(out, "  fallback: {}", r.fallback);
+    }
+    let _ = writeln!(
+        out,
+        "  margins: user {}  arm {}",
+        margin(r.user_margin),
+        margin(r.arm_margin)
+    );
+    if !r.top_users.is_empty() {
+        let _ = writeln!(out, "  top users (picker scores):");
+        for (rank, u) in r.top_users.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    #{rank} user {:<6} score {:+.6}{}{}",
+                u.user,
+                u.score,
+                if u.candidate { "  in V_t" } else { "" },
+                if u.user == r.user { "  <- served" } else { "" },
+            );
+        }
+    }
+    if !r.top_arms.is_empty() {
+        let _ = writeln!(out, "  top arms (posterior at selection):");
+        for (rank, a) in r.top_arms.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    #{rank} arm {:<6} mean {:+.6}  sigma {:.6}  ucb {:+.6}{}{}",
+                a.arm,
+                a.mean,
+                a.sigma,
+                a.ucb,
+                if a.masked { "  [quarantined]" } else { "" },
+                if a.arm == r.arm { "  <- chosen" } else { "" },
+            );
+        }
+    }
+    let _ = writeln!(out, "  state digest after round: {}", r.digest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn committed_round(round: u64, path: &str, fallback: &str, arm_margin: f64) -> Vec<Event> {
+        vec![
+            Event::UserScored {
+                round,
+                user: 1,
+                score: 0.9,
+                rank: 0,
+                candidate: true,
+                parent: 0,
+            },
+            Event::UserScored {
+                round,
+                user: 0,
+                score: 0.6,
+                rank: 1,
+                candidate: false,
+                parent: 0,
+            },
+            Event::ArmScored {
+                round,
+                user: 1,
+                arm: 3,
+                mean: 0.5,
+                sigma: 0.2,
+                ucb: 0.9,
+                rank: 0,
+                masked: false,
+                parent: 0,
+            },
+            Event::DecisionWitness {
+                round,
+                user: 1,
+                arm: 3,
+                user_margin: 0.3,
+                arm_margin,
+                path: path.to_string(),
+                fallback: fallback.to_string(),
+                censored: !fallback.is_empty(),
+                candidates: 2,
+                digest: format!("{round:016x}"),
+                parent: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn health_tallies_paths_ties_and_fallbacks() {
+        let mut events = committed_round(0, "greedy(max-gap)", "", 0.2);
+        events.extend(committed_round(1, "greedy(max-gap)", "crash", 0.0));
+        events.extend(committed_round(2, "round-robin", "", f64::NAN));
+        let health = decision_health(&witness_records(&events));
+        assert_eq!(health.rounds, 3);
+        assert_eq!(health.censored, 1);
+        assert_eq!(health.ties, 1);
+        assert_eq!(health.arm_margins.count(), 2, "NaN margins are excluded");
+        assert_eq!(health.per_path["greedy(max-gap)"].rounds, 2);
+        assert_eq!(health.per_path["greedy(max-gap)"].censored, 1);
+        assert_eq!(health.fallbacks["crash"], 1);
+        assert_eq!(health.last_digest.as_deref(), Some("0000000000000002"));
+        let rendered = render_decision_health(&health);
+        assert!(rendered.contains("committed rounds: 3"), "{rendered}");
+        assert!(rendered.contains("crash: 1 round(s)"), "{rendered}");
+        assert!(rendered.contains("greedy(max-gap)"), "{rendered}");
+    }
+
+    #[test]
+    fn explain_round_renders_the_why_chain_or_a_clear_error() {
+        let events = committed_round(5, "hybrid:greedy(max-gap)", "", 0.15);
+        let text = render_explain_round(&events, 5).unwrap();
+        assert!(text.contains("round 5:"), "{text}");
+        assert!(text.contains("user 1 -> arm 3"), "{text}");
+        assert!(text.contains("hybrid:greedy(max-gap)"), "{text}");
+        assert!(text.contains("<- served"), "{text}");
+        assert!(text.contains("<- chosen"), "{text}");
+        assert!(text.contains("0000000000000005"), "{text}");
+
+        let err = render_explain_round(&events, 6).unwrap_err();
+        assert!(err.contains("no committed decision witness"), "{err}");
+        assert!(err.contains("1 committed round(s)"), "{err}");
+    }
+
+    #[test]
+    fn censored_rounds_render_their_fallback() {
+        let events = committed_round(2, "greedy(max-gap)", "timeout", 0.1);
+        let text = render_explain_round(&events, 2).unwrap();
+        assert!(text.contains("[CENSORED]"), "{text}");
+        assert!(text.contains("fallback: timeout"), "{text}");
+    }
+
+    #[test]
+    fn empty_trace_renders_an_explanatory_health_report() {
+        let health = decision_health(&[]);
+        let rendered = render_decision_health(&health);
+        assert!(
+            rendered.contains("no committed decision witnesses"),
+            "{rendered}"
+        );
+    }
+}

@@ -45,6 +45,46 @@ use easeml_obs::{
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+pub mod explain;
+pub mod replay;
+
+pub use explain::{
+    decision_health, render_decision_health, render_explain_round, render_witness, DecisionHealth,
+    PathHealth,
+};
+pub use replay::{
+    digests_of, first_divergence, record_trace, render_replay_diff, replay_diff, ReplayLeg,
+    ReplayScenario, MUTATE_ENV_VAR,
+};
+
+/// Oldest trace schema version this build can load.
+pub const MIN_SUPPORTED_SCHEMA_VERSION: u64 = 1;
+
+/// Newest trace schema version this build can load — traces declaring a
+/// higher version in their header are rejected by [`load_trace`] rather
+/// than silently dropping the event variants this build does not know.
+pub const MAX_SUPPORTED_SCHEMA_VERSION: u64 = easeml_obs::TRACE_SCHEMA_VERSION as u64;
+
+/// Rejects traces recorded by a *newer* build than this one.
+///
+/// Older versions load fine (the schema is additive), and headerless
+/// traces are accepted as-is — only an explicit header declaring a version
+/// past [`MAX_SUPPORTED_SCHEMA_VERSION`] fails.
+///
+/// # Errors
+///
+/// Returns a message naming the declared and supported versions.
+pub fn check_schema_version(trace: &LoadedTrace) -> Result<(), String> {
+    match trace.schema_version {
+        Some(v) if v > MAX_SUPPORTED_SCHEMA_VERSION => Err(format!(
+            "trace declares schema v{v}, but this build supports \
+             v{MIN_SUPPORTED_SCHEMA_VERSION}..=v{MAX_SUPPORTED_SCHEMA_VERSION} — \
+             upgrade easeml-trace to read it"
+        )),
+        _ => Ok(()),
+    }
+}
+
 /// A parsed JSONL trace.
 #[derive(Debug, Clone, Default)]
 pub struct LoadedTrace {
@@ -186,11 +226,15 @@ pub fn parse_trace(text: &str) -> LoadedTrace {
 ///
 /// # Errors
 ///
-/// Returns the I/O error message when the file cannot be read.
+/// Returns the I/O error message when the file cannot be read, or the
+/// [`check_schema_version`] message when the trace's header declares a
+/// schema version newer than this build supports.
 pub fn load_trace(path: &std::path::Path) -> Result<LoadedTrace, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    Ok(parse_trace(&text))
+    let trace = parse_trace(&text);
+    check_schema_version(&trace).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(trace)
 }
 
 /// Loads `path` together with any rotated siblings a
@@ -227,13 +271,16 @@ pub fn load_trace_with_rotations(path: &std::path::Path) -> Result<LoadedTrace, 
         }
     }
     let live = load_trace(path)?;
-    Ok(match merged {
+    let out = match merged {
         Some(mut acc) => {
             acc.merge(live);
             acc
         }
         None => live,
-    })
+    };
+    // A rotated segment may carry the header the live file lacks.
+    check_schema_version(&out).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------------

@@ -4,6 +4,10 @@
 //! easeml-trace report <trace.jsonl> [--target USER=QUALITY]...
 //! easeml-trace chrome <trace.jsonl>
 //! easeml-trace profile <trace.jsonl>... [--users N,N,...] [--folded PATH]
+//! easeml-trace explain <trace.jsonl> [--round N]
+//! easeml-trace record <scenario.json> <out.jsonl>
+//! easeml-trace replay-diff <scenario.json> <trace.jsonl> [--mutate-at N]
+//! easeml-trace --version
 //! ```
 //!
 //! `report` prints the regret decomposition (Theorem 1), the GP
@@ -16,13 +20,38 @@
 //! sweep (`--users` pins the counts, otherwise each trace's max user id
 //! is used) it also fits the empirical per-phase scaling exponents, and
 //! `--folded PATH` writes flamegraph-ready folded stacks.
+//!
+//! `explain` renders a decision-health report over the trace's witness
+//! chains, or with `--round N` one round's full why-chain. `record` runs a
+//! pinned [`easeml_trace::ReplayScenario`] through the serial simulator
+//! and writes its schema-v5 trace; `replay-diff` re-executes the scenario
+//! against the live scheduler (serial and exec D=1) and binary-searches
+//! the first divergent round on the rolling state digests — `--mutate-at`
+//! arms the test-only picker mutation to prove the harness catches it.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: easeml-trace <report|chrome|profile> <trace.jsonl>... \
-                     [--target USER=QUALITY]... [--users N,N,...] [--folded PATH]";
+const USAGE: &str = "usage: easeml-trace <report|chrome|profile|explain|record|replay-diff> ... \
+                     | --version\n\
+                     \x20 report <trace.jsonl> [--target USER=QUALITY]...\n\
+                     \x20 chrome <trace.jsonl>\n\
+                     \x20 profile <trace.jsonl>... [--users N,N,...] [--folded PATH]\n\
+                     \x20 explain <trace.jsonl> [--round N]\n\
+                     \x20 record <scenario.json> <out.jsonl>\n\
+                     \x20 replay-diff <scenario.json> <trace.jsonl> [--mutate-at N]";
+
+/// The `--version` line: binary version plus the trace schema range this
+/// build can load — the counterpart of the loader's newer-schema rejection.
+fn version_line() -> String {
+    format!(
+        "easeml-trace {} (trace schema v{}..=v{} supported)",
+        env!("CARGO_PKG_VERSION"),
+        easeml_trace::MIN_SUPPORTED_SCHEMA_VERSION,
+        easeml_trace::MAX_SUPPORTED_SCHEMA_VERSION,
+    )
+}
 
 fn parse_targets(args: &[String]) -> Result<BTreeMap<usize, f64>, String> {
     let mut targets = BTreeMap::new();
@@ -50,6 +79,10 @@ fn parse_targets(args: &[String]) -> Result<BTreeMap<usize, f64>, String> {
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--version" || a == "-V") {
+        println!("{}", version_line());
+        return Ok(());
+    }
     let (command, path, rest) = match args.as_slice() {
         [command, path, rest @ ..] => (command.as_str(), Path::new(path), rest),
         _ => return Err(USAGE.to_string()),
@@ -103,7 +136,92 @@ fn run() -> Result<(), String> {
             }
             Ok(())
         }
+        "explain" => {
+            let round = parse_explain_args(rest)?;
+            let trace = easeml_trace::load_trace_with_rotations(path)?;
+            match round {
+                Some(round) => {
+                    print!(
+                        "{}",
+                        easeml_trace::render_explain_round(&trace.events, round)?
+                    );
+                }
+                None => {
+                    let records = easeml_obs::witness_records(&trace.events);
+                    print!(
+                        "{}",
+                        easeml_trace::render_decision_health(&easeml_trace::decision_health(
+                            &records
+                        ))
+                    );
+                }
+            }
+            Ok(())
+        }
+        "record" => {
+            let [out_path] = rest else {
+                return Err(format!("record takes <scenario.json> <out.jsonl>\n{USAGE}"));
+            };
+            let scenario = load_scenario(path)?;
+            let jsonl = easeml_trace::record_trace(&scenario)?;
+            std::fs::write(out_path, &jsonl).map_err(|e| format!("writing {out_path}: {e}"))?;
+            eprintln!(
+                "recorded {} line(s) to {out_path} ({})",
+                jsonl.lines().count(),
+                version_line()
+            );
+            Ok(())
+        }
+        "replay-diff" => {
+            let (trace_path, mutate_at) = parse_replay_args(rest)?;
+            let scenario = load_scenario(path)?;
+            let trace = easeml_trace::load_trace_with_rotations(Path::new(&trace_path))?;
+            let legs = easeml_trace::replay_diff(&scenario, &trace, mutate_at)?;
+            let recorded_rounds = easeml_trace::digests_of(&trace.events).len();
+            print!(
+                "{}",
+                easeml_trace::render_replay_diff(&scenario, recorded_rounds, &legs, mutate_at)
+            );
+            if legs.iter().any(|l| l.divergence.is_some()) {
+                return Err("replay diverged from the recorded trace".to_string());
+            }
+            Ok(())
+        }
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+/// Reads and parses a [`easeml_trace::ReplayScenario`] JSON file.
+fn load_scenario(path: &Path) -> Result<easeml_trace::ReplayScenario, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    easeml_trace::ReplayScenario::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Parses `explain`'s argument tail: an optional `--round N`.
+fn parse_explain_args(rest: &[String]) -> Result<Option<u64>, String> {
+    match rest {
+        [] => Ok(None),
+        [flag, n] if flag == "--round" => n
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("--round {n:?} is not an unsigned integer")),
+        _ => Err(format!("explain takes [--round N]\n{USAGE}")),
+    }
+}
+
+/// Parses `replay-diff`'s argument tail: the trace path and an optional
+/// `--mutate-at N`.
+fn parse_replay_args(rest: &[String]) -> Result<(String, Option<u64>), String> {
+    match rest {
+        [trace] => Ok((trace.clone(), None)),
+        [trace, flag, n] if flag == "--mutate-at" => n
+            .parse()
+            .map(|step| (trace.clone(), Some(step)))
+            .map_err(|_| format!("--mutate-at {n:?} is not an unsigned integer")),
+        _ => Err(format!(
+            "replay-diff takes <scenario.json> <trace.jsonl> [--mutate-at N]\n{USAGE}"
+        )),
     }
 }
 
@@ -166,7 +284,10 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::{infer_tenant_count, parse_profile_args, parse_targets};
+    use super::{
+        infer_tenant_count, parse_explain_args, parse_profile_args, parse_replay_args,
+        parse_targets, version_line,
+    };
     use std::path::Path;
 
     fn strings(args: &[&str]) -> Vec<String> {
@@ -223,6 +344,42 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert!((t[&0] - 0.9).abs() < 1e-12);
         assert!((t[&3] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn version_line_names_the_supported_schema_range() {
+        let line = version_line();
+        assert!(line.starts_with("easeml-trace "), "{line}");
+        assert!(
+            line.contains(&format!(
+                "schema v{}..=v{} supported",
+                easeml_trace::MIN_SUPPORTED_SCHEMA_VERSION,
+                easeml_trace::MAX_SUPPORTED_SCHEMA_VERSION
+            )),
+            "{line}"
+        );
+    }
+
+    #[test]
+    fn explain_and_replay_args_parse_their_flags() {
+        assert_eq!(parse_explain_args(&[]).unwrap(), None);
+        assert_eq!(
+            parse_explain_args(&strings(&["--round", "12"])).unwrap(),
+            Some(12)
+        );
+        assert!(parse_explain_args(&strings(&["--round", "x"])).is_err());
+        assert!(parse_explain_args(&strings(&["--bogus"])).is_err());
+
+        assert_eq!(
+            parse_replay_args(&strings(&["t.jsonl"])).unwrap(),
+            ("t.jsonl".to_string(), None)
+        );
+        assert_eq!(
+            parse_replay_args(&strings(&["t.jsonl", "--mutate-at", "4"])).unwrap(),
+            ("t.jsonl".to_string(), Some(4))
+        );
+        assert!(parse_replay_args(&[]).is_err());
+        assert!(parse_replay_args(&strings(&["t", "--mutate-at", "x"])).is_err());
     }
 
     #[test]

@@ -19,6 +19,11 @@
 # Exit status: 0 if no component regressed, 1 if any p50 or p95 grew by
 # more than the threshold, 2 on usage/parse errors.
 #
+# First run: when BASELINE does not exist yet, the candidate is copied
+# into place as the new baseline and the script exits 0 — there is
+# nothing to diff against, and failing would force every fresh checkout
+# to hand-seed a baseline before the perf gate can run at all.
+#
 # Components absent from either file, or with a zero sample count in
 # either, are reported as "skipped" — a missing component is a schema
 # change, not a perf regression, and belongs in review.
@@ -35,12 +40,25 @@ threshold=${3:-25}
 min_ns=${MIN_BASELINE_NS:-500}
 alloc_threshold=${PROFILE_ALLOC_THRESHOLD_PCT:-10}
 
-for f in "$baseline" "$candidate"; do
-    if [[ ! -r $f ]]; then
-        echo "error: cannot read $f" >&2
-        exit 2
-    fi
-done
+if [[ ! -r $candidate ]]; then
+    echo "error: cannot read candidate $candidate" >&2
+    exit 2
+fi
+
+if [[ ! -e $baseline ]]; then
+    # First run on this checkout: seed the baseline from the candidate
+    # instead of failing. The next run diffs against today's numbers.
+    mkdir -p "$(dirname "$baseline")"
+    cp "$candidate" "$baseline"
+    echo "no baseline at $baseline — bootstrapped it from $candidate"
+    echo "OK: baseline seeded; rerun after the next bench to diff against it"
+    exit 0
+fi
+
+if [[ ! -r $baseline ]]; then
+    echo "error: cannot read baseline $baseline" >&2
+    exit 2
+fi
 
 # Component lines look like
 #     {"name": "sched/pick", "count": 123, "p50_ns": 4567, "p95_ns": 8910, "max_ns": 11213},

@@ -103,6 +103,35 @@ if echo "$exec_report" | grep -Eq "peak in-flight: [01] "; then
 fi
 echo "$exec_report" | grep -q "sketch-vs-exact cross-check: pass"
 
+echo "==> decision-provenance replay-diff smoke"
+replay_scenario="$(mktemp -t easeml-ci-replay-XXXXXX.json)"
+replay_trace="$(mktemp -t easeml-ci-replay-XXXXXX.jsonl)"
+trap 'rm -f "$smoke_trace" "$smoke_folded" "$chaos_trace" "$exec_trace" \
+  "$replay_scenario" "$replay_trace"' EXIT
+printf '{"kind":"greedy(max-gap)","budget":14.0}\n' > "$replay_scenario"
+cargo run --quiet -p easeml-trace -- record "$replay_scenario" "$replay_trace"
+# Clean pass: both the serial simulator and the exec engine at D=1 must
+# reproduce every recorded decision digest — scheduler equivalence.
+replay_out="$(cargo run --quiet -p easeml-trace -- replay-diff \
+  "$replay_scenario" "$replay_trace")"
+echo "$replay_out"
+echo "$replay_out" | grep -q "result: CLEAN (2/2 leg(s) clean)"
+# Seeded-mutation pass: rotating the picker's choice from step 4 on must
+# make the harness exit nonzero and pinpoint round 4 as the first
+# divergence on both legs — proof the digest binary search works.
+if mutated_out="$(cargo run --quiet -p easeml-trace -- replay-diff \
+  "$replay_scenario" "$replay_trace" --mutate-at 4)"; then
+  echo "error: replay-diff did not fail on a seeded picker mutation" >&2
+  exit 1
+else
+  echo "$mutated_out"
+fi
+echo "$mutated_out" | grep -q "first divergent round: 4"
+echo "$mutated_out" | grep -q "result: DIVERGED"
+# The aggregate explain report must fold the same witnesses back out.
+cargo run --quiet -p easeml-trace -- explain "$replay_trace" \
+  | grep -q "committed rounds: 49"
+
 echo "==> telemetry scale smoke (aggregate mode, U up to 100k)"
 scale_out="$(cargo run --quiet --example telemetry_scale -- --sweep --events 30000)"
 echo "$scale_out"
