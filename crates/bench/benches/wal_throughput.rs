@@ -1,0 +1,64 @@
+//! Write-ahead-log throughput and incremental-recovery sweep.
+//!
+//! Two measurements back the durability layer's performance contract:
+//!
+//! * **append latency** — the framed, CRC'd, group-committed write the
+//!   serial hot path pays per logging site when a WAL is attached
+//!   (`wal/append_ns` in the perf snapshot);
+//! * **O(delta) recovery** — recovering a fixed-length run whose
+//!   checkpoint was taken `delta` rounds before the crash must cost time
+//!   proportional to `delta`, not to the run length. The sweep holds the
+//!   run at 600 rounds and moves the checkpoint, so a recovery that
+//!   re-reads history shows up as a growing per-round constant.
+//!
+//! Every recovery in the sweep is digest-verified against the live server
+//! before it is timed, and the run asserts the per-round constant is
+//! bounded across the sweep (one-sided: the fixed checkpoint-load cost
+//! inflates *small* deltas, so the largest delta must not exceed 1.5x the
+//! smallest). `scripts/bench_snapshot_diff.sh` re-checks the same bound
+//! from the written `wal_throughput.perf.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use easeml_bench::{banner, wal_append_sweep, wal_recover_sweep, wal_snapshot};
+
+fn wal_report(_c: &mut Criterion) {
+    banner(
+        "WAL",
+        "Write-ahead log: append latency and O(delta) incremental recovery",
+    );
+    let append = wal_append_sweep(20_000);
+    println!(
+        "append latency over {} records: p50 {:.0} ns, p95 {:.0} ns, max {} ns",
+        append.count, append.p50_ns, append.p95_ns, append.max_ns
+    );
+
+    let total = 600;
+    let rows = wal_recover_sweep(total, &[32, 128, 512]);
+    println!(
+        "\n{:>8} {:>8} {:>10} {:>14} {:>14}",
+        "delta", "rounds", "replayed", "recover ms", "ms/round"
+    );
+    for row in &rows {
+        println!(
+            "{:>8} {:>8} {:>10} {:>14.3} {:>14.6}",
+            row.delta, row.total_rounds, row.replayed, row.recover_ms, row.ms_per_round
+        );
+    }
+    let (small, large) = (rows.first().unwrap(), rows.last().unwrap());
+    assert!(
+        large.ms_per_round <= 1.5 * small.ms_per_round,
+        "recovery is not O(delta): {:.6} ms/round at delta={} vs {:.6} ms/round at delta={}",
+        large.ms_per_round,
+        large.delta,
+        small.ms_per_round,
+        small.delta
+    );
+    println!("\nper-round recovery cost bounded across a 16x delta sweep: ok");
+    match wal_snapshot("wal_throughput", &append, &rows) {
+        Some(p) => println!("perf snapshot: {}", p.display()),
+        None => println!("perf snapshot: skipped (filesystem unavailable)"),
+    }
+}
+
+criterion_group!(benches, wal_report);
+criterion_main!(benches);

@@ -644,9 +644,240 @@ pub fn profile_snapshot(id: &str, rows: &[ProfilePhaseRow]) -> Option<std::path:
     report::write_artifact(&format!("{id}.perf.json"), &json).ok()
 }
 
+/// Latency distribution of [`easeml_wal::WalWriter::append`] over a burst
+/// of round-commit records — the write the serial hot path pays per
+/// logging site when a WAL is attached.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalAppendRow {
+    /// Appends measured.
+    pub count: u64,
+    /// Median append latency, nanoseconds.
+    pub p50_ns: f64,
+    /// 95th-percentile append latency, nanoseconds.
+    pub p95_ns: f64,
+    /// Worst append latency, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// One row of the incremental-recovery sweep: recover a `total_rounds`
+/// run whose checkpoint was taken `delta` rounds before the end, so the
+/// WAL suffix replays exactly `delta` rounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalRecoverRow {
+    /// Rounds between the checkpoint and the crash (the replay suffix).
+    pub delta: u64,
+    /// Total rounds the original run executed.
+    pub total_rounds: u64,
+    /// Rounds the recovery actually replayed (must equal `delta`).
+    pub replayed: u64,
+    /// Wall time of [`easeml::prelude::EaseMl::recover`], milliseconds.
+    pub recover_ms: f64,
+    /// Recovery time per replayed round — the O(delta) constant.
+    pub ms_per_round: f64,
+}
+
+/// The deterministic oracle the WAL benches run: same shape as the core
+/// test suite's toy oracle (parity base quality plus a model-year bonus),
+/// so the replayed trajectory is discriminative but reproducible.
+fn wal_bench_oracle() -> QualityOracle {
+    Box::new(|user, model: easeml_dsl::ModelId| {
+        let info = model.info();
+        let base = if user % 2 == 0 { 0.7 } else { 0.5 };
+        Ok(TrainingOutcome {
+            accuracy: (base + 0.02 * (info.year as f64 - 2010.0)).min(0.99),
+            cost: info.relative_cost,
+        })
+    })
+}
+
+const WAL_IMAGE_PROG: &str = "{input: {[Tensor[64, 64, 3]], []}, output: {[Tensor[5]], []}}";
+const WAL_TS_PROG: &str = "{input: {[Tensor[16]], [next]}, output: {[Tensor[3]], []}}";
+
+/// Times `appends` framed record writes through a fresh
+/// [`easeml_wal::WalWriter`] (group-commit fsync every 16 records, 256 KiB
+/// segments) and returns the latency quantiles. The scratch directory is
+/// removed afterwards.
+pub fn wal_append_sweep(appends: usize) -> WalAppendRow {
+    use easeml_wal::{DurableEvent, FsyncPolicy, WalOptions, WalWriter};
+
+    let dir = std::env::temp_dir().join(format!("easeml-wal-bench-append-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("wal bench scratch dir");
+    let mut writer = WalWriter::open(
+        &dir,
+        WalOptions {
+            segment_bytes: 256 * 1024,
+            fsync: FsyncPolicy::EveryN(16),
+        },
+    )
+    .expect("open bench WAL");
+    let mut hist = easeml_obs::Histogram::new();
+    for round in 0..appends as u64 {
+        let payload = DurableEvent::RoundCommit {
+            round,
+            user: round % 10,
+            arm: round % 20,
+            censored: false,
+            digest: round.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            rng: [round; 4],
+        }
+        .encode();
+        let start = std::time::Instant::now();
+        writer.append(&payload).expect("bench append");
+        hist.record(start.elapsed().as_nanos() as u64);
+    }
+    writer.sync().expect("bench sync");
+    drop(writer);
+    let _ = std::fs::remove_dir_all(&dir);
+    WalAppendRow {
+        count: hist.count(),
+        p50_ns: hist.quantile_ns(0.5),
+        p95_ns: hist.quantile_ns(0.95),
+        max_ns: hist.max_ns(),
+    }
+}
+
+/// For each `delta`, runs a two-tenant serial simulation for
+/// `total_rounds` rounds with a WAL attached, checkpoints `delta` rounds
+/// before the end, then times a full [`easeml::prelude::EaseMl::recover`]
+/// from the checkpoint + WAL pair. Every recovery is digest-verified
+/// against the live server before the row is returned.
+pub fn wal_recover_sweep(total_rounds: u64, deltas: &[u64]) -> Vec<WalRecoverRow> {
+    use easeml_wal::WalOptions;
+
+    deltas
+        .iter()
+        .map(|&delta| {
+            assert!(
+                delta > 0 && delta < total_rounds,
+                "delta must split the run"
+            );
+            let base = std::env::temp_dir().join(format!(
+                "easeml-wal-bench-recover-{}-{delta}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&base);
+            let wal_dir = base.join("wal");
+            std::fs::create_dir_all(&wal_dir).expect("wal bench scratch dir");
+            let ckpt = base.join("checkpoint.json");
+
+            let mut server = EaseMl::new(wal_bench_oracle(), seed());
+            server.register_user("vision-lab", WAL_IMAGE_PROG).unwrap();
+            server.register_user("meteo-lab", WAL_TS_PROG).unwrap();
+            server.set_durability(
+                Durability::open(&wal_dir, WalOptions::default()).expect("open bench WAL"),
+            );
+            for _ in 0..total_rounds - delta {
+                server.try_run_round().expect("bench round");
+            }
+            server.checkpoint_to(&ckpt).expect("bench checkpoint");
+            for _ in 0..delta {
+                server.try_run_round().expect("bench round");
+            }
+            let reference_digest = server.state_digest();
+            drop(server);
+
+            let start = std::time::Instant::now();
+            let (recovered, report) =
+                EaseMl::recover(&ckpt, &wal_dir, wal_bench_oracle()).expect("bench recover");
+            let recover_ms = start.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(report.replayed_rounds, delta, "suffix length is the delta");
+            assert_eq!(
+                recovered.state_digest(),
+                reference_digest,
+                "recovery must be bit-exact before it is timed"
+            );
+            let _ = std::fs::remove_dir_all(&base);
+            WalRecoverRow {
+                delta,
+                total_rounds,
+                replayed: report.replayed_rounds,
+                recover_ms,
+                ms_per_round: recover_ms / delta as f64,
+            }
+        })
+        .collect()
+}
+
+/// Writes the WAL rows as `<id>.perf.json` under `target/experiments/`.
+/// The append row is a normal component row (`wal/append_ns`, with the
+/// `count`/`p50_ns`/`p95_ns`/`max_ns` keys the differ's quantile pass
+/// reads); the recovery rows are named `wal/recover_ms@delta=N` and carry
+/// `delta`/`recover_ms`/`ms_per_round` — deliberately **without** a
+/// `p50_ns` key, so only the boundedness pass in
+/// `scripts/bench_snapshot_diff.sh` sees them (absolute recovery time is
+/// machine-dependent; the per-round constant is the contract).
+///
+/// Returns the perf-json path, or `None` when the filesystem is
+/// unavailable.
+pub fn wal_snapshot(
+    id: &str,
+    append: &WalAppendRow,
+    rows: &[WalRecoverRow],
+) -> Option<std::path::PathBuf> {
+    use std::fmt::Write as _;
+
+    let mut json = String::from("{\n  \"components\": [\n");
+    let _ = writeln!(
+        json,
+        "    {{\"name\": \"wal/append_ns\", \"count\": {}, \"p50_ns\": {:.0}, \
+         \"p95_ns\": {:.0}, \"max_ns\": {}}}{}",
+        append.count,
+        append.p50_ns,
+        append.p95_ns,
+        append.max_ns,
+        if rows.is_empty() { "" } else { "," }
+    );
+    for (i, row) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"wal/recover_ms@delta={}\", \"delta\": {}, \"rounds\": {}, \
+             \"replayed_rounds\": {}, \"recover_ms\": {:.3}, \"ms_per_round\": {:.6}}}{}",
+            row.delta,
+            row.delta,
+            row.total_rounds,
+            row.replayed,
+            row.recover_ms,
+            row.ms_per_round,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    report::write_artifact(&format!("{id}.perf.json"), &json).ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wal_sweeps_produce_verified_rows() {
+        let append = wal_append_sweep(200);
+        assert_eq!(append.count, 200);
+        assert!(append.p95_ns >= append.p50_ns);
+
+        // The sweep itself digest-verifies every recovery before
+        // returning, so a passing row is a bit-exact recovery.
+        let rows = wal_recover_sweep(16, &[4]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].replayed, 4);
+        assert!(rows[0].recover_ms > 0.0);
+
+        let json_path = wal_snapshot("test_wal_rows", &append, &rows);
+        if let Some(p) = &json_path {
+            let text = std::fs::read_to_string(p).unwrap();
+            assert!(text.contains("\"wal/append_ns\""), "{text}");
+            assert!(text.contains("\"wal/recover_ms@delta=4\""), "{text}");
+            // The recovery rows must stay invisible to the quantile diff
+            // pass, which keys on p50_ns.
+            let recover_line = text
+                .lines()
+                .find(|l| l.contains("recover_ms@delta"))
+                .unwrap();
+            assert!(!recover_line.contains("p50_ns"), "{recover_line}");
+            let _ = std::fs::remove_file(p);
+        }
+    }
 
     #[test]
     fn env_defaults() {

@@ -15,9 +15,82 @@
 
 use easeml_obs::json::{self, Json};
 use serde::Serialize;
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::Path;
 
 /// Current checkpoint format version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// v2 added the decision-witness digest fields (`witness_digest`,
+/// `witness_rounds`, `witness_top_k`) so the rolling digest chain survives
+/// a restore and WAL replay can be verified bit-exactly against it.
+pub const CHECKPOINT_VERSION: u32 = 2;
+
+/// Why a checkpoint could not be restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The document was written by a newer build than this one.
+    NewerVersion {
+        /// Version found in the document.
+        found: u32,
+        /// Highest version this build reads.
+        supported: u32,
+    },
+    /// The document predates the oldest format this build reads.
+    OlderVersion {
+        /// Version found in the document.
+        found: u32,
+        /// Version this build expects.
+        supported: u32,
+    },
+    /// The document parsed as JSON but a field is missing or mistyped.
+    Malformed(String),
+    /// A checkpoint *file* failed to parse — truncated or bit-rotted.
+    Corrupt {
+        /// Path of the offending file.
+        path: String,
+        /// What the parser tripped over.
+        detail: String,
+    },
+    /// The filesystem failed underneath the checkpoint.
+    Io {
+        /// Path of the offending file.
+        path: String,
+        /// The underlying I/O error.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NewerVersion { found, supported } => write!(
+                f,
+                "unsupported checkpoint version {found}: this build reads up to \
+                 version {supported}; upgrade easeml to restore this checkpoint"
+            ),
+            Self::OlderVersion { found, supported } => write!(
+                f,
+                "unsupported checkpoint version {found} (expected {supported})"
+            ),
+            Self::Malformed(detail) => write!(f, "{detail}"),
+            Self::Corrupt { path, detail } => {
+                write!(f, "corrupt checkpoint {path}: {detail}")
+            }
+            Self::Io { path, detail } => {
+                write!(f, "checkpoint I/O error at {path}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<String> for CheckpointError {
+    fn from(detail: String) -> Self {
+        Self::Malformed(detail)
+    }
+}
 
 /// One registered user: enough to re-register it on restore.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -140,6 +213,12 @@ pub struct CheckpointDoc {
     pub warmed_up: u64,
     /// Total rounds executed (warm-up + scheduled, censored included).
     pub rounds: u64,
+    /// Rolling decision-witness digest, as a decimal string (full u64).
+    pub witness_digest: String,
+    /// Rounds folded into the witness digest.
+    pub witness_rounds: u64,
+    /// Witness fan-out bound K.
+    pub witness_top_k: u64,
     /// Registered users in id order.
     pub users: Vec<UserCheckpoint>,
     /// Tenant bandit state, aligned with `users`.
@@ -168,20 +247,34 @@ impl CheckpointDoc {
     ///
     /// # Errors
     ///
-    /// Returns a message naming the malformed or missing field.
-    pub fn from_json(input: &str) -> Result<Self, String> {
+    /// Returns a typed [`CheckpointError`]: a version mismatch (with an
+    /// upgrade hint when the document is from a newer build) or a
+    /// malformation naming the offending field.
+    pub fn from_json(input: &str) -> Result<Self, CheckpointError> {
         let doc = json::parse(input)?;
         let fields = as_object(&doc, "checkpoint")?;
         let version = get_u64(fields, "version")? as u32;
-        if version != CHECKPOINT_VERSION {
-            return Err(format!(
-                "unsupported checkpoint version {version} (expected {CHECKPOINT_VERSION})"
-            ));
+        match version.cmp(&CHECKPOINT_VERSION) {
+            std::cmp::Ordering::Greater => {
+                return Err(CheckpointError::NewerVersion {
+                    found: version,
+                    supported: CHECKPOINT_VERSION,
+                })
+            }
+            std::cmp::Ordering::Less => {
+                return Err(CheckpointError::OlderVersion {
+                    found: version,
+                    supported: CHECKPOINT_VERSION,
+                })
+            }
+            std::cmp::Ordering::Equal => {}
         }
         let rng_raw = get(fields, "rng_state")?;
         let rng_vec = as_array(rng_raw, "rng_state")?;
         if rng_vec.len() != 4 {
-            return Err("rng_state must hold 4 words".into());
+            return Err(CheckpointError::Malformed(
+                "rng_state must hold 4 words".into(),
+            ));
         }
         let mut rng_state: [String; 4] = Default::default();
         for (i, word) in rng_vec.iter().enumerate() {
@@ -305,6 +398,9 @@ impl CheckpointDoc {
             step: get_u64(fields, "step")?,
             warmed_up: get_u64(fields, "warmed_up")?,
             rounds: get_u64(fields, "rounds")?,
+            witness_digest: get_str(fields, "witness_digest")?,
+            witness_rounds: get_u64(fields, "witness_rounds")?,
+            witness_top_k: get_u64(fields, "witness_top_k")?,
             users,
             tenants,
             picker,
@@ -330,6 +426,63 @@ pub fn encode_u64(v: u64) -> String {
 pub fn decode_u64(s: &str) -> Result<u64, String> {
     s.parse::<u64>()
         .map_err(|e| format!("bad u64 string {s:?}: {e}"))
+}
+
+/// Writes a checkpoint document to `path` crash-safely: the bytes go to a
+/// sibling temp file, are fsynced, and only then renamed over the target,
+/// with a final directory fsync so the rename itself is durable. A crash
+/// at any point leaves either the old snapshot or the new one — never a
+/// torn mix.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] naming the path on any filesystem
+/// failure.
+pub fn write_checkpoint_atomic(path: &Path, json: &str) -> Result<(), CheckpointError> {
+    let io_err = |e: std::io::Error| CheckpointError::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    };
+    let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(dir) = parent {
+        fs::create_dir_all(dir).map_err(io_err)?;
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut file = File::create(&tmp).map_err(io_err)?;
+        file.write_all(json.as_bytes()).map_err(io_err)?;
+        file.sync_all().map_err(io_err)?;
+    }
+    fs::rename(&tmp, path).map_err(io_err)?;
+    if let Some(dir) = parent {
+        // Make the rename durable; a failure here is not a torn file.
+        File::open(dir).and_then(|d| d.sync_all()).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Reads and parses a checkpoint file written by [`write_checkpoint_atomic`].
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] when the file cannot be read and
+/// [`CheckpointError::Corrupt`] — naming the path — when its contents do
+/// not parse, e.g. after truncation. Version mismatches pass through as
+/// their own typed variants.
+pub fn read_checkpoint_file(path: &Path) -> Result<CheckpointDoc, CheckpointError> {
+    let json = fs::read_to_string(path).map_err(|e| CheckpointError::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    })?;
+    CheckpointDoc::from_json(&json).map_err(|e| match e {
+        CheckpointError::Malformed(detail) => CheckpointError::Corrupt {
+            path: path.display().to_string(),
+            detail,
+        },
+        other => other,
+    })
 }
 
 fn get<'a>(fields: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
@@ -473,6 +626,9 @@ mod tests {
             step: 7,
             warmed_up: 2,
             rounds: 9,
+            witness_digest: encode_u64(0xcbf2_9ce4_8422_2325),
+            witness_rounds: 9,
+            witness_top_k: 8,
             users: vec![UserCheckpoint {
                 name: "vision-lab".into(),
                 program: "{input: ...}".into(),
@@ -549,14 +705,101 @@ mod tests {
         let mut doc = sample();
         doc.version = CHECKPOINT_VERSION + 1;
         let err = CheckpointDoc::from_json(&doc.to_json()).unwrap_err();
-        assert!(err.contains("unsupported checkpoint version"), "{err}");
+        assert!(
+            err.to_string().contains("unsupported checkpoint version"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn newer_version_is_a_typed_error_with_an_upgrade_hint() {
+        let mut doc = sample();
+        doc.version = 99;
+        let err = CheckpointDoc::from_json(&doc.to_json()).unwrap_err();
+        assert_eq!(
+            err,
+            CheckpointError::NewerVersion {
+                found: 99,
+                supported: CHECKPOINT_VERSION
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("unsupported checkpoint version 99"), "{msg}");
+        assert!(msg.contains("upgrade easeml"), "{msg}");
+    }
+
+    #[test]
+    fn older_version_is_a_typed_error() {
+        let mut doc = sample();
+        doc.version = 1;
+        let err = CheckpointDoc::from_json(&doc.to_json()).unwrap_err();
+        assert_eq!(
+            err,
+            CheckpointError::OlderVersion {
+                found: 1,
+                supported: CHECKPOINT_VERSION
+            }
+        );
+        assert!(
+            err.to_string().contains("unsupported checkpoint version 1"),
+            "{err}"
+        );
     }
 
     #[test]
     fn garbage_is_rejected_with_field_names() {
         assert!(CheckpointDoc::from_json("not json").is_err());
         assert!(CheckpointDoc::from_json("[]").is_err());
-        let err = CheckpointDoc::from_json("{\"version\":1}").unwrap_err();
-        assert!(err.contains("rng_state"), "{err}");
+        let err =
+            CheckpointDoc::from_json(&format!("{{\"version\":{CHECKPOINT_VERSION}}}")).unwrap_err();
+        assert!(err.to_string().contains("rng_state"), "{err}");
+    }
+
+    fn scratch_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "easeml-ckpt-test-{}-{tag}.json",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn atomic_write_round_trips_through_the_filesystem() {
+        let path = scratch_path("atomic");
+        let doc = sample();
+        write_checkpoint_atomic(&path, &doc.to_json()).unwrap();
+        // The temp sibling must not linger after the rename.
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!std::path::Path::new(&tmp).exists());
+        assert_eq!(read_checkpoint_file(&path).unwrap(), doc);
+        // Overwriting in place keeps the document readable.
+        write_checkpoint_atomic(&path, &doc.to_json()).unwrap();
+        assert_eq!(read_checkpoint_file(&path).unwrap(), doc);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_checkpoint_file_is_rejected_with_the_path() {
+        let path = scratch_path("truncated");
+        let doc = sample();
+        write_checkpoint_atomic(&path, &doc.to_json()).unwrap();
+        // Simulate a torn write from a non-atomic writer: cut the file.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = read_checkpoint_file(&path).unwrap_err();
+        match &err {
+            CheckpointError::Corrupt { path: p, .. } => {
+                assert!(p.contains("easeml-ckpt-test"), "{err}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        assert!(err.to_string().contains("corrupt checkpoint"), "{err}");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_checkpoint_file_is_an_io_error() {
+        let err = read_checkpoint_file(Path::new("/nonexistent/easeml-nope.json")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io { .. }), "{err:?}");
     }
 }

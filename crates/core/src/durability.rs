@@ -1,0 +1,559 @@
+//! The [`Durability`] handle: WAL appends behind a noop-by-default facade,
+//! plus the replay plan recovery builds from a log suffix.
+//!
+//! Mirrors the observability recorder's zero-overhead pattern
+//! ([`RecorderHandle`]): the handle wraps `Option<Arc<…>>`, every append
+//! takes a *closure* so the disabled path neither encodes nor locks, and
+//! attaching durability is one `set_durability` call on the server or exec
+//! engine. Recovery is the inverse: [`EaseMl::recover`](crate::server::EaseMl::recover)
+//! loads the latest checkpoint, parses the WAL suffix into per-round
+//! replay plans, re-executes each round with the logged outcomes
+//! substituted for the oracle, and asserts the rolling witness digest and
+//! RNG words against every logged commit — bit-exact or it refuses.
+
+use crate::fault::TrainingError;
+use crate::server::TrainingOutcome;
+use easeml_obs::{Component, Histogram, RecorderHandle};
+use easeml_wal::{
+    CrashPoint, DurableEvent, ReadRecord, WalLog, WalOptions, WalWriter, KIND_CRASH, KIND_TIMEOUT,
+};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Maps a [`TrainingError`] to its WAL censor-kind code.
+pub(crate) fn censor_kind(error: &TrainingError) -> u8 {
+    match error {
+        TrainingError::Crash { .. } => KIND_CRASH,
+        TrainingError::Timeout { .. } => KIND_TIMEOUT,
+        TrainingError::InvalidQuality => easeml_wal::KIND_INVALID,
+    }
+}
+
+/// One logged attempt outcome, queued for substitution during replay.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum ReplayAttempt {
+    /// The attempt resolved with a valid observation.
+    Resolved { accuracy: f64, cost: f64 },
+    /// The attempt was censored with this pre-backoff charge.
+    Censored { charge: f64, kind: u8 },
+}
+
+impl ReplayAttempt {
+    /// Reconstructs the post-validation result the live path produced.
+    pub(crate) fn into_result(self) -> Result<TrainingOutcome, (TrainingError, f64)> {
+        match self {
+            ReplayAttempt::Resolved { accuracy, cost } => Ok(TrainingOutcome { accuracy, cost }),
+            ReplayAttempt::Censored { charge, kind } => {
+                let error = match kind {
+                    KIND_CRASH => TrainingError::Crash {
+                        cost_consumed: charge,
+                    },
+                    KIND_TIMEOUT => TrainingError::Timeout { deadline: charge },
+                    _ => TrainingError::InvalidQuality,
+                };
+                Err((error, charge))
+            }
+        }
+    }
+}
+
+/// The commit record a replayed round is asserted against.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CommitRecord {
+    pub round: u64,
+    pub user: u64,
+    pub arm: u64,
+    pub censored: bool,
+    pub digest: u64,
+    pub rng: [u64; 4],
+}
+
+/// One fully-committed round parsed out of the WAL suffix.
+#[derive(Debug, Clone)]
+pub(crate) struct ReplayRound {
+    pub attempts: VecDeque<ReplayAttempt>,
+    pub commit: CommitRecord,
+}
+
+/// A parsed replay plan: `(rounds to replay, records skipped as
+/// pre-checkpoint, cut)` where `cut` is the `(segment, end_offset)` of the
+/// last committed record — the truncation point that drops every
+/// uncommitted byte after it.
+pub(crate) type ReplayPlan = (Vec<ReplayRound>, u64, Option<(u64, u64)>);
+
+/// Parses a serial-simulator WAL into a replay plan.
+///
+/// Rounds below `from_rounds` are already covered by the checkpoint and
+/// are skipped; rounds at or above it must appear gap-free.
+pub(crate) fn plan_replay(log: &WalLog, from_rounds: u64) -> Result<ReplayPlan, String> {
+    let mut plan: Vec<ReplayRound> = Vec::new();
+    let mut attempts: VecDeque<ReplayAttempt> = VecDeque::new();
+    let mut skipped = 0u64;
+    let mut cut: Option<(u64, u64)> = None;
+    let mark = |rec: &ReadRecord| Some((rec.segment, rec.end_offset));
+    for rec in &log.records {
+        let event = DurableEvent::decode(&rec.payload)
+            .map_err(|e| format!("undecodable WAL record (CRC passed): {e}"))?;
+        match event {
+            DurableEvent::RoundStart { round } => {
+                if round >= from_rounds {
+                    attempts.clear();
+                } else {
+                    skipped += 1;
+                }
+            }
+            DurableEvent::ObservationResolved {
+                round,
+                accuracy,
+                cost,
+                ..
+            } => {
+                if round >= from_rounds {
+                    attempts.push_back(ReplayAttempt::Resolved { accuracy, cost });
+                } else {
+                    skipped += 1;
+                }
+            }
+            DurableEvent::ObservationCensored {
+                round,
+                charge,
+                kind,
+                ..
+            } => {
+                if round >= from_rounds {
+                    attempts.push_back(ReplayAttempt::Censored { charge, kind });
+                } else {
+                    skipped += 1;
+                }
+            }
+            // Quarantine/probation transitions are *derived* state: replay
+            // recomputes them from the attempt outcomes, so they carry no
+            // replay payload — they exist for reports and audits.
+            DurableEvent::ArmQuarantined { .. } | DurableEvent::ProbationRelease { .. } => {}
+            DurableEvent::RoundCommit {
+                round,
+                user,
+                arm,
+                censored,
+                digest,
+                rng,
+            } => {
+                if round < from_rounds {
+                    skipped += 1;
+                    attempts.clear();
+                } else {
+                    let expected = from_rounds + plan.len() as u64;
+                    if round != expected {
+                        return Err(format!(
+                            "WAL round gap: commit for round {round}, expected {expected}"
+                        ));
+                    }
+                    plan.push(ReplayRound {
+                        attempts: std::mem::take(&mut attempts),
+                        commit: CommitRecord {
+                            round,
+                            user,
+                            arm,
+                            censored,
+                            digest,
+                            rng,
+                        },
+                    });
+                }
+                // Committed data always advances the cut, pre-checkpoint
+                // or not — it must survive truncation.
+                cut = mark(rec);
+            }
+            DurableEvent::CheckpointMark { .. } => {
+                attempts.clear();
+                cut = mark(rec);
+            }
+            DurableEvent::ExecDispatch { .. } | DurableEvent::ExecCompletion { .. } => {
+                return Err("exec-engine records in a serial-simulator WAL".into());
+            }
+        }
+    }
+    Ok((plan, skipped, cut))
+}
+
+/// What [`EaseMl::recover`](crate::server::EaseMl::recover) did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Rounds restored from the checkpoint document.
+    pub checkpoint_rounds: u64,
+    /// Committed rounds replayed from the WAL suffix.
+    pub replayed_rounds: u64,
+    /// WAL records skipped as already covered by the checkpoint.
+    pub skipped_records: u64,
+    /// Uncommitted records dropped (truncated) after the last commit.
+    pub dropped_records: u64,
+    /// Torn tail found in the log, if any (reason and location).
+    pub torn_tail: Option<String>,
+    /// Total rounds after recovery (checkpoint + replay).
+    pub final_rounds: u64,
+    /// Rolling witness digest after recovery, 16 hex chars.
+    pub final_digest: String,
+    /// Wall time spent replaying, in nanoseconds.
+    pub replay_ns: u64,
+}
+
+struct DurabilityInner {
+    writer: WalWriter,
+    append_ns: Histogram,
+    append_bytes: u64,
+    replayed_records: u64,
+    replay_ns: u64,
+    last_checkpoint_rounds: u64,
+    last_error: Option<String>,
+    recorder: RecorderHandle,
+}
+
+impl DurabilityInner {
+    fn note_io<T>(&mut self, result: io::Result<T>) -> Option<T> {
+        match result {
+            Ok(value) => Some(value),
+            Err(e) => {
+                self.last_error = Some(e.to_string());
+                None
+            }
+        }
+    }
+}
+
+/// Cheap, cloneable handle to an optional WAL writer.
+///
+/// The default handle is disabled and costs one branch per append — the
+/// event closure is never invoked, nothing locks, nothing encodes — the
+/// same zero-overhead contract as [`RecorderHandle::noop`]. I/O errors on
+/// the hot path are recorded in the stats rather than propagated: losing
+/// the WAL degrades durability, not scheduling.
+#[derive(Clone, Default)]
+pub struct Durability {
+    inner: Option<Arc<Mutex<DurabilityInner>>>,
+}
+
+impl Durability {
+    /// The disabled handle (same as `Default`).
+    pub fn noop() -> Self {
+        Durability { inner: None }
+    }
+
+    /// Opens (or resumes) the WAL in `dir` for appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the open/repair scan.
+    pub fn open(dir: &Path, options: WalOptions) -> io::Result<Self> {
+        let writer = WalWriter::open(dir, options)?;
+        Ok(Durability {
+            inner: Some(Arc::new(Mutex::new(DurabilityInner {
+                writer,
+                append_ns: Histogram::new(),
+                append_bytes: 0,
+                replayed_records: 0,
+                replay_ns: 0,
+                last_checkpoint_rounds: 0,
+                last_error: None,
+                recorder: RecorderHandle::noop(),
+            }))),
+        })
+    }
+
+    /// Whether a WAL is attached.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Routes append/fsync timings and counters to `recorder`.
+    pub fn set_recorder(&self, recorder: RecorderHandle) {
+        if let Some(inner) = &self.inner {
+            inner.lock().recorder = recorder;
+        }
+    }
+
+    /// Appends the event built by `make`, which is only called when a WAL
+    /// is attached — pass a closure so the disabled path stays free.
+    pub fn append<F: FnOnce() -> DurableEvent>(&self, make: F) {
+        if let Some(inner) = &self.inner {
+            let mut inner = inner.lock();
+            let payload = make().encode();
+            let start = Instant::now();
+            let outcome = inner.writer.append(&payload);
+            let nanos = start.elapsed().as_nanos() as u64;
+            if let Some(outcome) = inner.note_io(outcome) {
+                inner.append_bytes += outcome.bytes;
+                inner.append_ns.record(nanos);
+                if let Some(recorder) = inner.recorder.recorder().cloned() {
+                    recorder.record_timing(Component::WalAppend, nanos);
+                    recorder.add_counter("wal/appends", 1);
+                    if outcome.synced {
+                        recorder.add_counter("wal/fsyncs", 1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forces an fsync of the current segment.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            let mut inner = inner.lock();
+            let start = Instant::now();
+            let result = inner.writer.sync();
+            let nanos = start.elapsed().as_nanos() as u64;
+            if inner.note_io(result).is_some() {
+                if let Some(recorder) = inner.recorder.recorder().cloned() {
+                    recorder.record_timing(Component::WalFsync, nanos);
+                    recorder.add_counter("wal/fsyncs", 1);
+                }
+            }
+        }
+    }
+
+    /// Checkpoint barrier: seals the current segment, deletes sealed
+    /// segments made redundant by the checkpoint, then logs a
+    /// [`DurableEvent::CheckpointMark`] and syncs it. Call *after* the
+    /// checkpoint document is durably on disk.
+    pub fn mark_checkpoint(&self, rounds: u64, digest: u64) {
+        if let Some(inner) = &self.inner {
+            let mut inner = inner.lock();
+            let start = Instant::now();
+            let result = inner
+                .writer
+                .rotate()
+                .and_then(|()| inner.writer.compact())
+                .and_then(|removed| {
+                    let payload = DurableEvent::CheckpointMark { rounds, digest }.encode();
+                    inner.writer.append(&payload)?;
+                    inner.writer.sync()?;
+                    Ok(removed)
+                });
+            let nanos = start.elapsed().as_nanos() as u64;
+            if let Some(removed) = inner.note_io(result) {
+                inner.last_checkpoint_rounds = rounds;
+                if let Some(recorder) = inner.recorder.recorder().cloned() {
+                    recorder.record_timing(Component::WalFsync, nanos);
+                    recorder.add_counter("wal/checkpoint-marks", 1);
+                    recorder.add_counter("wal/segments-compacted", removed as u64);
+                }
+            }
+        }
+    }
+
+    /// Folds a finished recovery into the stats (and the recorder's
+    /// `wal/replay` timing), so `/durability` shows what replay cost.
+    pub fn record_replay(&self, report: &RecoveryReport) {
+        if let Some(inner) = &self.inner {
+            let mut inner = inner.lock();
+            inner.replayed_records += report.replayed_rounds;
+            inner.replay_ns += report.replay_ns;
+            if let Some(recorder) = inner.recorder.recorder().cloned() {
+                recorder.record_timing(Component::WalReplay, report.replay_ns);
+                recorder.add_counter("wal/replayed-rounds", report.replayed_rounds);
+            }
+        }
+    }
+
+    /// Arms (or disarms) a deterministic crash point on the write path —
+    /// test harness hook.
+    pub fn set_crash_point(&self, crash: Option<CrashPoint>) {
+        if let Some(inner) = &self.inner {
+            inner.lock().writer.set_crash_point(crash);
+        }
+    }
+
+    /// Whether an armed crash point has fired and silenced the writer.
+    pub fn is_dead(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|inner| inner.lock().writer.is_dead())
+    }
+
+    /// Global bytes appended across the log's lifetime (crash-sweep hook).
+    pub fn stream_offset(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.lock().writer.stream_offset())
+    }
+
+    /// Durability counters as one JSON object — the `/durability` section
+    /// of the telemetry hub.
+    pub fn stats_json(&self) -> String {
+        let Some(inner) = &self.inner else {
+            return "{\"enabled\":false}".to_string();
+        };
+        let inner = inner.lock();
+        let last_error = match &inner.last_error {
+            Some(e) => format!("{:?}", e),
+            None => "null".to_string(),
+        };
+        format!(
+            concat!(
+                "{{\"enabled\":true,\"appends\":{},\"append_bytes\":{},",
+                "\"fsyncs\":{},\"rotations\":{},\"segment_index\":{},",
+                "\"stream_offset\":{},\"append_p50_ns\":{},",
+                "\"append_p95_ns\":{},\"append_max_ns\":{},",
+                "\"replayed_rounds\":{},\"replay_ns\":{},",
+                "\"last_checkpoint_rounds\":{},\"last_error\":{}}}"
+            ),
+            inner.writer.appends(),
+            inner.append_bytes,
+            inner.writer.fsyncs(),
+            inner.writer.rotations(),
+            inner.writer.segment_index(),
+            inner.writer.stream_offset(),
+            inner.append_ns.quantile_ns(0.5) as u64,
+            inner.append_ns.quantile_ns(0.95) as u64,
+            inner.append_ns.max_ns(),
+            inner.replayed_records,
+            inner.replay_ns,
+            inner.last_checkpoint_rounds,
+            last_error,
+        )
+    }
+}
+
+impl std::fmt::Debug for Durability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Durability")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easeml_wal::FsyncPolicy;
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "easeml-durability-test-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn noop_handle_never_invokes_the_closure() {
+        let d = Durability::noop();
+        assert!(!d.is_enabled());
+        d.append(|| panic!("closure must not run on a disabled handle"));
+        d.flush();
+        d.mark_checkpoint(3, 7);
+        assert_eq!(d.stats_json(), "{\"enabled\":false}");
+    }
+
+    #[test]
+    fn append_and_checkpoint_roundtrip_through_the_log() {
+        let dir = scratch_dir("roundtrip");
+        let d = Durability::open(
+            &dir,
+            WalOptions {
+                segment_bytes: 4096,
+                fsync: FsyncPolicy::Never,
+            },
+        )
+        .unwrap();
+        d.append(|| DurableEvent::RoundStart { round: 0 });
+        d.append(|| DurableEvent::RoundCommit {
+            round: 0,
+            user: 1,
+            arm: 2,
+            censored: false,
+            digest: 42,
+            rng: [1, 2, 3, 4],
+        });
+        d.mark_checkpoint(1, 42);
+        let log = easeml_wal::read_log(&dir).unwrap();
+        // After the checkpoint barrier only the fresh segment (holding the
+        // mark) remains: the earlier segment was sealed and compacted.
+        assert_eq!(log.segments.len(), 1);
+        assert_eq!(log.records.len(), 1);
+        let event = DurableEvent::decode(&log.records[0].payload).unwrap();
+        assert_eq!(
+            event,
+            DurableEvent::CheckpointMark {
+                rounds: 1,
+                digest: 42
+            }
+        );
+        let stats = d.stats_json();
+        assert!(stats.contains("\"enabled\":true"), "{stats}");
+        assert!(stats.contains("\"last_checkpoint_rounds\":1"), "{stats}");
+        assert!(stats.contains("\"last_error\":null"), "{stats}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_plan_splits_committed_from_uncommitted() {
+        let dir = scratch_dir("plan");
+        let d = Durability::open(&dir, WalOptions::default()).unwrap();
+        // Round 5 commits (one censored attempt then success); round 6 has
+        // a dangling attempt with no commit — lost on recovery.
+        d.append(|| DurableEvent::RoundStart { round: 5 });
+        d.append(|| DurableEvent::ObservationCensored {
+            round: 5,
+            user: 0,
+            arm: 1,
+            charge: 0.25,
+            kind: KIND_TIMEOUT,
+        });
+        d.append(|| DurableEvent::ObservationResolved {
+            round: 5,
+            user: 0,
+            arm: 2,
+            accuracy: 0.75,
+            cost: 1.0,
+        });
+        d.append(|| DurableEvent::RoundCommit {
+            round: 5,
+            user: 0,
+            arm: 2,
+            censored: false,
+            digest: 99,
+            rng: [4, 3, 2, 1],
+        });
+        d.append(|| DurableEvent::RoundStart { round: 6 });
+        d.append(|| DurableEvent::ObservationResolved {
+            round: 6,
+            user: 1,
+            arm: 0,
+            accuracy: 0.5,
+            cost: 2.0,
+        });
+        d.flush();
+        let log = easeml_wal::read_log(&dir).unwrap();
+        let (plan, skipped, cut) = plan_replay(&log, 5).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].commit.round, 5);
+        assert_eq!(plan[0].attempts.len(), 2);
+        assert_eq!(
+            plan[0].attempts[0],
+            ReplayAttempt::Censored {
+                charge: 0.25,
+                kind: KIND_TIMEOUT
+            }
+        );
+        // The cut sits at the commit record: the round-6 records fall.
+        let cut = cut.unwrap();
+        assert_eq!(
+            (log.records[3].segment, log.records[3].end_offset),
+            cut,
+            "cut must be the commit's end offset"
+        );
+        // Replaying from round 6 instead skips round 5 as pre-checkpoint.
+        let (plan6, skipped6, _) = plan_replay(&log, 6).unwrap();
+        assert!(plan6.is_empty());
+        assert_eq!(skipped6, 4);
+        // A gap (commit for a later round than expected) is rejected.
+        assert!(plan_replay(&log, 4).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -215,6 +215,13 @@ impl FaultInjector {
         self.attempts.get(&(user, arm)).copied().unwrap_or(0)
     }
 
+    /// Advance the attempt counter without drawing a fault — used when a
+    /// WAL replay substitutes the logged outcome for a live attempt, so
+    /// the fault stream stays aligned for rounds after the replay.
+    pub fn note_attempt(&mut self, user: usize, arm: usize) {
+        *self.attempts.entry((user, arm)).or_insert(0) += 1;
+    }
+
     /// Applies the fault model to one attempt of training `(user, arm)`
     /// whose clean outcome would be `outcome`.
     ///

@@ -53,6 +53,7 @@
 
 pub mod checkpoint;
 pub mod cluster;
+pub mod durability;
 pub mod experiment;
 pub mod fault;
 pub mod job;
@@ -68,8 +69,12 @@ pub mod witness;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
-    pub use crate::checkpoint::{CheckpointDoc, CHECKPOINT_VERSION};
+    pub use crate::checkpoint::{
+        read_checkpoint_file, write_checkpoint_atomic, CheckpointDoc, CheckpointError,
+        CHECKPOINT_VERSION,
+    };
     pub use crate::cluster::{Cluster, TrainingRun};
+    pub use crate::durability::{Durability, RecoveryReport};
     pub use crate::experiment::{run_experiment, Budget, ExperimentConfig, ExperimentResult};
     pub use crate::fault::{FaultConfig, FaultInjector, FaultRates, TrainingError};
     pub use crate::job::{Job, JobStatus};

@@ -8,10 +8,12 @@
 //! dataset's (quality, cost) matrix or any user-supplied closure.
 
 use crate::checkpoint::{
-    decode_u64, encode_u64, CheckpointDoc, ClusterCheckpoint, FaultCheckpoint, PickerCheckpoint,
-    RetryPolicyCheckpoint, RunCheckpoint, TenantCheckpoint, UserCheckpoint, CHECKPOINT_VERSION,
+    decode_u64, encode_u64, read_checkpoint_file, write_checkpoint_atomic, CheckpointDoc,
+    ClusterCheckpoint, FaultCheckpoint, PickerCheckpoint, RetryPolicyCheckpoint, RunCheckpoint,
+    TenantCheckpoint, UserCheckpoint, CHECKPOINT_VERSION,
 };
 use crate::cluster::{Cluster, CompletedRun, TrainingRun};
+use crate::durability::{censor_kind, plan_replay, Durability, RecoveryReport, ReplayAttempt};
 use crate::fault::{FaultConfig, FaultInjector, FaultRates, TrainingError};
 use crate::job::{Job, JobStatus};
 use crate::retry::{RetryPolicy, RetryState};
@@ -23,10 +25,14 @@ use easeml_dsl::{parse_program, ModelId, ParseError};
 use easeml_gp::ArmPrior;
 use easeml_obs::{Component, Event, RecorderHandle};
 use easeml_sched::{Hybrid, HybridState, PickRule, Tenant, UserPicker};
+use easeml_wal::{read_log, truncate_log, DurableEvent};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
+use std::collections::VecDeque;
+use std::path::Path;
+use std::time::Instant;
 
 /// One user's entry in a [`StatusSnapshot`].
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -166,6 +172,12 @@ pub struct EaseMl {
     /// Decision provenance: the rolling digest + bounded witness emitter
     /// every round folds into.
     witness: Mutex<DecisionLog>,
+    /// Write-ahead durability: noop by default, so the hot path pays one
+    /// branch per logging site unless a WAL is attached.
+    durability: Durability,
+    /// Recovery substitution queue: while `Some`, `try_run_round` pops
+    /// logged attempt outcomes instead of calling the oracle.
+    replay: Option<VecDeque<ReplayAttempt>>,
 }
 
 impl EaseMl {
@@ -191,6 +203,8 @@ impl EaseMl {
             retry_state: RetryState::new(),
             recorder: RecorderHandle::noop(),
             witness: Mutex::new(DecisionLog::new()),
+            durability: Durability::noop(),
+            replay: None,
         }
     }
 
@@ -247,10 +261,25 @@ impl EaseMl {
         self.recorder = recorder.clone();
         self.picker.lock().set_recorder(recorder.clone());
         self.cluster.lock().set_recorder(recorder.clone());
+        self.durability.set_recorder(recorder.clone());
         for tenant in &mut self.tenants {
             let id = tenant.id();
             tenant.policy_mut().set_recorder(recorder.clone(), id);
         }
+    }
+
+    /// Attaches write-ahead durability: every state mutation in
+    /// [`EaseMl::try_run_round`] appends a [`DurableEvent`] through the
+    /// handle. The default server runs with a noop handle that costs one
+    /// branch per logging site.
+    pub fn set_durability(&mut self, durability: Durability) {
+        durability.set_recorder(self.recorder.clone());
+        self.durability = durability;
+    }
+
+    /// The durability handle (noop unless attached).
+    pub fn durability(&self) -> &Durability {
+        &self.durability
     }
 
     /// Registers a user by source program: parses the DSL, matches
@@ -358,9 +387,15 @@ impl EaseMl {
         let mut rounds = self.rounds.lock();
 
         // Probation: unmask arms whose quarantine has expired.
+        let release_round = *rounds;
         for (user, arm) in self.retry_state.due_releases(*rounds) {
             if arm < self.tenants[user].policy().posterior().num_arms() {
                 self.tenants[user].policy_mut().set_arm_masked(arm, false);
+                self.durability.append(|| DurableEvent::ProbationRelease {
+                    round: release_round,
+                    user: user as u64,
+                    arm: arm as u64,
+                });
             }
         }
 
@@ -395,6 +430,9 @@ impl EaseMl {
             )
         };
 
+        self.durability.append(|| DurableEvent::RoundStart {
+            round: witness_round,
+        });
         let mut failures: u64 = 0;
         let mut censored_cost = 0.0;
         loop {
@@ -407,35 +445,78 @@ impl EaseMl {
             });
             let model_idx = self.tenants[user].select_model();
             let model = self.jobs[user].candidate_models()[model_idx];
-            let raw = (self.oracle)(user, model);
-            // Inject faults into clean outcomes, then validate: a
-            // non-finite quality or non-positive cost is unusable whether
-            // injected or organic.
-            let injected = match raw {
-                Ok(outcome) => match self.fault.as_mut() {
-                    Some(injector) => injector.apply(user, model_idx, outcome),
-                    None => Ok(outcome),
-                },
-                Err(error) => Err(error),
-            };
-            let result = match injected {
-                Ok(outcome) => {
-                    if outcome.accuracy.is_finite()
-                        && outcome.cost.is_finite()
-                        && outcome.cost > 0.0
-                    {
-                        Ok(outcome)
-                    } else {
-                        let charge = if outcome.cost.is_finite() && outcome.cost > 0.0 {
-                            outcome.cost
-                        } else {
-                            0.0
-                        };
-                        Err((TrainingError::InvalidQuality, charge))
+            // WAL replay substitutes the logged attempt outcome for the
+            // oracle + injector: the attempt loop itself draws no RNG, so
+            // every other branch below runs exactly as it did live. The
+            // injector's per-(user, arm) attempt counter still advances —
+            // it keys the fault hash for post-recovery rounds.
+            let replayed = self
+                .replay
+                .as_mut()
+                .and_then(std::collections::VecDeque::pop_front);
+            let result = match replayed {
+                Some(attempt) => {
+                    if let Some(injector) = self.fault.as_mut() {
+                        injector.note_attempt(user, model_idx);
+                    }
+                    attempt.into_result()
+                }
+                None => {
+                    let raw = (self.oracle)(user, model);
+                    // Inject faults into clean outcomes, then validate: a
+                    // non-finite quality or non-positive cost is unusable
+                    // whether injected or organic.
+                    let injected = match raw {
+                        Ok(outcome) => match self.fault.as_mut() {
+                            Some(injector) => injector.apply(user, model_idx, outcome),
+                            None => Ok(outcome),
+                        },
+                        Err(error) => Err(error),
+                    };
+                    match injected {
+                        Ok(outcome) => {
+                            if outcome.accuracy.is_finite()
+                                && outcome.cost.is_finite()
+                                && outcome.cost > 0.0
+                            {
+                                Ok(outcome)
+                            } else {
+                                let charge = if outcome.cost.is_finite() && outcome.cost > 0.0 {
+                                    outcome.cost
+                                } else {
+                                    0.0
+                                };
+                                Err((TrainingError::InvalidQuality, charge))
+                            }
+                        }
+                        Err(error) => Err((error, error.cost_consumed())),
                     }
                 }
-                Err(error) => Err((error, error.cost_consumed())),
             };
+            match &result {
+                Ok(outcome) => {
+                    let (accuracy, cost) = (outcome.accuracy, outcome.cost);
+                    self.durability
+                        .append(|| DurableEvent::ObservationResolved {
+                            round: witness_round,
+                            user: user as u64,
+                            arm: model_idx as u64,
+                            accuracy,
+                            cost,
+                        });
+                }
+                Err((error, charge)) => {
+                    let (charge, kind) = (*charge, censor_kind(error));
+                    self.durability
+                        .append(|| DurableEvent::ObservationCensored {
+                            round: witness_round,
+                            user: user as u64,
+                            arm: model_idx as u64,
+                            charge,
+                            kind,
+                        });
+                }
+            }
             match result {
                 Ok(outcome) => {
                     {
@@ -473,6 +554,17 @@ impl EaseMl {
                             censored: false,
                         },
                     );
+                    if self.durability.is_enabled() {
+                        let (digest, rng_words) = (wlog.digest_value(), rng.state());
+                        self.durability.append(|| DurableEvent::RoundCommit {
+                            round: witness_round,
+                            user: user as u64,
+                            arm: model_idx as u64,
+                            censored: false,
+                            digest,
+                            rng: rng_words,
+                        });
+                    }
                     return Ok(RoundOutcome {
                         user,
                         model,
@@ -526,6 +618,12 @@ impl EaseMl {
                         let probation = self.retry_policy.probation_rounds;
                         self.retry_state
                             .schedule_release(*rounds + probation, user, model_idx);
+                        let release_round = *rounds + probation;
+                        self.durability.append(|| DurableEvent::ArmQuarantined {
+                            user: user as u64,
+                            arm: model_idx as u64,
+                            release_round,
+                        });
                         self.recorder.emit(|| Event::ArmQuarantined {
                             user,
                             model: model_idx,
@@ -560,6 +658,17 @@ impl EaseMl {
                             censored: true,
                         },
                     );
+                    if self.durability.is_enabled() {
+                        let (digest, rng_words) = (wlog.digest_value(), rng.state());
+                        self.durability.append(|| DurableEvent::RoundCommit {
+                            round: witness_round,
+                            user: user as u64,
+                            arm: model_idx as u64,
+                            censored: true,
+                            digest,
+                            rng: rng_words,
+                        });
+                    }
                     return Ok(RoundOutcome {
                         user,
                         model,
@@ -661,6 +770,14 @@ impl EaseMl {
             }
         });
         let rounds = *self.rounds.lock();
+        let (witness_digest, witness_rounds, witness_top_k) = {
+            let wlog = self.witness.lock();
+            (
+                encode_u64(wlog.digest_value()),
+                wlog.rounds(),
+                wlog.top_k() as u64,
+            )
+        };
         let doc = CheckpointDoc {
             version: CHECKPOINT_VERSION,
             rng_state: [
@@ -674,6 +791,9 @@ impl EaseMl {
             step: *self.step.lock() as u64,
             warmed_up: *self.warmed_up.lock() as u64,
             rounds,
+            witness_digest,
+            witness_rounds,
+            witness_top_k,
             users,
             tenants,
             picker,
@@ -718,7 +838,7 @@ impl EaseMl {
     ///
     /// Returns a message naming the malformed or inconsistent field.
     pub fn restore(json: &str, oracle: QualityOracle) -> Result<Self, String> {
-        let doc = CheckpointDoc::from_json(json)?;
+        let doc = CheckpointDoc::from_json(json).map_err(|e| e.to_string())?;
         let mut server = EaseMl::new(oracle, 0);
         server.noise_var = doc.noise_var;
         server.delta = doc.delta;
@@ -799,6 +919,14 @@ impl EaseMl {
         server.warmed_up = Mutex::new(doc.warmed_up as usize);
         server.step = Mutex::new(doc.step as usize);
         server.rounds = Mutex::new(doc.rounds);
+        // Continue the rolling digest chain instead of restarting it, so a
+        // restored run's digest matches the uninterrupted run's at every
+        // subsequent round (the bit-exactness oracle recovery asserts on).
+        server.witness = Mutex::new(DecisionLog::from_state(
+            doc.witness_top_k as usize,
+            decode_u64(&doc.witness_digest)?,
+            doc.witness_rounds,
+        ));
         server.retry_policy = RetryPolicy {
             max_retries: doc.retry_policy.max_retries,
             backoff_cost: doc.retry_policy.backoff_cost,
@@ -846,6 +974,119 @@ impl EaseMl {
             server.fault = Some(injector);
         }
         Ok(server)
+    }
+
+    /// Writes a checkpoint to `path` atomically (temp file + rename +
+    /// fsync), then — when a WAL is attached — seals and compacts the log
+    /// behind a [`DurableEvent::CheckpointMark`]. The WAL suffix after the
+    /// mark is exactly the delta a recovery must replay.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors from the atomic write; WAL errors are recorded in
+    /// [`Durability::stats_json`] instead of propagated.
+    pub fn checkpoint_to(&self, path: &Path) -> Result<(), String> {
+        let json = self.checkpoint();
+        write_checkpoint_atomic(path, &json).map_err(|e| e.to_string())?;
+        let rounds = *self.rounds.lock();
+        let digest = self.witness.lock().digest_value();
+        self.durability.mark_checkpoint(rounds, digest);
+        Ok(())
+    }
+
+    /// Rebuilds a server from the checkpoint at `checkpoint_path` plus the
+    /// WAL in `wal_dir`: restore, then replay every committed round logged
+    /// after the checkpoint by substituting its logged attempt outcomes
+    /// for the oracle — O(delta) work, independent of total history.
+    ///
+    /// Replay is asserted **bit-exact**: after each round the rolling
+    /// witness digest and the RNG words must equal the values the original
+    /// process logged in that round's [`DurableEvent::RoundCommit`]. Any
+    /// divergence is an error, never a silent approximation. Records after
+    /// the last commit (a round that was in flight when the process died)
+    /// are counted, reported, and physically truncated — an uncommitted
+    /// round is never resurrected.
+    ///
+    /// The returned server has no WAL attached; call
+    /// [`EaseMl::set_durability`] (typically on the same `wal_dir`, which
+    /// the truncation left consistent) to resume logging.
+    ///
+    /// # Errors
+    ///
+    /// Unreadable/corrupt checkpoint, unreadable WAL, undecodable records,
+    /// round gaps between checkpoint and log, or any replay divergence.
+    pub fn recover(
+        checkpoint_path: &Path,
+        wal_dir: &Path,
+        oracle: QualityOracle,
+    ) -> Result<(Self, RecoveryReport), String> {
+        let start = Instant::now();
+        let doc = read_checkpoint_file(checkpoint_path).map_err(|e| e.to_string())?;
+        let mut server = EaseMl::restore(&doc.to_json(), oracle)?;
+        let from_rounds = server.rounds_executed();
+        let log =
+            read_log(wal_dir).map_err(|e| format!("reading WAL {}: {e}", wal_dir.display()))?;
+        let (plan, skipped, cut) = plan_replay(&log, from_rounds)?;
+        let dropped = log
+            .records
+            .iter()
+            .filter(|r| cut.is_none_or(|c| (r.segment, r.end_offset) > c))
+            .count() as u64;
+        let replayed = plan.len() as u64;
+        for round in plan {
+            let expected = round.commit;
+            server.replay = Some(round.attempts);
+            let outcome = server
+                .try_run_round()
+                .map_err(|e| format!("replaying round {}: {e:?}", expected.round))?;
+            let leftover = server.replay.take().is_some_and(|queue| !queue.is_empty());
+            if leftover {
+                return Err(format!(
+                    "round {}: logged attempts left unconsumed by replay",
+                    expected.round
+                ));
+            }
+            let digest = server.witness.lock().digest_value();
+            if digest != expected.digest {
+                return Err(format!(
+                    "round {}: replay digest {digest:016x} != logged {:016x}",
+                    expected.round, expected.digest
+                ));
+            }
+            if server.rng.lock().state() != expected.rng {
+                return Err(format!(
+                    "round {}: replay RNG state diverged from the log",
+                    expected.round
+                ));
+            }
+            let censored = matches!(outcome.result, RoundResult::Censored { .. });
+            if outcome.user as u64 != expected.user || censored != expected.censored {
+                return Err(format!(
+                    "round {}: replay outcome (user {}, censored {censored}) != logged \
+                     (user {}, censored {})",
+                    expected.round, outcome.user, expected.user, expected.censored
+                ));
+            }
+        }
+        truncate_log(wal_dir, cut).map_err(|e| format!("truncating WAL suffix: {e}"))?;
+        let report = RecoveryReport {
+            checkpoint_rounds: from_rounds,
+            replayed_rounds: replayed,
+            skipped_records: skipped,
+            dropped_records: dropped,
+            torn_tail: log.torn.as_ref().map(|t| {
+                format!(
+                    "{} in segment {} at offset {}",
+                    t.reason.name(),
+                    t.segment,
+                    t.offset
+                )
+            }),
+            final_rounds: server.rounds_executed(),
+            final_digest: server.state_digest(),
+            replay_ns: start.elapsed().as_nanos() as u64,
+        };
+        Ok((server, report))
     }
 
     /// Runs rounds until the simulated cluster has consumed `budget` cost.

@@ -86,6 +86,16 @@ impl DecisionLog {
         }
     }
 
+    /// Rebuild a log from checkpointed state so the rolling digest chain
+    /// continues across a restore instead of restarting from the offset.
+    pub fn from_state(top_k: usize, digest: u64, rounds: u64) -> Self {
+        DecisionLog {
+            digest: RollingDigest::from_value(digest),
+            top_k: top_k.max(1),
+            rounds,
+        }
+    }
+
     /// The witness fan-out bound K.
     pub fn top_k(&self) -> usize {
         self.top_k

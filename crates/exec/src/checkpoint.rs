@@ -37,8 +37,10 @@ use std::collections::BTreeMap;
 
 /// Current execution-checkpoint format version.
 ///
-/// v2 added the bounded queueing-delay / busy-span quantile sketches.
-pub const EXEC_CHECKPOINT_VERSION: u32 = 2;
+/// v2 added the bounded queueing-delay / busy-span quantile sketches;
+/// v3 added the rolling witness-digest chain (`witness_*` fields) so a
+/// restored engine continues the digest WAL recovery asserts against.
+pub const EXEC_CHECKPOINT_VERSION: u32 = 3;
 
 /// A bounded quantile sketch's exported state (mirrors
 /// [`easeml_obs::SketchParts`]).
@@ -264,6 +266,12 @@ pub struct ExecCheckpoint {
     pub queueing_delay: SketchCheckpoint,
     /// Busy-span sketch accrued so far.
     pub busy_spans: SketchCheckpoint,
+    /// Rolling witness digest at checkpoint time, as a decimal string.
+    pub witness_digest: String,
+    /// Completions folded into the witness digest so far.
+    pub witness_rounds: u64,
+    /// Witness fan-out bound K.
+    pub witness_top_k: u64,
 }
 
 fn rates_to_array(r: FaultRates) -> [f64; 4] {
@@ -412,7 +420,26 @@ impl ExecEngine<'_> {
             fault,
             queueing_delay: SketchCheckpoint::of(&self.queueing_delay),
             busy_spans: SketchCheckpoint::of(&self.busy_spans),
+            witness_digest: encode_u64(self.wlog.digest_value()),
+            witness_rounds: self.wlog.rounds(),
+            witness_top_k: self.wlog.top_k() as u64,
         }
+    }
+
+    /// Writes this engine's checkpoint to `path` atomically (temp file +
+    /// rename + fsync), then — when a WAL is attached — seals and compacts
+    /// the log behind a checkpoint mark, exactly like the serial server's
+    /// [`easeml::server::EaseMl::checkpoint_to`].
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors from the atomic write.
+    pub fn checkpoint_to(&self, path: &std::path::Path) -> Result<(), String> {
+        let json = self.checkpoint().to_json();
+        easeml::checkpoint::write_checkpoint_atomic(path, &json).map_err(|e| e.to_string())?;
+        self.durability
+            .mark_checkpoint(self.wlog.rounds(), self.wlog.digest_value());
+        Ok(())
     }
 
     /// Rebuilds an engine from a checkpoint: replays the resolved
@@ -577,6 +604,15 @@ impl ExecEngine<'_> {
         engine.points = ck.points.clone();
         engine.queueing_delay = ck.queueing_delay.to_sketch();
         engine.busy_spans = ck.busy_spans.to_sketch();
+        // Continue the rolling digest chain: ExecEngine::new ran warm_up
+        // with a fresh log, so this overwrite is what makes the restored
+        // digest trajectory match the original's (WAL recovery asserts
+        // completion-by-completion equality on it).
+        engine.wlog = easeml::witness::DecisionLog::from_state(
+            ck.witness_top_k as usize,
+            decode_u64(&ck.witness_digest)?,
+            ck.witness_rounds,
+        );
         Ok(engine)
     }
 }
@@ -728,6 +764,9 @@ impl ExecCheckpoint {
             fault,
             queueing_delay: parse_sketch(get(fields, "queueing_delay")?, "queueing_delay")?,
             busy_spans: parse_sketch(get(fields, "busy_spans")?, "busy_spans")?,
+            witness_digest: get_str(fields, "witness_digest")?,
+            witness_rounds: get_u64(fields, "witness_rounds")?,
+            witness_top_k: get_u64(fields, "witness_top_k")?,
         })
     }
 }

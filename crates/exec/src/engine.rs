@@ -15,6 +15,7 @@
 
 use crate::fleet::{DeviceSpec, Fleet};
 use crate::queue::EventQueue;
+use easeml::durability::Durability;
 use easeml::fault::FaultInjector;
 use easeml::pool::TaskBoard;
 use easeml::server::TrainingOutcome;
@@ -28,6 +29,7 @@ use easeml_gp::ArmPrior;
 use easeml_linalg::vec_ops;
 use easeml_obs::{Component, Event, QuantileSketch, RecorderHandle};
 use easeml_sched::{Fcfs, Greedy, Hybrid, RandomPicker, RoundRobin, Tenant, UserPicker};
+use easeml_wal::DurableEvent;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -182,6 +184,7 @@ pub struct ExecEngine<'a> {
     pub(crate) busy_spans: QuantileSketch,
     pub(crate) recorder: RecorderHandle,
     pub(crate) wlog: DecisionLog,
+    pub(crate) durability: Durability,
 }
 
 impl<'a> ExecEngine<'a> {
@@ -257,9 +260,23 @@ impl<'a> ExecEngine<'a> {
             busy_spans: QuantileSketch::default(),
             recorder,
             wlog: DecisionLog::new(),
+            durability: Durability::noop(),
         };
         engine.warm_up();
         engine
+    }
+
+    /// Attaches write-ahead durability: every dispatch and completion
+    /// appends a [`DurableEvent`] through the handle. The default engine
+    /// runs with a noop handle that costs one branch per logging site.
+    pub fn set_durability(&mut self, durability: Durability) {
+        durability.set_recorder(self.recorder.clone());
+        self.durability = durability;
+    }
+
+    /// The durability handle (noop unless attached).
+    pub fn durability(&self) -> &Durability {
+        &self.durability
     }
 
     /// Rolling digest (16 hex chars) of every completed decision — equal
@@ -446,6 +463,12 @@ impl<'a> ExecEngine<'a> {
             parent: easeml_obs::current_span(),
         });
         self.recorder.count("exec/dispatches", 1);
+        self.durability.append(|| DurableEvent::ExecDispatch {
+            seq,
+            user: user as u64,
+            arm: model as u64,
+            device: device as u64,
+        });
     }
 
     /// Resolves the earliest scheduled completion: frees the device, feeds
@@ -545,6 +568,18 @@ impl<'a> ExecEngine<'a> {
                 censored: !run.ok,
             },
         );
+        // The completion IS the commit on the exec side: the digest seals
+        // the whole decision chain up to and including this run.
+        if self.durability.is_enabled() {
+            let digest = self.wlog.digest_value();
+            self.durability.append(|| DurableEvent::ExecCompletion {
+                seq: run.seq,
+                user: run.user as u64,
+                arm: run.model as u64,
+                censored: !run.ok,
+                digest,
+            });
+        }
         true
     }
 

@@ -49,6 +49,7 @@ mod checkpoint;
 mod engine;
 mod fleet;
 mod queue;
+mod recovery;
 
 pub use checkpoint::{ExecCheckpoint, EXEC_CHECKPOINT_VERSION};
 pub use engine::{
@@ -57,3 +58,4 @@ pub use engine::{
 };
 pub use fleet::{DeviceSpec, Fleet};
 pub use queue::{EventQueue, QueuedEvent};
+pub use recovery::recover_engine;

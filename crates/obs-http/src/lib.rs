@@ -21,6 +21,10 @@
 //! |                  | censor/tie counts, margin distribution, per-path    |
 //! |                  | tallies; `?round=<n>` serves one round's full       |
 //! |                  | decision witness (scored users, scored arms, path)  |
+//! | `GET /durability`| Write-ahead-log JSON pushed by the application:     |
+//! |                  | append/fsync counters, latency quantiles, segment   |
+//! |                  | position, replay totals (`{"enabled":false}` when   |
+//! |                  | the run has no WAL attached)                        |
 //!
 //! The application side is a [`TelemetryHub`]: it owns the
 //! [`InMemoryRecorder`] the scheduler writes through, optionally a
@@ -79,6 +83,7 @@ pub struct TelemetryHub {
     render_ns: AtomicU64,
     renders: AtomicU64,
     status_json: Mutex<String>,
+    durability_json: Mutex<String>,
 }
 
 impl TelemetryHub {
@@ -93,6 +98,7 @@ impl TelemetryHub {
             render_ns: AtomicU64::new(0),
             renders: AtomicU64::new(0),
             status_json: Mutex::new("{}".to_string()),
+            durability_json: Mutex::new("{\"enabled\":false}".to_string()),
         }
     }
 
@@ -174,6 +180,18 @@ impl TelemetryHub {
         self.status_json.lock().clone()
     }
 
+    /// Replaces the JSON document served at `/durability`. The application
+    /// pushes `Durability::stats_json()` whenever convenient (e.g. after a
+    /// checkpoint); the default payload is `{"enabled":false}`.
+    pub fn set_durability_json(&self, json: String) {
+        *self.durability_json.lock() = json;
+    }
+
+    /// The current `/durability` payload.
+    pub fn durability_json(&self) -> String {
+        self.durability_json.lock().clone()
+    }
+
     /// Renders the `/trace` payload: events with sequence number strictly
     /// greater than `after`, as JSON Lines.
     pub fn render_trace_since(&self, after: u64) -> String {
@@ -231,6 +249,7 @@ impl TelemetryHub {
                 self.render_metrics(),
             ),
             "/status" => (Status::Ok, "application/json", self.status_json()),
+            "/durability" => (Status::Ok, "application/json", self.durability_json()),
             "/trace" => {
                 let after = request.query_param("after").unwrap_or("0").parse::<u64>();
                 let limit = request
@@ -283,7 +302,8 @@ impl TelemetryHub {
             _ => (
                 Status::NotFound,
                 "text/plain; charset=utf-8",
-                "unknown route; try /healthz, /metrics, /status, /trace, /profile, /explain\n"
+                "unknown route; try /healthz, /metrics, /status, /trace, /profile, /explain, \
+                 /durability\n"
                     .to_string(),
             ),
         }
@@ -433,6 +453,27 @@ mod tests {
 
         let (head, _) = get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    }
+
+    #[test]
+    fn durability_route_serves_the_pushed_stats() {
+        let hub = sample_hub();
+        let server = TelemetryServer::serve("127.0.0.1:0", hub.clone()).unwrap();
+        let addr = server.local_addr();
+
+        // Before any push: the disabled default, still valid JSON.
+        let (head, body) = get(addr, "/durability");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("application/json"), "{head}");
+        assert_eq!(body, "{\"enabled\":false}");
+
+        hub.set_durability_json("{\"enabled\":true,\"appends\":12}".to_string());
+        let (_, body) = get(addr, "/durability");
+        assert_eq!(body, "{\"enabled\":true,\"appends\":12}");
+
+        // The 404 hint advertises the route.
+        let (_, body) = get(addr, "/nope");
+        assert!(body.contains("/durability"), "{body}");
     }
 
     #[test]

@@ -29,11 +29,17 @@ pub enum Component {
     /// One dispatch decision of the multi-device execution engine
     /// (pick user + pick arm + device placement).
     ExecDispatch = 7,
+    /// One write-ahead-log record append (framing + write + policy sync).
+    WalAppend = 8,
+    /// One explicit write-ahead-log fsync (flush or checkpoint barrier).
+    WalFsync = 9,
+    /// One recovered round replayed from the write-ahead log.
+    WalReplay = 10,
 }
 
 impl Component {
     /// Number of components (length of per-component arrays).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 11;
 
     /// Every component, in index order.
     pub const ALL: [Component; Component::COUNT] = [
@@ -45,6 +51,9 @@ impl Component {
         Component::ArmSelect,
         Component::SimRound,
         Component::ExecDispatch,
+        Component::WalAppend,
+        Component::WalFsync,
+        Component::WalReplay,
     ];
 
     /// Stable display name, e.g. `"cholesky/factor"`.
@@ -58,6 +67,9 @@ impl Component {
             Component::ArmSelect => "bandit/arm-select",
             Component::SimRound => "sim/round",
             Component::ExecDispatch => "exec/dispatch",
+            Component::WalAppend => "wal/append",
+            Component::WalFsync => "wal/fsync",
+            Component::WalReplay => "wal/replay",
         }
     }
 

@@ -46,12 +46,14 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 pub mod explain;
+pub mod recovery_report;
 pub mod replay;
 
 pub use explain::{
     decision_health, render_decision_health, render_explain_round, render_witness, DecisionHealth,
     PathHealth,
 };
+pub use recovery_report::{recovery_report, render_wal_report};
 pub use replay::{
     digests_of, first_divergence, record_trace, render_replay_diff, replay_diff, ReplayLeg,
     ReplayScenario, MUTATE_ENV_VAR,

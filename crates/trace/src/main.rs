@@ -7,6 +7,7 @@
 //! easeml-trace explain <trace.jsonl> [--round N]
 //! easeml-trace record <scenario.json> <out.jsonl>
 //! easeml-trace replay-diff <scenario.json> <trace.jsonl> [--mutate-at N]
+//! easeml-trace recovery-report <wal-dir>
 //! easeml-trace --version
 //! ```
 //!
@@ -28,19 +29,27 @@
 //! against the live scheduler (serial and exec D=1) and binary-searches
 //! the first divergent round on the rolling state digests — `--mutate-at`
 //! arms the test-only picker mutation to prove the harness catches it.
+//!
+//! `recovery-report` inspects a write-ahead-log directory without
+//! replaying it: record counts per tag, torn-tail status, the last
+//! checkpoint barrier, the replay suffix, and an independent
+//! re-verification of the commit digest chain. Exits nonzero if the
+//! chain does not verify.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: easeml-trace <report|chrome|profile|explain|record|replay-diff> ... \
+const USAGE: &str = "usage: easeml-trace \
+                     <report|chrome|profile|explain|record|replay-diff|recovery-report> ... \
                      | --version\n\
                      \x20 report <trace.jsonl> [--target USER=QUALITY]...\n\
                      \x20 chrome <trace.jsonl>\n\
                      \x20 profile <trace.jsonl>... [--users N,N,...] [--folded PATH]\n\
                      \x20 explain <trace.jsonl> [--round N]\n\
                      \x20 record <scenario.json> <out.jsonl>\n\
-                     \x20 replay-diff <scenario.json> <trace.jsonl> [--mutate-at N]";
+                     \x20 replay-diff <scenario.json> <trace.jsonl> [--mutate-at N]\n\
+                     \x20 recovery-report <wal-dir>";
 
 /// The `--version` line: binary version plus the trace schema range this
 /// build can load — the counterpart of the loader's newer-schema rejection.
@@ -184,6 +193,17 @@ fn run() -> Result<(), String> {
             );
             if legs.iter().any(|l| l.divergence.is_some()) {
                 return Err("replay diverged from the recorded trace".to_string());
+            }
+            Ok(())
+        }
+        "recovery-report" => {
+            if !rest.is_empty() {
+                return Err(format!("recovery-report takes <wal-dir>\n{USAGE}"));
+            }
+            let (text, chain_ok) = easeml_trace::recovery_report(path)?;
+            print!("{text}");
+            if !chain_ok {
+                return Err("the WAL digest chain does not verify".to_string());
             }
             Ok(())
         }

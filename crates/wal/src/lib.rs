@@ -1,0 +1,101 @@
+//! `easeml-wal` — a std-only write-ahead log for the Ease.ml scheduler.
+//!
+//! The monolithic JSON checkpoint (PR 4) rewrites the full scheduler state
+//! on every save, so its cost grows with the tenant count. This crate adds
+//! the missing half of a classic checkpoint + log design: an append-only,
+//! CRC32-framed binary record log with segment rotation, a configurable
+//! fsync policy, and a reader that *tolerates* torn tails (partial header,
+//! partial payload, bad CRC, zero-fill) by truncating at the last valid
+//! record boundary instead of failing recovery. Recovery then becomes
+//! O(delta): load the latest checkpoint, replay the WAL suffix.
+//!
+//! On-disk framing, per record (all integers little-endian):
+//!
+//! ```text
+//! +----------+----------+------------------+
+//! | len: u32 | crc: u32 | payload: len * u8 |
+//! +----------+----------+------------------+
+//! ```
+//!
+//! `crc` is CRC32 (IEEE) over the payload bytes only. A record is valid
+//! iff the full header and `len` payload bytes are present and the CRC
+//! matches; anything else at the tail of the last segment is treated as a
+//! torn write. Segments are named `wal-NNNNNNNN.log` and sealed segments
+//! are immutable, which makes compaction (deleting segments older than the
+//! latest checkpoint) a plain file delete.
+//!
+//! The crate has zero dependencies and does no policy: what the payload
+//! *means* is defined by [`DurableEvent`], and who calls [`WalWriter`] is
+//! the scheduler's `Durability` handle in `easeml-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crashpoint;
+mod record;
+mod segment;
+
+pub use crashpoint::{sample_offsets, splitmix64, CrashPoint};
+pub use record::{DurableEvent, KIND_CRASH, KIND_INVALID, KIND_TIMEOUT};
+pub use segment::{
+    read_log, truncate_log, AppendOutcome, FsyncPolicy, ReadRecord, TornReason, TornTail, WalLog,
+    WalOptions, WalWriter, MAX_RECORD_BYTES,
+};
+
+/// CRC32 (IEEE 802.3 polynomial, reflected) lookup table, built at compile
+/// time so the crate stays dependency-free.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `data`, as used by the record framing.
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xe8b7_be43);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let payload = b"easeml wal record payload".to_vec();
+        let clean = crc32(&payload);
+        for byte in 0..payload.len() {
+            for bit in 0..8 {
+                let mut flipped = payload.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), clean, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

@@ -252,3 +252,46 @@ END {
     printf "\nOK: every profiled phase within its per-step budgets\n"
 }
 ' "$baseline" "$candidate"
+
+# WAL recovery boundedness: rows named wal/recover_ms@delta=N (written by
+# `cargo bench -p easeml-bench --bench wal_throughput`, in ascending delta
+# order) carry the per-replayed-round recovery cost. Incremental recovery
+# promises O(delta): the check is one-sided — the largest-delta row must
+# not exceed 1.5x the per-round cost of the smallest-delta row. (Smaller
+# deltas are always *more* expensive per round: the fixed checkpoint-load
+# cost is amortised over fewer replayed rounds, so growth in this
+# direction means replay re-reads history.) Candidate-only, like the
+# telemetry check: absolute recovery time is machine-dependent, so there
+# is nothing meaningful to diff against a baseline from another host.
+# Snapshots without WAL rows (e.g. obs_overhead) skip the check.
+awk '
+function extract(line, key,    rest) {
+    if (index(line, "\"" key "\":") == 0) return ""
+    rest = substr(line, index(line, "\"" key "\":") + length(key) + 3)
+    gsub(/^[ \t]+/, "", rest)
+    gsub(/[,}].*$/, "", rest)
+    return rest
+}
+/"name": "wal\/recover_ms@delta=/ {
+    n++
+    delta[n] = extract($0, "delta") + 0
+    per_round[n] = extract($0, "ms_per_round") + 0
+}
+END {
+    if (n < 2) {
+        printf "wal recovery boundedness: skipped (%d wal recovery row(s) in candidate)\n", n
+        exit 0
+    }
+    if (per_round[1] <= 0 || per_round[n] <= 0) {
+        printf "error: wal recovery rows carry zero ms_per_round\n" > "/dev/stderr"
+        exit 2
+    }
+    printf "wal recovery ms/round, smallest -> largest delta: %.6f (delta=%d) -> %.6f (delta=%d) (%.2fx)\n", \
+        per_round[1], delta[1], per_round[n], delta[n], per_round[n] / per_round[1]
+    if (per_round[n] > 1.5 * per_round[1]) {
+        printf "\nFAIL: per-round recovery cost grows with the replay delta (not O(delta))\n"
+        exit 1
+    }
+    printf "OK: incremental recovery cost bounded per replayed round across the delta sweep\n"
+}
+' "$candidate"

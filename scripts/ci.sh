@@ -132,6 +132,23 @@ echo "$mutated_out" | grep -q "result: DIVERGED"
 cargo run --quiet -p easeml-trace -- explain "$replay_trace" \
   | grep -q "committed rounds: 49"
 
+echo "==> crash-recovery smoke (exec engine, chaos, seeded crash point)"
+crash_dir="$(mktemp -d -t easeml-ci-crash-XXXXXX)"
+trap 'rm -f "$smoke_trace" "$smoke_folded" "$chaos_trace" "$exec_trace" \
+  "$replay_scenario" "$replay_trace"; rm -rf "$crash_dir"' EXIT
+crash_out="$(cargo run --quiet --example crash_recovery -- \
+  --chaos --seed 41 --state-dir "$crash_dir/state")"
+echo "$crash_out"
+# The crash point must actually fire mid-stream and the recovered engine,
+# driven to completion, must land on the uninterrupted run's exact digest.
+echo "$crash_out" | grep -q "crash point fired at byte"
+echo "$crash_out" | grep -q "recovery digest match: true"
+echo "==> easeml-trace recovery-report on the surviving WAL"
+wal_report="$(cargo run --quiet -p easeml-trace -- recovery-report "$crash_dir/state/wal")"
+echo "$wal_report"
+# The post-recovery log must re-verify its commit digest chain offline.
+echo "$wal_report" | grep -q "digest chain: verified"
+
 echo "==> telemetry scale smoke (aggregate mode, U up to 100k)"
 scale_out="$(cargo run --quiet --example telemetry_scale -- --sweep --events 30000)"
 echo "$scale_out"
