@@ -1,0 +1,108 @@
+//! Open-loop workload scaling: arrival rate × tenant churn.
+//!
+//! The closed-loop benches measure schedulers that always have work; this
+//! sweep measures the open-loop regime `easeml-workload` adds — seeded
+//! Poisson job streams at rising per-tenant rates, with and without tenant
+//! churn, replayed through the HYBRID scheduler on a multi-device fleet.
+//! The contract under test: the engine's per-dispatched-job wall cost is
+//! bounded in the arrival rate (an open-loop engine that slows down as
+//! load rises would be useless as a simulator of overload), and churn only
+//! removes work, never adds overhead.
+//!
+//! A second table drives the highest-stress cell (top rate, churn on)
+//! through the three headline schedulers — GREEDY, HYBRID, and the
+//! round-robin + GP-UCB baseline — for the strategy comparison the paper's
+//! evaluation shape asks for.
+//!
+//! `scripts/bench_snapshot_diff.sh` re-checks the per-job boundedness from
+//! the written `workload_scaling.perf.json` (candidate-only, one-sided:
+//! absolute wall time is machine-dependent, so there is nothing to diff
+//! against a baseline from another host).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use easeml_bench::{
+    banner, workload_kind_comparison, workload_scaling_sweep, workload_snapshot,
+    WORKLOAD_BENCH_DEVICES, WORKLOAD_BENCH_USERS,
+};
+
+/// Per-tenant Poisson rates the sweep walks, ascending.
+const RATES: [f64; 3] = [1.0, 2.0, 4.0];
+
+/// Expected jobs per tenant in every cell — the horizon is
+/// `JOBS_PER_TENANT / rate`, so a higher rate means the same work packed
+/// into less simulated time, not more work (GP updates scale with the
+/// observation count, which would otherwise drown the open-loop overhead
+/// this sweep measures).
+const JOBS_PER_TENANT: f64 = 60.0;
+
+/// In-process bound on per-job cost growth across the rate sweep — the
+/// same one-sided check the snapshot-diff gate replays, with the same
+/// generous factor (wall times per cell are tens of milliseconds, so
+/// scheduler noise is material).
+const BOUND: f64 = 2.0;
+
+fn workload_report(_c: &mut Criterion) {
+    banner(
+        "WORKLOAD",
+        "Open-loop workload scaling: arrival rate x tenant churn",
+    );
+    println!(
+        "{} tenants, {} devices, ~{JOBS_PER_TENANT} jobs/tenant per cell, HYBRID\n",
+        WORKLOAD_BENCH_USERS, WORKLOAD_BENCH_DEVICES
+    );
+
+    let rows = workload_scaling_sweep(&RATES, JOBS_PER_TENANT);
+    println!(
+        "{:>6} {:>6} {:>9} {:>8} {:>10} {:>11} {:>10} {:>13}",
+        "rate", "churn", "arrivals", "served", "lifecycle", "makespan", "wall ms", "ns/served"
+    );
+    for row in &rows {
+        println!(
+            "{:>6} {:>6} {:>9} {:>8} {:>10} {:>11.2} {:>10.2} {:>13.0}",
+            row.rate,
+            if row.churn { "yes" } else { "no" },
+            row.arrivals,
+            row.served,
+            row.lifecycle,
+            row.makespan,
+            row.wall_ms,
+            row.ns_per_served,
+        );
+    }
+
+    for churn in [false, true] {
+        let group: Vec<_> = rows.iter().filter(|r| r.churn == churn).collect();
+        let (first, last) = (group.first().unwrap(), group.last().unwrap());
+        assert!(
+            last.ns_per_served <= BOUND * first.ns_per_served,
+            "per-job cost grows with the arrival rate (churn={churn}): \
+             {:.0} ns/served at rate {} vs {:.0} ns/served at rate {}",
+            last.ns_per_served,
+            last.rate,
+            first.ns_per_served,
+            first.rate,
+        );
+    }
+    println!("\nper-job engine cost bounded across a 4x arrival-rate sweep: ok");
+
+    let top_rate = RATES[RATES.len() - 1];
+    println!("\nstrategy comparison at rate {top_rate}, churn on:");
+    println!(
+        "{:>22} {:>9} {:>8} {:>11} {:>10}",
+        "scheduler", "arrivals", "served", "makespan", "wall ms"
+    );
+    for (name, row) in workload_kind_comparison(top_rate, JOBS_PER_TENANT / top_rate) {
+        println!(
+            "{name:>22} {:>9} {:>8} {:>11.2} {:>10.2}",
+            row.arrivals, row.served, row.makespan, row.wall_ms
+        );
+    }
+
+    match workload_snapshot("workload_scaling", &rows) {
+        Some(p) => println!("\nperf snapshot: {}", p.display()),
+        None => println!("\nperf snapshot: skipped (filesystem unavailable)"),
+    }
+}
+
+criterion_group!(benches, workload_report);
+criterion_main!(benches);

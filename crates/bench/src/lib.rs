@@ -846,6 +846,184 @@ pub fn wal_snapshot(
     report::write_artifact(&format!("{id}.perf.json"), &json).ok()
 }
 
+// ---------------------------------------------------------------------------
+// Open-loop workload scaling
+// ---------------------------------------------------------------------------
+
+/// One cell of the workload-scaling sweep: a seeded open-loop replay at a
+/// fixed per-tenant Poisson arrival rate, with or without tenant churn,
+/// through the multi-device execution engine.
+#[derive(Debug, Clone)]
+pub struct WorkloadScalingRow {
+    /// Per-tenant arrival rate (jobs per simulated time unit).
+    pub rate: f64,
+    /// Whether the script includes tenant churn (retire/rejoin).
+    pub churn: bool,
+    /// Scripted arrivals.
+    pub arrivals: u64,
+    /// Jobs actually dispatched (churn strands some arrivals).
+    pub served: u64,
+    /// Scripted lifecycle (retire/rejoin) events.
+    pub lifecycle: u64,
+    /// Simulated time of the last completion.
+    pub makespan: f64,
+    /// Wall time of the whole replay, milliseconds.
+    pub wall_ms: f64,
+    /// Wall time per dispatched job — the engine's open-loop overhead
+    /// constant. Must stay bounded as the arrival rate grows.
+    pub ns_per_served: f64,
+}
+
+/// Tenants every workload cell replays over.
+pub const WORKLOAD_BENCH_USERS: usize = 8;
+
+/// Devices in the workload cell's fleet.
+pub const WORKLOAD_BENCH_DEVICES: usize = 4;
+
+/// Runs one open-loop replay cell: `WORKLOAD_BENCH_USERS` tenants each
+/// arriving at Poisson rate `rate` over `[0, horizon)`, on a
+/// `WORKLOAD_BENCH_DEVICES`-device fleet, optionally with churn (mean
+/// lifetime `horizon / 4`, mean absence `horizon / 8`). The budget is set
+/// far beyond the scripted work so the replay always ends because the
+/// arrivals run dry.
+pub fn workload_replay_cell(
+    kind: SchedulerKind,
+    rate: f64,
+    churn: bool,
+    horizon: f64,
+) -> WorkloadScalingRow {
+    use easeml_exec::{ExecEngine, Fleet};
+    use easeml_gp::ArmPrior;
+    use easeml_obs::RecorderHandle;
+    use easeml_workload::{ArrivalKind, ChurnConfig, ReplayDriver, WorkloadScript};
+
+    let dataset = easeml_data::SynConfig {
+        num_users: WORKLOAD_BENCH_USERS,
+        num_models: 6,
+        ..easeml_data::SynConfig::paper(0.5, 0.5)
+    }
+    .generate(seed());
+    let priors: Vec<ArmPrior> = (0..WORKLOAD_BENCH_USERS)
+        .map(|_| ArmPrior::independent(6, 0.05))
+        .collect();
+    let cfg = SimConfig::new(1e12);
+    let churn_cfg = churn.then(|| ChurnConfig::new(horizon / 4.0, horizon / 8.0));
+    let script = WorkloadScript::synthetic(
+        WORKLOAD_BENCH_USERS,
+        ArrivalKind::Poisson { rate },
+        horizon,
+        churn_cfg.as_ref(),
+        seed(),
+    );
+    let arrivals = script.arrivals() as u64;
+    let lifecycle = script.lifecycle_events() as u64;
+    let driver = ReplayDriver::new(
+        ExecEngine::new(
+            &dataset,
+            &priors,
+            kind,
+            &cfg,
+            Fleet::uniform(WORKLOAD_BENCH_DEVICES),
+            seed(),
+            RecorderHandle::noop(),
+        ),
+        script,
+    );
+    let start = std::time::Instant::now();
+    let trace = driver.run();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let served = trace.dispatches as u64;
+    WorkloadScalingRow {
+        rate,
+        churn,
+        arrivals,
+        served,
+        lifecycle,
+        makespan: trace.makespan,
+        wall_ms,
+        ns_per_served: wall_ms * 1e6 / served.max(1) as f64,
+    }
+}
+
+/// The arrival-rate × churn sweep: for each churn setting, every rate in
+/// ascending order, all through the HYBRID scheduler. The horizon scales
+/// inversely with the rate (`jobs_per_tenant / rate`) so every cell
+/// scripts the same expected job count — GP posterior updates get more
+/// expensive with the observation count, so holding the count fixed is
+/// what isolates the open-loop machinery's per-job overhead from the
+/// scheduler's own scaling in run length. Row order matches what
+/// `scripts/bench_snapshot_diff.sh` expects: within a churn group the
+/// first row is the lowest rate and the last the highest.
+pub fn workload_scaling_sweep(rates: &[f64], jobs_per_tenant: f64) -> Vec<WorkloadScalingRow> {
+    let mut out = Vec::new();
+    for &churn in &[false, true] {
+        for &rate in rates {
+            let horizon = jobs_per_tenant / rate;
+            out.push(workload_replay_cell(
+                SchedulerKind::Hybrid,
+                rate,
+                churn,
+                horizon,
+            ));
+        }
+    }
+    out
+}
+
+/// Runs the highest-stress cell (churn on) once per headline scheduler —
+/// GREEDY, HYBRID, and the round-robin+GP-UCB baseline (the paper's B-UCB
+/// shape) — for the strategy comparison table.
+pub fn workload_kind_comparison(
+    rate: f64,
+    horizon: f64,
+) -> Vec<(&'static str, WorkloadScalingRow)> {
+    [
+        SchedulerKind::Greedy(easeml_sched::PickRule::MaxUcbGap),
+        SchedulerKind::Hybrid,
+        SchedulerKind::RoundRobin,
+    ]
+    .into_iter()
+    .map(|kind| (kind.name(), workload_replay_cell(kind, rate, true, horizon)))
+    .collect()
+}
+
+/// Renders the sweep as perf-snapshot JSON. Workload rows deliberately
+/// carry no `p50_ns` key: absolute wall time is machine-dependent, so the
+/// quantile diff pass must not see them — only the candidate-only
+/// one-sided boundedness check in `scripts/bench_snapshot_diff.sh` reads
+/// `ns_per_served` across the rate sweep.
+pub fn workload_snapshot_json(rows: &[WorkloadScalingRow]) -> String {
+    use std::fmt::Write as _;
+
+    let mut json = String::from("{\n  \"components\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"workload/replay@rate={},churn={}\", \"rate\": {}, \
+             \"churn\": {}, \"arrivals\": {}, \"served\": {}, \"lifecycle\": {}, \
+             \"makespan\": {:.4}, \"wall_ms\": {:.3}, \"ns_per_served\": {:.0}}}{}",
+            row.rate,
+            u8::from(row.churn),
+            row.rate,
+            u8::from(row.churn),
+            row.arrivals,
+            row.served,
+            row.lifecycle,
+            row.makespan,
+            row.wall_ms,
+            row.ns_per_served,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+/// Writes the sweep as `<id>.perf.json` under `target/experiments/`.
+pub fn workload_snapshot(id: &str, rows: &[WorkloadScalingRow]) -> Option<std::path::PathBuf> {
+    report::write_artifact(&format!("{id}.perf.json"), &workload_snapshot_json(rows)).ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -877,6 +1055,25 @@ mod tests {
             assert!(!recover_line.contains("p50_ns"), "{recover_line}");
             let _ = std::fs::remove_file(p);
         }
+    }
+
+    #[test]
+    fn workload_rows_have_the_gate_shape() {
+        let row = workload_replay_cell(SchedulerKind::Hybrid, 2.0, true, 4.0);
+        assert!(row.arrivals > 0, "a rate-2 script over 4 units must arrive");
+        assert!(row.served > 0, "some arrivals must be served");
+        assert!(row.ns_per_served > 0.0);
+
+        let json = workload_snapshot_json(&[row.clone(), row]);
+        // The gate keys workload rows on their name prefix and reads
+        // ns_per_served; they must stay invisible to the p50_ns diff pass.
+        assert!(
+            json.contains("\"workload/replay@rate=2,churn=1\""),
+            "{json}"
+        );
+        assert!(json.contains("\"ns_per_served\":"), "{json}");
+        assert!(json.contains("\"lifecycle\":"), "{json}");
+        assert!(!json.contains("p50_ns"), "{json}");
     }
 
     #[test]

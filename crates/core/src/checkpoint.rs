@@ -24,7 +24,11 @@ use std::path::Path;
 /// v2 added the decision-witness digest fields (`witness_digest`,
 /// `witness_rounds`, `witness_top_k`) so the rolling digest chain survives
 /// a restore and WAL replay can be verified bit-exactly against it.
-pub const CHECKPOINT_VERSION: u32 = 2;
+///
+/// v3 added the per-tenant `active` flag: with tenant churn, a retired
+/// tenant's slot and GP state survive a restore but it must stay invisible
+/// to every picker, so activity is part of the durable state.
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// Why a checkpoint could not be restored.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -109,6 +113,8 @@ pub struct TenantCheckpoint {
     pub observations: Vec<(usize, f64)>,
     /// Currently quarantined (masked) arms.
     pub masked: Vec<usize>,
+    /// Whether the tenant is live (false once retired).
+    pub active: bool,
 }
 
 /// The HYBRID picker's freeze detector and round-robin cursor.
@@ -302,6 +308,7 @@ impl CheckpointDoc {
                 Ok(TenantCheckpoint {
                     observations,
                     masked,
+                    active: get_bool(f, "active")?,
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
@@ -636,6 +643,7 @@ mod tests {
             tenants: vec![TenantCheckpoint {
                 observations: vec![(0, 0.5), (3, 0.25 + 1e-17)],
                 masked: vec![3],
+                active: true,
             }],
             picker: PickerCheckpoint {
                 rule: "max-gap".into(),

@@ -72,18 +72,52 @@ pub(crate) struct CommitRecord {
     pub rng: [u64; 4],
 }
 
+/// A tenant-lifecycle mutation parsed out of the WAL suffix.
+///
+/// Unlike quarantine/probation transitions, lifecycle changes are *not*
+/// derived state: a join that postdates the checkpoint must re-register
+/// the tenant before its rounds replay, and a retirement must re-hide the
+/// tenant from the pickers. Both are applied idempotently — the restored
+/// checkpoint may already cover them when the event's round coincides
+/// with the checkpoint boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum LifecycleAction {
+    /// Re-register a tenant under slot `user` with `arms` candidate models.
+    Join {
+        user: u64,
+        arms: u64,
+        name: String,
+        program: String,
+    },
+    /// Re-apply a retirement of slot `user`.
+    Retire { user: u64 },
+}
+
 /// One fully-committed round parsed out of the WAL suffix.
 #[derive(Debug, Clone)]
 pub(crate) struct ReplayRound {
+    /// Lifecycle mutations logged after the previous commit and before
+    /// this round — applied first, so the round sees the tenancy it ran
+    /// under.
+    pub lifecycle: Vec<LifecycleAction>,
     pub attempts: VecDeque<ReplayAttempt>,
     pub commit: CommitRecord,
 }
 
-/// A parsed replay plan: `(rounds to replay, records skipped as
-/// pre-checkpoint, cut)` where `cut` is the `(segment, end_offset)` of the
-/// last committed record — the truncation point that drops every
-/// uncommitted byte after it.
-pub(crate) type ReplayPlan = (Vec<ReplayRound>, u64, Option<(u64, u64)>);
+/// A parsed replay plan.
+#[derive(Debug, Clone)]
+pub(crate) struct ReplayPlan {
+    /// Committed rounds to replay, in order.
+    pub rounds: Vec<ReplayRound>,
+    /// Records skipped as already covered by the checkpoint.
+    pub skipped: u64,
+    /// `(segment, end_offset)` of the last committed record — the
+    /// truncation point that drops every uncommitted byte after it.
+    pub cut: Option<(u64, u64)>,
+    /// Lifecycle mutations logged after the last commit: durable tenancy
+    /// changes with no round behind them yet, re-applied after replay.
+    pub tail: Vec<LifecycleAction>,
+}
 
 /// Parses a serial-simulator WAL into a replay plan.
 ///
@@ -92,6 +126,7 @@ pub(crate) type ReplayPlan = (Vec<ReplayRound>, u64, Option<(u64, u64)>);
 pub(crate) fn plan_replay(log: &WalLog, from_rounds: u64) -> Result<ReplayPlan, String> {
     let mut plan: Vec<ReplayRound> = Vec::new();
     let mut attempts: VecDeque<ReplayAttempt> = VecDeque::new();
+    let mut lifecycle: Vec<LifecycleAction> = Vec::new();
     let mut skipped = 0u64;
     let mut cut: Option<(u64, u64)> = None;
     let mark = |rec: &ReadRecord| Some((rec.segment, rec.end_offset));
@@ -153,6 +188,7 @@ pub(crate) fn plan_replay(log: &WalLog, from_rounds: u64) -> Result<ReplayPlan, 
                         ));
                     }
                     plan.push(ReplayRound {
+                        lifecycle: std::mem::take(&mut lifecycle),
                         attempts: std::mem::take(&mut attempts),
                         commit: CommitRecord {
                             round,
@@ -172,12 +208,48 @@ pub(crate) fn plan_replay(log: &WalLog, from_rounds: u64) -> Result<ReplayPlan, 
                 attempts.clear();
                 cut = mark(rec);
             }
+            // Lifecycle mutations are durable the moment they are logged
+            // (there is no round-commit barrier behind a join), so they
+            // always advance the cut; pre-checkpoint ones are already in
+            // the checkpoint document and only count as skipped.
+            DurableEvent::TenantJoined {
+                round,
+                user,
+                arms,
+                name,
+                program,
+            } => {
+                if round >= from_rounds {
+                    lifecycle.push(LifecycleAction::Join {
+                        user,
+                        arms,
+                        name,
+                        program,
+                    });
+                } else {
+                    skipped += 1;
+                }
+                cut = mark(rec);
+            }
+            DurableEvent::TenantRetired { round, user } => {
+                if round >= from_rounds {
+                    lifecycle.push(LifecycleAction::Retire { user });
+                } else {
+                    skipped += 1;
+                }
+                cut = mark(rec);
+            }
             DurableEvent::ExecDispatch { .. } | DurableEvent::ExecCompletion { .. } => {
                 return Err("exec-engine records in a serial-simulator WAL".into());
             }
         }
     }
-    Ok((plan, skipped, cut))
+    Ok(ReplayPlan {
+        rounds: plan,
+        skipped,
+        cut,
+        tail: lifecycle,
+    })
 }
 
 /// What [`EaseMl::recover`](crate::server::EaseMl::recover) did.
@@ -529,31 +601,92 @@ mod tests {
         });
         d.flush();
         let log = easeml_wal::read_log(&dir).unwrap();
-        let (plan, skipped, cut) = plan_replay(&log, 5).unwrap();
-        assert_eq!(skipped, 0);
-        assert_eq!(plan.len(), 1);
-        assert_eq!(plan[0].commit.round, 5);
-        assert_eq!(plan[0].attempts.len(), 2);
+        let plan = plan_replay(&log, 5).unwrap();
+        assert_eq!(plan.skipped, 0);
+        assert_eq!(plan.rounds.len(), 1);
+        assert_eq!(plan.rounds[0].commit.round, 5);
+        assert_eq!(plan.rounds[0].attempts.len(), 2);
+        assert!(plan.rounds[0].lifecycle.is_empty());
+        assert!(plan.tail.is_empty());
         assert_eq!(
-            plan[0].attempts[0],
+            plan.rounds[0].attempts[0],
             ReplayAttempt::Censored {
                 charge: 0.25,
                 kind: KIND_TIMEOUT
             }
         );
         // The cut sits at the commit record: the round-6 records fall.
-        let cut = cut.unwrap();
+        let cut = plan.cut.unwrap();
         assert_eq!(
             (log.records[3].segment, log.records[3].end_offset),
             cut,
             "cut must be the commit's end offset"
         );
         // Replaying from round 6 instead skips round 5 as pre-checkpoint.
-        let (plan6, skipped6, _) = plan_replay(&log, 6).unwrap();
-        assert!(plan6.is_empty());
-        assert_eq!(skipped6, 4);
+        let plan6 = plan_replay(&log, 6).unwrap();
+        assert!(plan6.rounds.is_empty());
+        assert_eq!(plan6.skipped, 4);
         // A gap (commit for a later round than expected) is rejected.
         assert!(plan_replay(&log, 4).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_plan_threads_lifecycle_events_through_rounds() {
+        let dir = scratch_dir("lifecycle");
+        let d = Durability::open(&dir, WalOptions::default()).unwrap();
+        // A join before round 3, the round itself, then a retirement with
+        // no round behind it yet — the retirement lands in the tail and
+        // advances the cut past the dangling round-4 start.
+        d.append(|| DurableEvent::TenantJoined {
+            round: 3,
+            user: 2,
+            arms: 4,
+            name: "tenant-c".into(),
+            program: "{input: {[Tensor[8]], []}, output: {[Tensor[2]], []}}".into(),
+        });
+        d.append(|| DurableEvent::RoundStart { round: 3 });
+        d.append(|| DurableEvent::ObservationResolved {
+            round: 3,
+            user: 2,
+            arm: 1,
+            accuracy: 0.6,
+            cost: 1.0,
+        });
+        d.append(|| DurableEvent::RoundCommit {
+            round: 3,
+            user: 2,
+            arm: 1,
+            censored: false,
+            digest: 7,
+            rng: [1, 2, 3, 4],
+        });
+        d.append(|| DurableEvent::TenantRetired { round: 4, user: 0 });
+        d.append(|| DurableEvent::RoundStart { round: 4 });
+        d.flush();
+        let log = easeml_wal::read_log(&dir).unwrap();
+        let plan = plan_replay(&log, 3).unwrap();
+        assert_eq!(plan.rounds.len(), 1);
+        assert_eq!(
+            plan.rounds[0].lifecycle,
+            vec![LifecycleAction::Join {
+                user: 2,
+                arms: 4,
+                name: "tenant-c".into(),
+                program: "{input: {[Tensor[8]], []}, output: {[Tensor[2]], []}}".into(),
+            }]
+        );
+        assert_eq!(plan.tail, vec![LifecycleAction::Retire { user: 0 }]);
+        // The retirement is durable: the cut sits at its record, not the
+        // earlier commit, so truncation only drops the dangling start.
+        let cut = plan.cut.unwrap();
+        assert_eq!((log.records[4].segment, log.records[4].end_offset), cut);
+        // Replayed from a checkpoint past round 3, both lifecycle events
+        // with pre-checkpoint rounds are skipped; the tail retirement
+        // (round 4 >= 4) still applies.
+        let plan4 = plan_replay(&log, 4).unwrap();
+        assert!(plan4.rounds.is_empty());
+        assert_eq!(plan4.tail, vec![LifecycleAction::Retire { user: 0 }]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

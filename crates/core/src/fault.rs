@@ -16,6 +16,7 @@
 //! fault sequence as an uninterrupted one.
 
 use crate::server::TrainingOutcome;
+use easeml_wal::splitmix64;
 use std::collections::BTreeMap;
 
 /// Why a training run failed. The cost the failed attempt consumed is
@@ -279,14 +280,6 @@ impl FaultInjector {
         // 53 high bits → uniform double in [0, 1).
         (h >> 11) as f64 / (1u64 << 53) as f64
     }
-}
-
-/// SplitMix64 finalizer: a cheap, well-distributed 64-bit mixer.
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
 }
 
 #[cfg(test)]

@@ -13,7 +13,9 @@ use crate::checkpoint::{
     TenantCheckpoint, UserCheckpoint, CHECKPOINT_VERSION,
 };
 use crate::cluster::{Cluster, CompletedRun, TrainingRun};
-use crate::durability::{censor_kind, plan_replay, Durability, RecoveryReport, ReplayAttempt};
+use crate::durability::{
+    censor_kind, plan_replay, Durability, LifecycleAction, RecoveryReport, ReplayAttempt,
+};
 use crate::fault::{FaultConfig, FaultInjector, FaultRates, TrainingError};
 use crate::job::{Job, JobStatus};
 use crate::retry::{RetryPolicy, RetryState};
@@ -92,12 +94,16 @@ pub type QualityOracle =
 pub enum RoundError {
     /// No users are registered; there is nothing to schedule.
     NoUsers,
+    /// Every registered tenant has retired; nothing is eligible for a
+    /// round until another tenant joins.
+    NoActiveUsers,
 }
 
 impl std::fmt::Display for RoundError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RoundError::NoUsers => write!(f, "no registered users"),
+            RoundError::NoActiveUsers => write!(f, "all registered users have retired"),
         }
     }
 }
@@ -312,6 +318,91 @@ impl EaseMl {
         Ok(id)
     }
 
+    /// Registers a tenant *mid-run*: [`EaseMl::register_user`] plus the
+    /// durable and observable lifecycle events that make the join
+    /// recoverable — a [`DurableEvent::TenantJoined`] carrying the program
+    /// source (so a post-checkpoint join replays through the identical
+    /// registration path) and an [`Event::TenantJoined`] for traces.
+    ///
+    /// The new tenant is served its warm-up round before the picker sees
+    /// it, exactly like an initially-registered tenant.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EaseMl::register_user`].
+    pub fn add_tenant(&mut self, name: &str, program_src: &str) -> Result<usize, ParseError> {
+        let id = self.register_user(name, program_src)?;
+        let round = *self.rounds.lock();
+        let arms = self.jobs[id].candidate_models().len() as u64;
+        let at = self.cluster.lock().makespan();
+        self.durability.append(|| DurableEvent::TenantJoined {
+            round,
+            user: id as u64,
+            arms,
+            name: name.to_string(),
+            program: program_src.to_string(),
+        });
+        self.recorder.emit(|| Event::TenantJoined {
+            user: id,
+            name: name.to_string(),
+            models: arms,
+            at,
+            parent: easeml_obs::current_span(),
+        });
+        Ok(id)
+    }
+
+    /// Retires a tenant: its slot and GP state survive (indices stay
+    /// stable, quarantine bookkeeping keeps ticking), but it leaves every
+    /// picker's candidate set and is never served again unless re-activated
+    /// by a future join under a new slot. Idempotent — retiring a retired
+    /// tenant is a no-op and logs nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn retire_tenant(&mut self, user: usize) {
+        assert!(user < self.tenants.len(), "no such tenant: {user}");
+        if !self.tenants[user].is_active() {
+            return;
+        }
+        self.tenants[user].set_active(false);
+        let round = *self.rounds.lock();
+        let (serves, at) = {
+            let cluster = self.cluster.lock();
+            let serves = cluster
+                .history()
+                .iter()
+                .filter(|r| r.run.user == user && !r.run.censored)
+                .count() as u64;
+            (serves, cluster.makespan())
+        };
+        self.durability.append(|| DurableEvent::TenantRetired {
+            round,
+            user: user as u64,
+        });
+        self.recorder.emit(|| Event::TenantRetired {
+            user,
+            serves,
+            at,
+            parent: easeml_obs::current_span(),
+        });
+    }
+
+    /// Whether tenant `user` is active (registered and not retired).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn is_tenant_active(&self, user: usize) -> bool {
+        self.tenants[user].is_active()
+    }
+
+    /// Number of active (non-retired) tenants.
+    pub fn num_active_users(&self) -> usize {
+        self.tenants.iter().filter(|t| t.is_active()).count()
+    }
+
     /// Number of registered users.
     pub fn num_users(&self) -> usize {
         self.users.len()
@@ -355,6 +446,7 @@ impl EaseMl {
                     // Censored round: schedule again until a run completes.
                 }
                 Err(RoundError::NoUsers) => panic!("no registered users"),
+                Err(RoundError::NoActiveUsers) => panic!("all registered users have retired"),
             }
         }
     }
@@ -378,6 +470,9 @@ impl EaseMl {
         if self.users.is_empty() {
             return Err(RoundError::NoUsers);
         }
+        if !self.tenants.iter().any(Tenant::is_active) {
+            return Err(RoundError::NoActiveUsers);
+        }
         let _round = self.recorder.time(Component::SimRound);
         let _step_span = self.recorder.span("scheduler_step");
         let mut picker = self.picker.lock();
@@ -400,6 +495,13 @@ impl EaseMl {
         }
 
         // Warm-up pass (Algorithm 2 lines 1–4): serve each user once.
+        // Tenants that retired before their warm-up came due are skipped
+        // without a round; a mid-run join re-enters this branch because
+        // `tenants` grew past the cursor. With every tenant active the
+        // cursor never skips, so fixed-tenancy runs are bit-identical.
+        while *warmed < self.tenants.len() && !self.tenants[*warmed].is_active() {
+            *warmed += 1;
+        }
         let (user, from_warmup) = if *warmed < self.tenants.len() {
             let u = *warmed;
             *warmed += 1;
@@ -700,6 +802,7 @@ impl EaseMl {
             .map(|t| TenantCheckpoint {
                 observations: t.policy().posterior().observations().collect(),
                 masked: t.policy().masked_arms(),
+                active: t.is_active(),
             })
             .collect();
         let users = self
@@ -873,6 +976,7 @@ impl EaseMl {
                 }
                 server.tenants[idx].policy_mut().set_arm_masked(arm, true);
             }
+            server.tenants[idx].set_active(tenant_ckpt.active);
         }
         let rule = PickRule::from_name(&doc.picker.rule)
             .ok_or_else(|| format!("unknown picker rule {:?}", doc.picker.rule))?;
@@ -994,6 +1098,60 @@ impl EaseMl {
         Ok(())
     }
 
+    /// Re-applies one logged tenant-lifecycle mutation during recovery.
+    ///
+    /// Joins are deduplicated by slot against the restored checkpoint: a
+    /// join the checkpoint already covers is validated (the slot must hold
+    /// the same number of candidate models) and skipped; a join one past
+    /// the end re-registers through the identical [`EaseMl::register_user`]
+    /// path. Retirements are idempotent.
+    fn apply_lifecycle(&mut self, action: LifecycleAction) -> Result<(), String> {
+        match action {
+            LifecycleAction::Join {
+                user,
+                arms,
+                name,
+                program,
+            } => {
+                let user = user as usize;
+                if user < self.users.len() {
+                    let have = self.jobs[user].candidate_models().len() as u64;
+                    if have != arms {
+                        return Err(format!(
+                            "logged join for tenant {user} declares {arms} models, \
+                             checkpoint slot holds {have}"
+                        ));
+                    }
+                    return Ok(());
+                }
+                if user != self.users.len() {
+                    return Err(format!(
+                        "logged join for tenant {user} skips slots ({} registered)",
+                        self.users.len()
+                    ));
+                }
+                let id = self
+                    .register_user(&name, &program)
+                    .map_err(|e| format!("re-registering tenant {user} ({name:?}): {e}"))?;
+                let have = self.jobs[id].candidate_models().len() as u64;
+                if have != arms {
+                    return Err(format!(
+                        "re-registered tenant {user} matched {have} models, log says {arms}"
+                    ));
+                }
+                Ok(())
+            }
+            LifecycleAction::Retire { user } => {
+                let user = user as usize;
+                if user >= self.tenants.len() {
+                    return Err(format!("logged retirement for unknown tenant {user}"));
+                }
+                self.tenants[user].set_active(false);
+                Ok(())
+            }
+        }
+    }
+
     /// Rebuilds a server from the checkpoint at `checkpoint_path` plus the
     /// WAL in `wal_dir`: restore, then replay every committed round logged
     /// after the checkpoint by substituting its logged attempt outcomes
@@ -1026,14 +1184,18 @@ impl EaseMl {
         let from_rounds = server.rounds_executed();
         let log =
             read_log(wal_dir).map_err(|e| format!("reading WAL {}: {e}", wal_dir.display()))?;
-        let (plan, skipped, cut) = plan_replay(&log, from_rounds)?;
+        let plan = plan_replay(&log, from_rounds)?;
+        let cut = plan.cut;
         let dropped = log
             .records
             .iter()
             .filter(|r| cut.is_none_or(|c| (r.segment, r.end_offset) > c))
             .count() as u64;
-        let replayed = plan.len() as u64;
-        for round in plan {
+        let replayed = plan.rounds.len() as u64;
+        for round in plan.rounds {
+            for action in round.lifecycle {
+                server.apply_lifecycle(action)?;
+            }
             let expected = round.commit;
             server.replay = Some(round.attempts);
             let outcome = server
@@ -1068,11 +1230,16 @@ impl EaseMl {
                 ));
             }
         }
+        // Tenancy changes logged after the last commit are durable even
+        // without a round behind them — re-apply before resuming.
+        for action in plan.tail {
+            server.apply_lifecycle(action)?;
+        }
         truncate_log(wal_dir, cut).map_err(|e| format!("truncating WAL suffix: {e}"))?;
         let report = RecoveryReport {
             checkpoint_rounds: from_rounds,
             replayed_rounds: replayed,
-            skipped_records: skipped,
+            skipped_records: plan.skipped,
             dropped_records: dropped,
             torn_tail: log.torn.as_ref().map(|t| {
                 format!(
@@ -1514,6 +1681,109 @@ mod tests {
             reference.checkpoint(),
             "checkpoints of equal states are byte-identical"
         );
+    }
+
+    #[test]
+    fn retired_tenants_are_never_served_and_joins_get_warmup() {
+        let mut s = EaseMl::new(toy_oracle(), 11);
+        s.register_user("a", IMAGE_PROG).unwrap();
+        s.register_user("b", TS_PROG).unwrap();
+        for _ in 0..10 {
+            s.try_run_round().unwrap();
+        }
+        s.retire_tenant(0);
+        assert!(!s.is_tenant_active(0));
+        assert_eq!(s.num_active_users(), 1);
+        for _ in 0..15 {
+            let out = s.try_run_round().unwrap();
+            assert_ne!(out.user, 0, "retired tenant was served");
+        }
+        // A mid-run join is warm-up-served on its very next round.
+        let id = s.add_tenant("c", IMAGE_PROG).unwrap();
+        assert_eq!(id, 2);
+        let out = s.try_run_round().unwrap();
+        assert_eq!(out.user, id, "joined tenant must get its warm-up round");
+        for _ in 0..15 {
+            assert_ne!(s.try_run_round().unwrap().user, 0);
+        }
+        // Retiring everyone leaves nothing to schedule.
+        s.retire_tenant(1);
+        s.retire_tenant(2);
+        assert_eq!(s.try_run_round(), Err(RoundError::NoActiveUsers));
+        // Retirement is idempotent.
+        s.retire_tenant(1);
+        assert_eq!(s.num_active_users(), 0);
+    }
+
+    #[test]
+    fn checkpoint_preserves_tenant_activity() {
+        let mut s = EaseMl::new(toy_oracle(), 12);
+        s.register_user("a", IMAGE_PROG).unwrap();
+        s.register_user("b", TS_PROG).unwrap();
+        for _ in 0..6 {
+            s.try_run_round().unwrap();
+        }
+        s.retire_tenant(1);
+        let ckpt = s.checkpoint();
+        let mut restored = EaseMl::restore(&ckpt, toy_oracle()).unwrap();
+        assert!(restored.is_tenant_active(0));
+        assert!(!restored.is_tenant_active(1));
+        // Both continue identically: the retired tenant stays invisible.
+        let a: Vec<usize> = (0..10).map(|_| s.try_run_round().unwrap().user).collect();
+        let b: Vec<usize> = (0..10)
+            .map(|_| restored.try_run_round().unwrap().user)
+            .collect();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&u| u != 1));
+    }
+
+    #[test]
+    fn recovery_replays_post_checkpoint_joins_and_retirements() {
+        use easeml_wal::WalOptions;
+        let dir = std::env::temp_dir().join(format!(
+            "easeml-server-lifecycle-recovery-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt_path = dir.join("ckpt.json");
+        let wal_dir = dir.join("wal");
+
+        let mut s = EaseMl::new(toy_oracle(), 13);
+        s.set_durability(Durability::open(&wal_dir, WalOptions::default()).unwrap());
+        s.register_user("a", IMAGE_PROG).unwrap();
+        s.register_user("b", TS_PROG).unwrap();
+        for _ in 0..5 {
+            s.try_run_round().unwrap();
+        }
+        s.checkpoint_to(&ckpt_path).unwrap();
+        // Post-checkpoint: a join, rounds, a retirement, more rounds — all
+        // of it only in the WAL suffix.
+        s.add_tenant("c", IMAGE_PROG).unwrap();
+        for _ in 0..4 {
+            s.try_run_round().unwrap();
+        }
+        s.retire_tenant(0);
+        for _ in 0..4 {
+            s.try_run_round().unwrap();
+        }
+        let live_digest = s.state_digest();
+        let live_rounds = s.rounds_executed();
+        drop(s);
+
+        let (mut recovered, report) = EaseMl::recover(&ckpt_path, &wal_dir, toy_oracle()).unwrap();
+        assert_eq!(report.checkpoint_rounds, 5);
+        assert_eq!(report.replayed_rounds, 8);
+        assert_eq!(recovered.rounds_executed(), live_rounds);
+        assert_eq!(recovered.state_digest(), live_digest);
+        assert_eq!(recovered.num_users(), 3);
+        assert!(!recovered.is_tenant_active(0), "retirement must replay");
+        assert!(recovered.is_tenant_active(2), "join must replay");
+        // The recovered server schedules on: tenant 0 stays invisible.
+        for _ in 0..10 {
+            assert_ne!(recovered.try_run_round().unwrap().user, 0);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

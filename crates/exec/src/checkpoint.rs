@@ -21,7 +21,7 @@
 //! the checkpoint — a restored run re-seeds from the start, so only the
 //! deterministic schedulers replay bit-identically across a restore.
 
-use crate::engine::{ExecEngine, InFlight, PickerSlot};
+use crate::engine::{Arrival, ExecEngine, InFlight, PickerSlot};
 use crate::fleet::{DeviceSpec, Fleet};
 use easeml::checkpoint::{decode_u64, encode_u64};
 use easeml::fault::{FaultConfig, FaultRates};
@@ -39,8 +39,11 @@ use std::collections::BTreeMap;
 ///
 /// v2 added the bounded queueing-delay / busy-span quantile sketches;
 /// v3 added the rolling witness-digest chain (`witness_*` fields) so a
-/// restored engine continues the digest WAL recovery asserts against.
-pub const EXEC_CHECKPOINT_VERSION: u32 = 3;
+/// restored engine continues the digest WAL recovery asserts against;
+/// v4 added open-loop workload state (`open_loop`, per-tenant `retired` /
+/// `backlog`, and the pending `arrivals` queue) so a mid-replay restore
+/// resumes the workload bit-exactly.
+pub const EXEC_CHECKPOINT_VERSION: u32 = 4;
 
 /// A bounded quantile sketch's exported state (mirrors
 /// [`easeml_obs::SketchParts`]).
@@ -185,6 +188,17 @@ pub struct HybridCheckpoint {
     pub rr_cursor: u64,
 }
 
+/// One arrival still waiting for the simulated clock at checkpoint time.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ArrivalCheckpoint {
+    /// Arrival sequence number.
+    pub seq: u64,
+    /// The tenant the job belongs to.
+    pub user: usize,
+    /// Absolute simulated arrival time.
+    pub at: f64,
+}
+
 /// Fault-injector configuration and attempt counters.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct FaultStateCheckpoint {
@@ -272,6 +286,16 @@ pub struct ExecCheckpoint {
     pub witness_rounds: u64,
     /// Witness fan-out bound K.
     pub witness_top_k: u64,
+    /// Open-loop mode flag (v4).
+    pub open_loop: bool,
+    /// Per-tenant retirement flags (v4).
+    pub retired: Vec<bool>,
+    /// Per-tenant arrived-but-undispatched job counts (v4).
+    pub backlog: Vec<u64>,
+    /// Next arrival sequence number (v4).
+    pub arrival_seq: u64,
+    /// Arrivals not yet absorbed, in non-decreasing time order (v4).
+    pub arrivals: Vec<ArrivalCheckpoint>,
 }
 
 fn rates_to_array(r: FaultRates) -> [f64; 4] {
@@ -423,6 +447,19 @@ impl ExecEngine<'_> {
             witness_digest: encode_u64(self.wlog.digest_value()),
             witness_rounds: self.wlog.rounds(),
             witness_top_k: self.wlog.top_k() as u64,
+            open_loop: self.open_loop,
+            retired: self.retired.clone(),
+            backlog: self.backlog.clone(),
+            arrival_seq: self.arrival_seq,
+            arrivals: self
+                .arrivals
+                .iter()
+                .map(|a| ArrivalCheckpoint {
+                    seq: a.seq,
+                    user: a.user,
+                    at: a.at,
+                })
+                .collect(),
         }
     }
 
@@ -468,7 +505,11 @@ impl ExecEngine<'_> {
         let kind = kind_from_name(&ck.kind)?;
         let seed = decode_u64(&ck.seed)?;
         let n = dataset.num_users();
-        if ck.best_seen.len() != n || ck.user_cost.len() != n {
+        if ck.best_seen.len() != n
+            || ck.user_cost.len() != n
+            || ck.retired.len() != n
+            || ck.backlog.len() != n
+        {
             return Err(format!(
                 "checkpoint is for {} users, dataset has {n}",
                 ck.best_seen.len()
@@ -613,6 +654,21 @@ impl ExecEngine<'_> {
             decode_u64(&ck.witness_digest)?,
             ck.witness_rounds,
         );
+        // Open-loop workload state (v4): restore the raw fields, then let
+        // the engine recompute every tenant's picker visibility from them.
+        engine.retired = ck.retired.clone();
+        engine.backlog = ck.backlog.clone();
+        engine.arrival_seq = ck.arrival_seq;
+        engine.arrivals = ck
+            .arrivals
+            .iter()
+            .map(|a| Arrival {
+                seq: a.seq,
+                user: a.user,
+                at: a.at,
+            })
+            .collect();
+        engine.set_open_loop(ck.open_loop);
         Ok(engine)
     }
 }
@@ -767,6 +823,21 @@ impl ExecCheckpoint {
             witness_digest: get_str(fields, "witness_digest")?,
             witness_rounds: get_u64(fields, "witness_rounds")?,
             witness_top_k: get_u64(fields, "witness_top_k")?,
+            open_loop: get_bool(fields, "open_loop")?,
+            retired: parse_bool_array(get(fields, "retired")?, "retired")?,
+            backlog: parse_u64_array(get(fields, "backlog")?, "backlog")?,
+            arrival_seq: get_u64(fields, "arrival_seq")?,
+            arrivals: as_array(get(fields, "arrivals")?, "arrivals")?
+                .iter()
+                .map(|a| {
+                    let f = as_object(a, "arrival")?;
+                    Ok(ArrivalCheckpoint {
+                        seq: get_u64(f, "seq")?,
+                        user: get_u64(f, "user")? as usize,
+                        at: get_f64(f, "at")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
         })
     }
 }
@@ -875,6 +946,29 @@ fn parse_usize_array(value: &Json, what: &str) -> Result<Vec<usize>, String> {
     as_array(value, what)?
         .iter()
         .map(|v| as_f64(v, what).map(|n| n as usize))
+        .collect()
+}
+
+fn parse_bool_array(value: &Json, what: &str) -> Result<Vec<bool>, String> {
+    as_array(value, what)?
+        .iter()
+        .map(|v| match v {
+            Json::Bool(b) => Ok(*b),
+            other => Err(format!("{what}: expected a bool, got {other:?}")),
+        })
+        .collect()
+}
+
+fn parse_u64_array(value: &Json, what: &str) -> Result<Vec<u64>, String> {
+    as_array(value, what)?
+        .iter()
+        .map(|v| {
+            let n = as_f64(v, what)?;
+            if n < 0.0 || n.fract() != 0.0 {
+                return Err(format!("{what}: expected a non-negative integer"));
+            }
+            Ok(n as u64)
+        })
         .collect()
 }
 

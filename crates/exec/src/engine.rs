@@ -73,6 +73,18 @@ pub(crate) struct PendingWitness {
     pub(crate) arm_expl: ArmExplanation,
 }
 
+/// One externally-scheduled job arrival, waiting for the simulated clock
+/// to reach it. Open-loop mode only ([`ExecEngine::set_open_loop`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Arrival {
+    /// Monotone arrival sequence number (0-based, per engine).
+    pub(crate) seq: u64,
+    /// The tenant the job belongs to.
+    pub(crate) user: usize,
+    /// Absolute simulated arrival time.
+    pub(crate) at: f64,
+}
+
 /// The user-picking strategy, kept concrete for HYBRID so its freeze
 /// detector can be exported into a checkpoint.
 pub(crate) enum PickerSlot {
@@ -185,6 +197,21 @@ pub struct ExecEngine<'a> {
     pub(crate) recorder: RecorderHandle,
     pub(crate) wlog: DecisionLog,
     pub(crate) durability: Durability,
+    /// Open-loop mode: tenants are only dispatchable while they have
+    /// backlogged jobs (fed through [`ExecEngine::push_arrival`]). Off by
+    /// default — the classic closed-loop engine assumes every tenant is
+    /// always backlogged.
+    pub(crate) open_loop: bool,
+    /// Per-tenant retirement flags. A retired tenant never re-enters any
+    /// picker candidate set until it rejoins; its GP state is kept.
+    pub(crate) retired: Vec<bool>,
+    /// Per-tenant count of arrived-but-not-yet-dispatched jobs (open-loop
+    /// accounting; ignored in closed-loop mode).
+    pub(crate) backlog: Vec<u64>,
+    /// Future arrivals in non-decreasing time order.
+    pub(crate) arrivals: std::collections::VecDeque<Arrival>,
+    /// Next arrival sequence number.
+    pub(crate) arrival_seq: u64,
 }
 
 impl<'a> ExecEngine<'a> {
@@ -261,6 +288,11 @@ impl<'a> ExecEngine<'a> {
             recorder,
             wlog: DecisionLog::new(),
             durability: Durability::noop(),
+            open_loop: false,
+            retired: vec![false; n],
+            backlog: vec![0; n],
+            arrivals: std::collections::VecDeque::new(),
+            arrival_seq: 0,
         };
         engine.warm_up();
         engine
@@ -355,10 +387,167 @@ impl<'a> ExecEngine<'a> {
         &self.board
     }
 
-    /// Dispatches runs until the fleet is saturated or the budget is
-    /// committed.
+    /// Recomputes tenant `user`'s picker visibility: a tenant is a
+    /// candidate iff it has not retired and (in open-loop mode) has at
+    /// least one backlogged job. In closed-loop mode every non-retired
+    /// tenant stays visible, which is the pre-open-loop behavior bit for
+    /// bit.
+    fn refresh_eligibility(&mut self, user: usize) {
+        let eligible = !self.retired[user] && (!self.open_loop || self.backlog[user] > 0);
+        self.tenants[user].set_active(eligible);
+    }
+
+    /// Switches between closed-loop (default: every tenant always
+    /// backlogged) and open-loop mode (tenants only receive work through
+    /// [`ExecEngine::push_arrival`], and devices idle — the clock jumps to
+    /// the next arrival — when no job is queued).
+    pub fn set_open_loop(&mut self, open: bool) {
+        self.open_loop = open;
+        for user in 0..self.tenants.len() {
+            self.refresh_eligibility(user);
+        }
+    }
+
+    /// Whether the engine is in open-loop mode.
+    pub fn is_open_loop(&self) -> bool {
+        self.open_loop
+    }
+
+    /// Schedules one job arrival for `user` at absolute simulated time
+    /// `at` and returns its arrival sequence number. Arrivals must be
+    /// pushed in non-decreasing time order; an arrival at or before the
+    /// current clock is absorbed on the next tick. Arrivals left after the
+    /// budget is committed are never served.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range user, a non-finite or negative time, or a
+    /// time earlier than the previously pushed arrival's.
+    pub fn push_arrival(&mut self, user: usize, at: f64) -> u64 {
+        assert!(user < self.tenants.len(), "arrival for unknown user {user}");
+        assert!(
+            at.is_finite() && at >= 0.0,
+            "arrival time must be finite and non-negative"
+        );
+        if let Some(last) = self.arrivals.back() {
+            assert!(
+                at >= last.at,
+                "arrivals must be pushed in non-decreasing time order ({at} < {})",
+                last.at
+            );
+        }
+        let seq = self.arrival_seq;
+        self.arrival_seq += 1;
+        self.arrivals.push_back(Arrival { seq, user, at });
+        seq
+    }
+
+    /// Arrived-but-undispatched jobs for `user` (open-loop accounting).
+    pub fn backlog(&self, user: usize) -> u64 {
+        self.backlog[user]
+    }
+
+    /// Arrivals still waiting for the clock (not yet absorbed).
+    pub fn pending_arrivals(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether tenant `user` has retired.
+    pub fn is_tenant_retired(&self, user: usize) -> bool {
+        self.retired[user]
+    }
+
+    /// Retires tenant `user`: it leaves every future picker candidate set
+    /// (in-flight runs still resolve into its kept GP state). Idempotent.
+    /// Appends a [`DurableEvent::TenantRetired`] record when a WAL is
+    /// attached and emits [`Event::TenantRetired`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range user.
+    pub fn retire_tenant(&mut self, user: usize) {
+        assert!(user < self.tenants.len(), "retiring unknown user {user}");
+        if self.retired[user] {
+            return;
+        }
+        self.retired[user] = true;
+        self.refresh_eligibility(user);
+        let serves = self.events.iter().filter(|e| e.user == user).count() as u64;
+        self.recorder.emit(|| Event::TenantRetired {
+            user,
+            serves,
+            at: self.now,
+            parent: easeml_obs::current_span(),
+        });
+        self.durability.append(|| DurableEvent::TenantRetired {
+            round: self.next_seq,
+            user: user as u64,
+        });
+    }
+
+    /// Re-activates a retired tenant (tenant churn: the slot rejoins the
+    /// shared service with its GP state intact). Idempotent for active
+    /// tenants. Appends a [`DurableEvent::TenantJoined`] record when a WAL
+    /// is attached and emits [`Event::TenantJoined`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range user.
+    pub fn rejoin_tenant(&mut self, user: usize) {
+        assert!(user < self.tenants.len(), "rejoining unknown user {user}");
+        if !self.retired[user] {
+            return;
+        }
+        self.retired[user] = false;
+        self.refresh_eligibility(user);
+        let models = self.dataset.num_models() as u64;
+        self.recorder.emit(|| Event::TenantJoined {
+            user,
+            name: format!("user{user}"),
+            models,
+            at: self.now,
+            parent: easeml_obs::current_span(),
+        });
+        self.durability.append(|| DurableEvent::TenantJoined {
+            round: self.next_seq,
+            user: user as u64,
+            arms: models,
+            name: format!("user{user}"),
+            program: String::new(),
+        });
+    }
+
+    /// Whether any tenant is currently dispatchable.
+    fn dispatchable(&self) -> bool {
+        self.tenants.iter().any(Tenant::is_active)
+    }
+
+    /// Moves every arrival at or before the clock into its tenant's
+    /// backlog, emitting [`Event::JobArrived`] stamped with the *arrival*
+    /// time (which may trail the clock when the fleet was busy).
+    fn absorb_due_arrivals(&mut self) {
+        while let Some(front) = self.arrivals.front() {
+            if front.at > self.now {
+                break;
+            }
+            let arrival = *front;
+            self.arrivals.pop_front();
+            self.backlog[arrival.user] += 1;
+            self.refresh_eligibility(arrival.user);
+            self.recorder.emit(|| Event::JobArrived {
+                user: arrival.user,
+                seq: arrival.seq,
+                at: arrival.at,
+                parent: easeml_obs::current_span(),
+            });
+            self.recorder.count("exec/arrivals", 1);
+        }
+    }
+
+    /// Dispatches runs until the fleet is saturated, no tenant is
+    /// dispatchable, or the budget is committed.
     fn saturate(&mut self) {
-        while self.committed < self.cfg.budget {
+        while self.committed < self.cfg.budget && self.dispatchable() {
             match self.fleet.best_free() {
                 Some(device) => self.dispatch(device),
                 None => break,
@@ -393,6 +582,17 @@ impl<'a> ExecEngine<'a> {
         } else {
             None
         };
+        // Consume one backlogged job *after* the witness froze its scores:
+        // eligibility flips must not leak into the recorded decision
+        // context of the pick they follow.
+        if self.open_loop {
+            debug_assert!(self.backlog[user] > 0, "dispatched a user with no backlog");
+            self.backlog[user] = self.backlog[user].saturating_sub(1);
+            // Inlined `refresh_eligibility` — the recorder's timing guard
+            // pins `self.recorder`, so no `&mut self` call is possible here.
+            let eligible = !self.retired[user] && self.backlog[user] > 0;
+            self.tenants[user].set_active(eligible);
+        }
         let model = self.bucbs[user].select_next();
         let clean = TrainingOutcome {
             accuracy: self.dataset.quality(user, model),
@@ -583,12 +783,32 @@ impl<'a> ExecEngine<'a> {
         true
     }
 
-    /// One engine step: saturate the fleet with dispatches, then resolve
-    /// the earliest completion. Returns `false` when the run is over
-    /// (budget committed and nothing left in flight).
+    /// One engine step: absorb due arrivals, saturate the fleet with
+    /// dispatches, then advance to the next event — a completion, or (in
+    /// open-loop mode) a job arrival the idle clock jumps forward to.
+    /// Arrivals tied with a completion absorb first, so a freed device
+    /// sees the newly backlogged tenant. Returns `false` when the run is
+    /// over: budget committed and nothing left in flight, or (open-loop)
+    /// nothing in flight, no backlog, and no arrival left to wake on.
     pub fn tick(&mut self) -> bool {
-        self.saturate();
-        self.process_next()
+        loop {
+            self.absorb_due_arrivals();
+            self.saturate();
+            // An arrival only matters while budget remains to serve it.
+            let next_arrival = if self.committed < self.cfg.budget {
+                self.arrivals.front().map(|a| a.at)
+            } else {
+                None
+            };
+            match (self.queue.peek().map(|e| e.time), next_arrival) {
+                (Some(completion), Some(arrival)) if arrival <= completion => {
+                    self.now = self.now.max(arrival);
+                }
+                (Some(_), _) => return self.process_next(),
+                (None, Some(arrival)) => self.now = self.now.max(arrival),
+                (None, None) => return false,
+            }
+        }
     }
 
     /// Final accounting: sweeps every device's busy/idle integral to the
@@ -910,6 +1130,168 @@ mod tests {
         let mut rounds: Vec<u64> = records.iter().map(|r| r.round).collect();
         rounds.sort_unstable();
         assert_eq!(rounds, (0..t.dispatches as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn open_loop_without_arrivals_ends_immediately() {
+        let d = small_dataset();
+        let priors = flat_priors(&d);
+        let cfg = SimConfig::new(8.0);
+        let mut engine = ExecEngine::new(
+            &d,
+            &priors,
+            SchedulerKind::RoundRobin,
+            &cfg,
+            Fleet::uniform(2),
+            7,
+            RecorderHandle::noop(),
+        );
+        engine.set_open_loop(true);
+        assert!(!engine.tick(), "no arrivals means nothing to do");
+        let trace = engine.finish();
+        assert_eq!(trace.dispatches, 0);
+        assert_eq!(trace.makespan, 0.0);
+    }
+
+    #[test]
+    fn open_loop_clock_jumps_to_arrivals_and_serves_them() {
+        use easeml_obs::InMemoryRecorder;
+        use std::sync::Arc;
+        let d = small_dataset();
+        let priors = flat_priors(&d);
+        let cfg = SimConfig::new(100.0);
+        let rec = Arc::new(InMemoryRecorder::new());
+        let mut engine = ExecEngine::new(
+            &d,
+            &priors,
+            SchedulerKind::RoundRobin,
+            &cfg,
+            Fleet::uniform(1),
+            7,
+            RecorderHandle::new(rec.clone()),
+        );
+        engine.set_open_loop(true);
+        engine.push_arrival(0, 3.0);
+        engine.push_arrival(1, 3.5);
+        let trace = engine.run();
+        // Two jobs arrived, the budget is ample: exactly two dispatches,
+        // and the first cannot predate the first arrival.
+        assert_eq!(trace.dispatches, 2);
+        assert!(trace.makespan >= 3.5, "makespan {}", trace.makespan);
+        let dispatch_times: Vec<f64> = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::RunDispatched { at, .. } => Some(*at),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(dispatch_times.len(), 2);
+        assert!(dispatch_times[0] >= 3.0, "device must idle until 3.0");
+        // JobArrived events carry the *arrival* times.
+        let arrival_times: Vec<f64> = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::JobArrived { at, .. } => Some(*at),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(arrival_times, vec![3.0, 3.5]);
+    }
+
+    #[test]
+    fn arrivals_must_be_pushed_in_time_order() {
+        let d = small_dataset();
+        let priors = flat_priors(&d);
+        let cfg = SimConfig::new(8.0);
+        let mut engine = ExecEngine::new(
+            &d,
+            &priors,
+            SchedulerKind::RoundRobin,
+            &cfg,
+            Fleet::uniform(1),
+            7,
+            RecorderHandle::noop(),
+        );
+        engine.push_arrival(0, 2.0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.push_arrival(1, 1.0);
+        }));
+        assert!(result.is_err(), "out-of-order arrival must panic");
+    }
+
+    #[test]
+    fn retiring_every_tenant_drains_and_stops() {
+        use easeml_obs::InMemoryRecorder;
+        use std::sync::Arc;
+        let d = small_dataset();
+        let priors = flat_priors(&d);
+        let cfg = SimConfig::new(50.0);
+        let rec = Arc::new(InMemoryRecorder::new());
+        let mut engine = ExecEngine::new(
+            &d,
+            &priors,
+            SchedulerKind::RoundRobin,
+            &cfg,
+            Fleet::uniform(2),
+            7,
+            RecorderHandle::new(rec.clone()),
+        );
+        for _ in 0..4 {
+            assert!(engine.tick());
+        }
+        for user in 0..d.num_users() {
+            engine.retire_tenant(user);
+            engine.retire_tenant(user); // idempotent
+        }
+        assert!(engine.is_tenant_retired(0));
+        let trace = engine.run();
+        // The budget is far from committed, yet the run ends: retired
+        // tenants are not dispatchable and in-flight runs drained.
+        assert!(trace.total_charged < cfg.budget);
+        let retirements = rec
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Event::TenantRetired { .. }))
+            .count();
+        assert_eq!(retirements, d.num_users(), "one event per retirement");
+        // No dispatch ever follows a tenant's retirement.
+        let mut retired_seen = vec![false; d.num_users()];
+        for event in rec.events().iter() {
+            match event {
+                Event::TenantRetired { user, .. } => retired_seen[*user] = true,
+                Event::RunDispatched { user, .. } => {
+                    assert!(!retired_seen[*user], "dispatch after retirement of {user}");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn rejoined_tenant_becomes_dispatchable_again() {
+        let d = small_dataset();
+        let priors = flat_priors(&d);
+        let cfg = SimConfig::new(6.0);
+        let mut engine = ExecEngine::new(
+            &d,
+            &priors,
+            SchedulerKind::RoundRobin,
+            &cfg,
+            Fleet::uniform(1),
+            7,
+            RecorderHandle::noop(),
+        );
+        engine.retire_tenant(2);
+        assert!(engine.is_tenant_retired(2));
+        engine.rejoin_tenant(2);
+        assert!(!engine.is_tenant_retired(2));
+        let trace = engine.run();
+        assert!(
+            trace.sim.events.iter().any(|e| e.user == 2),
+            "a rejoined tenant must be served"
+        );
     }
 
     #[test]

@@ -62,6 +62,13 @@ impl EventQueue {
         self.heap.pop()
     }
 
+    /// The earliest scheduled completion without removing it — the
+    /// open-loop engine compares it against the next job arrival to decide
+    /// whether the clock advances to an arrival or a completion.
+    pub fn peek(&self) -> Option<QueuedEvent> {
+        self.heap.peek().copied()
+    }
+
     /// Number of scheduled completions.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -84,6 +91,7 @@ mod tests {
         q.push(1.0, 3);
         q.push(1.0, 1);
         q.push(2.0, 2);
+        assert_eq!(q.peek().map(|e| (e.time, e.seq)), Some((1.0, 1)));
         let order: Vec<(f64, u64)> = std::iter::from_fn(|| q.pop())
             .map(|e| (e.time, e.seq))
             .collect();

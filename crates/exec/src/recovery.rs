@@ -78,8 +78,13 @@ pub fn recover_engine<'a>(
                 end_offset: rec.end_offset,
             }),
             // Dispatches are uncommitted intent; marks are barriers that
-            // must survive truncation.
-            DurableEvent::ExecDispatch { .. } => {}
+            // must survive truncation. Tenant lifecycle records are audit
+            // entries here: the workload driver that issued them re-applies
+            // join/retire from its own replay position after a restore, so
+            // verify-replay neither applies nor rejects them.
+            DurableEvent::ExecDispatch { .. }
+            | DurableEvent::TenantJoined { .. }
+            | DurableEvent::TenantRetired { .. } => {}
             DurableEvent::CheckpointMark { digest, .. } => {
                 cut = Some((rec.segment, rec.end_offset));
                 if digest == d0 {

@@ -234,6 +234,133 @@ fn chaos_frees_devices_and_accounts_every_charge_once() {
     assert_ne!(clean.sim.events, trace.sim.events);
 }
 
+/// Enough time-zero arrivals per user that no backlog can empty before the
+/// budget is committed.
+fn flood_arrivals(engine: &mut ExecEngine, d: &Dataset, budget: f64) {
+    let min_cost = (0..d.num_users())
+        .flat_map(|u| (0..d.num_models()).map(move |m| d.cost(u, m)))
+        .fold(f64::INFINITY, f64::min);
+    let enough = (budget / min_cost).ceil() as usize + 8;
+    for user in 0..d.num_users() {
+        for _ in 0..enough {
+            engine.push_arrival(user, 0.0);
+        }
+    }
+}
+
+#[test]
+fn always_backlogged_open_loop_is_bit_identical_to_closed_loop() {
+    use easeml_obs::InMemoryRecorder;
+    use std::sync::Arc;
+    let d = dataset(5, 4, 3);
+    let p = priors(&d);
+    let cfg = SimConfig::new(9.0);
+    for kind in [
+        SchedulerKind::Hybrid,
+        SchedulerKind::Greedy(PickRule::MaxUcbGap),
+        SchedulerKind::RoundRobin,
+    ] {
+        let digests = |events: &[easeml_obs::Event]| -> Vec<String> {
+            events
+                .iter()
+                .filter_map(|e| match e {
+                    easeml_obs::Event::DecisionWitness { round, digest, .. } => {
+                        Some(format!("{round}:{digest}"))
+                    }
+                    _ => None,
+                })
+                .collect()
+        };
+        let closed_rec = Arc::new(InMemoryRecorder::new());
+        let closed = ExecEngine::new(
+            &d,
+            &p,
+            kind,
+            &cfg,
+            Fleet::uniform(3),
+            7,
+            RecorderHandle::new(closed_rec.clone()),
+        )
+        .run();
+        let open_rec = Arc::new(InMemoryRecorder::new());
+        let mut engine = ExecEngine::new(
+            &d,
+            &p,
+            kind,
+            &cfg,
+            Fleet::uniform(3),
+            7,
+            RecorderHandle::new(open_rec.clone()),
+        );
+        engine.set_open_loop(true);
+        flood_arrivals(&mut engine, &d, cfg.budget);
+        let open = engine.run();
+        assert_eq!(
+            open,
+            closed,
+            "always-backlogged open loop must equal the closed loop ({})",
+            kind.name()
+        );
+        assert_eq!(
+            digests(&open_rec.events()),
+            digests(&closed_rec.events()),
+            "witness digest chains must be identical ({})",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn open_loop_checkpoint_resumes_mid_replay_with_churn() {
+    let d = dataset(5, 4, 21);
+    let p = priors(&d);
+    let mut cfg = SimConfig::new(10.0);
+    cfg.fault = Some(chaos(55));
+    // The external action script both runs share: staggered arrivals pushed
+    // up-front, then a retirement after four ticks.
+    let build = || {
+        let mut engine = ExecEngine::new(
+            &d,
+            &p,
+            SchedulerKind::Hybrid,
+            &cfg,
+            Fleet::uniform(2),
+            31,
+            RecorderHandle::noop(),
+        );
+        engine.set_open_loop(true);
+        for i in 0..40u32 {
+            for user in 0..d.num_users() {
+                engine.push_arrival(user, 0.2 * f64::from(i) + 0.03 * user as f64);
+            }
+        }
+        for _ in 0..4 {
+            assert!(engine.tick());
+        }
+        engine.retire_tenant(1);
+        engine
+    };
+    let reference = build().run();
+    let mut engine = build();
+    for _ in 0..3 {
+        assert!(engine.tick());
+    }
+    let ck = engine.checkpoint();
+    assert!(ck.open_loop, "open-loop flag must checkpoint");
+    assert!(ck.retired[1], "retirement must checkpoint");
+    assert!(
+        !ck.arrivals.is_empty(),
+        "pending arrivals must checkpoint mid-replay"
+    );
+    let decoded = ExecCheckpoint::from_json(&ck.to_json()).expect("parse checkpoint");
+    let restored = ExecEngine::restore(&d, &p, &decoded).expect("restore checkpoint");
+    let trace = restored.run();
+    assert_eq!(
+        trace, reference,
+        "mid-replay restore must resume the workload bit-exactly"
+    );
+}
+
 #[test]
 fn makespan_shrinks_as_devices_are_added() {
     let d = dataset(6, 4, 41);

@@ -400,8 +400,12 @@ mod tests {
     use std::io::{Read, Write};
 
     fn get(addr: SocketAddr, target: &str) -> (String, String) {
+        raw(addr, &format!("GET {target} HTTP/1.1"))
+    }
+
+    fn raw(addr: SocketAddr, request_line: &str) -> (String, String) {
         let mut stream = TcpStream::connect(addr).unwrap();
-        write!(stream, "GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        write!(stream, "{request_line}\r\nHost: t\r\n\r\n").unwrap();
         let mut raw = String::new();
         stream.read_to_string(&mut raw).unwrap();
         let (head, body) = raw.split_once("\r\n\r\n").unwrap();
@@ -453,6 +457,64 @@ mod tests {
 
         let (head, _) = get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    }
+
+    #[test]
+    fn malformed_requests_fail_clean_with_4xx() {
+        let hub = sample_hub();
+        let server = TelemetryServer::serve("127.0.0.1:0", hub).unwrap();
+        let addr = server.local_addr();
+
+        // Unknown paths (including sub-paths of real routes) are 404 with
+        // the route hint, never a hang or a connection drop.
+        for path in ["/nope", "/trace/tail", "/metrics/raw", "/Trace"] {
+            let (head, body) = get(addr, path);
+            assert!(head.starts_with("HTTP/1.1 404"), "{path}: {head}");
+            assert!(body.contains("unknown route"), "{path}: {body}");
+        }
+
+        // Bad ?after= / ?limit= values: empty, negative, non-numeric, and
+        // past-u64/usize overflow all map to the same clean 400.
+        for target in [
+            "/trace?after=",
+            "/trace?after=-1",
+            "/trace?after=xyz",
+            "/trace?after=18446744073709551616",
+            "/trace?limit=",
+            "/trace?limit=-2",
+            "/trace?limit=abc",
+            "/trace?limit=99999999999999999999999999",
+            "/trace?after=1&limit=",
+        ] {
+            let (head, body) = get(addr, target);
+            assert!(head.starts_with("HTTP/1.1 400"), "{target}: {head}");
+            assert!(body.contains("unsigned integers"), "{target}: {body}");
+        }
+
+        // Bad ?round= values on /explain: same contract.
+        for target in [
+            "/explain?round=",
+            "/explain?round=-1",
+            "/explain?round=abc",
+            "/explain?round=18446744073709551616",
+        ] {
+            let (head, body) = get(addr, target);
+            assert!(head.starts_with("HTTP/1.1 400"), "{target}: {head}");
+            assert!(body.contains("unsigned integer"), "{target}: {body}");
+        }
+
+        // Non-GET methods are 405; a garbage request line is 400.
+        let (head, body) = raw(addr, "POST /trace HTTP/1.1");
+        assert!(head.starts_with("HTTP/1.1 405"), "{head}");
+        assert!(body.contains("only GET"), "{body}");
+        let (head, body) = raw(addr, "BLAH");
+        assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+        assert!(body.contains("malformed request"), "{body}");
+
+        // After the malformed burst the server still answers cleanly.
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "ok\n");
     }
 
     #[test]

@@ -19,8 +19,12 @@ use serde::Serialize;
 /// decision-provenance vocabulary ([`Event::UserScored`],
 /// [`Event::ArmScored`], [`Event::DecisionWitness`]): per-round witnesses
 /// of *why* each scheduling decision won, plus a rolling trajectory digest
-/// for differential replay — also purely additive.
-pub const TRACE_SCHEMA_VERSION: u32 = 5;
+/// for differential replay — also purely additive. Version 6 adds the
+/// open-loop workload vocabulary ([`Event::TenantJoined`],
+/// [`Event::TenantRetired`], [`Event::JobArrived`]): tenant churn and
+/// externally-timed job arrivals, so offline tooling can reconstruct
+/// queueing delay and per-tenant lifetimes — once more purely additive.
+pub const TRACE_SCHEMA_VERSION: u32 = 6;
 
 /// A structured observation emitted by an instrumented component.
 ///
@@ -334,6 +338,48 @@ pub enum Event {
         /// Id of the span the witness was emitted under (0 = none).
         parent: u64,
     },
+    /// A tenant joined the shared service mid-run (schema v6): its slot,
+    /// display name, and candidate-model count, stamped with the simulated
+    /// clock (the serial simulator stamps its round count).
+    TenantJoined {
+        /// Index (slot) the tenant was registered under.
+        user: usize,
+        /// Human-readable tenant name from the workload model.
+        name: String,
+        /// Number of candidate models the tenant's program declares.
+        models: u64,
+        /// Simulated clock (or round count) at the join.
+        at: f64,
+        /// Id of the span the join happened under (0 = none).
+        parent: u64,
+    },
+    /// A tenant left the shared service (schema v6). Its slot and GP state
+    /// are kept — only its picker visibility ends — so `serves` records the
+    /// service it consumed over its lifetime.
+    TenantRetired {
+        /// Index (slot) of the retired tenant.
+        user: usize,
+        /// Total times the tenant was served before retiring.
+        serves: u64,
+        /// Simulated clock (or round count) at the retirement.
+        at: f64,
+        /// Id of the span the retirement happened under (0 = none).
+        parent: u64,
+    },
+    /// An open-loop job arrival (schema v6): tenant `user` asked for one
+    /// more unit of service at simulated time `at`, independent of device
+    /// availability. The FIFO gap to the matching
+    /// [`RunDispatched`](Event::RunDispatched) is the job's queueing delay.
+    JobArrived {
+        /// Index of the tenant the job belongs to.
+        user: usize,
+        /// Monotone arrival sequence number within the workload (0-based).
+        seq: u64,
+        /// Simulated clock of the arrival.
+        at: f64,
+        /// Id of the span the arrival was recorded under (0 = none).
+        parent: u64,
+    },
 }
 
 impl Event {
@@ -359,6 +405,9 @@ impl Event {
             Event::UserScored { .. } => "UserScored",
             Event::ArmScored { .. } => "ArmScored",
             Event::DecisionWitness { .. } => "DecisionWitness",
+            Event::TenantJoined { .. } => "TenantJoined",
+            Event::TenantRetired { .. } => "TenantRetired",
+            Event::JobArrived { .. } => "JobArrived",
         }
     }
 
@@ -375,7 +424,10 @@ impl Event {
             | Event::RunFinished { user, .. }
             | Event::UserScored { user, .. }
             | Event::ArmScored { user, .. }
-            | Event::DecisionWitness { user, .. } => Some(*user),
+            | Event::DecisionWitness { user, .. }
+            | Event::TenantJoined { user, .. }
+            | Event::TenantRetired { user, .. }
+            | Event::JobArrived { user, .. } => Some(*user),
             Event::HybridFallback { .. }
             | Event::PosteriorUpdated { .. }
             | Event::CheckpointWritten { .. }
@@ -411,7 +463,10 @@ impl Event {
             | Event::PsdProjectionApplied { parent, .. }
             | Event::UserScored { parent, .. }
             | Event::ArmScored { parent, .. }
-            | Event::DecisionWitness { parent, .. } => *parent,
+            | Event::DecisionWitness { parent, .. }
+            | Event::TenantJoined { parent, .. }
+            | Event::TenantRetired { parent, .. }
+            | Event::JobArrived { parent, .. } => *parent,
             Event::SpanEnd { .. } => 0,
         }
     }
@@ -575,6 +630,25 @@ impl Event {
                 censored: get_bool(fields, "censored")?,
                 candidates: get_u64(fields, "candidates")?,
                 digest: get_str(fields, "digest")?,
+                parent: get_u64_or(fields, "parent", 0)?,
+            }),
+            "TenantJoined" => Ok(Event::TenantJoined {
+                user: get_usize(fields, "user")?,
+                name: get_str(fields, "name")?,
+                models: get_u64(fields, "models")?,
+                at: get_f64(fields, "at")?,
+                parent: get_u64_or(fields, "parent", 0)?,
+            }),
+            "TenantRetired" => Ok(Event::TenantRetired {
+                user: get_usize(fields, "user")?,
+                serves: get_u64(fields, "serves")?,
+                at: get_f64(fields, "at")?,
+                parent: get_u64_or(fields, "parent", 0)?,
+            }),
+            "JobArrived" => Ok(Event::JobArrived {
+                user: get_usize(fields, "user")?,
+                seq: get_u64(fields, "seq")?,
+                at: get_f64(fields, "at")?,
                 parent: get_u64_or(fields, "parent", 0)?,
             }),
             other => Err(format!("unknown event variant {other:?}")),
@@ -802,6 +876,25 @@ mod tests {
                 digest: "cbf29ce484222325".into(),
                 parent: 9,
             },
+            Event::TenantJoined {
+                user: 4,
+                name: "tenant-d".into(),
+                models: 8,
+                at: 33.5,
+                parent: 14,
+            },
+            Event::TenantRetired {
+                user: 2,
+                serves: 27,
+                at: 41.0,
+                parent: 14,
+            },
+            Event::JobArrived {
+                user: 4,
+                seq: 112,
+                at: 34.75,
+                parent: 0,
+            },
         ]
     }
 
@@ -888,6 +981,9 @@ mod tests {
         assert_eq!(events[16].user(), Some(3)); // UserScored
         assert_eq!(events[17].user(), Some(3)); // ArmScored
         assert_eq!(events[18].user(), Some(3)); // DecisionWitness
+        assert_eq!(events[19].user(), Some(4)); // TenantJoined
+        assert_eq!(events[20].user(), Some(2)); // TenantRetired
+        assert_eq!(events[21].user(), Some(4)); // JobArrived
     }
 
     #[test]
@@ -896,7 +992,7 @@ mod tests {
         let parents: Vec<u64> = events.iter().map(Event::parent).collect();
         assert_eq!(
             parents,
-            vec![9, 10, 0, 11, 11, 11, 11, 0, 13, 13, 13, 12, 0, 0, 12, 0, 9, 9, 9]
+            vec![9, 10, 0, 11, 11, 11, 11, 0, 13, 13, 13, 12, 0, 0, 12, 0, 9, 9, 9, 14, 14, 0]
         );
     }
 }

@@ -22,6 +22,7 @@
 //! only when a new log-bucket first appears, and collapses its lowest
 //! buckets when a hard bucket cap is hit.
 
+use easeml_wal::SplitMix64;
 use std::collections::BTreeMap;
 
 /// Values at or below this magnitude land in the sketch's zero bucket:
@@ -457,7 +458,7 @@ pub enum ReservoirOutcome<T> {
 pub struct Reservoir<T> {
     capacity: usize,
     seen: u64,
-    rng: u64,
+    rng: SplitMix64,
     items: Vec<T>,
 }
 
@@ -468,7 +469,7 @@ impl<T> Reservoir<T> {
         Self {
             capacity: capacity.max(1),
             seen: 0,
-            rng: seed,
+            rng: SplitMix64::new(seed),
             items: Vec::new(),
         }
     }
@@ -482,7 +483,7 @@ impl<T> Reservoir<T> {
             self.items.push(item);
             return ReservoirOutcome::Added;
         }
-        let slot = (splitmix64(&mut self.rng) % self.seen) as usize;
+        let slot = (self.rng.next_u64() % self.seen) as usize;
         if slot < self.capacity {
             let evicted = std::mem::replace(&mut self.items[slot], item);
             ReservoirOutcome::Replaced {
@@ -508,17 +509,6 @@ impl<T> Reservoir<T> {
     pub fn capacity(&self) -> usize {
         self.capacity
     }
-}
-
-/// The splitmix64 step — the same tiny deterministic generator the fault
-/// injector uses, good enough for sampling decisions and cheap enough for
-/// the hot fold path.
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 #[cfg(test)]

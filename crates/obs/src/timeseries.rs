@@ -729,7 +729,13 @@ impl TimeSeriesRecorder {
             // above.
             | Event::UserScored { .. }
             | Event::ArmScored { .. }
-            | Event::DecisionWitness { .. } => {}
+            | Event::DecisionWitness { .. }
+            // Workload lifecycle/arrival events carry no cost either: the
+            // runs a joined tenant eventually executes fold through the
+            // completion events above, and arrivals only time the queue.
+            | Event::TenantJoined { .. }
+            | Event::TenantRetired { .. }
+            | Event::JobArrived { .. } => {}
         }
         self.events_folded.fetch_add(1, Ordering::Relaxed);
         self.fold_ns

@@ -1,6 +1,6 @@
 //! Golden-file test pinning the on-disk trace schema.
 //!
-//! The checked-in `tests/golden/schema_v5.jsonl` is the authoritative
+//! The checked-in `tests/golden/schema_v6.jsonl` is the authoritative
 //! serialization of one sample of every event variant. If a change to the
 //! event vocabulary alters any byte of the output, this test fails — which
 //! is the prompt to bump [`easeml_obs::TRACE_SCHEMA_VERSION`], extend
@@ -14,7 +14,7 @@ fn golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests")
         .join("golden")
-        .join("schema_v5.jsonl")
+        .join("schema_v6.jsonl")
 }
 
 /// One sample of every variant, exercising the fields a real trace carries:
@@ -189,6 +189,27 @@ fn samples() -> Vec<Event> {
             digest: "81b2f09b1a368569".into(),
             parent: 14,
         },
+        // The v6 open-loop workload vocabulary: a tenant joins mid-run,
+        // submits jobs on its own clock, and later retires.
+        Event::TenantJoined {
+            user: 4,
+            name: "tenant-d".into(),
+            models: 8,
+            at: 33.5,
+            parent: 15,
+        },
+        Event::JobArrived {
+            user: 4,
+            seq: 112,
+            at: 34.75,
+            parent: 0,
+        },
+        Event::TenantRetired {
+            user: 4,
+            serves: 27,
+            at: 41.0,
+            parent: 15,
+        },
     ]
 }
 
@@ -214,7 +235,7 @@ fn serialized_trace_matches_the_golden_file() {
         .expect("golden file missing; regenerate with UPDATE_GOLDEN=1");
     assert_eq!(
         rendered, golden,
-        "trace serialization drifted from tests/golden/schema_v4.jsonl; \
+        "trace serialization drifted from tests/golden/schema_v6.jsonl; \
          if intentional, bump TRACE_SCHEMA_VERSION and regenerate with \
          UPDATE_GOLDEN=1"
     );

@@ -60,6 +60,10 @@ impl<P: UserPicker> DeadlinePicker<P> {
     /// Whether tenant `i` is urgent at `step`: its deadline is within the
     /// horizon and its quota is unmet.
     fn is_urgent(&self, tenants: &[Tenant], i: usize, step: usize) -> bool {
+        if !tenants[i].is_active() {
+            // A retired tenant's deadline lapses with it.
+            return false;
+        }
         match self.deadlines.get(i).copied().flatten() {
             Some(d) => tenants[i].serves() < d.min_serves && step + self.horizon >= d.round,
             None => false,

@@ -129,16 +129,26 @@ impl Greedy {
         &self.last_candidates
     }
 
-    /// Computes the candidate set `V_t` from the tenants' σ̃ values.
+    /// Computes the candidate set `V_t` from the live tenants' σ̃ values.
+    ///
+    /// Retired tenants are excluded from both the mean and the set, so a
+    /// churned-out tenant can never re-enter `V_t`; indices in the result
+    /// remain global tenant ids.
     pub fn candidate_set(tenants: &[Tenant]) -> Vec<usize> {
-        let sigmas: Vec<f64> = tenants.iter().map(Tenant::sigma_tilde).collect();
+        let active = crate::picker::active_indices(tenants);
+        let sigmas: Vec<f64> = active.iter().map(|&i| tenants[i].sigma_tilde()).collect();
         let mean = vec_ops::mean(&sigmas);
-        let mut v: Vec<usize> = (0..tenants.len()).filter(|&i| sigmas[i] >= mean).collect();
+        let mut v: Vec<usize> = active
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| sigmas[j] >= mean)
+            .map(|(_, &i)| i)
+            .collect();
         if v.is_empty() {
             // Mathematically max σ̃ ≥ mean, but when all σ̃ are (nearly)
             // equal, floating-point rounding of the mean can edge above
             // every element; fall back to the argmax.
-            v.push(vec_ops::argmax(&sigmas).expect("at least one tenant"));
+            v.push(active[vec_ops::argmax(&sigmas).expect("at least one tenant")]);
         }
         v
     }
@@ -198,9 +208,13 @@ impl UserPicker for Greedy {
         let candidates = Self::candidate_set(tenants);
         let mut choice = self.pick_from_candidates(tenants, &candidates, rng);
         if let Some(at) = self.mutate_at {
-            // Test-only seeded divergence for the replay-diff harness.
+            // Test-only seeded divergence for the replay-diff harness. The
+            // rotation walks the *live* tenant list (identical to a plain
+            // `+1 mod n` rotation when nobody has retired).
             if step >= at {
-                choice = (choice + 1) % tenants.len();
+                let active = crate::picker::active_indices(tenants);
+                let pos = active.iter().position(|&i| i == choice).unwrap_or(0);
+                choice = active[(pos + 1) % active.len()];
             }
         }
         self.last_candidates = candidates;
@@ -356,6 +370,27 @@ mod tests {
         assert_eq!(g.pick(&tenants, 9, &mut r), 0, "and for every later step");
         g.set_test_mutation(None);
         assert_eq!(g.pick(&tenants, 9, &mut r), 1, "disarmed again");
+    }
+
+    #[test]
+    fn retired_tenants_never_enter_the_candidate_set() {
+        let mut tenants = vec![settled_tenant(0), open_tenant(1), open_tenant(2)];
+        tenants[1].set_active(false);
+        let v = Greedy::candidate_set(&tenants);
+        assert!(!v.contains(&1), "retiree must stay out of V_t: {v:?}");
+        assert!(v.contains(&2), "the live open tenant is a candidate");
+        let mut g = Greedy::ease_ml();
+        let mut r = rng();
+        for step in 0..20 {
+            let p = g.pick(&tenants, step, &mut r);
+            assert_ne!(p, 1, "greedy must never serve a retiree");
+            assert!(!g.last_candidates().contains(&1));
+        }
+        // Even the most uncertain tenant is invisible once retired.
+        tenants[1].set_active(true);
+        tenants[2].set_active(false);
+        let v = Greedy::candidate_set(&tenants);
+        assert!(!v.contains(&2));
     }
 
     #[test]

@@ -158,7 +158,8 @@ impl UserPicker for Hybrid {
 
     fn pick(&mut self, tenants: &[Tenant], step: usize, rng: &mut dyn rand::RngCore) -> usize {
         let choice = if self.switched {
-            let c = self.rr_cursor % tenants.len();
+            let active = crate::picker::active_indices(tenants);
+            let c = active[self.rr_cursor % active.len()];
             self.rr_cursor += 1;
             c
         } else {
@@ -359,6 +360,17 @@ mod tests {
         // after_observe is a no-op once switched.
         h.after_observe(&ts, 0);
         assert!(h.has_switched());
+    }
+
+    #[test]
+    fn switched_mode_cycles_only_the_live_tenants() {
+        let mut ts = tenants(3, 1);
+        ts[1].set_active(false);
+        let mut h = Hybrid::new(PickRule::MaxUcbGap, 1);
+        h.switched = true;
+        let mut r = rng();
+        let picks: Vec<usize> = (0..6).map(|s| h.pick(&ts, s, &mut r)).collect();
+        assert_eq!(picks, vec![0, 2, 0, 2, 0, 2]);
     }
 
     #[test]

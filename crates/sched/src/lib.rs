@@ -40,7 +40,7 @@ pub mod weighted;
 pub use deadline::{Deadline, DeadlinePicker};
 pub use greedy::{Greedy, PickRule};
 pub use hybrid::{Hybrid, HybridState};
-pub use picker::{Fcfs, RandomPicker, RoundRobin, UserPicker};
+pub use picker::{active_indices, Fcfs, RandomPicker, RoundRobin, UserPicker};
 pub use regret::MultiTenantRegret;
 pub use tenant::Tenant;
 pub use weighted::WeightedFair;

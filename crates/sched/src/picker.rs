@@ -58,6 +58,29 @@ pub trait UserPicker {
     }
 }
 
+/// Indices of the live tenants, in id order — the universe every picker
+/// draws from now that tenants can retire mid-run. Falls back to *all*
+/// indices when every tenant is inactive, keeping `pick` total; drivers
+/// are expected to guard picking behind an any-active check, so the
+/// fallback only shields against misuse.
+///
+/// With every tenant active this is `0..n`, which keeps each picker's
+/// choice — and its RNG consumption — bit-identical to the closed-loop
+/// fixed-tenancy behavior.
+pub fn active_indices(tenants: &[Tenant]) -> Vec<usize> {
+    let active: Vec<usize> = tenants
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.is_active())
+        .map(|(i, _)| i)
+        .collect();
+    if active.is_empty() {
+        (0..tenants.len()).collect()
+    } else {
+        active
+    }
+}
+
 /// First-come-first-served: serve the lowest-indexed tenant whose
 /// exploration is not yet complete (§4.1's strawman, with "found an optimal
 /// algorithm" operationalized as "trained every candidate model"). Once all
@@ -73,10 +96,12 @@ impl UserPicker for Fcfs {
     }
 
     fn pick(&mut self, tenants: &[Tenant], step: usize, _rng: &mut dyn rand::RngCore) -> usize {
-        let user = tenants
+        let active = active_indices(tenants);
+        let user = active
             .iter()
-            .position(|t| !t.exhausted())
-            .unwrap_or(step % tenants.len());
+            .copied()
+            .find(|&i| !tenants[i].exhausted())
+            .unwrap_or(active[step % active.len()]);
         self.recorder.emit(|| Event::SchedulerDecision {
             round: step as u64,
             user,
@@ -104,7 +129,8 @@ impl UserPicker for RoundRobin {
     }
 
     fn pick(&mut self, tenants: &[Tenant], step: usize, _rng: &mut dyn rand::RngCore) -> usize {
-        let user = step % tenants.len();
+        let active = active_indices(tenants);
+        let user = active[step % active.len()];
         self.recorder.emit(|| Event::SchedulerDecision {
             round: step as u64,
             user,
@@ -134,7 +160,8 @@ impl UserPicker for RandomPicker {
 
     fn pick(&mut self, tenants: &[Tenant], step: usize, rng: &mut dyn rand::RngCore) -> usize {
         use rand::Rng;
-        let user = rng.gen_range(0..tenants.len());
+        let active = active_indices(tenants);
+        let user = active[rng.gen_range(0..active.len())];
         self.recorder.emit(|| Event::SchedulerDecision {
             round: step as u64,
             user,
@@ -234,6 +261,44 @@ mod tests {
                 other => panic!("expected a SchedulerDecision, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn retired_tenants_are_invisible_to_every_picker() {
+        let mut ts = tenants(4, 2);
+        ts[1].set_active(false);
+        let mut r = rng();
+        let mut rr = RoundRobin::default();
+        let picks: Vec<usize> = (0..6).map(|s| rr.pick(&ts, s, &mut r)).collect();
+        assert_eq!(picks, vec![0, 2, 3, 0, 2, 3], "rr cycles the live set");
+        let mut fcfs = Fcfs::default();
+        for t in ts.iter_mut() {
+            t.observe(0, 0.5);
+            t.observe(1, 0.5);
+        }
+        for s in 0..8 {
+            assert_ne!(fcfs.pick(&ts, s, &mut r), 1, "fcfs skips the retiree");
+        }
+        let mut random = RandomPicker::default();
+        for s in 0..100 {
+            assert_ne!(random.pick(&ts, s, &mut r), 1, "random skips the retiree");
+        }
+    }
+
+    #[test]
+    fn all_active_behavior_is_unchanged() {
+        // With no retirements the active set is `0..n`, so the open-loop
+        // filtering must be invisible: both the picks and the RNG
+        // consumption match a straight `gen_range(0..n)` stream.
+        let ts = tenants(4, 2);
+        let mut p = RandomPicker::default();
+        let mut r = rng();
+        let picks: Vec<usize> = (0..50).map(|s| p.pick(&ts, s, &mut r)).collect();
+        let mut reference = rng();
+        let expected: Vec<usize> = (0..50)
+            .map(|_| rand::Rng::gen_range(&mut reference, 0..4))
+            .collect();
+        assert_eq!(picks, expected);
     }
 
     #[test]

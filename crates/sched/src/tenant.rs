@@ -33,6 +33,10 @@ pub struct Tenant {
     last_arm: Option<usize>,
     /// Distinct arms played (completion detector for FCFS).
     arms_played: Vec<bool>,
+    /// Whether the tenant is live. A retired tenant keeps its slot (so
+    /// tenant ids stay stable for checkpoints and traces) but is invisible
+    /// to every picker's candidate set.
+    active: bool,
 }
 
 impl Tenant {
@@ -48,7 +52,22 @@ impl Tenant {
             last_reward: None,
             last_arm: None,
             arms_played: vec![false; k],
+            active: true,
         }
+    }
+
+    /// Whether the tenant is live (the default) or retired.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Marks the tenant live or retired. Retirement only hides the tenant
+    /// from pickers; its GP state stays intact so a checkpoint restore (or
+    /// a re-join under the same id) resumes bit-exactly.
+    #[inline]
+    pub fn set_active(&mut self, active: bool) {
+        self.active = active;
     }
 
     /// The tenant's identifier (index into the scheduler's tenant list).
@@ -176,6 +195,19 @@ mod tests {
             id,
             GpUcb::cost_oblivious(ArmPrior::independent(k, 1.0), 0.01, beta),
         )
+    }
+
+    #[test]
+    fn activity_toggles_without_touching_bandit_state() {
+        let mut t = tenant(0, 2);
+        assert!(t.is_active(), "tenants start live");
+        t.observe(1, 0.6);
+        t.set_active(false);
+        assert!(!t.is_active());
+        assert_eq!(t.best_reward(), Some(0.6), "retirement keeps GP state");
+        t.set_active(true);
+        assert!(t.is_active());
+        assert_eq!(t.last_arm(), Some(1));
     }
 
     #[test]

@@ -85,12 +85,16 @@ impl UserPicker for WeightedFair {
             "tenant count must match the configured weights"
         );
         // Accrue credit proportional to weight (normalized so one serve's
-        // worth of credit is distributed per round).
-        let total: f64 = self.weights.iter().sum();
-        for (c, w) in self.credit.iter_mut().zip(&self.weights) {
-            *c += w / total;
+        // worth of credit is distributed per round). Retired tenants stop
+        // accruing, their share flows to the live tenants, and their frozen
+        // balance can never win the argmax below.
+        let active = crate::picker::active_indices(tenants);
+        let total: f64 = active.iter().map(|&i| self.weights[i]).sum();
+        for &i in &active {
+            self.credit[i] += self.weights[i] / total;
         }
-        let choice = vec_ops::argmax(&self.credit).expect("at least one tenant");
+        let balances: Vec<f64> = active.iter().map(|&i| self.credit[i]).collect();
+        let choice = active[vec_ops::argmax(&balances).expect("at least one tenant")];
         self.recorder.emit(|| Event::SchedulerDecision {
             round: step as u64,
             user: choice,
@@ -174,6 +178,18 @@ mod tests {
             let total: f64 = p.credit().iter().sum();
             assert!(total.abs() < 1e-9, "credit drifted: {total}");
         }
+    }
+
+    #[test]
+    fn retired_tenants_stop_accruing_and_never_win() {
+        let mut ts = tenants(3);
+        ts[0].set_active(false);
+        let mut p = WeightedFair::new(vec![10.0, 1.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(4);
+        for s in 0..40 {
+            assert_ne!(p.pick(&ts, s, &mut rng), 0, "retiree must not be served");
+        }
+        assert_eq!(p.credit()[0], 0.0, "retiree accrues nothing");
     }
 
     #[test]

@@ -35,8 +35,12 @@
 //!   self-time table — and, across a multi-trace tenant-count sweep, the
 //!   empirical scaling exponent of each phase.
 //!
-//! The `easeml-trace` binary wraps these as `report`, `chrome`, and
-//! `profile` subcommands.
+//! * [`workload_report`] — the open-loop workload stream (schema v6)
+//!   summarized: per-tenant arrivals, FIFO-matched queueing-delay
+//!   quantiles, tenant churn, and the arrival-rate timeline.
+//!
+//! The `easeml-trace` binary wraps these as `report`, `chrome`,
+//! `profile`, and `workload-report` subcommands.
 
 use easeml_obs::{
     scaling_exponents, CallTreeProfile, Event, PhaseScaling, QuantileSketch, ScaleConfig,
@@ -48,6 +52,7 @@ use std::fmt::Write as _;
 pub mod explain;
 pub mod recovery_report;
 pub mod replay;
+pub mod workload;
 
 pub use explain::{
     decision_health, render_decision_health, render_explain_round, render_witness, DecisionHealth,
@@ -57,6 +62,9 @@ pub use recovery_report::{recovery_report, render_wal_report};
 pub use replay::{
     digests_of, first_divergence, record_trace, render_replay_diff, replay_diff, ReplayLeg,
     ReplayScenario, MUTATE_ENV_VAR,
+};
+pub use workload::{
+    render_workload_report, workload_report, TenantWorkload, WorkloadReport, TIMELINE_BUCKETS,
 };
 
 /// Oldest trace schema version this build can load.
@@ -1893,6 +1901,27 @@ mod tests {
         };
         let text = render_report(&trace, &BTreeMap::new());
         assert!(!text.contains("multi-device execution"), "{text}");
+    }
+
+    #[test]
+    fn schema_support_tracks_the_obs_version_and_rejects_newer_traces() {
+        // The supported ceiling derives from `easeml_obs::TRACE_SCHEMA_VERSION`
+        // at compile time — adding the v6 workload vocabulary moved it with
+        // no change here. Pin the current value so a bump is a conscious act.
+        assert_eq!(MAX_SUPPORTED_SCHEMA_VERSION, 6);
+        let v6 = parse_trace(
+            "{\"schema\":\"easeml-trace\",\"version\":6}\n\
+             {\"JobArrived\":{\"user\":0,\"seq\":0,\"at\":1.5,\"parent\":0}}\n",
+        );
+        assert_eq!(v6.schema_version, Some(6));
+        assert!(check_schema_version(&v6).is_ok());
+        assert!(matches!(v6.events[0], Event::JobArrived { user: 0, .. }));
+        let mut v7 = v6.clone();
+        v7.schema_version = Some(7);
+        let err = check_schema_version(&v7).unwrap_err();
+        assert!(err.contains("schema v7"), "{err}");
+        assert!(err.contains("v1..=v6"), "{err}");
+        assert!(err.contains("upgrade easeml-trace"), "{err}");
     }
 
     #[test]

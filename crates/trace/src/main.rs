@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! easeml-trace report <trace.jsonl> [--target USER=QUALITY]...
+//! easeml-trace workload-report <trace.jsonl> [--target USER=QUALITY]...
 //! easeml-trace chrome <trace.jsonl>
 //! easeml-trace profile <trace.jsonl>... [--users N,N,...] [--folded PATH]
 //! easeml-trace explain <trace.jsonl> [--round N]
@@ -30,6 +31,11 @@
 //! the first divergent round on the rolling state digests — `--mutate-at`
 //! arms the test-only picker mutation to prove the harness catches it.
 //!
+//! `workload-report` renders the open-loop workload view of a schema-v6
+//! trace: per-tenant arrivals, FIFO-matched queueing-delay quantiles,
+//! tenant churn, the arrival-rate timeline, per-tenant regret, and device
+//! utilization.
+//!
 //! `recovery-report` inspects a write-ahead-log directory without
 //! replaying it: record counts per tag, torn-tail status, the last
 //! checkpoint barrier, the replay suffix, and an independent
@@ -41,9 +47,11 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: easeml-trace \
-                     <report|chrome|profile|explain|record|replay-diff|recovery-report> ... \
+                     <report|workload-report|chrome|profile|explain|record|replay-diff\
+                     |recovery-report> ... \
                      | --version\n\
                      \x20 report <trace.jsonl> [--target USER=QUALITY]...\n\
+                     \x20 workload-report <trace.jsonl> [--target USER=QUALITY]...\n\
                      \x20 chrome <trace.jsonl>\n\
                      \x20 profile <trace.jsonl>... [--users N,N,...] [--folded PATH]\n\
                      \x20 explain <trace.jsonl> [--round N]\n\
@@ -104,6 +112,12 @@ fn run() -> Result<(), String> {
             let trace = easeml_trace::load_trace_with_rotations(path)?;
             let targets = parse_targets(rest)?;
             print!("{}", easeml_trace::render_report(&trace, &targets));
+            Ok(())
+        }
+        "workload-report" => {
+            let trace = easeml_trace::load_trace_with_rotations(path)?;
+            let targets = parse_targets(rest)?;
+            print!("{}", easeml_trace::render_workload_report(&trace, &targets));
             Ok(())
         }
         "chrome" => {

@@ -1,0 +1,471 @@
+//! The open-loop workload report (schema v6).
+//!
+//! Closed-loop traces answer "who got the next device"; open-loop traces
+//! recorded by `easeml-workload` also carry *when work arrived* and *who
+//! was present* — [`JobArrived`](Event::JobArrived),
+//! [`TenantJoined`](Event::TenantJoined),
+//! [`TenantRetired`](Event::TenantRetired). This module folds that
+//! vocabulary into the quality-of-service questions that only exist in the
+//! open-loop regime: per-job queueing delay (FIFO-matching each tenant's
+//! arrivals to its dispatches), the arrival-rate timeline, tenant churn,
+//! and how much scripted work was still queued when the trace ended.
+//!
+//! [`render_workload_report`] combines this fold with the existing regret
+//! decomposition and device-utilization folds, so one report answers the
+//! multi-tenant question end to end: what arrived, who was present, how
+//! long jobs waited, and what regret each tenant paid.
+
+use crate::{exec_report, regret_report, LoadedTrace};
+use easeml_obs::{Event, QuantileSketch};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Buckets the arrival-rate timeline divides the trace horizon into.
+pub const TIMELINE_BUCKETS: usize = 12;
+
+/// One tenant's share of the open-loop workload stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantWorkload {
+    /// `JobArrived` events for this tenant.
+    pub arrivals: u64,
+    /// `RunDispatched` events for this tenant (jobs actually served).
+    pub served: u64,
+    /// `TenantJoined` events (rejoins after churn; the initial engine
+    /// registration is implicit and not an event).
+    pub joins: u64,
+    /// `TenantRetired` events.
+    pub retirements: u64,
+    /// Whether the tenant's last lifecycle event was a retirement.
+    pub ends_retired: bool,
+    /// Arrivals never matched to a dispatch — still queued (or orphaned by
+    /// a retirement) when the trace ended.
+    pub backlogged: u64,
+    /// Per-job queueing delay (dispatch time − arrival time), FIFO-matched.
+    pub queueing_delay: QuantileSketch,
+}
+
+/// The open-loop workload stream summarized.
+///
+/// A closed-loop trace (schema ≤ 5, or v6 without a workload driver)
+/// contains none of the v6 events and yields `arrivals == 0` — renderers
+/// use that to skip the section.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadReport {
+    /// Total `JobArrived` events.
+    pub arrivals: u64,
+    /// Total `TenantJoined` events (rejoins).
+    pub joins: u64,
+    /// Total `TenantRetired` events.
+    pub retirements: u64,
+    /// Latest simulated time any v6 or execution event carries.
+    pub horizon: f64,
+    /// Per-tenant breakdown, keyed by tenant slot.
+    pub per_tenant: BTreeMap<usize, TenantWorkload>,
+    /// Queueing delay across all tenants (merge of the per-tenant
+    /// sketches).
+    pub queueing_delay: QuantileSketch,
+    /// Arrival counts per timeline bucket; bucket `i` covers
+    /// `[i·width, (i+1)·width)` with `width = horizon /` [`TIMELINE_BUCKETS`].
+    pub timeline: Vec<u64>,
+}
+
+impl WorkloadReport {
+    /// Width of one arrival-timeline bucket in simulated time.
+    #[must_use]
+    pub fn bucket_width(&self) -> f64 {
+        if self.timeline.is_empty() {
+            return 0.0;
+        }
+        self.horizon / self.timeline.len() as f64
+    }
+
+    /// Mean arrival rate over the whole horizon (0 when degenerate).
+    #[must_use]
+    pub fn mean_arrival_rate(&self) -> f64 {
+        if self.horizon <= 0.0 {
+            return 0.0;
+        }
+        self.arrivals as f64 / self.horizon
+    }
+
+    /// Arrivals never matched to a dispatch, across all tenants.
+    #[must_use]
+    pub fn backlogged(&self) -> u64 {
+        self.per_tenant.values().map(|t| t.backlogged).sum()
+    }
+}
+
+/// Folds the v6 open-loop vocabulary into a [`WorkloadReport`].
+///
+/// Queueing delay pairs each tenant's `JobArrived` with its next
+/// `RunDispatched` FIFO — the engine dispatches a tenant's jobs in arrival
+/// order, so the k-th dispatch serves the k-th arrival. Dispatches without
+/// a pending arrival (a closed-loop prefix) contribute no delay sample.
+#[must_use]
+pub fn workload_report(events: &[Event]) -> WorkloadReport {
+    let mut out = WorkloadReport::default();
+    let mut pending: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+    let mut arrival_times: Vec<f64> = Vec::new();
+    for event in events {
+        match event {
+            Event::JobArrived { user, at, .. } => {
+                out.arrivals += 1;
+                let tenant = out.per_tenant.entry(*user).or_default();
+                tenant.arrivals += 1;
+                if at.is_finite() && *at >= 0.0 {
+                    pending.entry(*user).or_default().push(*at);
+                    arrival_times.push(*at);
+                    out.horizon = out.horizon.max(*at);
+                }
+            }
+            Event::RunDispatched { user, at, .. } => {
+                let tenant = out.per_tenant.entry(*user).or_default();
+                tenant.served += 1;
+                if at.is_finite() {
+                    out.horizon = out.horizon.max(*at);
+                }
+                if let Some(queue) = pending.get_mut(user) {
+                    if !queue.is_empty() {
+                        let arrived = queue.remove(0);
+                        if at.is_finite() && *at >= arrived {
+                            let delay = at - arrived;
+                            tenant.queueing_delay.insert(delay);
+                            out.queueing_delay.insert(delay);
+                        }
+                    }
+                }
+            }
+            Event::RunFinished { at, .. } if at.is_finite() => {
+                out.horizon = out.horizon.max(*at);
+            }
+            Event::TenantJoined { user, at, .. } => {
+                out.joins += 1;
+                let tenant = out.per_tenant.entry(*user).or_default();
+                tenant.joins += 1;
+                tenant.ends_retired = false;
+                if at.is_finite() {
+                    out.horizon = out.horizon.max(*at);
+                }
+            }
+            Event::TenantRetired { user, at, .. } => {
+                out.retirements += 1;
+                let tenant = out.per_tenant.entry(*user).or_default();
+                tenant.retirements += 1;
+                tenant.ends_retired = true;
+                if at.is_finite() {
+                    out.horizon = out.horizon.max(*at);
+                }
+            }
+            _ => {}
+        }
+    }
+    for (user, queue) in pending {
+        if let Some(tenant) = out.per_tenant.get_mut(&user) {
+            tenant.backlogged = queue.len() as u64;
+        }
+    }
+    if out.arrivals > 0 {
+        out.timeline = vec![0u64; TIMELINE_BUCKETS];
+        let width = out.horizon / TIMELINE_BUCKETS as f64;
+        for at in arrival_times {
+            let bucket = if width > 0.0 {
+                ((at / width) as usize).min(TIMELINE_BUCKETS - 1)
+            } else {
+                0
+            };
+            out.timeline[bucket] += 1;
+        }
+    }
+    out
+}
+
+/// The quantiles the workload section prints.
+const DELAY_QUANTILES: [(f64, &str); 3] = [(0.5, "p50"), (0.9, "p90"), (0.99, "p99")];
+
+/// Renders the `easeml-trace workload-report` output: the open-loop fold,
+/// per-tenant regret (the same Theorem 1 decomposition `report` prints),
+/// and device utilization against the makespan.
+#[must_use]
+pub fn render_workload_report(trace: &LoadedTrace, targets: &BTreeMap<usize, f64>) -> String {
+    let workload = workload_report(&trace.events);
+    let regret = regret_report(&trace.events, targets);
+    let exec = exec_report(&trace.events);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "=== easeml-trace workload report ===");
+    if workload.arrivals == 0 {
+        let _ = writeln!(
+            out,
+            "no JobArrived events — this is a closed-loop trace \
+             (schema v6+ open-loop runs carry them)"
+        );
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "arrivals: {}  horizon: {:.4}  mean rate: {:.4}/unit  \
+         backlogged at end: {}",
+        workload.arrivals,
+        workload.horizon,
+        workload.mean_arrival_rate(),
+        workload.backlogged(),
+    );
+    let _ = writeln!(
+        out,
+        "tenant churn: {} retirement(s), {} rejoin(s)",
+        workload.retirements, workload.joins
+    );
+
+    let _ = writeln!(out, "\n--- per-tenant workload ---");
+    let _ = writeln!(
+        out,
+        "{:>6}  {:>8}  {:>8}  {:>9}  {:>7}  {:>7}  {:>10}  {:>10}  {:>8}",
+        "user",
+        "arrived",
+        "served",
+        "backlog",
+        "retire",
+        "rejoin",
+        "delay p50",
+        "delay p90",
+        "state"
+    );
+    for (user, t) in &workload.per_tenant {
+        let q = |p: f64| t.queueing_delay.quantile(p).unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "{user:>6}  {:>8}  {:>8}  {:>9}  {:>7}  {:>7}  {:>10.4}  {:>10.4}  {:>8}",
+            t.arrivals,
+            t.served,
+            t.backlogged,
+            t.retirements,
+            t.joins,
+            q(0.5),
+            q(0.9),
+            if t.ends_retired { "retired" } else { "active" },
+        );
+    }
+    if workload.queueing_delay.count() > 0 {
+        let mut line = String::from("queueing delay (all tenants):");
+        for (q, label) in DELAY_QUANTILES {
+            let _ = write!(
+                line,
+                "  {label} {:.4}",
+                workload.queueing_delay.quantile(q).unwrap_or(0.0)
+            );
+        }
+        let _ = write!(line, "  ({} sample(s))", workload.queueing_delay.count());
+        let _ = writeln!(out, "{line}");
+    }
+
+    let _ = writeln!(out, "\n--- arrival-rate timeline ---");
+    let width = workload.bucket_width();
+    let peak = workload.timeline.iter().copied().max().unwrap_or(0).max(1);
+    for (i, count) in workload.timeline.iter().enumerate() {
+        let start = i as f64 * width;
+        let rate = if width > 0.0 {
+            *count as f64 / width
+        } else {
+            0.0
+        };
+        let bar = "#".repeat(((count * 40) / peak) as usize);
+        let _ = writeln!(out, "[{start:>9.2} +{width:<7.2}) {rate:>8.3}/unit {bar}");
+    }
+
+    let _ = writeln!(out, "\n--- per-tenant regret (Theorem 1) ---");
+    let _ = writeln!(
+        out,
+        "{:>6}  {:>14}  {:>14}  {:>14}",
+        "user", "arm-picking", "user-picking", "total"
+    );
+    for (user, d) in &regret.per_user {
+        let _ = writeln!(
+            out,
+            "{user:>6}  {:>14.6}  {:>14.6}  {:>14.6}",
+            d.arm_picking, d.user_picking, d.total
+        );
+    }
+    let _ = writeln!(
+        out,
+        "decomposition consistent: {}",
+        regret.is_consistent(1e-9)
+    );
+
+    if exec.dispatches > 0 {
+        let _ = writeln!(out, "\n--- device utilization ---");
+        for (device, usage) in &exec.per_device {
+            let _ = writeln!(
+                out,
+                "device {device}: runs {}  busy {:.4}  utilization {:.1}%",
+                usage.dispatches,
+                usage.busy,
+                exec.utilization(*device) * 100.0,
+            );
+        }
+        let _ = writeln!(out, "makespan: {:.4}", exec.makespan);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrived(user: usize, seq: u64, at: f64) -> Event {
+        Event::JobArrived {
+            user,
+            seq,
+            at,
+            parent: 0,
+        }
+    }
+
+    fn dispatched(user: usize, at: f64) -> Event {
+        Event::RunDispatched {
+            user,
+            model: 0,
+            device: 0,
+            cost: 1.0,
+            at,
+            parent: 0,
+        }
+    }
+
+    #[test]
+    fn queueing_delay_is_fifo_matched_per_tenant() {
+        let events = vec![
+            arrived(0, 0, 1.0),
+            arrived(1, 1, 1.5),
+            arrived(0, 2, 2.0),
+            dispatched(0, 3.0), // serves the t=1.0 arrival: delay 2.0
+            dispatched(1, 3.5), // serves the t=1.5 arrival: delay 2.0
+            dispatched(0, 6.0), // serves the t=2.0 arrival: delay 4.0
+        ];
+        let report = workload_report(&events);
+        assert_eq!(report.arrivals, 3);
+        assert_eq!(report.backlogged(), 0);
+        assert_eq!(report.per_tenant[&0].served, 2);
+        assert_eq!(report.per_tenant[&0].queueing_delay.count(), 2);
+        let worst = report.per_tenant[&0].queueing_delay.quantile(1.0).unwrap();
+        assert!((worst - 4.0).abs() < 0.2, "worst delay ~4.0, got {worst}");
+        assert_eq!(report.queueing_delay.count(), 3);
+    }
+
+    #[test]
+    fn unserved_arrivals_count_as_backlog() {
+        let events = vec![
+            arrived(0, 0, 0.5),
+            arrived(0, 1, 0.6),
+            arrived(2, 2, 0.7),
+            dispatched(0, 1.0),
+        ];
+        let report = workload_report(&events);
+        assert_eq!(report.per_tenant[&0].backlogged, 1);
+        assert_eq!(report.per_tenant[&2].backlogged, 1);
+        assert_eq!(report.backlogged(), 2);
+    }
+
+    #[test]
+    fn churn_events_track_final_state() {
+        let events = vec![
+            arrived(1, 0, 0.1),
+            Event::TenantRetired {
+                user: 1,
+                serves: 3,
+                at: 2.0,
+                parent: 0,
+            },
+            Event::TenantJoined {
+                user: 1,
+                name: "user1".into(),
+                models: 4,
+                at: 5.0,
+                parent: 0,
+            },
+            Event::TenantRetired {
+                user: 2,
+                serves: 0,
+                at: 6.0,
+                parent: 0,
+            },
+        ];
+        let report = workload_report(&events);
+        assert_eq!(report.retirements, 2);
+        assert_eq!(report.joins, 1);
+        assert!(!report.per_tenant[&1].ends_retired);
+        assert!(report.per_tenant[&2].ends_retired);
+        assert!((report.horizon - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeline_buckets_cover_the_horizon() {
+        let mut events = Vec::new();
+        // 24 arrivals spread uniformly over [0, 12): two per bucket.
+        for i in 0u32..24 {
+            events.push(arrived(0, u64::from(i), f64::from(i) * 0.5));
+        }
+        let report = workload_report(&events);
+        assert_eq!(report.timeline.len(), TIMELINE_BUCKETS);
+        assert_eq!(report.timeline.iter().sum::<u64>(), 24);
+        assert!((report.bucket_width() - 11.5 / 12.0).abs() < 1e-9);
+        assert!(
+            report.timeline.iter().all(|&c| c >= 1),
+            "uniform arrivals must land in every bucket: {:?}",
+            report.timeline
+        );
+    }
+
+    #[test]
+    fn a_closed_loop_trace_yields_an_empty_report() {
+        let events = vec![dispatched(0, 1.0), dispatched(1, 2.0)];
+        let report = workload_report(&events);
+        assert_eq!(report.arrivals, 0);
+        assert!(report.timeline.is_empty());
+        let trace = LoadedTrace {
+            events,
+            ..LoadedTrace::default()
+        };
+        let text = render_workload_report(&trace, &BTreeMap::new());
+        assert!(text.contains("closed-loop"), "{text}");
+    }
+
+    #[test]
+    fn the_rendered_report_names_its_sections() {
+        let events = vec![
+            arrived(0, 0, 0.5),
+            dispatched(0, 1.0),
+            Event::RunFinished {
+                user: 0,
+                model: 0,
+                device: 0,
+                at: 2.0,
+                ok: true,
+                parent: 0,
+            },
+            Event::TrainingCompleted {
+                user: 0,
+                model: 0,
+                cost: 1.0,
+                quality: 0.7,
+                parent: 0,
+            },
+            Event::TenantRetired {
+                user: 0,
+                serves: 1,
+                at: 2.0,
+                parent: 0,
+            },
+        ];
+        let trace = LoadedTrace {
+            events,
+            ..LoadedTrace::default()
+        };
+        let text = render_workload_report(&trace, &BTreeMap::new());
+        assert!(text.contains("per-tenant workload"), "{text}");
+        assert!(text.contains("arrival-rate timeline"), "{text}");
+        assert!(text.contains("per-tenant regret"), "{text}");
+        assert!(text.contains("device utilization"), "{text}");
+        assert!(text.contains("retired"), "{text}");
+        assert!(text.contains("decomposition consistent: true"), "{text}");
+    }
+}

@@ -28,13 +28,58 @@ impl CrashPoint {
     }
 }
 
-/// One step of the splitmix64 generator (same constants as `core::fault`).
+/// One step of the splitmix64 generator.
+///
+/// This is the workspace's *single* copy of the mixer: `core::fault` keys
+/// its fault stream off it, `easeml-obs` reservoirs sample with the
+/// stateful [`SplitMix64`] wrapper, and `easeml-workload` draws arrival
+/// processes from it. It lives here because the WAL crate is the only
+/// dependency-free crate every consumer already reaches.
 #[must_use]
 pub fn splitmix64(state: u64) -> u64 {
     let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// Stateful splitmix64 stream: each call returns [`splitmix64`] of the
+/// current state and advances the state by the golden-ratio increment.
+///
+/// The output sequence for seed `s` is `splitmix64(s), splitmix64(s + γ),
+/// splitmix64(s + 2γ), …` with `γ = 0x9e37_79b9_7f4a_7c15` — the
+/// canonical SplitMix64 construction, and bit-identical to the stateful
+/// copy `easeml-obs` sketches used to carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A stream seeded at `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = splitmix64(self.state);
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        out
+    }
+
+    /// The next uniform draw in `[0, 1)` (53 high bits, like
+    /// `core::fault`'s unit draws).
+    pub fn next_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The raw generator state, for checkpointing.
+    #[must_use]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
 }
 
 /// Draw up to `count` distinct crash offsets in `[0, max_byte]`, sorted
@@ -76,6 +121,23 @@ mod tests {
         assert!(a.iter().all(|&o| o <= 5000));
         // A different seed gives a different draw.
         assert_ne!(a, sample_offsets(42, 5000, 64));
+    }
+
+    #[test]
+    fn stateful_stream_matches_the_free_function() {
+        let seed = 0x5eed_f00d;
+        let mut stream = SplitMix64::new(seed);
+        let golden = 0x9e37_79b9_7f4a_7c15u64;
+        for i in 0..8u64 {
+            assert_eq!(
+                stream.next_u64(),
+                splitmix64(seed.wrapping_add(i.wrapping_mul(golden)))
+            );
+        }
+        let mut stream = SplitMix64::new(seed);
+        let unit = stream.next_unit();
+        assert!((0.0..1.0).contains(&unit));
+        assert_eq!(unit, (splitmix64(seed) >> 11) as f64 / (1u64 << 53) as f64);
     }
 
     #[test]

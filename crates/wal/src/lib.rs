@@ -35,7 +35,7 @@ mod crashpoint;
 mod record;
 mod segment;
 
-pub use crashpoint::{sample_offsets, splitmix64, CrashPoint};
+pub use crashpoint::{sample_offsets, splitmix64, CrashPoint, SplitMix64};
 pub use record::{DurableEvent, KIND_CRASH, KIND_INVALID, KIND_TIMEOUT};
 pub use segment::{
     read_log, truncate_log, AppendOutcome, FsyncPolicy, ReadRecord, TornReason, TornTail, WalLog,

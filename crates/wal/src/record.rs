@@ -113,6 +113,33 @@ pub enum DurableEvent {
         /// Rolling witness digest *after* folding this completion.
         digest: u64,
     },
+    /// A tenant joined the service mid-run. Carries everything recovery
+    /// needs to re-register the tenant when the join postdates the latest
+    /// checkpoint: its slot, candidate-model count, and display name.
+    TenantJoined {
+        /// Rounds committed when the join happened (audit ordering; replay
+        /// dedups by `user` against the restored checkpoint).
+        round: u64,
+        /// Index (slot) the tenant was registered under.
+        user: u64,
+        /// Number of candidate models the tenant's program declares
+        /// (cross-checked against the re-parsed program on replay).
+        arms: u64,
+        /// Tenant display name (UTF-8, u32-length-prefixed on disk).
+        name: String,
+        /// Original program source, so recovery can re-register a join
+        /// that postdates the latest checkpoint.
+        program: String,
+    },
+    /// A tenant retired. Replay re-applies the retirement idempotently;
+    /// the tenant's slot and GP state survive, only its picker visibility
+    /// ends.
+    TenantRetired {
+        /// Rounds committed when the retirement happened.
+        round: u64,
+        /// Index (slot) of the retired tenant.
+        user: u64,
+    },
 }
 
 const TAG_ROUND_START: u8 = 0;
@@ -124,6 +151,8 @@ const TAG_ROUND_COMMIT: u8 = 5;
 const TAG_CHECKPOINT: u8 = 6;
 const TAG_EXEC_DISPATCH: u8 = 7;
 const TAG_EXEC_COMPLETION: u8 = 8;
+const TAG_TENANT_JOINED: u8 = 9;
+const TAG_TENANT_RETIRED: u8 = 10;
 
 fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -131,6 +160,11 @@ fn put_u64(buf: &mut Vec<u8>, v: u64) {
 
 fn put_f64(buf: &mut Vec<u8>, v: f64) {
     buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&u32::try_from(s.len()).expect("name too long").to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
 }
 
 struct Cursor<'a> {
@@ -168,6 +202,25 @@ impl<'a> Cursor<'a> {
         Ok(f64::from_bits(self.u64()?))
     }
 
+    fn str(&mut self) -> Result<String, String> {
+        let end = self.pos + 4;
+        let bytes = self
+            .data
+            .get(self.pos..end)
+            .ok_or_else(|| "record truncated".to_string())?;
+        self.pos = end;
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(bytes);
+        let len = u32::from_le_bytes(raw) as usize;
+        let end = self.pos + len;
+        let bytes = self
+            .data
+            .get(self.pos..end)
+            .ok_or_else(|| "record truncated".to_string())?;
+        self.pos = end;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "invalid UTF-8 in string field".to_string())
+    }
+
     fn bool(&mut self) -> Result<bool, String> {
         match self.u8()? {
             0 => Ok(false),
@@ -203,6 +256,8 @@ impl DurableEvent {
             Self::CheckpointMark { .. } => "checkpoint-mark",
             Self::ExecDispatch { .. } => "exec-dispatch",
             Self::ExecCompletion { .. } => "exec-completion",
+            Self::TenantJoined { .. } => "tenant-joined",
+            Self::TenantRetired { .. } => "tenant-retired",
         }
     }
 
@@ -308,6 +363,25 @@ impl DurableEvent {
                 buf.push(u8::from(censored));
                 put_u64(&mut buf, digest);
             }
+            Self::TenantJoined {
+                round,
+                user,
+                arms,
+                ref name,
+                ref program,
+            } => {
+                buf.push(TAG_TENANT_JOINED);
+                put_u64(&mut buf, round);
+                put_u64(&mut buf, user);
+                put_u64(&mut buf, arms);
+                put_str(&mut buf, name);
+                put_str(&mut buf, program);
+            }
+            Self::TenantRetired { round, user } => {
+                buf.push(TAG_TENANT_RETIRED);
+                put_u64(&mut buf, round);
+                put_u64(&mut buf, user);
+            }
         }
         buf
     }
@@ -378,6 +452,17 @@ impl DurableEvent {
                 censored: c.bool()?,
                 digest: c.u64()?,
             },
+            TAG_TENANT_JOINED => Self::TenantJoined {
+                round: c.u64()?,
+                user: c.u64()?,
+                arms: c.u64()?,
+                name: c.str()?,
+                program: c.str()?,
+            },
+            TAG_TENANT_RETIRED => Self::TenantRetired {
+                round: c.u64()?,
+                user: c.u64()?,
+            },
             other => return Err(format!("unknown record tag {other}")),
         };
         c.finish()?;
@@ -441,6 +526,14 @@ mod tests {
                 censored: false,
                 digest: 99,
             },
+            DurableEvent::TenantJoined {
+                round: 40,
+                user: 4,
+                arms: 8,
+                name: "tenant-d".into(),
+                program: "{input: {[Tensor[8]], []}, output: {[Tensor[2]], []}}".into(),
+            },
+            DurableEvent::TenantRetired { round: 55, user: 4 },
         ]
     }
 
@@ -500,5 +593,28 @@ mod tests {
         .encode();
         commit[25] = 7; // tag + 3 u64 fields = offset 25 is the bool byte
         assert!(DurableEvent::decode(&commit).is_err());
+        // Invalid UTF-8 in a tenant name.
+        let mut joined = DurableEvent::TenantJoined {
+            round: 1,
+            user: 0,
+            arms: 4,
+            name: "ok".into(),
+            program: "p".into(),
+        }
+        .encode();
+        *joined.last_mut().unwrap() = 0xFF; // 0xFF is never valid UTF-8
+        assert!(DurableEvent::decode(&joined).is_err());
+    }
+
+    #[test]
+    fn empty_tenant_names_round_trip() {
+        let event = DurableEvent::TenantJoined {
+            round: 0,
+            user: 0,
+            arms: 1,
+            name: String::new(),
+            program: String::new(),
+        };
+        assert_eq!(DurableEvent::decode(&event.encode()).unwrap(), event);
     }
 }

@@ -1,0 +1,206 @@
+//! Seeded open-loop arrival processes.
+//!
+//! Both processes draw from the workspace's shared [`SplitMix64`] stream
+//! (the same mixer `core::fault` and the telemetry sketches use), so a
+//! `(kind, seed)` pair names one arrival sequence forever — across runs,
+//! platforms, and checkpoint/restore cycles.
+
+use easeml_wal::SplitMix64;
+
+/// The arrival-rate shape of one job stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalKind {
+    /// Homogeneous Poisson arrivals: exponential inter-arrival times with
+    /// mean `1 / rate`.
+    Poisson {
+        /// Jobs per unit of simulated time.
+        rate: f64,
+    },
+    /// Diurnally modulated Poisson process with instantaneous rate
+    /// `base · (1 + amplitude · sin(2πt / period))`, realized by
+    /// Lewis–Shedler thinning against the peak rate `base · (1 + amplitude)`.
+    Diurnal {
+        /// Mean rate (jobs per unit time).
+        base: f64,
+        /// Relative swing in `[0, 1]`: 0 degenerates to Poisson, 1 silences
+        /// the trough entirely.
+        amplitude: f64,
+        /// Length of one day in simulated time units.
+        period: f64,
+    },
+}
+
+/// A deterministic, infinite stream of absolute arrival times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalProcess {
+    kind: ArrivalKind,
+    rng: SplitMix64,
+    t: f64,
+}
+
+impl ArrivalProcess {
+    /// A process of the given shape, seeded at `seed`, starting at time 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite or non-positive rate/base/period, or an
+    /// amplitude outside `[0, 1]`.
+    #[must_use]
+    pub fn new(kind: ArrivalKind, seed: u64) -> Self {
+        match kind {
+            ArrivalKind::Poisson { rate } => {
+                assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+            }
+            ArrivalKind::Diurnal {
+                base,
+                amplitude,
+                period,
+            } => {
+                assert!(base.is_finite() && base > 0.0, "base rate must be positive");
+                assert!(
+                    (0.0..=1.0).contains(&amplitude),
+                    "amplitude must lie in [0, 1]"
+                );
+                assert!(
+                    period.is_finite() && period > 0.0,
+                    "period must be positive"
+                );
+            }
+        }
+        ArrivalProcess {
+            kind,
+            rng: SplitMix64::new(seed),
+            t: 0.0,
+        }
+    }
+
+    /// One exponential draw with the given rate (inverse-CDF of a uniform).
+    fn exp_draw(&mut self, rate: f64) -> f64 {
+        // next_unit is in [0, 1); 1 - u is in (0, 1], so the log is finite.
+        -(1.0 - self.rng.next_unit()).ln() / rate
+    }
+
+    /// Advances to and returns the next absolute arrival time.
+    pub fn next_arrival(&mut self) -> f64 {
+        match self.kind {
+            ArrivalKind::Poisson { rate } => self.t += self.exp_draw(rate),
+            ArrivalKind::Diurnal {
+                base,
+                amplitude,
+                period,
+            } => {
+                let peak = base * (1.0 + amplitude);
+                loop {
+                    self.t += self.exp_draw(peak);
+                    let rate =
+                        base * (1.0 + amplitude * (std::f64::consts::TAU * self.t / period).sin());
+                    if self.rng.next_unit() * peak <= rate {
+                        break;
+                    }
+                }
+            }
+        }
+        self.t
+    }
+
+    /// Every arrival strictly before `horizon`, in order.
+    pub fn take_until(&mut self, horizon: f64) -> Vec<f64> {
+        let mut times = Vec::new();
+        loop {
+            let at = self.next_arrival();
+            if at >= horizon {
+                return times;
+            }
+            times.push(at);
+        }
+    }
+}
+
+impl Iterator for ArrivalProcess {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        Some(self.next_arrival())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_is_deterministic_and_monotone() {
+        let kind = ArrivalKind::Poisson { rate: 2.0 };
+        let a: Vec<f64> = ArrivalProcess::new(kind, 7).take(100).collect();
+        let b: Vec<f64> = ArrivalProcess::new(kind, 7).take(100).collect();
+        assert_eq!(a, b, "same seed must give the same stream");
+        let c: Vec<f64> = ArrivalProcess::new(kind, 8).take(100).collect();
+        assert_ne!(a, c, "different seeds must diverge");
+        for w in a.windows(2) {
+            assert!(w[1] > w[0], "arrival times must strictly increase");
+        }
+    }
+
+    #[test]
+    fn poisson_mean_rate_is_approximately_honored() {
+        let mut p = ArrivalProcess::new(ArrivalKind::Poisson { rate: 4.0 }, 11);
+        let times = p.take_until(500.0);
+        let rate = times.len() as f64 / 500.0;
+        assert!(
+            (rate - 4.0).abs() < 0.25,
+            "empirical rate {rate} too far from 4.0"
+        );
+    }
+
+    #[test]
+    fn diurnal_concentrates_arrivals_at_the_peak() {
+        // rate(t) = 2·(1 + 0.9·sin(2πt/100)): peak near t ≡ 25 (mod 100),
+        // trough near t ≡ 75. Count arrivals in the two half-cycles.
+        let mut p = ArrivalProcess::new(
+            ArrivalKind::Diurnal {
+                base: 2.0,
+                amplitude: 0.9,
+                period: 100.0,
+            },
+            13,
+        );
+        let times = p.take_until(2000.0);
+        let up = times.iter().filter(|t| (*t % 100.0) < 50.0).count();
+        let down = times.len() - up;
+        assert!(
+            up as f64 > 1.5 * down as f64,
+            "rising half-cycle must dominate: {up} vs {down}"
+        );
+        // Thinning keeps the mean near the base rate.
+        let rate = times.len() as f64 / 2000.0;
+        assert!((rate - 2.0).abs() < 0.3, "empirical base rate {rate}");
+    }
+
+    #[test]
+    fn zero_amplitude_diurnal_degenerates_to_poisson_rate() {
+        let mut p = ArrivalProcess::new(
+            ArrivalKind::Diurnal {
+                base: 3.0,
+                amplitude: 0.0,
+                period: 10.0,
+            },
+            5,
+        );
+        let times = p.take_until(300.0);
+        let rate = times.len() as f64 / 300.0;
+        assert!((rate - 3.0).abs() < 0.35, "empirical rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn out_of_range_amplitude_is_rejected() {
+        let _ = ArrivalProcess::new(
+            ArrivalKind::Diurnal {
+                base: 1.0,
+                amplitude: 1.5,
+                period: 10.0,
+            },
+            1,
+        );
+    }
+}

@@ -1,0 +1,282 @@
+//! Std-only readers that replay public cluster-trace CSVs as ease.ml job
+//! streams.
+//!
+//! The schemas mirror the Azure VM-instances table and the Huawei cloud
+//! event log that discrete-event cluster simulators commonly replay; both
+//! readers are deliberately lenient about extra columns and strict about
+//! the columns they use, reporting 1-based line numbers on every parse
+//! error. A trace names its tenants with free-form keys; [`map_jobs`]
+//! folds those keys onto the engine's fixed user slots (first come, first
+//! mapped) so a replay never needs unbounded tenancy.
+
+/// One job parsed out of a trace: tenant `tenant` asks for one unit of
+/// service at absolute time `at`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceJob {
+    /// The trace's tenant key (VM type, user id, resource class, …).
+    pub tenant: String,
+    /// Arrival time in the trace's own time unit.
+    pub at: f64,
+}
+
+/// A cluster-trace parser producing time-sorted job arrivals.
+pub trait TraceReader {
+    /// The schema's short name (used in diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Parses `input` (the full CSV text) into job arrivals sorted by
+    /// time.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending 1-based line.
+    fn parse(&self, input: &str) -> Result<Vec<TraceJob>, String>;
+}
+
+/// Splits one CSV line, trimming whitespace and a trailing `\r`.
+fn fields(line: &str) -> Vec<&str> {
+    line.trim_end_matches('\r')
+        .split(',')
+        .map(str::trim)
+        .collect()
+}
+
+/// Whether a line looks like a header (its time column does not parse).
+fn parse_time(field: &str, what: &str, line_no: usize) -> Result<f64, String> {
+    let t: f64 = field
+        .parse()
+        .map_err(|_| format!("line {line_no}: {what} {field:?} is not a number"))?;
+    if !t.is_finite() || t < 0.0 {
+        return Err(format!(
+            "line {line_no}: {what} {t} must be finite and non-negative"
+        ));
+    }
+    Ok(t)
+}
+
+fn sort_jobs(mut jobs: Vec<TraceJob>) -> Vec<TraceJob> {
+    // Stable: ties keep trace order, which keeps replays deterministic.
+    jobs.sort_by(|a, b| a.at.total_cmp(&b.at));
+    jobs
+}
+
+/// Azure-style VM instances table: `vm_id,vm_type_id,start_time,end_time`
+/// (extra columns tolerated, header optional). Each row is one job arrival
+/// at `start_time`, attributed to tenant `vm_type_id`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AzureTraceReader;
+
+impl TraceReader for AzureTraceReader {
+    fn name(&self) -> &'static str {
+        "azure"
+    }
+
+    fn parse(&self, input: &str) -> Result<Vec<TraceJob>, String> {
+        let mut jobs = Vec::new();
+        for (i, line) in input.lines().enumerate() {
+            let line_no = i + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let cols = fields(line);
+            if cols.len() < 3 {
+                return Err(format!(
+                    "line {line_no}: azure rows need at least 3 columns \
+                     (vm_id,vm_type_id,start_time), got {}",
+                    cols.len()
+                ));
+            }
+            // The header row is recognized by its non-numeric time column.
+            if i == 0 && cols[2].parse::<f64>().is_err() {
+                continue;
+            }
+            if cols[1].is_empty() {
+                return Err(format!("line {line_no}: empty vm_type_id"));
+            }
+            jobs.push(TraceJob {
+                tenant: cols[1].to_string(),
+                at: parse_time(cols[2], "start_time", line_no)?,
+            });
+        }
+        Ok(sort_jobs(jobs))
+    }
+}
+
+/// Huawei-style event log: `vm_id,cpu,memory,time,type` where `type` 0 is
+/// a creation and 1 a deletion (extra columns tolerated, header optional).
+/// Creations become job arrivals attributed to the resource-class tenant
+/// `c<cpu>m<memory>`; deletions are skipped.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HuaweiTraceReader;
+
+impl TraceReader for HuaweiTraceReader {
+    fn name(&self) -> &'static str {
+        "huawei"
+    }
+
+    fn parse(&self, input: &str) -> Result<Vec<TraceJob>, String> {
+        let mut jobs = Vec::new();
+        for (i, line) in input.lines().enumerate() {
+            let line_no = i + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let cols = fields(line);
+            if cols.len() < 5 {
+                return Err(format!(
+                    "line {line_no}: huawei rows need at least 5 columns \
+                     (vm_id,cpu,memory,time,type), got {}",
+                    cols.len()
+                ));
+            }
+            if i == 0 && cols[3].parse::<f64>().is_err() {
+                continue;
+            }
+            let kind: u32 = cols[4]
+                .parse()
+                .map_err(|_| format!("line {line_no}: type {:?} is not an integer", cols[4]))?;
+            match kind {
+                0 => jobs.push(TraceJob {
+                    tenant: format!("c{}m{}", cols[1], cols[2]),
+                    at: parse_time(cols[3], "time", line_no)?,
+                }),
+                1 => {}
+                other => {
+                    return Err(format!(
+                        "line {line_no}: type must be 0 (create) or 1 (delete), got {other}"
+                    ))
+                }
+            }
+        }
+        Ok(sort_jobs(jobs))
+    }
+}
+
+/// How trace tenant keys landed on engine user slots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantMap {
+    /// Slot index → trace tenant key, in first-seen order.
+    pub names: Vec<String>,
+    /// Jobs dropped because their tenant arrived after every slot was
+    /// taken.
+    pub dropped: usize,
+}
+
+impl TenantMap {
+    /// The slot a tenant key maps to, if any.
+    #[must_use]
+    pub fn slot(&self, tenant: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == tenant)
+    }
+}
+
+/// Folds trace tenants onto `num_slots` engine user slots, first come
+/// first mapped. Jobs from tenants beyond the slot budget are dropped and
+/// counted in the returned [`TenantMap::dropped`].
+#[must_use]
+pub fn map_jobs(jobs: &[TraceJob], num_slots: usize) -> (Vec<(usize, f64)>, TenantMap) {
+    let mut names: Vec<String> = Vec::new();
+    let mut mapped = Vec::new();
+    let mut dropped = 0usize;
+    for job in jobs {
+        let slot = match names.iter().position(|n| *n == job.tenant) {
+            Some(slot) => slot,
+            None if names.len() < num_slots => {
+                names.push(job.tenant.clone());
+                names.len() - 1
+            }
+            None => {
+                dropped += 1;
+                continue;
+            }
+        };
+        mapped.push((slot, job.at));
+    }
+    (mapped, TenantMap { names, dropped })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const AZURE: &str = "\
+vm_id,vm_type_id,start_time,end_time
+1,small,0.5,9.0
+2,large,0.25,4.0
+3,small,1.75,2.5
+";
+
+    const HUAWEI: &str = "\
+vm_id,cpu,memory,time,type
+1,4,8,0.5,0
+1,4,8,3.0,1
+2,8,16,1.25,0
+3,4,8,2.0,0
+";
+
+    #[test]
+    fn azure_rows_become_time_sorted_jobs() {
+        let jobs = AzureTraceReader.parse(AZURE).expect("parse");
+        assert_eq!(
+            jobs,
+            vec![
+                TraceJob {
+                    tenant: "large".into(),
+                    at: 0.25
+                },
+                TraceJob {
+                    tenant: "small".into(),
+                    at: 0.5
+                },
+                TraceJob {
+                    tenant: "small".into(),
+                    at: 1.75
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn huawei_creations_become_jobs_and_deletions_are_skipped() {
+        let jobs = HuaweiTraceReader.parse(HUAWEI).expect("parse");
+        assert_eq!(jobs.len(), 3, "three creations, one deletion");
+        assert_eq!(jobs[0].tenant, "c4m8");
+        assert_eq!(jobs[1].tenant, "c8m16");
+        assert_eq!(jobs[2].tenant, "c4m8");
+        assert_eq!(jobs[0].at, 0.5);
+    }
+
+    #[test]
+    fn parse_errors_name_the_line() {
+        let err = AzureTraceReader
+            .parse("vm_id,vm_type_id,start_time\n1,small,soon\n")
+            .unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("soon"), "{err}");
+        let err = HuaweiTraceReader.parse("1,4,8,0.5,7\n").unwrap_err();
+        assert!(err.contains("type must be 0"), "{err}");
+        let err = AzureTraceReader.parse("1,x,-3.0\n").unwrap_err();
+        assert!(err.contains("non-negative"), "{err}");
+    }
+
+    #[test]
+    fn headerless_traces_parse_too() {
+        let jobs = AzureTraceReader.parse("1,t0,2.0,9.9\n").expect("parse");
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].tenant, "t0");
+    }
+
+    #[test]
+    fn map_jobs_folds_tenants_first_come_first_mapped() {
+        let jobs = AzureTraceReader.parse(AZURE).expect("parse");
+        let (mapped, map) = map_jobs(&jobs, 2);
+        assert_eq!(map.names, vec!["large".to_string(), "small".to_string()]);
+        assert_eq!(map.dropped, 0);
+        assert_eq!(mapped, vec![(0, 0.25), (1, 0.5), (1, 1.75)]);
+        let (mapped, map) = map_jobs(&jobs, 1);
+        assert_eq!(map.dropped, 2, "both small jobs dropped");
+        assert_eq!(mapped, vec![(0, 0.25)]);
+        assert_eq!(map.slot("large"), Some(0));
+        assert_eq!(map.slot("small"), None);
+    }
+}

@@ -1,0 +1,252 @@
+//! Replay-driver invariants that anchor the open-loop workload engine to
+//! the validated closed-loop execution engine:
+//!
+//! 1. churn disabled + always backlogged ⇒ the workload-driven run is
+//!    bit-identical (witness-digest equal) to the closed-loop engine run;
+//! 2. a mid-replay checkpoint — engine snapshot plus script cursor,
+//!    round-tripped through its serialized form — resumes bit-exactly
+//!    under churn;
+//! 3. a retired tenant is never dispatched again until it rejoins;
+//! 4. a cluster-trace CSV replays end-to-end into served jobs.
+
+use easeml::sim::{SchedulerKind, SimConfig};
+use easeml_data::{Dataset, SynConfig};
+use easeml_exec::{ExecEngine, Fleet};
+use easeml_gp::ArmPrior;
+use easeml_obs::{Event, InMemoryRecorder, RecorderHandle};
+use easeml_workload::{
+    map_jobs, ArrivalKind, AzureTraceReader, ChurnConfig, ReplayCheckpoint, ReplayDriver,
+    TraceReader, WorkloadEvent, WorkloadScript,
+};
+use std::sync::Arc;
+
+fn dataset(users: usize, models: usize, seed: u64) -> Dataset {
+    SynConfig {
+        num_users: users,
+        num_models: models,
+        ..SynConfig::paper(0.5, 0.5)
+    }
+    .generate(seed)
+}
+
+fn priors(dataset: &Dataset) -> Vec<ArmPrior> {
+    (0..dataset.num_users())
+        .map(|_| ArmPrior::independent(dataset.num_models(), 0.05))
+        .collect()
+}
+
+fn engine<'a>(
+    d: &'a Dataset,
+    p: &[ArmPrior],
+    cfg: &SimConfig,
+    devices: usize,
+    recorder: RecorderHandle,
+) -> ExecEngine<'a> {
+    ExecEngine::new(
+        d,
+        p,
+        SchedulerKind::Hybrid,
+        cfg,
+        Fleet::uniform(devices),
+        7,
+        recorder,
+    )
+}
+
+fn witness_digests(events: &[Event]) -> Vec<String> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            Event::DecisionWitness { round, digest, .. } => Some(format!("{round}:{digest}")),
+            _ => None,
+        })
+        .collect()
+}
+
+/// A script with every job already queued at time zero and enough jobs per
+/// user that no backlog can empty before the budget commits.
+fn flooded_script(d: &Dataset, budget: f64) -> WorkloadScript {
+    let min_cost = (0..d.num_users())
+        .flat_map(|u| (0..d.num_models()).map(move |m| d.cost(u, m)))
+        .fold(f64::INFINITY, f64::min);
+    let enough = (budget / min_cost).ceil() as usize + 8;
+    let mut events = Vec::new();
+    for user in 0..d.num_users() {
+        for _ in 0..enough {
+            events.push(WorkloadEvent::Arrival { user, at: 0.0 });
+        }
+    }
+    WorkloadScript::new(events)
+}
+
+#[test]
+fn no_churn_always_backlogged_replay_equals_the_closed_loop_run() {
+    let d = dataset(5, 4, 3);
+    let p = priors(&d);
+    let cfg = SimConfig::new(9.0);
+    let closed_rec = Arc::new(InMemoryRecorder::new());
+    let closed = engine(&d, &p, &cfg, 3, RecorderHandle::new(closed_rec.clone())).run();
+    let open_rec = Arc::new(InMemoryRecorder::new());
+    let driver = ReplayDriver::new(
+        engine(&d, &p, &cfg, 3, RecorderHandle::new(open_rec.clone())),
+        flooded_script(&d, cfg.budget),
+    );
+    let open = driver.run();
+    assert_eq!(open, closed, "workload replay must equal the closed loop");
+    let serial = witness_digests(&closed_rec.events());
+    let replayed = witness_digests(&open_rec.events());
+    assert!(!serial.is_empty());
+    assert_eq!(serial, replayed, "witness digest chains must be identical");
+}
+
+#[test]
+fn mid_replay_checkpoint_roundtrips_and_resumes_bit_exactly() {
+    let d = dataset(5, 4, 21);
+    let p = priors(&d);
+    let cfg = SimConfig::new(10.0);
+    let script = WorkloadScript::synthetic(
+        d.num_users(),
+        ArrivalKind::Poisson { rate: 3.0 },
+        40.0,
+        Some(&ChurnConfig::new(6.0, 3.0)),
+        17,
+    );
+    assert!(script.lifecycle_events() > 0, "the script must churn");
+    let reference = ReplayDriver::new(
+        engine(&d, &p, &cfg, 2, RecorderHandle::noop()),
+        script.clone(),
+    )
+    .run();
+    let mut driver = ReplayDriver::new(
+        engine(&d, &p, &cfg, 2, RecorderHandle::noop()),
+        script.clone(),
+    );
+    for _ in 0..7 {
+        assert!(driver.step(), "the replay must outlast seven steps");
+    }
+    let encoded = driver.checkpoint().encode();
+    let decoded = ReplayCheckpoint::decode(&encoded).expect("decode replay checkpoint");
+    assert_eq!(decoded, driver.checkpoint());
+    let restored = ReplayDriver::restore(&d, &p, script, &decoded).expect("restore");
+    assert_eq!(restored.cursor(), driver.cursor());
+    let resumed = restored.run();
+    assert_eq!(
+        resumed, reference,
+        "a restored replay must finish bit-identically"
+    );
+}
+
+#[test]
+fn restore_rejects_a_mismatched_script() {
+    let d = dataset(4, 3, 5);
+    let p = priors(&d);
+    let cfg = SimConfig::new(6.0);
+    let script = WorkloadScript::synthetic(
+        d.num_users(),
+        ArrivalKind::Poisson { rate: 2.0 },
+        20.0,
+        None,
+        9,
+    );
+    let mut driver = ReplayDriver::new(engine(&d, &p, &cfg, 2, RecorderHandle::noop()), script);
+    assert!(driver.step());
+    let ck = driver.checkpoint();
+    let other = WorkloadScript::new(vec![WorkloadEvent::Arrival { user: 0, at: 0.0 }]);
+    let err = match ReplayDriver::restore(&d, &p, other, &ck) {
+        Ok(_) => panic!("a mismatched script must be rejected"),
+        Err(err) => err,
+    };
+    assert!(err.contains("script"), "{err}");
+}
+
+#[test]
+fn retired_tenants_never_reappear_until_rejoin() {
+    let d = dataset(4, 3, 11);
+    let p = priors(&d);
+    // A budget far beyond the scripted work: the replay must end because
+    // the arrivals run dry, never because the budget binds.
+    let cfg = SimConfig::new(1000.0);
+    // Dense arrivals for everyone; tenant 2 retires at t=2 and rejoins at
+    // t=6; tenant 3 retires at t=4 for good.
+    let mut events = Vec::new();
+    for user in 0..4 {
+        for i in 0..60 {
+            events.push(WorkloadEvent::Arrival {
+                user,
+                at: 0.15 * f64::from(i),
+            });
+        }
+    }
+    events.push(WorkloadEvent::Retire { user: 2, at: 2.0 });
+    events.push(WorkloadEvent::Rejoin { user: 2, at: 6.0 });
+    events.push(WorkloadEvent::Retire { user: 3, at: 4.0 });
+    let rec = Arc::new(InMemoryRecorder::new());
+    let driver = ReplayDriver::new(
+        engine(&d, &p, &cfg, 2, RecorderHandle::new(rec.clone())),
+        WorkloadScript::new(events),
+    );
+    let _ = driver.run();
+    // Walk the event stream: between TenantRetired and TenantJoined, the
+    // tenant must never be dispatched.
+    let mut retired = [false; 4];
+    let mut saw_rejoin_dispatch = false;
+    for event in rec.events().iter() {
+        match event {
+            Event::TenantRetired { user, .. } => retired[*user] = true,
+            Event::TenantJoined { user, .. } => retired[*user] = false,
+            Event::RunDispatched { user, .. } => {
+                assert!(!retired[*user], "tenant {user} dispatched while retired");
+                if *user == 2 && !retired[2] {
+                    saw_rejoin_dispatch = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(retired[3], "tenant 3 must end retired");
+    assert!(
+        saw_rejoin_dispatch,
+        "tenant 2 must be served again after rejoining"
+    );
+}
+
+#[test]
+fn a_cluster_trace_csv_replays_end_to_end() {
+    let csv = "\
+vm_id,vm_type_id,start_time,end_time
+1,burst,0.0,1.0
+2,steady,0.4,2.0
+3,burst,0.8,1.5
+4,steady,1.2,3.0
+5,burst,1.6,2.5
+6,steady,2.0,4.0
+";
+    let jobs = AzureTraceReader.parse(csv).expect("parse trace");
+    let d = dataset(2, 3, 13);
+    let p = priors(&d);
+    let (mapped, map) = map_jobs(&jobs, d.num_users());
+    assert_eq!(map.dropped, 0);
+    let script = WorkloadScript::from_trace(&mapped, true);
+    assert_eq!(script.arrivals(), 6);
+    assert_eq!(script.lifecycle_events(), 2, "both tenants retire");
+    let cfg = SimConfig::new(50.0);
+    let rec = Arc::new(InMemoryRecorder::new());
+    let driver = ReplayDriver::new(
+        engine(&d, &p, &cfg, 2, RecorderHandle::new(rec.clone())),
+        script,
+    );
+    let trace = driver.run();
+    assert_eq!(trace.dispatches, 6, "every trace job must be served");
+    let arrivals = rec
+        .events()
+        .iter()
+        .filter(|e| matches!(e, Event::JobArrived { .. }))
+        .count();
+    assert_eq!(arrivals, 6, "one JobArrived per trace row");
+    let retirements = rec
+        .events()
+        .iter()
+        .filter(|e| matches!(e, Event::TenantRetired { .. }))
+        .count();
+    assert_eq!(retirements, 2);
+}

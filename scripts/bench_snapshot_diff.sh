@@ -64,6 +64,19 @@ fi
 #     {"name": "sched/pick", "count": 123, "p50_ns": 4567, "p95_ns": 8910, "max_ns": 11213},
 # and are the only lines carrying a "p50_ns" key (the "events" array
 # reuses the name/count shape but has no quantiles).
+#
+# Snapshots with no quantile rows at all (e.g. workload_scaling, whose
+# rows are deliberately wall-time-only) skip the p50/p95 diff pass — the
+# candidate-only boundedness checks below still run. A candidate with no
+# recognized rows of any kind is still an error.
+if ! grep -q '"p50_ns"' "$candidate"; then
+    if grep -Eq '"name": "(telemetry|profile|wal|workload)/' "$candidate"; then
+        echo "component quantile diff: skipped (no p50_ns rows in candidate)"
+    else
+        echo "error: no recognized component rows in the candidate file" >&2
+        exit 2
+    fi
+else
 awk -v threshold="$threshold" -v min_ns="$min_ns" '
 function extract(line, key,    rest) {
     if (index(line, "\"" key "\":") == 0) return ""
@@ -131,6 +144,7 @@ END {
     printf "\nOK: no component quantile regressed more than %s%%\n", threshold
 }
 ' "$baseline" "$candidate"
+fi
 
 # Telemetry-scale boundedness: rows named telemetry/fold@u=N (written by
 # `cargo bench -p easeml-bench --bench telemetry_scale`, in ascending
@@ -293,5 +307,56 @@ END {
         exit 1
     }
     printf "OK: incremental recovery cost bounded per replayed round across the delta sweep\n"
+}
+' "$candidate"
+
+# Open-loop workload boundedness: rows named workload/replay@rate=R,churn=C
+# (written by `cargo bench -p easeml-bench --bench workload_scaling`, in
+# ascending rate order within each churn group) carry the engine's wall
+# cost per dispatched job. Every cell scripts the same expected job count
+# (the horizon shrinks as the rate grows), so per-job cost must be bounded
+# in the arrival rate: the check is one-sided — within each churn group
+# the largest-rate row must not exceed 2x the smallest-rate row (generous:
+# cells run tens of milliseconds, so scheduler noise is material).
+# Candidate-only, like the telemetry and WAL checks: absolute wall time is
+# machine-dependent, so there is nothing to diff against a baseline from
+# another host. Snapshots without workload rows skip the check.
+awk '
+function extract(line, key,    rest) {
+    if (index(line, "\"" key "\":") == 0) return ""
+    rest = substr(line, index(line, "\"" key "\":") + length(key) + 3)
+    gsub(/^[ \t]+/, "", rest)
+    gsub(/[,}].*$/, "", rest)
+    return rest
+}
+/"name": "workload\/replay@rate=/ {
+    churn = extract($0, "churn") + 0
+    n[churn]++
+    rate[churn, n[churn]] = extract($0, "rate") + 0
+    cost[churn, n[churn]] = extract($0, "ns_per_served") + 0
+}
+END {
+    total = n[0] + n[1]
+    if (total == 0) {
+        printf "workload boundedness: skipped (no workload rows in candidate)\n"
+        exit 0
+    }
+    failed = 0
+    for (churn = 0; churn <= 1; churn++) {
+        if (n[churn] < 2) continue
+        first = cost[churn, 1]; last = cost[churn, n[churn]]
+        if (first <= 0 || last <= 0) {
+            printf "error: workload rows carry zero ns_per_served\n" > "/dev/stderr"
+            exit 2
+        }
+        printf "workload ns/served (churn=%d), smallest -> largest rate: %.0f (rate=%g) -> %.0f (rate=%g) (%.2fx)\n", \
+            churn, first, rate[churn, 1], last, rate[churn, n[churn]], last / first
+        if (last > 2.0 * first) failed = 1
+    }
+    if (failed) {
+        printf "\nFAIL: per-job engine cost grows with the arrival rate\n"
+        exit 1
+    }
+    printf "OK: per-job open-loop cost bounded across the arrival-rate sweep\n"
 }
 ' "$candidate"

@@ -158,4 +158,24 @@ echo "$scale_out"
 # both and prints the pass line only when they hold.
 echo "$scale_out" | grep -q "telemetry scale check: pass"
 
+echo "==> workload replay smoke (trace CSV, open-loop, tenant churn)"
+workload_trace="$(mktemp -t easeml-ci-workload-XXXXXX.jsonl)"
+workload_report_file="$(mktemp -t easeml-ci-workload-XXXXXX.txt)"
+trap 'rm -f "$smoke_trace" "$smoke_folded" "$chaos_trace" "$exec_trace" \
+  "$replay_scenario" "$replay_trace" "$workload_trace" \
+  "$workload_report_file"; rm -rf "$crash_dir"' EXIT
+workload_out="$(cargo run --quiet --example trace_replay -- \
+  --trace-out "$workload_trace" --report-out "$workload_report_file")"
+echo "$workload_out"
+# The bundled trace must map without dropping jobs, the replay must
+# retire every tenant (a bounded trace implies churn), and the Theorem 1
+# decomposition must stay consistent on the open-loop event stream.
+echo "$workload_out" | grep -Eq "tenant churn: [1-9][0-9]* retirement"
+echo "$workload_out" | grep -q "decomposition consistent: true"
+echo "$workload_out" | grep -q ", 0 dropped"
+# The standalone analyzer must reproduce the fold from the JSONL alone.
+cargo run --quiet -p easeml-trace -- workload-report "$workload_trace" \
+  | grep -q "tenant churn: 6 retirement(s)"
+test -s "$workload_report_file"
+
 echo "CI gate passed."
